@@ -1,0 +1,118 @@
+// Package approxqo reproduces "On the Complexity of Approximate Query
+// Optimization" (Chatterji, Evani, Ganguly, Yemmanuru — PODS 2002) as a
+// working Go library: the QO_N and QO_H join-ordering cost models, the
+// hardness reductions f_N, f_H and their sparse variants, the appendix's
+// SQO−CP/SPPCS NP-completeness chain, exact and heuristic join-order
+// optimizers, and an experiment harness that regenerates a table or
+// figure for every theorem (see DESIGN.md and EXPERIMENTS.md).
+//
+// This root package is a facade: it re-exports the library's primary
+// entry points so that downstream code can depend on a single import.
+// The implementation lives under internal/ (one package per subsystem)
+// and the runnable entry points under cmd/ and examples/.
+package approxqo
+
+import (
+	"approxqo/internal/bushy"
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/experiments"
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/opt"
+	"approxqo/internal/plan"
+	"approxqo/internal/qoh"
+	"approxqo/internal/qon"
+	"approxqo/internal/sat"
+	"approxqo/internal/sqocp"
+	"approxqo/internal/workload"
+)
+
+// Re-exported core types. See the internal packages for full
+// documentation.
+type (
+	// Num is an arbitrary-magnitude non-negative number (costs such as
+	// α^{n²} are routine for the reductions).
+	Num = num.Num
+	// Graph is an undirected graph with exact max-clique search.
+	Graph = graph.Graph
+	// Formula is a CNF formula with a DPLL solver.
+	Formula = sat.Formula
+	// QONInstance is the nested-loops join-ordering problem of §2.1.
+	QONInstance = qon.Instance
+	// QOHInstance is the pipelined hash-join problem of §2.2.
+	QOHInstance = qoh.Instance
+	// FNInstance is the §4 reduction output (CLIQUE → QO_N).
+	FNInstance = core.FNInstance
+	// FHInstance is the §5 reduction output (⅔CLIQUE → QO_H).
+	FHInstance = core.FHInstance
+	// GapCertificate records promised vs measured hardness gaps.
+	GapCertificate = core.GapCertificate
+	// Optimizer is the join-order optimizer interface.
+	Optimizer = opt.Optimizer
+	// StarQuery is the appendix's SQO−CP star-query instance.
+	StarQuery = sqocp.Star
+	// WorkloadParams parameterizes realistic random query generation.
+	WorkloadParams = workload.Params
+	// ExperimentOptions tunes the experiment harness.
+	ExperimentOptions = experiments.Options
+)
+
+// Reductions and pipelines.
+var (
+	// FN applies the §4 reduction from a CLIQUE instance to QO_N.
+	FN = core.FN
+	// FH applies the §5 reduction from a ⅔CLIQUE instance to QO_H.
+	FH = core.FH
+	// SparseFN and SparseFH are the §6 sparse-query-graph variants.
+	SparseFN = core.SparseFN
+	SparseFH = core.SparseFH
+	// Theorem9 and Theorem15 run the full 3SAT chains.
+	Theorem9  = core.Theorem9
+	Theorem15 = core.Theorem15
+	// Lemma3 and Lemma4 are the 3SAT → CLIQUE-variant reductions.
+	Lemma3 = cliquered.Lemma3
+	Lemma4 = cliquered.Lemma4
+	// GenerateWorkload builds realistic random QO_N instances.
+	GenerateWorkload = workload.Generate
+	// Experiments returns the reproduction's experiment catalog.
+	Experiments = experiments.All
+)
+
+// Optimizer constructors.
+var (
+	// NewDP is the exact subset dynamic program (left-deep optimal).
+	NewDP = opt.NewDP
+	// NewDPParallel is the same DP parallelized across cores.
+	NewDPParallel = opt.NewDPParallel
+	// NewDPNoCross is the exact DP over cartesian-product-free orders.
+	NewDPNoCross = opt.NewDPNoCross
+	// NewExhaustive enumerates all join sequences (small n).
+	NewExhaustive = opt.NewExhaustive
+	// NewKBZ is the Ibaraki–Kameda rank algorithm for tree queries.
+	NewKBZ = opt.NewKBZ
+	// NewGreedy builds greedy optimizers (opt.GreedyMinSize/MinCost).
+	NewGreedy = opt.NewGreedy
+	// NewAnnealing is simulated annealing over permutations.
+	NewAnnealing = opt.NewAnnealing
+	// Heuristics returns the standard polynomial-time ensemble.
+	Heuristics = opt.Heuristics
+	// QOHBest runs the QO_H plan-search ensemble.
+	QOHBest = opt.QOHBest
+)
+
+// Extensions and tooling.
+var (
+	// OptimizeBushy finds an optimal bushy join tree (exact DPsub).
+	OptimizeBushy = bushy.Optimize
+	// ExplainQON, ExplainQOH and ExplainBushy render plans as
+	// EXPLAIN-style operator trees.
+	ExplainQON   = plan.ExplainQON
+	ExplainQOH   = plan.ExplainQOH
+	ExplainBushy = plan.ExplainBushy
+	// Catalog returns the benchmark-shaped named queries.
+	Catalog = workload.Catalog
+)
+
+// BushyTree is a bushy join tree (see internal/bushy).
+type BushyTree = bushy.Tree

@@ -1,0 +1,100 @@
+package approxqo
+
+import (
+	"testing"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+)
+
+// The facade must expose a working end-to-end path: generate a
+// workload, optimize it, run a reduction, check a certificate.
+func TestFacadeEndToEnd(t *testing.T) {
+	in, err := GenerateWorkload(WorkloadParams{N: 8, Shape: "chain", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := NewDP().Optimize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Exact {
+		t.Error("subset DP should certify exactness")
+	}
+	for _, o := range Heuristics(1) {
+		r, err := o.Optimize(in)
+		if err != nil {
+			continue
+		}
+		if r.Cost.Less(best.Cost) {
+			t.Errorf("%s beat the certified optimum", o.Name())
+		}
+	}
+
+	yes, no := cliquered.YesNoPair(12, 0.75, 0.25)
+	params := core.FNParams{A: 24, OmegaYes: yes.Omega, OmegaNo: no.Omega}
+	fnYes, err := FN(yes.G, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fnNo, err := FN(no.G, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yesOpt, err := NewDP().Optimize(fnYes.QON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noOpt, err := NewDP().Optimize(fnNo.QON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := &GapCertificate{
+		Name:        "facade",
+		YesBound:    fnYes.K,
+		NoBound:     fnNo.NoLowerBound,
+		YesMeasured: yesOpt.Cost,
+		NoMeasured:  noOpt.Cost,
+		NoExact:     true,
+	}
+	if err := cert.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExperimentCatalog(t *testing.T) {
+	cat := Experiments()
+	if len(cat) != 13 {
+		t.Fatalf("catalog has %d experiments, want 13", len(cat))
+	}
+	ids := map[string]bool{}
+	for _, e := range cat {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+}
+
+func TestFacadeTheoremPipelines(t *testing.T) {
+	f := &Formula{NumVars: 2}
+	f.AddClause(1, 2)
+	f.AddClause(-1, 2)
+	r9, err := Theorem9(f, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r9.Satisfiable {
+		t.Error("Theorem9 misjudged a satisfiable formula")
+	}
+	r15, err := Theorem15(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r15.WitnessPlan == nil {
+		t.Error("Theorem15 produced no witness plan")
+	}
+}

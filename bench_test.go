@@ -1,0 +1,203 @@
+package approxqo
+
+import (
+	"fmt"
+	"testing"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/experiments"
+	"approxqo/internal/opt"
+	"approxqo/internal/qon"
+	"approxqo/internal/sqocp"
+	"approxqo/internal/workload"
+)
+
+// One benchmark per experiment table/figure in DESIGN.md §3. Each runs
+// the harness in quick mode (the cmd/experiments binary regenerates the
+// full-size tables); the benchmark numbers record the cost of
+// regenerating each result.
+
+func benchExperiment(b *testing.B, id string) {
+	e, err := experiments.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Quick: true, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT1TheoremNine regenerates the Theorem 9 QO_N gap table.
+func BenchmarkT1TheoremNine(b *testing.B) { benchExperiment(b, "T1") }
+
+// BenchmarkT2TheoremFifteen regenerates the Theorem 15 QO_H gap table.
+func BenchmarkT2TheoremFifteen(b *testing.B) { benchExperiment(b, "T2") }
+
+// BenchmarkT3SparseQON regenerates the Theorem 16 sparse-graph table.
+func BenchmarkT3SparseQON(b *testing.B) { benchExperiment(b, "T3") }
+
+// BenchmarkT4SparseQOH regenerates the Theorem 17 sparse-graph table.
+func BenchmarkT4SparseQOH(b *testing.B) { benchExperiment(b, "T4") }
+
+// BenchmarkF1CostProfile regenerates the Lemma 5/6 H_i profile figure.
+func BenchmarkF1CostProfile(b *testing.B) { benchExperiment(b, "F1") }
+
+// BenchmarkF2IntermediateSizes regenerates the Lemma 11/13 N_j figure.
+func BenchmarkF2IntermediateSizes(b *testing.B) { benchExperiment(b, "F2") }
+
+// BenchmarkT5CliqueReductions regenerates the Lemma 3/4 table.
+func BenchmarkT5CliqueReductions(b *testing.B) { benchExperiment(b, "T5") }
+
+// BenchmarkT6CompetitiveRatio regenerates the competitive-ratio table.
+func BenchmarkT6CompetitiveRatio(b *testing.B) { benchExperiment(b, "T6") }
+
+// BenchmarkT7StarQuery regenerates the Appendix A/B equivalence table.
+func BenchmarkT7StarQuery(b *testing.B) { benchExperiment(b, "T7") }
+
+// BenchmarkT8Workloads regenerates the baseline workload table.
+func BenchmarkT8Workloads(b *testing.B) { benchExperiment(b, "T8") }
+
+// --- Component micro-benchmarks --------------------------------------
+
+// BenchmarkSubsetDP measures the exact optimizer across sizes.
+func BenchmarkSubsetDP(b *testing.B) {
+	for _, n := range []int{10, 12, 14} {
+		in, err := workload.Generate(workload.Params{N: n, Shape: workload.Random, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			dp := opt.NewDP()
+			for i := 0; i < b.N; i++ {
+				if _, err := dp.Optimize(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCostEvaluation measures one QO_N sequence evaluation.
+func BenchmarkCostEvaluation(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		in, err := workload.Generate(workload.Params{N: n, Shape: workload.Random, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		z := make(qon.Sequence, n)
+		for i := range z {
+			z[i] = i
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				in.Evaluate(z)
+			}
+		})
+	}
+}
+
+// BenchmarkMaxClique measures exact clique search on the dense graphs
+// the reductions produce.
+func BenchmarkMaxClique(b *testing.B) {
+	for _, n := range []int{20, 30, 40} {
+		g := cliquered.CertifiedCliqueGraph(n, 3*n/4).G
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.MaxClique()
+			}
+		})
+	}
+}
+
+// BenchmarkFNReduction measures f_N instance construction.
+func BenchmarkFNReduction(b *testing.B) {
+	for _, n := range []int{16, 32} {
+		yes, no := cliquered.YesNoPair(n, 0.75, 0.25)
+		params := core.FNParams{A: 2 * int64(n), OmegaYes: yes.Omega, OmegaNo: no.Omega}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.FN(yes.G, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		_ = no
+	}
+}
+
+// BenchmarkQOHDecomposition measures the optimal pipeline-decomposition
+// DP on f_H witness sequences.
+func BenchmarkQOHDecomposition(b *testing.B) {
+	for _, n := range []int{9, 12, 15} {
+		yes := cliquered.CertifiedCliqueGraph(n, 2*n/3)
+		a := 2 * int64(n)
+		if a*int64(n-1)%2 != 0 {
+			a++
+		}
+		fh, err := core.FH(yes.G, core.FHParams{A: a})
+		if err != nil {
+			b.Fatal(err)
+		}
+		z := fh.WitnessSequence(yes.G.MaxClique())
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fh.QOH.BestDecomposition(z); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSQOCPOptimal measures exhaustive star-query optimization at
+// reduction scale.
+func BenchmarkSQOCPOptimal(b *testing.B) {
+	p := &sqocp.Partition{Items: []int64{1, 2, 3}}
+	s, err := p.ToSPPCS()
+	if err != nil {
+		b.Fatal(err)
+	}
+	red, err := sqocp.FromSPPCS(s, s.L)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := red.Star.Optimal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA1Ablation regenerates the left-deep vs bushy ablation table.
+func BenchmarkA1Ablation(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkA2NoCrossAblation regenerates the §4-remark ablation table.
+func BenchmarkA2NoCrossAblation(b *testing.B) { benchExperiment(b, "A2") }
+
+// BenchmarkSubsetDPParallel compares the layered parallel DP against
+// the serial one (see BenchmarkSubsetDP) on the same instances.
+func BenchmarkSubsetDPParallel(b *testing.B) {
+	for _, n := range []int{10, 12, 14} {
+		in, err := workload.Generate(workload.Params{N: n, Shape: workload.Random, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			dp := opt.NewDPParallel()
+			for i := 0; i < b.N; i++ {
+				if _, err := dp.Optimize(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA3PsiSensitivity regenerates the hjmin-exponent ablation.
+func BenchmarkA3PsiSensitivity(b *testing.B) { benchExperiment(b, "A3") }

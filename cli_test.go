@@ -1,0 +1,99 @@
+package approxqo
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// End-to-end smoke tests: build and run each CLI the way a user would,
+// asserting on the observable output. Skipped with -short.
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIQohardPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "inst.json")
+	out := runCLI(t, "./cmd/qohard", "-mode", "pair", "-n", "12", "-json", jsonPath)
+	for _, want := range []string{"certified pair: n=12", "K_{c,d}(α,n)", "YES exact optimum", "gap:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The exported instance is consumable by qopt.
+	out = runCLI(t, "./cmd/qopt", "-file", jsonPath, "-algo", "greedy-min-size")
+	if !strings.Contains(out, "greedy-min-size") || !strings.Contains(out, "instance: 12 relations") {
+		t.Errorf("qopt on exported instance failed:\n%s", out)
+	}
+}
+
+func TestCLIQohardHashAndSparse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	out := runCLI(t, "./cmd/qohard", "-mode", "hash", "-n", "6")
+	if !strings.Contains(out, "Lemma 12 five-pipeline plan") || !strings.Contains(out, "gap: 2^") {
+		t.Errorf("hash mode output:\n%s", out)
+	}
+	out = runCLI(t, "./cmd/qohard", "-mode", "sparse", "-n", "4", "-tau", "0.5")
+	if !strings.Contains(out, "sparse f_N pair") || !strings.Contains(out, "gap: 2^") {
+		t.Errorf("sparse mode output:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsQuickSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	out := runCLI(t, "./cmd/experiments", "-quick", "-only", "T5,A3")
+	for _, want := range []string{"== T5:", "== A3:", "Lemma 3", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATED") || strings.Contains(out, "MISMATCH") {
+		t.Errorf("violations in output:\n%s", out)
+	}
+	out = runCLI(t, "./cmd/experiments", "-list")
+	if !strings.Contains(out, "T1") || !strings.Contains(out, "A3") {
+		t.Errorf("experiment list:\n%s", out)
+	}
+}
+
+func TestCLISqocp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	out := runCLI(t, "./cmd/sqocp", "-items", "1,2,3")
+	if !strings.Contains(out, "PARTITION [1 2 3]: YES") || !strings.Contains(out, "all three stages agree") {
+		t.Errorf("sqocp output:\n%s", out)
+	}
+	out = runCLI(t, "./cmd/sqocp", "-items", "1,1,3")
+	if !strings.Contains(out, "PARTITION [1 1 3]: NO") || !strings.Contains(out, "all three stages agree") {
+		t.Errorf("sqocp NO output:\n%s", out)
+	}
+}
+
+func TestCLIQoptCatalogExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	out := runCLI(t, "./cmd/qopt", "-catalog", "tpch-q3-like", "-algo", "subset-dp", "-explain")
+	for _, want := range []string{"catalog query tpch-q3-like", "QO_N plan", "Scan R"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command experiments regenerates the reproduction's full experiment
+// catalog (DESIGN.md §3): every table and figure derived from the
+// paper's theorems and lemmas, printed as aligned text tables.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-only T1[,T7,...]] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"approxqo/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced instance sizes")
+	seed := flag.Int64("seed", 1, "seed for randomized components")
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	csvDir := flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	selected := experiments.All()
+	if *only != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*only, ",") {
+			e, err := experiments.Find(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		if *csvDir == "" {
+			if err := experiments.WriteOne(os.Stdout, e, opts); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		// Run once, render both ways.
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		tables, err := e.Run(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for ti, tb := range tables {
+			if err := tb.WriteText(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			path := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", e.ID, ti))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tb.WriteCSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(csv: %s)\n\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,233 @@
+// Command qohard generates hard query-optimization instances via the
+// paper's reductions and prints a gap report, optionally emitting the
+// constructed QO_N instance as JSON.
+//
+// Four modes:
+//
+//	qohard -mode formula -vars 3 -clauses 5 [-seed 1] [-a 4] [-json out.json]
+//	    runs the full Theorem 9 chain 3SAT → CLIQUE → QO_N on a random
+//	    3-CNF formula;
+//	qohard -mode pair -n 16 [-c 0.75] [-d 0.25] [-json out.json]
+//	    builds a certified f_N YES/NO pair at size n and reports the
+//	    measured gap;
+//	qohard -mode sparse -n 5 -tau 0.5 [-k 2]
+//	    builds the §6 sparse-graph f_{N,e} pair;
+//	qohard -mode hash -n 6
+//	    builds a certified f_H YES/NO pair (QO_H, Theorem 15).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/opt"
+	"approxqo/internal/report"
+	"approxqo/internal/sat"
+)
+
+func main() {
+	mode := flag.String("mode", "pair", "formula | pair | sparse | hash")
+	vars := flag.Int("vars", 3, "formula mode: variable count")
+	clauses := flag.Int("clauses", 5, "formula mode: clause count")
+	seed := flag.Int64("seed", 1, "random seed")
+	a := flag.Int64("a", 0, "log₂ α (0 = auto)")
+	n := flag.Int("n", 16, "pair/sparse mode: source graph size")
+	c := flag.Float64("c", 0.75, "pair mode: YES clique ratio")
+	d := flag.Float64("d", 0.25, "pair mode: promise gap ratio")
+	tau := flag.Float64("tau", 0.5, "sparse mode: edge budget exponent (e(m) = m + m^τ)")
+	k := flag.Int("k", 2, "sparse mode: vertex blow-up exponent (m = n^k)")
+	jsonOut := flag.String("json", "", "write the YES QO_N instance as JSON to this file")
+	flag.Parse()
+
+	switch *mode {
+	case "formula":
+		runFormula(*vars, *clauses, *seed, *a, *jsonOut)
+	case "pair":
+		runPair(*n, *c, *d, *a, *jsonOut)
+	case "sparse":
+		runSparse(*n, *tau, *k, *a, *seed, *jsonOut)
+	case "hash":
+		runHash(*n, *a)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+// runHash builds a certified f_H YES/NO pair (QO_H, Theorem 15).
+func runHash(n int, a int64) {
+	if n%3 != 0 {
+		fatal(fmt.Errorf("hash mode needs n divisible by 3, got %d", n))
+	}
+	if a == 0 {
+		a = 2 * int64(n)
+		if a*int64(n-1)%2 != 0 {
+			a++
+		}
+	}
+	yes := cliquered.CertifiedCliqueGraph(n, 2*n/3)
+	no := cliquered.CertifiedCliqueGraph(n, 2*n/3-1)
+	fhYes, err := core.FH(yes.G, core.FHParams{A: a})
+	if err != nil {
+		fatal(err)
+	}
+	fhNo, err := core.FH(no.G, core.FHParams{A: a})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("certified ⅔CLIQUE pair: n=%d (ωYes=%d, ωNo=%d), α=2^%d\n", n, 2*n/3, 2*n/3-1, a)
+	fmt.Printf("QO_H instances: %d relations, t=%s, t₀=%s, M=%s\n",
+		fhYes.QOH.N(), report.Log2(fhYes.T), report.Log2(fhYes.T0), report.Log2(fhYes.M))
+	fmt.Printf("L(α,n) = %s; G bound (NO) = %s\n",
+		report.Log2(fhYes.L), report.Log2(fhNo.GBound(no.Omega)))
+	plan, err := fhYes.YesWitnessPlan(yes.G.MaxClique())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("YES witness (Lemma 12 five-pipeline plan): %s, pipelines %v\n",
+		report.Log2(plan.Cost), plan.Pipelines())
+	noBest, err := opt.QOHBest(fhNo.QOH, 1)
+	if err != nil {
+		fatal(err)
+	}
+	exact := ""
+	if fhNo.QOH.N() <= 8 {
+		exact = " (exact)"
+	}
+	fmt.Printf("NO best plan found%s: %s\n", exact, report.Log2(noBest.Cost))
+	fmt.Printf("gap: %s\n", report.Ratio(noBest.Cost, plan.Cost))
+}
+
+func runSparse(n int, tau float64, k int, a, seed int64, jsonOut string) {
+	if n < 3 {
+		fatal(fmt.Errorf("sparse mode needs n ≥ 3"))
+	}
+	yes := cliquered.CertifiedCliqueGraph(n, n-1)
+	no := cliquered.CertifiedCliqueGraph(n, n-2)
+	m := 1
+	for i := 0; i < k; i++ {
+		m *= n
+	}
+	if a == 0 {
+		a = 2 * int64(n) * int64(m) // the negligibility threshold B·n·m
+	}
+	params := core.SparseFNParams{
+		FNParams: core.FNParams{A: a, OmegaYes: n - 1, OmegaNo: n - 2},
+		K:        k,
+		Budget:   core.SparseBudget(tau),
+		Seed:     seed,
+	}
+	sy, err := core.SparseFN(yes.G, params)
+	if err != nil {
+		fatal(err)
+	}
+	sn, err := core.SparseFN(no.G, params)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sparse f_N pair: source n=%d (ωYes=%d, ωNo=%d), blow-up m=%d, τ=%.2f\n",
+		n, n-1, n-2, sy.M, tau)
+	fmt.Printf("query graph: %d vertices, %d edges (clique would have %d)\n",
+		sy.M, sy.QON.Q.EdgeCount(), sy.M*(sy.M-1)/2)
+	fmt.Printf("K = %s; NO lower bound = %s\n", report.Log2(sy.K), report.Log2(sn.NoLowerBound))
+	yesCost := sy.QON.Cost(core.CliqueFirst(sy.QON.Q, yes.G.MaxClique()))
+	noCost := sn.QON.Cost(core.CliqueFirst(sn.QON.Q, no.G.MaxClique()))
+	fmt.Printf("YES clique-first cost: %s\n", report.Log2(yesCost))
+	fmt.Printf("NO  clique-first cost: %s\n", report.Log2(noCost))
+	fmt.Printf("gap: %s\n", report.Ratio(noCost, yesCost))
+	writeJSON(jsonOut, sy.QON)
+}
+
+func runFormula(vars, clauses int, seed, a int64, jsonOut string) {
+	f := sat.Random3SAT(vars, clauses, seed)
+	fmt.Printf("formula: %s\n", f)
+	if a == 0 {
+		a = 4
+	}
+	res, err := core.Theorem9(f, a, 1)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("satisfiable: %v\n", res.Satisfiable)
+	fmt.Printf("clique instance: n=%d, ω-if-SAT=%d (c=%.3f)\n",
+		res.Clique.G.N(), res.Clique.CliqueIfSat, res.Clique.C)
+	fmt.Printf("QO_N instance: %d relations, t=%s, K=%s\n",
+		res.FN.QON.N(), report.Log2(res.FN.T), report.Log2(res.FN.K))
+	if res.Satisfiable {
+		fmt.Printf("Lemma 6 witness cost: %s (sequence starts with the %d-clique)\n",
+			report.Log2(res.WitnessCost), res.Clique.CliqueIfSat)
+	} else {
+		fmt.Printf("Lemma 8 lower bound on every sequence: %s\n", report.Log2(res.FN.NoLowerBound))
+	}
+	writeJSON(jsonOut, res.FN.QON)
+}
+
+func runPair(n int, c, d float64, a int64, jsonOut string) {
+	if a == 0 {
+		a = 2 * int64(n)
+	}
+	yes, no := cliquered.YesNoPair(n, c, d)
+	params := core.FNParams{A: a, OmegaYes: yes.Omega, OmegaNo: no.Omega}
+	fnYes, err := core.FN(yes.G, params)
+	if err != nil {
+		fatal(err)
+	}
+	fnNo, err := core.FN(no.G, params)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("certified pair: n=%d, ωYes=%d, ωNo=%d, α=2^%d\n", n, yes.Omega, no.Omega, a)
+	fmt.Printf("K_{c,d}(α,n) = %s; NO lower bound = %s\n",
+		report.Log2(fnYes.K), report.Log2(fnNo.NoLowerBound))
+
+	_, yesCost, err := fnYes.YesWitnessCost(yes.G.MaxClique())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("YES witness (Lemma 6 clique-first): %s\n", report.Log2(yesCost))
+	if n <= 18 {
+		dp := opt.DP{MaxN: 18}
+		yesOpt, err := dp.Optimize(fnYes.QON)
+		if err != nil {
+			fatal(err)
+		}
+		noOpt, err := dp.Optimize(fnNo.QON)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("YES exact optimum: %s\n", report.Log2(yesOpt.Cost))
+		fmt.Printf("NO exact optimum:  %s\n", report.Log2(noOpt.Cost))
+		fmt.Printf("gap: %s (promised ≥ %s)\n",
+			report.Ratio(noOpt.Cost, yesOpt.Cost), report.Ratio(fnNo.NoLowerBound, fnYes.K))
+	} else {
+		best, winner, err := opt.BestOf(fnNo.QON, opt.Heuristics(7)...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("NO best heuristic (%s): %s\n", winner, report.Log2(best.Cost))
+		fmt.Printf("gap vs witness: %s\n", report.Ratio(best.Cost, yesCost))
+	}
+	writeJSON(jsonOut, fnYes.QON)
+}
+
+func writeJSON(path string, v any) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance written to %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qohard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command qopt optimizes a QO_N instance — read from a JSON file
+// (qohard -json output) or generated as a random workload — with one or
+// all of the registered algorithms, and prints the resulting plans.
+//
+// Usage:
+//
+//	qopt -file instance.json [-algo subset-dp]
+//	qopt -shape chain -n 12 [-seed 3] [-algo all]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"approxqo/internal/bushy"
+	"approxqo/internal/opt"
+	"approxqo/internal/plan"
+	"approxqo/internal/qon"
+	"approxqo/internal/report"
+	"approxqo/internal/workload"
+)
+
+func main() {
+	file := flag.String("file", "", "JSON instance file (from qohard -json)")
+	shape := flag.String("shape", "chain", "workload shape: chain|cycle|star|grid|clique|random")
+	catalog := flag.String("catalog", "", "named catalog query (e.g. tpch-q5-like); overrides -shape")
+	listCatalog := flag.Bool("list-catalog", false, "list catalog queries and exit")
+	n := flag.Int("n", 10, "workload size")
+	seed := flag.Int64("seed", 1, "workload seed")
+	algo := flag.String("algo", "all", "algorithm name or 'all'")
+	explain := flag.Bool("explain", false, "print an EXPLAIN tree for the best plan found")
+	bushyFlag := flag.Bool("bushy", false, "also optimize over bushy join trees")
+	flag.Parse()
+
+	if *listCatalog {
+		for _, c := range workload.Catalog() {
+			fmt.Printf("%-16s %s\n", c.Name, c.Comment)
+		}
+		return
+	}
+
+	var in *qon.Instance
+	var err error
+	if *catalog != "" {
+		c, cerr := workload.CatalogQueryByName(*catalog)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		in = c.Instance
+		fmt.Printf("catalog query %s: %s\n", c.Name, c.Comment)
+		for i, name := range c.RelationNames() {
+			fmt.Printf("  R%d = %s (%s tuples)\n", i, name, in.T[i])
+		}
+	} else {
+		in, err = loadInstance(*file, *shape, *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("instance: %d relations, %d predicates\n", in.N(), in.Q.EdgeCount())
+
+	optimizers := registry(*seed)
+	tb := report.New("", "algorithm", "cost", "sequence", "time", "exact")
+	var best *opt.Result
+	for _, o := range optimizers {
+		if *algo != "all" && o.Name() != *algo {
+			continue
+		}
+		start := time.Now()
+		r, err := o.Optimize(in)
+		elapsed := time.Since(start).Round(time.Microsecond)
+		if err != nil {
+			tb.AddRow(o.Name(), "—", "n/a: "+err.Error(), elapsed.String(), "")
+			continue
+		}
+		if best == nil || r.Cost.Less(best.Cost) {
+			best = r
+		}
+		tb.AddRow(o.Name(), report.Log2(r.Cost), fmt.Sprint(r.Sequence), elapsed.String(), fmt.Sprint(r.Exact))
+	}
+	if len(tb.Rows) == 0 {
+		fatal(fmt.Errorf("no algorithm named %q; have %v", *algo, names(optimizers)))
+	}
+	if err := tb.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *bushyFlag {
+		tree, cost, err := bushy.Optimize(in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nbushy optimum: %s  cost=%s\n", tree, report.Log2(cost))
+		if *explain {
+			fmt.Print(plan.ExplainBushy(in, tree))
+		}
+	}
+	if *explain && best != nil {
+		fmt.Println()
+		fmt.Print(plan.ExplainQON(in, best.Sequence))
+	}
+}
+
+func registry(seed int64) []opt.Optimizer {
+	return append([]opt.Optimizer{
+		opt.NewExhaustive(),
+		opt.NewDP(),
+		opt.NewDPParallel(),
+		opt.NewDPNoCross(),
+	}, append(opt.Heuristics(seed), opt.NewIterativeImprovement(seed, 10))...)
+}
+
+func names(os []opt.Optimizer) []string {
+	out := make([]string, len(os))
+	for i, o := range os {
+		out[i] = o.Name()
+	}
+	return out
+}
+
+func loadInstance(file, shape string, n int, seed int64) (*qon.Instance, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		var in qon.Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			return nil, err
+		}
+		return &in, nil
+	}
+	return workload.Generate(workload.Params{N: n, Shape: workload.Shape(shape), Seed: seed})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qopt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Explain: EXPLAIN-style plan trees for benchmark-shaped catalog
+// queries, for a hard-instance witness plan, and for a bushy optimum —
+// the plan-rendering face of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"approxqo/internal/bushy"
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/opt"
+	"approxqo/internal/plan"
+	"approxqo/internal/workload"
+)
+
+func main() {
+	// 1. A TPC-H-shaped catalog query, optimized exactly and explained.
+	q5, err := workload.CatalogQueryByName("tpch-q5-like")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s: %s ===\n", q5.Name, q5.Comment)
+	for i, name := range q5.RelationNames() {
+		fmt.Printf("  R%d = %s\n", i, name)
+	}
+	best, err := opt.NewDP().Optimize(q5.Instance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.ExplainQON(q5.Instance, best.Sequence))
+
+	// 2. The bushy optimum of the SSB star query.
+	ssb, err := workload.CatalogQueryByName("ssb-q41-like")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, _, err := bushy.Optimize(ssb.Instance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== %s (bushy optimum %s) ===\n", ssb.Name, tree)
+	fmt.Print(plan.ExplainBushy(ssb.Instance, tree))
+
+	// 3. A QO_H witness plan from the f_H reduction: five pipelines with
+	// their memory allocations.
+	yes := cliquered.CertifiedCliqueGraph(9, 6)
+	fh, err := core.FH(yes.G, core.FHParams{A: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	witness, err := fh.YesWitnessPlan(yes.G.MaxClique())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== f_H witness plan (Lemma 12, n=9) ===\n")
+	fmt.Print(plan.ExplainQOH(fh.QOH, witness))
+}

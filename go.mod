@@ -1,0 +1,3 @@
+module approxqo
+
+go 1.22

@@ -1,0 +1,168 @@
+// Package bushy extends the paper's left-deep QO_N model to bushy join
+// trees — the ablation the paper's conclusion invites (its hardness
+// already holds for the easier left-deep space; allowing bushy plans
+// only enlarges the search space).
+//
+// Cost model. The paper's nested-loops cost charges, per join, the
+// current intermediate's cardinality times the cheapest access path
+// into the new base relation (min_{u∈X} W[r][u]). A bushy join may
+// instead have an *intermediate* as its inner: intermediates carry no
+// access paths, so each outer tuple scans the materialized inner in
+// full. Formally, for a join node with children L and R over relation
+// sets S_L, S_R:
+//
+//	inner(R) = min_{u∈S_L} W[r][u]   if R is a leaf for base relation r
+//	inner(R) = N(S_R)                otherwise (full scan)
+//	cost(node) = cost(L) + cost(R) + N(S_L) · inner(R)
+//	N(S_L ∪ S_R) = N(S_L) · N(S_R) · ∏_{i∈S_L, j∈S_R} s_ij
+//
+// Left-deep trees reproduce the paper's C(Z) exactly, so the bushy
+// optimum is never above the left-deep optimum — an invariant the
+// tests and the A1 ablation experiment check.
+package bushy
+
+import (
+	"fmt"
+	"strings"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qon"
+)
+
+// Tree is a binary join tree: either a leaf (Relation ≥ 0) or an inner
+// node with two children.
+type Tree struct {
+	// Relation is the base relation index for leaves, −1 for joins.
+	Relation    int
+	Left, Right *Tree
+}
+
+// Leaf returns a leaf node for relation r.
+func Leaf(r int) *Tree { return &Tree{Relation: r} }
+
+// Join returns an inner node joining l (outer) and r (inner).
+func Join(l, r *Tree) *Tree { return &Tree{Relation: -1, Left: l, Right: r} }
+
+// IsLeaf reports whether t is a leaf.
+func (t *Tree) IsLeaf() bool { return t.Relation >= 0 }
+
+// Relations returns the set of base relations under t, in-order.
+func (t *Tree) Relations() []int {
+	var out []int
+	t.walk(func(leaf int) { out = append(out, leaf) })
+	return out
+}
+
+func (t *Tree) walk(fn func(int)) {
+	if t.IsLeaf() {
+		fn(t.Relation)
+		return
+	}
+	t.Left.walk(fn)
+	t.Right.walk(fn)
+}
+
+// String renders the tree in the usual infix form, e.g. "((0 ⋈ 1) ⋈ (2 ⋈ 3))".
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.render(&b)
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder) {
+	if t.IsLeaf() {
+		fmt.Fprintf(b, "%d", t.Relation)
+		return
+	}
+	b.WriteByte('(')
+	t.Left.render(b)
+	b.WriteString(" ⋈ ")
+	t.Right.render(b)
+	b.WriteByte(')')
+}
+
+// LeftDeep converts a join sequence into its left-deep tree.
+func LeftDeep(z qon.Sequence) *Tree {
+	if len(z) == 0 {
+		panic("bushy: empty sequence")
+	}
+	t := Leaf(z[0])
+	for _, v := range z[1:] {
+		t = Join(t, Leaf(v))
+	}
+	return t
+}
+
+// Cost evaluates a bushy tree against a QO_N instance under the model
+// in the package comment. It returns the total cost and the root's
+// output cardinality, and panics on malformed trees (duplicate or
+// out-of-range leaves).
+func Cost(in *qon.Instance, t *Tree) (cost, size num.Num) {
+	seen := graph.NewBitset(in.N())
+	c, s, _ := evaluate(in, t, seen)
+	return c, s
+}
+
+// evaluate returns (cost, size, relation set) of subtree t.
+func evaluate(in *qon.Instance, t *Tree, seen *graph.Bitset) (num.Num, num.Num, *graph.Bitset) {
+	if t.IsLeaf() {
+		r := t.Relation
+		if r >= in.N() {
+			panic(fmt.Sprintf("bushy: relation %d out of range", r))
+		}
+		if seen.Has(r) {
+			panic(fmt.Sprintf("bushy: relation %d appears twice", r))
+		}
+		seen.Add(r)
+		set := graph.NewBitset(in.N())
+		set.Add(r)
+		return num.Zero(), in.T[r], set
+	}
+	lc, ls, lset := evaluate(in, t.Left, seen)
+	rc, rs, rset := evaluate(in, t.Right, seen)
+
+	// Per-outer-tuple access cost into the inner side.
+	var inner num.Num
+	if t.Right.IsLeaf() {
+		inner = in.MinW(t.Right.Relation, lset)
+	} else {
+		inner = rs // full scan of the materialized intermediate
+	}
+	cost := lc.Add(rc).Add(ls.Mul(inner))
+
+	// Output size: product of the sides and all crossing selectivities.
+	size := ls.Mul(rs)
+	lset.ForEach(func(u int) {
+		rset.ForEach(func(v int) {
+			size = size.Mul(in.S[u][v])
+		})
+	})
+	lset.UnionWith(rset)
+	return cost, size, lset
+}
+
+// HasCrossProduct reports whether any join node of t lacks a predicate
+// between its two sides.
+func HasCrossProduct(in *qon.Instance, t *Tree) bool {
+	_, cross := crossCheck(in, t)
+	return cross
+}
+
+func crossCheck(in *qon.Instance, t *Tree) (*graph.Bitset, bool) {
+	if t.IsLeaf() {
+		set := graph.NewBitset(in.N())
+		set.Add(t.Relation)
+		return set, false
+	}
+	lset, lc := crossCheck(in, t.Left)
+	rset, rc := crossCheck(in, t.Right)
+	connected := false
+	lset.ForEach(func(u int) {
+		if in.Q.Neighbors(u).IntersectCount(rset) > 0 {
+			connected = true
+		}
+	})
+	lset.UnionWith(rset)
+	return lset, lc || rc || !connected
+}

@@ -1,0 +1,221 @@
+package bushy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/opt"
+	"approxqo/internal/qon"
+	"approxqo/internal/workload"
+)
+
+func instance(n int, seed int64) *qon.Instance {
+	in, err := workload.Generate(workload.Params{N: n, Shape: workload.Random, Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// closeEnough reports whether a and b agree up to 2^-200 relative error
+// — exact equality modulo 256-bit rounding, which differs across
+// multiplication associations (tree-shaped vs sequential products).
+// On the reductions' power-of-two instances everything is bit-exact;
+// float64-seeded workloads are only rounding-exact.
+func closeEnough(a, b num.Num) bool {
+	if a.Equal(b) {
+		return true
+	}
+	if a.IsZero() || b.IsZero() {
+		return false
+	}
+	hi, lo := a.Max(b), a.Min(b)
+	return hi.Div(lo).Sub(num.One()).Less(num.Pow2(-200))
+}
+
+func TestTreeBasics(t *testing.T) {
+	tr := Join(Join(Leaf(0), Leaf(1)), Leaf(2))
+	if got := tr.String(); got != "((0 ⋈ 1) ⋈ 2)" {
+		t.Errorf("String = %q", got)
+	}
+	rs := tr.Relations()
+	if len(rs) != 3 || rs[0] != 0 || rs[1] != 1 || rs[2] != 2 {
+		t.Errorf("Relations = %v", rs)
+	}
+	if !Leaf(4).IsLeaf() || tr.IsLeaf() {
+		t.Error("IsLeaf wrong")
+	}
+}
+
+// Left-deep trees must reproduce the paper's sequence cost exactly.
+func TestLeftDeepMatchesSequenceCost(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in := instance(6, seed)
+		z := qon.Sequence(rand.New(rand.NewSource(seed)).Perm(6))
+		want := in.Cost(z)
+		got, size := Cost(in, LeftDeep(z))
+		if !closeEnough(got, want) {
+			t.Errorf("seed %d: left-deep tree cost %v, sequence cost %v", seed, got, want)
+		}
+		if !closeEnough(size, in.Size(z)) {
+			t.Errorf("seed %d: size mismatch", seed)
+		}
+	}
+}
+
+func TestCostPanicsOnMalformedTrees(t *testing.T) {
+	in := instance(4, 1)
+	for _, tr := range []*Tree{
+		Join(Leaf(0), Leaf(0)), // duplicate
+		Join(Leaf(0), Leaf(9)), // out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("tree %v did not panic", tr)
+				}
+			}()
+			Cost(in, tr)
+		}()
+	}
+}
+
+func TestBushyBeatsOrMatchesLeftDeep(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in := instance(7, seed)
+		leftDeep, err := opt.NewDP().Optimize(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, cost, err := Optimize(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leftDeep.Cost.Less(cost) && !closeEnough(leftDeep.Cost, cost) {
+			t.Errorf("seed %d: bushy optimum 2^%.2f above left-deep optimum 2^%.2f",
+				seed, cost.Log2(), leftDeep.Cost.Log2())
+		}
+		// The returned tree must reproduce its claimed cost (up to the
+		// association-rounding tolerance).
+		re, _ := Cost(in, tree)
+		if !closeEnough(re, cost) {
+			t.Errorf("seed %d: tree does not reproduce DP cost", seed)
+		}
+		if got := len(tree.Relations()); got != 7 {
+			t.Errorf("seed %d: tree covers %d relations", seed, got)
+		}
+	}
+}
+
+// Brute-force reference: enumerate every bushy tree over ≤ 5 relations.
+func bruteBushy(in *qon.Instance) num.Num {
+	n := in.N()
+	full := (1 << n) - 1
+	memo := make(map[int]num.Num)
+	var best func(mask int) num.Num
+	best = func(mask int) num.Num {
+		if v, ok := memo[mask]; ok {
+			return v
+		}
+		if mask&(mask-1) == 0 {
+			memo[mask] = num.Zero()
+			return memo[mask]
+		}
+		var bv num.Num
+		first := true
+		for l := (mask - 1) & mask; l > 0; l = (l - 1) & mask {
+			r := mask &^ l
+			sizeL := maskSize(in, l)
+			var inner num.Num
+			if r&(r-1) == 0 {
+				v := trailingZeros(r)
+				lset := graph.NewBitset(in.N())
+				for u := 0; u < in.N(); u++ {
+					if l&(1<<u) != 0 {
+						lset.Add(u)
+					}
+				}
+				inner = in.MinW(v, lset)
+			} else {
+				inner = maskSize(in, r)
+			}
+			cand := best(l).Add(best(r)).Add(sizeL.Mul(inner))
+			if first || cand.Less(bv) {
+				bv, first = cand, false
+			}
+		}
+		memo[mask] = bv
+		return bv
+	}
+	return best(full)
+}
+
+func maskSize(in *qon.Instance, mask int) num.Num {
+	var vs []int
+	for v := 0; v < in.N(); v++ {
+		if mask&(1<<v) != 0 {
+			vs = append(vs, v)
+		}
+	}
+	return in.Size(vs)
+}
+
+func trailingZeros(v int) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Property: the DP matches an independent brute-force implementation.
+func TestQuickDPMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		in := instance(5, seed)
+		_, cost, err := Optimize(in)
+		if err != nil {
+			return false
+		}
+		return closeEnough(cost, bruteBushy(in))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizeCaps(t *testing.T) {
+	if _, _, err := Optimize(instance(MaxDPN+1, 2)); err == nil {
+		t.Error("oversize instance accepted")
+	}
+	tr, cost, err := Optimize(&qon.Instance{
+		Q: graph.New(1),
+		T: []num.Num{num.FromInt64(5)},
+		S: [][]num.Num{{num.One()}},
+		W: [][]num.Num{{num.FromInt64(5)}},
+	})
+	if err != nil || !cost.IsZero() || !tr.IsLeaf() {
+		t.Error("single relation mishandled")
+	}
+}
+
+func TestHasCrossProduct(t *testing.T) {
+	in, err := workload.Generate(workload.Params{N: 4, Shape: workload.Chain, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0 ⋈ 1) ⋈ (2 ⋈ 3): chain 0-1-2-3 — join of {0,1} with {2,3} has
+	// the 1–2 edge; 2 ⋈ 3 has an edge; no cross product.
+	good := Join(Join(Leaf(0), Leaf(1)), Join(Leaf(2), Leaf(3)))
+	if HasCrossProduct(in, good) {
+		t.Error("connected tree flagged")
+	}
+	// (0 ⋈ 2) has no edge on the chain.
+	bad := Join(Join(Leaf(0), Leaf(2)), Join(Leaf(1), Leaf(3)))
+	if !HasCrossProduct(in, bad) {
+		t.Error("cross product not flagged")
+	}
+}

@@ -1,0 +1,90 @@
+package bushy
+
+import (
+	"fmt"
+	"math/bits"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qon"
+)
+
+// MaxDPN caps the bushy subset DP (the split enumeration is O(3^n)).
+const MaxDPN = 15
+
+// Optimize finds an optimal bushy join tree by dynamic programming over
+// subsets (DPsub): for each relation set S, the best plan is the best
+// split S = S₁ ⊎ S₂ joined with N(S₁)·inner(S₂). Because sizes and
+// access costs are set functions (as in the left-deep case), the DP is
+// exact. Complexity O(3^n · n²); n ≤ MaxDPN.
+func Optimize(in *qon.Instance) (*Tree, num.Num, error) {
+	n := in.N()
+	if n == 0 {
+		return nil, num.Num{}, fmt.Errorf("bushy: empty instance")
+	}
+	if n > MaxDPN {
+		return nil, num.Num{}, fmt.Errorf("bushy: DP capped at n ≤ %d, got %d", MaxDPN, n)
+	}
+	if n == 1 {
+		return Leaf(0), num.Zero(), nil
+	}
+	total := 1 << n
+
+	// size[mask] = N(mask), via the same incremental trick as the
+	// left-deep DP.
+	size := make([]num.Num, total)
+	size[0] = num.One()
+	scratch := graph.NewBitset(n)
+	toBitset := func(mask int) *graph.Bitset {
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				scratch.Add(v)
+			} else {
+				scratch.Remove(v)
+			}
+		}
+		return scratch
+	}
+	for mask := 1; mask < total; mask++ {
+		low := bits.TrailingZeros(uint(mask))
+		rest := mask &^ (1 << low)
+		size[mask] = size[rest].Mul(in.ExtendFactor(low, toBitset(rest)))
+	}
+
+	dp := make([]num.Num, total)
+	split := make([]int32, total) // best left-side mask; 0 for leaves
+	for mask := 1; mask < total; mask++ {
+		if bits.OnesCount(uint(mask)) == 1 {
+			dp[mask] = num.Zero()
+			continue
+		}
+		var best num.Num
+		bestSplit := 0
+		// Enumerate proper submasks as the left (outer) side.
+		for l := (mask - 1) & mask; l > 0; l = (l - 1) & mask {
+			r := mask &^ l
+			var inner num.Num
+			if bits.OnesCount(uint(r)) == 1 {
+				v := bits.TrailingZeros(uint(r))
+				inner = in.MinW(v, toBitset(l))
+			} else {
+				inner = size[r]
+			}
+			cand := dp[l].Add(dp[r]).Add(size[l].Mul(inner))
+			if bestSplit == 0 || cand.Less(best) {
+				best, bestSplit = cand, l
+			}
+		}
+		dp[mask], split[mask] = best, int32(bestSplit)
+	}
+
+	var build func(mask int) *Tree
+	build = func(mask int) *Tree {
+		if bits.OnesCount(uint(mask)) == 1 {
+			return Leaf(bits.TrailingZeros(uint(mask)))
+		}
+		l := int(split[mask])
+		return Join(build(l), build(mask&^l))
+	}
+	return build(total - 1), dp[total-1], nil
+}

@@ -1,0 +1,188 @@
+// Package cliquered implements Lemmas 3 and 4 of the paper: polynomial
+// reductions from 3SAT to the dense-graph CLIQUE variants the hardness
+// constructions consume.
+//
+//   - Lemma 3 (→ CLIQUE): take the Garey–Johnson VERTEX-COVER graph of
+//     the formula, complement it, then augment with a complete graph on
+//     4v+3m fresh vertices connected to everything. A satisfiable
+//     formula yields a clique of exactly 5v+4m; if u clauses must fail
+//     under every assignment, the maximum clique is exactly 5v+4m−u.
+//
+//   - Lemma 4 (→ ⅔CLIQUE): same complement, augmented with
+//     n₁ = 3·(v+2m) − N fresh vertices so that the total vertex count is
+//     n = 3·(v+2m) and a satisfiable formula yields a clique of exactly
+//     (2/3)·n.
+//
+// The paper draws its constants c, d, γ, ε from the PCP machinery
+// (Theorems 1–2); here they are *computed per instance* — see DESIGN.md's
+// substitution table. Both constructions are structurally exact; the
+// quantitative clique claims are verified against exact maximum-clique
+// search in the tests.
+package cliquered
+
+import (
+	"fmt"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/sat"
+	"approxqo/internal/vc"
+)
+
+// Instance is a CLIQUE-variant instance produced from a formula, with
+// the clique sizes the reduction promises.
+type Instance struct {
+	G *graph.Graph
+	// vcRed retains the underlying VERTEX-COVER reduction so that a
+	// satisfying assignment can be turned into an explicit clique
+	// witness (WitnessClique).
+	vcRed *vc.Reduction
+	// augStart is the index of the first augmentation vertex.
+	augStart int
+	// CliqueIfSat is the maximum clique size exactly when the source
+	// formula is satisfiable.
+	CliqueIfSat int
+	// CliqueIfUnsatMax is a strict upper bound on the maximum clique
+	// size when the source formula is unsatisfiable (CliqueIfSat − 1; the
+	// gap widens by one per clause that must fail).
+	CliqueIfUnsatMax int
+	// SourceVars and SourceClauses describe the source formula.
+	SourceVars, SourceClauses int
+	// C is the instance's ratio CliqueIfSat / n — the paper's constant c
+	// (Lemma 3) or exactly 2/3 (Lemma 4).
+	C float64
+	// TwoThirds marks Lemma 4 instances (CliqueIfSat == 2n/3 exactly).
+	TwoThirds bool
+}
+
+// Lemma3 reduces a 3-CNF formula to a CLIQUE instance.
+func Lemma3(f *sat.Formula) (*Instance, error) {
+	r, err := vc.FromFormula(f)
+	if err != nil {
+		return nil, err
+	}
+	v, m := f.NumVars, f.NumClauses()
+	comp := r.G.Complement()
+	aug := comp.AugmentWithClique(4*v + 3*m)
+	inst := &Instance{
+		G:                aug,
+		vcRed:            r,
+		augStart:         comp.N(),
+		CliqueIfSat:      5*v + 4*m,
+		CliqueIfUnsatMax: 5*v + 4*m - 1,
+		SourceVars:       v,
+		SourceClauses:    m,
+	}
+	inst.C = float64(inst.CliqueIfSat) / float64(aug.N())
+	return inst, nil
+}
+
+// Lemma4 reduces a 3-CNF formula to a ⅔CLIQUE instance: the constructed
+// graph has n = 3(v+2m) vertices and a clique of exactly 2n/3 iff the
+// formula is satisfiable.
+func Lemma4(f *sat.Formula) (*Instance, error) {
+	r, err := vc.FromFormula(f)
+	if err != nil {
+		return nil, err
+	}
+	v, m := f.NumVars, f.NumClauses()
+	coverIfSat := v + 2*m // γ·N in the paper's notation
+	bigN := r.G.N()       // 2v + 3m
+	n1 := 3*coverIfSat - bigN
+	if n1 < 0 {
+		return nil, fmt.Errorf("cliquered: negative augmentation %d (v=%d, m=%d)", n1, v, m)
+	}
+	comp := r.G.Complement()
+	aug := comp.AugmentWithClique(n1)
+	n := aug.N()
+	if n != 3*coverIfSat {
+		return nil, fmt.Errorf("cliquered: internal size mismatch n=%d, want %d", n, 3*coverIfSat)
+	}
+	inst := &Instance{
+		G:                aug,
+		vcRed:            r,
+		augStart:         comp.N(),
+		CliqueIfSat:      2 * n / 3,
+		CliqueIfUnsatMax: 2*n/3 - 1,
+		SourceVars:       v,
+		SourceClauses:    m,
+		C:                2.0 / 3.0,
+		TwoThirds:        true,
+	}
+	return inst, nil
+}
+
+// WitnessClique turns a satisfying assignment of the source formula
+// into an explicit clique of size CliqueIfSat in the constructed graph:
+// the complement of the assignment's vertex cover (an independent set
+// of the VC graph, hence a clique of the complement) plus every
+// augmentation vertex.
+func (inst *Instance) WitnessClique(f *sat.Formula, model sat.Assignment) ([]int, error) {
+	if inst.vcRed == nil {
+		return nil, fmt.Errorf("cliquered: instance lacks reduction bookkeeping")
+	}
+	cover := inst.vcRed.CoverFromAssignment(f, model)
+	inCover := make([]bool, inst.vcRed.G.N())
+	for _, v := range cover {
+		inCover[v] = true
+	}
+	var clique []int
+	for v := 0; v < inst.vcRed.G.N(); v++ {
+		if !inCover[v] {
+			clique = append(clique, v)
+		}
+	}
+	for v := inst.augStart; v < inst.G.N(); v++ {
+		clique = append(clique, v)
+	}
+	if len(clique) != inst.CliqueIfSat {
+		return nil, fmt.Errorf("cliquered: witness clique has %d vertices, want %d", len(clique), inst.CliqueIfSat)
+	}
+	if !inst.G.IsClique(clique) {
+		return nil, fmt.Errorf("cliquered: witness set is not a clique")
+	}
+	return clique, nil
+}
+
+// Certified is a graph with a clique number known by construction, used
+// by the scaling experiments at sizes where exact clique search would be
+// the bottleneck (see DESIGN.md §4.3).
+type Certified struct {
+	G *graph.Graph
+	// Omega is the exact clique number, guaranteed by construction
+	// (complete multipartite: ω = number of parts).
+	Omega int
+}
+
+// CertifiedCliqueGraph returns a dense graph on n vertices whose clique
+// number is exactly omega: the complete multipartite graph with omega
+// balanced parts. Its minimum degree is n − ⌈n/omega⌉, matching the
+// paper's dense-CLIQUE regime when omega ≥ n/14.
+func CertifiedCliqueGraph(n, omega int) Certified {
+	if omega < 1 || omega > n {
+		panic(fmt.Sprintf("cliquered: need 1 ≤ omega ≤ n, got omega=%d n=%d", omega, n))
+	}
+	g := graph.CompleteMultipartite(graph.BalancedParts(n, omega))
+	return Certified{G: g, Omega: omega}
+}
+
+// YesNoPair returns a matched pair of certified dense graphs on n
+// vertices: a YES graph with ω = ⌈c·n⌉ and a NO graph with
+// ω = ⌊(c−d)·n⌋, the two sides of the CLIQUE promise problem that f_N
+// and f_H translate into a cost gap.
+func YesNoPair(n int, c, d float64) (yes, no Certified) {
+	if !(c > 0 && d > 0 && c <= 1 && c-d > 0) {
+		panic(fmt.Sprintf("cliquered: invalid constants c=%v d=%v", c, d))
+	}
+	wYes := int(c * float64(n))
+	if wYes < 1 {
+		wYes = 1
+	}
+	if wYes > n {
+		wYes = n
+	}
+	wNo := int((c - d) * float64(n))
+	if wNo < 1 {
+		wNo = 1
+	}
+	return CertifiedCliqueGraph(n, wYes), CertifiedCliqueGraph(n, wNo)
+}

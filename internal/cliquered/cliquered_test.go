@@ -1,0 +1,163 @@
+package cliquered
+
+import (
+	"testing"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/sat"
+)
+
+// smallFormulas yields a deterministic mix of satisfiable and
+// unsatisfiable 3-CNF formulas small enough for exact clique search on
+// the constructed graphs.
+func smallFormulas() []*sat.Formula {
+	var fs []*sat.Formula
+	// Hand-built satisfiable.
+	f1 := sat.New(3)
+	f1.AddClause(1, 2, 3)
+	f1.AddClause(-1, 2)
+	fs = append(fs, f1)
+	// Hand-built unsatisfiable: (x1)(¬x1).
+	f2 := sat.New(2)
+	f2.AddClause(1)
+	f2.AddClause(-1)
+	f2.AddClause(2)
+	fs = append(fs, f2)
+	// Random small ones.
+	for seed := int64(0); seed < 4; seed++ {
+		fs = append(fs, sat.Random3SAT(3, 5, seed))
+	}
+	return fs
+}
+
+func TestLemma3Correctness(t *testing.T) {
+	for i, f := range smallFormulas() {
+		inst, err := Lemma3(f)
+		if err != nil {
+			t.Fatalf("formula %d: %v", i, err)
+		}
+		v, m := f.NumVars, f.NumClauses()
+		if inst.G.N() != 6*v+6*m {
+			t.Fatalf("formula %d: n = %d, want %d", i, inst.G.N(), 6*v+6*m)
+		}
+		omega := inst.G.CliqueNumber()
+		if sat.Satisfiable(f) {
+			if omega != inst.CliqueIfSat {
+				t.Errorf("formula %d (SAT): ω = %d, want %d", i, omega, inst.CliqueIfSat)
+			}
+		} else {
+			if omega > inst.CliqueIfUnsatMax {
+				t.Errorf("formula %d (UNSAT): ω = %d, want ≤ %d", i, omega, inst.CliqueIfUnsatMax)
+			}
+			// Quantitative form: ω = 5v+4m − (clauses that must fail).
+			best, _ := sat.MaxSat(f)
+			want := 5*v + 4*m - (m - best)
+			if omega != want {
+				t.Errorf("formula %d (UNSAT): ω = %d, want %d", i, omega, want)
+			}
+		}
+		if inst.C <= 0.5 {
+			t.Errorf("formula %d: c = %v, want > 1/2 (paper Lemma 3 claim)", i, inst.C)
+		}
+	}
+}
+
+func TestLemma4Correctness(t *testing.T) {
+	for i, f := range smallFormulas() {
+		inst, err := Lemma4(f)
+		if err != nil {
+			t.Fatalf("formula %d: %v", i, err)
+		}
+		n := inst.G.N()
+		if n%3 != 0 {
+			t.Fatalf("formula %d: n = %d not divisible by 3", i, n)
+		}
+		if inst.CliqueIfSat != 2*n/3 || !inst.TwoThirds {
+			t.Fatalf("formula %d: CliqueIfSat = %d, want 2n/3 = %d", i, inst.CliqueIfSat, 2*n/3)
+		}
+		omega := inst.G.CliqueNumber()
+		if sat.Satisfiable(f) {
+			if omega != 2*n/3 {
+				t.Errorf("formula %d (SAT): ω = %d, want %d", i, omega, 2*n/3)
+			}
+		} else if omega >= 2*n/3 {
+			t.Errorf("formula %d (UNSAT): ω = %d, want < %d", i, omega, 2*n/3)
+		}
+	}
+}
+
+func TestLemma3MinDegreeDense(t *testing.T) {
+	// 3SAT(13)-style bounded occurrences keep the constructed graph
+	// dense: min degree ≥ n − 15 for 13-bounded source formulas.
+	f := sat.Bound13(sat.Random3SAT(4, 20, 2))
+	inst, err := Lemma3(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := inst.G.N()
+	if md := inst.G.MinDegree(); md < n-15 {
+		t.Errorf("min degree = %d, want ≥ n−15 = %d", md, n-15)
+	}
+}
+
+func TestCertifiedCliqueGraph(t *testing.T) {
+	for _, tc := range []struct{ n, omega int }{{6, 2}, {9, 3}, {10, 7}, {12, 12}} {
+		c := CertifiedCliqueGraph(tc.n, tc.omega)
+		if got := c.G.CliqueNumber(); got != tc.omega {
+			t.Errorf("CertifiedCliqueGraph(%d, %d): ω = %d", tc.n, tc.omega, got)
+		}
+		if c.Omega != tc.omega {
+			t.Errorf("recorded Omega = %d, want %d", c.Omega, tc.omega)
+		}
+	}
+}
+
+func TestYesNoPair(t *testing.T) {
+	yes, no := YesNoPair(12, 0.75, 0.25)
+	if yes.Omega != 9 || no.Omega != 6 {
+		t.Fatalf("YesNoPair omegas = %d, %d; want 9, 6", yes.Omega, no.Omega)
+	}
+	if got := yes.G.CliqueNumber(); got != 9 {
+		t.Errorf("yes graph ω = %d, want 9", got)
+	}
+	if got := no.G.CliqueNumber(); got != 6 {
+		t.Errorf("no graph ω = %d, want 6", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid constants did not panic")
+		}
+	}()
+	YesNoPair(10, 0.3, 0.5)
+}
+
+func TestWitnessClique(t *testing.T) {
+	f := sat.New(3)
+	f.AddClause(1, 2, 3)
+	f.AddClause(-1, 2)
+	ok, model := sat.Solve(f)
+	if !ok {
+		t.Fatal("formula should be satisfiable")
+	}
+	for _, mk := range []func(*sat.Formula) (*Instance, error){Lemma3, Lemma4} {
+		inst, err := mk(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clique, err := inst.WitnessClique(f, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(clique) != inst.CliqueIfSat {
+			t.Errorf("witness clique size %d, want %d", len(clique), inst.CliqueIfSat)
+		}
+		if !inst.G.IsClique(clique) {
+			t.Error("witness set is not a clique")
+		}
+	}
+	// An instance without reduction bookkeeping is rejected.
+	bare := &Instance{G: graph.Complete(3)}
+	if _, err := bare.WitnessClique(f, model); err == nil {
+		t.Error("bare instance accepted")
+	}
+}

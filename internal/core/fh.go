@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qoh"
+)
+
+// FHParams parameterizes the f_H reduction.
+type FHParams struct {
+	// A = log₂ α; the paper uses α = Ω(4^n). A·(n−1) must be even so the
+	// relation size t = α^{(n−1)/2} is an exact power of two.
+	A int64
+	// Psi is the hjmin exponent (0 means qoh.DefaultPsi).
+	Psi float64
+	// T0Power is the exponent of the outermost relation's size,
+	// t₀ = (n·t)^T0Power. The paper uses Θ((nt)^{12}); any power ≥ 3
+	// with ψ = ½ already forces hjmin(t₀) > M. Zero means 12.
+	T0Power int64
+}
+
+func (p FHParams) t0Power() int64 {
+	if p.T0Power == 0 {
+		return 12
+	}
+	return p.T0Power
+}
+
+// FHInstance is the output of the f_H reduction: a QO_H instance plus
+// the quantities Theorem 15 reasons about. Vertex 0 of the QO_H query
+// graph is the new relation R₀; source vertex i maps to vertex i+1.
+type FHInstance struct {
+	QOH    *qoh.Instance
+	Params FHParams
+	// NSource is n, the source ⅔CLIQUE graph's vertex count (the QO_H
+	// instance has n+1 relations). Divisible by 3.
+	NSource int
+	// Alpha = 2^A, T = α^{(n−1)/2}, T0 = (n·t)^{T0Power} rounded to a
+	// power of two, M = (n/3 − 1)·t + 2·hjmin(t).
+	Alpha, T, T0, M num.Num
+	// L is L(α,n) = t₀·α^{n²/9}: Theorem 15's YES upper bound (up to
+	// the constant the O(·) hides).
+	L num.Num
+}
+
+// FH applies the f_H reduction of §5 to a ⅔CLIQUE graph g (whose vertex
+// count must be divisible by 3): add an outermost relation R₀ joined to
+// every source relation with selectivity ½, give source edges
+// selectivity 1/α, size every source relation t = α^{(n−1)/2}, make R₀
+// too large to ever be a hash-join inner, and set the pipeline memory to
+// (n/3 − 1)·t + 2·hjmin(t).
+func FH(g *graph.Graph, params FHParams) (*FHInstance, error) {
+	n := g.N()
+	if n < 3 || n%3 != 0 {
+		return nil, fmt.Errorf("core: f_H needs n divisible by 3, got %d", n)
+	}
+	if params.A < 1 {
+		return nil, fmt.Errorf("core: need A ≥ 1, got %d", params.A)
+	}
+	if params.A*int64(n-1)%2 != 0 {
+		return nil, fmt.Errorf("core: A·(n−1) = %d must be even for an exact t", params.A*int64(n-1))
+	}
+	psi := params.Psi
+	if psi == 0 {
+		psi = qoh.DefaultPsi
+	}
+	if psi <= 0 || psi >= 1 {
+		return nil, fmt.Errorf("core: psi = %v outside (0,1)", psi)
+	}
+
+	alpha := num.Pow2(params.A)
+	t := num.Pow2(params.A * int64(n-1) / 2)
+
+	// Query graph: vertex 0 is R₀, wired to every source vertex.
+	q := graph.New(n + 1)
+	for v := 0; v < n; v++ {
+		q.AddEdge(0, v+1)
+	}
+	for _, e := range g.Edges() {
+		q.AddEdge(e[0]+1, e[1]+1)
+	}
+
+	// t₀ = (n·t)^power, rounded up to a power of two so every quantity
+	// stays exact. The only property the reduction needs is
+	// hjmin(t₀) > M, which the rounding preserves.
+	nt := num.FromInt64(int64(n)).Mul(t)
+	t0 := roundUpPow2(nt.Pow(params.t0Power()))
+
+	hjminT := qoh.HJMin(t, psi)
+	mem := num.FromInt64(int64(n/3 - 1)).Mul(t).Add(hjminT.MulInt64(2))
+
+	inst := &qoh.Instance{
+		Q:   q,
+		T:   make([]num.Num, n+1),
+		S:   make([][]num.Num, n+1),
+		M:   mem,
+		Psi: psi,
+	}
+	inst.T[0] = t0
+	for v := 1; v <= n; v++ {
+		inst.T[v] = t
+	}
+	one := num.One()
+	half := num.Pow2(-1)
+	invAlpha := alpha.Inv()
+	for i := 0; i <= n; i++ {
+		inst.S[i] = make([]num.Num, n+1)
+		for j := 0; j <= n; j++ {
+			switch {
+			case i == j:
+				inst.S[i][j] = one
+			case i == 0 || j == 0:
+				inst.S[i][j] = half
+			case g.HasEdge(i-1, j-1):
+				inst.S[i][j] = invAlpha
+			default:
+				inst.S[i][j] = one
+			}
+		}
+	}
+
+	fh := &FHInstance{
+		QOH:     inst,
+		Params:  params,
+		NSource: n,
+		Alpha:   alpha,
+		T:       t,
+		T0:      t0,
+		M:       mem,
+	}
+	fh.L = t0.Mul(alpha.Pow(int64(n) * int64(n) / 9))
+
+	// The forcing property: R₀ must be outermost.
+	if !mem.Less(qoh.HJMin(t0, psi)) {
+		return nil, fmt.Errorf("core: t₀ too small — hjmin(t₀) = %v must exceed M = %v", qoh.HJMin(t0, psi), mem)
+	}
+	return fh, nil
+}
+
+// roundUpPow2 returns the smallest power of two ≥ v.
+func roundUpPow2(v num.Num) num.Num {
+	exp := int64(v.Log2())
+	p := num.Pow2(exp)
+	for p.Less(v) {
+		exp++
+		p = num.Pow2(exp)
+	}
+	return p
+}
+
+// GBound returns G(α,n) = t₀·α^{n²/9 + nε/3 − 1} expressed through the
+// NO promise: for a NO graph whose largest clique has omegaNo vertices,
+// nε/3 = 2n/3 − omegaNo (Lemma 13's bound on N_{2n/3}).
+func (fh *FHInstance) GBound(omegaNo int) num.Num {
+	n := fh.NSource
+	epsTerm := int64(2*n/3 - omegaNo)
+	return fh.T0.Mul(fh.Alpha.Pow(int64(n)*int64(n)/9 + epsTerm - 1))
+}
+
+// YesWitnessPlan builds the Lemma 12 witness for a YES graph: the
+// sequence (R₀, clique of 2n/3 source vertices, the rest) decomposed
+// into the five pipelines P(1,1), P(2,n/3), P(n/3+1,2n/3),
+// P(2n/3+1,n−1), P(n,n), each with its optimal memory allocation.
+// The clique is given in source-vertex labels.
+func (fh *FHInstance) YesWitnessPlan(clique []int) (*qoh.Plan, error) {
+	n := fh.NSource
+	if len(clique) < 2*n/3 {
+		return nil, fmt.Errorf("core: witness clique has %d vertices, need ≥ %d", len(clique), 2*n/3)
+	}
+	z := fh.WitnessSequence(clique)
+	var breaks []int
+	if n >= 6 {
+		breaks = []int{1, n / 3, 2 * n / 3}
+		if n-1 > 2*n/3 {
+			breaks = append(breaks, n-1)
+		}
+		if breaks[len(breaks)-1] != n {
+			breaks = append(breaks, n)
+		}
+	} else {
+		breaks = []int{n}
+	}
+	return fh.QOH.CostDecomposition(z, breaks)
+}
+
+// WitnessSequence orders the QO_H relations as R₀, then the first 2n/3
+// clique vertices, then the remaining source vertices (source labels are
+// shifted by one).
+func (fh *FHInstance) WitnessSequence(clique []int) []int {
+	n := fh.NSource
+	z := make([]int, 0, n+1)
+	z = append(z, 0)
+	used := make([]bool, n+1)
+	used[0] = true
+	limit := 2 * n / 3
+	for _, v := range clique {
+		if len(z) == limit+1 {
+			break
+		}
+		z = append(z, v+1)
+		used[v+1] = true
+	}
+	for v := 1; v <= n; v++ {
+		if !used[v] {
+			z = append(z, v)
+		}
+	}
+	return z
+}

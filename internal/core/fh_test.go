@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+)
+
+// yes6 is a certified ⅔CLIQUE YES graph on 6 vertices (ω = 4 = 2n/3) and
+// no6 a NO graph (ω = 3).
+func pair6() (yes, no cliquered.Certified) {
+	return cliquered.CertifiedCliqueGraph(6, 4), cliquered.CertifiedCliqueGraph(6, 3)
+}
+
+func TestFHConstruction(t *testing.T) {
+	yes, _ := pair6()
+	fh, err := FH(yes.G, FHParams{A: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.QOH.Validate(); err != nil {
+		t.Fatalf("constructed instance invalid: %v", err)
+	}
+	if fh.QOH.N() != 7 {
+		t.Fatalf("relation count = %d, want 7", fh.QOH.N())
+	}
+	// t = α^{(n−1)/2} = 2^{4·5/2} = 2^10.
+	if got := fh.T.Log2(); got != 10 {
+		t.Errorf("log₂ t = %v, want 10", got)
+	}
+	// v₀ wired to every source relation.
+	for v := 1; v <= 6; v++ {
+		if !fh.QOH.Q.HasEdge(0, v) {
+			t.Errorf("missing edge v₀–%d", v)
+		}
+	}
+	// L = t₀·α^{n²/9} = t₀·α⁴.
+	if got, want := fh.L.Log2(), fh.T0.Log2()+16; got != want {
+		t.Errorf("log₂ L = %v, want %v", got, want)
+	}
+	// The forcing property: only R₀ can start a feasible sequence.
+	if !fh.QOH.FeasibleStart(0) {
+		t.Error("R₀ not a feasible start")
+	}
+	for v := 1; v <= 6; v++ {
+		if fh.QOH.FeasibleStart(v) {
+			t.Errorf("relation %d should be infeasible as a start (R₀ cannot be an inner)", v)
+		}
+	}
+}
+
+func TestFHRejects(t *testing.T) {
+	if _, err := FH(graph.Complete(5), FHParams{A: 4}); err == nil {
+		t.Error("n not divisible by 3 accepted")
+	}
+	if _, err := FH(graph.Complete(6), FHParams{A: 3}); err == nil {
+		t.Error("odd A·(n−1) accepted")
+	}
+	if _, err := FH(graph.Complete(6), FHParams{A: 0}); err == nil {
+		t.Error("A = 0 accepted")
+	}
+	if _, err := FH(graph.Complete(6), FHParams{A: 4, Psi: 1.5}); err == nil {
+		t.Error("psi out of range accepted")
+	}
+}
+
+func TestFHWitnessPlan(t *testing.T) {
+	yes, _ := pair6()
+	fh, err := FH(yes.G, FHParams{A: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clique := yes.G.MaxClique()
+	plan, err := fh.YesWitnessPlan(clique)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five pipelines: P(1,1), P(2,2), P(3,4), P(5,5), P(6,6) for n=6.
+	if len(plan.Breaks) != 5 {
+		t.Errorf("witness plan has %d pipelines, want 5 (%v)", len(plan.Breaks), plan.Breaks)
+	}
+	if plan.Z[0] != 0 {
+		t.Error("witness sequence does not start with R₀")
+	}
+	// Lemma 12: cost = O(L). The constant is small at this scale.
+	if fh.L.MulInt64(16).Less(plan.Cost) {
+		t.Errorf("witness cost 2^%.1f not O(L) (L = 2^%.1f)", plan.Cost.Log2(), fh.L.Log2())
+	}
+	if _, err := fh.YesWitnessPlan(clique[:2]); err == nil {
+		t.Error("undersized clique accepted")
+	}
+}
+
+// The Theorem 15 gap at exhaustively-certifiable scale: exact QO_H
+// optima of a YES/NO pair straddle the YES witness bound and stay
+// ordered. At n=6 the promise gap ε·n/3 = 1 is the smallest nontrivial
+// one; larger n are exercised by the experiment harness.
+func TestTheorem15GapExact(t *testing.T) {
+	yes, no := pair6()
+	fhYes, err := FH(yes.G, FHParams{A: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fhNo, err := FH(no.G, FHParams{A: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yesBest, err := fhYes.QOH.ExactBest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noBest, err := fhNo.QOH.ExactBest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both optima start with R₀ (feasibility forcing).
+	if yesBest.Z[0] != 0 || noBest.Z[0] != 0 {
+		t.Fatalf("optimal sequences do not start with R₀: %v / %v", yesBest.Z, noBest.Z)
+	}
+	// Gap direction: the NO optimum is strictly costlier.
+	if noBest.Cost.LessEq(yesBest.Cost) {
+		t.Errorf("no gap: NO optimum 2^%.1f ≤ YES optimum 2^%.1f",
+			noBest.Cost.Log2(), yesBest.Cost.Log2())
+	}
+	// The NO optimum exceeds G(α,n) up to its Ω(·) constant; check the
+	// certified ordering NoBest ≥ GBound/α as a conservative form.
+	gb := fhNo.GBound(no.Omega)
+	if noBest.Cost.Mul(fhNo.Alpha).Less(gb) {
+		t.Errorf("NO optimum 2^%.1f far below G bound 2^%.1f", noBest.Cost.Log2(), gb.Log2())
+	}
+	// The witness plan is an upper bound for the YES optimum.
+	plan, err := fhYes.YesWitnessPlan(yes.G.MaxClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost.Less(yesBest.Cost) {
+		t.Error("witness plan beats the exhaustive optimum")
+	}
+}
+
+// Lemma 11: along the witness sequence of a YES instance, the five cut
+// sizes N₁, N_{n/3}, N_{2n/3}, N_{n−1}, N_n are all O(L).
+func TestLemma11CutSizes(t *testing.T) {
+	yes := cliquered.CertifiedCliqueGraph(9, 6) // n = 9, ω = 6 = 2n/3
+	fh, err := FH(yes.G, FHParams{A: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := fh.WitnessSequence(yes.G.MaxClique())
+	sizes := fh.QOH.Sizes(z)
+	n := fh.NSource
+	bound := fh.L.MulInt64(4)
+	for _, cut := range []int{1, n / 3, 2 * n / 3, n - 1, n} {
+		if bound.Less(sizes[cut]) {
+			t.Errorf("N_%d = 2^%.1f exceeds O(L) = 2^%.1f", cut, sizes[cut].Log2(), bound.Log2())
+		}
+	}
+}
+
+// Lemma 13: for a NO instance, every feasible sequence has
+// N_{n/3+j} = Ω(G) for 1 ≤ j ≤ n/3 — spot-check across sampled orders.
+func TestLemma13MiddleSizesSampled(t *testing.T) {
+	no := cliquered.CertifiedCliqueGraph(9, 5) // ω = 5 < (2−ε)·9/3
+	fh, err := FH(no.G, FHParams{A: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := fh.GBound(no.Omega)
+	n := fh.NSource
+	// Try the adversary's best shot: greedy-clique-first orders and a few
+	// rotations.
+	clique := no.G.MaxClique()
+	for shift := 0; shift < 3; shift++ {
+		rotated := append(append([]int(nil), clique[shift:]...), clique[:shift]...)
+		z := fh.WitnessSequence(rotated)
+		sizes := fh.QOH.Sizes(z)
+		for j := 1; j <= n/3; j++ {
+			// Ω(·) tolerance: one factor of α.
+			if sizes[n/3+j].Mul(fh.Alpha).Less(gb) {
+				t.Errorf("shift %d: N_%d = 2^%.1f below Ω(G) = 2^%.1f",
+					shift, n/3+j, sizes[n/3+j].Log2(), gb.Log2())
+			}
+		}
+	}
+}
+
+func TestRoundUpPow2(t *testing.T) {
+	cases := []struct{ in, want int64 }{{1, 1}, {2, 2}, {3, 4}, {1000, 1024}, {1024, 1024}}
+	for _, tc := range cases {
+		got, ok := roundUpPow2(num.FromInt64(tc.in)).Int64()
+		if !ok || got != tc.want {
+			t.Errorf("roundUpPow2(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

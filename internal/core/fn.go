@@ -1,0 +1,156 @@
+// Package core implements the paper's primary contribution: the
+// hardness reductions f_N (CLIQUE → QO_N, §4), f_H (⅔CLIQUE → QO_H, §5),
+// their sparse-query-graph variants f_{N,e} and f_{H,e} (§6), and the
+// end-to-end Theorem 9/15/16/17 pipelines from 3SAT, together with gap
+// certificates that record the promised versus measured costs.
+//
+// Parameterization. The paper's selectivity base is α = Ω(4^{n^{1/δ}});
+// all constructed quantities are powers of α. We parameterize by
+// A = log₂ α, keeping every quantity an exact power of two (see
+// DESIGN.md's substitution table), and express the paper's constants
+// c and d through the integers ωYes = c·n and ωNo = (c−d)·n — the two
+// sides of the CLIQUE promise.
+package core
+
+import (
+	"fmt"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qon"
+)
+
+// FNParams parameterizes the f_N reduction.
+type FNParams struct {
+	// A = log₂ α. The paper uses α = 4^{n^{1/δ}}; Theorem 9's gap factor
+	// is α^{Θ(n)}, so any A ≥ 2 exhibits the gap and larger A widens it.
+	A int64
+	// OmegaYes and OmegaNo are c·n and (c−d)·n: YES instances promise a
+	// clique of at least OmegaYes, NO instances promise every clique is
+	// at most OmegaNo.
+	OmegaYes, OmegaNo int
+}
+
+func (p FNParams) validate(n int) error {
+	if p.A < 1 {
+		return fmt.Errorf("core: need A ≥ 1, got %d", p.A)
+	}
+	if !(0 < p.OmegaNo && p.OmegaNo < p.OmegaYes && p.OmegaYes <= n) {
+		return fmt.Errorf("core: need 0 < OmegaNo < OmegaYes ≤ n, got %d, %d, n=%d", p.OmegaNo, p.OmegaYes, n)
+	}
+	return nil
+}
+
+// FNInstance is the output of the f_N reduction: a QO_N instance plus
+// the quantities Theorem 9 reasons about.
+type FNInstance struct {
+	QON *qon.Instance
+	// Params echoes the reduction parameters.
+	Params FNParams
+	// Alpha = 2^A, T = α^Peak (relation size), W = T/α (edge access cost).
+	Alpha, T, W num.Num
+	// Peak is (c−d/2)·n = ⌈(OmegaYes+OmegaNo)/2⌉ — the position where
+	// the per-join cost profile H_i of a clique-first sequence peaks
+	// (Lemma 6).
+	Peak int
+	// K is K_{c,d}(α,n) = w·α^{Peak(Peak+1)/2 + 1}: Theorem 9's YES
+	// upper bound on the optimal cost.
+	K num.Num
+	// NoLowerBound is K·α^{Peak − OmegaNo − 1} — Lemma 8's lower bound
+	// on every join sequence of a NO instance. With the paper's
+	// parameters (Peak = (c−d/2)n, OmegaNo = (c−d)n) the exponent is
+	// (d/2)n − 1, exactly the paper's K·α^{(d/2)n−1}. The promised gap
+	// is strict only when OmegaYes − OmegaNo ≥ 3.
+	NoLowerBound num.Num
+}
+
+// FN applies the f_N reduction of §4 to a graph g. The query graph is g
+// itself; every relation has size t = α^{(c−d/2)n}, every edge has
+// selectivity 1/α and access cost w = t/α, and non-edges follow the
+// QO_N conventions (selectivity 1, access cost t).
+func FN(g *graph.Graph, params FNParams) (*FNInstance, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, fmt.Errorf("core: f_N needs at least two vertices, got %d", n)
+	}
+	if err := params.validate(n); err != nil {
+		return nil, err
+	}
+	peak := (params.OmegaYes + params.OmegaNo + 1) / 2 // ⌈(ωYes+ωNo)/2⌉
+	alpha := num.Pow2(params.A)
+	t := num.Pow2(params.A * int64(peak))
+	w := num.Pow2(params.A * int64(peak-1))
+
+	inst := &FNInstance{
+		QON:    qon.NewUniform(g, t, alpha.Inv(), w),
+		Params: params,
+		Alpha:  alpha,
+		T:      t,
+		W:      w,
+		Peak:   peak,
+	}
+	// K = w·α^{peak(peak+1)/2 + 1}.
+	inst.K = w.Mul(alpha.Pow(int64(peak)*int64(peak+1)/2 + 1))
+	// Lemma 8: every NO sequence has H_peak ≥ w·α^{peak(peak+1)/2 +
+	// (peak − ωNo)} = K·α^{peak − ωNo − 1} (Lemma 7 bounds the prefix
+	// edge count D_peak through the clique promise).
+	inst.NoLowerBound = inst.K.Mul(alpha.Pow(int64(peak - params.OmegaNo - 1)))
+	return inst, nil
+}
+
+// CliqueFirst builds the Lemma 6 witness sequence: the clique vertices
+// first (any order), then the remaining vertices appended so that each
+// new vertex is adjacent to the prefix whenever the graph allows it
+// (avoiding cartesian products on connected graphs).
+func CliqueFirst(g *graph.Graph, clique []int) qon.Sequence {
+	n := g.N()
+	seq := make(qon.Sequence, 0, n)
+	inPrefix := graph.NewBitset(n)
+	for _, v := range clique {
+		seq = append(seq, v)
+		inPrefix.Add(v)
+	}
+	remaining := graph.NewBitset(n)
+	for v := 0; v < n; v++ {
+		if !inPrefix.Has(v) {
+			remaining.Add(v)
+		}
+	}
+	for !remaining.IsEmpty() {
+		// Prefer a remaining vertex adjacent to the prefix.
+		pick := -1
+		remaining.ForEach(func(v int) {
+			if pick < 0 && g.Neighbors(v).IntersectCount(inPrefix) > 0 {
+				pick = v
+			}
+		})
+		if pick < 0 {
+			pick = remaining.First() // disconnected: cartesian product unavoidable
+		}
+		seq = append(seq, pick)
+		inPrefix.Add(pick)
+		remaining.Remove(pick)
+	}
+	return seq
+}
+
+// YesWitnessCost evaluates the clique-first sequence for a YES graph
+// whose clique (of size ≥ OmegaYes) is supplied, returning the sequence
+// and its cost — the quantity Lemma 6 bounds by K.
+func (fi *FNInstance) YesWitnessCost(clique []int) (qon.Sequence, num.Num, error) {
+	if len(clique) < fi.Params.OmegaYes {
+		return nil, num.Num{}, fmt.Errorf("core: witness clique has %d vertices, promise needs ≥ %d", len(clique), fi.Params.OmegaYes)
+	}
+	if !fi.QON.Q.IsClique(clique) {
+		return nil, num.Num{}, fmt.Errorf("core: witness vertex set is not a clique")
+	}
+	z := CliqueFirst(fi.QON.Q, clique)
+	return z, fi.QON.Cost(z), nil
+}
+
+// ProfileH returns the per-join cost profile H_1..H_{n−1} of a sequence
+// — the series Lemmas 5 and 6 analyse (geometric rise to position Peak,
+// then decay).
+func (fi *FNInstance) ProfileH(z qon.Sequence) []num.Num {
+	return fi.QON.Evaluate(z).H
+}

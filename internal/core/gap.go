@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"approxqo/internal/num"
+)
+
+// GapCertificate records, for one YES/NO instance pair of a hardness
+// reduction, the costs the theorem promises and the costs actually
+// measured on the constructed instances. The experiments assert the
+// *shape* of the theorem: YesMeasured ≤ YesBound < NoBound ≤ every
+// observed NO cost, with log₂(NoBound/YesBound) growing as Θ(n·log α).
+type GapCertificate struct {
+	// Name identifies the experiment (e.g. "Theorem 9, n=24").
+	Name string
+	// YesBound is the promised upper bound on the YES optimum
+	// (K_{c,d}(α,n) for f_N, L(α,n)-scale for f_H).
+	YesBound num.Num
+	// NoBound is the promised lower bound on every NO plan.
+	NoBound num.Num
+	// YesMeasured is the cost of the constructed YES witness plan.
+	YesMeasured num.Num
+	// NoMeasured is the cheapest NO plan found (exact when small enough
+	// to enumerate, otherwise the best of the optimizer ensemble —
+	// an upper bound on the NO optimum, itself ≥ NoBound by the theorem).
+	NoMeasured num.Num
+	// NoExact reports whether NoMeasured is the exact NO optimum.
+	NoExact bool
+}
+
+// GapLog2 returns log₂(NoMeasured / YesMeasured), the measured
+// hardness gap.
+func (g *GapCertificate) GapLog2() float64 {
+	return g.NoMeasured.Log2() - g.YesMeasured.Log2()
+}
+
+// PromisedGapLog2 returns log₂(NoBound / YesBound), the gap the theorem
+// promises.
+func (g *GapCertificate) PromisedGapLog2() float64 {
+	return g.NoBound.Log2() - g.YesBound.Log2()
+}
+
+// Check verifies the certificate's invariants and returns a descriptive
+// error naming the first violated one.
+func (g *GapCertificate) Check() error {
+	if g.YesBound.Less(g.YesMeasured) {
+		return fmt.Errorf("%s: YES witness cost 2^%.1f exceeds promised bound 2^%.1f",
+			g.Name, g.YesMeasured.Log2(), g.YesBound.Log2())
+	}
+	if g.NoMeasured.Less(g.NoBound) {
+		return fmt.Errorf("%s: observed NO cost 2^%.1f is below promised lower bound 2^%.1f",
+			g.Name, g.NoMeasured.Log2(), g.NoBound.Log2())
+	}
+	if g.NoMeasured.LessEq(g.YesMeasured) {
+		return fmt.Errorf("%s: no gap — NO cost 2^%.1f ≤ YES cost 2^%.1f",
+			g.Name, g.NoMeasured.Log2(), g.YesMeasured.Log2())
+	}
+	return nil
+}
+
+// CompetitiveRatioExponent translates the measured gap into the
+// theorem's 2^{log^{1−δ} K} form: it returns the exponent η such that
+// gap = 2^{(log₂ K)^η}, i.e. η = log(log₂ gap)/log(log₂ K). Theorem 9
+// promises η → 1 as δ → 0.
+func (g *GapCertificate) CompetitiveRatioExponent() float64 {
+	lgGap := g.GapLog2()
+	lgK := g.YesMeasured.Log2()
+	if lgGap <= 1 || lgK <= 2 {
+		return 0
+	}
+	return math.Log(lgGap) / math.Log(lgK)
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qoh"
+	"approxqo/internal/qon"
+)
+
+// EdgeBudget is an edge-count function e(m) for sparse-query-graph
+// instances (§6): the constructed query graph on m vertices must have
+// exactly e(m) edges.
+type EdgeBudget func(m int) int
+
+// SparseBudget returns e(m) = m + ⌈m^τ⌉, the sparse end of the paper's
+// admissible range for a given 0 < τ < 1.
+func SparseBudget(tau float64) EdgeBudget {
+	if tau <= 0 || tau >= 1 {
+		panic(fmt.Sprintf("core: tau = %v outside (0,1)", tau))
+	}
+	return func(m int) int { return m + int(math.Ceil(math.Pow(float64(m), tau))) }
+}
+
+// DenseBudget returns the densest e(m) the §6 construction can realize:
+// the auxiliary graph G₂ plus the source graph plus one bridge edge,
+// minus ⌈m^τ⌉. (The paper states the admissible range as
+// m(m−1)/2 − Θ(m^τ); the literal construction — E = E₁ ∪ E₂ ∪ {bridge}
+// — tops out lower, at |E₁| + (m−n choose 2) + 1, because it adds no
+// V₁×V₂ edges beyond the bridge. We expose the constructible maximum;
+// see DESIGN.md.)
+func DenseBudget(tau float64, sourceN, sourceEdges int) EdgeBudget {
+	if tau <= 0 || tau >= 1 {
+		panic(fmt.Sprintf("core: tau = %v outside (0,1)", tau))
+	}
+	return func(m int) int {
+		aux := m - sourceN
+		max := sourceEdges + aux*(aux-1)/2 + 1
+		return max - int(math.Ceil(math.Pow(float64(m), tau)))
+	}
+}
+
+// SparseFNParams parameterizes f_{N,e}.
+type SparseFNParams struct {
+	FNParams
+	// B = log₂ β for the auxiliary graph's selectivities and sizes
+	// (paper: β = 4, i.e. B = 2). Zero means 2.
+	B int64
+	// K is the vertex blow-up exponent: the query graph has m = n^K
+	// vertices (paper: K = Θ(2/τ)). Must be ≥ 2.
+	K int
+	// Budget is the edge-count function e(m).
+	Budget EdgeBudget
+	// Seed drives the random construction of the connected auxiliary
+	// graph G₂.
+	Seed int64
+}
+
+// SparseFNInstance is the output of the f_{N,e} reduction.
+type SparseFNInstance struct {
+	*FNInstance
+	// M is the total vertex count n^K; SourceN the CLIQUE graph's n.
+	M, SourceN int
+	// Beta = 2^B, U = β^n (auxiliary relation size).
+	Beta, U num.Num
+	// Bridge is the {v₁, v₂} edge joining V₁ (vertices 0..n−1) to the
+	// auxiliary block V₂ (vertices n..m−1).
+	Bridge [2]int
+}
+
+// SparseFN applies the f_{N,e} reduction of §6.1: embed the CLIQUE
+// graph G₁ into a query graph on m = n^K vertices with exactly e(m)
+// edges by attaching a connected auxiliary graph G₂ whose relations are
+// tiny (β^n versus α^{Θ(n)}) and whose selectivities are mild (1/β), so
+// the added block perturbs costs by at most an α^{O(1)} factor.
+//
+// One deliberate deviation from the paper's text: the bridge edge's
+// access cost on the V₁ side is set to t/β (its QO_N lower bound
+// t·s_bridge) rather than the t/α the paper's blanket rule would give,
+// which would violate the model's own w ≥ t·s constraint; the change is
+// irrelevant to every cost the analysis touches.
+func SparseFN(g1 *graph.Graph, p SparseFNParams) (*SparseFNInstance, error) {
+	n := g1.N()
+	if n < 2 {
+		return nil, fmt.Errorf("core: f_{N,e} needs at least two source vertices")
+	}
+	if err := p.FNParams.validate(n); err != nil {
+		return nil, err
+	}
+	if p.K < 2 {
+		return nil, fmt.Errorf("core: need blow-up exponent K ≥ 2, got %d", p.K)
+	}
+	if p.Budget == nil {
+		return nil, fmt.Errorf("core: nil edge budget")
+	}
+	b := p.B
+	if b == 0 {
+		b = 2
+	}
+	m := intPow(n, p.K)
+	// Negligibility of the auxiliary block (the paper's α = β^{n^{2k+2}},
+	// scaled to the minimum that makes the proof sketch's bounds hold):
+	// the product of every auxiliary relation size is u^{m−n} = 2^{B·n·(m−n)},
+	// which must stay below a single factor of α.
+	if p.A < b*int64(n)*int64(m) {
+		return nil, fmt.Errorf("core: A = %d too small — need A ≥ B·n·m = %d for the auxiliary block to be negligible", p.A, b*int64(n)*int64(m))
+	}
+	e1 := g1.EdgeCount()
+	e2 := p.Budget(m) - e1 - 1
+	auxN := m - n
+	if auxN < 1 {
+		return nil, fmt.Errorf("core: blow-up produced no auxiliary vertices")
+	}
+	if e2 < auxN-1 || e2 > auxN*(auxN-1)/2 {
+		return nil, fmt.Errorf("core: edge budget e(%d)=%d infeasible: G₂ needs %d edges in [%d, %d]",
+			m, p.Budget(m), e2, auxN-1, auxN*(auxN-1)/2)
+	}
+
+	g2 := graph.ConnectedRandom(auxN, e2, p.Seed)
+	q := g1.DisjointUnion(g2)
+	bridge := [2]int{0, n} // v₁ = source vertex 0, v₂ = first auxiliary vertex
+	q.AddEdge(bridge[0], bridge[1])
+
+	peak := (p.OmegaYes + p.OmegaNo + 1) / 2
+	alpha := num.Pow2(p.A)
+	beta := num.Pow2(b)
+	t := num.Pow2(p.A * int64(peak))
+	w := num.Pow2(p.A * int64(peak-1))
+	u := num.Pow2(b * int64(n))
+
+	inst := &qon.Instance{Q: q, T: make([]num.Num, m)}
+	for v := 0; v < m; v++ {
+		if v < n {
+			inst.T[v] = t
+		} else {
+			inst.T[v] = u
+		}
+	}
+	one := num.One()
+	invAlpha, invBeta := alpha.Inv(), beta.Inv()
+	inst.S = make([][]num.Num, m)
+	inst.W = make([][]num.Num, m)
+	for i := 0; i < m; i++ {
+		inst.S[i] = make([]num.Num, m)
+		inst.W[i] = make([]num.Num, m)
+		for j := 0; j < m; j++ {
+			if i == j {
+				inst.S[i][j] = one
+				inst.W[i][j] = inst.T[i]
+				continue
+			}
+			if !q.HasEdge(i, j) {
+				inst.S[i][j] = one
+				inst.W[i][j] = inst.T[i]
+				continue
+			}
+			switch {
+			case i < n && j < n: // E₁ edge
+				inst.S[i][j] = invAlpha
+				inst.W[i][j] = t.Mul(invAlpha)
+			case i >= n && j >= n: // E₂ edge
+				inst.S[i][j] = invBeta
+				inst.W[i][j] = u.Mul(invBeta)
+			case i < n: // bridge, V₁ side: lower bound t·s = t/β
+				inst.S[i][j] = invBeta
+				inst.W[i][j] = t.Mul(invBeta)
+			default: // bridge, V₂ side
+				inst.S[i][j] = invBeta
+				inst.W[i][j] = u.Mul(invBeta)
+			}
+		}
+	}
+
+	fn := &FNInstance{
+		QON:    inst,
+		Params: p.FNParams,
+		Alpha:  alpha,
+		T:      t,
+		W:      w,
+		Peak:   peak,
+	}
+	fn.K = w.Mul(alpha.Pow(int64(peak)*int64(peak+1)/2 + 1))
+	fn.NoLowerBound = fn.K.Mul(alpha.Pow(int64(peak - p.OmegaNo - 1)))
+	return &SparseFNInstance{
+		FNInstance: fn,
+		M:          m,
+		SourceN:    n,
+		Beta:       beta,
+		U:          u,
+		Bridge:     bridge,
+	}, nil
+}
+
+// SparseFHParams parameterizes f_{H,e}.
+type SparseFHParams struct {
+	FHParams
+	// K is the vertex blow-up exponent: the query graph has m = n^K
+	// vertices. Must be ≥ 2.
+	K int
+	// Budget is the edge-count function e(m).
+	Budget EdgeBudget
+	// Seed drives the construction of G₂.
+	Seed int64
+}
+
+// SparseFHInstance is the output of the f_{H,e} reduction. Relations:
+// vertex 0 is R₀, vertices 1..n are the source relations, vertices
+// n+1..m−1 the auxiliary relations.
+type SparseFHInstance struct {
+	*FHInstance
+	M int // total relation count n^K
+	// Bridge joins source vertex v₁ (=1) to the first auxiliary vertex.
+	Bridge [2]int
+}
+
+// SparseFH applies the f_{H,e} reduction of §6.2: the §5 construction
+// on V₁ ∪ {v₀}, plus a connected auxiliary graph G₂ of tiny relations
+// (size 2^n, selectivity ½ edges) bridged to V₁; the v₀–V₁ selectivities
+// drop from ½ to 2^{−n} to absorb the auxiliary block's size product.
+func SparseFH(g1 *graph.Graph, p SparseFHParams) (*SparseFHInstance, error) {
+	n := g1.N()
+	if n < 3 || n%3 != 0 {
+		return nil, fmt.Errorf("core: f_{H,e} needs source n divisible by 3, got %d", n)
+	}
+	if p.K < 2 {
+		return nil, fmt.Errorf("core: need blow-up exponent K ≥ 2, got %d", p.K)
+	}
+	if p.Budget == nil {
+		return nil, fmt.Errorf("core: nil edge budget")
+	}
+	m := intPow(n, p.K)
+	// Negligibility (paper: α = Ω(4^{n^{k+1}})): the product of the
+	// auxiliary relation sizes is 2^{n·(m−n−1)} < 2^{n·m}, which must
+	// stay below a single factor of α.
+	if p.A < int64(n)*int64(m) {
+		return nil, fmt.Errorf("core: A = %d too small — need A ≥ n·m = %d for the auxiliary block to be negligible", p.A, int64(n)*int64(m))
+	}
+	base, err := FH(g1, p.FHParams)
+	if err != nil {
+		return nil, err
+	}
+	auxN := m - n - 1
+	if auxN < 1 {
+		return nil, fmt.Errorf("core: blow-up produced no auxiliary vertices")
+	}
+	e1 := g1.EdgeCount()
+	e2 := p.Budget(m) - e1 - n - 1
+	if e2 < auxN-1 || e2 > auxN*(auxN-1)/2 {
+		return nil, fmt.Errorf("core: edge budget e(%d)=%d infeasible: G₂ needs %d edges in [%d, %d]",
+			m, p.Budget(m), e2, auxN-1, auxN*(auxN-1)/2)
+	}
+	g2 := graph.ConnectedRandom(auxN, e2, p.Seed)
+
+	// Extend the base QO_H instance with the auxiliary block.
+	q := graph.New(m)
+	for _, e := range base.QOH.Q.Edges() {
+		q.AddEdge(e[0], e[1])
+	}
+	for _, e := range g2.Edges() {
+		q.AddEdge(e[0]+n+1, e[1]+n+1)
+	}
+	bridge := [2]int{1, n + 1}
+	q.AddEdge(bridge[0], bridge[1])
+
+	inst := &qoh.Instance{
+		Q:   q,
+		T:   make([]num.Num, m),
+		M:   base.M,
+		Psi: base.QOH.Psi,
+	}
+	copy(inst.T, base.QOH.T)
+	auxSize := num.Pow2(int64(n))
+	for v := n + 1; v < m; v++ {
+		inst.T[v] = auxSize
+	}
+	one := num.One()
+	half := num.Pow2(-1)
+	invTwoN := num.Pow2(-int64(n))
+	invAlpha := base.Alpha.Inv()
+	inst.S = make([][]num.Num, m)
+	for i := 0; i < m; i++ {
+		inst.S[i] = make([]num.Num, m)
+		for j := 0; j < m; j++ {
+			switch {
+			case i == j || !q.HasEdge(i, j):
+				inst.S[i][j] = one
+			case i == 0 || j == 0: // v₀–V₁ edges
+				inst.S[i][j] = invTwoN
+			case i <= n && j <= n: // E₁
+				inst.S[i][j] = invAlpha
+			default: // E₂ and the bridge
+				inst.S[i][j] = half
+			}
+		}
+	}
+
+	fh := &FHInstance{
+		QOH:     inst,
+		Params:  base.Params,
+		NSource: n,
+		Alpha:   base.Alpha,
+		T:       base.T,
+		T0:      base.T0,
+		M:       base.M,
+		L:       base.L,
+	}
+	return &SparseFHInstance{FHInstance: fh, M: m, Bridge: bridge}, nil
+}
+
+// WitnessSequenceSparse orders the relations R₀, clique (2n/3), rest of
+// V₁, then the auxiliary block (reachable through the bridge).
+func (s *SparseFHInstance) WitnessSequenceSparse(clique []int) []int {
+	z := s.WitnessSequence(clique) // R₀ + source relations
+	for v := s.NSource + 1; v < s.M; v++ {
+		z = append(z, v)
+	}
+	return z
+}
+
+func intPow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+
+	"approxqo/internal/cliquered"
+)
+
+func TestSparseBudgets(t *testing.T) {
+	b := SparseBudget(0.5)
+	if got := b(16); got != 16+4 {
+		t.Errorf("SparseBudget(0.5)(16) = %d, want 20", got)
+	}
+	d := DenseBudget(0.5, 4, 5)
+	// max = 5 + C(12,2) + 1 = 72; minus ⌈16^0.5⌉ = 4 → 68.
+	if got := d(16); got != 68 {
+		t.Errorf("DenseBudget(16) = %d, want 68", got)
+	}
+	for _, tau := range []float64{0, 1, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("tau=%v accepted", tau)
+				}
+			}()
+			SparseBudget(tau)
+		}()
+	}
+}
+
+func TestSparseFNConstruction(t *testing.T) {
+	src := cliquered.CertifiedCliqueGraph(4, 3) // ω = 3
+	p := SparseFNParams{
+		// A ≥ B·n·m = 2·4·16 = 128: the negligibility threshold.
+		FNParams: FNParams{A: 128, OmegaYes: 3, OmegaNo: 1},
+		K:        2,
+		Budget:   SparseBudget(0.5),
+		Seed:     7,
+	}
+	s, err := SparseFN(src.G, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M != 16 || s.QON.N() != 16 {
+		t.Fatalf("m = %d, want 16", s.M)
+	}
+	// Exact edge budget.
+	if got, want := s.QON.Q.EdgeCount(), p.Budget(16); got != want {
+		t.Errorf("edge count = %d, want e(16) = %d", got, want)
+	}
+	if !s.QON.Q.IsConnected() {
+		t.Error("sparse query graph disconnected")
+	}
+	if err := s.QON.Validate(); err != nil {
+		t.Fatalf("sparse instance invalid: %v", err)
+	}
+	// Auxiliary relations are tiny compared to the source relations.
+	if !s.U.Less(s.T) {
+		t.Error("auxiliary size u not below t")
+	}
+	// Witness sequence through the bridge works and costs a finite value.
+	clique := src.G.MaxClique()
+	z := CliqueFirst(s.QON.Q, clique)
+	if s.QON.HasCartesianProduct(z) {
+		t.Error("clique-first on the connected sparse graph has cartesian products")
+	}
+	bd := s.QON.Evaluate(z)
+	if bd.C.IsZero() {
+		t.Error("zero witness cost")
+	}
+}
+
+// On a matched sparse YES/NO pair at DP-certifiable size, the gap shape
+// survives the blow-up: the YES optimum stays within the α^{O(1)}-padded
+// K bound and below the NO optimum.
+func TestSparseFNGap(t *testing.T) {
+	yes := cliquered.CertifiedCliqueGraph(4, 3)
+	no := cliquered.CertifiedCliqueGraph(4, 2)
+	mk := func(g cliquered.Certified) *SparseFNInstance {
+		s, err := SparseFN(g.G, SparseFNParams{
+			FNParams: FNParams{A: 128, OmegaYes: 3, OmegaNo: 2},
+			K:        2,
+			Budget:   SparseBudget(0.5),
+			Seed:     11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	sy, sn := mk(yes), mk(no)
+	// m = 16: the subset DP is exact and fast enough here.
+	yesZ := CliqueFirst(sy.QON.Q, yes.G.MaxClique())
+	noZ := CliqueFirst(sn.QON.Q, no.G.MaxClique())
+	yesCost := sy.QON.Cost(yesZ)
+	noCost := sn.QON.Cost(noZ)
+	if noCost.LessEq(yesCost) {
+		t.Errorf("sparse gap absent: NO witness 2^%.1f ≤ YES witness 2^%.1f",
+			noCost.Log2(), yesCost.Log2())
+	}
+	// The YES witness stays within K padded by the auxiliary block's
+	// α^{O(1)} slack (one α factor at this scale).
+	if sy.K.Mul(sy.Alpha).Less(yesCost) {
+		t.Errorf("sparse YES witness 2^%.1f above padded K 2^%.1f",
+			yesCost.Log2(), sy.K.Mul(sy.Alpha).Log2())
+	}
+}
+
+func TestSparseFNRejects(t *testing.T) {
+	src := cliquered.CertifiedCliqueGraph(4, 3)
+	base := SparseFNParams{
+		FNParams: FNParams{A: 128, OmegaYes: 3, OmegaNo: 1},
+		K:        2,
+		Budget:   SparseBudget(0.5),
+	}
+	p := base
+	p.K = 1
+	if _, err := SparseFN(src.G, p); err != nil == false {
+		t.Error("K = 1 accepted")
+	}
+	p = base
+	p.Budget = nil
+	if _, err := SparseFN(src.G, p); err == nil {
+		t.Error("nil budget accepted")
+	}
+	p = base
+	p.Budget = func(m int) int { return m - 2 } // infeasible: too few edges
+	if _, err := SparseFN(src.G, p); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+}
+
+func TestSparseFHConstruction(t *testing.T) {
+	src := cliquered.CertifiedCliqueGraph(6, 4)
+	s, err := SparseFH(src.G, SparseFHParams{
+		// A ≥ n·m = 216, with A·(n−1) even; τ = 0.75 keeps the budget
+		// above the construction's floor |E₁| + n + 1 + (auxN − 1).
+		FHParams: FHParams{A: 216},
+		K:        2,
+		Budget:   SparseBudget(0.75),
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M != 36 || s.QOH.N() != 36 {
+		t.Fatalf("m = %d, want 36", s.M)
+	}
+	if got, want := s.QOH.Q.EdgeCount(), SparseBudget(0.75)(36); got != want {
+		t.Errorf("edge count = %d, want %d", got, want)
+	}
+	if err := s.QOH.Validate(); err != nil {
+		t.Fatalf("sparse QO_H instance invalid: %v", err)
+	}
+	if !s.QOH.Q.IsConnected() {
+		t.Error("sparse query graph disconnected")
+	}
+	// R₀ forcing survives the blow-up.
+	if !s.QOH.FeasibleStart(0) {
+		t.Error("R₀ not a feasible start")
+	}
+	if s.QOH.FeasibleStart(1) {
+		t.Error("source relation feasible as start despite huge R₀")
+	}
+	// Witness sequence extends over the auxiliary block and admits a
+	// feasible decomposition.
+	z := s.WitnessSequenceSparse(src.G.MaxClique())
+	if len(z) != 36 {
+		t.Fatalf("witness sequence length %d, want 36", len(z))
+	}
+	plan, err := s.QOH.BestDecomposition(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost.IsZero() {
+		t.Error("zero plan cost")
+	}
+}
+
+func TestSparseFHRejects(t *testing.T) {
+	src := cliquered.CertifiedCliqueGraph(6, 4)
+	if _, err := SparseFH(src.G, SparseFHParams{FHParams: FHParams{A: 216}, K: 1, Budget: SparseBudget(0.75)}); err == nil {
+		t.Error("K = 1 accepted")
+	}
+	bad := cliquered.CertifiedCliqueGraph(5, 3)
+	if _, err := SparseFH(bad.G, SparseFHParams{FHParams: FHParams{A: 216}, K: 2, Budget: SparseBudget(0.75)}); err == nil {
+		t.Error("n not divisible by 3 accepted")
+	}
+	// Undersized A rejected.
+	if _, err := SparseFH(src.G, SparseFHParams{FHParams: FHParams{A: 4}, K: 2, Budget: SparseBudget(0.75)}); err == nil {
+		t.Error("undersized A accepted")
+	}
+}

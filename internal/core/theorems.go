@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/num"
+	"approxqo/internal/qoh"
+	"approxqo/internal/qon"
+	"approxqo/internal/sat"
+)
+
+// Theorem9Result is the end-to-end Theorem 9 pipeline applied to one
+// formula: 3SAT → (Lemma 3) CLIQUE → (f_N) QO_N.
+type Theorem9Result struct {
+	Formula     *sat.Formula
+	Satisfiable bool
+	Clique      *cliquered.Instance
+	FN          *FNInstance
+	// Witness is the Lemma 6 clique-first sequence (satisfiable
+	// formulas only) and WitnessCost its cost, which Theorem 9 relates
+	// to K = FN.K.
+	Witness     qon.Sequence
+	WitnessCost num.Num
+}
+
+// Theorem9 runs the paper's Theorem 9 chain on a 3-CNF formula.
+//
+// delta is the promise gap in clause failures: the NO-side clique bound
+// is CliqueIfSat − delta, sound for formulas in which at least delta
+// clauses fail under every assignment (the PCP amplification of
+// Theorem 1 supplies delta = Θ(m) in the paper; callers verify their
+// formulas, e.g. with sat.MaxSat, when they need the NO promise).
+func Theorem9(f *sat.Formula, a int64, delta int) (*Theorem9Result, error) {
+	if delta < 1 {
+		return nil, fmt.Errorf("core: need promise gap delta ≥ 1, got %d", delta)
+	}
+	cl, err := cliquered.Lemma3(f)
+	if err != nil {
+		return nil, err
+	}
+	if cl.CliqueIfSat-delta < 1 {
+		return nil, fmt.Errorf("core: delta %d exhausts the clique promise %d", delta, cl.CliqueIfSat)
+	}
+	fn, err := FN(cl.G, FNParams{A: a, OmegaYes: cl.CliqueIfSat, OmegaNo: cl.CliqueIfSat - delta})
+	if err != nil {
+		return nil, err
+	}
+	res := &Theorem9Result{Formula: f, Clique: cl, FN: fn}
+	ok, model := sat.Solve(f)
+	res.Satisfiable = ok
+	if ok {
+		witnessClique, err := cl.WitnessClique(f, model)
+		if err != nil {
+			return nil, err
+		}
+		res.Witness, res.WitnessCost, err = fn.YesWitnessCost(witnessClique)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Theorem16 runs the sparse-graph variant of the Theorem 9 chain:
+// 3SAT → (Lemma 3) CLIQUE → (f_{N,e}) sparse QO_N. The edge budget and
+// blow-up exponent come from params (everything except the FNParams,
+// which this function derives from the Lemma 3 instance and delta as in
+// Theorem9).
+func Theorem16(f *sat.Formula, params SparseFNParams, delta int) (*cliquered.Instance, *SparseFNInstance, error) {
+	if delta < 1 {
+		return nil, nil, fmt.Errorf("core: need promise gap delta ≥ 1, got %d", delta)
+	}
+	cl, err := cliquered.Lemma3(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cl.CliqueIfSat-delta < 1 {
+		return nil, nil, fmt.Errorf("core: delta %d exhausts the clique promise %d", delta, cl.CliqueIfSat)
+	}
+	params.OmegaYes = cl.CliqueIfSat
+	params.OmegaNo = cl.CliqueIfSat - delta
+	sp, err := SparseFN(cl.G, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cl, sp, nil
+}
+
+// Theorem17 runs the sparse-graph variant of the Theorem 15 chain:
+// 3SAT → (Lemma 4) ⅔CLIQUE → (f_{H,e}) sparse QO_H.
+func Theorem17(f *sat.Formula, params SparseFHParams) (*cliquered.Instance, *SparseFHInstance, error) {
+	cl, err := cliquered.Lemma4(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp, err := SparseFH(cl.G, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cl, sp, nil
+}
+
+// Theorem15Result is the end-to-end Theorem 15 pipeline applied to one
+// formula: 3SAT → (Lemma 4) ⅔CLIQUE → (f_H) QO_H.
+type Theorem15Result struct {
+	Formula     *sat.Formula
+	Satisfiable bool
+	Clique      *cliquered.Instance
+	FH          *FHInstance
+	// WitnessPlan is the Lemma 12 five-pipeline plan (satisfiable
+	// formulas only), whose cost Theorem 15 relates to L(α,n).
+	WitnessPlan *qoh.Plan
+}
+
+// Theorem15 runs the paper's Theorem 15 chain on a 3-CNF formula. The
+// Lemma 4 graph has n = 3(v+2m) vertices, automatically divisible by 3
+// as f_H requires; a must keep a·(n−1) even (pass an even a).
+func Theorem15(f *sat.Formula, a int64) (*Theorem15Result, error) {
+	cl, err := cliquered.Lemma4(f)
+	if err != nil {
+		return nil, err
+	}
+	fh, err := FH(cl.G, FHParams{A: a})
+	if err != nil {
+		return nil, err
+	}
+	res := &Theorem15Result{Formula: f, Clique: cl, FH: fh}
+	ok, model := sat.Solve(f)
+	res.Satisfiable = ok
+	if ok {
+		witnessClique, err := cl.WitnessClique(f, model)
+		if err != nil {
+			return nil, err
+		}
+		res.WitnessPlan, err = fh.YesWitnessPlan(witnessClique)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

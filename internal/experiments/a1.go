@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"approxqo/internal/bushy"
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/opt"
+	"approxqo/internal/report"
+	"approxqo/internal/workload"
+)
+
+// A1 is the ablation DESIGN.md §3 calls out: does allowing bushy join
+// trees (intermediates as hash/scan inners) change the picture? On the
+// hard f_N instances the bushy optimum tracks the left-deep optimum —
+// the hardness is not an artifact of the left-deep restriction — while
+// on realistic workloads bushy plans win modest factors.
+func A1(opts Options) ([]*report.Table, error) {
+	hard := report.New(
+		"Ablation: left-deep vs bushy optima on hard f_N instances (c=3/4, d=1/4)",
+		"n", "side", "left-deep opt", "bushy opt", "bushy advantage",
+	)
+	ns := []int{10, 12, 14}
+	if opts.Quick {
+		ns = []int{10, 12}
+	}
+	for _, n := range ns {
+		yes, no := cliquered.YesNoPair(n, t1C, t1D)
+		params := core.FNParams{A: 2 * int64(n), OmegaYes: yes.Omega, OmegaNo: no.Omega}
+		for _, side := range []struct {
+			name string
+			g    cliquered.Certified
+		}{{"YES", yes}, {"NO", no}} {
+			fn, err := core.FN(side.g.G, params)
+			if err != nil {
+				return nil, err
+			}
+			ld, err := opt.NewDP().Optimize(fn.QON)
+			if err != nil {
+				return nil, err
+			}
+			_, bc, err := bushy.Optimize(fn.QON)
+			if err != nil {
+				return nil, err
+			}
+			if ld.Cost.Less(bc) {
+				return nil, fmt.Errorf("experiments: bushy optimum above left-deep at n=%d (%s)", n, side.name)
+			}
+			hard.AddRow(fmt.Sprint(n), side.name,
+				report.Log2(ld.Cost), report.Log2(bc), report.Ratio(ld.Cost, bc))
+		}
+	}
+
+	bench := report.New(
+		"Ablation: left-deep vs bushy optima on realistic workloads (n=10)",
+		"shape", "left-deep opt", "bushy opt", "bushy advantage",
+	)
+	for _, shape := range workload.Shapes() {
+		in, err := workload.Generate(workload.Params{N: 10, Shape: shape, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		ld, err := opt.NewDP().Optimize(in)
+		if err != nil {
+			return nil, err
+		}
+		_, bc, err := bushy.Optimize(in)
+		if err != nil {
+			return nil, err
+		}
+		bench.AddRow(string(shape), report.Log2(ld.Cost), report.Log2(bc), report.Ratio(ld.Cost, bc))
+	}
+	return []*report.Table{hard, bench}, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/opt"
+	"approxqo/internal/report"
+)
+
+// A2 verifies §4's closing remark: "even if we had restricted the join
+// sequences in the problem definition of QO_N to have no cartesian
+// products, the same complexity gap would be obtained." It compares the
+// exact optimum over all sequences with the exact optimum over
+// cartesian-product-free sequences ([2]'s search space) on matched
+// YES/NO pairs.
+func A2(opts Options) ([]*report.Table, error) {
+	ns := []int{10, 12, 14}
+	if opts.Quick {
+		ns = []int{10, 12}
+	}
+	tb := report.New(
+		"Ablation: cartesian products allowed vs forbidden on hard f_N instances (§4 remark)",
+		"n", "side", "optimum (all Z)", "optimum (no ×)", "penalty of forbidding ×", "gap preserved",
+	)
+	for _, n := range ns {
+		yes, no := cliquered.YesNoPair(n, t1C, t1D)
+		params := core.FNParams{A: 2 * int64(n), OmegaYes: yes.Omega, OmegaNo: no.Omega}
+		type row struct {
+			name             string
+			free, restricted string
+		}
+		var gaps [2]float64
+		for i, side := range []struct {
+			name string
+			g    cliquered.Certified
+		}{{"YES", yes}, {"NO", no}} {
+			fn, err := core.FN(side.g.G, params)
+			if err != nil {
+				return nil, err
+			}
+			full, err := opt.NewDP().Optimize(fn.QON)
+			if err != nil {
+				return nil, err
+			}
+			restricted, err := opt.NewDPNoCross().Optimize(fn.QON)
+			if err != nil {
+				return nil, err
+			}
+			if restricted.Cost.Less(full.Cost) {
+				return nil, fmt.Errorf("experiments: restricted optimum below unrestricted at n=%d", n)
+			}
+			gaps[i] = restricted.Cost.Log2()
+			status := ""
+			if i == 1 {
+				if gaps[1] > gaps[0] {
+					status = "OK"
+				} else {
+					status = "VIOLATED"
+				}
+			}
+			tb.AddRow(fmt.Sprint(n), side.name,
+				report.Log2(full.Cost), report.Log2(restricted.Cost),
+				report.Ratio(restricted.Cost, full.Cost), status)
+		}
+	}
+	return []*report.Table{tb}, nil
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Every experiment must run in quick mode, produce at least one table
+// with rows, and report no violated certificate.
+func TestAllExperimentsQuick(t *testing.T) {
+	opts := Options{Quick: true, Seed: 1}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(opts)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			rows := 0
+			for _, tb := range tables {
+				rows += len(tb.Rows)
+				for _, row := range tb.Rows {
+					for _, cell := range row {
+						if strings.Contains(cell, "VIOLATED") || strings.Contains(cell, "MISMATCH") {
+							t.Errorf("%s: %v", e.ID, row)
+						}
+					}
+				}
+			}
+			if rows == 0 {
+				t.Fatalf("%s produced empty tables", e.ID)
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, err := Find("T1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Find("T99"); err == nil {
+		t.Error("unknown experiment found")
+	}
+}
+
+func TestWriteOne(t *testing.T) {
+	e, err := Find("T5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteOne(&b, e, Options{Quick: true, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "== T5:") || !strings.Contains(b.String(), "Lemma 3") {
+		t.Errorf("unexpected output:\n%s", b.String())
+	}
+}
+
+// parseGapLog2 extracts x from a "2^x" cell.
+func parseGapLog2(t *testing.T, cell string) float64 {
+	t.Helper()
+	var x float64
+	if _, err := fmt.Sscanf(cell, "2^%f", &x); err != nil {
+		t.Fatalf("cannot parse gap cell %q: %v", cell, err)
+	}
+	return x
+}
+
+// The Theorem 9 gap must grow strictly with n — the quantitative heart
+// of the reproduction, asserted, not just printed.
+func TestT1GapGrowsWithN(t *testing.T) {
+	tables, err := T1(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) < 2 {
+		t.Fatal("need at least two sizes")
+	}
+	prev := -1.0
+	for _, row := range rows {
+		gap := parseGapLog2(t, row[8]) // "gap" column
+		if gap <= prev {
+			t.Errorf("gap not increasing: %v after %v", gap, prev)
+		}
+		prev = gap
+	}
+}
+
+// The δ-sweep's gap exponent η must increase monotonically with α.
+func TestT6EtaMonotoneInAlpha(t *testing.T) {
+	tables, err := T6(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := tables[2]
+	prev := -1.0
+	for _, row := range sweep.Rows {
+		var eta float64
+		if _, err := fmt.Sscanf(row[5], "%f", &eta); err != nil {
+			t.Fatal(err)
+		}
+		if eta <= prev {
+			t.Errorf("η not increasing: %v after %v", eta, prev)
+		}
+		prev = eta
+	}
+}
+
+// Golden regression for the T1 quick table: the quantities are exact
+// powers of two computed from the reduction formulas, so any change is
+// a behaviour change, not noise.
+func TestT1GoldenQuick(t *testing.T) {
+	tables, err := T1(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tables[0].Rows[0] // n = 12
+	want := []string{"12", "9", "6", "24", "2^1056.0", "2^1033.6", "2^1080.0", "2^1105.0", "2^71.4", "2^24.0", "true", "OK"}
+	if len(row) != len(want) {
+		t.Fatalf("row has %d cells, want %d", len(row), len(want))
+	}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Errorf("cell %d (%s): got %q, want %q", i, tables[0].Columns[i], row[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/report"
+)
+
+// F1 regenerates the Lemma 5/6 figure as a series table: the per-join
+// cost profile H_i along a clique-first sequence of a YES instance —
+// a geometric rise to the peak at i = (c−d/2)n, then decay — plus the
+// running total against K.
+func F1(opts Options) ([]*report.Table, error) {
+	n := 20
+	if opts.Quick {
+		n = 12
+	}
+	yes, no := cliquered.YesNoPair(n, t1C, t1D)
+	fn, err := core.FN(yes.G, core.FNParams{A: 2 * int64(n), OmegaYes: yes.Omega, OmegaNo: no.Omega})
+	if err != nil {
+		return nil, err
+	}
+	z := core.CliqueFirst(yes.G, yes.G.MaxClique())
+	bd := fn.QON.Evaluate(z)
+
+	tb := report.New(
+		fmt.Sprintf("Lemmas 5/6: H_i profile, clique-first sequence (n=%d, peak=%d, K=%s)",
+			n, fn.Peak, report.Log2(fn.K)),
+		"i", "B_i", "D_i", "H_i", "running ΣH", "marker",
+	)
+	running := bd.H[0]
+	for i := range bd.H {
+		marker := ""
+		if i+1 == fn.Peak {
+			marker = "← peak (c−d/2)n"
+		}
+		if i > 0 {
+			running = running.Add(bd.H[i])
+		}
+		tb.AddRow(
+			fmt.Sprint(i+1),
+			fmt.Sprint(bd.B[i+1]),
+			fmt.Sprint(bd.D[i+1]),
+			report.Log2(bd.H[i]),
+			report.Log2(running),
+			marker,
+		)
+	}
+	status := report.New("", "check", "value")
+	verdict := "OK: total ≤ K"
+	if fn.K.Less(bd.C) {
+		verdict = "VIOLATED: total > K"
+	}
+	status.AddRow("C(Z) vs K", fmt.Sprintf("%s vs %s — %s", report.Log2(bd.C), report.Log2(fn.K), verdict))
+	return []*report.Table{tb, status}, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/report"
+)
+
+// F2 regenerates the Lemma 11/13 figure as a series table: the
+// intermediate sizes N_j along the witness order of a YES instance
+// versus a clique-first order of a NO instance. Lemma 11 keeps the five
+// pipeline cut points of the YES side at O(L); Lemma 13 forces every
+// mid-zone N_{n/3+j} of the NO side up to Ω(G).
+func F2(opts Options) ([]*report.Table, error) {
+	n := 12
+	if opts.Quick {
+		n = 9
+	}
+	a := 2 * int64(n)
+	if a*int64(n-1)%2 != 0 {
+		a++
+	}
+	yes := cliquered.CertifiedCliqueGraph(n, 2*n/3)
+	no := cliquered.CertifiedCliqueGraph(n, 2*n/3-1)
+	fhYes, err := core.FH(yes.G, core.FHParams{A: a})
+	if err != nil {
+		return nil, err
+	}
+	fhNo, err := core.FH(no.G, core.FHParams{A: a})
+	if err != nil {
+		return nil, err
+	}
+	yesSizes := fhYes.QOH.Sizes(fhYes.WitnessSequence(yes.G.MaxClique()))
+	noSizes := fhNo.QOH.Sizes(fhNo.WitnessSequence(no.G.MaxClique()))
+	gb := fhNo.GBound(no.Omega)
+
+	cuts := map[int]string{1: "cut", n / 3: "cut", 2 * n / 3: "cut", n - 1: "cut", n: "cut"}
+	tb := report.New(
+		fmt.Sprintf("Lemmas 11/13: N_j series (n=%d, L=%s, G=%s)",
+			n, report.Log2(fhYes.L), report.Log2(gb)),
+		"j", "N_j YES", "N_j NO", "zone",
+	)
+	for j := 1; j <= n; j++ {
+		zone := cuts[j]
+		if j > n/3 && j <= 2*n/3 {
+			if zone != "" {
+				zone += ", "
+			}
+			zone += "mid (Lemma 13)"
+		}
+		tb.AddRow(
+			fmt.Sprint(j),
+			report.Log2(yesSizes[j]),
+			report.Log2(noSizes[j]),
+			zone,
+		)
+	}
+
+	status := report.New("", "check", "result")
+	lBound := fhYes.L.MulInt64(4)
+	okYes := true
+	for _, cut := range []int{1, n / 3, 2 * n / 3, n - 1, n} {
+		if lBound.Less(yesSizes[cut]) {
+			okYes = false
+		}
+	}
+	if okYes {
+		status.AddRow("YES cuts ≤ O(L)", "OK")
+	} else {
+		status.AddRow("YES cuts ≤ O(L)", "VIOLATED")
+	}
+	okNo := true
+	for j := 1; j <= n/3; j++ {
+		if noSizes[n/3+j].Mul(fhNo.Alpha).Less(gb) {
+			okNo = false
+		}
+	}
+	if okNo {
+		status.AddRow("NO mid-zone ≥ Ω(G)", "OK")
+	} else {
+		status.AddRow("NO mid-zone ≥ Ω(G)", "VIOLATED")
+	}
+	return []*report.Table{tb, status}, nil
+}

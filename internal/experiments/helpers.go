@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"approxqo/internal/core"
+	"approxqo/internal/num"
+	"approxqo/internal/opt"
+	"approxqo/internal/qon"
+)
+
+// bestCostQON returns the best cost found for a QO_N reduction
+// instance: the exact subset-DP optimum when exact is true, otherwise
+// the cheapest of the clique-first witness sequence and a reduced
+// polynomial-time ensemble (greedy both rules plus a short annealing
+// run — enough to make the NO side a serious search, cheap enough for
+// the harness).
+func bestCostQON(in *qon.Instance, clique []int, exact bool, seed int64) (num.Num, error) {
+	if exact {
+		r, err := opt.NewDP().Optimize(in)
+		if err != nil {
+			return num.Num{}, err
+		}
+		return r.Cost, nil
+	}
+	best := in.Cost(core.CliqueFirst(in.Q, clique))
+	ensemble := []opt.Optimizer{
+		opt.NewGreedy(opt.GreedyMinSize),
+		opt.NewGreedy(opt.GreedyMinCost),
+		opt.NewAnnealing(seed, 4000),
+	}
+	if r, _, err := opt.BestOf(in, ensemble...); err == nil && r.Cost.Less(best) {
+		best = r.Cost
+	}
+	return best, nil
+}

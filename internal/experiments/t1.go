@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/report"
+)
+
+// t1C and t1D are the promise constants used throughout the f_N
+// scaling experiments: ωYes = ¾n, ωNo = ½n.
+const (
+	t1C = 0.75
+	t1D = 0.25
+)
+
+// T1 regenerates the Theorem 9 table: for a matched YES/NO certified
+// pair at each n, the promised bounds K and K·α^{(d/2)n−1} versus the
+// measured best costs. Sizes where the subset DP applies are certified
+// exact; larger sizes report the best of the heuristic ensemble (an
+// upper bound for YES, and for NO a value the theorem lower-bounds).
+func T1(opts Options) ([]*report.Table, error) {
+	ns := []int{12, 16, 20, 24}
+	if opts.Quick {
+		ns = []int{12, 16}
+	}
+	tb := report.New(
+		"Theorem 9: QO_N gap on certified YES/NO pairs (c=3/4, d=1/4, α=4^n)",
+		"n", "ωYes", "ωNo", "log2α", "K", "YES found", "NO bound", "NO found", "gap", "promised", "exact", "certificate",
+	)
+	for _, n := range ns {
+		row, err := t1Row(n, opts)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(row...)
+	}
+	return []*report.Table{tb}, nil
+}
+
+func t1Row(n int, opts Options) ([]string, error) {
+	yes, no := cliquered.YesNoPair(n, t1C, t1D)
+	params := core.FNParams{A: 2 * int64(n), OmegaYes: yes.Omega, OmegaNo: no.Omega}
+	fnYes, err := core.FN(yes.G, params)
+	if err != nil {
+		return nil, err
+	}
+	fnNo, err := core.FN(no.G, params)
+	if err != nil {
+		return nil, err
+	}
+
+	exact := n <= 16
+	yesCost, err := bestCostQON(fnYes.QON, yes.G.MaxClique(), exact, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	noCost, err := bestCostQON(fnNo.QON, no.G.MaxClique(), exact, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+
+	cert := &core.GapCertificate{
+		Name:        fmt.Sprintf("T1 n=%d", n),
+		YesBound:    fnYes.K,
+		NoBound:     fnNo.NoLowerBound,
+		YesMeasured: yesCost,
+		NoMeasured:  noCost,
+		NoExact:     exact,
+	}
+	status := "OK"
+	if err := cert.Check(); err != nil {
+		status = "VIOLATED: " + err.Error()
+	}
+	return []string{
+		fmt.Sprint(n),
+		fmt.Sprint(yes.Omega),
+		fmt.Sprint(no.Omega),
+		fmt.Sprint(2 * n),
+		report.Log2(fnYes.K),
+		report.Log2(yesCost),
+		report.Log2(fnNo.NoLowerBound),
+		report.Log2(noCost),
+		fmt.Sprintf("2^%.1f", cert.GapLog2()),
+		fmt.Sprintf("2^%.1f", cert.PromisedGapLog2()),
+		fmt.Sprint(exact),
+		status,
+	}, nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/num"
+	"approxqo/internal/opt"
+	"approxqo/internal/report"
+)
+
+// T2 regenerates the Theorem 15 table: for matched ⅔CLIQUE YES/NO
+// pairs across n, the YES witness-plan cost against L(α,n) and the
+// best NO plan found against G(α,n). n = 6 is exhaustively exact; the
+// larger sizes sample the adversary's strongest orders (clique-first
+// rotations plus random feasible sequences), each with its optimal
+// decomposition and memory allocation.
+func T2(opts Options) ([]*report.Table, error) {
+	ns := []int{6, 9, 12}
+	if opts.Quick {
+		ns = []int{6, 9}
+	}
+	tb := report.New(
+		"Theorem 15: QO_H gap on certified YES/NO pairs (ωYes=2n/3, ωNo=2n/3−1, α=4^n)",
+		"n", "log2α", "L", "YES found", "G bound", "NO found", "gap", "exact", "certificate",
+	)
+	for _, n := range ns {
+		row, err := t2Row(n, opts)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(row...)
+	}
+	return []*report.Table{tb}, nil
+}
+
+func t2Row(n int, opts Options) ([]string, error) {
+	a := 2 * int64(n)
+	if a*int64(n-1)%2 != 0 {
+		a++ // keep A·(n−1) even
+	}
+	yes := cliquered.CertifiedCliqueGraph(n, 2*n/3)
+	no := cliquered.CertifiedCliqueGraph(n, 2*n/3-1)
+	fhYes, err := core.FH(yes.G, core.FHParams{A: a})
+	if err != nil {
+		return nil, err
+	}
+	fhNo, err := core.FH(no.G, core.FHParams{A: a})
+	if err != nil {
+		return nil, err
+	}
+
+	exact := n <= 6
+	yesCost, err := bestCostQOH(fhYes, yes.G.MaxClique(), exact, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	noCost, err := bestCostQOH(fhNo, no.G.MaxClique(), exact, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	gb := fhNo.GBound(no.Omega)
+	status := "OK"
+	if noCost.LessEq(yesCost) {
+		status = "VIOLATED: no gap"
+	}
+	return []string{
+		fmt.Sprint(n),
+		fmt.Sprint(a),
+		report.Log2(fhYes.L),
+		report.Log2(yesCost),
+		report.Log2(gb),
+		report.Log2(noCost),
+		report.Ratio(noCost, yesCost),
+		fmt.Sprint(exact),
+		status,
+	}, nil
+}
+
+// bestCostQOH returns the cheapest QO_H plan cost found: exhaustive
+// when exact, otherwise the minimum over the witness plan, clique-first
+// rotations and random feasible sequences, each optimally decomposed.
+func bestCostQOH(fh *core.FHInstance, clique []int, exact bool, seed int64) (num.Num, error) {
+	if exact {
+		plan, err := fh.QOH.ExactBest()
+		if err != nil {
+			return num.Num{}, err
+		}
+		return plan.Cost, nil
+	}
+	var best num.Num
+	found := false
+	consider := func(z []int) {
+		plan, err := fh.QOH.BestDecomposition(z)
+		if err != nil {
+			return
+		}
+		if !found || plan.Cost.Less(best) {
+			best, found = plan.Cost, true
+		}
+	}
+	// Clique-first rotations.
+	for shift := 0; shift < len(clique) && shift < 4; shift++ {
+		rotated := append(append([]int(nil), clique[shift:]...), clique[:shift]...)
+		consider(fh.WitnessSequence(rotated))
+	}
+	// Random feasible sequences (R₀ forced first).
+	rng := rand.New(rand.NewSource(seed))
+	n := fh.QOH.N()
+	for trial := 0; trial < 40; trial++ {
+		z := make([]int, 0, n)
+		z = append(z, 0)
+		for _, v := range rng.Perm(n - 1) {
+			z = append(z, v+1)
+		}
+		consider(z)
+	}
+	// The QO_H heuristic ensemble (greedy + annealing over sequences).
+	if plan, err := opt.QOHBest(fh.QOH, seed); err == nil {
+		if !found || plan.Cost.Less(best) {
+			best, found = plan.Cost, true
+		}
+	}
+	if !found {
+		return num.Num{}, fmt.Errorf("experiments: no feasible QO_H plan found")
+	}
+	return best, nil
+}

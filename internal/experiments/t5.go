@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/report"
+	"approxqo/internal/sat"
+)
+
+// T5 regenerates the Lemma 3/4 table: the clique reductions applied to
+// a mix of exhaustively solved formulas, comparing the promised clique
+// sizes with exact maximum-clique search on the constructed graphs.
+func T5(opts Options) ([]*report.Table, error) {
+	formulas := t5Formulas(opts)
+	l3 := report.New(
+		"Lemma 3: 3SAT → CLIQUE (predicted ω = 5v+4m − unsatisfied-clause deficit)",
+		"formula", "v", "m", "sat", "n", "ω predicted", "ω exact", "c", "status",
+	)
+	l4 := report.New(
+		"Lemma 4: 3SAT → ⅔CLIQUE (n = 3(v+2m); SAT ⟺ ω = 2n/3)",
+		"formula", "v", "m", "sat", "n", "2n/3", "ω exact", "status",
+	)
+	for name, f := range formulas {
+		satisfiable := sat.Satisfiable(f)
+		deficit := 0
+		if !satisfiable {
+			best, _ := sat.MaxSat(f)
+			deficit = f.NumClauses() - best
+		}
+
+		i3, err := cliquered.Lemma3(f)
+		if err != nil {
+			return nil, err
+		}
+		predicted := i3.CliqueIfSat - deficit
+		omega3 := i3.G.CliqueNumber()
+		status3 := "OK"
+		if omega3 != predicted {
+			status3 = "MISMATCH"
+		}
+		l3.AddRow(name, fmt.Sprint(f.NumVars), fmt.Sprint(f.NumClauses()),
+			fmt.Sprint(satisfiable), fmt.Sprint(i3.G.N()),
+			fmt.Sprint(predicted), fmt.Sprint(omega3),
+			fmt.Sprintf("%.3f", i3.C), status3)
+
+		i4, err := cliquered.Lemma4(f)
+		if err != nil {
+			return nil, err
+		}
+		omega4 := i4.G.CliqueNumber()
+		status4 := "OK"
+		if satisfiable && omega4 != i4.CliqueIfSat {
+			status4 = "MISMATCH"
+		}
+		if !satisfiable && omega4 >= i4.CliqueIfSat {
+			status4 = "MISMATCH"
+		}
+		l4.AddRow(name, fmt.Sprint(f.NumVars), fmt.Sprint(f.NumClauses()),
+			fmt.Sprint(satisfiable), fmt.Sprint(i4.G.N()),
+			fmt.Sprint(i4.CliqueIfSat), fmt.Sprint(omega4), status4)
+	}
+	return []*report.Table{l3, l4}, nil
+}
+
+func t5Formulas(opts Options) map[string]*sat.Formula {
+	out := map[string]*sat.Formula{}
+	simple := sat.New(3)
+	simple.AddClause(1, 2, 3)
+	simple.AddClause(-1, 2)
+	out["hand-sat"] = simple
+
+	contra := sat.New(2)
+	contra.AddClause(1)
+	contra.AddClause(-1)
+	contra.AddClause(2)
+	out["hand-unsat"] = contra
+
+	out["unsat-core"] = sat.Unsatisfiable3SAT(0, 0, 0)
+
+	count := 3
+	if opts.Quick {
+		count = 1
+	}
+	for i := 0; i < count; i++ {
+		out[fmt.Sprintf("random-%d", i)] = sat.Random3SAT(3, 5, opts.Seed+int64(i))
+	}
+	planted, _ := sat.PlantedSatisfiable3SAT(4, 6, opts.Seed)
+	out["planted-sat"] = planted
+	return out
+}

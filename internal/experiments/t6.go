@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/opt"
+	"approxqo/internal/report"
+)
+
+// T6 regenerates the competitive-ratio table behind the paper's
+// headline claim: each polynomial-time optimizer's cost ratio to the
+// certified subset-DP optimum on hard f_N instances, and the hardness
+// curve itself — log₂ of the YES/NO separation against log₂ K, whose
+// ratio exponent η (gap = 2^{(log₂K)^η}) the theorem drives to 1.
+func T6(opts Options) ([]*report.Table, error) {
+	ns := []int{10, 12, 14, 16}
+	if opts.Quick {
+		ns = []int{10, 12}
+	}
+	ratio := report.New(
+		"Competitive ratios vs certified optimum on YES instances (c=3/4, d=1/4, α=4^n)",
+		"n", "optimizer", "cost", "optimum", "ratio",
+	)
+	curve := report.New(
+		"Hardness curve: certified YES/NO separation (the ratio no poly algorithm can beat)",
+		"n", "log2 K", "YES opt", "NO opt", "separation", "η = log log gap / log log K",
+	)
+	for _, n := range ns {
+		yes, no := cliquered.YesNoPair(n, t1C, t1D)
+		params := core.FNParams{A: 2 * int64(n), OmegaYes: yes.Omega, OmegaNo: no.Omega}
+		fnYes, err := core.FN(yes.G, params)
+		if err != nil {
+			return nil, err
+		}
+		fnNo, err := core.FN(no.G, params)
+		if err != nil {
+			return nil, err
+		}
+		dp := opt.DP{MaxN: 16}
+		yesOpt, err := dp.Optimize(fnYes.QON)
+		if err != nil {
+			return nil, err
+		}
+		noOpt, err := dp.Optimize(fnNo.QON)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range opt.Heuristics(opts.Seed) {
+			r, err := o.Optimize(fnYes.QON)
+			if err != nil {
+				continue
+			}
+			ratio.AddRow(
+				fmt.Sprint(n), o.Name(),
+				report.Log2(r.Cost), report.Log2(yesOpt.Cost),
+				report.Ratio(r.Cost, yesOpt.Cost),
+			)
+		}
+		cert := &core.GapCertificate{
+			Name:        fmt.Sprintf("T6 n=%d", n),
+			YesBound:    fnYes.K,
+			NoBound:     fnNo.NoLowerBound,
+			YesMeasured: yesOpt.Cost,
+			NoMeasured:  noOpt.Cost,
+			NoExact:     true,
+		}
+		curve.AddRow(
+			fmt.Sprint(n),
+			report.Log2(fnYes.K),
+			report.Log2(yesOpt.Cost),
+			report.Log2(noOpt.Cost),
+			fmt.Sprintf("2^%.1f", cert.GapLog2()),
+			fmt.Sprintf("%.3f", cert.CompetitiveRatioExponent()),
+		)
+	}
+
+	// The δ-sweep: the theorem's 2^{log^{1−δ}K} form comes from letting
+	// α = 4^{n^{1/δ}} grow; at fixed n, increasing log α drives the gap
+	// exponent η toward 1 (δ → 0).
+	alphaSweep := report.New(
+		"δ-sweep at n = 12: growing α drives the gap exponent η toward 1 (Theorem 9's δ → 0)",
+		"log2α", "log2 K", "YES opt", "NO opt", "separation", "η",
+	)
+	{
+		const n = 12
+		yes, no := cliquered.YesNoPair(n, t1C, t1D)
+		for _, a := range []int64{6, 12, 24, 96, 384} {
+			params := core.FNParams{A: a, OmegaYes: yes.Omega, OmegaNo: no.Omega}
+			fnYes, err := core.FN(yes.G, params)
+			if err != nil {
+				return nil, err
+			}
+			fnNo, err := core.FN(no.G, params)
+			if err != nil {
+				return nil, err
+			}
+			dp := opt.NewDP()
+			yesOpt, err := dp.Optimize(fnYes.QON)
+			if err != nil {
+				return nil, err
+			}
+			noOpt, err := dp.Optimize(fnNo.QON)
+			if err != nil {
+				return nil, err
+			}
+			cert := &core.GapCertificate{
+				YesMeasured: yesOpt.Cost,
+				NoMeasured:  noOpt.Cost,
+				YesBound:    fnYes.K,
+				NoBound:     fnNo.NoLowerBound,
+				NoExact:     true,
+			}
+			alphaSweep.AddRow(
+				fmt.Sprint(a),
+				report.Log2(fnYes.K),
+				report.Log2(yesOpt.Cost),
+				report.Log2(noOpt.Cost),
+				fmt.Sprintf("2^%.1f", cert.GapLog2()),
+				fmt.Sprintf("%.3f", cert.CompetitiveRatioExponent()),
+			)
+		}
+	}
+	return []*report.Table{ratio, curve, alphaSweep}, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"approxqo/internal/report"
+	"approxqo/internal/sqocp"
+)
+
+// T7 regenerates the Appendix A/B table: PARTITION instances carried
+// through PARTITION → SPPCS → SQO−CP, with each stage decided exactly
+// and the answers compared — the NP-completeness chain made executable.
+func T7(opts Options) ([]*report.Table, error) {
+	instances := [][]int64{
+		{1, 1},
+		{1, 2},
+		{1, 2, 3},
+		{1, 1, 3},
+		{2, 3, 5},
+	}
+	count := 3
+	if opts.Quick {
+		count = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := 0; i < count; i++ {
+		items := make([]int64, rng.Intn(2)+2)
+		for j := range items {
+			items[j] = int64(rng.Intn(4) + 1)
+		}
+		instances = append(instances, items)
+	}
+
+	tb := report.New(
+		"Appendix A/B: PARTITION → SPPCS → SQO−CP (star query, NL+sort-merge)",
+		"items", "PARTITION", "SPPCS best", "L", "SPPCS", "star cost", "threshold M", "SQO−CP", "agree",
+	)
+	for _, items := range instances {
+		p := &sqocp.Partition{Items: items}
+		want, err := p.Decide()
+		if err != nil {
+			return nil, err
+		}
+		s, err := p.ToSPPCS()
+		if err != nil {
+			return nil, err
+		}
+		sYes, _, best, err := s.Decide()
+		if err != nil {
+			return nil, err
+		}
+		red, err := sqocp.FromSPPCS(s, s.L)
+		if err != nil {
+			return nil, err
+		}
+		qYes, _, cost, err := red.Decide()
+		if err != nil {
+			return nil, err
+		}
+		agree := "OK"
+		if want != sYes || sYes != qYes {
+			agree = "MISMATCH"
+		}
+		tb.AddRow(
+			fmt.Sprint(items),
+			fmt.Sprint(want),
+			best.String(),
+			s.L.String(),
+			fmt.Sprint(sYes),
+			fmt.Sprintf("≈2^%d", cost.BitLen()-1),
+			fmt.Sprintf("≈2^%d", red.Threshold.BitLen()-1),
+			fmt.Sprint(qYes),
+			agree,
+		)
+	}
+	return []*report.Table{tb}, nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"approxqo/internal/opt"
+	"approxqo/internal/qon"
+	"approxqo/internal/report"
+	"approxqo/internal/workload"
+)
+
+// T8 regenerates the baseline table: optimizer quality and runtime on
+// realistic random workloads across query shapes — the contrast to
+// T6's hard instances. KBZ is exactly optimal on trees (chain, star);
+// all heuristics stay within small factors of the certified optimum on
+// benign instances.
+func T8(opts Options) ([]*report.Table, error) {
+	n := 12
+	if opts.Quick {
+		n = 9
+	}
+	tb := report.New(
+		fmt.Sprintf("Baseline: optimizer quality on random workloads (n=%d)", n),
+		"shape", "optimizer", "log₂ cost", "ratio to optimum", "time",
+	)
+	for _, shape := range workload.Shapes() {
+		in, err := workload.Generate(workload.Params{N: n, Shape: shape, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		dpStart := time.Now()
+		best, err := opt.NewDP().Optimize(in)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(string(shape), "subset-dp (exact)", report.Log2(best.Cost), "2^0.0",
+			time.Since(dpStart).Round(time.Millisecond).String())
+		for _, o := range append(opt.Heuristics(opts.Seed), opt.NewIterativeImprovement(opts.Seed, 5)) {
+			start := time.Now()
+			r, err := o.Optimize(in)
+			if err != nil {
+				tb.AddRow(string(shape), o.Name(), "—", "n/a: "+err.Error(), "")
+				continue
+			}
+			tb.AddRow(string(shape), o.Name(),
+				report.Log2(r.Cost),
+				report.Ratio(r.Cost, best.Cost),
+				time.Since(start).Round(time.Millisecond).String())
+		}
+	}
+
+	cat := report.New(
+		"Benchmark-shaped catalog queries (TPC-H/SSB profiles): certified optimum vs fact-first order",
+		"query", "relations", "edges", "optimum", "fact-first", "optimizer win",
+	)
+	for _, c := range workload.Catalog() {
+		best, err := opt.NewDP().Optimize(c.Instance)
+		if err != nil {
+			return nil, err
+		}
+		factFirst := descendingCardinality(c.Instance)
+		factCost := c.Instance.Cost(factFirst)
+		cat.AddRow(c.Name,
+			fmt.Sprint(c.Instance.N()),
+			fmt.Sprint(c.Instance.Q.EdgeCount()),
+			report.Log2(best.Cost),
+			report.Log2(factCost),
+			report.Ratio(factCost, best.Cost))
+	}
+	return []*report.Table{tb, cat}, nil
+}
+
+// descendingCardinality orders relations biggest first — the classic
+// bad plan that scans the fact table as the outermost loop.
+func descendingCardinality(in *qon.Instance) qon.Sequence {
+	z := make(qon.Sequence, in.N())
+	for i := range z {
+		z[i] = i
+	}
+	sort.Slice(z, func(a, b int) bool { return in.T[z[b]].Less(in.T[z[a]]) })
+	return z
+}

@@ -1,0 +1,153 @@
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers, used for
+// adjacency rows and vertex subsets. The zero value of a slice expression
+// is not usable; construct with NewBitset.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// NewBitset returns an empty bitset with capacity for values 0..n-1.
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		panic("graph: NewBitset with negative capacity")
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the bitset capacity.
+func (b *Bitset) Cap() int { return b.n }
+
+func (b *Bitset) checkIndex(i int) {
+	if i < 0 || i >= b.n {
+		panic("graph: bitset index out of range")
+	}
+}
+
+// Add inserts i into the set.
+func (b *Bitset) Add(i int) {
+	b.checkIndex(i)
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Remove deletes i from the set.
+func (b *Bitset) Remove(i int) {
+	b.checkIndex(i)
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Has reports whether i is in the set.
+func (b *Bitset) Has(i int) bool {
+	b.checkIndex(i)
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsEmpty reports whether the set has no elements.
+func (b *Bitset) IsEmpty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of b.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+func (b *Bitset) sameCap(o *Bitset) {
+	if b.n != o.n {
+		panic("graph: bitset capacity mismatch")
+	}
+}
+
+// IntersectWith sets b to b ∩ o.
+func (b *Bitset) IntersectWith(o *Bitset) {
+	b.sameCap(o)
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+// UnionWith sets b to b ∪ o.
+func (b *Bitset) UnionWith(o *Bitset) {
+	b.sameCap(o)
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// DiffWith sets b to b \ o.
+func (b *Bitset) DiffWith(o *Bitset) {
+	b.sameCap(o)
+	for i := range b.words {
+		b.words[i] &^= o.words[i]
+	}
+}
+
+// IntersectCount returns |b ∩ o| without allocating.
+func (b *Bitset) IntersectCount(o *Bitset) int {
+	b.sameCap(o)
+	c := 0
+	for i := range b.words {
+		c += bits.OnesCount64(b.words[i] & o.words[i])
+	}
+	return c
+}
+
+// Equal reports whether b and o contain exactly the same elements.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Elems returns the elements in increasing order.
+func (b *Bitset) Elems() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// ForEach calls fn for each element in increasing order.
+func (b *Bitset) ForEach(fn func(int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			fn(i)
+			w &= w - 1
+		}
+	}
+}
+
+// First returns the smallest element, or -1 if the set is empty.
+func (b *Bitset) First() int {
+	for wi, w := range b.words {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Cap() != 130 {
+		t.Fatalf("Cap = %d, want 130", b.Cap())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.Add(i)
+		if !b.Has(i) {
+			t.Errorf("Has(%d) = false after Add", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Errorf("Count = %d, want 8", b.Count())
+	}
+	b.Remove(64)
+	if b.Has(64) {
+		t.Error("Has(64) = true after Remove")
+	}
+	if b.IsEmpty() {
+		t.Error("IsEmpty on non-empty set")
+	}
+	want := []int{0, 1, 63, 65, 127, 128, 129}
+	got := b.Elems()
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+	if b.First() != 0 {
+		t.Errorf("First = %d, want 0", b.First())
+	}
+	if NewBitset(10).First() != -1 {
+		t.Error("First of empty set should be -1")
+	}
+}
+
+func TestBitsetOutOfRange(t *testing.T) {
+	b := NewBitset(10)
+	for _, fn := range []func(){
+		func() { b.Add(10) },
+		func() { b.Add(-1) },
+		func() { b.Has(10) },
+		func() { b.Remove(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBitsetSetOps(t *testing.T) {
+	mk := func(elems ...int) *Bitset {
+		b := NewBitset(200)
+		for _, e := range elems {
+			b.Add(e)
+		}
+		return b
+	}
+	a := mk(1, 2, 3, 100, 150)
+	b := mk(2, 3, 4, 150, 199)
+
+	inter := a.Clone()
+	inter.IntersectWith(b)
+	if !inter.Equal(mk(2, 3, 150)) {
+		t.Errorf("intersection = %v", inter.Elems())
+	}
+	if a.IntersectCount(b) != 3 {
+		t.Errorf("IntersectCount = %d, want 3", a.IntersectCount(b))
+	}
+	uni := a.Clone()
+	uni.UnionWith(b)
+	if !uni.Equal(mk(1, 2, 3, 4, 100, 150, 199)) {
+		t.Errorf("union = %v", uni.Elems())
+	}
+	diff := a.Clone()
+	diff.DiffWith(b)
+	if !diff.Equal(mk(1, 100)) {
+		t.Errorf("difference = %v", diff.Elems())
+	}
+	// Clone independence.
+	c := a.Clone()
+	c.Add(50)
+	if a.Has(50) {
+		t.Error("Clone shares storage with original")
+	}
+	// Capacity mismatch panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity mismatch did not panic")
+		}
+	}()
+	a.UnionWith(NewBitset(10))
+}
+
+// Property: set operations agree with map-based reference semantics.
+func TestQuickBitsetSemantics(t *testing.T) {
+	prop := func(xs, ys []uint8) bool {
+		const cap = 256
+		bx, by := NewBitset(cap), NewBitset(cap)
+		mx, my := map[int]bool{}, map[int]bool{}
+		for _, x := range xs {
+			bx.Add(int(x))
+			mx[int(x)] = true
+		}
+		for _, y := range ys {
+			by.Add(int(y))
+			my[int(y)] = true
+		}
+		inter := bx.Clone()
+		inter.IntersectWith(by)
+		count := 0
+		for k := range mx {
+			if my[k] {
+				count++
+				if !inter.Has(k) {
+					return false
+				}
+			}
+		}
+		if inter.Count() != count || bx.IntersectCount(by) != count {
+			return false
+		}
+		if bx.Count() != len(mx) || by.Count() != len(my) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

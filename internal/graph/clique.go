@@ -1,0 +1,129 @@
+package graph
+
+// Exact maximum-clique search: a Tomita-style branch and bound with a
+// greedy-colouring upper bound. The hardness reductions produce *dense*
+// graphs (minimum degree ≥ n−14) with cliques of size Θ(n); the colouring
+// bound keeps those tractable at the sizes the experiments certify.
+
+// MaxClique returns one maximum clique of g (vertex labels, increasing)
+// and its size. The empty graph yields an empty clique.
+func (g *Graph) MaxClique() []int {
+	s := &cliqueSearch{g: g, target: g.n + 1}
+	s.run()
+	return s.best
+}
+
+// CliqueNumber returns ω(g), the size of a maximum clique.
+func (g *Graph) CliqueNumber() int { return len(g.MaxClique()) }
+
+// HasCliqueOfSize reports whether g contains a clique on at least k
+// vertices, stopping as soon as one is found.
+func (g *Graph) HasCliqueOfSize(k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if k > g.n {
+		return false
+	}
+	s := &cliqueSearch{g: g, target: k}
+	s.run()
+	return len(s.best) >= k
+}
+
+type cliqueSearch struct {
+	g      *Graph
+	best   []int
+	cur    []int
+	target int // stop as soon as a clique of this size is found
+	done   bool
+}
+
+func (s *cliqueSearch) run() {
+	p := NewBitset(s.g.n)
+	for v := 0; v < s.g.n; v++ {
+		p.Add(v)
+	}
+	s.expand(p)
+}
+
+// expand grows the current clique s.cur using candidates from p.
+func (s *cliqueSearch) expand(p *Bitset) {
+	if s.done {
+		return
+	}
+	if p.IsEmpty() {
+		if len(s.cur) > len(s.best) {
+			s.best = append([]int(nil), s.cur...)
+			if len(s.best) >= s.target {
+				s.done = true
+			}
+		}
+		return
+	}
+	order, colors := s.colorSort(p)
+	// Process candidates in decreasing colour order; prune when even the
+	// colouring bound cannot beat the incumbent.
+	for i := len(order) - 1; i >= 0; i-- {
+		if s.done {
+			return
+		}
+		if len(s.cur)+colors[i] <= len(s.best) {
+			return
+		}
+		v := order[i]
+		s.cur = append(s.cur, v)
+		np := p.Clone()
+		np.IntersectWith(s.g.neighbors(v))
+		s.expand(np)
+		s.cur = s.cur[:len(s.cur)-1]
+		p.Remove(v)
+	}
+}
+
+// colorSort greedily colours the candidate set and returns the vertices
+// sorted by colour class (ascending) together with each vertex's colour
+// number (1-based). colour[i] bounds the largest clique within
+// {order[0..i]}.
+func (s *cliqueSearch) colorSort(p *Bitset) (order, colors []int) {
+	uncolored := p.Clone()
+	color := 0
+	for !uncolored.IsEmpty() {
+		color++
+		avail := uncolored.Clone()
+		for {
+			v := avail.First()
+			if v < 0 {
+				break
+			}
+			order = append(order, v)
+			colors = append(colors, color)
+			uncolored.Remove(v)
+			avail.Remove(v)
+			avail.DiffWith(s.g.neighbors(v))
+		}
+	}
+	return order, colors
+}
+
+// GreedyClique returns a maximal (not necessarily maximum) clique built
+// by repeatedly adding the candidate vertex of highest degree within the
+// remaining candidate set. Used as a fast lower bound and as a
+// polynomial-time baseline.
+func (g *Graph) GreedyClique() []int {
+	p := NewBitset(g.n)
+	for v := 0; v < g.n; v++ {
+		p.Add(v)
+	}
+	var clique []int
+	for !p.IsEmpty() {
+		best, bestDeg := -1, -1
+		p.ForEach(func(v int) {
+			if d := g.neighbors(v).IntersectCount(p); d > bestDeg {
+				best, bestDeg = v, d
+			}
+		})
+		clique = append(clique, best)
+		p.IntersectWith(g.neighbors(best))
+	}
+	return clique
+}

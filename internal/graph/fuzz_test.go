@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGraphJSON checks that arbitrary JSON never panics the graph
+// decoder and that accepted graphs round-trip.
+func FuzzGraphJSON(f *testing.F) {
+	f.Add(`{"n":3,"edges":[[0,1],[1,2]]}`)
+	f.Add(`{"n":0,"edges":[]}`)
+	f.Add(`{"n":2,"edges":[[0,0]]}`)
+	f.Add(`{"n":-1}`)
+	f.Add(`{"n":1000000000000}`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		var g Graph
+		if err := json.Unmarshal([]byte(input), &g); err != nil {
+			return
+		}
+		data, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("marshal of accepted graph: %v", err)
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if !back.Equal(&g) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Random returns an Erdős–Rényi G(n, p) graph drawn with the given seed.
+func Random(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// ConnectedRandom returns a connected graph with exactly n vertices and m
+// edges, built as a random spanning tree plus m−(n−1) random extra edges.
+// It panics if m is outside [n−1, n(n−1)/2] (for n ≥ 1).
+func ConnectedRandom(n, m int, seed int64) *Graph {
+	if n < 1 {
+		panic("graph: ConnectedRandom needs n ≥ 1")
+	}
+	maxEdges := n * (n - 1) / 2
+	if m < n-1 || m > maxEdges {
+		panic(fmt.Sprintf("graph: ConnectedRandom(n=%d) needs m in [%d, %d], got %d", n, n-1, maxEdges, m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	// Random spanning tree: attach each vertex to a random earlier one.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for g.EdgeCount() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// PlantedClique returns a G(n, p) graph with a clique planted on k
+// vertices, together with the planted vertex set.
+func PlantedClique(n, k int, p float64, seed int64) (*Graph, []int) {
+	if k > n {
+		panic("graph: PlantedClique with k > n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := Random(n, p, seed+1)
+	members := rng.Perm(n)[:k]
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if !g.HasEdge(members[i], members[j]) {
+				g.AddEdge(members[i], members[j])
+			}
+		}
+	}
+	return g, members
+}
+
+// CompleteMultipartite returns the complete multipartite graph with the
+// given part sizes: two vertices are adjacent iff they lie in different
+// parts. Its clique number is exactly the number of non-empty parts, and
+// its minimum degree is n − max(part size) — which is how the experiment
+// harness manufactures dense graphs with a *certified* clique number at
+// sizes where exact search would be infeasible.
+func CompleteMultipartite(parts []int) *Graph {
+	n := 0
+	for _, p := range parts {
+		if p < 0 {
+			panic("graph: negative part size")
+		}
+		n += p
+	}
+	g := New(n)
+	// part[v] = index of v's part.
+	part := make([]int, n)
+	v := 0
+	for pi, size := range parts {
+		for i := 0; i < size; i++ {
+			part[v] = pi
+			v++
+		}
+	}
+	for u := 0; u < n; u++ {
+		for w := u + 1; w < n; w++ {
+			if part[u] != part[w] {
+				g.AddEdge(u, w)
+			}
+		}
+	}
+	return g
+}
+
+// BalancedParts splits n vertices into r parts whose sizes differ by at
+// most one (helper for CompleteMultipartite: clique number exactly r,
+// maximum part size ⌈n/r⌉).
+func BalancedParts(n, r int) []int {
+	if r < 1 || r > n {
+		panic(fmt.Sprintf("graph: BalancedParts(n=%d) needs r in [1, n], got %d", n, r))
+	}
+	parts := make([]int, r)
+	for i := range parts {
+		parts[i] = n / r
+	}
+	for i := 0; i < n%r; i++ {
+		parts[i]++
+	}
+	return parts
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Path returns the path graph on n vertices (edges i—i+1).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n ≥ 3 vertices.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle needs n ≥ 3")
+	}
+	g := Path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+// Star returns the star graph with centre 0 and n−1 leaves.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// EnsureMinDegree adds random edges until every vertex has degree at
+// least d (the CLIQUE problem variant the paper reduces from requires
+// minimum degree ≥ n−14). It panics if d ≥ n.
+func EnsureMinDegree(g *Graph, d int, seed int64) {
+	n := g.N()
+	if d >= n {
+		panic("graph: EnsureMinDegree with d ≥ n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for v := 0; v < n; v++ {
+		for g.Degree(v) < d {
+			u := rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package graph
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	if g.N() != 5 || g.EdgeCount() != 3 {
+		t.Fatalf("got n=%d m=%d, want 5, 3", g.N(), g.EdgeCount())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge not symmetric")
+	}
+	if g.HasEdge(3, 4) || g.HasEdge(2, 2) {
+		t.Error("spurious edge reported")
+	}
+	if g.Degree(1) != 2 || g.Degree(4) != 0 {
+		t.Error("degrees wrong")
+	}
+	g.RemoveEdge(0, 1)
+	if g.HasEdge(0, 1) || g.EdgeCount() != 2 {
+		t.Error("RemoveEdge failed")
+	}
+	// Re-adding an existing edge is idempotent.
+	g.AddEdge(1, 2)
+	if g.EdgeCount() != 2 {
+		t.Error("duplicate AddEdge changed edge count")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("self-loop did not panic")
+		}
+	}()
+	g.AddEdge(3, 3)
+}
+
+func TestComplement(t *testing.T) {
+	g := Path(4) // 0-1-2-3
+	c := g.Complement()
+	want := [][2]int{{0, 2}, {0, 3}, {1, 3}}
+	if c.EdgeCount() != len(want) {
+		t.Fatalf("complement has %d edges, want %d", c.EdgeCount(), len(want))
+	}
+	for _, e := range want {
+		if !c.HasEdge(e[0], e[1]) {
+			t.Errorf("complement missing edge %v", e)
+		}
+	}
+	// Complement is an involution.
+	if !c.Complement().Equal(g) {
+		t.Error("double complement != original")
+	}
+}
+
+func TestInducedSubgraphAndClique(t *testing.T) {
+	g := Complete(6)
+	g.RemoveEdge(0, 5)
+	sub := g.InducedSubgraph([]int{1, 2, 3})
+	if sub.N() != 3 || sub.EdgeCount() != 3 {
+		t.Errorf("induced subgraph wrong: %v", sub)
+	}
+	if !g.IsClique([]int{1, 2, 3, 4}) {
+		t.Error("IsClique false on clique")
+	}
+	if g.IsClique([]int{0, 1, 5}) {
+		t.Error("IsClique true despite missing edge")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate vertex did not panic")
+		}
+	}()
+	g.InducedSubgraph([]int{1, 1})
+}
+
+func TestEdgesWithin(t *testing.T) {
+	g := Complete(5)
+	set := NewBitset(5)
+	for _, v := range []int{0, 1, 2} {
+		set.Add(v)
+	}
+	if got := g.EdgesWithin(set); got != 3 {
+		t.Errorf("EdgesWithin = %d, want 3", got)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	if !New(0).IsConnected() || !New(1).IsConnected() {
+		t.Error("trivial graphs should be connected")
+	}
+	if New(2).IsConnected() {
+		t.Error("two isolated vertices reported connected")
+	}
+	if !Path(10).IsConnected() || !Cycle(5).IsConnected() || !Star(7).IsConnected() {
+		t.Error("connected graph reported disconnected")
+	}
+	g := Path(4)
+	g.RemoveEdge(1, 2)
+	if g.IsConnected() {
+		t.Error("split path reported connected")
+	}
+}
+
+func TestAugmentWithClique(t *testing.T) {
+	g := Path(3) // clique number 2
+	aug := g.AugmentWithClique(4)
+	if aug.N() != 7 {
+		t.Fatalf("augmented n = %d, want 7", aug.N())
+	}
+	// New vertices form a clique and see everyone.
+	if !aug.IsClique([]int{3, 4, 5, 6}) {
+		t.Error("augmentation vertices are not a clique")
+	}
+	for v := 3; v < 7; v++ {
+		if aug.Degree(v) != 6 {
+			t.Errorf("augmentation vertex %d has degree %d, want 6", v, aug.Degree(v))
+		}
+	}
+	// Clique number grows by exactly k.
+	if got := aug.CliqueNumber(); got != 2+4 {
+		t.Errorf("augmented clique number = %d, want 6", got)
+	}
+	// Original edges preserved.
+	if !aug.HasEdge(0, 1) || aug.HasEdge(0, 2) {
+		t.Error("augmentation altered original edges")
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	u := Complete(3).DisjointUnion(Path(3))
+	if u.N() != 6 || u.EdgeCount() != 3+2 {
+		t.Fatalf("union wrong: %v", u)
+	}
+	if u.HasEdge(2, 3) {
+		t.Error("union created a crossing edge")
+	}
+	if !u.HasEdge(3, 4) {
+		t.Error("union lost a relabelled edge")
+	}
+}
+
+func TestMaxCliqueKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"empty", New(0), 0},
+		{"edgeless", New(5), 1},
+		{"K6", Complete(6), 6},
+		{"path10", Path(10), 2},
+		{"cycle5", Cycle(5), 2},
+		{"cycle3", Cycle(3), 3},
+		{"star8", Star(8), 2},
+		{"multipartite 4x3", CompleteMultipartite([]int{3, 3, 3, 3}), 4},
+		{"multipartite mixed", CompleteMultipartite([]int{1, 2, 5, 7}), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clique := tc.g.MaxClique()
+			if len(clique) != tc.want {
+				t.Fatalf("clique number = %d, want %d (clique %v)", len(clique), tc.want, clique)
+			}
+			if !tc.g.IsClique(clique) {
+				t.Fatalf("returned set %v is not a clique", clique)
+			}
+			if tc.want > 0 && !tc.g.HasCliqueOfSize(tc.want) {
+				t.Error("HasCliqueOfSize(ω) = false")
+			}
+			if tc.g.HasCliqueOfSize(tc.want + 1) {
+				t.Error("HasCliqueOfSize(ω+1) = true")
+			}
+		})
+	}
+}
+
+// Property: MaxClique agrees with brute-force enumeration on small
+// random graphs, and GreedyClique always returns a valid clique no
+// larger than the maximum.
+func TestQuickMaxCliqueMatchesBruteForce(t *testing.T) {
+	brute := func(g *Graph) int {
+		n := g.N()
+		best := 0
+		for mask := 0; mask < 1<<n; mask++ {
+			var vs []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					vs = append(vs, v)
+				}
+			}
+			if len(vs) > best && g.IsClique(vs) {
+				best = len(vs)
+			}
+		}
+		return best
+	}
+	prop := func(seed int64, pRaw uint8) bool {
+		p := float64(pRaw) / 255
+		g := Random(9, p, seed)
+		want := brute(g)
+		got := g.MaxClique()
+		if len(got) != want || !g.IsClique(got) {
+			return false
+		}
+		greedy := g.GreedyClique()
+		return g.IsClique(greedy) && len(greedy) <= want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlantedClique(t *testing.T) {
+	g, members := PlantedClique(40, 12, 0.3, 7)
+	if !g.IsClique(members) {
+		t.Fatal("planted members are not a clique")
+	}
+	if !g.HasCliqueOfSize(12) {
+		t.Error("planted clique not found")
+	}
+}
+
+func TestConnectedRandom(t *testing.T) {
+	for _, m := range []int{9, 15, 30, 45} {
+		g := ConnectedRandom(10, m, 3)
+		if g.EdgeCount() != m {
+			t.Errorf("ConnectedRandom(10, %d) has %d edges", m, g.EdgeCount())
+		}
+		if !g.IsConnected() {
+			t.Errorf("ConnectedRandom(10, %d) is disconnected", m)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("infeasible edge count did not panic")
+		}
+	}()
+	ConnectedRandom(10, 8, 1)
+}
+
+func TestBalancedParts(t *testing.T) {
+	parts := BalancedParts(10, 3)
+	sum, max := 0, 0
+	for _, p := range parts {
+		sum += p
+		if p > max {
+			max = p
+		}
+	}
+	if sum != 10 || len(parts) != 3 || max != 4 {
+		t.Errorf("BalancedParts(10,3) = %v", parts)
+	}
+}
+
+func TestEnsureMinDegree(t *testing.T) {
+	g := Random(30, 0.1, 5)
+	EnsureMinDegree(g, 30-14, 6)
+	if g.MinDegree() < 16 {
+		t.Errorf("min degree = %d, want ≥ 16", g.MinDegree())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := Random(12, 0.4, 9)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Error("JSON round trip changed the graph")
+	}
+	var bad Graph
+	if err := json.Unmarshal([]byte(`{"n":2,"edges":[[0,5]]}`), &bad); err == nil {
+		t.Error("invalid edge accepted")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	dot := Path(3).DOT("p3")
+	for _, want := range []string{"graph p3 {", "v0 -- v1", "v1 -- v2"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDegreeSequence(t *testing.T) {
+	ds := Star(5).DegreeSequence()
+	if ds[0] != 4 || ds[1] != 1 || ds[4] != 1 {
+		t.Errorf("Star(5) degree sequence = %v", ds)
+	}
+}
+
+func TestUnmarshalRejectsHugeN(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"n":1000000000000,"edges":[]}`), &g); err == nil {
+		t.Error("absurd vertex count accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"n":16385,"edges":[]}`), &g); err == nil {
+		t.Error("vertex count above MaxJSONVertices accepted")
+	}
+}
+
+// Lemma 7 of the paper: any graph satisfies
+// |E| ≤ n(n−1)/2 − n + ω(G). Verified against exact max-clique on
+// random graphs — the combinatorial bound both hardness reductions
+// hinge on (it converts a clique deficit into an edge deficit).
+func TestQuickLemma7EdgeBound(t *testing.T) {
+	prop := func(seed int64, pRaw uint8) bool {
+		p := float64(pRaw) / 255
+		g := Random(9, p, seed)
+		n := g.N()
+		omega := g.CliqueNumber()
+		return g.EdgeCount() <= n*(n-1)/2-n+omega
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// graphJSON is the serialized form of a Graph.
+type graphJSON struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// MarshalJSON encodes g as {"n": ..., "edges": [[u,v], ...]}.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	return json.Marshal(graphJSON{N: g.n, Edges: g.Edges()})
+}
+
+// MaxJSONVertices bounds the vertex count UnmarshalJSON accepts:
+// adjacency storage is Θ(n²) bits (32 MB at this limit), so an
+// adversarial or corrupt "n" would otherwise allocate unboundedly
+// before any edge is validated.
+const MaxJSONVertices = 1 << 14
+
+// UnmarshalJSON decodes the format MarshalJSON emits.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var gj graphJSON
+	if err := json.Unmarshal(data, &gj); err != nil {
+		return err
+	}
+	if gj.N < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", gj.N)
+	}
+	if gj.N > MaxJSONVertices {
+		return fmt.Errorf("graph: vertex count %d exceeds decode limit %d", gj.N, MaxJSONVertices)
+	}
+	ng := New(gj.N)
+	for _, e := range gj.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= gj.N || v < 0 || v >= gj.N || u == v {
+			return fmt.Errorf("graph: invalid edge {%d, %d} for n=%d", u, v, gj.N)
+		}
+		ng.AddEdge(u, v)
+	}
+	*g = *ng
+	return nil
+}
+
+// DOT renders g in Graphviz DOT format.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s {\n", name)
+	for v := 0; v < g.n; v++ {
+		fmt.Fprintf(&b, "  v%d;\n", v)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  v%d -- v%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package num
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzUnmarshalJSON checks that arbitrary input never panics the
+// decoder and that accepted values survive a marshal/unmarshal cycle.
+func FuzzUnmarshalJSON(f *testing.F) {
+	f.Add(`"42"`)
+	f.Add(`"0x1p+5000"`)
+	f.Add(`"1.5e300"`)
+	f.Add(`"-3"`)
+	f.Add(`""`)
+	f.Add(`"inf"`)
+	f.Add(`"0"`)
+	f.Add(`12345`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var n Num
+		if err := json.Unmarshal([]byte(input), &n); err != nil {
+			return
+		}
+		data, err := json.Marshal(n)
+		if err != nil {
+			t.Fatalf("marshal of accepted value: %v", err)
+		}
+		var back Num
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("reparse of own output %s: %v", data, err)
+		}
+		if !back.Equal(n) {
+			t.Fatalf("round trip changed value: %v -> %v", n, back)
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"approxqo/internal/qon"
+)
+
+// DefaultAnnealingIters is the default iteration budget for simulated
+// annealing and iterative improvement.
+const DefaultAnnealingIters = 20000
+
+// Annealing is simulated annealing over permutations with swap and
+// reinsert moves. Energy is log₂-cost, so acceptance probabilities stay
+// meaningful despite astronomically large absolute costs.
+type Annealing struct {
+	seed  int64
+	iters int
+}
+
+// NewAnnealing returns a simulated-annealing optimizer; iters ≤ 0 means
+// DefaultAnnealingIters.
+func NewAnnealing(seed int64, iters int) Annealing {
+	if iters <= 0 {
+		iters = DefaultAnnealingIters
+	}
+	return Annealing{seed: seed, iters: iters}
+}
+
+// Name implements Optimizer.
+func (Annealing) Name() string { return "annealing" }
+
+// Optimize implements Optimizer.
+func (a Annealing) Optimize(in *qon.Instance) (*Result, error) {
+	n := in.N()
+	if n == 0 {
+		return nil, fmt.Errorf("opt: empty instance")
+	}
+	if n == 1 {
+		return &Result{Sequence: qon.Sequence{0}, Cost: in.Cost(qon.Sequence{0})}, nil
+	}
+	rng := rand.New(rand.NewSource(a.seed))
+	cur := qon.Sequence(rng.Perm(n))
+	curE := in.Cost(cur).Log2()
+	best := append(qon.Sequence(nil), cur...)
+	bestE := curE
+
+	// Geometric cooling from an energy scale proportional to n·log t.
+	temp := math.Max(1, curE/4)
+	cooling := math.Pow(0.001/temp, 1/float64(a.iters))
+	next := make(qon.Sequence, n)
+	for it := 0; it < a.iters; it++ {
+		copy(next, cur)
+		if rng.Intn(2) == 0 {
+			// Swap move.
+			i, j := rng.Intn(n), rng.Intn(n)
+			next[i], next[j] = next[j], next[i]
+		} else {
+			// Reinsert move: remove position i, insert before position j.
+			i, j := rng.Intn(n), rng.Intn(n)
+			v := next[i]
+			copy(next[i:], next[i+1:])
+			copy(next[j+1:], next[j:n-1])
+			next[j] = v
+		}
+		e := in.Cost(next).Log2()
+		if e <= curE || rng.Float64() < math.Exp((curE-e)/temp) {
+			cur, next = next, cur
+			curE = e
+			if curE < bestE {
+				bestE = curE
+				best = append(best[:0], cur...)
+			}
+		}
+		temp *= cooling
+	}
+	return &Result{Sequence: best, Cost: in.Cost(best)}, nil
+}
+
+// RandomSampler evaluates k uniform random permutations and keeps the
+// best — the weakest baseline, useful as a calibration floor.
+type RandomSampler struct {
+	seed    int64
+	samples int
+}
+
+// NewRandomSampler returns a random-sampling optimizer; samples ≤ 0
+// means 1000.
+func NewRandomSampler(seed int64, samples int) RandomSampler {
+	if samples <= 0 {
+		samples = 1000
+	}
+	return RandomSampler{seed: seed, samples: samples}
+}
+
+// Name implements Optimizer.
+func (RandomSampler) Name() string { return "random-sampler" }
+
+// Optimize implements Optimizer.
+func (r RandomSampler) Optimize(in *qon.Instance) (*Result, error) {
+	n := in.N()
+	if n == 0 {
+		return nil, fmt.Errorf("opt: empty instance")
+	}
+	rng := rand.New(rand.NewSource(r.seed))
+	var best *Result
+	for i := 0; i < r.samples; i++ {
+		z := qon.Sequence(rng.Perm(n))
+		c := in.Cost(z)
+		if best == nil || c.Less(best.Cost) {
+			best = &Result{Sequence: z, Cost: c}
+		}
+	}
+	return best, nil
+}
+
+// IterativeImprovement is repeated random-restart hill climbing with
+// pairwise-swap moves to local optimality.
+type IterativeImprovement struct {
+	seed     int64
+	restarts int
+}
+
+// NewIterativeImprovement returns an II optimizer; restarts ≤ 0 means 10.
+func NewIterativeImprovement(seed int64, restarts int) IterativeImprovement {
+	if restarts <= 0 {
+		restarts = 10
+	}
+	return IterativeImprovement{seed: seed, restarts: restarts}
+}
+
+// Name implements Optimizer.
+func (IterativeImprovement) Name() string { return "iterative-improvement" }
+
+// Optimize implements Optimizer.
+func (ii IterativeImprovement) Optimize(in *qon.Instance) (*Result, error) {
+	n := in.N()
+	if n == 0 {
+		return nil, fmt.Errorf("opt: empty instance")
+	}
+	rng := rand.New(rand.NewSource(ii.seed))
+	var best *Result
+	for r := 0; r < ii.restarts; r++ {
+		cur := qon.Sequence(rng.Perm(n))
+		curC := in.Cost(cur)
+		improved := true
+		for improved {
+			improved = false
+			for i := 0; i < n && !improved; i++ {
+				for j := i + 1; j < n && !improved; j++ {
+					cur[i], cur[j] = cur[j], cur[i]
+					if c := in.Cost(cur); c.Less(curC) {
+						curC = c
+						improved = true
+					} else {
+						cur[i], cur[j] = cur[j], cur[i]
+					}
+				}
+			}
+		}
+		if best == nil || curC.Less(best.Cost) {
+			best = &Result{Sequence: append(qon.Sequence(nil), cur...), Cost: curC}
+		}
+	}
+	return best, nil
+}

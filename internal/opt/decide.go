@@ -1,0 +1,21 @@
+package opt
+
+import (
+	"approxqo/internal/num"
+	"approxqo/internal/qon"
+)
+
+// Decide answers the paper's QO_N decision problem exactly: does a join
+// sequence Z with C(Z) ≤ bound exist? On YES it returns an optimal
+// witness sequence. It is limited to instances the exact subset DP can
+// certify (n ≤ DefaultMaxDPN) — the problem is NP-complete, after all.
+func Decide(in *qon.Instance, bound num.Num) (bool, qon.Sequence, error) {
+	r, err := NewDP().Optimize(in)
+	if err != nil {
+		return false, nil, err
+	}
+	if r.Cost.LessEq(bound) {
+		return true, r.Sequence, nil
+	}
+	return false, nil, nil
+}

@@ -1,0 +1,114 @@
+package opt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qon"
+)
+
+// DefaultMaxDPN caps the subset DP (2^n states).
+const DefaultMaxDPN = 20
+
+// DP is the exact subset dynamic program for left-deep QO_N plans.
+//
+// Correctness rests on a structural fact of the paper's cost model: the
+// intermediate size N(X) and the access cost min_{u∈X} W[v][u] depend
+// only on the *set* X, not on the order it was joined in. Hence the
+// cheapest way to have joined exactly the set X is
+//
+//	dp[X] = min over v∈X, |X|≥2 of dp[X\{v}] + N(X\{v})·min_{u} W[v][u]
+//
+// — a Held–Karp-style recurrence over 2^n subsets, exact in
+// O(2^n·n²) operations. This is what certifies optima for the
+// competitive-ratio experiments.
+type DP struct {
+	// MaxN caps the instance size; zero means DefaultMaxDPN.
+	MaxN int
+}
+
+// NewDP returns the subset-DP optimizer with the default size cap.
+func NewDP() DP { return DP{} }
+
+// Name implements Optimizer.
+func (DP) Name() string { return "subset-dp" }
+
+// Optimize implements Optimizer.
+func (d DP) Optimize(in *qon.Instance) (*Result, error) {
+	n := in.N()
+	max := d.MaxN
+	if max == 0 {
+		max = DefaultMaxDPN
+	}
+	if n > max {
+		return nil, fmt.Errorf("opt: subset DP capped at n ≤ %d, got %d", max, n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("opt: empty instance")
+	}
+	if n == 1 {
+		return &Result{Sequence: qon.Sequence{0}, Cost: num.Zero(), Exact: true}, nil
+	}
+
+	total := 1 << n
+	// size[mask] = N(mask); dp[mask] = best cost to join exactly mask;
+	// parent[mask] = last vertex joined in the best plan for mask.
+	size := make([]num.Num, total)
+	dp := make([]num.Num, total)
+	parent := make([]int8, total)
+	size[0] = num.One()
+
+	// Precompute sizes: N(mask) = N(mask\{low}) · factor(low, mask\{low}).
+	scratch := graph.NewBitset(n)
+	maskToBitset := func(mask int) *graph.Bitset {
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				scratch.Add(v)
+			} else {
+				scratch.Remove(v)
+			}
+		}
+		return scratch
+	}
+	for mask := 1; mask < total; mask++ {
+		low := bits.TrailingZeros(uint(mask))
+		rest := mask &^ (1 << low)
+		size[mask] = size[rest].Mul(in.ExtendFactor(low, maskToBitset(rest)))
+	}
+
+	minw := newMinWIndex(in)
+	for mask := 1; mask < total; mask++ {
+		if bits.OnesCount(uint(mask)) < 2 {
+			dp[mask] = num.Zero()
+			parent[mask] = int8(bits.TrailingZeros(uint(mask)))
+			continue
+		}
+		var best num.Num
+		bestV := -1
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) == 0 {
+				continue
+			}
+			rest := mask &^ (1 << v)
+			cand := num.MulAdd(size[rest], minw.min(in, v, rest), dp[rest])
+			if bestV < 0 || cand.Less(best) {
+				best, bestV = cand, v
+			}
+		}
+		dp[mask], parent[mask] = best, int8(bestV)
+	}
+
+	// Reconstruct the sequence.
+	seq := make(qon.Sequence, 0, n)
+	for mask := total - 1; mask != 0; {
+		v := int(parent[mask])
+		seq = append(seq, v)
+		mask &^= 1 << v
+	}
+	for l, r := 0, len(seq)-1; l < r; l, r = l+1, r-1 {
+		seq[l], seq[r] = seq[r], seq[l]
+	}
+	return &Result{Sequence: seq, Cost: dp[total-1], Exact: true}, nil
+}

@@ -1,0 +1,83 @@
+package opt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the no-cross DP matches brute-force enumeration restricted
+// to cartesian-product-free sequences, and is never below the
+// unrestricted DP optimum.
+func TestQuickDPNoCrossMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64, pRaw uint8) bool {
+		p := 0.3 + 0.7*float64(pRaw)/255
+		in := randomInstance(6, p, seed)
+		restricted, errR := NewDPNoCross().Optimize(in)
+		if !in.Q.IsConnected() {
+			return errR != nil
+		}
+		if errR != nil {
+			return false
+		}
+		if in.HasCartesianProduct(restricted.Sequence) {
+			return false
+		}
+		if !in.Cost(restricted.Sequence).Equal(restricted.Cost) {
+			return false
+		}
+		want := bruteConnectedOptimum(in)
+		if !restricted.Cost.Equal(want) {
+			return false
+		}
+		full, err := NewDP().Optimize(in)
+		if err != nil {
+			return false
+		}
+		return !restricted.Cost.Less(full.Cost)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDPNoCrossDisconnected(t *testing.T) {
+	in := randomInstance(5, 0, 9) // edgeless
+	if _, err := NewDPNoCross().Optimize(in); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func TestDPNoCrossSingle(t *testing.T) {
+	in := randomInstance(1, 0, 2)
+	r, err := NewDPNoCross().Optimize(in)
+	if err != nil || !r.Cost.IsZero() {
+		t.Fatalf("single relation mishandled: %v %v", r, err)
+	}
+}
+
+func TestDPNoCrossCap(t *testing.T) {
+	d := DPNoCross{MaxN: 4}
+	if _, err := d.Optimize(randomInstance(5, 0.9, 3)); err == nil {
+		t.Error("cap not enforced")
+	}
+}
+
+// KBZ (tree-exact among connected orders) must agree with the no-cross
+// DP on tree query graphs.
+func TestDPNoCrossAgreesWithKBZOnTrees(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in := treeInstance(7, seed)
+		kbz, err := NewKBZ().Optimize(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := NewDPNoCross().Optimize(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !kbz.Cost.Equal(dp.Cost) {
+			t.Errorf("seed %d: KBZ 2^%.3f vs no-cross DP 2^%.3f",
+				seed, kbz.Cost.Log2(), dp.Cost.Log2())
+		}
+	}
+}

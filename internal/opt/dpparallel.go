@@ -1,0 +1,148 @@
+package opt
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qon"
+)
+
+// DPParallel is the exact subset DP parallelized across cores. Masks
+// with k set bits depend only on masks with k−1 set bits, so the DP
+// (and the size table it needs) proceeds in popcount layers, each layer
+// sharded across workers. Results are identical to DP — the tests
+// assert bit-equality — but the 2^n·n² big.Float work spreads over
+// GOMAXPROCS cores, pushing the practical exact frontier outward.
+type DPParallel struct {
+	// MaxN caps the instance size; zero means DefaultMaxDPN + 2 (the
+	// parallel version exists to go a little further).
+	MaxN int
+	// Workers overrides the worker count; zero means GOMAXPROCS.
+	Workers int
+}
+
+// NewDPParallel returns the parallel subset DP.
+func NewDPParallel() DPParallel { return DPParallel{} }
+
+// Name implements Optimizer.
+func (DPParallel) Name() string { return "subset-dp-parallel" }
+
+// Optimize implements Optimizer.
+func (d DPParallel) Optimize(in *qon.Instance) (*Result, error) {
+	n := in.N()
+	max := d.MaxN
+	if max == 0 {
+		max = DefaultMaxDPN + 2
+	}
+	if n > max {
+		return nil, fmt.Errorf("opt: parallel subset DP capped at n ≤ %d, got %d", max, n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("opt: empty instance")
+	}
+	if n == 1 {
+		return &Result{Sequence: qon.Sequence{0}, Cost: num.Zero(), Exact: true}, nil
+	}
+	workers := d.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	total := 1 << n
+	// Masks grouped by popcount.
+	layers := make([][]int, n+1)
+	for mask := 1; mask < total; mask++ {
+		pc := bits.OnesCount(uint(mask))
+		layers[pc] = append(layers[pc], mask)
+	}
+
+	size := make([]num.Num, total)
+	size[0] = num.One()
+	dp := make([]num.Num, total)
+	parent := make([]int8, total)
+
+	// Per-worker scratch bitsets (ExtendFactor/MinW take bitsets).
+	scratches := make([]*graph.Bitset, workers)
+	for i := range scratches {
+		scratches[i] = graph.NewBitset(n)
+	}
+	fill := func(scratch *graph.Bitset, mask int) *graph.Bitset {
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				scratch.Add(v)
+			} else {
+				scratch.Remove(v)
+			}
+		}
+		return scratch
+	}
+
+	runLayer := func(masks []int, work func(scratch *graph.Bitset, mask int)) {
+		var wg sync.WaitGroup
+		chunk := (len(masks) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(masks) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(masks) {
+				hi = len(masks)
+			}
+			wg.Add(1)
+			go func(scratch *graph.Bitset, part []int) {
+				defer wg.Done()
+				for _, mask := range part {
+					work(scratch, mask)
+				}
+			}(scratches[w], masks[lo:hi])
+		}
+		wg.Wait()
+	}
+
+	minw := newMinWIndex(in)
+	for pc := 1; pc <= n; pc++ {
+		// Sizes for this layer (reads only the previous layer).
+		runLayer(layers[pc], func(scratch *graph.Bitset, mask int) {
+			low := bits.TrailingZeros(uint(mask))
+			rest := mask &^ (1 << low)
+			size[mask] = size[rest].Mul(in.ExtendFactor(low, fill(scratch, rest)))
+		})
+		// DP for this layer.
+		runLayer(layers[pc], func(scratch *graph.Bitset, mask int) {
+			if pc < 2 {
+				dp[mask] = num.Zero()
+				parent[mask] = int8(bits.TrailingZeros(uint(mask)))
+				return
+			}
+			var best num.Num
+			bestV := -1
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) == 0 {
+					continue
+				}
+				rest := mask &^ (1 << v)
+				cand := num.MulAdd(size[rest], minw.min(in, v, rest), dp[rest])
+				if bestV < 0 || cand.Less(best) {
+					best, bestV = cand, v
+				}
+			}
+			dp[mask], parent[mask] = best, int8(bestV)
+		})
+	}
+
+	seq := make(qon.Sequence, 0, n)
+	for mask := total - 1; mask != 0; {
+		v := int(parent[mask])
+		seq = append(seq, v)
+		mask &^= 1 << v
+	}
+	for l, r := 0, len(seq)-1; l < r; l, r = l+1, r-1 {
+		seq[l], seq[r] = seq[r], seq[l]
+	}
+	return &Result{Sequence: seq, Cost: dp[total-1], Exact: true}, nil
+}

@@ -1,0 +1,55 @@
+package opt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the parallel DP returns exactly the serial DP's cost (the
+// sequences may differ when ties exist, but costs must be bit-equal
+// since both evaluate the same products in the same association).
+func TestQuickDPParallelMatchesSerial(t *testing.T) {
+	prop := func(seed int64, pRaw uint8) bool {
+		p := float64(pRaw) / 255
+		in := randomInstance(7, p, seed)
+		serial, err1 := NewDP().Optimize(in)
+		par, err2 := NewDPParallel().Optimize(in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return serial.Cost.Equal(par.Cost) &&
+			in.Cost(par.Sequence).Equal(par.Cost) &&
+			par.Exact
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDPParallelWorkerCounts(t *testing.T) {
+	in := randomInstance(8, 0.6, 11)
+	want, err := NewDP().Optimize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		d := DPParallel{Workers: workers}
+		got, err := d.Optimize(in)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !got.Cost.Equal(want.Cost) {
+			t.Errorf("workers=%d: cost mismatch", workers)
+		}
+	}
+}
+
+func TestDPParallelEdgeCases(t *testing.T) {
+	if _, err := NewDPParallel().Optimize(randomInstance(1, 0, 1)); err != nil {
+		t.Errorf("single relation: %v", err)
+	}
+	d := DPParallel{MaxN: 5}
+	if _, err := d.Optimize(randomInstance(6, 0.5, 2)); err == nil {
+		t.Error("cap not enforced")
+	}
+}

@@ -1,0 +1,56 @@
+package opt
+
+import (
+	"fmt"
+
+	"approxqo/internal/qon"
+)
+
+// MaxExhaustiveN caps exhaustive enumeration (n! sequences).
+const MaxExhaustiveN = 10
+
+// Exhaustive enumerates every join sequence. Exact; n ≤ MaxExhaustiveN.
+type Exhaustive struct{}
+
+// NewExhaustive returns the exhaustive optimizer.
+func NewExhaustive() Exhaustive { return Exhaustive{} }
+
+// Name implements Optimizer.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Optimize implements Optimizer by trying all n! permutations.
+func (Exhaustive) Optimize(in *qon.Instance) (*Result, error) {
+	n := in.N()
+	if n > MaxExhaustiveN {
+		return nil, fmt.Errorf("opt: exhaustive capped at n ≤ %d, got %d", MaxExhaustiveN, n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("opt: empty instance")
+	}
+	perm := make(qon.Sequence, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var best *Result
+	permute(perm, 0, func(z qon.Sequence) {
+		c := in.Cost(z)
+		if best == nil || c.Less(best.Cost) {
+			best = &Result{Sequence: append(qon.Sequence(nil), z...), Cost: c, Exact: true}
+		}
+	})
+	return best, nil
+}
+
+// permute generates all permutations of p[k:] in place (Heap-style
+// recursive swap), invoking fn on the full slice for each.
+func permute(p qon.Sequence, k int, fn func(qon.Sequence)) {
+	if k == len(p) {
+		fn(p)
+		return
+	}
+	for i := k; i < len(p); i++ {
+		p[k], p[i] = p[i], p[k]
+		permute(p, k+1, fn)
+		p[k], p[i] = p[i], p[k]
+	}
+}

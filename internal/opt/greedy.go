@@ -1,0 +1,93 @@
+package opt
+
+import (
+	"fmt"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qon"
+)
+
+// GreedyRule selects what a greedy step minimizes.
+type GreedyRule int
+
+const (
+	// GreedyMinSize appends the vertex minimizing the resulting
+	// intermediate size N(Xv) — the classic "minimum intermediate
+	// result" heuristic.
+	GreedyMinSize GreedyRule = iota
+	// GreedyMinCost appends the vertex minimizing the immediate join
+	// cost H = N(X)·min W.
+	GreedyMinCost
+)
+
+// Greedy builds a sequence one vertex at a time, trying every possible
+// first relation and keeping the best complete sequence. Vertices
+// connected to the prefix are preferred over cartesian products.
+type Greedy struct {
+	rule GreedyRule
+}
+
+// NewGreedy returns a greedy optimizer with the given step rule.
+func NewGreedy(rule GreedyRule) Greedy { return Greedy{rule: rule} }
+
+// Name implements Optimizer.
+func (g Greedy) Name() string {
+	if g.rule == GreedyMinSize {
+		return "greedy-min-size"
+	}
+	return "greedy-min-cost"
+}
+
+// Optimize implements Optimizer.
+func (g Greedy) Optimize(in *qon.Instance) (*Result, error) {
+	n := in.N()
+	if n == 0 {
+		return nil, fmt.Errorf("opt: empty instance")
+	}
+	var best *Result
+	for first := 0; first < n; first++ {
+		z := g.buildFrom(in, first)
+		c := in.Cost(z)
+		if best == nil || c.Less(best.Cost) {
+			best = &Result{Sequence: z, Cost: c}
+		}
+	}
+	return best, nil
+}
+
+func (g Greedy) buildFrom(in *qon.Instance, first int) qon.Sequence {
+	n := in.N()
+	z := make(qon.Sequence, 0, n)
+	x := graph.NewBitset(n)
+	z = append(z, first)
+	x.Add(first)
+	size := in.Size([]int{first})
+	for len(z) < n {
+		pick, pickConnected := -1, false
+		var pickKey num.Num
+		for v := 0; v < n; v++ {
+			if x.Has(v) {
+				continue
+			}
+			connected := in.Q.Neighbors(v).IntersectCount(x) > 0
+			// Prefer connected extensions over cartesian products.
+			if pick >= 0 && pickConnected && !connected {
+				continue
+			}
+			var key num.Num
+			if g.rule == GreedyMinSize {
+				key = size.Mul(in.ExtendFactor(v, x))
+			} else {
+				key = size.Mul(in.MinW(v, x))
+			}
+			if pick < 0 || (connected && !pickConnected) || key.Less(pickKey) {
+				pick, pickConnected, pickKey = v, connected, key
+			}
+		}
+		size = size.Mul(in.ExtendFactor(pick, x))
+		z = append(z, pick)
+		x.Add(pick)
+	}
+	return z
+}

@@ -1,0 +1,192 @@
+package opt
+
+import (
+	"fmt"
+	"math/big"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qon"
+)
+
+// KBZ implements the Ibaraki–Kameda rank algorithm ([1] in the paper;
+// popularized as KBZ by Krishnamurthy–Boral–Zaniolo [6]) for tree query
+// graphs under the QO_N cost model, which satisfies the adjacent
+// sequence interchange (ASI) property: for a fixed first relation,
+// appending relation v with parent p costs C_v = W[v][p] per outer tuple
+// and multiplies the intermediate size by T_v = t_v·s_vp, so sequences
+// are ordered optimally by the rank (T_v − 1)/C_v subject to tree
+// precedence — solvable in polynomial time by chain normalization and
+// rank merging, trying each relation as the root.
+//
+// On cyclic query graphs it falls back to a maximum-selectivity spanning
+// tree (the classic heuristic): ranks are computed on the tree, but the
+// final sequence is costed on the true instance.
+type KBZ struct{}
+
+// NewKBZ returns the KBZ optimizer.
+func NewKBZ() KBZ { return KBZ{} }
+
+// Name implements Optimizer.
+func (KBZ) Name() string { return "kbz" }
+
+// Optimize implements Optimizer. It errors on disconnected query graphs.
+func (k KBZ) Optimize(in *qon.Instance) (*Result, error) {
+	n := in.N()
+	if n == 0 {
+		return nil, fmt.Errorf("opt: empty instance")
+	}
+	if n == 1 {
+		return &Result{Sequence: qon.Sequence{0}, Cost: num.Zero()}, nil
+	}
+	if !in.Q.IsConnected() {
+		return nil, fmt.Errorf("opt: kbz requires a connected query graph")
+	}
+	tree := in.Q
+	if in.Q.EdgeCount() != n-1 {
+		tree = maxSelectivitySpanningTree(in)
+	}
+	var best *Result
+	for root := 0; root < n; root++ {
+		z := kbzSequence(in, tree, root)
+		c := in.Cost(z)
+		if best == nil || c.Less(best.Cost) {
+			best = &Result{Sequence: z, Cost: c}
+		}
+	}
+	return best, nil
+}
+
+// module is a compound element of an ASI chain.
+type module struct {
+	c, t  *big.Float // ASI cost and size factor
+	verts []int
+}
+
+func newModule(c, t num.Num, v int) *module {
+	return &module{c: c.Float(), t: t.Float(), verts: []int{v}}
+}
+
+// fuse absorbs m2 after m1: C = C1 + T1·C2, T = T1·T2.
+func fuse(m1, m2 *module) *module {
+	c := new(big.Float).SetPrec(num.Prec).Mul(m1.t, m2.c)
+	c.Add(c, m1.c)
+	t := new(big.Float).SetPrec(num.Prec).Mul(m1.t, m2.t)
+	return &module{c: c, t: t, verts: append(append([]int(nil), m1.verts...), m2.verts...)}
+}
+
+// rankLess reports rank(m1) < rank(m2), with rank = (T−1)/C, C > 0.
+// Cross-multiplied to avoid division: (T1−1)·C2 < (T2−1)·C1.
+func rankLess(m1, m2 *module) bool {
+	one := new(big.Float).SetPrec(num.Prec).SetInt64(1)
+	l := new(big.Float).SetPrec(num.Prec).Sub(m1.t, one)
+	l.Mul(l, m2.c)
+	r := new(big.Float).SetPrec(num.Prec).Sub(m2.t, one)
+	r.Mul(r, m1.c)
+	return l.Cmp(r) < 0
+}
+
+// kbzSequence computes the IK-optimal topological order of the tree
+// rooted at root (parent precedes child) and returns it as a sequence
+// starting with root.
+func kbzSequence(in *qon.Instance, tree *graph.Graph, root int) qon.Sequence {
+	n := in.N()
+	parent := make([]int, n)
+	children := make([][]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	// BFS orientation.
+	queue := []int{root}
+	visited := make([]bool, n)
+	visited[root] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		tree.Neighbors(v).ForEach(func(u int) {
+			if !visited[u] {
+				visited[u] = true
+				parent[u] = v
+				children[v] = append(children[v], u)
+				queue = append(queue, u)
+			}
+		})
+	}
+
+	var chainOf func(v int) []*module
+	chainOf = func(v int) []*module {
+		var merged []*module
+		for _, ch := range children[v] {
+			merged = mergeByRank(merged, chainOf(ch))
+		}
+		if v == root {
+			return merged // the root itself is not a join operation
+		}
+		head := newModule(in.W[v][parent[v]], in.T[v].Mul(in.S[v][parent[v]]), v)
+		chain := append([]*module{head}, merged...)
+		// Normalize: a parent module whose rank exceeds its successor's
+		// must be fused with it (ASI's sequencing argument).
+		for len(chain) >= 2 && !rankLess(chain[0], chain[1]) {
+			chain = append([]*module{fuse(chain[0], chain[1])}, chain[2:]...)
+		}
+		return chain
+	}
+
+	seq := make(qon.Sequence, 0, n)
+	seq = append(seq, root)
+	for _, m := range chainOf(root) {
+		seq = append(seq, m.verts...)
+	}
+	return seq
+}
+
+// mergeByRank merges two rank-ascending module chains.
+func mergeByRank(a, b []*module) []*module {
+	out := make([]*module, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if rankLess(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// maxSelectivitySpanningTree builds a spanning tree of the query graph
+// preferring the most selective edges (smallest s) — Prim's algorithm
+// on log₂ s weights.
+func maxSelectivitySpanningTree(in *qon.Instance) *graph.Graph {
+	n := in.N()
+	tree := graph.New(n)
+	inTree := make([]bool, n)
+	inTree[0] = true
+	for count := 1; count < n; count++ {
+		bestU, bestV := -1, -1
+		bestW := 0.0
+		for u := 0; u < n; u++ {
+			if !inTree[u] {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if inTree[v] || !in.Q.HasEdge(u, v) {
+					continue
+				}
+				w := in.S[u][v].Log2()
+				if bestU < 0 || w < bestW {
+					bestU, bestV, bestW = u, v, w
+				}
+			}
+		}
+		if bestU < 0 {
+			panic("opt: spanning tree on disconnected graph")
+		}
+		tree.AddEdge(bestU, bestV)
+		inTree[bestV] = true
+	}
+	return tree
+}

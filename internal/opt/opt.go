@@ -1,0 +1,71 @@
+// Package opt implements join-order optimizers over the QO_N cost
+// model: two exact algorithms (exhaustive enumeration and a subset
+// dynamic program that exploits the fact that N(X) is a set function)
+// and the polynomial-time heuristics whose competitive ratios the
+// paper's theorems bound from below — greedy, the Ibaraki–Kameda/KBZ
+// rank algorithm for tree queries (with a spanning-tree fallback for
+// cyclic graphs), simulated annealing, iterative improvement and random
+// sampling.
+package opt
+
+import (
+	"fmt"
+
+	"approxqo/internal/num"
+	"approxqo/internal/qon"
+)
+
+// Result is the outcome of one optimization run.
+type Result struct {
+	Sequence qon.Sequence
+	Cost     num.Num
+	// Exact reports whether Cost is certified optimal.
+	Exact bool
+}
+
+// Optimizer finds a join sequence for a QO_N instance.
+type Optimizer interface {
+	// Name identifies the algorithm for reports.
+	Name() string
+	// Optimize returns the best sequence found. Implementations return
+	// an error when the instance is outside their applicable range
+	// (size caps for the exact algorithms, tree-shape requirements…).
+	Optimize(in *qon.Instance) (*Result, error)
+}
+
+// Heuristics returns the polynomial-time optimizer ensemble used by the
+// competitive-ratio experiments, seeded deterministically.
+func Heuristics(seed int64) []Optimizer {
+	return []Optimizer{
+		NewGreedy(GreedyMinSize),
+		NewGreedy(GreedyMinCost),
+		NewKBZ(),
+		NewAnnealing(seed, 0),
+		NewRandomSampler(seed+1, 0),
+	}
+}
+
+// BestOf runs every optimizer and returns the cheapest result along
+// with the name of the winning algorithm. Optimizers that error (e.g.
+// out of range) are skipped; an error is returned only if all fail.
+func BestOf(in *qon.Instance, optimizers ...Optimizer) (*Result, string, error) {
+	var best *Result
+	var winner string
+	var firstErr error
+	for _, o := range optimizers {
+		r, err := o.Optimize(in)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", o.Name(), err)
+			}
+			continue
+		}
+		if best == nil || r.Cost.Less(best.Cost) {
+			best, winner = r, o.Name()
+		}
+	}
+	if best == nil {
+		return nil, "", fmt.Errorf("opt: every optimizer failed: %w", firstErr)
+	}
+	return best, winner, nil
+}

@@ -1,0 +1,130 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qoh"
+)
+
+// QO_H plan search. A QO_H plan is a join sequence plus a pipeline
+// decomposition plus memory allocations; the inner two layers are
+// solved exactly by qoh.Instance.BestDecomposition, so the optimizers
+// here search the sequence space only.
+
+// QOHGreedy builds a sequence greedily — from each feasible start,
+// repeatedly append the relation minimizing the next intermediate size
+// — and returns the best optimally-decomposed plan among them.
+func QOHGreedy(in *qoh.Instance) (*qoh.Plan, error) {
+	n := in.N()
+	if n < 2 {
+		return nil, fmt.Errorf("opt: QO_H greedy needs at least two relations")
+	}
+	var best *qoh.Plan
+	for first := 0; first < n; first++ {
+		if !in.FeasibleStart(first) {
+			continue
+		}
+		z := greedySizeSequence(in, first)
+		plan, err := in.BestDecomposition(z)
+		if err != nil {
+			continue
+		}
+		if best == nil || plan.Cost.Less(best.Cost) {
+			best = plan
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("opt: no feasible QO_H plan found")
+	}
+	return best, nil
+}
+
+func greedySizeSequence(in *qoh.Instance, first int) []int {
+	n := in.N()
+	z := make([]int, 0, n)
+	z = append(z, first)
+	used := graph.NewBitset(n)
+	used.Add(first)
+	size := in.T[first]
+	for len(z) < n {
+		pick := -1
+		var pickSize num.Num
+		for v := 0; v < n; v++ {
+			if used.Has(v) {
+				continue
+			}
+			next := size.Mul(in.T[v])
+			used.ForEach(func(u int) { next = next.Mul(in.S[v][u]) })
+			if pick < 0 || next.Less(pickSize) {
+				pick, pickSize = v, next
+			}
+		}
+		z = append(z, pick)
+		used.Add(pick)
+		size = pickSize
+	}
+	return z
+}
+
+// QOHAnnealing runs simulated annealing over join sequences, solving
+// the decomposition and memory layers exactly per candidate. iters ≤ 0
+// means 500 (each iteration costs an O(n³) decomposition DP).
+func QOHAnnealing(in *qoh.Instance, seed int64, iters int) (*qoh.Plan, error) {
+	if iters <= 0 {
+		iters = 500
+	}
+	n := in.N()
+	if n < 2 {
+		return nil, fmt.Errorf("opt: QO_H annealing needs at least two relations")
+	}
+	// Seed with the greedy plan; fall back to any feasible start.
+	cur, err := QOHGreedy(in)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	curZ := append([]int(nil), cur.Z...)
+	curE := cur.Cost.Log2()
+	best := cur
+	temp := math.Max(1, curE/8)
+	cooling := math.Pow(0.01/temp, 1/float64(iters))
+	for it := 0; it < iters; it++ {
+		nextZ := append([]int(nil), curZ...)
+		i, j := rng.Intn(n), rng.Intn(n)
+		nextZ[i], nextZ[j] = nextZ[j], nextZ[i]
+		plan, err := in.BestDecomposition(nextZ)
+		if err != nil {
+			temp *= cooling
+			continue // infeasible neighbour
+		}
+		e := plan.Cost.Log2()
+		if e <= curE || rng.Float64() < math.Exp((curE-e)/temp) {
+			curZ, curE = nextZ, e
+			if plan.Cost.Less(best.Cost) {
+				best = plan
+			}
+		}
+		temp *= cooling
+	}
+	return best, nil
+}
+
+// QOHBest runs the QO_H ensemble: exhaustive when tiny, otherwise
+// greedy plus annealing.
+func QOHBest(in *qoh.Instance, seed int64) (*qoh.Plan, error) {
+	if in.N() <= qoh.MaxExhaustiveN {
+		return in.ExactBest()
+	}
+	best, err := QOHGreedy(in)
+	if err != nil {
+		return nil, err
+	}
+	if sa, err := QOHAnnealing(in, seed, 0); err == nil && sa.Cost.Less(best.Cost) {
+		best = sa
+	}
+	return best, nil
+}

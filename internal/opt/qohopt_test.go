@@ -1,0 +1,120 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qoh"
+)
+
+// randomQOH builds a random valid QO_H instance with power-of-two-ish
+// sizes and a memory budget generous enough to be feasible.
+func randomQOH(n int, seed int64) *qoh.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	q := graph.Random(n, 0.5, seed)
+	in := &qoh.Instance{
+		Q: q,
+		T: make([]num.Num, n),
+		M: num.FromInt64(256),
+	}
+	for i := range in.T {
+		in.T[i] = num.FromInt64(int64(rng.Intn(120) + 4))
+	}
+	in.S = make([][]num.Num, n)
+	for i := 0; i < n; i++ {
+		in.S[i] = make([]num.Num, n)
+	}
+	for i := 0; i < n; i++ {
+		in.S[i][i] = num.One()
+		for j := 0; j < i; j++ {
+			s := num.One()
+			if q.HasEdge(i, j) {
+				s = num.FromFloat64(float64(rng.Intn(7)+1) / 8)
+			}
+			in.S[i][j], in.S[j][i] = s, s
+		}
+	}
+	return in
+}
+
+func TestQOHGreedyFeasible(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		in := randomQOH(6, seed)
+		plan, err := QOHGreedy(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Plan must be reproducible through CostDecomposition.
+		re, err := in.CostDecomposition(plan.Z, plan.Breaks)
+		if err != nil {
+			t.Fatalf("seed %d: plan not reproducible: %v", seed, err)
+		}
+		if !re.Cost.Equal(plan.Cost) {
+			t.Errorf("seed %d: cost mismatch", seed)
+		}
+	}
+}
+
+// Heuristics never beat the exhaustive optimum and annealing never
+// loses to its greedy seed.
+func TestQOHHeuristicsSound(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		in := randomQOH(5, seed)
+		exact, err := in.ExactBest()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		greedy, err := QOHGreedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Cost.Less(exact.Cost) {
+			t.Errorf("seed %d: greedy beat exhaustive", seed)
+		}
+		sa, err := QOHAnnealing(in, seed, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa.Cost.Less(exact.Cost) {
+			t.Errorf("seed %d: annealing beat exhaustive", seed)
+		}
+		if greedy.Cost.Less(sa.Cost) {
+			t.Errorf("seed %d: annealing lost to its greedy seed", seed)
+		}
+	}
+}
+
+func TestQOHBestUsesExhaustiveWhenSmall(t *testing.T) {
+	in := randomQOH(5, 3)
+	best, err := QOHBest(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := in.ExactBest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Cost.Equal(exact.Cost) {
+		t.Error("QOHBest on a small instance should be exact")
+	}
+}
+
+func TestQOHBestLargerInstance(t *testing.T) {
+	in := randomQOH(10, 4)
+	best, err := QOHBest(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best.Z) != 10 {
+		t.Fatalf("plan has %d relations, want 10", len(best.Z))
+	}
+	greedy, err := QOHGreedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Cost.Less(best.Cost) {
+		t.Error("ensemble lost to plain greedy")
+	}
+}

@@ -1,0 +1,94 @@
+// Package plan renders query plans in an EXPLAIN-style tree form with
+// per-operator cost and cardinality annotations: left-deep and bushy
+// QO_N plans (nested-loops model) and pipelined QO_H plans (hash-join
+// model, with pipeline boundaries and memory allocations).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"approxqo/internal/bushy"
+	"approxqo/internal/num"
+	"approxqo/internal/qoh"
+	"approxqo/internal/qon"
+)
+
+// fmtCost renders magnitudes readably: plain decimals while small,
+// log₂ form when astronomical.
+func fmtCost(v num.Num) string {
+	if v.IsZero() {
+		return "0"
+	}
+	if lg := v.Log2(); lg > 40 {
+		return fmt.Sprintf("2^%.1f", lg)
+	}
+	return fmt.Sprintf("%.4g", v.Float64())
+}
+
+// ExplainQON renders a left-deep join sequence as an operator tree.
+// The deepest operator appears last; each join line reports the output
+// cardinality, the per-join cost H_i, and whether the step is a
+// cartesian product.
+func ExplainQON(in *qon.Instance, z qon.Sequence) string {
+	bd := in.Evaluate(z)
+	var b strings.Builder
+	fmt.Fprintf(&b, "QO_N plan  cost=%s\n", fmtCost(bd.C))
+	for i := len(z) - 1; i >= 1; i-- {
+		indent := strings.Repeat("  ", len(z)-1-i)
+		kind := "NestedLoopJoin"
+		if bd.B[i] == 0 {
+			kind = "CartesianProduct"
+		}
+		fmt.Fprintf(&b, "%s%s R%d  (rows=%s, cost=%s, back-edges=%d)\n",
+			indent, kind, z[i], fmtCost(bd.N[i]), fmtCost(bd.H[i-1]), bd.B[i])
+	}
+	fmt.Fprintf(&b, "%sScan R%d  (rows=%s)\n",
+		strings.Repeat("  ", len(z)-1), z[0], fmtCost(in.T[z[0]]))
+	return b.String()
+}
+
+// ExplainBushy renders a bushy join tree with per-node annotations.
+func ExplainBushy(in *qon.Instance, t *bushy.Tree) string {
+	var b strings.Builder
+	total, _ := bushy.Cost(in, t)
+	fmt.Fprintf(&b, "bushy plan  cost=%s\n", fmtCost(total))
+	explainNode(in, t, &b, "")
+	return b.String()
+}
+
+func explainNode(in *qon.Instance, t *bushy.Tree, b *strings.Builder, indent string) {
+	if t.IsLeaf() {
+		fmt.Fprintf(b, "%sScan R%d  (rows=%s)\n", indent, t.Relation, fmtCost(in.T[t.Relation]))
+		return
+	}
+	cost, size := bushy.Cost(in, t)
+	kind := "NestedLoopJoin (materialized inner)"
+	if t.Right.IsLeaf() {
+		kind = fmt.Sprintf("NestedLoopJoin R%d", t.Right.Relation)
+	}
+	fmt.Fprintf(b, "%s%s  (rows=%s, subtree-cost=%s)\n", indent, kind, fmtCost(size), fmtCost(cost))
+	explainNode(in, t.Left, b, indent+"  ")
+	explainNode(in, t.Right, b, indent+"  ")
+}
+
+// ExplainQOH renders a pipelined hash-join plan: one block per
+// pipeline with its boundary joins, memory allocation, read/write
+// materialization sizes and cost.
+func ExplainQOH(in *qoh.Instance, p *qoh.Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "QO_H plan  cost=%s  memory=%s\n", fmtCost(p.Cost), fmtCost(in.M))
+	sizes := in.Sizes(p.Z)
+	start := 1
+	for pi, end := range p.Breaks {
+		fmt.Fprintf(&b, "Pipeline %d: joins J%d..J%d  (read=%s, write=%s, cost=%s)\n",
+			pi+1, start, end, fmtCost(sizes[start-1]), fmtCost(sizes[end]), fmtCost(p.Costs[pi]))
+		for idx, j := 0, start; j <= end; idx, j = idx+1, j+1 {
+			fmt.Fprintf(&b, "  J%d: probe hash(R%d)  (inner=%s, mem=%s, outer=%s)\n",
+				j, p.Z[j], fmtCost(in.T[p.Z[j]]), fmtCost(p.Allocs[pi][idx]), fmtCost(sizes[j-1]))
+		}
+		start = end + 1
+	}
+	fmt.Fprintf(&b, "outermost: Scan R%d  (rows=%s)\n", p.Z[0], fmtCost(in.T[p.Z[0]]))
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"approxqo/internal/bushy"
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/qon"
+	"approxqo/internal/workload"
+)
+
+func TestExplainQON(t *testing.T) {
+	in, err := workload.Generate(workload.Params{N: 4, Shape: workload.Chain, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ExplainQON(in, qon.Sequence{0, 1, 2, 3})
+	for _, want := range []string{"QO_N plan  cost=", "NestedLoopJoin R3", "NestedLoopJoin R1", "Scan R0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "CartesianProduct") {
+		t.Error("chain order flagged as cartesian")
+	}
+	// A cartesian step must be labelled.
+	out = ExplainQON(in, qon.Sequence{0, 2, 1, 3})
+	if !strings.Contains(out, "CartesianProduct R2") {
+		t.Errorf("cartesian step not labelled:\n%s", out)
+	}
+}
+
+func TestExplainBushy(t *testing.T) {
+	in, err := workload.Generate(workload.Params{N: 4, Shape: workload.Clique, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := bushy.Join(bushy.Join(bushy.Leaf(0), bushy.Leaf(1)), bushy.Join(bushy.Leaf(2), bushy.Leaf(3)))
+	out := ExplainBushy(in, tree)
+	for _, want := range []string{"bushy plan  cost=", "materialized inner", "NestedLoopJoin R1", "Scan R2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainQOH(t *testing.T) {
+	yes := cliquered.CertifiedCliqueGraph(6, 4)
+	fh, err := core.FH(yes.G, core.FHParams{A: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := fh.YesWitnessPlan(yes.G.MaxClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ExplainQOH(fh.QOH, p)
+	for _, want := range []string{"QO_H plan  cost=2^", "Pipeline 1:", "probe hash(R", "outermost: Scan R0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "Pipeline"); got != len(p.Breaks) {
+		t.Errorf("rendered %d pipelines, want %d", got, len(p.Breaks))
+	}
+}
+
+func TestFmtCostSwitchesToLog2(t *testing.T) {
+	in, err := workload.Generate(workload.Params{
+		N: 3, Shape: workload.Chain, Seed: 3, MinCard: 10, MaxCard: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ExplainQON(in, qon.Sequence{0, 1, 2})
+	if strings.Contains(out, "2^") {
+		t.Errorf("small workload rendered in log form:\n%s", out)
+	}
+}

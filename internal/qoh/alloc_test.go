@@ -1,0 +1,154 @@
+package qoh
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxqo/internal/num"
+)
+
+// bruteAllocCost enumerates every integer memory allocation for the
+// given joins (each ≥ its hjmin, total ≤ M) and returns the minimum
+// summed h cost. Reference oracle for the greedy LP allocation.
+func bruteAllocCost(t *testing.T, in *Instance, js []joinShape) (num.Num, bool) {
+	t.Helper()
+	mTotal, ok := in.M.Int64()
+	if !ok {
+		t.Fatal("non-integer memory in brute-force alloc test")
+	}
+	var best num.Num
+	found := false
+	var rec func(idx int, remaining int64, acc num.Num)
+	rec = func(idx int, remaining int64, acc num.Num) {
+		if idx == len(js) {
+			if !found || acc.Less(best) {
+				best, found = acc, true
+			}
+			return
+		}
+		lo, _ := js[idx].hjmin.Int64()
+		for m := lo; m <= remaining; m++ {
+			h, err := HCost(num.FromInt64(m), js[idx].outer, js[idx].inner, in.psi())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec(idx+1, remaining-m, acc.Add(h))
+			// Beyond the inner size more memory cannot help.
+			if inner, _ := js[idx].inner.Int64(); m >= inner {
+				break
+			}
+		}
+	}
+	rec(0, mTotal, num.Zero())
+	return best, found
+}
+
+// The greedy continuous-knapsack allocation (Lemma 10's structure) must
+// match brute-force enumeration over integer allocations.
+func TestOptimalAllocMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		nJoins := rng.Intn(3) + 1
+		js := make([]joinShape, nJoins)
+		in := &Instance{M: num.FromInt64(int64(rng.Intn(40) + 8))}
+		for i := range js {
+			inner := num.FromInt64(int64(rng.Intn(28) + 4))
+			js[i] = joinShape{
+				outer: num.FromInt64(int64(rng.Intn(200) + 1)),
+				inner: inner,
+				hjmin: in.hjmin(inner),
+			}
+		}
+		_, got, err := in.optimalAlloc(js)
+		want, feasible := bruteAllocCost(t, in, js)
+		if err != nil {
+			if feasible {
+				t.Fatalf("trial %d: greedy infeasible but brute force found %v", trial, want)
+			}
+			continue
+		}
+		if !feasible {
+			t.Fatalf("trial %d: greedy feasible but brute force found nothing", trial)
+		}
+		if !got.Equal(want) {
+			t.Errorf("trial %d: greedy cost %v, brute force %v (M=%v, joins=%+v)",
+				trial, got, want, in.M, js)
+		}
+	}
+}
+
+// Lemma 10's three cases on an f_H-shaped pipeline: uniform inners of
+// size t, memory (k₀−1)·t + 2·hjmin(t).
+func TestLemma10Cases(t *testing.T) {
+	tSize := num.FromInt64(256) // hjmin = 16
+	hj := HJMin(tSize, 0.5)
+	if got, _ := hj.Int64(); got != 16 {
+		t.Fatalf("hjmin(256) = %v, want 16", hj)
+	}
+	k0 := 4 // the reduction's n/3
+	in := &Instance{M: num.FromInt64(int64(k0-1) * 256).Add(hj.MulInt64(2))}
+
+	mkJoins := func(k int) []joinShape {
+		js := make([]joinShape, k)
+		for i := range js {
+			// Distinct outers so "smallest outer" is well defined.
+			js[i] = joinShape{outer: num.FromInt64(int64(1000 * (i + 1))), inner: tSize, hjmin: hj}
+		}
+		return js
+	}
+
+	// Case 1: k ≤ k₀−1 joins → everyone gets a full hash table (m = t),
+	// so every h cost is exactly b_S = t.
+	alloc, total, err := in.optimalAlloc(mkJoins(k0 - 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range alloc {
+		if m.Less(tSize) {
+			t.Errorf("case 1: join %d got %v < t", i, m)
+		}
+	}
+	if want := tSize.MulInt64(int64(k0 - 1)); !total.Equal(want) {
+		t.Errorf("case 1: total h = %v, want %v", total, want)
+	}
+
+	// Case 2: k = k₀ joins → exactly one join is starved; the greedy
+	// starves the smallest-outer join (index 0), matching Lemma 10.
+	alloc, _, err = in.optimalAlloc(mkJoins(k0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved := 0
+	for i, m := range alloc {
+		if m.Less(tSize) {
+			starved++
+			if i != 0 {
+				t.Errorf("case 2: starved join %d, want the smallest-outer join 0", i)
+			}
+		}
+	}
+	if starved != 1 {
+		t.Errorf("case 2: %d starved joins, want 1", starved)
+	}
+
+	// Case 3: k = k₀+1 joins → exactly two joins starved to hjmin: the
+	// two with the smallest outers.
+	alloc, _, err = in.optimalAlloc(mkJoins(k0 + 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starvedIdx []int
+	for i, m := range alloc {
+		if m.Less(tSize) {
+			starvedIdx = append(starvedIdx, i)
+		}
+	}
+	if len(starvedIdx) != 2 || starvedIdx[0] != 0 || starvedIdx[1] != 1 {
+		t.Errorf("case 3: starved %v, want [0 1] (the two smallest outers)", starvedIdx)
+	}
+	for _, i := range starvedIdx {
+		if !alloc[i].Equal(hj) && i == 0 {
+			t.Errorf("case 3: smallest-outer join got %v, want hjmin %v", alloc[i], hj)
+		}
+	}
+}

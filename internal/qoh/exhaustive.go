@@ -1,0 +1,68 @@
+package qoh
+
+import (
+	"fmt"
+
+	"approxqo/internal/num"
+)
+
+// MaxExhaustiveN caps exhaustive QO_H search (n! sequences, each with a
+// decomposition DP).
+const MaxExhaustiveN = 8
+
+// ExactBest enumerates every join sequence (n ≤ MaxExhaustiveN) and
+// returns the overall cheapest feasible plan: optimal sequence, optimal
+// pipeline decomposition, optimal memory allocation. It returns an
+// error if no sequence is feasible.
+func (in *Instance) ExactBest() (*Plan, error) {
+	n := in.N()
+	if n > MaxExhaustiveN {
+		return nil, fmt.Errorf("qoh: exhaustive search capped at n ≤ %d, got %d", MaxExhaustiveN, n)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("qoh: need at least two relations")
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var best *Plan
+	var visit func(k int)
+	visit = func(k int) {
+		if k == n {
+			plan, err := in.BestDecomposition(perm)
+			if err != nil {
+				return
+			}
+			if best == nil || plan.Cost.Less(best.Cost) {
+				best = plan
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			visit(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	visit(0)
+	if best == nil {
+		return nil, fmt.Errorf("qoh: no feasible join sequence")
+	}
+	return best, nil
+}
+
+// Decide answers the paper's QO_H decision problem exactly: does a
+// feasible join sequence, pipeline decomposition and memory allocation
+// with total cost ≤ bound exist? On YES it returns an optimal witness
+// plan. Limited to n ≤ MaxExhaustiveN.
+func (in *Instance) Decide(bound num.Num) (bool, *Plan, error) {
+	best, err := in.ExactBest()
+	if err != nil {
+		return false, nil, err
+	}
+	if best.Cost.LessEq(bound) {
+		return true, best, nil
+	}
+	return false, nil, nil
+}

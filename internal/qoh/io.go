@@ -1,0 +1,39 @@
+package qoh
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+)
+
+type instanceJSON struct {
+	Q   *graph.Graph `json:"query_graph"`
+	S   [][]num.Num  `json:"selectivities"`
+	T   []num.Num    `json:"sizes"`
+	M   num.Num      `json:"memory"`
+	Psi float64      `json:"psi,omitempty"`
+}
+
+// MarshalJSON encodes the instance with num values as strings.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	return json.Marshal(instanceJSON{Q: in.Q, S: in.S, T: in.T, M: in.M, Psi: in.Psi})
+}
+
+// UnmarshalJSON decodes and validates an instance.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var ij instanceJSON
+	if err := json.Unmarshal(data, &ij); err != nil {
+		return err
+	}
+	decoded := &Instance{Q: ij.Q, S: ij.S, T: ij.T, M: ij.M, Psi: ij.Psi}
+	if decoded.Q == nil {
+		return fmt.Errorf("qoh: missing query graph")
+	}
+	if err := decoded.Validate(); err != nil {
+		return err
+	}
+	*in = *decoded
+	return nil
+}

@@ -1,0 +1,243 @@
+package qoh
+
+import (
+	"fmt"
+	"sort"
+
+	"approxqo/internal/num"
+)
+
+// Alloc is a memory allocation for the joins of one pipeline, in pages,
+// parallel to the pipeline's join operations.
+type Alloc []num.Num
+
+// joinShape describes one hash join inside a pipeline: the streaming
+// outer size and the on-disk inner (hash-table) size.
+type joinShape struct {
+	outer, inner num.Num
+	hjmin        num.Num
+}
+
+// shapes lists the joins of pipeline P(z, i, k) — join indices i..k,
+// 1-based as in the paper — given the precomputed sizes of z.
+func (in *Instance) shapes(z []int, sizes []num.Num, i, k int) []joinShape {
+	js := make([]joinShape, 0, k-i+1)
+	for j := i; j <= k; j++ {
+		inner := in.T[z[j]] // join J_j brings in relation z[j] (0-based position j)
+		js = append(js, joinShape{
+			outer: sizes[j-1],
+			inner: inner,
+			hjmin: in.hjmin(inner),
+		})
+	}
+	return js
+}
+
+// OptimalAlloc computes a cost-minimizing memory split for one pipeline
+// whose joins have the given outer/inner sizes. Because h is linear and
+// decreasing in each join's memory, the LP optimum is the continuous
+// knapsack: pay every join its mandatory hjmin, then spend the surplus
+// on joins in decreasing order of marginal saving per page
+// (outer+inner)/(inner − hjmin) — Lemma 10's "starve the joins with the
+// smallest outer relations" is the special case of equal inners.
+// It returns the allocation and the summed h costs, or an error if even
+// the mandatory minimums exceed M.
+func (in *Instance) optimalAlloc(js []joinShape) (Alloc, num.Num, error) {
+	mandatory := num.Zero()
+	for _, j := range js {
+		mandatory = mandatory.Add(j.hjmin)
+	}
+	if in.M.Less(mandatory) {
+		return nil, num.Num{}, fmt.Errorf("qoh: pipeline needs %v pages of mandatory memory, budget %v", mandatory, in.M)
+	}
+	alloc := make(Alloc, len(js))
+	for idx, j := range js {
+		alloc[idx] = j.hjmin
+	}
+	surplus := in.M.Sub(mandatory)
+
+	// Joins that can still benefit: inner > hjmin (room for a bigger
+	// hash table). Order by marginal saving per page, descending.
+	type candidate struct {
+		idx  int
+		room num.Num // inner − hjmin
+		rate num.Num // (outer+inner)/room
+	}
+	var cands []candidate
+	for idx, j := range js {
+		if j.hjmin.Less(j.inner) {
+			room := j.inner.Sub(j.hjmin)
+			cands = append(cands, candidate{idx: idx, room: room, rate: j.outer.Add(j.inner).Div(room)})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[b].rate.Less(cands[a].rate) })
+	for _, c := range cands {
+		if surplus.IsZero() {
+			break
+		}
+		grant := c.room.Min(surplus)
+		alloc[c.idx] = alloc[c.idx].Add(grant)
+		surplus = surplus.Sub(grant)
+	}
+
+	total := num.Zero()
+	for idx, j := range js {
+		h, err := HCost(alloc[idx], j.outer, j.inner, in.psi())
+		if err != nil {
+			return nil, num.Num{}, err
+		}
+		total = total.Add(h)
+	}
+	return alloc, total, nil
+}
+
+// PipelineCost returns the cost of executing pipeline P(z, i, k) —
+// joins J_i..J_k, 1 ≤ i ≤ k ≤ n−1 — under an optimal memory allocation:
+// read N_{i−1}, sum of hash-join costs, write N_k. The allocation is
+// returned alongside.
+func (in *Instance) PipelineCost(z []int, i, k int) (num.Num, Alloc, error) {
+	n := in.N()
+	if i < 1 || k < i || k > n-1 {
+		return num.Num{}, nil, fmt.Errorf("qoh: invalid pipeline bounds (%d,%d) for n=%d", i, k, n)
+	}
+	sizes := in.Sizes(z)
+	return in.pipelineCostWithSizes(z, sizes, i, k)
+}
+
+func (in *Instance) pipelineCostWithSizes(z []int, sizes []num.Num, i, k int) (num.Num, Alloc, error) {
+	js := in.shapes(z, sizes, i, k)
+	alloc, hsum, err := in.optimalAlloc(js)
+	if err != nil {
+		return num.Num{}, nil, err
+	}
+	cost := sizes[i-1].Add(hsum).Add(sizes[k])
+	return cost, alloc, nil
+}
+
+// Plan is a fully specified QO_H execution: a join sequence, pipeline
+// boundaries, per-pipeline memory allocations, and the total cost.
+type Plan struct {
+	Z      []int
+	Breaks []int     // end join index of each pipeline, increasing, last = n−1
+	Allocs []Alloc   // parallel to Breaks
+	Costs  []num.Num // per-pipeline costs, parallel to Breaks
+	Cost   num.Num
+}
+
+// Pipelines renders the boundaries as (i, k) pairs.
+func (p *Plan) Pipelines() [][2]int {
+	var out [][2]int
+	start := 1
+	for _, end := range p.Breaks {
+		out = append(out, [2]int{start, end})
+		start = end + 1
+	}
+	return out
+}
+
+// CostDecomposition evaluates a specific decomposition (given as the end
+// join index of each pipeline; the last entry must be n−1) under optimal
+// per-pipeline memory allocation.
+func (in *Instance) CostDecomposition(z []int, breaks []int) (*Plan, error) {
+	n := in.N()
+	if len(breaks) == 0 || breaks[len(breaks)-1] != n-1 {
+		return nil, fmt.Errorf("qoh: decomposition must end at join %d", n-1)
+	}
+	sizes := in.Sizes(z)
+	plan := &Plan{Z: append([]int(nil), z...), Breaks: append([]int(nil), breaks...), Cost: num.Zero()}
+	start := 1
+	for _, end := range breaks {
+		if end < start {
+			return nil, fmt.Errorf("qoh: non-increasing pipeline boundary %d", end)
+		}
+		cost, alloc, err := in.pipelineCostWithSizes(z, sizes, start, end)
+		if err != nil {
+			return nil, err
+		}
+		plan.Allocs = append(plan.Allocs, alloc)
+		plan.Costs = append(plan.Costs, cost)
+		plan.Cost = plan.Cost.Add(cost)
+		start = end + 1
+	}
+	return plan, nil
+}
+
+// BestDecomposition finds a minimum-cost pipeline decomposition of z by
+// interval DP over boundary positions, with optimal memory allocation
+// inside each pipeline. It returns an error if no feasible decomposition
+// exists (some join's hjmin alone exceeds M).
+func (in *Instance) BestDecomposition(z []int) (*Plan, error) {
+	n := in.N()
+	if n < 2 {
+		return nil, fmt.Errorf("qoh: need at least two relations")
+	}
+	sizes := in.Sizes(z)
+
+	// pipe[i][k] = optimal cost of pipeline covering joins i..k (1-based),
+	// or invalid Num if infeasible.
+	type cell struct {
+		cost  num.Num
+		alloc Alloc
+		ok    bool
+	}
+	pipe := make([][]cell, n)
+	for i := 1; i <= n-1; i++ {
+		pipe[i] = make([]cell, n)
+		for k := i; k <= n-1; k++ {
+			cost, alloc, err := in.pipelineCostWithSizes(z, sizes, i, k)
+			if err == nil {
+				pipe[i][k] = cell{cost: cost, alloc: alloc, ok: true}
+			}
+		}
+	}
+
+	// dp[k] = min cost of executing joins 1..k with a boundary after k.
+	dp := make([]num.Num, n)
+	choice := make([]int, n) // start join of the last pipeline ending at k
+	dpOK := make([]bool, n)
+	dp[0] = num.Zero()
+	dpOK[0] = true
+	for k := 1; k <= n-1; k++ {
+		for i := 1; i <= k; i++ {
+			if !dpOK[i-1] || !pipe[i][k].ok {
+				continue
+			}
+			total := dp[i-1].Add(pipe[i][k].cost)
+			if !dpOK[k] || total.Less(dp[k]) {
+				dp[k], choice[k], dpOK[k] = total, i, true
+			}
+		}
+	}
+	if !dpOK[n-1] {
+		return nil, fmt.Errorf("qoh: no feasible pipeline decomposition for sequence %v", z)
+	}
+
+	// Reconstruct boundaries.
+	var breaks []int
+	for k := n - 1; k >= 1; k = choice[k] - 1 {
+		breaks = append(breaks, k)
+	}
+	for l, r := 0, len(breaks)-1; l < r; l, r = l+1, r-1 {
+		breaks[l], breaks[r] = breaks[r], breaks[l]
+	}
+	return in.CostDecomposition(z, breaks)
+}
+
+// FeasibleStart reports whether v can be the first relation of any
+// feasible sequence: every other relation it might hash against must fit
+// its mandatory memory — in particular, a relation R with hjmin(t_R) > M
+// can never be an inner, so it must come first. This implements the
+// f_H reduction's forcing of v₀ to the front.
+func (in *Instance) FeasibleStart(v int) bool {
+	// v is the first (streaming) relation; all joins build hash tables on
+	// later relations. A single join's mandatory memory must fit.
+	for u := 0; u < in.N(); u++ {
+		if u == v {
+			continue
+		}
+		if in.M.Less(in.hjmin(in.T[u])) {
+			return false
+		}
+	}
+	return true
+}

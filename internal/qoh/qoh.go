@@ -1,0 +1,172 @@
+// Package qoh implements the QO_H query-optimization problem of the
+// paper (§2.2): join sequences executed as pipelined hash joins under a
+// shared memory budget.
+//
+// An instance is the five-tuple (n, Q, S, T, M): query graph,
+// selectivities and sizes as in QO_N, plus the total memory M available
+// to each pipeline.
+//
+// A join sequence Z = (z₁, …, z_n) is decomposed into contiguous
+// pipelines P(Z, i, k) covering join operations J_i..J_k. Join J_j
+// streams the output of J_{j−1} (size N_{j−1}(Z)) against a hash table
+// on relation R_{z_{j+1}} (size t). Pipeline memory is divided among the
+// joins of the pipeline; each join needs at least hjmin(b_S) pages to be
+// feasible, and the I/O cost of one hash join is
+//
+//	h(m, b_R, b_S) = (b_R + b_S) · g(m, b_S) + b_S,   m ≥ hjmin(b_S)
+//
+// with the concrete g mandated by the paper's four constraints:
+// linear decreasing from g(hjmin, b_S) = 1 down to g(b_S, b_S) = 0, and
+// zero beyond (see DESIGN.md's substitution table). hjmin(b) = ⌈b^ψ⌉ in
+// the log₂ domain, ψ = ½ by default.
+//
+// A pipeline P(Z, i, k) costs: read N_{i−1}(Z) from disk, plus the sum
+// of its hash-join costs under a memory allocation, plus write N_k(Z).
+// The cost of a decomposition is the sum over its pipelines; this
+// package computes optimal memory allocations (continuous knapsack on
+// the linear g — Lemma 10's structure) and optimal decompositions
+// (interval DP over pipeline boundaries).
+package qoh
+
+import (
+	"fmt"
+	"math"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+)
+
+// DefaultPsi is the default exponent of hjmin(b) = ⌈b^ψ⌉. The paper
+// requires hjmin(b_S) = Θ(b_S^ψ) for some 0 < ψ < 1.
+const DefaultPsi = 0.5
+
+// Instance is a QO_H problem instance.
+type Instance struct {
+	Q   *graph.Graph
+	S   [][]num.Num // symmetric selectivities, 1 off the query graph
+	T   []num.Num   // relation sizes (tuples = pages)
+	M   num.Num     // memory available to each pipeline
+	Psi float64     // hjmin exponent; zero value means DefaultPsi
+}
+
+// N returns the number of relations.
+func (in *Instance) N() int { return len(in.T) }
+
+func (in *Instance) psi() float64 {
+	if in.Psi == 0 {
+		return DefaultPsi
+	}
+	return in.Psi
+}
+
+// Validate checks dimensions, symmetry, selectivity ranges, positive
+// sizes and memory, and the ψ range.
+func (in *Instance) Validate() error {
+	n := in.N()
+	if in.Q == nil || in.Q.N() != n {
+		return fmt.Errorf("qoh: query graph size mismatch")
+	}
+	if len(in.S) != n {
+		return fmt.Errorf("qoh: selectivity matrix has %d rows, want %d", len(in.S), n)
+	}
+	if in.M.IsZero() {
+		return fmt.Errorf("qoh: zero memory budget")
+	}
+	if p := in.psi(); p <= 0 || p >= 1 {
+		return fmt.Errorf("qoh: psi = %v outside (0,1)", p)
+	}
+	one := num.One()
+	for i := 0; i < n; i++ {
+		if len(in.S[i]) != n {
+			return fmt.Errorf("qoh: selectivity row %d has wrong length", i)
+		}
+		if in.T[i].IsZero() {
+			return fmt.Errorf("qoh: relation %d has size zero", i)
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if !in.S[i][j].Equal(in.S[j][i]) {
+				return fmt.Errorf("qoh: selectivity not symmetric at (%d,%d)", i, j)
+			}
+			if in.S[i][j].IsZero() || one.Less(in.S[i][j]) {
+				return fmt.Errorf("qoh: selectivity s[%d][%d] outside (0,1]", i, j)
+			}
+			if !in.Q.HasEdge(i, j) && !in.S[i][j].Equal(one) {
+				return fmt.Errorf("qoh: non-edge (%d,%d) has selectivity ≠ 1", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// HJMin returns ⌈b^ψ⌉ computed in the log₂ domain: 2^⌈ψ·log₂ b⌉. It is
+// monotone in b and exact on powers of two.
+func HJMin(b num.Num, psi float64) num.Num {
+	if b.IsZero() {
+		panic("qoh: HJMin of zero")
+	}
+	return num.Pow2(int64(math.Ceil(psi * b.Log2())))
+}
+
+// hjmin applies the instance's ψ.
+func (in *Instance) hjmin(b num.Num) num.Num { return HJMin(b, in.psi()) }
+
+// GCost returns the paper's g(m, b_S): 0 for m ≥ b_S, otherwise the
+// linear ramp (b_S − m)/(b_S − hjmin) in [hjmin, b_S). It panics if
+// m < hjmin (infeasible allocations must be rejected by the caller).
+func GCost(m, bs, hjmin num.Num) num.Num {
+	if m.Less(hjmin) {
+		panic("qoh: g evaluated below hjmin")
+	}
+	if bs.LessEq(m) {
+		return num.Zero()
+	}
+	// Here hjmin ≤ m < bs, so hjmin < bs and the denominator is positive.
+	return bs.Sub(m).Div(bs.Sub(hjmin))
+}
+
+// HCost returns h(m, b_R, b_S) = (b_R + b_S)·g(m, b_S) + b_S, or an
+// error if m < hjmin(b_S).
+func HCost(m, br, bs num.Num, psi float64) (num.Num, error) {
+	hj := HJMin(bs, psi)
+	if m.Less(hj) {
+		return num.Num{}, fmt.Errorf("qoh: memory %v below hjmin %v", m, hj)
+	}
+	return br.Add(bs).Mul(GCost(m, bs, hj)).Add(bs), nil
+}
+
+// Sizes returns the intermediate sizes N_0..N_{n-1} along z:
+// N_0 = t_{z₁} and N_i = N(first i+1 relations), computed exactly as in
+// QO_N (the size model is shared).
+func (in *Instance) Sizes(z []int) []num.Num {
+	if !in.validSequence(z) {
+		panic(fmt.Sprintf("qoh: invalid join sequence %v", z))
+	}
+	n := in.N()
+	sizes := make([]num.Num, 0, n)
+	x := graph.NewBitset(n)
+	size := num.One()
+	for _, v := range z {
+		size = size.Mul(in.T[v])
+		x.ForEach(func(u int) { size = size.Mul(in.S[v][u]) })
+		sizes = append(sizes, size)
+		x.Add(v)
+	}
+	return sizes
+}
+
+func (in *Instance) validSequence(z []int) bool {
+	if len(z) != in.N() {
+		return false
+	}
+	seen := make([]bool, in.N())
+	for _, v := range z {
+		if v < 0 || v >= in.N() || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

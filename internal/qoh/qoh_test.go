@@ -1,0 +1,472 @@
+package qoh
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+)
+
+// chainInstance: R0(8) — R1(16) — R2(4), s01 = 1/2, s12 = 1/4, ψ = 1/2.
+// Hand-checkable hjmins: hjmin(8)=4, hjmin(16)=4, hjmin(4)=2.
+func chainInstance(m int64) *Instance {
+	q := graph.Path(3)
+	one := num.One()
+	half := num.FromFloat64(0.5)
+	quarter := num.FromFloat64(0.25)
+	return &Instance{
+		Q: q,
+		T: []num.Num{num.FromInt64(8), num.FromInt64(16), num.FromInt64(4)},
+		S: [][]num.Num{
+			{one, half, one},
+			{half, one, quarter},
+			{one, quarter, one},
+		},
+		M: num.FromInt64(m),
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := chainInstance(10).Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	bad := chainInstance(10)
+	bad.S[0][1] = num.FromFloat64(0.75)
+	if err := bad.Validate(); err == nil {
+		t.Error("asymmetric selectivity accepted")
+	}
+	bad2 := chainInstance(10)
+	bad2.M = num.Zero()
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero memory accepted")
+	}
+	bad3 := chainInstance(10)
+	bad3.Psi = 1.5
+	if err := bad3.Validate(); err == nil {
+		t.Error("psi ≥ 1 accepted")
+	}
+	bad4 := chainInstance(10)
+	bad4.S[0][2] = num.FromFloat64(0.5)
+	bad4.S[2][0] = num.FromFloat64(0.5)
+	if err := bad4.Validate(); err == nil {
+		t.Error("non-edge selectivity accepted")
+	}
+}
+
+func TestHJMin(t *testing.T) {
+	cases := []struct {
+		b    int64
+		psi  float64
+		want int64
+	}{
+		{16, 0.5, 4},
+		{8, 0.5, 4}, // ⌈1.5⌉ = 2 → 2² = 4
+		{4, 0.5, 2},
+		{1024, 0.5, 32},
+		{1024, 0.3, 8}, // ⌈3⌉ = 3
+	}
+	for _, tc := range cases {
+		got, ok := HJMin(num.FromInt64(tc.b), tc.psi).Int64()
+		if !ok || got != tc.want {
+			t.Errorf("HJMin(%d, %v) = %d, want %d", tc.b, tc.psi, got, tc.want)
+		}
+	}
+	// Monotone in b.
+	if HJMin(num.Pow2(100), 0.5).Less(HJMin(num.Pow2(50), 0.5)) {
+		t.Error("HJMin not monotone")
+	}
+}
+
+func TestGCostShape(t *testing.T) {
+	bs := num.FromInt64(16)
+	hj := num.FromInt64(4)
+	// At hjmin: g = 1 (the Θ(1) constraint).
+	if !GCost(hj, bs, hj).Equal(num.One()) {
+		t.Error("g(hjmin) != 1")
+	}
+	// At bs and above: 0.
+	if !GCost(bs, bs, hj).IsZero() || !GCost(num.FromInt64(100), bs, hj).IsZero() {
+		t.Error("g(≥bs) != 0")
+	}
+	// Midpoint: (16−10)/12 = 1/2.
+	if !GCost(num.FromInt64(10), bs, hj).Equal(num.FromFloat64(0.5)) {
+		t.Error("g(10) != 1/2")
+	}
+	// Linear decreasing: g(6) > g(10).
+	if !GCost(num.FromInt64(10), bs, hj).Less(GCost(num.FromInt64(6), bs, hj)) {
+		t.Error("g not decreasing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("g below hjmin did not panic")
+		}
+	}()
+	GCost(num.FromInt64(3), bs, hj)
+}
+
+func TestHCostEndpoints(t *testing.T) {
+	// h(hjmin, br, bs) = (br+bs)·1 + bs = br + 2bs — the Θ(br+bs) endpoint.
+	h, err := HCost(num.FromInt64(4), num.FromInt64(8), num.FromInt64(16), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := h.Int64(); got != 8+2*16 {
+		t.Errorf("h(hjmin) = %v, want 40", h)
+	}
+	// h(bs, br, bs) = bs: inner fits fully in memory.
+	h, err = HCost(num.FromInt64(16), num.FromInt64(8), num.FromInt64(16), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := h.Int64(); got != 16 {
+		t.Errorf("h(bs) = %v, want 16", h)
+	}
+	// Below hjmin: error.
+	if _, err := HCost(num.FromInt64(3), num.FromInt64(8), num.FromInt64(16), 0.5); err == nil {
+		t.Error("h below hjmin accepted")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	in := chainInstance(10)
+	sizes := in.Sizes([]int{0, 1, 2})
+	want := []int64{8, 64, 64}
+	for i, w := range want {
+		if got, _ := sizes[i].Int64(); got != w {
+			t.Errorf("N_%d = %v, want %d", i, sizes[i], w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid sequence did not panic")
+		}
+	}()
+	in.Sizes([]int{0, 0, 1})
+}
+
+func TestPipelineCostHandComputed(t *testing.T) {
+	in := chainInstance(10)
+	z := []int{0, 1, 2}
+	// Single pipeline joins 1..2 (worked in the package design notes):
+	// mandatory 4+2=6, surplus 4 → J_2 (rate 34) gets its full room 2,
+	// J_1 gets 2 more (m=6): h1 = 24·(10/12)+16 = 36, h2 = 4.
+	// cost = N_0 + 36 + 4 + N_2 = 8 + 40 + 64 = 112.
+	cost, alloc, err := in.PipelineCost(z, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := cost.Int64(); got != 112 {
+		t.Errorf("pipeline cost = %v, want 112", cost)
+	}
+	if got, _ := alloc[0].Int64(); got != 6 {
+		t.Errorf("alloc J_1 = %v, want 6", alloc[0])
+	}
+	if got, _ := alloc[1].Int64(); got != 4 {
+		t.Errorf("alloc J_2 = %v, want 4", alloc[1])
+	}
+	// Split decompositions cost more here: P(1,1)=100, P(2,2)=132.
+	p1, _, err := in.PipelineCost(z, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p1.Int64(); got != 100 {
+		t.Errorf("P(1,1) = %v, want 100", p1)
+	}
+	p2, _, err := in.PipelineCost(z, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p2.Int64(); got != 132 {
+		t.Errorf("P(2,2) = %v, want 132", p2)
+	}
+}
+
+func TestBestDecomposition(t *testing.T) {
+	in := chainInstance(10)
+	plan, err := in.BestDecomposition([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := plan.Cost.Int64(); got != 112 {
+		t.Errorf("best cost = %v, want 112 (single pipeline)", plan.Cost)
+	}
+	if len(plan.Breaks) != 1 || plan.Breaks[0] != 2 {
+		t.Errorf("breaks = %v, want [2]", plan.Breaks)
+	}
+	if pipes := plan.Pipelines(); len(pipes) != 1 || pipes[0] != [2]int{1, 2} {
+		t.Errorf("pipelines = %v", pipes)
+	}
+}
+
+func TestBestDecompositionForcedSplit(t *testing.T) {
+	// M = 5 < mandatory 6 for the combined pipeline, but each single-join
+	// pipeline fits → the DP must split.
+	in := chainInstance(5)
+	plan, err := in.BestDecomposition([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Breaks) != 2 {
+		t.Errorf("breaks = %v, want two pipelines", plan.Breaks)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// M = 3 < hjmin(16) = 4: relation 1 cannot be an inner anywhere, and
+	// starting from 1 still needs hjmin(8) = 4 > 3 for relation 0.
+	in := chainInstance(3)
+	if _, err := in.BestDecomposition([]int{0, 1, 2}); err == nil {
+		t.Error("infeasible sequence accepted")
+	}
+	if in.FeasibleStart(0) {
+		t.Error("FeasibleStart(0) should be false with M=3")
+	}
+	// With M = 4, starting at 1 is feasible (inners are 8 and 4).
+	in4 := chainInstance(4)
+	if !in4.FeasibleStart(1) {
+		t.Error("FeasibleStart(1) should be true with M=4")
+	}
+	// With M = 4 every single relation's hjmin fits (hjmin(16) = 4 ≤ 4),
+	// so start 0 is relation-feasible; pipelines may still need splitting.
+	if !in4.FeasibleStart(0) {
+		t.Error("FeasibleStart(0) should be true with M=4")
+	}
+}
+
+func TestCostDecompositionValidation(t *testing.T) {
+	in := chainInstance(10)
+	if _, err := in.CostDecomposition([]int{0, 1, 2}, []int{1}); err == nil {
+		t.Error("decomposition not ending at n−1 accepted")
+	}
+	if _, err := in.CostDecomposition([]int{0, 1, 2}, nil); err == nil {
+		t.Error("empty decomposition accepted")
+	}
+	plan, err := in.CostDecomposition([]int{0, 1, 2}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := plan.Cost.Int64(); got != 232 {
+		t.Errorf("two-pipeline cost = %v, want 232", plan.Cost)
+	}
+}
+
+// randomInstance builds a random valid QO_H instance.
+func randomInstance(n int, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	q := graph.Random(n, 0.5, seed)
+	in := &Instance{
+		Q: q,
+		T: make([]num.Num, n),
+		M: num.FromInt64(int64(rng.Intn(200) + 20)),
+	}
+	for i := range in.T {
+		in.T[i] = num.FromInt64(int64(rng.Intn(100) + 2))
+	}
+	in.S = make([][]num.Num, n)
+	for i := 0; i < n; i++ {
+		in.S[i] = make([]num.Num, n)
+	}
+	for i := 0; i < n; i++ {
+		in.S[i][i] = num.One()
+		for j := 0; j < i; j++ {
+			s := num.One()
+			if q.HasEdge(i, j) {
+				s = num.FromFloat64(float64(rng.Intn(9)+1) / 16)
+			}
+			in.S[i][j], in.S[j][i] = s, s
+		}
+	}
+	return in
+}
+
+// Property: the DP's best decomposition never beats any explicitly
+// enumerated decomposition but matches the best of them (n = 5 → joins
+// 1..4 → 8 decompositions).
+func TestQuickBestDecompositionIsOptimal(t *testing.T) {
+	prop := func(seed int64) bool {
+		in := randomInstance(5, seed)
+		z := rand.New(rand.NewSource(seed ^ 99)).Perm(5)
+		best, bestErr := in.BestDecomposition(z)
+
+		// Enumerate all decompositions of joins 1..4: choose boundaries
+		// among joins 1..3 (join 4 always final).
+		var bruteBest num.Num
+		found := false
+		for mask := 0; mask < 8; mask++ {
+			var breaks []int
+			for j := 1; j <= 3; j++ {
+				if mask&(1<<(j-1)) != 0 {
+					breaks = append(breaks, j)
+				}
+			}
+			breaks = append(breaks, 4)
+			plan, err := in.CostDecomposition(z, breaks)
+			if err != nil {
+				continue
+			}
+			if !found || plan.Cost.Less(bruteBest) {
+				bruteBest, found = plan.Cost, true
+			}
+		}
+		if !found {
+			return bestErr != nil
+		}
+		return bestErr == nil && best.Cost.Equal(bruteBest)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-pipeline memory allocations are feasible — within
+// budget, and at least hjmin per join.
+func TestQuickAllocFeasible(t *testing.T) {
+	prop := func(seed int64) bool {
+		in := randomInstance(5, seed)
+		z := rand.New(rand.NewSource(seed ^ 7)).Perm(5)
+		plan, err := in.BestDecomposition(z)
+		if err != nil {
+			return true // infeasible is acceptable
+		}
+		start := 1
+		sizes := in.Sizes(z)
+		_ = sizes
+		for pi, end := range plan.Breaks {
+			total := num.Zero()
+			for idx, j := 0, start; j <= end; idx, j = idx+1, j+1 {
+				m := plan.Allocs[pi][idx]
+				total = total.Add(m)
+				if m.Less(in.hjmin(in.T[z[j]])) {
+					return false
+				}
+			}
+			if in.M.Less(total) {
+				return false
+			}
+			start = end + 1
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more memory never makes the best decomposition of the same
+// sequence more expensive.
+func TestQuickMonotoneInMemory(t *testing.T) {
+	prop := func(seed int64) bool {
+		in := randomInstance(5, seed)
+		z := rand.New(rand.NewSource(seed ^ 13)).Perm(5)
+		small, errSmall := in.BestDecomposition(z)
+		richer := *in
+		richer.M = in.M.MulInt64(2)
+		big, errBig := richer.BestDecomposition(z)
+		if errSmall != nil {
+			return true // small infeasible says nothing
+		}
+		if errBig != nil {
+			return false // more memory can't lose feasibility
+		}
+		return big.Cost.LessEq(small.Cost)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := chainInstance(10)
+	in.Psi = 0.4
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != in.N() || !back.Q.Equal(in.Q) || !back.M.Equal(in.M) || back.Psi != in.Psi {
+		t.Fatal("round trip changed structure")
+	}
+	a, err := in.BestDecomposition([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.BestDecomposition([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Cost.Equal(b.Cost) {
+		t.Error("round trip changed costs")
+	}
+	var bad Instance
+	if err := json.Unmarshal([]byte(`{"query_graph":{"n":2,"edges":[]},"selectivities":[],"sizes":["1","1"],"memory":"0"}`), &bad); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestExactBestMatchesManualEnumeration(t *testing.T) {
+	in := chainInstance(10)
+	best, err := in.ExactBest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual enumeration over all 3! sequences.
+	var want num.Num
+	found := false
+	for _, z := range [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}} {
+		plan, err := in.BestDecomposition(z)
+		if err != nil {
+			continue
+		}
+		if !found || plan.Cost.Less(want) {
+			want, found = plan.Cost, true
+		}
+	}
+	if !found || !best.Cost.Equal(want) {
+		t.Errorf("ExactBest = %v, manual enumeration = %v", best.Cost, want)
+	}
+	// Caps and degenerate sizes.
+	big := randomInstance(MaxExhaustiveN+1, 1)
+	if _, err := big.ExactBest(); err == nil {
+		t.Error("oversize instance accepted")
+	}
+	single := &Instance{
+		Q: graph.New(1),
+		T: []num.Num{num.FromInt64(4)},
+		S: [][]num.Num{{num.One()}},
+		M: num.FromInt64(8),
+	}
+	if _, err := single.ExactBest(); err == nil {
+		t.Error("single relation accepted")
+	}
+}
+
+func TestHJMinPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("HJMin(0) did not panic")
+		}
+	}()
+	HJMin(num.Zero(), 0.5)
+}
+
+func TestDecide(t *testing.T) {
+	in := chainInstance(10)
+	best, err := in.ExactBest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes, plan, err := in.Decide(best.Cost)
+	if err != nil || !yes || plan == nil {
+		t.Fatalf("Decide at the optimum should be YES (err=%v)", err)
+	}
+	lower := best.Cost.Sub(num.One())
+	if yes, _, _ := in.Decide(lower); yes {
+		t.Error("Decide below the optimum should be NO")
+	}
+}

@@ -1,0 +1,250 @@
+// Package qon implements the QO_N query-optimization problem of the
+// paper (§2.1): left-deep join sequences costed under the nested-loops
+// join method, following the Ibaraki–Kameda-style model.
+//
+// An instance is the five-tuple (n, Q, S, T, W):
+//
+//   - Q — undirected query graph on n vertices (one per relation);
+//   - S — symmetric selectivity matrix, s_ij = 1 when {i,j} is not an
+//     edge of Q;
+//   - T — relation cardinalities (one page per tuple, as in the paper);
+//   - W — access-path costs: W[j][k] is the least per-outer-tuple cost
+//     of accessing relation R_j given join attributes from R_k,
+//     constrained by t_j·s_jk ≤ W[j][k] ≤ t_j, and equal to t_j when
+//     {j,k} is not an edge.
+//
+// A join sequence Z is a permutation of the vertices. With X the prefix
+// before position i+1 and v the vertex there:
+//
+//	N(∅) = 1,  N(Xv) = N(X) · t_v · ∏_{u∈X} s_vu      (intermediate size)
+//	H_i(Z) = N(X) · min_{u∈X} W[v][u]                  (join cost)
+//	C(Z) = Σ_{i=1}^{n−1} H_i(Z)                        (sequence cost)
+//
+// All quantities are num.Num values, since the hardness reductions
+// manufacture magnitudes like α^{n²}.
+package qon
+
+import (
+	"fmt"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+)
+
+// Instance is a QO_N problem instance.
+type Instance struct {
+	Q *graph.Graph
+	S [][]num.Num // selectivities; S[i][j] == S[j][i], 1 off the query graph
+	T []num.Num   // relation sizes (tuples = pages)
+	W [][]num.Num // access-path costs, see package comment
+}
+
+// N returns the number of relations.
+func (in *Instance) N() int { return len(in.T) }
+
+// NewUniform returns an instance over the given query graph where every
+// relation has size t, every edge has selectivity s, and every edge's
+// access cost is w (non-edge conventions are filled in automatically).
+// This is the shape the f_N reduction produces.
+func NewUniform(q *graph.Graph, t, s, w num.Num) *Instance {
+	n := q.N()
+	in := &Instance{Q: q, T: make([]num.Num, n)}
+	for i := range in.T {
+		in.T[i] = t
+	}
+	in.S = make([][]num.Num, n)
+	in.W = make([][]num.Num, n)
+	for i := 0; i < n; i++ {
+		in.S[i] = make([]num.Num, n)
+		in.W[i] = make([]num.Num, n)
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				in.S[i][j] = num.One()
+				in.W[i][j] = t
+			case q.HasEdge(i, j):
+				in.S[i][j] = s
+				in.W[i][j] = w
+			default:
+				in.S[i][j] = num.One()
+				in.W[i][j] = t // no predicate: every inner tuple qualifies
+			}
+		}
+	}
+	return in
+}
+
+// Validate checks every structural constraint of §2.1.1: dimensions,
+// symmetry of S, unit selectivity off the query graph, positive sizes,
+// and the access-cost bounds t_j·s_jk ≤ W[j][k] ≤ t_j with W[j][k] = t_j
+// off the query graph.
+func (in *Instance) Validate() error {
+	n := in.N()
+	if in.Q == nil || in.Q.N() != n {
+		return fmt.Errorf("qon: query graph has %v vertices, want %d", in.Q, n)
+	}
+	if len(in.S) != n || len(in.W) != n {
+		return fmt.Errorf("qon: matrix dimensions S=%d W=%d, want %d", len(in.S), len(in.W), n)
+	}
+	for i := 0; i < n; i++ {
+		if len(in.S[i]) != n || len(in.W[i]) != n {
+			return fmt.Errorf("qon: row %d has wrong length", i)
+		}
+		if in.T[i].IsZero() {
+			return fmt.Errorf("qon: relation %d has size zero", i)
+		}
+	}
+	one := num.One()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if !in.S[i][j].Equal(in.S[j][i]) {
+				return fmt.Errorf("qon: selectivity not symmetric at (%d,%d)", i, j)
+			}
+			if in.S[i][j].IsZero() || one.Less(in.S[i][j]) {
+				return fmt.Errorf("qon: selectivity s[%d][%d]=%v outside (0,1]", i, j, in.S[i][j])
+			}
+			if !in.Q.HasEdge(i, j) {
+				if !in.S[i][j].Equal(one) {
+					return fmt.Errorf("qon: non-edge (%d,%d) has selectivity %v ≠ 1", i, j, in.S[i][j])
+				}
+				if !in.W[i][j].Equal(in.T[i]) {
+					return fmt.Errorf("qon: non-edge access cost W[%d][%d]=%v, want t_%d=%v", i, j, in.W[i][j], i, in.T[i])
+				}
+				continue
+			}
+			lo := in.T[i].Mul(in.S[i][j])
+			if in.W[i][j].Less(lo) {
+				return fmt.Errorf("qon: W[%d][%d]=%v below t_i·s_ij=%v", i, j, in.W[i][j], lo)
+			}
+			if in.T[i].Less(in.W[i][j]) {
+				return fmt.Errorf("qon: W[%d][%d]=%v above t_i=%v", i, j, in.W[i][j], in.T[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Sequence is a join sequence: a permutation of the vertices 0..n-1.
+type Sequence []int
+
+// ValidSequence reports whether z is a permutation of 0..n-1.
+func (in *Instance) ValidSequence(z Sequence) bool {
+	if len(z) != in.N() {
+		return false
+	}
+	seen := make([]bool, in.N())
+	for _, v := range z {
+		if v < 0 || v >= in.N() || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// ExtendFactor returns t_v · ∏_{u∈X} s_vu — the factor by which joining
+// v multiplies the intermediate size of prefix set X.
+func (in *Instance) ExtendFactor(v int, x *graph.Bitset) num.Num {
+	f := in.T[v]
+	x.ForEach(func(u int) {
+		f = f.Mul(in.S[v][u])
+	})
+	return f
+}
+
+// MinW returns min_{u∈X} W[v][u], the best per-outer-tuple access cost
+// for joining v against the prefix set X. It panics on an empty X.
+func (in *Instance) MinW(v int, x *graph.Bitset) num.Num {
+	var best num.Num
+	first := true
+	x.ForEach(func(u int) {
+		if first {
+			best, first = in.W[v][u], false
+		} else {
+			best = best.Min(in.W[v][u])
+		}
+	})
+	if first {
+		panic("qon: MinW over empty prefix")
+	}
+	return best
+}
+
+// Size returns N(X) for an arbitrary vertex set, a set function
+// independent of join order.
+func (in *Instance) Size(xs []int) num.Num {
+	x := graph.NewBitset(in.N())
+	size := num.One()
+	for _, v := range xs {
+		size = size.Mul(in.ExtendFactor(v, x))
+		x.Add(v)
+	}
+	return size
+}
+
+// Breakdown is the full cost decomposition of a join sequence.
+type Breakdown struct {
+	H []num.Num // H[i] = cost of join operation J_{i+1..} (len n−1)
+	N []num.Num // N[i] = intermediate size after i+1 relations (len n)
+	B []int     // B[i] = back-edges of the vertex at position i (len n)
+	D []int     // D[i] = edges within the first i+1 positions (len n)
+	C num.Num   // total cost Σ H
+}
+
+// Cost returns C(Z).
+func (in *Instance) Cost(z Sequence) num.Num {
+	return in.Evaluate(z).C
+}
+
+// Evaluate computes the complete cost breakdown of a join sequence.
+// It panics if z is not a permutation.
+func (in *Instance) Evaluate(z Sequence) *Breakdown {
+	if !in.ValidSequence(z) {
+		panic(fmt.Sprintf("qon: invalid join sequence %v", z))
+	}
+	n := in.N()
+	bd := &Breakdown{
+		H: make([]num.Num, 0, n-1),
+		N: make([]num.Num, 0, n),
+		B: make([]int, n),
+		D: make([]int, n),
+		C: num.Zero(),
+	}
+	x := graph.NewBitset(n)
+	size := num.One()
+	edges := 0
+	for i, v := range z {
+		back := in.Q.Neighbors(v).IntersectCount(x)
+		bd.B[i] = back
+		edges += back
+		bd.D[i] = edges
+		if i > 0 {
+			h := size.Mul(in.MinW(v, x))
+			bd.H = append(bd.H, h)
+			bd.C = bd.C.Add(h)
+		}
+		size = size.Mul(in.ExtendFactor(v, x))
+		bd.N = append(bd.N, size)
+		x.Add(v)
+	}
+	return bd
+}
+
+// HasCartesianProduct reports whether any join after the first position
+// adds a vertex with no query-graph edge into the prefix (B_i = 0).
+func (in *Instance) HasCartesianProduct(z Sequence) bool {
+	if !in.ValidSequence(z) {
+		panic(fmt.Sprintf("qon: invalid join sequence %v", z))
+	}
+	x := graph.NewBitset(in.N())
+	for i, v := range z {
+		if i > 0 && in.Q.Neighbors(v).IntersectCount(x) == 0 {
+			return true
+		}
+		x.Add(v)
+	}
+	return false
+}

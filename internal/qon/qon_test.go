@@ -1,0 +1,306 @@
+package qon
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+)
+
+// chainInstance builds the classic 3-relation chain R0—R1—R2 with small
+// integer parameters for hand-checkable costs.
+func chainInstance() *Instance {
+	q := graph.Path(3)
+	in := &Instance{
+		Q: q,
+		T: []num.Num{num.FromInt64(100), num.FromInt64(10), num.FromInt64(1000)},
+	}
+	one := num.One()
+	// Binary-exact selectivities keep the hand computations exact.
+	in.S = [][]num.Num{
+		{one, num.FromFloat64(0.125), one},
+		{num.FromFloat64(0.125), one, num.FromFloat64(0.5)},
+		{one, num.FromFloat64(0.5), one},
+	}
+	// W[j][k]: cost of accessing R_j given attributes of R_k; set each
+	// edge cost to its lower bound t_j·s_jk, non-edges to t_j.
+	in.W = make([][]num.Num, 3)
+	for j := range in.W {
+		in.W[j] = make([]num.Num, 3)
+		for k := range in.W[j] {
+			if j != k && q.HasEdge(j, k) {
+				in.W[j][k] = in.T[j].Mul(in.S[j][k])
+			} else {
+				in.W[j][k] = in.T[j]
+			}
+		}
+	}
+	return in
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := chainInstance().Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	u := NewUniform(graph.Complete(4), num.FromInt64(100), num.FromFloat64(0.25), num.FromInt64(25))
+	if err := u.Validate(); err != nil {
+		t.Fatalf("uniform instance rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Instance)
+	}{
+		{"asymmetric selectivity", func(in *Instance) { in.S[0][1] = num.FromFloat64(0.2) }},
+		{"selectivity > 1", func(in *Instance) {
+			in.S[0][1] = num.FromInt64(2)
+			in.S[1][0] = num.FromInt64(2)
+		}},
+		{"zero selectivity", func(in *Instance) {
+			in.S[0][1] = num.Zero()
+			in.S[1][0] = num.Zero()
+		}},
+		{"non-edge selectivity", func(in *Instance) {
+			in.S[0][2] = num.FromFloat64(0.5)
+			in.S[2][0] = num.FromFloat64(0.5)
+		}},
+		{"zero relation size", func(in *Instance) { in.T[1] = num.Zero() }},
+		{"W below lower bound", func(in *Instance) { in.W[0][1] = num.FromInt64(1) }},
+		{"W above t_j", func(in *Instance) { in.W[0][1] = num.FromInt64(101) }},
+		{"non-edge W wrong", func(in *Instance) { in.W[0][2] = num.FromInt64(5) }},
+		{"graph size mismatch", func(in *Instance) { in.Q = graph.Path(4) }},
+		{"ragged matrix", func(in *Instance) { in.S[2] = in.S[2][:2] }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			in := chainInstance()
+			m.mutate(in)
+			if err := in.Validate(); err == nil {
+				t.Error("mutated instance accepted")
+			}
+		})
+	}
+}
+
+func TestHandComputedCost(t *testing.T) {
+	in := chainInstance()
+	// Z = (R1, R0, R2): N(R1)=10.
+	// H_1 = 10 · W[0][1] = 10 · 100·0.125 = 125; N = 10·100·0.125 = 125.
+	// H_2 = 125 · min(W[2][0], W[2][1]) = 125 · min(1000, 500) = 62500.
+	bd := in.Evaluate(Sequence{1, 0, 2})
+	if !bd.H[0].Equal(num.FromInt64(125)) {
+		t.Errorf("H_1 = %v, want 125", bd.H[0])
+	}
+	if !bd.H[1].Equal(num.FromInt64(62500)) {
+		t.Errorf("H_2 = %v, want 62500", bd.H[1])
+	}
+	if !bd.C.Equal(num.FromInt64(62625)) {
+		t.Errorf("C = %v, want 62625", bd.C)
+	}
+	if !bd.N[2].Equal(num.FromInt64(62500)) {
+		t.Errorf("final size = %v, want 125·1000·0.5 = 62500", bd.N[2])
+	}
+	// Back-edge and prefix-edge counts.
+	if bd.B[0] != 0 || bd.B[1] != 1 || bd.B[2] != 1 {
+		t.Errorf("B = %v, want [0 1 1]", bd.B)
+	}
+	if bd.D[2] != 2 {
+		t.Errorf("D = %v, want final 2", bd.D)
+	}
+}
+
+func TestCartesianProductDetection(t *testing.T) {
+	in := chainInstance()
+	if in.HasCartesianProduct(Sequence{0, 1, 2}) {
+		t.Error("connected order flagged as cartesian")
+	}
+	if !in.HasCartesianProduct(Sequence{0, 2, 1}) {
+		t.Error("R0 then R2 (no edge) not flagged as cartesian")
+	}
+}
+
+func TestInvalidSequencePanics(t *testing.T) {
+	in := chainInstance()
+	for _, z := range []Sequence{{0, 1}, {0, 0, 1}, {0, 1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("sequence %v did not panic", z)
+				}
+			}()
+			in.Cost(z)
+		}()
+	}
+}
+
+// randomInstance builds a random valid instance for property tests.
+func randomInstance(n int, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	q := graph.Random(n, 0.6, seed)
+	in := &Instance{Q: q, T: make([]num.Num, n)}
+	for i := range in.T {
+		in.T[i] = num.FromInt64(int64(rng.Intn(1000) + 1))
+	}
+	in.S = make([][]num.Num, n)
+	in.W = make([][]num.Num, n)
+	for i := 0; i < n; i++ {
+		in.S[i] = make([]num.Num, n)
+		in.W[i] = make([]num.Num, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if i == j {
+				in.S[i][j] = num.One()
+				in.W[i][j] = in.T[i]
+				continue
+			}
+			if q.HasEdge(i, j) {
+				s := num.FromFloat64(float64(rng.Intn(99)+1) / 100)
+				in.S[i][j], in.S[j][i] = s, s
+				// Random w within [t·s, t] per direction.
+				in.W[i][j] = lerp(in.T[i].Mul(s), in.T[i], rng.Float64())
+				in.W[j][i] = lerp(in.T[j].Mul(s), in.T[j], rng.Float64())
+			} else {
+				in.S[i][j], in.S[j][i] = num.One(), num.One()
+				in.W[i][j], in.W[j][i] = in.T[i], in.T[j]
+			}
+		}
+	}
+	return in
+}
+
+func lerp(lo, hi num.Num, f float64) num.Num {
+	return lo.Add(hi.Sub(lo).Mul(num.FromFloat64(f)))
+}
+
+// Property: generated random instances always validate.
+func TestQuickRandomInstanceValid(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		return randomInstance(n, seed).Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: N(X) is a set function — any permutation of the same prefix
+// set yields the same intermediate size (the fact that makes subset DP
+// exact).
+func TestQuickSizeIsSetFunction(t *testing.T) {
+	prop := func(seed int64) bool {
+		in := randomInstance(6, seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		xs := rng.Perm(6)[:4]
+		ys := append([]int(nil), xs...)
+		rng.Shuffle(len(ys), func(i, j int) { ys[i], ys[j] = ys[j], ys[i] })
+		return in.Size(xs).Equal(in.Size(ys))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Evaluate's running N matches Size on each prefix, and C is
+// the sum of H.
+func TestQuickEvaluateConsistency(t *testing.T) {
+	prop := func(seed int64) bool {
+		in := randomInstance(5, seed)
+		z := Sequence(rand.New(rand.NewSource(seed)).Perm(5))
+		bd := in.Evaluate(z)
+		total := num.Zero()
+		for _, h := range bd.H {
+			total = total.Add(h)
+		}
+		if !total.Equal(bd.C) {
+			return false
+		}
+		for i := range z {
+			if !bd.N[i].Equal(in.Size(z[:i+1])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: appending a vertex with at least one back-edge costs
+// H = N(X)·minW ≤ N(X)·t_v, and cartesian products cost exactly N(X)·t_v.
+func TestQuickCartesianIsWorst(t *testing.T) {
+	prop := func(seed int64) bool {
+		in := randomInstance(5, seed)
+		z := Sequence(rand.New(rand.NewSource(seed + 1)).Perm(5))
+		bd := in.Evaluate(z)
+		for i := 1; i < len(z); i++ {
+			bound := bd.N[i-1].Mul(in.T[z[i]])
+			if bound.Less(bd.H[i-1]) {
+				return false
+			}
+			if bd.B[i] == 0 && !bd.H[i-1].Equal(bound) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewUniformMatchesReductionShape(t *testing.T) {
+	// The f_N parameters at toy scale: α=4, t=α³, w=t/α.
+	alpha := num.FromInt64(4)
+	tt := alpha.Pow(3)
+	in := NewUniform(graph.Cycle(4), tt, alpha.Inv(), tt.Div(alpha))
+	if err := in.Validate(); err != nil {
+		t.Fatalf("uniform reduction-shaped instance invalid: %v", err)
+	}
+	// A no-cartesian sequence around the cycle: H_i = w·α^{... } form —
+	// check H_1 = t·w exactly.
+	bd := in.Evaluate(Sequence{0, 1, 2, 3})
+	want := tt.Mul(tt.Div(alpha))
+	if !bd.H[0].Equal(want) {
+		t.Errorf("H_1 = %v, want t·w = %v", bd.H[0], want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := randomInstance(5, 77)
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != in.N() || !back.Q.Equal(in.Q) {
+		t.Fatal("round trip changed structure")
+	}
+	z := Sequence{0, 1, 2, 3, 4}
+	if !back.Cost(z).Equal(in.Cost(z)) {
+		t.Error("round trip changed costs")
+	}
+	var bad Instance
+	if err := json.Unmarshal([]byte(`{"query_graph":{"n":2,"edges":[]},"selectivities":[],"sizes":["1","1"],"access_costs":[]}`), &bad); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestMinWEmptyPrefixPanics(t *testing.T) {
+	in := chainInstance()
+	defer func() {
+		if recover() == nil {
+			t.Error("MinW over empty set did not panic")
+		}
+	}()
+	in.MinW(0, graph.NewBitset(3))
+}

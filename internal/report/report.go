@@ -1,0 +1,122 @@
+// Package report renders the experiment harness's tables: aligned text
+// for terminals and CSV for downstream tooling, with log₂-domain
+// formatting for the astronomically large costs the reductions produce.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"approxqo/internal/num"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// New returns an empty table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; it panics if the arity does not match.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if l := len([]rune(cell)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := len(t.Columns)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV (naive quoting: cells containing
+// commas or quotes are quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	write := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				quoted[i] = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			} else {
+				quoted[i] = c
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.Join(quoted, ","))
+		return err
+	}
+	if err := write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if l := len([]rune(s)); l < w {
+		return s + strings.Repeat(" ", w-l)
+	}
+	return s
+}
+
+// Log2 formats a cost as "2^x" with one decimal — the only readable
+// rendering for values like α^{n²}.
+func Log2(v num.Num) string {
+	if v.IsZero() {
+		return "0"
+	}
+	return fmt.Sprintf("2^%.1f", v.Log2())
+}
+
+// Ratio formats the log₂ of a cost ratio a/b as "2^x".
+func Ratio(a, b num.Num) string {
+	return fmt.Sprintf("2^%.1f", a.Log2()-b.Log2())
+}

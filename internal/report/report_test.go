@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"approxqo/internal/num"
+)
+
+func TestTableText(t *testing.T) {
+	tb := New("T1 — demo", "n", "cost")
+	tb.AddRow("12", "2^176.0")
+	tb.AddRow("24", "2^700.5")
+	var b strings.Builder
+	if err := tb.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"T1 — demo", "n   cost", "12  2^176.0", "24  2^700.5", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("x,y", `say "hi"`)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"x,y"`) || !strings.Contains(out, `"say ""hi"""`) {
+		t.Errorf("CSV quoting wrong:\n%s", out)
+	}
+}
+
+func TestAddRowArity(t *testing.T) {
+	tb := New("", "one")
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch did not panic")
+		}
+	}()
+	tb.AddRow("a", "b")
+}
+
+func TestLog2Formatting(t *testing.T) {
+	if got := Log2(num.Zero()); got != "0" {
+		t.Errorf("Log2(0) = %q", got)
+	}
+	if got := Log2(num.Pow2(100)); got != "2^100.0" {
+		t.Errorf("Log2(2^100) = %q", got)
+	}
+	if got := Ratio(num.Pow2(150), num.Pow2(100)); got != "2^50.0" {
+		t.Errorf("Ratio = %q", got)
+	}
+}

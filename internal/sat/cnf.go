@@ -1,0 +1,173 @@
+// Package sat implements CNF formulas, a DPLL satisfiability solver, an
+// exact MaxSAT branch and bound, random formula generators, and the
+// occurrence-bounding transform to 3SAT(13) that the hardness chain
+// starts from.
+//
+// Variables are 1-based integers; a literal is +v or −v. A formula is a
+// conjunction of clauses, each a disjunction of literals.
+package sat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Literal is a signed variable: +v asserts variable v, −v negates it.
+// The zero literal is invalid.
+type Literal int
+
+// Var returns the (positive) variable index of l.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether l is a positive literal.
+func (l Literal) Positive() bool { return l > 0 }
+
+// Negate returns the complementary literal.
+func (l Literal) Negate() Literal { return -l }
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// Formula is a CNF formula over variables 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// New returns an empty formula over nv variables.
+func New(nv int) *Formula {
+	if nv < 0 {
+		panic("sat: negative variable count")
+	}
+	return &Formula{NumVars: nv}
+}
+
+// AddClause appends a clause, validating its literals.
+func (f *Formula) AddClause(lits ...Literal) {
+	for _, l := range lits {
+		if l == 0 || l.Var() > f.NumVars {
+			panic(fmt.Sprintf("sat: invalid literal %d for %d variables", l, f.NumVars))
+		}
+	}
+	c := make(Clause, len(lits))
+	copy(c, lits)
+	f.Clauses = append(f.Clauses, c)
+}
+
+// NumClauses returns the number of clauses.
+func (f *Formula) NumClauses() int { return len(f.Clauses) }
+
+// Clone returns a deep copy.
+func (f *Formula) Clone() *Formula {
+	c := New(f.NumVars)
+	for _, cl := range f.Clauses {
+		c.AddClause(cl...)
+	}
+	return c
+}
+
+// Assignment maps variable index (1-based) to truth value. Index 0 is
+// unused.
+type Assignment []bool
+
+// Satisfies reports whether the assignment satisfies clause c.
+func (a Assignment) Satisfies(c Clause) bool {
+	for _, l := range c {
+		if a[l.Var()] == l.Positive() {
+			return true
+		}
+	}
+	return false
+}
+
+// NumSatisfied returns how many clauses of f the assignment satisfies.
+func (f *Formula) NumSatisfied(a Assignment) int {
+	if len(a) < f.NumVars+1 {
+		panic("sat: assignment too short")
+	}
+	count := 0
+	for _, c := range f.Clauses {
+		if a.Satisfies(c) {
+			count++
+		}
+	}
+	return count
+}
+
+// MaxOccurrences returns the largest number of clauses any single
+// variable appears in (counting multiplicity within a clause once per
+// clause).
+func (f *Formula) MaxOccurrences() int {
+	occ := make([]int, f.NumVars+1)
+	for _, c := range f.Clauses {
+		seen := map[int]bool{}
+		for _, l := range c {
+			if !seen[l.Var()] {
+				seen[l.Var()] = true
+				occ[l.Var()]++
+			}
+		}
+	}
+	max := 0
+	for _, o := range occ {
+		if o > max {
+			max = o
+		}
+	}
+	return max
+}
+
+// Is3CNF reports whether every clause has at most three literals.
+func (f *Formula) Is3CNF() bool {
+	for _, c := range f.Clauses {
+		if len(c) > 3 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the formula as e.g. "(x1 ∨ ¬x2) ∧ (x3)".
+func (f *Formula) String() string {
+	if len(f.Clauses) == 0 {
+		return "⊤"
+	}
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		lits := make([]string, len(c))
+		for j, l := range c {
+			if l.Positive() {
+				lits[j] = fmt.Sprintf("x%d", l.Var())
+			} else {
+				lits[j] = fmt.Sprintf("¬x%d", l.Var())
+			}
+		}
+		parts[i] = "(" + strings.Join(lits, " ∨ ") + ")"
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// normalizedClause returns a sorted copy of c with duplicate literals
+// removed, and reports whether the clause is a tautology (contains both
+// a literal and its negation).
+func normalizedClause(c Clause) (Clause, bool) {
+	seen := map[Literal]bool{}
+	var out Clause
+	for _, l := range c {
+		if seen[l.Negate()] {
+			return nil, true
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, false
+}

@@ -1,0 +1,84 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDIMACS writes f in the standard DIMACS CNF format.
+func WriteDIMACS(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(bw, "%d ", int(l)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseDIMACS reads a DIMACS CNF formula. Comment lines ("c ...") are
+// skipped; the problem line must precede clauses.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var f *Formula
+	var cur Clause
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: malformed problem line %q", line)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			_, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 {
+				return nil, fmt.Errorf("sat: malformed problem line %q", line)
+			}
+			f = New(nv)
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("sat: clause before problem line: %q", line)
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q: %w", tok, err)
+			}
+			if v == 0 {
+				f.AddClause(cur...)
+				cur = cur[:0]
+				continue
+			}
+			if l := Literal(v); l.Var() > f.NumVars {
+				return nil, fmt.Errorf("sat: literal %d exceeds declared %d variables", v, f.NumVars)
+			}
+			cur = append(cur, Literal(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("sat: no problem line found")
+	}
+	if len(cur) > 0 {
+		f.AddClause(cur...)
+	}
+	return f, nil
+}

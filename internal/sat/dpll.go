@@ -1,0 +1,167 @@
+package sat
+
+// DPLL satisfiability solver with unit propagation and pure-literal
+// elimination. Intended for the small-to-medium formulas the reduction
+// experiments feed it; it is exact, not heuristic.
+
+// Solve decides satisfiability of f. If satisfiable it also returns a
+// satisfying assignment (length NumVars+1, index 0 unused).
+func Solve(f *Formula) (sat bool, model Assignment) {
+	s := &dpll{f: f, val: make([]int8, f.NumVars+1)}
+	if !s.solve() {
+		return false, nil
+	}
+	model = make(Assignment, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		model[v] = s.val[v] == 1 // unassigned variables default to false
+	}
+	return true, model
+}
+
+// Satisfiable is a convenience wrapper around Solve.
+func Satisfiable(f *Formula) bool {
+	sat, _ := Solve(f)
+	return sat
+}
+
+type dpll struct {
+	f   *Formula
+	val []int8 // 0 unassigned, 1 true, -1 false
+}
+
+// litValue returns 1 if l is true, -1 if false, 0 if unassigned.
+func (s *dpll) litValue(l Literal) int8 {
+	v := s.val[l.Var()]
+	if l.Positive() {
+		return v
+	}
+	return -v
+}
+
+func (s *dpll) assign(l Literal) {
+	if l.Positive() {
+		s.val[l.Var()] = 1
+	} else {
+		s.val[l.Var()] = -1
+	}
+}
+
+// clauseState classifies a clause under the current partial assignment:
+// satisfied; or unsatisfied-with-k-free-literals, returning one free
+// literal when k ≥ 1.
+func (s *dpll) clauseState(c Clause) (satisfied bool, free int, anyFree Literal) {
+	for _, l := range c {
+		switch s.litValue(l) {
+		case 1:
+			return true, 0, 0
+		case 0:
+			free++
+			anyFree = l
+		}
+	}
+	return false, free, anyFree
+}
+
+// propagate applies unit propagation. It returns false on conflict and
+// records the variables it assigned in trail.
+func (s *dpll) propagate(trail *[]int) bool {
+	for {
+		progressed := false
+		for _, c := range s.f.Clauses {
+			satisfied, free, unit := s.clauseState(c)
+			if satisfied {
+				continue
+			}
+			switch free {
+			case 0:
+				return false // conflict: clause fully falsified
+			case 1:
+				s.assign(unit)
+				*trail = append(*trail, unit.Var())
+				progressed = true
+			}
+		}
+		if !progressed {
+			return true
+		}
+	}
+}
+
+// pureLiterals assigns variables that occur with only one polarity among
+// not-yet-satisfied clauses.
+func (s *dpll) pureLiterals(trail *[]int) {
+	pos := make([]bool, s.f.NumVars+1)
+	neg := make([]bool, s.f.NumVars+1)
+	for _, c := range s.f.Clauses {
+		if satisfied, _, _ := s.clauseState(c); satisfied {
+			continue
+		}
+		for _, l := range c {
+			if s.litValue(l) == 0 {
+				if l.Positive() {
+					pos[l.Var()] = true
+				} else {
+					neg[l.Var()] = true
+				}
+			}
+		}
+	}
+	for v := 1; v <= s.f.NumVars; v++ {
+		if s.val[v] != 0 || pos[v] == neg[v] {
+			continue
+		}
+		if pos[v] {
+			s.assign(Literal(v))
+		} else {
+			s.assign(Literal(-v))
+		}
+		*trail = append(*trail, v)
+	}
+}
+
+func (s *dpll) undo(trail []int) {
+	for _, v := range trail {
+		s.val[v] = 0
+	}
+}
+
+// chooseBranch picks an unassigned variable from the shortest unresolved
+// clause (a simple MOM-style heuristic); 0 means every clause is
+// satisfied.
+func (s *dpll) chooseBranch() Literal {
+	var best Literal
+	bestLen := int(^uint(0) >> 1)
+	for _, c := range s.f.Clauses {
+		satisfied, free, anyFree := s.clauseState(c)
+		if satisfied {
+			continue
+		}
+		if free < bestLen {
+			bestLen, best = free, anyFree
+		}
+	}
+	return best
+}
+
+func (s *dpll) solve() bool {
+	var trail []int
+	if !s.propagate(&trail) {
+		s.undo(trail)
+		return false
+	}
+	s.pureLiterals(&trail)
+	branch := s.chooseBranch()
+	if branch == 0 {
+		return true // all clauses satisfied
+	}
+	for _, lit := range []Literal{branch, branch.Negate()} {
+		s.assign(lit)
+		sub := []int{lit.Var()}
+		if s.solve() {
+			return true
+		}
+		s.undo(sub)
+	}
+	s.undo(trail)
+	return false
+}

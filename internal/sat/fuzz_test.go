@@ -1,0 +1,46 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS checks that the parser never panics and that whatever
+// it accepts round-trips through WriteDIMACS into an equivalent formula.
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 3 2\n1 -2 3 0\n-1 2 0\n")
+	f.Add("c comment\np cnf 1 1\n1 0")
+	f.Add("p cnf 0 0\n")
+	f.Add("p cnf 2 1\n1 2")
+	f.Add("garbage")
+	f.Add("p cnf 9999 1\n1 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		formula, err := ParseDIMACS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, formula); err != nil {
+			t.Fatalf("write after successful parse: %v", err)
+		}
+		back, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if back.NumVars != formula.NumVars || back.NumClauses() != formula.NumClauses() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				formula.NumVars, formula.NumClauses(), back.NumVars, back.NumClauses())
+		}
+		for i := range formula.Clauses {
+			if len(formula.Clauses[i]) != len(back.Clauses[i]) {
+				t.Fatalf("clause %d length changed", i)
+			}
+			for j := range formula.Clauses[i] {
+				if formula.Clauses[i][j] != back.Clauses[i][j] {
+					t.Fatalf("clause %d literal %d changed", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Random3SAT returns a uniform random 3-CNF formula with nv variables
+// and nc clauses (three distinct variables per clause, random signs).
+func Random3SAT(nv, nc int, seed int64) *Formula {
+	if nv < 3 {
+		panic("sat: Random3SAT needs at least 3 variables")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := New(nv)
+	for i := 0; i < nc; i++ {
+		f.AddClause(randomClause(nv, rng)...)
+	}
+	return f
+}
+
+// PlantedSatisfiable3SAT returns a random 3-CNF formula guaranteed to be
+// satisfied by a hidden planted assignment, plus that assignment. Each
+// clause is re-drawn until the planted assignment satisfies it.
+func PlantedSatisfiable3SAT(nv, nc int, seed int64) (*Formula, Assignment) {
+	if nv < 3 {
+		panic("sat: PlantedSatisfiable3SAT needs at least 3 variables")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	planted := make(Assignment, nv+1)
+	for v := 1; v <= nv; v++ {
+		planted[v] = rng.Intn(2) == 1
+	}
+	f := New(nv)
+	for i := 0; i < nc; i++ {
+		for {
+			c := randomClause(nv, rng)
+			if planted.Satisfies(c) {
+				f.AddClause(c...)
+				break
+			}
+		}
+	}
+	return f, planted
+}
+
+// Unsatisfiable3SAT returns a small canonical unsatisfiable 3-CNF core
+// (all eight sign patterns over three variables) optionally padded with
+// extra random clauses over further variables.
+func Unsatisfiable3SAT(extraVars, extraClauses int, seed int64) *Formula {
+	nv := 3 + extraVars
+	f := New(nv)
+	for mask := 0; mask < 8; mask++ {
+		c := make(Clause, 3)
+		for b := 0; b < 3; b++ {
+			v := Literal(b + 1)
+			if mask&(1<<b) != 0 {
+				v = v.Negate()
+			}
+			c[b] = v
+		}
+		f.AddClause(c...)
+	}
+	if extraClauses > 0 {
+		if nv < 3 {
+			panic("sat: not enough variables for padding")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < extraClauses; i++ {
+			f.AddClause(randomClause(nv, rng)...)
+		}
+	}
+	return f
+}
+
+func randomClause(nv int, rng *rand.Rand) Clause {
+	vars := rng.Perm(nv)[:3]
+	c := make(Clause, 3)
+	for j, v := range vars {
+		lit := Literal(v + 1)
+		if rng.Intn(2) == 0 {
+			lit = lit.Negate()
+		}
+		c[j] = lit
+	}
+	return c
+}
+
+// Bound13 transforms f into an equisatisfiable 3-CNF formula in which
+// every variable occurs in at most 13 clauses — the 3SAT(13) form the
+// hardness chain starts from (Theorem 1 of the paper cites Arora's
+// amplification; the classical occurrence-bounding construction below
+// preserves satisfiability exactly).
+//
+// Every variable x with k > 3 occurrences is replaced by fresh copies
+// x₁..x_k, one per occurrence, chained by the implication cycle
+// (¬x₁∨x₂)(¬x₂∨x₃)…(¬x_k∨x₁), which forces all copies equal. Each copy
+// then occurs in exactly 3 clauses (its original occurrence plus two
+// cycle clauses), so the result is 3-bounded, hence 13-bounded.
+func Bound13(f *Formula) *Formula {
+	occ := make([][]int, f.NumVars+1) // clause indices touching each var
+	for ci, c := range f.Clauses {
+		seen := map[int]bool{}
+		for _, l := range c {
+			if !seen[l.Var()] {
+				seen[l.Var()] = true
+				occ[l.Var()] = append(occ[l.Var()], ci)
+			}
+		}
+	}
+	// Assign replacement variables.
+	next := 1
+	// replacement[v][ci] = fresh variable standing for v in clause ci.
+	replacement := make([]map[int]int, f.NumVars+1)
+	var cycles [][]int // each: the ordered fresh copies of one variable
+	for v := 1; v <= f.NumVars; v++ {
+		if len(occ[v]) <= 3 {
+			// Few occurrences: keep a single (renumbered) variable.
+			replacement[v] = map[int]int{}
+			for _, ci := range occ[v] {
+				replacement[v][ci] = next
+			}
+			if len(occ[v]) == 0 {
+				// Unused variable: still reserve a slot to keep counts sane.
+				replacement[v][-1] = next
+			}
+			next++
+			continue
+		}
+		replacement[v] = map[int]int{}
+		var copies []int
+		for _, ci := range occ[v] {
+			replacement[v][ci] = next
+			copies = append(copies, next)
+			next++
+		}
+		cycles = append(cycles, copies)
+	}
+	out := New(next - 1)
+	for ci, c := range f.Clauses {
+		nc := make(Clause, len(c))
+		for j, l := range c {
+			nv := Literal(replacement[l.Var()][ci])
+			if !l.Positive() {
+				nv = nv.Negate()
+			}
+			nc[j] = nv
+		}
+		out.AddClause(nc...)
+	}
+	for _, copies := range cycles {
+		k := len(copies)
+		for i := 0; i < k; i++ {
+			out.AddClause(Literal(-copies[i]), Literal(copies[(i+1)%k]))
+		}
+	}
+	if got := out.MaxOccurrences(); got > 13 {
+		panic(fmt.Sprintf("sat: Bound13 produced %d occurrences", got))
+	}
+	return out
+}

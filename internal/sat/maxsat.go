@@ -1,0 +1,76 @@
+package sat
+
+// MaxSat returns the maximum number of clauses of f that any assignment
+// satisfies, together with an optimal assignment. It is an exact branch
+// and bound (bound: satisfied + still-resolvable clauses), exponential in
+// the worst case and intended for the small instances used to certify
+// the reductions.
+func MaxSat(f *Formula) (best int, model Assignment) {
+	s := &maxsatSearch{f: f, val: make([]int8, f.NumVars+1), best: -1}
+	s.search(1)
+	return s.best, s.bestModel
+}
+
+// MaxSatFraction returns MaxSat(f) / NumClauses(f), or 1 for the empty
+// formula — the quantity 3SAT(13) thresholds on.
+func MaxSatFraction(f *Formula) float64 {
+	if f.NumClauses() == 0 {
+		return 1
+	}
+	best, _ := MaxSat(f)
+	return float64(best) / float64(f.NumClauses())
+}
+
+type maxsatSearch struct {
+	f         *Formula
+	val       []int8
+	best      int
+	bestModel Assignment
+}
+
+// bound counts clauses already satisfied and clauses that could still be
+// satisfied given variables 1..next-1 are fixed.
+func (s *maxsatSearch) bound(next int) (satisfied, possible int) {
+	for _, c := range s.f.Clauses {
+		sat, open := false, false
+		for _, l := range c {
+			if l.Var() < next {
+				if s.val[l.Var()] == 1 == l.Positive() {
+					sat = true
+					break
+				}
+			} else {
+				open = true
+			}
+		}
+		switch {
+		case sat:
+			satisfied++
+		case open:
+			possible++
+		}
+	}
+	return satisfied, possible
+}
+
+func (s *maxsatSearch) search(next int) {
+	satisfied, possible := s.bound(next)
+	if satisfied+possible <= s.best {
+		return
+	}
+	if next > s.f.NumVars {
+		if satisfied > s.best {
+			s.best = satisfied
+			s.bestModel = make(Assignment, s.f.NumVars+1)
+			for v := 1; v <= s.f.NumVars; v++ {
+				s.bestModel[v] = s.val[v] == 1
+			}
+		}
+		return
+	}
+	for _, b := range []int8{1, -1} {
+		s.val[next] = b
+		s.search(next + 1)
+	}
+	s.val[next] = 0
+}

@@ -1,0 +1,279 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLiteral(t *testing.T) {
+	l := Literal(-5)
+	if l.Var() != 5 || l.Positive() {
+		t.Error("negative literal misread")
+	}
+	if l.Negate() != Literal(5) || !l.Negate().Positive() {
+		t.Error("Negate wrong")
+	}
+}
+
+func TestFormulaBasics(t *testing.T) {
+	f := New(3)
+	f.AddClause(1, -2)
+	f.AddClause(3)
+	if f.NumClauses() != 2 || !f.Is3CNF() {
+		t.Error("basic counts wrong")
+	}
+	a := Assignment{false, true, true, false}
+	if !a.Satisfies(f.Clauses[0]) {
+		t.Error("clause (x1 ∨ ¬x2) should be satisfied by x1=T")
+	}
+	if a.Satisfies(f.Clauses[1]) {
+		t.Error("clause (x3) should be unsatisfied by x3=F")
+	}
+	if f.NumSatisfied(a) != 1 {
+		t.Errorf("NumSatisfied = %d, want 1", f.NumSatisfied(a))
+	}
+	c := f.Clone()
+	c.AddClause(-1)
+	if f.NumClauses() != 2 {
+		t.Error("Clone shares clause storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid literal did not panic")
+		}
+	}()
+	f.AddClause(4)
+}
+
+func TestMaxOccurrences(t *testing.T) {
+	f := New(3)
+	f.AddClause(1, 2)
+	f.AddClause(1, -2)
+	f.AddClause(-1, 3)
+	f.AddClause(1, 1, 1) // multiplicity within a clause counts once
+	if got := f.MaxOccurrences(); got != 4 {
+		t.Errorf("MaxOccurrences = %d, want 4", got)
+	}
+}
+
+// bruteSat exhaustively decides satisfiability (reference for quick tests).
+func bruteSat(f *Formula) bool {
+	n := f.NumVars
+	for mask := 0; mask < 1<<n; mask++ {
+		a := make(Assignment, n+1)
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.NumSatisfied(a) == f.NumClauses() {
+			return true
+		}
+	}
+	return f.NumClauses() == 0
+}
+
+func bruteMaxSat(f *Formula) int {
+	n := f.NumVars
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		a := make(Assignment, n+1)
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if s := f.NumSatisfied(a); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+func TestSolveKnownFormulas(t *testing.T) {
+	sat1 := New(2)
+	sat1.AddClause(1, 2)
+	sat1.AddClause(-1, 2)
+
+	unsat := New(1)
+	unsat.AddClause(1)
+	unsat.AddClause(-1)
+
+	cases := []struct {
+		name string
+		f    *Formula
+		want bool
+	}{
+		{"empty", New(0), true},
+		{"single", sat1, true},
+		{"contradiction", unsat, false},
+		{"full unsat core", Unsatisfiable3SAT(0, 0, 0), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, model := Solve(tc.f)
+			if got != tc.want {
+				t.Fatalf("Solve = %v, want %v", got, tc.want)
+			}
+			if got && tc.f.NumSatisfied(model) != tc.f.NumClauses() {
+				t.Error("returned model does not satisfy the formula")
+			}
+		})
+	}
+}
+
+// Property: DPLL agrees with brute force on random small formulas, and
+// any model it returns actually satisfies the formula.
+func TestQuickSolveMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64, ncRaw uint8) bool {
+		nc := int(ncRaw%30) + 1
+		f := Random3SAT(6, nc, seed)
+		want := bruteSat(f)
+		got, model := Solve(f)
+		if got != want {
+			return false
+		}
+		if got && f.NumSatisfied(model) != f.NumClauses() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MaxSat agrees with brute force; fraction is consistent.
+func TestQuickMaxSatMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64, ncRaw uint8) bool {
+		nc := int(ncRaw%20) + 1
+		f := Random3SAT(5, nc, seed)
+		want := bruteMaxSat(f)
+		got, model := MaxSat(f)
+		if got != want || f.NumSatisfied(model) != got {
+			return false
+		}
+		return MaxSatFraction(f) == float64(got)/float64(nc)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlantedSatisfiable(t *testing.T) {
+	f, planted := PlantedSatisfiable3SAT(12, 40, 11)
+	if f.NumSatisfied(planted) != f.NumClauses() {
+		t.Fatal("planted assignment does not satisfy formula")
+	}
+	if !Satisfiable(f) {
+		t.Error("planted-satisfiable formula judged unsatisfiable")
+	}
+}
+
+func TestUnsatisfiableCore(t *testing.T) {
+	f := Unsatisfiable3SAT(0, 0, 0)
+	if Satisfiable(f) {
+		t.Fatal("full 8-clause core judged satisfiable")
+	}
+	best, _ := MaxSat(f)
+	if best != 7 {
+		t.Errorf("MaxSat of 8-clause core = %d, want 7", best)
+	}
+	padded := Unsatisfiable3SAT(4, 10, 3)
+	if Satisfiable(padded) {
+		t.Error("padded unsat formula judged satisfiable")
+	}
+}
+
+func TestBound13PreservesSatisfiability(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		f := Random3SAT(5, 25, seed) // 25 clauses over 5 vars → heavy occurrence counts
+		if f.MaxOccurrences() <= 3 {
+			continue
+		}
+		b := Bound13(f)
+		if b.MaxOccurrences() > 13 {
+			t.Fatalf("Bound13 left %d occurrences", b.MaxOccurrences())
+		}
+		if !b.Is3CNF() {
+			t.Fatal("Bound13 output not 3-CNF")
+		}
+		if got, want := Satisfiable(b), Satisfiable(f); got != want {
+			t.Fatalf("seed %d: Bound13 changed satisfiability %v -> %v", seed, want, got)
+		}
+	}
+}
+
+func TestBound13UnusedVariable(t *testing.T) {
+	f := New(4)
+	f.AddClause(1, 2, 3) // variable 4 unused
+	b := Bound13(f)
+	if !Satisfiable(b) {
+		t.Error("trivially satisfiable formula became unsatisfiable")
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	f := Random3SAT(8, 20, 4)
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVars != f.NumVars || back.NumClauses() != f.NumClauses() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			back.NumVars, back.NumClauses(), f.NumVars, f.NumClauses())
+	}
+	for i := range f.Clauses {
+		if len(f.Clauses[i]) != len(back.Clauses[i]) {
+			t.Fatalf("clause %d changed", i)
+		}
+		for j := range f.Clauses[i] {
+			if f.Clauses[i][j] != back.Clauses[i][j] {
+				t.Fatalf("clause %d literal %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no problem line":  "1 2 0\n",
+		"bad problem line": "p sat 3 1\n1 0\n",
+		"oversize literal": "p cnf 2 1\n3 0\n",
+		"garbage literal":  "p cnf 2 1\nxx 0\n",
+		"empty input":      "",
+	}
+	for name, input := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	// Comments and trailing clause without explicit 0 are tolerated.
+	f, err := ParseDIMACS(strings.NewReader("c hello\np cnf 2 2\n1 -2 0\n2"))
+	if err != nil || f.NumClauses() != 2 {
+		t.Errorf("lenient parse failed: %v, %v", f, err)
+	}
+}
+
+func TestString(t *testing.T) {
+	f := New(2)
+	if New(0).String() != "⊤" {
+		t.Error("empty formula should render ⊤")
+	}
+	f.AddClause(1, -2)
+	if got := f.String(); got != "(x1 ∨ ¬x2)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNormalizedClause(t *testing.T) {
+	c, taut := normalizedClause(Clause{2, 1, 2, -3})
+	if taut || len(c) != 3 || c[0] != -3 || c[1] != 1 || c[2] != 2 {
+		t.Errorf("normalizedClause = %v, %v", c, taut)
+	}
+	if _, taut := normalizedClause(Clause{1, -1}); !taut {
+		t.Error("tautology not detected")
+	}
+}

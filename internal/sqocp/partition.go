@@ -1,0 +1,93 @@
+package sqocp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Partition is an instance of the PARTITION problem: does a subset of
+// the items sum to exactly half the total?
+type Partition struct {
+	Items []int64 // non-negative
+}
+
+// Decide answers PARTITION exactly by subset-sum DP (pseudo-polynomial).
+func (p *Partition) Decide() (bool, error) {
+	var total int64
+	for _, b := range p.Items {
+		if b < 0 {
+			return false, fmt.Errorf("sqocp: negative item %d", b)
+		}
+		total += b
+	}
+	if total%2 != 0 {
+		return false, nil
+	}
+	half := total / 2
+	reachable := make([]bool, half+1)
+	reachable[0] = true
+	for _, b := range p.Items {
+		for s := half; s >= b; s-- {
+			if reachable[s-b] {
+				reachable[s] = true
+			}
+		}
+	}
+	return reachable[half], nil
+}
+
+// ToSPPCS reduces a PARTITION instance to SPPCS.
+//
+// Construction (see DESIGN.md — this replaces the paper's OCR-damaged
+// constants with a provably correct variant; the proof is below).
+// Scale every item by four, so the total K = 4·Σ items is a multiple of
+// four — in particular K ≥ 4 — whenever any item is nonzero. Set
+//
+//	p_i = 2^{b'_i},   c_i = C·b'_i,   C = 2^{K/2−1} + 1,
+//	L   = 2^{K/2} + C·(K/2).
+//
+// For any subset A with s = Σ_{i∈A} b'_i the SPPCS objective is exactly
+// ψ(s) = 2^s + C·(K−s). The forward difference Δ(s) = ψ(s+1) − ψ(s) =
+// 2^s − C is strictly increasing with Δ(K/2−1) = −1 < 0 < Δ(K/2) =
+// 2^{K/2−1} − 1 (positive for K ≥ 4), so ψ over the integers is
+// uniquely minimized at s = K/2 with ψ(K/2) = L and ψ(s) ≥ L+1 for
+// every s ≠ K/2. Hence some subset achieves objective ≤ L iff some
+// subset of the scaled items sums to exactly K/2 = 2·Σ items, i.e. iff
+// Σ items is even and a subset of the originals sums to half of it —
+// exactly the PARTITION question. (K = 0 degenerates to L = 1 = ψ(0),
+// again YES, matching the trivially-YES all-zero partition.)
+//
+// The reduction is pseudo-polynomial (2^{K/2} has K/2 bits); the
+// paper's full version achieves polynomial size with q-bit rounding of
+// exponentials, which big.Int arithmetic makes unnecessary here.
+func (p *Partition) ToSPPCS() (*SPPCS, error) {
+	var k int64
+	for _, b := range p.Items {
+		if b < 0 {
+			return nil, fmt.Errorf("sqocp: negative item %d", b)
+		}
+		k += 4 * b
+	}
+	half := k / 2
+	c := new(big.Int).Lsh(big.NewInt(1), uint(maxInt64(half-1, 0)))
+	if half == 0 {
+		c = big.NewInt(0) // K = 0: C is irrelevant, all c_i are zero anyway
+	} else {
+		c.Add(c, big.NewInt(1))
+	}
+	out := &SPPCS{L: new(big.Int).Lsh(big.NewInt(1), uint(half))}
+	out.L.Add(out.L, new(big.Int).Mul(c, big.NewInt(half)))
+	for _, b := range p.Items {
+		scaled := 4 * b
+		out.P = append(out.P, new(big.Int).Lsh(big.NewInt(1), uint(scaled)))
+		out.C = append(out.C, new(big.Int).Mul(c, big.NewInt(scaled)))
+	}
+	return out, nil
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

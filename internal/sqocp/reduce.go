@@ -1,0 +1,126 @@
+package sqocp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Reduction is the SQO−CP instance constructed from an SPPCS instance
+// (Appendix B), together with the cost threshold M.
+type Reduction struct {
+	Star *Star
+	// Threshold is the appendix's M: the SPPCS instance is a YES
+	// instance iff some feasible plan costs at most Threshold.
+	Threshold *big.Int
+	// J and U echo the construction's blow-up constants.
+	J, U *big.Int
+}
+
+// FromSPPCS builds the Appendix-B SQO−CP instance for an SPPCS instance
+// with m pairs (p_i, c_i) and bound L. Following the appendix (with the
+// two OCR-ambiguous exponents fixed to the values that make the
+// accounting close — see the package comment):
+//
+//	k_s = 4
+//	J   = (4·k_s·∏p_i)²
+//	U   = Σc_i + ∏p_i + 1
+//	n_0 = b_0 = 5·J³·U                       (R_0 tuples span one page)
+//	b_i = n_0·J²·c_i,  b_{m+1} = n_0·J²·U     (satellite pages)
+//	s_i = p_i/n_i  ⇒  Mult[i] = p_i;  s_{m+1} ⇒ Mult[m+1] = J
+//	w_i = J·k_s·p_i,  w_{m+1} = J²·k_s,  w_{0,i} = n_0
+//	M   = n_0·J²·k_s·(L+1) − 1
+//
+// Intuition: every satellite joined by nested loops before R_{m+1}
+// costs only Θ(n_0·J^{3/2}), the forced nested-loops join of R_{m+1}
+// costs n_0·J²·k_s·∏_{A} p_i where A is the set of satellites joined
+// before it, and every satellite joined afterwards is cheapest by
+// sort-merge at A_i = n_0·J²·k_s·c_i — so the dominant cost is
+// n_0·J²·k_s·(∏_A p + Σ_{∉A} c), and the threshold M separates
+// objective ≤ L from objective ≥ L+1.
+//
+// The construction requires p_i ≥ 2 and c_i ≥ 1 (the appendix assumes
+// this WLOG) and L < U (otherwise the SPPCS instance is trivially YES
+// via A = ∅ or all-in, and callers should special-case it).
+func FromSPPCS(s *SPPCS, l *big.Int) (*Reduction, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(s.P)
+	two := big.NewInt(2)
+	one := big.NewInt(1)
+	prodP := big.NewInt(1)
+	sumC := big.NewInt(0)
+	for i := range s.P {
+		if s.P[i].Cmp(two) < 0 {
+			return nil, fmt.Errorf("sqocp: need p_%d ≥ 2, got %v", i, s.P[i])
+		}
+		if s.C[i].Cmp(one) < 0 {
+			return nil, fmt.Errorf("sqocp: need c_%d ≥ 1, got %v", i, s.C[i])
+		}
+		prodP.Mul(prodP, s.P[i])
+		sumC.Add(sumC, s.C[i])
+	}
+	const ks = 4
+	// J = (4·k_s·∏p)².
+	j := new(big.Int).Mul(big.NewInt(4*ks), prodP)
+	j.Mul(j, j)
+	// U = Σc + ∏p + 1.
+	u := new(big.Int).Add(sumC, prodP)
+	u.Add(u, one)
+	if l.Cmp(u) >= 0 {
+		return nil, fmt.Errorf("sqocp: need L < U (L = %v, U = %v); larger L is trivially YES", l, u)
+	}
+
+	j2 := new(big.Int).Mul(j, j)
+	j3 := new(big.Int).Mul(j2, j)
+	// n_0 = b_0 = 5·J³·U.
+	n0 := new(big.Int).Mul(big.NewInt(5), j3)
+	n0.Mul(n0, u)
+	n0j2 := new(big.Int).Mul(n0, j2)
+
+	st := &Star{
+		Ks:   ks,
+		N:    make([]*big.Int, m+2),
+		B:    make([]*big.Int, m+2),
+		Mult: make([]*big.Int, m+2),
+		W:    make([]*big.Int, m+2),
+		W0:   make([]*big.Int, m+2),
+	}
+	st.N[0] = n0
+	st.B[0] = n0
+	mPlus1 := big.NewInt(int64(m) + 2) // the appendix's m+1 with its m = our m+1 satellites
+	for i := 1; i <= m; i++ {
+		// b_i = n_0·J²·c_i; n_i = (m+1)·b_i (tuple width d = P/(m+1)).
+		st.B[i] = new(big.Int).Mul(n0j2, s.C[i-1])
+		st.N[i] = new(big.Int).Mul(mPlus1, st.B[i])
+		st.Mult[i] = new(big.Int).Set(s.P[i-1])
+		// w_i = J·k_s·p_i.
+		st.W[i] = new(big.Int).Mul(new(big.Int).Mul(j, big.NewInt(ks)), s.P[i-1])
+		st.W0[i] = new(big.Int).Set(n0)
+	}
+	// R_{m+1}: the closing relation that reads off ∏_A p.
+	last := m + 1
+	st.B[last] = new(big.Int).Mul(n0j2, u)
+	st.N[last] = new(big.Int).Mul(mPlus1, st.B[last])
+	st.Mult[last] = new(big.Int).Set(j)
+	st.W[last] = new(big.Int).Mul(j2, big.NewInt(ks))
+	st.W0[last] = new(big.Int).Set(n0)
+
+	// M = n_0·J²·k_s·(L+1) − 1.
+	threshold := new(big.Int).Add(l, one)
+	threshold.Mul(threshold, n0j2)
+	threshold.Mul(threshold, big.NewInt(ks))
+	threshold.Sub(threshold, one)
+
+	return &Reduction{Star: st, Threshold: threshold, J: j, U: u}, nil
+}
+
+// Decide answers the SQO−CP decision question for the reduction's
+// instance by exhaustive optimization (small instances only).
+func (r *Reduction) Decide() (bool, *Plan, *big.Int, error) {
+	plan, cost, err := r.Star.Optimal()
+	if err != nil {
+		return false, nil, nil, err
+	}
+	return cost.Cmp(r.Threshold) <= 0, plan, cost, nil
+}

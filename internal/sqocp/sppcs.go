@@ -1,0 +1,81 @@
+// Package sqocp implements Appendices A and B of the paper: the
+// SQO−CP problem (star-query optimization without cartesian products,
+// with nested-loops and sort-merge operators), the SPPCS problem
+// (Subset Product Plus Complement Sum), and the reduction chain
+// PARTITION → SPPCS → SQO−CP that proves SQO−CP NP-complete.
+//
+// The extended abstract specifies the constructed instances but defers
+// both correctness proofs to an unavailable internal technical report,
+// and the PARTITION→SPPCS constants are OCR-damaged in the available
+// text; DESIGN.md's substitution table records how this package fills
+// those gaps (a clean provably-correct PARTITION→SPPCS reduction, and
+// the Appendix-B SQO−CP construction verified empirically by double
+// brute force).
+package sqocp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// SPPCS is an instance of the Subset Product Plus Complement Sum
+// problem: does some index set A ⊆ {0..m−1} satisfy
+// ∏_{i∈A} P[i] + Σ_{j∉A} C[j] ≤ L?
+type SPPCS struct {
+	P []*big.Int // pair components p_i ≥ 0
+	C []*big.Int // pair components c_i ≥ 0
+	L *big.Int
+}
+
+// Validate checks dimensions and non-negativity.
+func (s *SPPCS) Validate() error {
+	if len(s.P) != len(s.C) {
+		return fmt.Errorf("sqocp: %d products vs %d sums", len(s.P), len(s.C))
+	}
+	if s.L == nil || s.L.Sign() < 0 {
+		return fmt.Errorf("sqocp: missing or negative L")
+	}
+	for i := range s.P {
+		if s.P[i] == nil || s.P[i].Sign() < 0 || s.C[i] == nil || s.C[i].Sign() < 0 {
+			return fmt.Errorf("sqocp: negative or missing pair %d", i)
+		}
+	}
+	return nil
+}
+
+// Objective returns ∏_{i∈A} p_i + Σ_{j∉A} c_j for the subset encoded in
+// the bitmask a (bit i set ⟺ i ∈ A).
+func (s *SPPCS) Objective(a uint64) *big.Int {
+	prod := big.NewInt(1)
+	sum := big.NewInt(0)
+	for i := range s.P {
+		if a&(1<<uint(i)) != 0 {
+			prod.Mul(prod, s.P[i])
+		} else {
+			sum.Add(sum, s.C[i])
+		}
+	}
+	return prod.Add(prod, sum)
+}
+
+// MaxBruteForceItems caps exhaustive SPPCS decision (2^m subsets).
+const MaxBruteForceItems = 24
+
+// Decide answers the SPPCS question exactly by enumerating all subsets,
+// returning the best subset mask and its objective value alongside.
+func (s *SPPCS) Decide() (yes bool, bestMask uint64, bestValue *big.Int, err error) {
+	if err := s.Validate(); err != nil {
+		return false, 0, nil, err
+	}
+	m := len(s.P)
+	if m > MaxBruteForceItems {
+		return false, 0, nil, fmt.Errorf("sqocp: brute force capped at %d items, got %d", MaxBruteForceItems, m)
+	}
+	for a := uint64(0); a < 1<<uint(m); a++ {
+		v := s.Objective(a)
+		if bestValue == nil || v.Cmp(bestValue) < 0 {
+			bestValue, bestMask = v, a
+		}
+	}
+	return bestValue.Cmp(s.L) <= 0, bestMask, bestValue, nil
+}

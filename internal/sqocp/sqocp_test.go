@@ -1,0 +1,407 @@
+package sqocp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func bi(v int64) *big.Int { return big.NewInt(v) }
+
+func TestSPPCSObjective(t *testing.T) {
+	s := &SPPCS{
+		P: []*big.Int{bi(2), bi(3), bi(5)},
+		C: []*big.Int{bi(10), bi(20), bi(30)},
+		L: bi(0),
+	}
+	cases := []struct {
+		mask uint64
+		want int64
+	}{
+		{0b000, 1 + 60}, // empty product is 1
+		{0b111, 30},
+		{0b001, 2 + 50},
+		{0b110, 15 + 10},
+	}
+	for _, tc := range cases {
+		if got := s.Objective(tc.mask); got.Cmp(bi(tc.want)) != 0 {
+			t.Errorf("Objective(%b) = %v, want %d", tc.mask, got, tc.want)
+		}
+	}
+}
+
+func TestSPPCSDecide(t *testing.T) {
+	s := &SPPCS{
+		P: []*big.Int{bi(2), bi(3), bi(5)},
+		C: []*big.Int{bi(10), bi(20), bi(30)},
+		L: bi(25),
+	}
+	yes, mask, best, err := s.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum over masks: {1,2} → 6+30=36? {0,1}→6+30... enumerate:
+	// best is mask 0b110 → 15+10 = 25.
+	if !yes || best.Cmp(bi(25)) != 0 || mask != 0b110 {
+		t.Errorf("Decide = %v mask=%b best=%v, want yes, 110, 25", yes, mask, best)
+	}
+	s.L = bi(24)
+	if yes, _, _, _ := s.Decide(); yes {
+		t.Error("L = 24 should be NO")
+	}
+	bad := &SPPCS{P: []*big.Int{bi(1)}, C: []*big.Int{bi(-1)}, L: bi(1)}
+	if _, _, _, err := bad.Decide(); err == nil {
+		t.Error("negative c accepted")
+	}
+}
+
+func TestPartitionDecide(t *testing.T) {
+	cases := []struct {
+		items []int64
+		want  bool
+	}{
+		{nil, true}, // empty: both halves zero
+		{[]int64{2}, false},
+		{[]int64{1, 1}, true},
+		{[]int64{1, 2, 3}, true},
+		{[]int64{2, 3, 7}, false},
+		{[]int64{1, 5, 11, 5}, true},
+		{[]int64{1, 2, 5}, true}, // 1+2... = 3 ≠ 4: {1,2,5}: total 8, half 4 — no subset sums 4 → false
+	}
+	// Fix the last expectation: subsets of {1,2,5}: sums 0,1,2,3,5,6,7,8 — no 4.
+	cases[len(cases)-1].want = false
+	for _, tc := range cases {
+		p := &Partition{Items: tc.items}
+		got, err := p.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("Partition%v = %v, want %v", tc.items, got, tc.want)
+		}
+	}
+	if _, err := (&Partition{Items: []int64{-1}}).Decide(); err == nil {
+		t.Error("negative item accepted")
+	}
+}
+
+// The headline property of the PARTITION → SPPCS reduction: answers
+// coincide on exhaustively checked instances.
+func TestQuickPartitionToSPPCS(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		items := make([]int64, len(raw))
+		for i, r := range raw {
+			items[i] = int64(r % 7)
+		}
+		p := &Partition{Items: items}
+		want, err := p.Decide()
+		if err != nil {
+			return false
+		}
+		s, err := p.ToSPPCS()
+		if err != nil {
+			return false
+		}
+		got, _, _, err := s.Decide()
+		return err == nil && got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// starFixture: R_0 with 4 tuples/pages, two satellites.
+func starFixture() *Star {
+	return &Star{
+		Ks:   4,
+		N:    []*big.Int{bi(4), bi(12), bi(8)},
+		B:    []*big.Int{bi(4), bi(6), bi(4)},
+		Mult: []*big.Int{nil, bi(3), bi(2)},
+		W:    []*big.Int{nil, bi(5), bi(7)},
+		W0:   []*big.Int{nil, bi(4), bi(4)},
+	}
+}
+
+func TestStarValidate(t *testing.T) {
+	if err := starFixture().Validate(); err != nil {
+		t.Fatalf("valid star rejected: %v", err)
+	}
+	bad := starFixture()
+	bad.Ks = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("k_s = 1 accepted")
+	}
+	bad2 := starFixture()
+	bad2.W = bad2.W[:2]
+	if err := bad2.Validate(); err == nil {
+		t.Error("short W accepted")
+	}
+}
+
+func TestStarFeasibleOrder(t *testing.T) {
+	st := starFixture()
+	for _, tc := range []struct {
+		order []int
+		want  bool
+	}{
+		{[]int{0, 1, 2}, true},
+		{[]int{0, 2, 1}, true},
+		{[]int{1, 0, 2}, true},
+		{[]int{1, 2, 0}, false}, // cartesian product R_1 × R_2
+		{[]int{0, 1}, false},    // wrong length
+		{[]int{0, 1, 1}, false}, // duplicate
+	} {
+		if got := st.FeasibleOrder(tc.order); got != tc.want {
+			t.Errorf("FeasibleOrder(%v) = %v, want %v", tc.order, got, tc.want)
+		}
+	}
+}
+
+func TestStarCostHandComputed(t *testing.T) {
+	st := starFixture()
+	// Plan: R_0, NL R_1, SM R_2.
+	// First join NL: b_0 + w_1·n_0 = 4 + 5·4 = 24; size = 4·3 = 12.
+	// Second join SM: b(W)(ks−1) + A_2 = 12·3 + 4·4 = 52; total 76.
+	cost, err := st.Cost(&Plan{Order: []int{0, 1, 2}, Methods: []Method{NL, SM}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Cmp(bi(76)) != 0 {
+		t.Errorf("cost = %v, want 76", cost)
+	}
+	// Plan: R_1, R_0 via SM, then NL R_2.
+	// First join SM: (b_1 + b_0)·ks = 10·4 = 40; size = n_0·Mult_1 = 12.
+	// Second join NL: 12·7 = 84; total 124.
+	cost, err = st.Cost(&Plan{Order: []int{1, 0, 2}, Methods: []Method{SM, NL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Cmp(bi(124)) != 0 {
+		t.Errorf("cost = %v, want 124", cost)
+	}
+	// Satellite-first NL: b_1 + w0_1·n_1 = 6 + 4·12 = 54, then NL R_2:
+	// 12·7 = 84 → 138.
+	cost, err = st.Cost(&Plan{Order: []int{1, 0, 2}, Methods: []Method{NL, NL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Cmp(bi(138)) != 0 {
+		t.Errorf("cost = %v, want 138", cost)
+	}
+	if _, err := st.Cost(&Plan{Order: []int{1, 2, 0}, Methods: []Method{NL, NL}}); err == nil {
+		t.Error("infeasible order accepted")
+	}
+	if _, err := st.Cost(&Plan{Order: []int{0, 1, 2}, Methods: []Method{NL}}); err == nil {
+		t.Error("short method vector accepted")
+	}
+}
+
+func TestStarOptimalMatchesScan(t *testing.T) {
+	st := starFixture()
+	plan, cost, err := st.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FeasibleOrder(plan.Order) {
+		t.Fatal("optimal plan infeasible")
+	}
+	re, err := st.Cost(plan)
+	if err != nil || re.Cmp(cost) != 0 {
+		t.Fatal("optimal plan does not reproduce its cost")
+	}
+	// Spot-check that a handful of explicit plans cannot beat it.
+	for _, p := range []*Plan{
+		{Order: []int{0, 1, 2}, Methods: []Method{NL, NL}},
+		{Order: []int{0, 2, 1}, Methods: []Method{SM, SM}},
+		{Order: []int{2, 0, 1}, Methods: []Method{NL, SM}},
+	} {
+		c, err := st.Cost(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Cmp(cost) < 0 {
+			t.Errorf("plan %+v beats the 'optimal' plan", p)
+		}
+	}
+}
+
+// The headline property of the SPPCS → SQO−CP reduction: decisions
+// coincide, across random small instances and thresholds straddling the
+// SPPCS optimum.
+func TestQuickSPPCSToStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		m := rng.Intn(3) + 1
+		s := &SPPCS{}
+		for i := 0; i < m; i++ {
+			s.P = append(s.P, bi(int64(rng.Intn(4)+2))) // 2..5
+			s.C = append(s.C, bi(int64(rng.Intn(6)+1))) // 1..6
+		}
+		// Find the true SPPCS optimum.
+		s.L = bi(0)
+		_, _, best, err := s.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Straddle it: L = best (YES) and L = best−1 (NO).
+		for _, delta := range []int64{0, -1, 1} {
+			l := new(big.Int).Add(best, bi(delta))
+			if l.Sign() < 0 {
+				continue
+			}
+			s.L = l
+			want, _, _, err := s.Decide()
+			if err != nil {
+				t.Fatal(err)
+			}
+			red, err := FromSPPCS(s, l)
+			if err != nil {
+				// L ≥ U is legitimately rejected; it implies YES.
+				u := new(big.Int).Add(big.NewInt(1), best)
+				_ = u
+				if want {
+					continue
+				}
+				t.Fatalf("trial %d delta %d: reduction rejected a NO-relevant instance: %v", trial, delta, err)
+			}
+			got, plan, cost, err := red.Decide()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d delta %d: SPPCS=%v but SQO−CP=%v\nP=%v C=%v L=%v\nplan=%+v cost=%v threshold=%v",
+					trial, delta, want, got, s.P, s.C, s.L, plan, cost, red.Threshold)
+			}
+		}
+	}
+}
+
+// End to end: PARTITION → SPPCS → SQO−CP on instances with positive
+// items (the appendix's WLOG p ≥ 2, c ≥ 1 regime).
+func TestEndToEndPartitionToStar(t *testing.T) {
+	cases := []struct {
+		items []int64
+		want  bool
+	}{
+		{[]int64{1, 1}, true},
+		{[]int64{1, 2}, false},
+		{[]int64{1, 2, 3}, true},
+		{[]int64{1, 1, 3}, false},
+	}
+	for _, tc := range cases {
+		p := &Partition{Items: tc.items}
+		if got, _ := p.Decide(); got != tc.want {
+			t.Fatalf("partition oracle disagrees on %v", tc.items)
+		}
+		s, err := p.ToSPPCS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := FromSPPCS(s, s.L)
+		if err != nil {
+			t.Fatalf("items %v: %v", tc.items, err)
+		}
+		got, _, _, err := red.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("items %v: end-to-end answer %v, want %v", tc.items, got, tc.want)
+		}
+	}
+}
+
+func TestFromSPPCSRejects(t *testing.T) {
+	s := &SPPCS{P: []*big.Int{bi(1)}, C: []*big.Int{bi(1)}, L: bi(1)}
+	if _, err := FromSPPCS(s, s.L); err == nil {
+		t.Error("p < 2 accepted")
+	}
+	s2 := &SPPCS{P: []*big.Int{bi(2)}, C: []*big.Int{bi(0)}, L: bi(1)}
+	if _, err := FromSPPCS(s2, s2.L); err == nil {
+		t.Error("c < 1 accepted")
+	}
+	s3 := &SPPCS{P: []*big.Int{bi(2)}, C: []*big.Int{bi(1)}, L: bi(1000)}
+	if _, err := FromSPPCS(s3, s3.L); err == nil {
+		t.Error("L ≥ U accepted")
+	}
+}
+
+// The appendix requires every relation (base and intermediate) to need
+// a 2-pass sort: mem < b ≤ mem² with mem = n₀/2. Verify the constructed
+// instance satisfies it for the base relations.
+func TestReductionTwoPassSortRange(t *testing.T) {
+	p := &Partition{Items: []int64{1, 2}}
+	s, err := p.ToSPPCS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := FromSPPCS(s, s.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := new(big.Int).Rsh(red.Star.N[0], 1) // n₀/2
+	memSq := new(big.Int).Mul(mem, mem)
+	for i, b := range red.Star.B {
+		if b.Cmp(mem) <= 0 {
+			t.Errorf("relation %d: b = %v fits in memory %v (no 2-pass sort)", i, b, mem)
+		}
+		if b.Cmp(memSq) > 0 {
+			t.Errorf("relation %d: b = %v exceeds mem² = %v (needs >2 passes)", i, b, memSq)
+		}
+	}
+}
+
+// Property: the SPPCS objective is invariant under pair reordering (a
+// sanity property of the encoding), and the optimum never increases
+// when L grows.
+func TestQuickSPPCSBasics(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(4) + 1
+		s := &SPPCS{L: bi(0)}
+		for i := 0; i < m; i++ {
+			s.P = append(s.P, bi(int64(rng.Intn(5)+1)))
+			s.C = append(s.C, bi(int64(rng.Intn(8))))
+		}
+		_, _, best, err := s.Decide()
+		if err != nil {
+			return false
+		}
+		// Reverse the pairs: the minimum objective is unchanged.
+		rev := &SPPCS{L: bi(0)}
+		for i := m - 1; i >= 0; i-- {
+			rev.P = append(rev.P, s.P[i])
+			rev.C = append(rev.C, s.C[i])
+		}
+		_, _, best2, err := rev.Decide()
+		if err != nil {
+			return false
+		}
+		if best.Cmp(best2) != 0 {
+			return false
+		}
+		// Decision thresholds exactly at the optimum: YES at L = best,
+		// NO at L = best − 1.
+		s.L = new(big.Int).Set(best)
+		yesAt, _, _, err := s.Decide()
+		if err != nil || !yesAt {
+			return false
+		}
+		below := new(big.Int).Sub(best, bi(1))
+		if below.Sign() >= 0 {
+			s.L = below
+			noBelow, _, _, err := s.Decide()
+			if err != nil || noBelow {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

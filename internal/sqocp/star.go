@@ -1,0 +1,242 @@
+package sqocp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Star is an SQO−CP instance (Appendix A): a star query over relations
+// R_0..R_m with R_0 central, optimized over cartesian-product-free
+// sequences in which every join is either nested-loops or sort-merge.
+//
+// All quantities are exact big.Int values. Selectivities are carried as
+// integer tuple-count multipliers: joining satellite R_i multiplies the
+// intermediate tuple count by Mult[i] = n_i·s_i (the Appendix-B
+// construction makes these the SPPCS integers p_i).
+type Star struct {
+	// Ks is the 2-pass sort constant k_s (times a relation is read and
+	// written; the paper's reduction uses 4).
+	Ks int64
+	// N[i] is the tuple count of R_i; B[i] its size in pages
+	// (B[0] = N[0]: R_0 tuples are one page wide; satellite pages are
+	// n_i·d/P as in the appendix).
+	N, B []*big.Int
+	// Mult[i] = n_i·s_i for satellites 1..m (index 0 unused).
+	Mult []*big.Int
+	// W[i] is the least per-outer-tuple nested-loops access cost of
+	// satellite R_i (index 0 unused); W0[i] the cost of accessing R_0 to
+	// match a tuple of R_i.
+	W, W0 []*big.Int
+}
+
+// M returns the satellite count m (relations are 0..m).
+func (st *Star) M() int { return len(st.N) - 1 }
+
+// Validate checks dimensions and positivity.
+func (st *Star) Validate() error {
+	m := st.M()
+	if m < 1 {
+		return fmt.Errorf("sqocp: star needs at least one satellite")
+	}
+	if st.Ks < 2 {
+		return fmt.Errorf("sqocp: k_s must be ≥ 2, got %d", st.Ks)
+	}
+	for _, dim := range []struct {
+		name string
+		n    int
+	}{
+		{"N", len(st.N)}, {"B", len(st.B)}, {"Mult", len(st.Mult)},
+		{"W", len(st.W)}, {"W0", len(st.W0)},
+	} {
+		if dim.n != m+1 {
+			return fmt.Errorf("sqocp: %s has length %d, want %d", dim.name, dim.n, m+1)
+		}
+	}
+	for i := 0; i <= m; i++ {
+		if st.N[i] == nil || st.N[i].Sign() <= 0 || st.B[i] == nil || st.B[i].Sign() <= 0 {
+			return fmt.Errorf("sqocp: relation %d has non-positive size", i)
+		}
+		if i == 0 {
+			continue
+		}
+		if st.Mult[i] == nil || st.Mult[i].Sign() < 0 {
+			return fmt.Errorf("sqocp: satellite %d has negative multiplier", i)
+		}
+		if st.W[i] == nil || st.W[i].Sign() <= 0 || st.W0[i] == nil || st.W0[i].Sign() <= 0 {
+			return fmt.Errorf("sqocp: satellite %d has non-positive access cost", i)
+		}
+	}
+	return nil
+}
+
+// Method selects a join operator.
+type Method int
+
+const (
+	// NL is the nested-loops join method.
+	NL Method = iota
+	// SM is the sort-merge join method.
+	SM
+)
+
+// Plan is a fully annotated SQO−CP execution: the relation order and
+// the method of each of the m joins (Methods[j] drives the join that
+// brings in Order[j+1]).
+type Plan struct {
+	Order   []int
+	Methods []Method
+}
+
+// FeasibleOrder reports whether the order avoids cartesian products on
+// a star: it must start with R_0, or start with a satellite immediately
+// followed by R_0.
+func (st *Star) FeasibleOrder(order []int) bool {
+	m := st.M()
+	if len(order) != m+1 {
+		return false
+	}
+	seen := make([]bool, m+1)
+	for _, r := range order {
+		if r < 0 || r > m || seen[r] {
+			return false
+		}
+		seen[r] = true
+	}
+	return order[0] == 0 || order[1] == 0
+}
+
+// Cost evaluates a plan exactly via the appendix's cost recursion D.
+func (st *Star) Cost(p *Plan) (*big.Int, error) {
+	m := st.M()
+	if !st.FeasibleOrder(p.Order) {
+		return nil, fmt.Errorf("sqocp: infeasible order %v", p.Order)
+	}
+	if len(p.Methods) != m {
+		return nil, fmt.Errorf("sqocp: %d methods for %d joins", len(p.Methods), m)
+	}
+	total := new(big.Int)
+	ks := big.NewInt(st.Ks)
+	ksMinus1 := big.NewInt(st.Ks - 1)
+
+	first, second := p.Order[0], p.Order[1]
+	// First join: both inputs are base relations.
+	switch p.Methods[0] {
+	case NL:
+		if first == 0 {
+			// b_0 + w_second·n_0.
+			total.Add(st.B[0], new(big.Int).Mul(st.W[second], st.N[0]))
+		} else {
+			// b_first + w0_first·n_first.
+			total.Add(st.B[first], new(big.Int).Mul(st.W0[first], st.N[first]))
+		}
+	case SM:
+		// Csm(R_first, R_second) = (b_first + b_second)·k_s.
+		total.Add(st.B[first], st.B[second])
+		total.Mul(total, ks)
+	default:
+		return nil, fmt.Errorf("sqocp: unknown method %v", p.Methods[0])
+	}
+	// Intermediate tuple count after {R_0, R_i} is n_0·Mult[i] either way.
+	sat := second
+	if first != 0 {
+		sat = first
+	}
+	size := new(big.Int).Mul(st.N[0], st.Mult[sat])
+
+	for j := 1; j < m; j++ {
+		ri := p.Order[j+1]
+		switch p.Methods[j] {
+		case NL:
+			// n(W)·w_i.
+			total.Add(total, new(big.Int).Mul(size, st.W[ri]))
+		case SM:
+			// b(W)·(k_s−1) + A_i, with b(W) = n(W) and A_i = b_i·k_s.
+			step := new(big.Int).Mul(size, ksMinus1)
+			step.Add(step, new(big.Int).Mul(st.B[ri], ks))
+			total.Add(total, step)
+		default:
+			return nil, fmt.Errorf("sqocp: unknown method %v", p.Methods[j])
+		}
+		size.Mul(size, st.Mult[ri])
+	}
+	return total, nil
+}
+
+// MaxExhaustiveSatellites caps exhaustive SQO−CP optimization.
+const MaxExhaustiveSatellites = 7
+
+// Optimal exhaustively finds the cheapest feasible plan (orders ×
+// method vectors).
+func (st *Star) Optimal() (*Plan, *big.Int, error) {
+	if err := st.Validate(); err != nil {
+		return nil, nil, err
+	}
+	m := st.M()
+	if m > MaxExhaustiveSatellites {
+		return nil, nil, fmt.Errorf("sqocp: exhaustive search capped at %d satellites, got %d", MaxExhaustiveSatellites, m)
+	}
+	var bestPlan *Plan
+	var bestCost *big.Int
+
+	try := func(order []int) {
+		methods := make([]Method, m)
+		for mask := 0; mask < 1<<uint(m); mask++ {
+			for j := 0; j < m; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					methods[j] = SM
+				} else {
+					methods[j] = NL
+				}
+			}
+			p := &Plan{Order: order, Methods: methods}
+			c, err := st.Cost(p)
+			if err != nil {
+				continue
+			}
+			if bestCost == nil || c.Cmp(bestCost) < 0 {
+				bestCost = c
+				bestPlan = &Plan{
+					Order:   append([]int(nil), order...),
+					Methods: append([]Method(nil), methods...),
+				}
+			}
+		}
+	}
+
+	sats := make([]int, m)
+	for i := range sats {
+		sats[i] = i + 1
+	}
+	// R_0 first.
+	permuteInts(sats, 0, func(rest []int) {
+		try(append([]int{0}, rest...))
+	})
+	// Satellite first, R_0 second.
+	for lead := 1; lead <= m; lead++ {
+		others := make([]int, 0, m-1)
+		for i := 1; i <= m; i++ {
+			if i != lead {
+				others = append(others, i)
+			}
+		}
+		permuteInts(others, 0, func(rest []int) {
+			try(append([]int{lead, 0}, rest...))
+		})
+	}
+	if bestPlan == nil {
+		return nil, nil, fmt.Errorf("sqocp: no feasible plan")
+	}
+	return bestPlan, bestCost, nil
+}
+
+func permuteInts(p []int, k int, fn func([]int)) {
+	if k == len(p) {
+		fn(p)
+		return
+	}
+	for i := k; i < len(p); i++ {
+		p[k], p[i] = p[i], p[k]
+		permuteInts(p, k+1, fn)
+		p[k], p[i] = p[i], p[k]
+	}
+}

@@ -1,0 +1,252 @@
+// Package vc implements the classical Garey–Johnson reduction from 3SAT
+// to VERTEX COVER and an exact minimum-vertex-cover solver. It is the
+// first structural link of the paper's hardness chain
+// (3SAT → VC → CLIQUE → QO_N / QO_H): a formula with v variables and m
+// clauses maps to a graph whose minimum vertex cover is v + 2m exactly
+// when the formula is satisfiable, and v + 2m + (number of clauses no
+// assignment can satisfy) otherwise.
+package vc
+
+import (
+	"fmt"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/sat"
+)
+
+// Reduction carries the constructed graph together with the bookkeeping
+// needed to interpret vertex indices and the promised cover sizes.
+type Reduction struct {
+	G *graph.Graph
+	// NumVars and NumClauses describe the source formula.
+	NumVars, NumClauses int
+	// PosVertex[v] / NegVertex[v] are the vertex indices of the literal
+	// gadget for variable v (1-based; index 0 unused).
+	PosVertex, NegVertex []int
+	// ClauseVertex[ci][j] is the triangle vertex for the j-th literal of
+	// clause ci (clauses padded to exactly three literals).
+	ClauseVertex [][3]int
+	// CoverIfSat is the minimum vertex-cover size of G when the formula
+	// is satisfiable: v + 2m.
+	CoverIfSat int
+}
+
+// FromFormula applies the Garey–Johnson construction to a 3-CNF formula.
+// Clauses with fewer than three literals are padded by repeating their
+// last literal (which preserves satisfiability); empty clauses and
+// non-3-CNF formulas are rejected.
+func FromFormula(f *sat.Formula) (*Reduction, error) {
+	if !f.Is3CNF() {
+		return nil, fmt.Errorf("vc: formula is not 3-CNF")
+	}
+	for i, c := range f.Clauses {
+		if len(c) == 0 {
+			return nil, fmt.Errorf("vc: clause %d is empty", i)
+		}
+	}
+	v, m := f.NumVars, f.NumClauses()
+	g := graph.New(2*v + 3*m)
+	r := &Reduction{
+		G:            g,
+		NumVars:      v,
+		NumClauses:   m,
+		PosVertex:    make([]int, v+1),
+		NegVertex:    make([]int, v+1),
+		ClauseVertex: make([][3]int, m),
+		CoverIfSat:   v + 2*m,
+	}
+	// Variable gadgets: an edge per variable.
+	for i := 1; i <= v; i++ {
+		r.PosVertex[i] = 2 * (i - 1)
+		r.NegVertex[i] = 2*(i-1) + 1
+		g.AddEdge(r.PosVertex[i], r.NegVertex[i])
+	}
+	// Clause gadgets: a triangle per clause, each corner wired to the
+	// vertex of the literal it stands for.
+	for ci, c := range f.Clauses {
+		lits := padTo3(c)
+		base := 2*v + 3*ci
+		for j := 0; j < 3; j++ {
+			r.ClauseVertex[ci][j] = base + j
+		}
+		g.AddEdge(base, base+1)
+		g.AddEdge(base+1, base+2)
+		g.AddEdge(base, base+2)
+		for j, l := range lits {
+			g.AddEdge(base+j, r.literalVertex(l))
+		}
+	}
+	return r, nil
+}
+
+func (r *Reduction) literalVertex(l sat.Literal) int {
+	if l.Positive() {
+		return r.PosVertex[l.Var()]
+	}
+	return r.NegVertex[l.Var()]
+}
+
+// padTo3 repeats the final literal so the clause has exactly three
+// entries; repetition does not change which assignments satisfy it.
+func padTo3(c sat.Clause) [3]sat.Literal {
+	var out [3]sat.Literal
+	for j := 0; j < 3; j++ {
+		if j < len(c) {
+			out[j] = c[j]
+		} else {
+			out[j] = c[len(c)-1]
+		}
+	}
+	return out
+}
+
+// CoverFromAssignment builds a vertex cover of size v + 2m from a
+// satisfying assignment: per variable take the true literal's vertex;
+// per clause take the two triangle corners that are not the (first)
+// satisfied literal. It panics if the assignment does not satisfy the
+// source clause structure embedded in the reduction.
+func (r *Reduction) CoverFromAssignment(f *sat.Formula, a sat.Assignment) []int {
+	var cover []int
+	for v := 1; v <= r.NumVars; v++ {
+		if a[v] {
+			cover = append(cover, r.PosVertex[v])
+		} else {
+			cover = append(cover, r.NegVertex[v])
+		}
+	}
+	for ci, c := range f.Clauses {
+		lits := padTo3(c)
+		satisfied := -1
+		for j, l := range lits {
+			if a[l.Var()] == l.Positive() {
+				satisfied = j
+				break
+			}
+		}
+		if satisfied < 0 {
+			panic(fmt.Sprintf("vc: assignment does not satisfy clause %d", ci))
+		}
+		for j := 0; j < 3; j++ {
+			if j != satisfied {
+				cover = append(cover, r.ClauseVertex[ci][j])
+			}
+		}
+	}
+	return cover
+}
+
+// IsCover reports whether the vertex set covers every edge of g.
+func IsCover(g *graph.Graph, cover []int) bool {
+	in := graph.NewBitset(g.N())
+	for _, v := range cover {
+		in.Add(v)
+	}
+	for _, e := range g.Edges() {
+		if !in.Has(e[0]) && !in.Has(e[1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinCover returns an exact minimum vertex cover of g via branch and
+// bound (branch on a max-degree vertex: either it or its whole
+// neighbourhood is in the cover). Exponential worst case; intended for
+// the small certification instances.
+func MinCover(g *graph.Graph) []int {
+	s := &vcSearch{g: g.Clone()}
+	s.best = allVertices(g.N())
+	s.search(nil)
+	return s.best
+}
+
+func allVertices(n int) []int {
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = i
+	}
+	return vs
+}
+
+type vcSearch struct {
+	g    *graph.Graph
+	best []int
+}
+
+// search explores covers extending cur on the current residual graph
+// s.g (edges already covered are removed).
+func (s *vcSearch) search(cur []int) {
+	if len(cur) >= len(s.best) {
+		return
+	}
+	// Lower bound: a greedy maximal matching needs one endpoint per edge.
+	lb := s.matchingBound()
+	if len(cur)+lb >= len(s.best) {
+		return
+	}
+	// Pick a max-degree vertex; if none, the residual graph is edgeless.
+	pick, deg := -1, 0
+	for v := 0; v < s.g.N(); v++ {
+		if d := s.g.Degree(v); d > deg {
+			pick, deg = v, d
+		}
+	}
+	if pick < 0 {
+		s.best = append([]int(nil), cur...)
+		return
+	}
+	// Degree-1 chains: taking the neighbour is always at least as good.
+	nbrs := s.g.Neighbors(pick).Elems()
+
+	// Branch 1: pick is in the cover.
+	removed := s.removeVertex(pick)
+	s.search(append(cur, pick))
+	s.restore(removed)
+
+	// Branch 2: pick is not in the cover ⇒ all its neighbours are.
+	var undo [][2]int
+	next := cur
+	for _, u := range nbrs {
+		undo = append(undo, s.removeVertex(u)...)
+		next = append(next, u)
+	}
+	s.search(next)
+	s.restore(undo)
+}
+
+// removeVertex deletes all edges at v and returns them for restoration.
+func (s *vcSearch) removeVertex(v int) [][2]int {
+	var removed [][2]int
+	for _, u := range s.g.Neighbors(v).Elems() {
+		s.g.RemoveEdge(v, u)
+		removed = append(removed, [2]int{v, u})
+	}
+	return removed
+}
+
+func (s *vcSearch) restore(edges [][2]int) {
+	for _, e := range edges {
+		s.g.AddEdge(e[0], e[1])
+	}
+}
+
+// matchingBound returns the size of a greedy maximal matching of the
+// residual graph — a lower bound on any vertex cover of it.
+func (s *vcSearch) matchingBound() int {
+	used := graph.NewBitset(s.g.N())
+	size := 0
+	for v := 0; v < s.g.N(); v++ {
+		if used.Has(v) {
+			continue
+		}
+		for _, u := range s.g.Neighbors(v).Elems() {
+			if !used.Has(u) {
+				used.Add(v)
+				used.Add(u)
+				size++
+				break
+			}
+		}
+	}
+	return size
+}

@@ -1,0 +1,163 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/sat"
+)
+
+func TestFromFormulaShape(t *testing.T) {
+	f := sat.New(3)
+	f.AddClause(1, 2, 3)
+	f.AddClause(-1, -2, 3)
+	r, err := FromFormula(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.G.N() != 2*3+3*2 {
+		t.Fatalf("graph has %d vertices, want 12", r.G.N())
+	}
+	// Variable edges.
+	for v := 1; v <= 3; v++ {
+		if !r.G.HasEdge(r.PosVertex[v], r.NegVertex[v]) {
+			t.Errorf("missing variable edge for x%d", v)
+		}
+	}
+	// Triangles.
+	for ci := range f.Clauses {
+		tri := r.ClauseVertex[ci]
+		if !r.G.IsClique(tri[:]) {
+			t.Errorf("clause %d gadget is not a triangle", ci)
+		}
+	}
+	// Crossing edge: first corner of clause 0 wired to x1's positive vertex.
+	if !r.G.HasEdge(r.ClauseVertex[0][0], r.PosVertex[1]) {
+		t.Error("missing crossing edge for clause 0 literal x1")
+	}
+	if !r.G.HasEdge(r.ClauseVertex[1][0], r.NegVertex[1]) {
+		t.Error("missing crossing edge for clause 1 literal ¬x1")
+	}
+	if r.CoverIfSat != 3+2*2 {
+		t.Errorf("CoverIfSat = %d, want 7", r.CoverIfSat)
+	}
+}
+
+func TestFromFormulaRejects(t *testing.T) {
+	f := sat.New(4)
+	f.AddClause(1, 2, 3, 4)
+	if _, err := FromFormula(f); err == nil {
+		t.Error("4-literal clause accepted")
+	}
+	g := sat.New(1)
+	g.Clauses = append(g.Clauses, sat.Clause{}) // empty clause
+	if _, err := FromFormula(g); err == nil {
+		t.Error("empty clause accepted")
+	}
+}
+
+func TestCoverFromAssignment(t *testing.T) {
+	f := sat.New(3)
+	f.AddClause(1, 2, 3)
+	f.AddClause(-1, 2) // short clause exercises padding
+	r, err := FromFormula(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, model := sat.Solve(f)
+	if !ok {
+		t.Fatal("formula should be satisfiable")
+	}
+	cover := r.CoverFromAssignment(f, model)
+	if len(cover) != r.CoverIfSat {
+		t.Fatalf("cover size %d, want %d", len(cover), r.CoverIfSat)
+	}
+	if !IsCover(r.G, cover) {
+		t.Fatal("constructed set is not a cover")
+	}
+}
+
+func TestMinCoverKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"edgeless", graph.New(4), 0},
+		{"single edge", graph.Path(2), 1},
+		{"path5", graph.Path(5), 2},
+		{"cycle5", graph.Cycle(5), 3},
+		{"K5", graph.Complete(5), 4},
+		{"star6", graph.Star(6), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cover := MinCover(tc.g)
+			if len(cover) != tc.want {
+				t.Fatalf("MinCover size = %d, want %d (%v)", len(cover), tc.want, cover)
+			}
+			if !IsCover(tc.g, cover) {
+				t.Fatal("MinCover returned a non-cover")
+			}
+		})
+	}
+}
+
+// Property: MinCover matches the complement-clique identity
+// |minVC| = n − ω(complement) on random graphs.
+func TestQuickMinCoverMatchesCliqueDuality(t *testing.T) {
+	prop := func(seed int64, pRaw uint8) bool {
+		p := float64(pRaw) / 255
+		g := graph.Random(9, p, seed)
+		cover := MinCover(g)
+		if !IsCover(g, cover) {
+			return false
+		}
+		want := g.N() - g.Complement().CliqueNumber()
+		return len(cover) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The headline property of the reduction: minVC = v + 2m iff satisfiable,
+// strictly larger otherwise — checked exactly on small formulas.
+func TestReductionCorrectness(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		f := sat.Random3SAT(4, 6+int(seed%5), seed)
+		r, err := FromFormula(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := len(MinCover(r.G))
+		if sat.Satisfiable(f) {
+			if min != r.CoverIfSat {
+				t.Errorf("seed %d: SAT formula has minVC %d, want %d", seed, min, r.CoverIfSat)
+			}
+		} else {
+			if min <= r.CoverIfSat {
+				t.Errorf("seed %d: UNSAT formula has minVC %d, want > %d", seed, min, r.CoverIfSat)
+			}
+			// Quantitative form: minVC = v + 2m + (m − MaxSat).
+			best, _ := sat.MaxSat(f)
+			want := r.CoverIfSat + (f.NumClauses() - best)
+			if min != want {
+				t.Errorf("seed %d: minVC = %d, want v+2m+(m−maxsat) = %d", seed, min, want)
+			}
+		}
+	}
+}
+
+func TestReductionUnsatCore(t *testing.T) {
+	f := sat.Unsatisfiable3SAT(0, 0, 0)
+	r, err := FromFormula(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := len(MinCover(r.G))
+	if min != r.CoverIfSat+1 {
+		t.Errorf("unsat core minVC = %d, want %d", min, r.CoverIfSat+1)
+	}
+}

@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qon"
+)
+
+// CatalogQuery is a named, fixed QO_N instance modelled on a well-known
+// benchmark join shape. Cardinalities follow the TPC-H scale-factor-1 /
+// SSB profiles; selectivities encode the usual key–foreign-key
+// relationships (1/|dimension| per probe) plus the query's local
+// filters. These are synthetic stand-ins ("-like"), not trace replays —
+// the repository is offline — but they exercise the cost models on the
+// cardinality skews real optimizers face.
+type CatalogQuery struct {
+	Name     string
+	Comment  string
+	Instance *qon.Instance
+}
+
+// relation is a builder entry.
+type relation struct {
+	name string
+	card int64
+}
+
+// catalogBuilder assembles a QO_N instance from named relations and
+// key–foreign-key edges.
+type catalogBuilder struct {
+	rels  []relation
+	index map[string]int
+	edges []catalogEdge
+}
+
+type catalogEdge struct {
+	a, b string
+	sel  float64
+}
+
+func newCatalogBuilder() *catalogBuilder {
+	return &catalogBuilder{index: map[string]int{}}
+}
+
+func (b *catalogBuilder) rel(name string, card int64) *catalogBuilder {
+	if _, dup := b.index[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate relation %q", name))
+	}
+	b.index[name] = len(b.rels)
+	b.rels = append(b.rels, relation{name: name, card: card})
+	return b
+}
+
+// fk adds a key–foreign-key predicate: each tuple of the fact side
+// matches 1/|dim| of the dimension (times an optional extra filter
+// factor f ≤ 1).
+func (b *catalogBuilder) fk(fact, dim string, filter float64) *catalogBuilder {
+	dimCard := b.rels[b.mustIndex(dim)].card
+	b.edges = append(b.edges, catalogEdge{a: fact, b: dim, sel: filter / float64(dimCard)})
+	return b
+}
+
+func (b *catalogBuilder) mustIndex(name string) int {
+	i, ok := b.index[name]
+	if !ok {
+		panic(fmt.Sprintf("workload: unknown relation %q", name))
+	}
+	return i
+}
+
+func (b *catalogBuilder) build() *qon.Instance {
+	n := len(b.rels)
+	q := graph.New(n)
+	in := &qon.Instance{Q: q, T: make([]num.Num, n)}
+	for i, r := range b.rels {
+		in.T[i] = num.FromInt64(r.card)
+	}
+	in.S = make([][]num.Num, n)
+	in.W = make([][]num.Num, n)
+	one := num.One()
+	for i := 0; i < n; i++ {
+		in.S[i] = make([]num.Num, n)
+		in.W[i] = make([]num.Num, n)
+		for j := 0; j < n; j++ {
+			in.S[i][j] = one
+			in.W[i][j] = in.T[i]
+		}
+	}
+	for _, e := range b.edges {
+		i, j := b.mustIndex(e.a), b.mustIndex(e.b)
+		q.AddEdge(i, j)
+		s := num.FromFloat64(e.sel)
+		in.S[i][j], in.S[j][i] = s, s
+		// Index access at the model's lower bound t·s.
+		in.W[i][j] = in.T[i].Mul(s)
+		in.W[j][i] = in.T[j].Mul(s)
+	}
+	if err := in.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: catalog instance invalid: %v", err))
+	}
+	return in
+}
+
+// RelationNames returns the builder ordering for a catalog query (for
+// rendering plans with names instead of indices).
+func (c CatalogQuery) RelationNames() []string {
+	// Names are not stored on the instance; rebuild deterministically.
+	for _, entry := range catalogSpecs() {
+		if entry.name == c.Name {
+			return entry.relNames
+		}
+	}
+	return nil
+}
+
+type catalogSpec struct {
+	name     string
+	comment  string
+	relNames []string
+	build    func() *qon.Instance
+}
+
+func catalogSpecs() []catalogSpec {
+	return []catalogSpec{
+		{
+			name:     "tpch-q3-like",
+			comment:  "customer ⋈ orders ⋈ lineitem chain with segment/date filters",
+			relNames: []string{"customer", "orders", "lineitem"},
+			build: func() *qon.Instance {
+				return newCatalogBuilder().
+					rel("customer", 150_000).
+					rel("orders", 1_500_000).
+					rel("lineitem", 6_000_000).
+					fk("orders", "customer", 0.2). // BUILDING segment
+					fk("lineitem", "orders", 0.5). // date filter
+					build()
+			},
+		},
+		{
+			name:     "tpch-q5-like",
+			comment:  "region–nation–customer–orders–lineitem–supplier cycle (supplier closes the loop)",
+			relNames: []string{"region", "nation", "customer", "orders", "lineitem", "supplier"},
+			build: func() *qon.Instance {
+				return newCatalogBuilder().
+					rel("region", 5).
+					rel("nation", 25).
+					rel("customer", 150_000).
+					rel("orders", 1_500_000).
+					rel("lineitem", 6_000_000).
+					rel("supplier", 10_000).
+					fk("nation", "region", 0.2). // one region
+					fk("customer", "nation", 1).
+					fk("orders", "customer", 0.15). // date range
+					fk("lineitem", "orders", 1).
+					fk("lineitem", "supplier", 1).
+					fk("supplier", "nation", 1).
+					build()
+			},
+		},
+		{
+			name:     "ssb-q41-like",
+			comment:  "star-schema benchmark: lineorder fact with date/customer/supplier/part dimensions",
+			relNames: []string{"lineorder", "date", "customer", "supplier", "part"},
+			build: func() *qon.Instance {
+				return newCatalogBuilder().
+					rel("lineorder", 6_000_000).
+					rel("date", 2_556).
+					rel("customer", 30_000).
+					rel("supplier", 2_000).
+					rel("part", 200_000).
+					fk("lineorder", "date", 1).
+					fk("lineorder", "customer", 0.2). // region filter
+					fk("lineorder", "supplier", 0.2). // region filter
+					fk("lineorder", "part", 0.4).     // mfgr filter
+					build()
+			},
+		},
+		{
+			name:     "tpch-q8-like",
+			comment:  "eight-relation snowflake: part–lineitem–orders–customer–nation–region plus supplier–nation2",
+			relNames: []string{"part", "lineitem", "orders", "customer", "nation1", "region", "supplier", "nation2"},
+			build: func() *qon.Instance {
+				return newCatalogBuilder().
+					rel("part", 200_000).
+					rel("lineitem", 6_000_000).
+					rel("orders", 1_500_000).
+					rel("customer", 150_000).
+					rel("nation1", 25).
+					rel("region", 5).
+					rel("supplier", 10_000).
+					rel("nation2", 25).
+					fk("lineitem", "part", 0.001). // one part type
+					fk("lineitem", "orders", 1).
+					fk("orders", "customer", 0.3). // date window
+					fk("customer", "nation1", 1).
+					fk("nation1", "region", 0.2).
+					fk("lineitem", "supplier", 1).
+					fk("supplier", "nation2", 1).
+					build()
+			},
+		},
+	}
+}
+
+// Catalog returns the named benchmark-shaped queries.
+func Catalog() []CatalogQuery {
+	specs := catalogSpecs()
+	out := make([]CatalogQuery, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, CatalogQuery{Name: s.name, Comment: s.comment, Instance: s.build()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CatalogQueryByName returns one catalog query.
+func CatalogQueryByName(name string) (CatalogQuery, error) {
+	for _, c := range Catalog() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return CatalogQuery{}, fmt.Errorf("workload: no catalog query %q", name)
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+
+	"approxqo/internal/opt"
+)
+
+func TestCatalogAllValid(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 4 {
+		t.Fatalf("catalog has %d queries, want 4", len(cat))
+	}
+	for _, c := range cat {
+		t.Run(c.Name, func(t *testing.T) {
+			if err := c.Instance.Validate(); err != nil {
+				t.Fatalf("invalid: %v", err)
+			}
+			if !c.Instance.Q.IsConnected() {
+				t.Error("query graph disconnected")
+			}
+			names := c.RelationNames()
+			if len(names) != c.Instance.N() {
+				t.Errorf("%d relation names for %d relations", len(names), c.Instance.N())
+			}
+		})
+	}
+}
+
+func TestCatalogShapes(t *testing.T) {
+	q3, err := CatalogQueryByName("tpch-q3-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.Instance.N() != 3 || q3.Instance.Q.EdgeCount() != 2 {
+		t.Errorf("q3 shape wrong: n=%d m=%d", q3.Instance.N(), q3.Instance.Q.EdgeCount())
+	}
+	ssb, err := CatalogQueryByName("ssb-q41-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A star: the fact table has degree 4, dimensions degree 1.
+	if ssb.Instance.Q.Degree(0) != 4 {
+		t.Errorf("ssb fact degree = %d, want 4", ssb.Instance.Q.Degree(0))
+	}
+	q5, err := CatalogQueryByName("tpch-q5-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The supplier–nation edge closes a cycle: edges = vertices.
+	if q5.Instance.Q.EdgeCount() != q5.Instance.N() {
+		t.Errorf("q5 edges = %d, want %d (cycle)", q5.Instance.Q.EdgeCount(), q5.Instance.N())
+	}
+	if _, err := CatalogQueryByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// Optimizing the catalog queries must work and show the classic result:
+// dimension-first orders beat fact-first orders by orders of magnitude.
+func TestCatalogOptimization(t *testing.T) {
+	for _, c := range Catalog() {
+		best, err := opt.NewDP().Optimize(c.Instance)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if !best.Exact {
+			t.Fatalf("%s: DP not exact", c.Name)
+		}
+		// The optimum must strictly beat starting from the biggest fact
+		// table and joining in index order.
+		naive := make([]int, c.Instance.N())
+		for i := range naive {
+			naive[i] = i
+		}
+		// Compare in the log domain with a tiny tolerance: the naive and
+		// optimal orders can be mathematically equal while differing in
+		// the last ulp of 256-bit rounding (association order).
+		naiveCost := c.Instance.Cost(naive)
+		if best.Cost.Log2() > naiveCost.Log2()+1e-6 {
+			t.Fatalf("%s: naive order beats 'optimal'", c.Name)
+		}
+		// KBZ handles the acyclic ones exactly.
+		if c.Instance.Q.EdgeCount() == c.Instance.N()-1 {
+			kbz, err := opt.NewKBZ().Optimize(c.Instance)
+			if err != nil {
+				t.Fatalf("%s: kbz: %v", c.Name, err)
+			}
+			noCross, err := opt.NewDPNoCross().Optimize(c.Instance)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := kbz.Cost.Log2() - noCross.Cost.Log2(); diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("%s: KBZ 2^%.2f vs no-cross optimum 2^%.2f",
+					c.Name, kbz.Cost.Log2(), noCross.Cost.Log2())
+			}
+		}
+	}
+}

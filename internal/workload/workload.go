@@ -1,0 +1,186 @@
+// Package workload generates realistic random QO_N instances for the
+// baseline experiments: chain, cycle, star, grid, clique and random
+// query-graph topologies with log-uniform relation cardinalities and
+// random per-edge selectivities, all deterministically seeded.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qon"
+)
+
+// Shape names a query-graph topology.
+type Shape string
+
+// The supported query shapes.
+const (
+	Chain  Shape = "chain"
+	Cycle  Shape = "cycle"
+	Star   Shape = "star"
+	Grid   Shape = "grid"
+	Clique Shape = "clique"
+	Random Shape = "random"
+)
+
+// Shapes lists every supported topology.
+func Shapes() []Shape { return []Shape{Chain, Cycle, Star, Grid, Clique, Random} }
+
+// Params controls instance generation.
+type Params struct {
+	N     int
+	Shape Shape
+	// MinCard and MaxCard bound relation cardinalities (log-uniform).
+	// Zero values default to 10 and 1e6.
+	MinCard, MaxCard float64
+	// EdgeProb is the edge probability for Shape == Random (default ½).
+	EdgeProb float64
+	Seed     int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.MinCard == 0 {
+		p.MinCard = 10
+	}
+	if p.MaxCard == 0 {
+		p.MaxCard = 1e6
+	}
+	if p.EdgeProb == 0 {
+		p.EdgeProb = 0.5
+	}
+	return p
+}
+
+// Generate builds a QO_N instance for the given parameters. Access
+// costs on edges are drawn uniformly between the model's lower bound
+// t·s (index access) and upper bound t (full scan).
+func Generate(p Params) (*qon.Instance, error) {
+	p = p.withDefaults()
+	if p.N < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 relations, got %d", p.N)
+	}
+	q, err := buildGraph(p)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.N
+	in := &qon.Instance{Q: q, T: make([]num.Num, n)}
+	for i := range in.T {
+		// Log-uniform cardinalities.
+		lg := math.Log(p.MinCard) + rng.Float64()*(math.Log(p.MaxCard)-math.Log(p.MinCard))
+		in.T[i] = num.FromFloat64(math.Ceil(math.Exp(lg)))
+	}
+	in.S = make([][]num.Num, n)
+	in.W = make([][]num.Num, n)
+	for i := 0; i < n; i++ {
+		in.S[i] = make([]num.Num, n)
+		in.W[i] = make([]num.Num, n)
+	}
+	one := num.One()
+	for i := 0; i < n; i++ {
+		in.S[i][i] = one
+		in.W[i][i] = in.T[i]
+		for j := 0; j < i; j++ {
+			if !q.HasEdge(i, j) {
+				in.S[i][j], in.S[j][i] = one, one
+				in.W[i][j], in.W[j][i] = in.T[i], in.T[j]
+				continue
+			}
+			// Selectivities in [1e-4, 0.5], log-uniform.
+			lg := math.Log(1e-4) + rng.Float64()*(math.Log(0.5)-math.Log(1e-4))
+			s := num.FromFloat64(math.Exp(lg))
+			in.S[i][j], in.S[j][i] = s, s
+			in.W[i][j] = between(in.T[i].Mul(s), in.T[i], rng.Float64())
+			in.W[j][i] = between(in.T[j].Mul(s), in.T[j], rng.Float64())
+		}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid instance: %w", err)
+	}
+	return in, nil
+}
+
+func between(lo, hi num.Num, f float64) num.Num {
+	return lo.Add(hi.Sub(lo).Mul(num.FromFloat64(f)))
+}
+
+func buildGraph(p Params) (*graph.Graph, error) {
+	switch p.Shape {
+	case Chain:
+		return graph.Path(p.N), nil
+	case Cycle:
+		if p.N < 3 {
+			return nil, fmt.Errorf("workload: cycle needs n ≥ 3")
+		}
+		return graph.Cycle(p.N), nil
+	case Star:
+		return graph.Star(p.N), nil
+	case Grid:
+		return gridGraph(p.N), nil
+	case Clique:
+		return graph.Complete(p.N), nil
+	case Random:
+		g := graph.Random(p.N, p.EdgeProb, p.Seed)
+		ensureConnected(g, p.Seed+1)
+		return g, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown shape %q", p.Shape)
+	}
+}
+
+// gridGraph builds a near-square grid with exactly n vertices (the last
+// row may be short).
+func gridGraph(n int) *graph.Graph {
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		if (v+1)%cols != 0 && v+1 < n {
+			g.AddEdge(v, v+1)
+		}
+		if v+cols < n {
+			g.AddEdge(v, v+cols)
+		}
+	}
+	return g
+}
+
+// ensureConnected links stray components to vertex 0 so every workload
+// instance admits cartesian-product-free plans.
+func ensureConnected(g *graph.Graph, seed int64) {
+	n := g.N()
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		seen := graph.NewBitset(n)
+		stack := []int{0}
+		seen.Add(0)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g.Neighbors(v).ForEach(func(u int) {
+				if !seen.Has(u) {
+					seen.Add(u)
+					stack = append(stack, u)
+				}
+			})
+		}
+		if seen.Count() == n {
+			return
+		}
+		// Attach the first unreached vertex to a random reached one.
+		for v := 0; v < n; v++ {
+			if !seen.Has(v) {
+				attach := rng.Intn(n)
+				for !seen.Has(attach) {
+					attach = rng.Intn(n)
+				}
+				g.AddEdge(v, attach)
+				break
+			}
+		}
+	}
+}

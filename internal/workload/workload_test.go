@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateAllShapes(t *testing.T) {
+	for _, shape := range Shapes() {
+		t.Run(string(shape), func(t *testing.T) {
+			in, err := Generate(Params{N: 8, Shape: shape, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if in.N() != 8 {
+				t.Fatalf("n = %d, want 8", in.N())
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatalf("invalid instance: %v", err)
+			}
+			if !in.Q.IsConnected() {
+				t.Error("query graph disconnected")
+			}
+		})
+	}
+}
+
+func TestShapeEdgeCounts(t *testing.T) {
+	cases := []struct {
+		shape Shape
+		n     int
+		edges int
+	}{
+		{Chain, 6, 5},
+		{Cycle, 6, 6},
+		{Star, 6, 5},
+		{Clique, 6, 15},
+		{Grid, 9, 12}, // 3×3 grid
+	}
+	for _, tc := range cases {
+		in, err := Generate(Params{N: tc.n, Shape: tc.shape, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := in.Q.EdgeCount(); got != tc.edges {
+			t.Errorf("%s(%d): %d edges, want %d", tc.shape, tc.n, got, tc.edges)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Params{N: 7, Shape: Random, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Params{N: 7, Shape: Random, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Q.Equal(b.Q) {
+		t.Error("same seed produced different graphs")
+	}
+	for i := 0; i < 7; i++ {
+		if !a.T[i].Equal(b.T[i]) {
+			t.Error("same seed produced different cardinalities")
+		}
+	}
+	c, err := Generate(Params{N: 7, Shape: Random, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 7; i++ {
+		if !a.T[i].Equal(c.T[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical cardinalities")
+	}
+}
+
+func TestGenerateRejects(t *testing.T) {
+	if _, err := Generate(Params{N: 1, Shape: Chain}); err == nil {
+		t.Error("n = 1 accepted")
+	}
+	if _, err := Generate(Params{N: 2, Shape: Cycle}); err == nil {
+		t.Error("2-cycle accepted")
+	}
+	if _, err := Generate(Params{N: 5, Shape: Shape("mystery")}); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+// Property: every random workload validates and respects cardinality
+// bounds.
+func TestQuickGeneratedValid(t *testing.T) {
+	prop := func(seed int64, nRaw, pRaw uint8) bool {
+		n := int(nRaw%8) + 3
+		in, err := Generate(Params{
+			N:        n,
+			Shape:    Random,
+			EdgeProb: float64(pRaw%90+10) / 100,
+			Seed:     seed,
+		})
+		if err != nil || in.Validate() != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			card := in.T[i].Float64()
+			if card < 10 || card > 1e6+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
