@@ -16,6 +16,7 @@ import (
 	"approxqo/internal/bushy"
 	"approxqo/internal/cliquered"
 	"approxqo/internal/core"
+	"approxqo/internal/engine"
 	"approxqo/internal/experiments"
 	"approxqo/internal/graph"
 	"approxqo/internal/num"
@@ -25,6 +26,7 @@ import (
 	"approxqo/internal/qon"
 	"approxqo/internal/sat"
 	"approxqo/internal/sqocp"
+	"approxqo/internal/stats"
 	"approxqo/internal/workload"
 )
 
@@ -48,8 +50,24 @@ type (
 	FHInstance = core.FHInstance
 	// GapCertificate records promised vs measured hardness gaps.
 	GapCertificate = core.GapCertificate
-	// Optimizer is the join-order optimizer interface.
+	// Optimizer is the join-order optimizer interface: Optimize takes a
+	// context and an instance and returns the best plan found (anytime
+	// heuristics return their best-so-far when the context expires).
 	Optimizer = opt.Optimizer
+	// OptimizerOption configures optimizer constructors (see WithSeed,
+	// WithMaxRelations, WithStats, ...).
+	OptimizerOption = opt.Option
+	// Result is an optimizer's outcome: sequence, cost, exactness.
+	Result = opt.Result
+	// Engine supervises concurrent ensemble runs over one instance.
+	Engine = engine.Engine
+	// EngineReport is the structured per-run outcome of an engine run.
+	EngineReport = engine.Report
+	// Stats is the per-run instrumentation sink (cost evaluations, DP
+	// subsets, annealing moves) threaded through the cost models.
+	Stats = stats.Stats
+	// StatsSnapshot is an immutable copy of a Stats sink's counters.
+	StatsSnapshot = stats.Snapshot
 	// StarQuery is the appendix's SQO−CP star-query instance.
 	StarQuery = sqocp.Star
 	// WorkloadParams parameterizes realistic random query generation.
@@ -97,8 +115,41 @@ var (
 	NewAnnealing = opt.NewAnnealing
 	// Heuristics returns the standard polynomial-time ensemble.
 	Heuristics = opt.Heuristics
+	// BestOf runs several optimizers sequentially and keeps the cheapest.
+	BestOf = opt.BestOf
 	// QOHBest runs the QO_H plan-search ensemble.
 	QOHBest = opt.QOHBest
+)
+
+// Optimizer options (passed to the constructors above).
+var (
+	// WithSeed seeds an optimizer's randomized components.
+	WithSeed = opt.WithSeed
+	// WithMaxRelations bounds the instance size exact DPs accept.
+	WithMaxRelations = opt.WithMaxRelations
+	// WithStats attaches an instrumentation sink to an optimizer.
+	WithStats = opt.WithStats
+	// WithIterations, WithSamples and WithRestarts tune the randomized
+	// optimizers' search effort.
+	WithIterations = opt.WithIterations
+	WithSamples    = opt.WithSamples
+	WithRestarts   = opt.WithRestarts
+)
+
+// Supervised ensemble engine.
+var (
+	// NewEngine builds a supervised ensemble runner; see engine.Options
+	// re-exported below.
+	NewEngine = engine.New
+	// WithRunTimeout bounds each optimizer run individually.
+	WithRunTimeout = engine.WithRunTimeout
+	// WithGrace sets how long the engine waits for straggler results
+	// after cancellation before abandoning them.
+	WithGrace = engine.WithGrace
+	// WithoutEarlyExit keeps all runs going after an exact result.
+	WithoutEarlyExit = engine.WithoutEarlyExit
+	// QOHSearchers returns the engine-ready QO_H plan-search ensemble.
+	QOHSearchers = engine.QOHSearchers
 )
 
 // Extensions and tooling.

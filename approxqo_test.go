@@ -1,11 +1,15 @@
 package approxqo
 
 import (
+	"context"
+
 	"testing"
 
 	"approxqo/internal/cliquered"
 	"approxqo/internal/core"
 )
+
+var ctx = context.Background()
 
 // The facade must expose a working end-to-end path: generate a
 // workload, optimize it, run a reduction, check a certificate.
@@ -14,15 +18,15 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, err := NewDP().Optimize(in)
+	best, err := NewDP().Optimize(ctx, in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !best.Exact {
 		t.Error("subset DP should certify exactness")
 	}
-	for _, o := range Heuristics(1) {
-		r, err := o.Optimize(in)
+	for _, o := range Heuristics(WithSeed(1)) {
+		r, err := o.Optimize(ctx, in)
 		if err != nil {
 			continue
 		}
@@ -41,11 +45,11 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	yesOpt, err := NewDP().Optimize(fnYes.QON)
+	yesOpt, err := NewDP().Optimize(ctx, fnYes.QON)
 	if err != nil {
 		t.Fatal(err)
 	}
-	noOpt, err := NewDP().Optimize(fnNo.QON)
+	noOpt, err := NewDP().Optimize(ctx, fnNo.QON)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,10 +66,35 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// The facade must expose the engine surface: a supervised ensemble run
+// returning a structured report with per-run instrumentation.
+func TestFacadeEngineRun(t *testing.T) {
+	in, err := GenerateWorkload(WorkloadParams{N: 9, Shape: "star", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ensemble := append(Heuristics(WithSeed(2)), NewDP())
+	rep, err := NewEngine(WithoutEarlyExit()).Run(ctx, in, ensemble...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best == nil || len(rep.Best.Sequence) != 9 {
+		t.Fatalf("engine report best = %+v", rep.Best)
+	}
+	if len(rep.Runs) != len(ensemble) {
+		t.Fatalf("engine report has %d runs, want %d", len(rep.Runs), len(ensemble))
+	}
+	for _, run := range rep.Runs {
+		if run.Err == "" && run.Stats.CostEvals == 0 {
+			t.Errorf("run %s reported no cost evaluations", run.Name)
+		}
+	}
+}
+
 func TestFacadeExperimentCatalog(t *testing.T) {
 	cat := Experiments()
-	if len(cat) != 13 {
-		t.Fatalf("catalog has %d experiments, want 13", len(cat))
+	if len(cat) != 14 {
+		t.Fatalf("catalog has %d experiments, want 14", len(cat))
 	}
 	ids := map[string]bool{}
 	for _, e := range cat {

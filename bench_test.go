@@ -74,7 +74,7 @@ func BenchmarkSubsetDP(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			dp := opt.NewDP()
 			for i := 0; i < b.N; i++ {
-				if _, err := dp.Optimize(in); err != nil {
+				if _, err := dp.Optimize(ctx, in); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -191,7 +191,7 @@ func BenchmarkSubsetDPParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			dp := opt.NewDPParallel()
 			for i := 0; i < b.N; i++ {
-				if _, err := dp.Optimize(in); err != nil {
+				if _, err := dp.Optimize(ctx, in); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package approxqo
 
 import (
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -26,7 +27,7 @@ func TestCLIQohardPair(t *testing.T) {
 	}
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "inst.json")
-	out := runCLI(t, "./cmd/qohard", "-mode", "pair", "-n", "12", "-json", jsonPath)
+	out := runCLI(t, "./cmd/qohard", "-mode", "pair", "-n", "12", "-out", jsonPath)
 	for _, want := range []string{"certified pair: n=12", "K_{c,d}(α,n)", "YES exact optimum", "gap:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
@@ -83,6 +84,63 @@ func TestCLISqocp(t *testing.T) {
 	out = runCLI(t, "./cmd/sqocp", "-items", "1,1,3")
 	if !strings.Contains(out, "PARTITION [1 1 3]: NO") || !strings.Contains(out, "all three stages agree") {
 		t.Errorf("sqocp NO output:\n%s", out)
+	}
+}
+
+func TestCLIUnifiedJSONFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	// Acceptance check: qopt -json emits an engine.Report with wall
+	// time and a positive cost-eval count for every optimizer that ran.
+	out := runCLI(t, "./cmd/qopt", "-shape", "chain", "-n", "8", "-json")
+	var rep struct {
+		Best *struct {
+			Winner string `json:"winner"`
+		} `json:"best"`
+		Runs []struct {
+			Name   string  `json:"name"`
+			WallMS float64 `json:"wall_ms"`
+			Stats  struct {
+				CostEvals int64 `json:"cost_evals"`
+			} `json:"stats"`
+			Err string `json:"error,omitempty"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("qopt -json is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.Best == nil || rep.Best.Winner == "" {
+		t.Errorf("qopt -json has no winner:\n%s", out)
+	}
+	if len(rep.Runs) == 0 {
+		t.Fatalf("qopt -json has no runs:\n%s", out)
+	}
+	for _, run := range rep.Runs {
+		if run.Err != "" {
+			continue
+		}
+		if run.Stats.CostEvals <= 0 {
+			t.Errorf("optimizer %s ran with cost_evals=%d", run.Name, run.Stats.CostEvals)
+		}
+	}
+
+	out = runCLI(t, "./cmd/sqocp", "-items", "1,2,3", "-json")
+	var sq map[string]any
+	if err := json.Unmarshal([]byte(out), &sq); err != nil {
+		t.Fatalf("sqocp -json is not valid JSON: %v\n%s", err, out)
+	}
+	if agree, _ := sq["stages_agree"].(bool); !agree {
+		t.Errorf("sqocp -json stages_agree false:\n%s", out)
+	}
+
+	out = runCLI(t, "./cmd/qohard", "-mode", "pair", "-n", "12", "-json")
+	var qh map[string]any
+	if err := json.Unmarshal([]byte(out), &qh); err != nil {
+		t.Fatalf("qohard -json is not valid JSON: %v\n%s", err, out)
+	}
+	if _, ok := qh["gap_log2"]; !ok {
+		t.Errorf("qohard -json missing gap_log2:\n%s", out)
 	}
 }
 

@@ -1,10 +1,12 @@
 // Command experiments regenerates the reproduction's full experiment
 // catalog (DESIGN.md §3): every table and figure derived from the
-// paper's theorems and lemmas, printed as aligned text tables.
+// paper's theorems and lemmas, printed as aligned text tables or, with
+// -json, as a structured document of the same tables.
 //
 // Usage:
 //
 //	experiments [-quick] [-seed N] [-only T1[,T7,...]] [-list]
+//	experiments -only E1 -timeout 2s -json
 package main
 
 import (
@@ -14,12 +16,23 @@ import (
 	"path/filepath"
 	"strings"
 
+	"approxqo/internal/cliutil"
 	"approxqo/internal/experiments"
+	"approxqo/internal/report"
 )
 
+var common = cliutil.Common{Seed: 1}
+
+// jsonExperiment is one catalog entry in the -json document.
+type jsonExperiment struct {
+	ID     string          `json:"id"`
+	Title  string          `json:"title"`
+	Tables []*report.Table `json:"tables"`
+}
+
 func main() {
+	common.Register(flag.CommandLine)
 	quick := flag.Bool("quick", false, "run reduced instance sizes")
-	seed := flag.Int64("seed", 1, "seed for randomized components")
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csvDir := flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
@@ -32,7 +45,9 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	ctx, cancel := common.Context()
+	defer cancel()
+	opts := experiments.Options{Quick: *quick, Seed: common.Seed, Context: ctx}
 	selected := experiments.All()
 	if *only != "" {
 		selected = selected[:0]
@@ -44,6 +59,22 @@ func main() {
 			selected = append(selected, e)
 		}
 	}
+
+	if common.JSON {
+		doc := make([]jsonExperiment, 0, len(selected))
+		for _, e := range selected {
+			tables, err := e.Run(opts)
+			if err != nil {
+				fatal(err)
+			}
+			doc = append(doc, jsonExperiment{ID: e.ID, Title: e.Title, Tables: tables})
+		}
+		if err := cliutil.WriteJSON(os.Stdout, doc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	for _, e := range selected {
 		if *csvDir == "" {
 			if err := experiments.WriteOne(os.Stdout, e, opts); err != nil {
@@ -83,6 +114,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	cliutil.Fatal("experiments", err)
 }

@@ -1,13 +1,14 @@
 // Command qohard generates hard query-optimization instances via the
-// paper's reductions and prints a gap report, optionally emitting the
-// constructed QO_N instance as JSON.
+// paper's reductions and prints a gap report — as text or, with -json,
+// as a structured summary embedding the engine's per-optimizer report.
+// The constructed QO_N instance can be exported with -out.
 //
 // Four modes:
 //
-//	qohard -mode formula -vars 3 -clauses 5 [-seed 1] [-a 4] [-json out.json]
+//	qohard -mode formula -vars 3 -clauses 5 [-seed 1] [-a 4] [-out inst.json]
 //	    runs the full Theorem 9 chain 3SAT → CLIQUE → QO_N on a random
 //	    3-CNF formula;
-//	qohard -mode pair -n 16 [-c 0.75] [-d 0.25] [-json out.json]
+//	qohard -mode pair -n 16 [-c 0.75] [-d 0.25] [-out inst.json]
 //	    builds a certified f_N YES/NO pair at size n and reports the
 //	    measured gap;
 //	qohard -mode sparse -n 5 -tau 0.5 [-k 2]
@@ -17,48 +18,85 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"approxqo/internal/cliquered"
+	"approxqo/internal/cliutil"
 	"approxqo/internal/core"
+	"approxqo/internal/engine"
 	"approxqo/internal/opt"
 	"approxqo/internal/report"
 	"approxqo/internal/sat"
 )
 
+var common = cliutil.Common{Seed: 1}
+
+// summary is qohard's -json output: the mode's headline numbers in
+// log₂ form, plus the supervising engine's report where a search ran.
+type summary struct {
+	Mode        string         `json:"mode"`
+	N           int            `json:"n"`
+	YesCostLog2 float64        `json:"yes_cost_log2"`
+	NoCostLog2  float64        `json:"no_cost_log2"`
+	GapLog2     float64        `json:"gap_log2"`
+	Exact       bool           `json:"exact"`
+	Engine      *engine.Report `json:"engine,omitempty"`
+	Extra       map[string]any `json:"extra,omitempty"`
+}
+
+func emit(s *summary) {
+	if !common.JSON {
+		return
+	}
+	if err := cliutil.WriteJSON(os.Stdout, s); err != nil {
+		fatal(err)
+	}
+}
+
+// textf prints only in text mode, keeping -json output pure.
+func textf(format string, args ...any) {
+	if !common.JSON {
+		fmt.Printf(format, args...)
+	}
+}
+
 func main() {
+	common.Register(flag.CommandLine)
 	mode := flag.String("mode", "pair", "formula | pair | sparse | hash")
 	vars := flag.Int("vars", 3, "formula mode: variable count")
 	clauses := flag.Int("clauses", 5, "formula mode: clause count")
-	seed := flag.Int64("seed", 1, "random seed")
 	a := flag.Int64("a", 0, "log₂ α (0 = auto)")
 	n := flag.Int("n", 16, "pair/sparse mode: source graph size")
 	c := flag.Float64("c", 0.75, "pair mode: YES clique ratio")
 	d := flag.Float64("d", 0.25, "pair mode: promise gap ratio")
 	tau := flag.Float64("tau", 0.5, "sparse mode: edge budget exponent (e(m) = m + m^τ)")
 	k := flag.Int("k", 2, "sparse mode: vertex blow-up exponent (m = n^k)")
-	jsonOut := flag.String("json", "", "write the YES QO_N instance as JSON to this file")
+	out := flag.String("out", "", "write the YES QO_N instance as JSON to this file")
 	flag.Parse()
+
+	ctx, cancel := common.Context()
+	defer cancel()
 
 	switch *mode {
 	case "formula":
-		runFormula(*vars, *clauses, *seed, *a, *jsonOut)
+		runFormula(*vars, *clauses, common.Seed, *a, *out)
 	case "pair":
-		runPair(*n, *c, *d, *a, *jsonOut)
+		runPair(ctx, *n, *c, *d, *a, *out)
 	case "sparse":
-		runSparse(*n, *tau, *k, *a, *seed, *jsonOut)
+		runSparse(*n, *tau, *k, *a, common.Seed, *out)
 	case "hash":
-		runHash(*n, *a)
+		runHash(ctx, *n, *a)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 }
 
 // runHash builds a certified f_H YES/NO pair (QO_H, Theorem 15).
-func runHash(n int, a int64) {
+func runHash(ctx context.Context, n int, a int64) {
 	if n%3 != 0 {
 		fatal(fmt.Errorf("hash mode needs n divisible by 3, got %d", n))
 	}
@@ -78,30 +116,37 @@ func runHash(n int, a int64) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("certified ⅔CLIQUE pair: n=%d (ωYes=%d, ωNo=%d), α=2^%d\n", n, 2*n/3, 2*n/3-1, a)
-	fmt.Printf("QO_H instances: %d relations, t=%s, t₀=%s, M=%s\n",
+	textf("certified ⅔CLIQUE pair: n=%d (ωYes=%d, ωNo=%d), α=2^%d\n", n, 2*n/3, 2*n/3-1, a)
+	textf("QO_H instances: %d relations, t=%s, t₀=%s, M=%s\n",
 		fhYes.QOH.N(), report.Log2(fhYes.T), report.Log2(fhYes.T0), report.Log2(fhYes.M))
-	fmt.Printf("L(α,n) = %s; G bound (NO) = %s\n",
+	textf("L(α,n) = %s; G bound (NO) = %s\n",
 		report.Log2(fhYes.L), report.Log2(fhNo.GBound(no.Omega)))
 	plan, err := fhYes.YesWitnessPlan(yes.G.MaxClique())
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("YES witness (Lemma 12 five-pipeline plan): %s, pipelines %v\n",
+	textf("YES witness (Lemma 12 five-pipeline plan): %s, pipelines %v\n",
 		report.Log2(plan.Cost), plan.Pipelines())
-	noBest, err := opt.QOHBest(fhNo.QOH, 1)
+	rep, err := engine.New().RunQOH(ctx, fhNo.QOH, engine.QOHSearchers(opt.WithSeed(common.Seed))...)
 	if err != nil {
 		fatal(err)
 	}
 	exact := ""
-	if fhNo.QOH.N() <= 8 {
+	if rep.Best.Exact {
 		exact = " (exact)"
 	}
-	fmt.Printf("NO best plan found%s: %s\n", exact, report.Log2(noBest.Cost))
-	fmt.Printf("gap: %s\n", report.Ratio(noBest.Cost, plan.Cost))
+	textf("NO best plan found%s (%s): %s\n", exact, rep.Best.Winner,
+		fmt.Sprintf("2^%.1f", rep.Best.CostLog2))
+	textf("gap: 2^%.1f\n", rep.Best.CostLog2-plan.Cost.Log2())
+	emit(&summary{
+		Mode: "hash", N: fhYes.QOH.N(),
+		YesCostLog2: plan.Cost.Log2(), NoCostLog2: rep.Best.CostLog2,
+		GapLog2: rep.Best.CostLog2 - plan.Cost.Log2(),
+		Exact:   rep.Best.Exact, Engine: rep,
+	})
 }
 
-func runSparse(n int, tau float64, k int, a, seed int64, jsonOut string) {
+func runSparse(n int, tau float64, k int, a, seed int64, out string) {
 	if n < 3 {
 		fatal(fmt.Errorf("sparse mode needs n ≥ 3"))
 	}
@@ -128,22 +173,33 @@ func runSparse(n int, tau float64, k int, a, seed int64, jsonOut string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("sparse f_N pair: source n=%d (ωYes=%d, ωNo=%d), blow-up m=%d, τ=%.2f\n",
+	textf("sparse f_N pair: source n=%d (ωYes=%d, ωNo=%d), blow-up m=%d, τ=%.2f\n",
 		n, n-1, n-2, sy.M, tau)
-	fmt.Printf("query graph: %d vertices, %d edges (clique would have %d)\n",
+	textf("query graph: %d vertices, %d edges (clique would have %d)\n",
 		sy.M, sy.QON.Q.EdgeCount(), sy.M*(sy.M-1)/2)
-	fmt.Printf("K = %s; NO lower bound = %s\n", report.Log2(sy.K), report.Log2(sn.NoLowerBound))
+	textf("K = %s; NO lower bound = %s\n", report.Log2(sy.K), report.Log2(sn.NoLowerBound))
 	yesCost := sy.QON.Cost(core.CliqueFirst(sy.QON.Q, yes.G.MaxClique()))
 	noCost := sn.QON.Cost(core.CliqueFirst(sn.QON.Q, no.G.MaxClique()))
-	fmt.Printf("YES clique-first cost: %s\n", report.Log2(yesCost))
-	fmt.Printf("NO  clique-first cost: %s\n", report.Log2(noCost))
-	fmt.Printf("gap: %s\n", report.Ratio(noCost, yesCost))
-	writeJSON(jsonOut, sy.QON)
+	textf("YES clique-first cost: %s\n", report.Log2(yesCost))
+	textf("NO  clique-first cost: %s\n", report.Log2(noCost))
+	textf("gap: %s\n", report.Ratio(noCost, yesCost))
+	writeInstance(out, sy.QON)
+	emit(&summary{
+		Mode: "sparse", N: sy.M,
+		YesCostLog2: yesCost.Log2(), NoCostLog2: noCost.Log2(),
+		GapLog2: noCost.Log2() - yesCost.Log2(),
+		Extra: map[string]any{
+			"edges":         sy.QON.Q.EdgeCount(),
+			"k_log2":        sy.K.Log2(),
+			"no_bound_log2": sn.NoLowerBound.Log2(),
+			"clique_edges":  sy.M * (sy.M - 1) / 2,
+		},
+	})
 }
 
-func runFormula(vars, clauses int, seed, a int64, jsonOut string) {
+func runFormula(vars, clauses int, seed, a int64, out string) {
 	f := sat.Random3SAT(vars, clauses, seed)
-	fmt.Printf("formula: %s\n", f)
+	textf("formula: %s\n", f)
 	if a == 0 {
 		a = 4
 	}
@@ -151,21 +207,28 @@ func runFormula(vars, clauses int, seed, a int64, jsonOut string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("satisfiable: %v\n", res.Satisfiable)
-	fmt.Printf("clique instance: n=%d, ω-if-SAT=%d (c=%.3f)\n",
+	textf("satisfiable: %v\n", res.Satisfiable)
+	textf("clique instance: n=%d, ω-if-SAT=%d (c=%.3f)\n",
 		res.Clique.G.N(), res.Clique.CliqueIfSat, res.Clique.C)
-	fmt.Printf("QO_N instance: %d relations, t=%s, K=%s\n",
+	textf("QO_N instance: %d relations, t=%s, K=%s\n",
 		res.FN.QON.N(), report.Log2(res.FN.T), report.Log2(res.FN.K))
+	s := &summary{Mode: "formula", N: res.FN.QON.N(), Extra: map[string]any{
+		"satisfiable": res.Satisfiable,
+		"k_log2":      res.FN.K.Log2(),
+	}}
 	if res.Satisfiable {
-		fmt.Printf("Lemma 6 witness cost: %s (sequence starts with the %d-clique)\n",
+		textf("Lemma 6 witness cost: %s (sequence starts with the %d-clique)\n",
 			report.Log2(res.WitnessCost), res.Clique.CliqueIfSat)
+		s.YesCostLog2 = res.WitnessCost.Log2()
 	} else {
-		fmt.Printf("Lemma 8 lower bound on every sequence: %s\n", report.Log2(res.FN.NoLowerBound))
+		textf("Lemma 8 lower bound on every sequence: %s\n", report.Log2(res.FN.NoLowerBound))
+		s.NoCostLog2 = res.FN.NoLowerBound.Log2()
 	}
-	writeJSON(jsonOut, res.FN.QON)
+	writeInstance(out, res.FN.QON)
+	emit(s)
 }
 
-func runPair(n int, c, d float64, a int64, jsonOut string) {
+func runPair(ctx context.Context, n int, c, d float64, a int64, out string) {
 	if a == 0 {
 		a = 2 * int64(n)
 	}
@@ -179,41 +242,52 @@ func runPair(n int, c, d float64, a int64, jsonOut string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("certified pair: n=%d, ωYes=%d, ωNo=%d, α=2^%d\n", n, yes.Omega, no.Omega, a)
-	fmt.Printf("K_{c,d}(α,n) = %s; NO lower bound = %s\n",
+	textf("certified pair: n=%d, ωYes=%d, ωNo=%d, α=2^%d\n", n, yes.Omega, no.Omega, a)
+	textf("K_{c,d}(α,n) = %s; NO lower bound = %s\n",
 		report.Log2(fnYes.K), report.Log2(fnNo.NoLowerBound))
 
 	_, yesCost, err := fnYes.YesWitnessCost(yes.G.MaxClique())
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("YES witness (Lemma 6 clique-first): %s\n", report.Log2(yesCost))
+	textf("YES witness (Lemma 6 clique-first): %s\n", report.Log2(yesCost))
+	s := &summary{Mode: "pair", N: fnYes.QON.N()}
 	if n <= 18 {
-		dp := opt.DP{MaxN: 18}
-		yesOpt, err := dp.Optimize(fnYes.QON)
+		dp := opt.NewDP(opt.WithMaxRelations(18))
+		yesOpt, err := dp.Optimize(ctx, fnYes.QON)
 		if err != nil {
 			fatal(err)
 		}
-		noOpt, err := dp.Optimize(fnNo.QON)
+		noOpt, err := dp.Optimize(ctx, fnNo.QON)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("YES exact optimum: %s\n", report.Log2(yesOpt.Cost))
-		fmt.Printf("NO exact optimum:  %s\n", report.Log2(noOpt.Cost))
-		fmt.Printf("gap: %s (promised ≥ %s)\n",
+		textf("YES exact optimum: %s\n", report.Log2(yesOpt.Cost))
+		textf("NO exact optimum:  %s\n", report.Log2(noOpt.Cost))
+		textf("gap: %s (promised ≥ %s)\n",
 			report.Ratio(noOpt.Cost, yesOpt.Cost), report.Ratio(fnNo.NoLowerBound, fnYes.K))
+		s.YesCostLog2 = yesOpt.Cost.Log2()
+		s.NoCostLog2 = noOpt.Cost.Log2()
+		s.GapLog2 = noOpt.Cost.Log2() - yesOpt.Cost.Log2()
+		s.Exact = true
 	} else {
-		best, winner, err := opt.BestOf(fnNo.QON, opt.Heuristics(7)...)
+		rep, err := engine.New().Run(ctx, fnNo.QON, opt.Heuristics(opt.WithSeed(7))...)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("NO best heuristic (%s): %s\n", winner, report.Log2(best.Cost))
-		fmt.Printf("gap vs witness: %s\n", report.Ratio(best.Cost, yesCost))
+		textf("NO best heuristic (%s): %s\n", rep.Best.Winner,
+			fmt.Sprintf("2^%.1f", rep.Best.CostLog2))
+		textf("gap vs witness: 2^%.1f\n", rep.Best.CostLog2-yesCost.Log2())
+		s.YesCostLog2 = yesCost.Log2()
+		s.NoCostLog2 = rep.Best.CostLog2
+		s.GapLog2 = rep.Best.CostLog2 - yesCost.Log2()
+		s.Engine = rep
 	}
-	writeJSON(jsonOut, fnYes.QON)
+	writeInstance(out, fnYes.QON)
+	emit(s)
 }
 
-func writeJSON(path string, v any) {
+func writeInstance(path string, v any) {
 	if path == "" {
 		return
 	}
@@ -224,10 +298,9 @@ func writeJSON(path string, v any) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("instance written to %s\n", path)
+	textf("instance written to %s\n", path)
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "qohard:", err)
-	os.Exit(1)
+	cliutil.Fatal("qohard", err)
 }

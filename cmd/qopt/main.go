@@ -1,11 +1,14 @@
 // Command qopt optimizes a QO_N instance — read from a JSON file
-// (qohard -json output) or generated as a random workload — with one or
-// all of the registered algorithms, and prints the resulting plans.
+// (qohard -out output) or generated as a random workload — with one or
+// all of the registered algorithms, supervised by the ensemble engine:
+// runs execute concurrently with per-run instrumentation, panic
+// isolation and deadline handling, and the per-optimizer report is
+// printed as a table or, with -json, as a structured engine.Report.
 //
 // Usage:
 //
 //	qopt -file instance.json [-algo subset-dp]
-//	qopt -shape chain -n 12 [-seed 3] [-algo all]
+//	qopt -shape chain -n 12 [-seed 3] [-algo all] [-timeout 500ms] [-json]
 package main
 
 import (
@@ -13,9 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"approxqo/internal/bushy"
+	"approxqo/internal/cliutil"
+	"approxqo/internal/engine"
 	"approxqo/internal/opt"
 	"approxqo/internal/plan"
 	"approxqo/internal/qon"
@@ -24,12 +28,13 @@ import (
 )
 
 func main() {
-	file := flag.String("file", "", "JSON instance file (from qohard -json)")
+	common := cliutil.Common{Seed: 1}
+	common.Register(flag.CommandLine)
+	file := flag.String("file", "", "JSON instance file (from qohard -out)")
 	shape := flag.String("shape", "chain", "workload shape: chain|cycle|star|grid|clique|random")
 	catalog := flag.String("catalog", "", "named catalog query (e.g. tpch-q5-like); overrides -shape")
 	listCatalog := flag.Bool("list-catalog", false, "list catalog queries and exit")
 	n := flag.Int("n", 10, "workload size")
-	seed := flag.Int64("seed", 1, "workload seed")
 	algo := flag.String("algo", "all", "algorithm name or 'all'")
 	explain := flag.Bool("explain", false, "print an EXPLAIN tree for the best plan found")
 	bushyFlag := flag.Bool("bushy", false, "also optimize over bushy join trees")
@@ -50,43 +55,52 @@ func main() {
 			fatal(cerr)
 		}
 		in = c.Instance
-		fmt.Printf("catalog query %s: %s\n", c.Name, c.Comment)
-		for i, name := range c.RelationNames() {
-			fmt.Printf("  R%d = %s (%s tuples)\n", i, name, in.T[i])
+		if !common.JSON {
+			fmt.Printf("catalog query %s: %s\n", c.Name, c.Comment)
+			for i, name := range c.RelationNames() {
+				fmt.Printf("  R%d = %s (%s tuples)\n", i, name, in.T[i])
+			}
 		}
 	} else {
-		in, err = loadInstance(*file, *shape, *n, *seed)
+		in, err = loadInstance(*file, *shape, *n, common.Seed)
 		if err != nil {
 			fatal(err)
 		}
 	}
-	fmt.Printf("instance: %d relations, %d predicates\n", in.N(), in.Q.EdgeCount())
+	if !common.JSON {
+		fmt.Printf("instance: %d relations, %d predicates\n", in.N(), in.Q.EdgeCount())
+	}
 
-	optimizers := registry(*seed)
-	tb := report.New("", "algorithm", "cost", "sequence", "time", "exact")
-	var best *opt.Result
-	for _, o := range optimizers {
-		if *algo != "all" && o.Name() != *algo {
-			continue
+	optimizers := registry(common.Seed)
+	if *algo != "all" {
+		var picked []opt.Optimizer
+		for _, o := range optimizers {
+			if o.Name() == *algo {
+				picked = append(picked, o)
+			}
 		}
-		start := time.Now()
-		r, err := o.Optimize(in)
-		elapsed := time.Since(start).Round(time.Microsecond)
-		if err != nil {
-			tb.AddRow(o.Name(), "—", "n/a: "+err.Error(), elapsed.String(), "")
-			continue
+		if len(picked) == 0 {
+			fatal(fmt.Errorf("no algorithm named %q; have %v", *algo, names(optimizers)))
 		}
-		if best == nil || r.Cost.Less(best.Cost) {
-			best = r
-		}
-		tb.AddRow(o.Name(), report.Log2(r.Cost), fmt.Sprint(r.Sequence), elapsed.String(), fmt.Sprint(r.Exact))
+		optimizers = picked
 	}
-	if len(tb.Rows) == 0 {
-		fatal(fmt.Errorf("no algorithm named %q; have %v", *algo, names(optimizers)))
-	}
-	if err := tb.WriteText(os.Stdout); err != nil {
+
+	ctx, cancel := common.Context()
+	defer cancel()
+	// Keep every run going: qopt's point is the per-optimizer comparison.
+	rep, err := engine.New(engine.WithoutEarlyExit()).Run(ctx, in, optimizers...)
+	if err != nil {
 		fatal(err)
 	}
+	if common.JSON {
+		if err := cliutil.WriteJSON(os.Stdout, rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	rep.WriteText(os.Stdout)
+	fmt.Printf("best sequence: %v\n", rep.Best.Sequence)
+
 	if *bushyFlag {
 		tree, cost, err := bushy.Optimize(in)
 		if err != nil {
@@ -97,9 +111,9 @@ func main() {
 			fmt.Print(plan.ExplainBushy(in, tree))
 		}
 	}
-	if *explain && best != nil {
+	if *explain {
 		fmt.Println()
-		fmt.Print(plan.ExplainQON(in, best.Sequence))
+		fmt.Print(plan.ExplainQON(in, qon.Sequence(rep.Best.Sequence)))
 	}
 }
 
@@ -109,7 +123,8 @@ func registry(seed int64) []opt.Optimizer {
 		opt.NewDP(),
 		opt.NewDPParallel(),
 		opt.NewDPNoCross(),
-	}, append(opt.Heuristics(seed), opt.NewIterativeImprovement(seed, 10))...)
+	}, append(opt.Heuristics(opt.WithSeed(seed)),
+		opt.NewIterativeImprovement(opt.WithSeed(seed), opt.WithRestarts(10)))...)
 }
 
 func names(os []opt.Optimizer) []string {
@@ -136,6 +151,5 @@ func loadInstance(file, shape string, n int, seed int64) (*qon.Instance, error) 
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "qopt:", err)
-	os.Exit(1)
+	cliutil.Fatal("qopt", err)
 }

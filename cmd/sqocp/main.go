@@ -6,66 +6,146 @@
 // Usage:
 //
 //	sqocp -items 1,2,3
+//	sqocp -items random -n 8 -seed 3 [-timeout 5s] [-json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
 
+	"approxqo/internal/cliutil"
 	"approxqo/internal/sqocp"
 )
 
+var common = cliutil.Common{Seed: 1}
+
+// result is sqocp's -json output: the three stage verdicts and the
+// optimal star plan.
+type result struct {
+	Items        []int64  `json:"items"`
+	Partition    bool     `json:"partition_yes"`
+	SPPCS        bool     `json:"sppcs_yes"`
+	SPPCSMask    string   `json:"sppcs_mask"`
+	SQOCP        bool     `json:"sqocp_yes"`
+	PlanOrder    []int    `json:"plan_order"`
+	PlanMethods  []string `json:"plan_methods"`
+	CostLog2Bits int      `json:"cost_log2_bits"`
+	Agree        bool     `json:"stages_agree"`
+}
+
 func main() {
-	itemsFlag := flag.String("items", "1,2,3", "comma-separated non-negative integers")
+	common.Register(flag.CommandLine)
+	itemsFlag := flag.String("items", "1,2,3", "comma-separated non-negative integers, or 'random' (see -n)")
+	n := flag.Int("n", 6, "item count when -items random")
 	flag.Parse()
 
-	items, err := parseItems(*itemsFlag)
+	items, err := parseItems(*itemsFlag, *n, common.Seed)
 	if err != nil {
 		fatal(err)
 	}
-	p := &sqocp.Partition{Items: items}
-	yes, err := p.Decide()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("PARTITION %v: %v\n", items, verdict(yes))
 
-	s, err := p.ToSPPCS()
-	if err != nil {
-		fatal(err)
+	// The decision chain is exact and fast; the timeout is a hard
+	// backstop so a pathological instance cannot wedge scripted runs.
+	ctx, cancel := common.Context()
+	defer cancel()
+	type outcome struct {
+		res *result
+		err error
 	}
-	fmt.Printf("SPPCS: %d pairs, L = %v\n", len(s.P), s.L)
-	sYes, mask, best, err := s.Decide()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("SPPCS optimum: %v at subset mask %b → %v\n", best, mask, verdict(sYes))
-
-	red, err := sqocp.FromSPPCS(s, s.L)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("SQO−CP star query: %d satellites, J = %v, threshold M ≈ 2^%d\n",
-		red.Star.M(), red.J, red.Threshold.BitLen()-1)
-	qYes, plan, cost, err := red.Decide()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("optimal star plan: order %v, methods %v, cost ≈ 2^%d → %v\n",
-		plan.Order, methodNames(plan.Methods), cost.BitLen()-1, verdict(qYes))
-
-	if yes == sYes && sYes == qYes {
-		fmt.Println("all three stages agree ✓")
-	} else {
-		fmt.Println("STAGE DISAGREEMENT — reduction bug")
-		os.Exit(1)
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := decideAll(items)
+		ch <- outcome{r, err}
+	}()
+	select {
+	case oc := <-ch:
+		if oc.err != nil {
+			fatal(oc.err)
+		}
+		if common.JSON {
+			if err := cliutil.WriteJSON(os.Stdout, oc.res); err != nil {
+				fatal(err)
+			}
+		}
+		if !oc.res.Agree {
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fatal(fmt.Errorf("timed out after %v", common.Timeout))
 	}
 }
 
-func parseItems(s string) ([]int64, error) {
+func decideAll(items []int64) (*result, error) {
+	p := &sqocp.Partition{Items: items}
+	yes, err := p.Decide()
+	if err != nil {
+		return nil, err
+	}
+	textf("PARTITION %v: %v\n", items, verdict(yes))
+
+	s, err := p.ToSPPCS()
+	if err != nil {
+		return nil, err
+	}
+	textf("SPPCS: %d pairs, L = %v\n", len(s.P), s.L)
+	sYes, mask, best, err := s.Decide()
+	if err != nil {
+		return nil, err
+	}
+	textf("SPPCS optimum: %v at subset mask %b → %v\n", best, mask, verdict(sYes))
+
+	red, err := sqocp.FromSPPCS(s, s.L)
+	if err != nil {
+		return nil, err
+	}
+	textf("SQO−CP star query: %d satellites, J = %v, threshold M ≈ 2^%d\n",
+		red.Star.M(), red.J, red.Threshold.BitLen()-1)
+	qYes, plan, cost, err := red.Decide()
+	if err != nil {
+		return nil, err
+	}
+	textf("optimal star plan: order %v, methods %v, cost ≈ 2^%d → %v\n",
+		plan.Order, methodNames(plan.Methods), cost.BitLen()-1, verdict(qYes))
+
+	agree := yes == sYes && sYes == qYes
+	if agree {
+		textf("all three stages agree ✓\n")
+	} else {
+		textf("STAGE DISAGREEMENT — reduction bug\n")
+	}
+	return &result{
+		Items:        items,
+		Partition:    yes,
+		SPPCS:        sYes,
+		SPPCSMask:    fmt.Sprintf("%b", mask),
+		SQOCP:        qYes,
+		PlanOrder:    plan.Order,
+		PlanMethods:  methodNames(plan.Methods),
+		CostLog2Bits: cost.BitLen() - 1,
+		Agree:        agree,
+	}, nil
+}
+
+// textf prints only in text mode, keeping -json output pure.
+func textf(format string, args ...any) {
+	if !common.JSON {
+		fmt.Printf(format, args...)
+	}
+}
+
+func parseItems(s string, n int, seed int64) ([]int64, error) {
+	if s == "random" {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = int64(rng.Intn(50) + 1)
+		}
+		return out, nil
+	}
 	var out []int64
 	for _, tok := range strings.Split(s, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
@@ -97,6 +177,5 @@ func methodNames(ms []sqocp.Method) []string {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sqocp:", err)
-	os.Exit(1)
+	cliutil.Fatal("sqocp", err)
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	for i, name := range q5.RelationNames() {
 		fmt.Printf("  R%d = %s\n", i, name)
 	}
-	best, err := opt.NewDP().Optimize(q5.Instance)
+	best, err := opt.NewDP().Optimize(context.Background(), q5.Instance)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,11 +58,12 @@ func main() {
 		log.Fatal(err)
 	}
 	dp := opt.NewDP()
-	yesOpt, err := dp.Optimize(fnYes.QON)
+	ctx := context.Background()
+	yesOpt, err := dp.Optimize(ctx, fnYes.QON)
 	if err != nil {
 		log.Fatal(err)
 	}
-	noOpt, err := dp.Optimize(fnNo.QON)
+	noOpt, err := dp.Optimize(ctx, fnNo.QON)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,16 +1,22 @@
 // Optimizer-shootout: every registered join-order optimizer on every
-// workload shape, with competitive ratios against the certified subset-
-// DP optimum — the empirical side of the paper's conclusion that easy
-// shapes (trees) have exact polynomial algorithms while general graphs
-// do not.
+// workload shape, run concurrently under the supervised ensemble engine
+// with a wall-clock budget per shape. The engine report shows each
+// optimizer's cost, instrumentation (cost evaluations, DP subsets,
+// annealing moves) and wall time; a summary table gives competitive
+// ratios against the certified subset-DP optimum — the empirical side
+// of the paper's conclusion that easy shapes (trees) have exact
+// polynomial algorithms while general graphs do not.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
+	"approxqo/internal/engine"
+	"approxqo/internal/num"
 	"approxqo/internal/opt"
 	"approxqo/internal/report"
 	"approxqo/internal/workload"
@@ -18,8 +24,10 @@ import (
 
 func main() {
 	const n = 12
-	tb := report.New(
-		fmt.Sprintf("Join-order optimizer shootout (n = %d relations per query)", n),
+	const budget = 2 * time.Second
+
+	summary := report.New(
+		fmt.Sprintf("Join-order optimizer shootout (n = %d relations per query, %v budget per shape)", n, budget),
 		"shape", "optimizer", "ratio to optimum", "time",
 	)
 	for _, shape := range workload.Shapes() {
@@ -27,24 +35,50 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		best, err := opt.NewDP().Optimize(in)
+
+		ensemble := append(opt.Heuristics(opt.WithSeed(7)),
+			opt.NewDP(),
+			opt.NewIterativeImprovement(opt.WithSeed(7), opt.WithRestarts(5)))
+
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		// The engine runs every optimizer concurrently, isolates
+		// panics, and returns best-so-far results when the budget
+		// expires; WithoutEarlyExit keeps the slow heuristics running
+		// even after the exact DP finishes, since the comparison is
+		// the point.
+		rep, err := engine.New(engine.WithoutEarlyExit()).Run(ctx, in, ensemble...)
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}
-		optimizers := append(opt.Heuristics(7), opt.NewIterativeImprovement(7, 5))
-		for _, o := range optimizers {
-			start := time.Now()
-			r, err := o.Optimize(in)
-			if err != nil {
-				tb.AddRow(string(shape), o.Name(), "n/a ("+err.Error()+")", "")
+
+		fmt.Printf("=== %s ===\n", shape)
+		rep.WriteText(os.Stdout)
+		fmt.Println()
+
+		var optimum *num.Num
+		for _, run := range rep.Runs {
+			if run.Name == "subset-dp" && run.Cost != nil {
+				optimum = run.Cost
+			}
+		}
+		for _, run := range rep.Runs {
+			if run.Name == "subset-dp" {
 				continue
 			}
-			tb.AddRow(string(shape), o.Name(),
-				report.Ratio(r.Cost, best.Cost),
-				time.Since(start).Round(time.Microsecond).String())
+			switch {
+			case run.Err != "":
+				summary.AddRow(string(shape), run.Name, "n/a ("+run.Err+")", "")
+			case run.Cost == nil || optimum == nil:
+				summary.AddRow(string(shape), run.Name, "n/a", "")
+			default:
+				summary.AddRow(string(shape), run.Name,
+					report.Ratio(*run.Cost, *optimum),
+					fmt.Sprintf("%.1fms", run.WallMS))
+			}
 		}
 	}
-	if err := tb.WriteText(os.Stdout); err != nil {
+	if err := summary.WriteText(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nratio 2^0.0 = found the certified optimum; kbz is exact on chain/star (trees).")

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,8 +57,11 @@ func main() {
 	}
 
 	// The exact optimum via the subset DP (N(X) is a set function, so
-	// the DP is exact — see internal/opt).
-	best, err := opt.NewDP().Optimize(in)
+	// the DP is exact — see internal/opt). Optimizers take a context:
+	// pass context.Background() for an unbounded run, or a deadline to
+	// get the best order found so far when time runs out.
+	ctx := context.Background()
+	best, err := opt.NewDP().Optimize(ctx, in)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,8 +69,8 @@ func main() {
 
 	// Polynomial-time heuristics, including Ibaraki–Kameda (exact on
 	// tree queries like this chain).
-	for _, o := range opt.Heuristics(1) {
-		r, err := o.Optimize(in)
+	for _, o := range opt.Heuristics(opt.WithSeed(1)) {
+		r, err := o.Optimize(ctx, in)
 		if err != nil {
 			continue
 		}

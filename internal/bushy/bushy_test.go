@@ -1,6 +1,7 @@
 package bushy
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -86,7 +87,7 @@ func TestCostPanicsOnMalformedTrees(t *testing.T) {
 func TestBushyBeatsOrMatchesLeftDeep(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		in := instance(7, seed)
-		leftDeep, err := opt.NewDP().Optimize(in)
+		leftDeep, err := opt.NewDP().Optimize(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -51,6 +51,7 @@ func Optimize(in *qon.Instance) (*Tree, num.Num, error) {
 		size[mask] = size[rest].Mul(in.ExtendFactor(low, toBitset(rest)))
 	}
 
+	st := in.Stats()
 	dp := make([]num.Num, total)
 	split := make([]int32, total) // best left-side mask; 0 for leaves
 	for mask := 1; mask < total; mask++ {
@@ -58,6 +59,8 @@ func Optimize(in *qon.Instance) (*Tree, num.Num, error) {
 			dp[mask] = num.Zero()
 			continue
 		}
+		st.DPSubset()
+		candidates := int64(0)
 		var best num.Num
 		bestSplit := 0
 		// Enumerate proper submasks as the left (outer) side.
@@ -71,10 +74,12 @@ func Optimize(in *qon.Instance) (*Tree, num.Num, error) {
 				inner = size[r]
 			}
 			cand := dp[l].Add(dp[r]).Add(size[l].Mul(inner))
+			candidates++
 			if bestSplit == 0 || cand.Less(best) {
 				best, bestSplit = cand, l
 			}
 		}
+		st.AddCostEvals(candidates)
 		dp[mask], split[mask] = best, int32(bestSplit)
 	}
 

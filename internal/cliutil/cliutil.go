@@ -1,0 +1,59 @@
+// Package cliutil unifies the flag surface of the repo's commands:
+// every binary accepts -seed, -timeout and -json with the same
+// spelling, semantics and defaults, and renders JSON and fatal errors
+// the same way.
+package cliutil
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Common is the flag set shared by all commands.
+type Common struct {
+	// Seed seeds every randomized component (workload generation,
+	// annealing walks, sampling).
+	Seed int64
+	// Timeout bounds the whole run; zero means unbounded. Optimizer
+	// ensembles receive it through Context, so anytime algorithms
+	// degrade to best-so-far results instead of erroring.
+	Timeout time.Duration
+	// JSON switches the command's primary output to machine-readable
+	// JSON (engine reports, experiment tables).
+	JSON bool
+}
+
+// Register installs the shared flags on fs with the Common's current
+// values as defaults; call before fs.Parse.
+func (c *Common) Register(fs *flag.FlagSet) {
+	fs.Int64Var(&c.Seed, "seed", c.Seed, "seed for randomized components")
+	fs.DurationVar(&c.Timeout, "timeout", c.Timeout, "overall deadline (e.g. 500ms, 10s); 0 = none")
+	fs.BoolVar(&c.JSON, "json", c.JSON, "emit machine-readable JSON instead of text")
+}
+
+// Context returns a context honouring c.Timeout. The cancel func must
+// be called (defer it) even when Timeout is zero.
+func (c *Common) Context() (context.Context, context.CancelFunc) {
+	if c.Timeout > 0 {
+		return context.WithTimeout(context.Background(), c.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// WriteJSON writes v to w indented, with a trailing newline.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// Fatal prints "prog: err" to stderr and exits 1.
+func Fatal(prog string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	os.Exit(1)
+}

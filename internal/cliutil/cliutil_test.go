@@ -1,0 +1,54 @@
+package cliutil
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegisterParsesUnifiedFlags(t *testing.T) {
+	c := Common{Seed: 1}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.Register(fs)
+	if err := fs.Parse([]string{"-seed", "42", "-timeout", "250ms", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 42 || c.Timeout != 250*time.Millisecond || !c.JSON {
+		t.Fatalf("parsed Common = %+v", c)
+	}
+}
+
+func TestContextHonorsTimeout(t *testing.T) {
+	c := Common{}
+	ctx, cancel := c.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero timeout should not set a deadline")
+	}
+
+	c.Timeout = time.Nanosecond
+	dctx, dcancel := c.Context()
+	defer dcancel()
+	select {
+	case <-dctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("timeout context never expired")
+	}
+	if dctx.Err() != context.DeadlineExceeded {
+		t.Errorf("err = %v", dctx.Err())
+	}
+}
+
+func TestWriteJSONIndents(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, map[string]int{"n": 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "\"n\": 3") || !strings.HasSuffix(out, "}\n") {
+		t.Errorf("unexpected JSON: %q", out)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -10,6 +12,8 @@ import (
 	"approxqo/internal/num"
 	"approxqo/internal/opt"
 )
+
+var ctx = context.Background()
 
 func TestFNConstruction(t *testing.T) {
 	yes, _ := cliquered.YesNoPair(12, 0.75, 0.25)
@@ -127,11 +131,11 @@ func TestTheorem9GapCertified(t *testing.T) {
 		t.Fatal(err)
 	}
 	dp := opt.DP{MaxN: 14}
-	yesOpt, err := dp.Optimize(fnYes.QON)
+	yesOpt, err := dp.Optimize(ctx, fnYes.QON)
 	if err != nil {
 		t.Fatal(err)
 	}
-	noOpt, err := dp.Optimize(fnNo.QON)
+	noOpt, err := dp.Optimize(ctx, fnNo.QON)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,8 +212,8 @@ func TestLemma8LowerBoundSampled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, o := range append(opt.Heuristics(3), opt.NewDP()) {
-		r, err := o.Optimize(fn.QON)
+	for _, o := range append(opt.Heuristics(opt.WithSeed(3)), opt.NewDP()) {
+		r, err := o.Optimize(ctx, fn.QON)
 		if err != nil {
 			t.Fatalf("%s: %v", o.Name(), err)
 		}
@@ -244,8 +248,8 @@ func TestQuickFNGapRandomParams(t *testing.T) {
 			return false
 		}
 		dp := opt.NewDP()
-		yesOpt, err1 := dp.Optimize(fnYes.QON)
-		noOpt, err2 := dp.Optimize(fnNo.QON)
+		yesOpt, err1 := dp.Optimize(ctx, fnYes.QON)
+		noOpt, err2 := dp.Optimize(ctx, fnNo.QON)
 		if err1 != nil || err2 != nil {
 			return false
 		}

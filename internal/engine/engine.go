@@ -1,0 +1,268 @@
+// Package engine is a supervised ensemble runner for the repo's query
+// optimizers. It executes any set of opt.Optimizer values (or QO_H plan
+// searchers — see RunQOH) concurrently over one instance, with:
+//
+//   - context cancellation threaded into every run,
+//   - an optional per-run deadline on top of the caller's context,
+//   - early termination of the remaining runs once an exact
+//     (certified-optimal) result arrives,
+//   - panic isolation — a crashing optimizer becomes a RunRecord with
+//     Panicked set, never a crashed process,
+//   - a grace period after cancellation, after which unresponsive runs
+//     are abandoned (their goroutines drain into a buffered channel;
+//     their counters are still snapshotted safely), and
+//   - a first-cheapest-wins merge of the results.
+//
+// Every run gets a fresh Stats sink attached to the instance, so the
+// cost model itself counts evaluations whether or not the optimizer
+// cooperates; the counts come back in a structured, JSON-serializable
+// Report.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"approxqo/internal/num"
+	"approxqo/internal/opt"
+	"approxqo/internal/qon"
+	"approxqo/internal/stats"
+)
+
+// Stats is the per-run instrumentation collector threaded through the
+// cost models (an alias of the leaf stats package's type, re-exported
+// here as part of the engine API).
+type Stats = stats.Stats
+
+// DefaultGrace is how long the engine waits, after the governing
+// context ends, for runs to deliver their best-so-far results before
+// abandoning them.
+const DefaultGrace = 250 * time.Millisecond
+
+// Engine supervises ensemble runs. The zero value is usable: no
+// per-run deadline, DefaultGrace, early exit enabled.
+type Engine struct {
+	runTimeout time.Duration
+	grace      time.Duration
+	noEarly    bool
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithRunTimeout puts a deadline on each optimizer run, layered under
+// the caller's context (whichever ends first wins). Zero means no
+// per-run deadline.
+func WithRunTimeout(d time.Duration) Option { return func(e *Engine) { e.runTimeout = d } }
+
+// WithGrace sets how long the engine waits for best-so-far results
+// after cancellation before abandoning stragglers (default
+// DefaultGrace).
+func WithGrace(d time.Duration) Option { return func(e *Engine) { e.grace = d } }
+
+// WithoutEarlyExit keeps all runs going even after an exact result
+// arrives — useful when the point is the per-optimizer comparison, not
+// the answer.
+func WithoutEarlyExit() Option { return func(e *Engine) { e.noEarly = true } }
+
+// New builds an Engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{}
+	for _, apply := range opts {
+		apply(e)
+	}
+	return e
+}
+
+// jobResult is the model-independent slice of an optimizer's result
+// that the supervisor needs for merging and reporting.
+type jobResult struct {
+	seq    []int
+	breaks []int
+	cost   num.Num
+	exact  bool
+}
+
+// job is one supervised unit of work.
+type job struct {
+	name string
+	// run executes with the per-run context; the instance it closes
+	// over already carries a fresh stats sink.
+	run func(ctx context.Context) (*jobResult, error)
+	// sink is snapshotted into the RunRecord even when run never
+	// returns (abandonment) — it is written with atomics only.
+	sink *stats.Stats
+}
+
+// Run executes the optimizers concurrently over in and merges their
+// results. It returns a Report whenever the ensemble is non-empty; the
+// error is non-nil only when no optimizer produced a result (all
+// failed, panicked, or were abandoned resultless) — mirroring
+// opt.BestOf's skip-errors semantics. The Report is returned alongside
+// the error so failed runs can still be inspected.
+func (e *Engine) Run(ctx context.Context, in *qon.Instance, optimizers ...opt.Optimizer) (*Report, error) {
+	if len(optimizers) == 0 {
+		return nil, errors.New("engine: no optimizers given")
+	}
+	jobs := make([]*job, len(optimizers))
+	for i, o := range optimizers {
+		o := o
+		sink := &stats.Stats{}
+		instrumented := in.WithStats(sink)
+		jobs[i] = &job{
+			name: o.Name(),
+			sink: sink,
+			run: func(ctx context.Context) (*jobResult, error) {
+				r, err := o.Optimize(ctx, instrumented)
+				if err != nil || r == nil {
+					if err == nil {
+						err = errors.New("optimizer returned no result")
+					}
+					return nil, err
+				}
+				return &jobResult{seq: []int(r.Sequence), cost: r.Cost, exact: r.Exact}, nil
+			},
+		}
+	}
+	report, best := e.supervise(ctx, jobs)
+	report.Model = "qon"
+	report.N = in.N()
+	report.Best = best
+	if best == nil {
+		return report, fmt.Errorf("engine: every optimizer failed: %s", firstFailure(report.Runs))
+	}
+	return report, nil
+}
+
+// outcome is what a run goroutine delivers back to the supervisor.
+type outcome struct {
+	idx      int
+	res      *jobResult
+	err      error
+	panicked bool
+	timedOut bool
+	dur      time.Duration
+}
+
+// supervise runs the jobs concurrently and collects them into records,
+// merging the cheapest successful result (first arrival wins ties).
+func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestRecord) {
+	started := time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Buffered so abandoned goroutines can deliver late and exit
+	// instead of leaking blocked forever.
+	results := make(chan outcome, len(jobs))
+	for i, j := range jobs {
+		i, j := i, j
+		go func() {
+			oc := outcome{idx: i}
+			start := time.Now()
+			defer func() {
+				if p := recover(); p != nil {
+					oc.res, oc.err, oc.panicked = nil, fmt.Errorf("%v", p), true
+				}
+				oc.dur = time.Since(start)
+				results <- oc
+			}()
+			jctx := runCtx
+			if e.runTimeout > 0 {
+				var jcancel context.CancelFunc
+				jctx, jcancel = context.WithTimeout(runCtx, e.runTimeout)
+				defer jcancel()
+			}
+			oc.res, oc.err = j.run(jctx)
+			// A deadline that expired marks the run timed out even when an
+			// anytime algorithm still salvaged a best-so-far result.
+			oc.timedOut = errors.Is(jctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil
+		}()
+	}
+
+	records := make([]RunRecord, len(jobs))
+	finished := make([]bool, len(jobs))
+	for i, j := range jobs {
+		records[i].Name = j.name
+	}
+	var best *BestRecord
+	var bestCost num.Num
+	grace := e.grace
+	if grace <= 0 {
+		grace = DefaultGrace
+	}
+	done := runCtx.Done()
+	var graceC <-chan time.Time
+	pending := len(jobs)
+	for pending > 0 {
+		select {
+		case oc := <-results:
+			pending--
+			finished[oc.idx] = true
+			rec := &records[oc.idx]
+			rec.WallMS = float64(oc.dur.Microseconds()) / 1000
+			rec.Stats = jobs[oc.idx].sink.Snapshot()
+			rec.Panicked = oc.panicked
+			rec.TimedOut = oc.timedOut
+			if oc.err != nil {
+				rec.Err = oc.err.Error()
+			}
+			if oc.res != nil {
+				cost := oc.res.cost
+				rec.Cost = &cost
+				rec.CostLog2 = cost.Log2()
+				rec.Exact = oc.res.exact
+				if best == nil || cost.Less(bestCost) {
+					best = &BestRecord{
+						Winner:   jobs[oc.idx].name,
+						Sequence: oc.res.seq,
+						Breaks:   oc.res.breaks,
+						Cost:     cost,
+						CostLog2: cost.Log2(),
+						Exact:    oc.res.exact,
+					}
+					bestCost = cost
+				}
+				if oc.res.exact && !e.noEarly {
+					cancel() // remaining runs can only tie at best
+				}
+			}
+		case <-done:
+			// Context over (caller cancellation, deadline, or early exit):
+			// give cooperative runs a grace window to deliver best-so-far.
+			done = nil
+			t := time.NewTimer(grace)
+			defer t.Stop()
+			graceC = t.C
+		case <-graceC:
+			// Whatever is still running is abandoned: salvage counters
+			// (atomics stay coherent mid-run), record the abandonment.
+			for i := range jobs {
+				if finished[i] {
+					continue
+				}
+				rec := &records[i]
+				rec.WallMS = float64(time.Since(started).Microseconds()) / 1000
+				rec.Stats = jobs[i].sink.Snapshot()
+				rec.Abandoned = true
+				rec.Err = "abandoned: no result within the cancellation grace period"
+			}
+			pending = 0
+		}
+	}
+	return &Report{
+		Runs:   records,
+		WallMS: float64(time.Since(started).Microseconds()) / 1000,
+	}, best
+}
+
+// firstFailure summarizes the first failed run for the all-failed error.
+func firstFailure(runs []RunRecord) string {
+	for _, r := range runs {
+		if r.Err != "" {
+			return r.Name + ": " + r.Err
+		}
+	}
+	return "no runs"
+}

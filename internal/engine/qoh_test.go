@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/opt"
+	"approxqo/internal/qoh"
+)
+
+func randomQOH(n int, seed int64) *qoh.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	q := graph.Random(n, 0.5, seed)
+	in := &qoh.Instance{
+		Q: q,
+		T: make([]num.Num, n),
+		M: num.FromInt64(256),
+	}
+	for i := range in.T {
+		in.T[i] = num.FromInt64(int64(rng.Intn(120) + 4))
+	}
+	in.S = make([][]num.Num, n)
+	for i := 0; i < n; i++ {
+		in.S[i] = make([]num.Num, n)
+	}
+	for i := 0; i < n; i++ {
+		in.S[i][i] = num.One()
+		for j := 0; j < i; j++ {
+			s := num.One()
+			if q.HasEdge(i, j) {
+				s = num.FromFloat64(float64(rng.Intn(7)+1) / 8)
+			}
+			in.S[i][j], in.S[j][i] = s, s
+		}
+	}
+	return in
+}
+
+// RunQOH supervises the QO_H ensemble: the exhaustive searcher's plan
+// is exact and must match the direct computation; instrumentation must
+// record evaluations for every searcher.
+func TestRunQOHEnsemble(t *testing.T) {
+	in := randomQOH(6, 1)
+	report, err := New(WithoutEarlyExit()).RunQOH(context.Background(), in,
+		QOHSearchers(opt.WithSeed(2), opt.WithIterations(100))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Model != "qoh" || report.N != 6 {
+		t.Fatalf("report header wrong: %+v", report)
+	}
+	exact, err := in.ExactBest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A heuristic may tie the optimum and win on arrival order, so assert
+	// on cost, and on the exhaustive run's record being exact.
+	if !report.Best.Cost.Equal(exact.Cost) {
+		t.Fatalf("ensemble best 2^%.3f not the exact optimum 2^%.3f",
+			report.Best.CostLog2, exact.Cost.Log2())
+	}
+	for _, rec := range report.Runs {
+		if rec.Name == "qoh-exhaustive" && !rec.Exact {
+			t.Fatal("exhaustive run not marked exact")
+		}
+	}
+	if len(report.Best.Breaks) == 0 {
+		t.Fatal("QO_H best lacks pipeline boundaries")
+	}
+	for _, rec := range report.Runs {
+		if rec.Err == "" && rec.Stats.CostEvals == 0 {
+			t.Errorf("%s: zero cost evaluations recorded", rec.Name)
+		}
+	}
+}
+
+// Oversize instances drop the exhaustive searcher but the heuristics
+// still carry the ensemble.
+func TestRunQOHOversizeFallsBackToHeuristics(t *testing.T) {
+	in := randomQOH(qoh.MaxExhaustiveN+2, 2)
+	report, err := New().RunQOH(context.Background(), in, QOHSearchers(opt.WithSeed(3))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Best == nil || report.Best.Exact {
+		t.Fatal("oversize run should produce a non-exact heuristic plan")
+	}
+	if len(report.Best.Sequence) != qoh.MaxExhaustiveN+2 {
+		t.Fatal("incomplete plan")
+	}
+}

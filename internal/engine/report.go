@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"approxqo/internal/num"
+	"approxqo/internal/stats"
+)
+
+// BestRecord is the winning plan of an ensemble run.
+type BestRecord struct {
+	// Winner is the Name of the optimizer that produced the plan.
+	Winner string `json:"winner"`
+	// Sequence is the join order (for QO_H runs, the sequence of the
+	// winning plan).
+	Sequence []int `json:"sequence"`
+	// Breaks holds the pipeline boundaries of a QO_H plan; empty for
+	// QO_N runs.
+	Breaks []int `json:"breaks,omitempty"`
+	// Cost is the exact plan cost (arbitrary magnitude, serialized as a
+	// string); CostLog2 is its float64 log₂ for human consumption.
+	Cost     num.Num `json:"cost"`
+	CostLog2 float64 `json:"cost_log2"`
+	// Exact reports whether the cost is certified optimal.
+	Exact bool `json:"exact"`
+}
+
+// RunRecord is the per-optimizer account of one ensemble run: outcome,
+// wall time and instrumentation counters. Exactly one of Cost/Err is
+// meaningful unless the run was abandoned with no result.
+type RunRecord struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+	// Stats are the cost-model counters observed for this run: cost
+	// evaluations, DP subsets expanded, local-search moves.
+	Stats stats.Snapshot `json:"stats"`
+
+	Cost     *num.Num `json:"cost,omitempty"`
+	CostLog2 float64  `json:"cost_log2,omitempty"`
+	Exact    bool     `json:"exact,omitempty"`
+
+	Err string `json:"error,omitempty"`
+	// Panicked marks a run that crashed; Err carries the panic value.
+	Panicked bool `json:"panicked,omitempty"`
+	// TimedOut marks a run whose per-run deadline expired (the run may
+	// still carry a best-so-far result if its algorithm is anytime).
+	TimedOut bool `json:"timed_out,omitempty"`
+	// Abandoned marks a run that failed to return within the engine's
+	// grace period after cancellation; its goroutine was left behind and
+	// only its counters were salvaged.
+	Abandoned bool `json:"abandoned,omitempty"`
+}
+
+// Report is the structured, JSON-serializable outcome of one ensemble
+// run: the winning plan plus one RunRecord per optimizer.
+type Report struct {
+	// Model is "qon" or "qoh".
+	Model string `json:"model"`
+	// N is the relation count of the instance.
+	N int `json:"n"`
+	// Best is nil when every optimizer failed.
+	Best   *BestRecord `json:"best,omitempty"`
+	Runs   []RunRecord `json:"runs"`
+	WallMS float64     `json:"wall_ms"`
+}
+
+// WriteText renders the report as an aligned table, cheapest run first.
+func (r *Report) WriteText(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "optimizer\tlog2(cost)\texact\twall\tcost evals\tdp subsets\tmoves\tnote\n")
+	runs := append([]RunRecord(nil), r.Runs...)
+	sort.SliceStable(runs, func(a, b int) bool {
+		ra, rb := runs[a], runs[b]
+		if (ra.Cost == nil) != (rb.Cost == nil) {
+			return ra.Cost != nil
+		}
+		if ra.Cost == nil {
+			return false
+		}
+		return ra.Cost.Less(*rb.Cost)
+	})
+	for _, run := range runs {
+		cost, note := "-", ""
+		if run.Cost != nil {
+			cost = fmt.Sprintf("%.3f", run.CostLog2)
+		}
+		switch {
+		case run.Panicked:
+			note = "panicked: " + run.Err
+		case run.Abandoned:
+			note = "abandoned"
+		case run.TimedOut:
+			note = "timed out"
+		case run.Err != "":
+			note = run.Err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%.1fms\t%d\t%d\t%d\t%s\n",
+			run.Name, cost, run.Exact, run.WallMS,
+			run.Stats.CostEvals, run.Stats.DPSubsets, run.Stats.Moves, note)
+	}
+	if r.Best != nil {
+		fmt.Fprintf(tw, "\nwinner\t%s (log2 cost %.3f, exact=%v)\n", r.Best.Winner, r.Best.CostLog2, r.Best.Exact)
+	}
+	tw.Flush()
+}

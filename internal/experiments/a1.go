@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"approxqo/internal/bushy"
@@ -36,7 +37,7 @@ func A1(opts Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			ld, err := opt.NewDP().Optimize(fn.QON)
+			ld, err := opt.NewDP().Optimize(context.Background(), fn.QON)
 			if err != nil {
 				return nil, err
 			}
@@ -61,7 +62,7 @@ func A1(opts Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ld, err := opt.NewDP().Optimize(in)
+		ld, err := opt.NewDP().Optimize(context.Background(), in)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"approxqo/internal/cliquered"
@@ -40,11 +41,11 @@ func A2(opts Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			full, err := opt.NewDP().Optimize(fn.QON)
+			full, err := opt.NewDP().Optimize(context.Background(), fn.QON)
 			if err != nil {
 				return nil, err
 			}
-			restricted, err := opt.NewDPNoCross().Optimize(fn.QON)
+			restricted, err := opt.NewDPNoCross().Optimize(context.Background(), fn.QON)
 			if err != nil {
 				return nil, err
 			}

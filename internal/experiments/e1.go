@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"approxqo/internal/engine"
+	"approxqo/internal/opt"
+	"approxqo/internal/report"
+	"approxqo/internal/workload"
+)
+
+// E1 exercises the supervised ensemble engine on representative
+// workload shapes and renders its per-run instrumentation: cost
+// evaluations, DP subsets, annealing/II moves and wall time per
+// optimizer, plus the first-cheapest-wins winner. This is the tabular
+// rendering of engine.Report (cmd/qopt -json emits the same data as
+// JSON).
+func E1(opts Options) ([]*report.Table, error) {
+	shapes := []workload.Shape{workload.Chain, workload.Star, workload.Clique}
+	n := 14
+	if opts.Quick {
+		n = 10
+	}
+	var tables []*report.Table
+	for _, shape := range shapes {
+		in, err := workload.Generate(workload.Params{N: n, Shape: shape, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		ensemble := append(opt.Heuristics(opt.WithSeed(opts.Seed)),
+			opt.NewDP(), opt.NewIterativeImprovement(opt.WithSeed(opts.Seed)))
+		rep, err := engine.New(engine.WithoutEarlyExit()).Run(opts.ctx(), in, ensemble...)
+		if err != nil {
+			return nil, err
+		}
+		tb := report.New(
+			fmt.Sprintf("Engine ensemble on %s (n=%d): per-run instrumentation, winner %s",
+				shape, n, rep.Best.Winner),
+			"optimizer", "cost", "exact", "wall ms", "cost evals", "dp subsets", "moves",
+		)
+		for _, run := range rep.Runs {
+			cost := "—"
+			if run.Cost != nil {
+				cost = report.Log2(*run.Cost)
+			}
+			tb.AddRow(
+				run.Name, cost, fmt.Sprint(run.Exact),
+				fmt.Sprintf("%.1f", run.WallMS),
+				fmt.Sprint(run.Stats.CostEvals),
+				fmt.Sprint(run.Stats.DPSubsets),
+				fmt.Sprint(run.Stats.Moves),
+			)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}

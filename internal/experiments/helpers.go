@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"approxqo/internal/core"
 	"approxqo/internal/num"
 	"approxqo/internal/opt"
@@ -15,7 +17,7 @@ import (
 // the harness).
 func bestCostQON(in *qon.Instance, clique []int, exact bool, seed int64) (num.Num, error) {
 	if exact {
-		r, err := opt.NewDP().Optimize(in)
+		r, err := opt.NewDP().Optimize(context.Background(), in)
 		if err != nil {
 			return num.Num{}, err
 		}
@@ -25,9 +27,9 @@ func bestCostQON(in *qon.Instance, clique []int, exact bool, seed int64) (num.Nu
 	ensemble := []opt.Optimizer{
 		opt.NewGreedy(opt.GreedyMinSize),
 		opt.NewGreedy(opt.GreedyMinCost),
-		opt.NewAnnealing(seed, 4000),
+		opt.NewAnnealing(opt.WithSeed(seed), opt.WithIterations(4000)),
 	}
-	if r, _, err := opt.BestOf(in, ensemble...); err == nil && r.Cost.Less(best) {
+	if r, _, err := opt.BestOf(context.Background(), in, ensemble...); err == nil && r.Cost.Less(best) {
 		best = r.Cost
 	}
 	return best, nil

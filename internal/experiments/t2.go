@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -118,7 +119,7 @@ func bestCostQOH(fh *core.FHInstance, clique []int, exact bool, seed int64) (num
 		consider(z)
 	}
 	// The QO_H heuristic ensemble (greedy + annealing over sequences).
-	if plan, err := opt.QOHBest(fh.QOH, seed); err == nil {
+	if plan, err := opt.QOHBest(context.Background(), fh.QOH, opt.WithSeed(seed)); err == nil {
 		if !found || plan.Cost.Less(best) {
 			best, found = plan.Cost, true
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"approxqo/internal/cliquered"
@@ -39,16 +40,16 @@ func T6(opts Options) ([]*report.Table, error) {
 			return nil, err
 		}
 		dp := opt.DP{MaxN: 16}
-		yesOpt, err := dp.Optimize(fnYes.QON)
+		yesOpt, err := dp.Optimize(context.Background(), fnYes.QON)
 		if err != nil {
 			return nil, err
 		}
-		noOpt, err := dp.Optimize(fnNo.QON)
+		noOpt, err := dp.Optimize(context.Background(), fnNo.QON)
 		if err != nil {
 			return nil, err
 		}
-		for _, o := range opt.Heuristics(opts.Seed) {
-			r, err := o.Optimize(fnYes.QON)
+		for _, o := range opt.Heuristics(opt.WithSeed(opts.Seed)) {
+			r, err := o.Optimize(context.Background(), fnYes.QON)
 			if err != nil {
 				continue
 			}
@@ -97,11 +98,11 @@ func T6(opts Options) ([]*report.Table, error) {
 				return nil, err
 			}
 			dp := opt.NewDP()
-			yesOpt, err := dp.Optimize(fnYes.QON)
+			yesOpt, err := dp.Optimize(context.Background(), fnYes.QON)
 			if err != nil {
 				return nil, err
 			}
-			noOpt, err := dp.Optimize(fnNo.QON)
+			noOpt, err := dp.Optimize(context.Background(), fnNo.QON)
 			if err != nil {
 				return nil, err
 			}

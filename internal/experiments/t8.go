@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -31,15 +32,15 @@ func T8(opts Options) ([]*report.Table, error) {
 			return nil, err
 		}
 		dpStart := time.Now()
-		best, err := opt.NewDP().Optimize(in)
+		best, err := opt.NewDP().Optimize(context.Background(), in)
 		if err != nil {
 			return nil, err
 		}
 		tb.AddRow(string(shape), "subset-dp (exact)", report.Log2(best.Cost), "2^0.0",
 			time.Since(dpStart).Round(time.Millisecond).String())
-		for _, o := range append(opt.Heuristics(opts.Seed), opt.NewIterativeImprovement(opts.Seed, 5)) {
+		for _, o := range append(opt.Heuristics(opt.WithSeed(opts.Seed)), opt.NewIterativeImprovement(opt.WithSeed(opts.Seed), opt.WithRestarts(5))) {
 			start := time.Now()
-			r, err := o.Optimize(in)
+			r, err := o.Optimize(context.Background(), in)
 			if err != nil {
 				tb.AddRow(string(shape), o.Name(), "—", "n/a: "+err.Error(), "")
 				continue
@@ -56,7 +57,7 @@ func T8(opts Options) ([]*report.Table, error) {
 		"query", "relations", "edges", "optimum", "fact-first", "optimizer win",
 	)
 	for _, c := range workload.Catalog() {
-		best, err := opt.NewDP().Optimize(c.Instance)
+		best, err := opt.NewDP().Optimize(context.Background(), c.Instance)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,39 +10,50 @@ import (
 )
 
 // DefaultAnnealingIters is the default iteration budget for simulated
-// annealing and iterative improvement.
+// annealing.
 const DefaultAnnealingIters = 20000
+
+// DefaultSamples is the default draw count for random sampling.
+const DefaultSamples = 1000
+
+// DefaultRestarts is the default restart count for iterative
+// improvement.
+const DefaultRestarts = 10
 
 // Annealing is simulated annealing over permutations with swap and
 // reinsert moves. Energy is log₂-cost, so acceptance probabilities stay
-// meaningful despite astronomically large absolute costs.
+// meaningful despite astronomically large absolute costs. It is an
+// anytime algorithm: on context cancellation it returns the best
+// sequence visited so far.
 type Annealing struct {
-	seed  int64
-	iters int
+	cfg options
 }
 
-// NewAnnealing returns a simulated-annealing optimizer; iters ≤ 0 means
-// DefaultAnnealingIters.
-func NewAnnealing(seed int64, iters int) Annealing {
-	if iters <= 0 {
-		iters = DefaultAnnealingIters
-	}
-	return Annealing{seed: seed, iters: iters}
+// NewAnnealing returns a simulated-annealing optimizer. Relevant
+// options: WithSeed, WithIterations, WithStats.
+func NewAnnealing(opts ...Option) Annealing {
+	return Annealing{cfg: buildOptions(opts)}
 }
 
 // Name implements Optimizer.
 func (Annealing) Name() string { return "annealing" }
 
 // Optimize implements Optimizer.
-func (a Annealing) Optimize(in *qon.Instance) (*Result, error) {
+func (a Annealing) Optimize(ctx context.Context, in *qon.Instance) (*Result, error) {
 	n := in.N()
 	if n == 0 {
 		return nil, fmt.Errorf("opt: empty instance")
 	}
+	in = a.cfg.instrument(in)
 	if n == 1 {
 		return &Result{Sequence: qon.Sequence{0}, Cost: in.Cost(qon.Sequence{0})}, nil
 	}
-	rng := rand.New(rand.NewSource(a.seed))
+	iters := a.cfg.iters
+	if iters <= 0 {
+		iters = DefaultAnnealingIters
+	}
+	st := in.Stats()
+	rng := rand.New(rand.NewSource(a.cfg.seed))
 	cur := qon.Sequence(rng.Perm(n))
 	curE := in.Cost(cur).Log2()
 	best := append(qon.Sequence(nil), cur...)
@@ -49,9 +61,9 @@ func (a Annealing) Optimize(in *qon.Instance) (*Result, error) {
 
 	// Geometric cooling from an energy scale proportional to n·log t.
 	temp := math.Max(1, curE/4)
-	cooling := math.Pow(0.001/temp, 1/float64(a.iters))
+	cooling := math.Pow(0.001/temp, 1/float64(iters))
 	next := make(qon.Sequence, n)
-	for it := 0; it < a.iters; it++ {
+	for it := 0; it < iters && !cancelled(ctx); it++ {
 		copy(next, cur)
 		if rng.Intn(2) == 0 {
 			// Swap move.
@@ -65,6 +77,7 @@ func (a Annealing) Optimize(in *qon.Instance) (*Result, error) {
 			copy(next[j+1:], next[j:n-1])
 			next[j] = v
 		}
+		st.Move()
 		e := in.Cost(next).Log2()
 		if e <= curE || rng.Float64() < math.Exp((curE-e)/temp) {
 			cur, next = next, cur
@@ -80,33 +93,38 @@ func (a Annealing) Optimize(in *qon.Instance) (*Result, error) {
 }
 
 // RandomSampler evaluates k uniform random permutations and keeps the
-// best — the weakest baseline, useful as a calibration floor.
+// best — the weakest baseline, useful as a calibration floor. Anytime:
+// cancellation returns the best of the samples drawn so far.
 type RandomSampler struct {
-	seed    int64
-	samples int
+	cfg options
 }
 
-// NewRandomSampler returns a random-sampling optimizer; samples ≤ 0
-// means 1000.
-func NewRandomSampler(seed int64, samples int) RandomSampler {
-	if samples <= 0 {
-		samples = 1000
-	}
-	return RandomSampler{seed: seed, samples: samples}
+// NewRandomSampler returns a random-sampling optimizer. Relevant
+// options: WithSeed, WithSamples, WithStats.
+func NewRandomSampler(opts ...Option) RandomSampler {
+	return RandomSampler{cfg: buildOptions(opts)}
 }
 
 // Name implements Optimizer.
 func (RandomSampler) Name() string { return "random-sampler" }
 
 // Optimize implements Optimizer.
-func (r RandomSampler) Optimize(in *qon.Instance) (*Result, error) {
+func (r RandomSampler) Optimize(ctx context.Context, in *qon.Instance) (*Result, error) {
 	n := in.N()
 	if n == 0 {
 		return nil, fmt.Errorf("opt: empty instance")
 	}
-	rng := rand.New(rand.NewSource(r.seed))
+	in = r.cfg.instrument(in)
+	samples := r.cfg.samples
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	rng := rand.New(rand.NewSource(r.cfg.seed))
 	var best *Result
-	for i := 0; i < r.samples; i++ {
+	for i := 0; i < samples; i++ {
+		if best != nil && cancelled(ctx) {
+			break
+		}
 		z := qon.Sequence(rng.Perm(n))
 		c := in.Cost(z)
 		if best == nil || c.Less(best.Cost) {
@@ -117,40 +135,45 @@ func (r RandomSampler) Optimize(in *qon.Instance) (*Result, error) {
 }
 
 // IterativeImprovement is repeated random-restart hill climbing with
-// pairwise-swap moves to local optimality.
+// pairwise-swap moves to local optimality. Anytime: cancellation
+// returns the best local optimum (or partial climb) reached so far.
 type IterativeImprovement struct {
-	seed     int64
-	restarts int
+	cfg options
 }
 
-// NewIterativeImprovement returns an II optimizer; restarts ≤ 0 means 10.
-func NewIterativeImprovement(seed int64, restarts int) IterativeImprovement {
-	if restarts <= 0 {
-		restarts = 10
-	}
-	return IterativeImprovement{seed: seed, restarts: restarts}
+// NewIterativeImprovement returns an II optimizer. Relevant options:
+// WithSeed, WithRestarts, WithStats.
+func NewIterativeImprovement(opts ...Option) IterativeImprovement {
+	return IterativeImprovement{cfg: buildOptions(opts)}
 }
 
 // Name implements Optimizer.
 func (IterativeImprovement) Name() string { return "iterative-improvement" }
 
 // Optimize implements Optimizer.
-func (ii IterativeImprovement) Optimize(in *qon.Instance) (*Result, error) {
+func (ii IterativeImprovement) Optimize(ctx context.Context, in *qon.Instance) (*Result, error) {
 	n := in.N()
 	if n == 0 {
 		return nil, fmt.Errorf("opt: empty instance")
 	}
-	rng := rand.New(rand.NewSource(ii.seed))
+	in = ii.cfg.instrument(in)
+	restarts := ii.cfg.restarts
+	if restarts <= 0 {
+		restarts = DefaultRestarts
+	}
+	st := in.Stats()
+	rng := rand.New(rand.NewSource(ii.cfg.seed))
 	var best *Result
-	for r := 0; r < ii.restarts; r++ {
+	for r := 0; r < restarts; r++ {
 		cur := qon.Sequence(rng.Perm(n))
 		curC := in.Cost(cur)
 		improved := true
-		for improved {
+		for improved && !cancelled(ctx) {
 			improved = false
 			for i := 0; i < n && !improved; i++ {
 				for j := i + 1; j < n && !improved; j++ {
 					cur[i], cur[j] = cur[j], cur[i]
+					st.Move()
 					if c := in.Cost(cur); c.Less(curC) {
 						curC = c
 						improved = true
@@ -162,6 +185,9 @@ func (ii IterativeImprovement) Optimize(in *qon.Instance) (*Result, error) {
 		}
 		if best == nil || curC.Less(best.Cost) {
 			best = &Result{Sequence: append(qon.Sequence(nil), cur...), Cost: curC}
+		}
+		if cancelled(ctx) {
+			break
 		}
 	}
 	return best, nil

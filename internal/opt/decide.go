@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"context"
+
 	"approxqo/internal/num"
 	"approxqo/internal/qon"
 )
@@ -9,8 +11,8 @@ import (
 // sequence Z with C(Z) ≤ bound exist? On YES it returns an optimal
 // witness sequence. It is limited to instances the exact subset DP can
 // certify (n ≤ DefaultMaxDPN) — the problem is NP-complete, after all.
-func Decide(in *qon.Instance, bound num.Num) (bool, qon.Sequence, error) {
-	r, err := NewDP().Optimize(in)
+func Decide(ctx context.Context, in *qon.Instance, bound num.Num) (bool, qon.Sequence, error) {
+	r, err := NewDP().Optimize(ctx, in)
 	if err != nil {
 		return false, nil, err
 	}

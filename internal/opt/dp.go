@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -11,6 +12,12 @@ import (
 
 // DefaultMaxDPN caps the subset DP (2^n states).
 const DefaultMaxDPN = 20
+
+// ctxCheckMaskStride is how many DP masks the subset DPs expand between
+// context polls: frequent enough that cancellation lands within
+// milliseconds, rare enough that the poll is free next to the big.Float
+// arithmetic per mask.
+const ctxCheckMaskStride = 1024
 
 // DP is the exact subset dynamic program for left-deep QO_N plans.
 //
@@ -24,19 +31,29 @@ const DefaultMaxDPN = 20
 // — a Held–Karp-style recurrence over 2^n subsets, exact in
 // O(2^n·n²) operations. This is what certifies optima for the
 // competitive-ratio experiments.
+//
+// The DP has no complete plan until the final subset, so on context
+// cancellation Optimize returns the context's error rather than a
+// partial result.
 type DP struct {
 	// MaxN caps the instance size; zero means DefaultMaxDPN.
 	MaxN int
+
+	cfg options
 }
 
-// NewDP returns the subset-DP optimizer with the default size cap.
-func NewDP() DP { return DP{} }
+// NewDP returns the subset-DP optimizer. Relevant options:
+// WithMaxRelations, WithStats.
+func NewDP(opts ...Option) DP {
+	o := buildOptions(opts)
+	return DP{MaxN: o.maxN, cfg: o}
+}
 
 // Name implements Optimizer.
 func (DP) Name() string { return "subset-dp" }
 
 // Optimize implements Optimizer.
-func (d DP) Optimize(in *qon.Instance) (*Result, error) {
+func (d DP) Optimize(ctx context.Context, in *qon.Instance) (*Result, error) {
 	n := in.N()
 	max := d.MaxN
 	if max == 0 {
@@ -48,6 +65,7 @@ func (d DP) Optimize(in *qon.Instance) (*Result, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("opt: empty instance")
 	}
+	in = d.cfg.instrument(in)
 	if n == 1 {
 		return &Result{Sequence: qon.Sequence{0}, Cost: num.Zero(), Exact: true}, nil
 	}
@@ -78,13 +96,19 @@ func (d DP) Optimize(in *qon.Instance) (*Result, error) {
 		size[mask] = size[rest].Mul(in.ExtendFactor(low, maskToBitset(rest)))
 	}
 
+	st := in.Stats()
 	minw := newMinWIndex(in)
 	for mask := 1; mask < total; mask++ {
+		if mask%ctxCheckMaskStride == 0 && cancelled(ctx) {
+			return nil, ctx.Err()
+		}
 		if bits.OnesCount(uint(mask)) < 2 {
 			dp[mask] = num.Zero()
 			parent[mask] = int8(bits.TrailingZeros(uint(mask)))
 			continue
 		}
+		st.DPSubset()
+		candidates := int64(0)
 		var best num.Num
 		bestV := -1
 		for v := 0; v < n; v++ {
@@ -93,10 +117,12 @@ func (d DP) Optimize(in *qon.Instance) (*Result, error) {
 			}
 			rest := mask &^ (1 << v)
 			cand := num.MulAdd(size[rest], minw.min(in, v, rest), dp[rest])
+			candidates++
 			if bestV < 0 || cand.Less(best) {
 				best, bestV = cand, v
 			}
 		}
+		st.AddCostEvals(candidates)
 		dp[mask], parent[mask] = best, int8(bestV)
 	}
 

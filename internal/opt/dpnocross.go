@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -17,21 +18,28 @@ import (
 // ablation experiment verifies exactly that, using this optimizer.
 //
 // On disconnected query graphs no such sequence exists and Optimize
-// returns an error.
+// returns an error. Like DP, cancellation mid-table returns the
+// context's error.
 type DPNoCross struct {
 	// MaxN caps the instance size; zero means DefaultMaxDPN.
 	MaxN int
+
+	cfg options
 }
 
-// NewDPNoCross returns the cartesian-product-free subset DP.
-func NewDPNoCross() DPNoCross { return DPNoCross{} }
+// NewDPNoCross returns the cartesian-product-free subset DP. Relevant
+// options: WithMaxRelations, WithStats.
+func NewDPNoCross(opts ...Option) DPNoCross {
+	o := buildOptions(opts)
+	return DPNoCross{MaxN: o.maxN, cfg: o}
+}
 
 // Name implements Optimizer.
 func (DPNoCross) Name() string { return "subset-dp-no-cross" }
 
 // Optimize implements Optimizer. The returned result is exact *within
 // the cross-product-free space* (Result.Exact is set accordingly).
-func (d DPNoCross) Optimize(in *qon.Instance) (*Result, error) {
+func (d DPNoCross) Optimize(ctx context.Context, in *qon.Instance) (*Result, error) {
 	n := in.N()
 	max := d.MaxN
 	if max == 0 {
@@ -43,6 +51,7 @@ func (d DPNoCross) Optimize(in *qon.Instance) (*Result, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("opt: empty instance")
 	}
+	in = d.cfg.instrument(in)
 	if n == 1 {
 		return &Result{Sequence: qon.Sequence{0}, Cost: num.Zero(), Exact: true}, nil
 	}
@@ -73,6 +82,7 @@ func (d DPNoCross) Optimize(in *qon.Instance) (*Result, error) {
 		size[mask] = size[rest].Mul(in.ExtendFactor(low, toBitset(rest)))
 	}
 
+	st := in.Stats()
 	minw := newMinWIndex(in)
 	dp := make([]num.Num, total)
 	reachable := make([]bool, total)
@@ -84,9 +94,14 @@ func (d DPNoCross) Optimize(in *qon.Instance) (*Result, error) {
 		parent[m] = int8(v)
 	}
 	for mask := 1; mask < total; mask++ {
+		if mask%ctxCheckMaskStride == 0 && cancelled(ctx) {
+			return nil, ctx.Err()
+		}
 		if bits.OnesCount(uint(mask)) < 2 {
 			continue
 		}
+		st.DPSubset()
+		candidates := int64(0)
 		var best num.Num
 		bestV := -1
 		for v := 0; v < n; v++ {
@@ -98,10 +113,12 @@ func (d DPNoCross) Optimize(in *qon.Instance) (*Result, error) {
 				continue // unreachable prefix, or v would be a cartesian product
 			}
 			cand := num.MulAdd(size[rest], minw.min(in, v, rest), dp[rest])
+			candidates++
 			if bestV < 0 || cand.Less(best) {
 				best, bestV = cand, v
 			}
 		}
+		st.AddCostEvals(candidates)
 		if bestV >= 0 {
 			dp[mask], parent[mask], reachable[mask] = best, int8(bestV), true
 		}

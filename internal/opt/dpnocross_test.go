@@ -12,7 +12,7 @@ func TestQuickDPNoCrossMatchesBruteForce(t *testing.T) {
 	prop := func(seed int64, pRaw uint8) bool {
 		p := 0.3 + 0.7*float64(pRaw)/255
 		in := randomInstance(6, p, seed)
-		restricted, errR := NewDPNoCross().Optimize(in)
+		restricted, errR := NewDPNoCross().Optimize(ctx, in)
 		if !in.Q.IsConnected() {
 			return errR != nil
 		}
@@ -29,7 +29,7 @@ func TestQuickDPNoCrossMatchesBruteForce(t *testing.T) {
 		if !restricted.Cost.Equal(want) {
 			return false
 		}
-		full, err := NewDP().Optimize(in)
+		full, err := NewDP().Optimize(ctx, in)
 		if err != nil {
 			return false
 		}
@@ -42,14 +42,14 @@ func TestQuickDPNoCrossMatchesBruteForce(t *testing.T) {
 
 func TestDPNoCrossDisconnected(t *testing.T) {
 	in := randomInstance(5, 0, 9) // edgeless
-	if _, err := NewDPNoCross().Optimize(in); err == nil {
+	if _, err := NewDPNoCross().Optimize(ctx, in); err == nil {
 		t.Error("disconnected graph accepted")
 	}
 }
 
 func TestDPNoCrossSingle(t *testing.T) {
 	in := randomInstance(1, 0, 2)
-	r, err := NewDPNoCross().Optimize(in)
+	r, err := NewDPNoCross().Optimize(ctx, in)
 	if err != nil || !r.Cost.IsZero() {
 		t.Fatalf("single relation mishandled: %v %v", r, err)
 	}
@@ -57,7 +57,7 @@ func TestDPNoCrossSingle(t *testing.T) {
 
 func TestDPNoCrossCap(t *testing.T) {
 	d := DPNoCross{MaxN: 4}
-	if _, err := d.Optimize(randomInstance(5, 0.9, 3)); err == nil {
+	if _, err := d.Optimize(ctx, randomInstance(5, 0.9, 3)); err == nil {
 		t.Error("cap not enforced")
 	}
 }
@@ -67,11 +67,11 @@ func TestDPNoCrossCap(t *testing.T) {
 func TestDPNoCrossAgreesWithKBZOnTrees(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		in := treeInstance(7, seed)
-		kbz, err := NewKBZ().Optimize(in)
+		kbz, err := NewKBZ().Optimize(ctx, in)
 		if err != nil {
 			t.Fatal(err)
 		}
-		dp, err := NewDPNoCross().Optimize(in)
+		dp, err := NewDPNoCross().Optimize(ctx, in)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -17,22 +18,31 @@ import (
 // sharded across workers. Results are identical to DP — the tests
 // assert bit-equality — but the 2^n·n² big.Float work spreads over
 // GOMAXPROCS cores, pushing the practical exact frontier outward.
+//
+// Cancellation is polled inside every worker; a cancelled run returns
+// the context's error (there is no partial plan to salvage).
 type DPParallel struct {
 	// MaxN caps the instance size; zero means DefaultMaxDPN + 2 (the
 	// parallel version exists to go a little further).
 	MaxN int
 	// Workers overrides the worker count; zero means GOMAXPROCS.
 	Workers int
+
+	cfg options
 }
 
-// NewDPParallel returns the parallel subset DP.
-func NewDPParallel() DPParallel { return DPParallel{} }
+// NewDPParallel returns the parallel subset DP. Relevant options:
+// WithMaxRelations, WithWorkers, WithStats.
+func NewDPParallel(opts ...Option) DPParallel {
+	o := buildOptions(opts)
+	return DPParallel{MaxN: o.maxN, Workers: o.workers, cfg: o}
+}
 
 // Name implements Optimizer.
 func (DPParallel) Name() string { return "subset-dp-parallel" }
 
 // Optimize implements Optimizer.
-func (d DPParallel) Optimize(in *qon.Instance) (*Result, error) {
+func (d DPParallel) Optimize(ctx context.Context, in *qon.Instance) (*Result, error) {
 	n := in.N()
 	max := d.MaxN
 	if max == 0 {
@@ -44,6 +54,7 @@ func (d DPParallel) Optimize(in *qon.Instance) (*Result, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("opt: empty instance")
 	}
+	in = d.cfg.instrument(in)
 	if n == 1 {
 		return &Result{Sequence: qon.Sequence{0}, Cost: num.Zero(), Exact: true}, nil
 	}
@@ -96,7 +107,10 @@ func (d DPParallel) Optimize(in *qon.Instance) (*Result, error) {
 			wg.Add(1)
 			go func(scratch *graph.Bitset, part []int) {
 				defer wg.Done()
-				for _, mask := range part {
+				for i, mask := range part {
+					if i%ctxCheckMaskStride == 0 && cancelled(ctx) {
+						return
+					}
 					work(scratch, mask)
 				}
 			}(scratches[w], masks[lo:hi])
@@ -104,8 +118,12 @@ func (d DPParallel) Optimize(in *qon.Instance) (*Result, error) {
 		wg.Wait()
 	}
 
+	st := in.Stats()
 	minw := newMinWIndex(in)
 	for pc := 1; pc <= n; pc++ {
+		if cancelled(ctx) {
+			return nil, ctx.Err()
+		}
 		// Sizes for this layer (reads only the previous layer).
 		runLayer(layers[pc], func(scratch *graph.Bitset, mask int) {
 			low := bits.TrailingZeros(uint(mask))
@@ -119,6 +137,8 @@ func (d DPParallel) Optimize(in *qon.Instance) (*Result, error) {
 				parent[mask] = int8(bits.TrailingZeros(uint(mask)))
 				return
 			}
+			st.DPSubset()
+			candidates := int64(0)
 			var best num.Num
 			bestV := -1
 			for v := 0; v < n; v++ {
@@ -127,12 +147,17 @@ func (d DPParallel) Optimize(in *qon.Instance) (*Result, error) {
 				}
 				rest := mask &^ (1 << v)
 				cand := num.MulAdd(size[rest], minw.min(in, v, rest), dp[rest])
+				candidates++
 				if bestV < 0 || cand.Less(best) {
 					best, bestV = cand, v
 				}
 			}
+			st.AddCostEvals(candidates)
 			dp[mask], parent[mask] = best, int8(bestV)
 		})
+	}
+	if cancelled(ctx) {
+		return nil, ctx.Err()
 	}
 
 	seq := make(qon.Sequence, 0, n)

@@ -12,8 +12,8 @@ func TestQuickDPParallelMatchesSerial(t *testing.T) {
 	prop := func(seed int64, pRaw uint8) bool {
 		p := float64(pRaw) / 255
 		in := randomInstance(7, p, seed)
-		serial, err1 := NewDP().Optimize(in)
-		par, err2 := NewDPParallel().Optimize(in)
+		serial, err1 := NewDP().Optimize(ctx, in)
+		par, err2 := NewDPParallel().Optimize(ctx, in)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -28,13 +28,13 @@ func TestQuickDPParallelMatchesSerial(t *testing.T) {
 
 func TestDPParallelWorkerCounts(t *testing.T) {
 	in := randomInstance(8, 0.6, 11)
-	want, err := NewDP().Optimize(in)
+	want, err := NewDP().Optimize(ctx, in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 2, 7} {
 		d := DPParallel{Workers: workers}
-		got, err := d.Optimize(in)
+		got, err := d.Optimize(ctx, in)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -45,11 +45,11 @@ func TestDPParallelWorkerCounts(t *testing.T) {
 }
 
 func TestDPParallelEdgeCases(t *testing.T) {
-	if _, err := NewDPParallel().Optimize(randomInstance(1, 0, 1)); err != nil {
+	if _, err := NewDPParallel().Optimize(ctx, randomInstance(1, 0, 1)); err != nil {
 		t.Errorf("single relation: %v", err)
 	}
 	d := DPParallel{MaxN: 5}
-	if _, err := d.Optimize(randomInstance(6, 0.5, 2)); err == nil {
+	if _, err := d.Optimize(ctx, randomInstance(6, 0.5, 2)); err == nil {
 		t.Error("cap not enforced")
 	}
 }

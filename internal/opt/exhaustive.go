@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 
 	"approxqo/internal/qon"
@@ -9,17 +10,28 @@ import (
 // MaxExhaustiveN caps exhaustive enumeration (n! sequences).
 const MaxExhaustiveN = 10
 
-// Exhaustive enumerates every join sequence. Exact; n ≤ MaxExhaustiveN.
-type Exhaustive struct{}
+// ctxCheckPermStride is how many permutations exhaustive search costs
+// between context polls.
+const ctxCheckPermStride = 256
 
-// NewExhaustive returns the exhaustive optimizer.
-func NewExhaustive() Exhaustive { return Exhaustive{} }
+// Exhaustive enumerates every join sequence. Exact when it completes;
+// if the context is cancelled mid-enumeration it returns the best
+// sequence seen so far with Exact left false. n ≤ MaxExhaustiveN.
+type Exhaustive struct {
+	cfg options
+}
+
+// NewExhaustive returns the exhaustive optimizer. Relevant options:
+// WithStats.
+func NewExhaustive(opts ...Option) Exhaustive {
+	return Exhaustive{cfg: buildOptions(opts)}
+}
 
 // Name implements Optimizer.
 func (Exhaustive) Name() string { return "exhaustive" }
 
 // Optimize implements Optimizer by trying all n! permutations.
-func (Exhaustive) Optimize(in *qon.Instance) (*Result, error) {
+func (e Exhaustive) Optimize(ctx context.Context, in *qon.Instance) (*Result, error) {
 	n := in.N()
 	if n > MaxExhaustiveN {
 		return nil, fmt.Errorf("opt: exhaustive capped at n ≤ %d, got %d", MaxExhaustiveN, n)
@@ -27,30 +39,42 @@ func (Exhaustive) Optimize(in *qon.Instance) (*Result, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("opt: empty instance")
 	}
+	in = e.cfg.instrument(in)
 	perm := make(qon.Sequence, n)
 	for i := range perm {
 		perm[i] = i
 	}
 	var best *Result
-	permute(perm, 0, func(z qon.Sequence) {
+	tried := 0
+	complete := permute(perm, 0, func(z qon.Sequence) bool {
 		c := in.Cost(z)
 		if best == nil || c.Less(best.Cost) {
-			best = &Result{Sequence: append(qon.Sequence(nil), z...), Cost: c, Exact: true}
+			best = &Result{Sequence: append(qon.Sequence(nil), z...), Cost: c}
 		}
+		tried++
+		return tried%ctxCheckPermStride != 0 || !cancelled(ctx)
 	})
+	if best == nil {
+		return nil, ctx.Err()
+	}
+	best.Exact = complete
 	return best, nil
 }
 
 // permute generates all permutations of p[k:] in place (Heap-style
-// recursive swap), invoking fn on the full slice for each.
-func permute(p qon.Sequence, k int, fn func(qon.Sequence)) {
+// recursive swap), invoking fn on the full slice for each. It stops
+// early — returning false — as soon as fn returns false.
+func permute(p qon.Sequence, k int, fn func(qon.Sequence) bool) bool {
 	if k == len(p) {
-		fn(p)
-		return
+		return fn(p)
 	}
 	for i := k; i < len(p); i++ {
 		p[k], p[i] = p[i], p[k]
-		permute(p, k+1, fn)
+		ok := permute(p, k+1, fn)
 		p[k], p[i] = p[i], p[k]
+		if !ok {
+			return false
+		}
 	}
+	return true
 }

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 
 	"approxqo/internal/graph"
@@ -24,12 +25,18 @@ const (
 // Greedy builds a sequence one vertex at a time, trying every possible
 // first relation and keeping the best complete sequence. Vertices
 // connected to the prefix are preferred over cartesian products.
+// Anytime: cancellation between start vertices returns the best
+// complete sequence built so far.
 type Greedy struct {
 	rule GreedyRule
+	cfg  options
 }
 
 // NewGreedy returns a greedy optimizer with the given step rule.
-func NewGreedy(rule GreedyRule) Greedy { return Greedy{rule: rule} }
+// Relevant options: WithStats.
+func NewGreedy(rule GreedyRule, opts ...Option) Greedy {
+	return Greedy{rule: rule, cfg: buildOptions(opts)}
+}
 
 // Name implements Optimizer.
 func (g Greedy) Name() string {
@@ -40,13 +47,17 @@ func (g Greedy) Name() string {
 }
 
 // Optimize implements Optimizer.
-func (g Greedy) Optimize(in *qon.Instance) (*Result, error) {
+func (g Greedy) Optimize(ctx context.Context, in *qon.Instance) (*Result, error) {
 	n := in.N()
 	if n == 0 {
 		return nil, fmt.Errorf("opt: empty instance")
 	}
+	in = g.cfg.instrument(in)
 	var best *Result
 	for first := 0; first < n; first++ {
+		if best != nil && cancelled(ctx) {
+			break
+		}
 		z := g.buildFrom(in, first)
 		c := in.Cost(z)
 		if best == nil || c.Less(best.Cost) {

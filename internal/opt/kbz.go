@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -22,20 +23,27 @@ import (
 // On cyclic query graphs it falls back to a maximum-selectivity spanning
 // tree (the classic heuristic): ranks are computed on the tree, but the
 // final sequence is costed on the true instance.
-type KBZ struct{}
+type KBZ struct {
+	cfg options
+}
 
-// NewKBZ returns the KBZ optimizer.
-func NewKBZ() KBZ { return KBZ{} }
+// NewKBZ returns the KBZ optimizer. Relevant options: WithStats.
+func NewKBZ(opts ...Option) KBZ {
+	return KBZ{cfg: buildOptions(opts)}
+}
 
 // Name implements Optimizer.
 func (KBZ) Name() string { return "kbz" }
 
-// Optimize implements Optimizer. It errors on disconnected query graphs.
-func (k KBZ) Optimize(in *qon.Instance) (*Result, error) {
+// Optimize implements Optimizer. It errors on disconnected query
+// graphs. Anytime: cancellation between roots returns the best
+// sequence found so far.
+func (k KBZ) Optimize(ctx context.Context, in *qon.Instance) (*Result, error) {
 	n := in.N()
 	if n == 0 {
 		return nil, fmt.Errorf("opt: empty instance")
 	}
+	in = k.cfg.instrument(in)
 	if n == 1 {
 		return &Result{Sequence: qon.Sequence{0}, Cost: num.Zero()}, nil
 	}
@@ -48,6 +56,9 @@ func (k KBZ) Optimize(in *qon.Instance) (*Result, error) {
 	}
 	var best *Result
 	for root := 0; root < n; root++ {
+		if best != nil && cancelled(ctx) {
+			break
+		}
 		z := kbzSequence(in, tree, root)
 		c := in.Cost(z)
 		if best == nil || c.Less(best.Cost) {

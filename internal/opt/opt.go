@@ -6,9 +6,19 @@
 // rank algorithm for tree queries (with a spanning-tree fallback for
 // cyclic graphs), simulated annealing, iterative improvement and random
 // sampling.
+//
+// Every optimizer takes a context and honours cancellation: the anytime
+// algorithms (greedy, KBZ, annealing, iterative improvement, random
+// sampling, exhaustive) return the best complete sequence found so far
+// when the context expires, while the exact DPs — which have no plan
+// until the final subset — return the context's error. Constructors are
+// configured with functional options (WithSeed, WithMaxRelations,
+// WithStats, …); instrumentation counters ride on the instance (see
+// qon.Instance.WithStats) so the cost model itself counts evaluations.
 package opt
 
 import (
+	"context"
 	"fmt"
 
 	"approxqo/internal/num"
@@ -29,31 +39,50 @@ type Optimizer interface {
 	Name() string
 	// Optimize returns the best sequence found. Implementations return
 	// an error when the instance is outside their applicable range
-	// (size caps for the exact algorithms, tree-shape requirements…).
-	Optimize(in *qon.Instance) (*Result, error)
+	// (size caps for the exact algorithms, tree-shape requirements…) or
+	// when the context is cancelled before any complete sequence
+	// exists; anytime algorithms return their best-so-far result (with
+	// a nil error) on cancellation.
+	Optimize(ctx context.Context, in *qon.Instance) (*Result, error)
 }
 
-// Heuristics returns the polynomial-time optimizer ensemble used by the
-// competitive-ratio experiments, seeded deterministically.
-func Heuristics(seed int64) []Optimizer {
-	return []Optimizer{
-		NewGreedy(GreedyMinSize),
-		NewGreedy(GreedyMinCost),
-		NewKBZ(),
-		NewAnnealing(seed, 0),
-		NewRandomSampler(seed+1, 0),
+// cancelled reports whether ctx is done, without blocking.
+func cancelled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
 	}
 }
 
-// BestOf runs every optimizer and returns the cheapest result along
-// with the name of the winning algorithm. Optimizers that error (e.g.
-// out of range) are skipped; an error is returned only if all fail.
-func BestOf(in *qon.Instance, optimizers ...Optimizer) (*Result, string, error) {
+// Heuristics returns the polynomial-time optimizer ensemble used by the
+// competitive-ratio experiments. Options apply to every member; the
+// random sampler's seed is offset by one so it never mirrors the
+// annealer's walk.
+func Heuristics(opts ...Option) []Optimizer {
+	o := buildOptions(opts)
+	sampler := append(append([]Option(nil), opts...), WithSeed(o.seed+1))
+	return []Optimizer{
+		NewGreedy(GreedyMinSize, opts...),
+		NewGreedy(GreedyMinCost, opts...),
+		NewKBZ(opts...),
+		NewAnnealing(opts...),
+		NewRandomSampler(sampler...),
+	}
+}
+
+// BestOf runs every optimizer in turn and returns the cheapest result
+// along with the name of the winning algorithm. Optimizers that error
+// (e.g. out of range) are skipped; an error is returned only if all
+// fail. For concurrent execution with deadlines, panic isolation and a
+// structured report, use the engine package instead.
+func BestOf(ctx context.Context, in *qon.Instance, optimizers ...Optimizer) (*Result, string, error) {
 	var best *Result
 	var winner string
 	var firstErr error
 	for _, o := range optimizers {
-		r, err := o.Optimize(in)
+		r, err := o.Optimize(ctx, in)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%s: %w", o.Name(), err)

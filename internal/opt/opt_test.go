@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -9,6 +10,10 @@ import (
 	"approxqo/internal/num"
 	"approxqo/internal/qon"
 )
+
+// ctx is the background context shared by tests that don't exercise
+// cancellation.
+var ctx = context.Background()
 
 // randomInstance builds a random valid QO_N instance with edge access
 // costs at their lower bound t·s (the regime the reductions use).
@@ -60,7 +65,7 @@ func treeInstance(n int, seed int64) *qon.Instance {
 
 func TestExhaustiveSmall(t *testing.T) {
 	in := randomInstance(4, 0.7, 1)
-	r, err := NewExhaustive().Optimize(in)
+	r, err := NewExhaustive().Optimize(ctx, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,15 +74,16 @@ func TestExhaustiveSmall(t *testing.T) {
 	}
 	// No permutation is cheaper.
 	perm := qon.Sequence{0, 1, 2, 3}
-	permute(perm, 0, func(z qon.Sequence) {
+	permute(perm, 0, func(z qon.Sequence) bool {
 		if in.Cost(z).Less(r.Cost) {
 			t.Fatalf("sequence %v beats exhaustive optimum", z)
 		}
+		return true
 	})
 }
 
 func TestExhaustiveCap(t *testing.T) {
-	if _, err := NewExhaustive().Optimize(randomInstance(MaxExhaustiveN+1, 0.5, 2)); err == nil {
+	if _, err := NewExhaustive().Optimize(ctx, randomInstance(MaxExhaustiveN+1, 0.5, 2)); err == nil {
 		t.Error("oversize instance accepted")
 	}
 }
@@ -90,8 +96,8 @@ func TestQuickDPMatchesExhaustive(t *testing.T) {
 			n = 3
 		}
 		in := randomInstance(n, float64(pRaw)/255, seed)
-		ex, err1 := NewExhaustive().Optimize(in)
-		dp, err2 := NewDP().Optimize(in)
+		ex, err1 := NewExhaustive().Optimize(ctx, in)
+		dp, err2 := NewDP().Optimize(ctx, in)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -104,7 +110,7 @@ func TestQuickDPMatchesExhaustive(t *testing.T) {
 
 func TestDPSingleRelation(t *testing.T) {
 	in := randomInstance(1, 0, 3)
-	r, err := NewDP().Optimize(in)
+	r, err := NewDP().Optimize(ctx, in)
 	if err != nil || !r.Cost.IsZero() {
 		t.Fatalf("single relation: %v, %v", r, err)
 	}
@@ -112,7 +118,7 @@ func TestDPSingleRelation(t *testing.T) {
 
 func TestDPCap(t *testing.T) {
 	d := DP{MaxN: 5}
-	if _, err := d.Optimize(randomInstance(6, 0.5, 4)); err == nil {
+	if _, err := d.Optimize(ctx, randomInstance(6, 0.5, 4)); err == nil {
 		t.Error("cap not enforced")
 	}
 }
@@ -122,18 +128,18 @@ func TestDPCap(t *testing.T) {
 func TestQuickHeuristicsSound(t *testing.T) {
 	prop := func(seed int64) bool {
 		in := randomInstance(6, 0.8, seed)
-		dp, err := NewDP().Optimize(in)
+		dp, err := NewDP().Optimize(ctx, in)
 		if err != nil {
 			return false
 		}
 		for _, o := range []Optimizer{
 			NewGreedy(GreedyMinSize),
 			NewGreedy(GreedyMinCost),
-			NewAnnealing(seed, 2000),
-			NewRandomSampler(seed, 200),
-			NewIterativeImprovement(seed, 3),
+			NewAnnealing(WithSeed(seed), WithIterations(2000)),
+			NewRandomSampler(WithSeed(seed), WithSamples(200)),
+			NewIterativeImprovement(WithSeed(seed), WithRestarts(3)),
 		} {
-			r, err := o.Optimize(in)
+			r, err := o.Optimize(ctx, in)
 			if err != nil {
 				return false
 			}
@@ -161,14 +167,15 @@ func bruteConnectedOptimum(in *qon.Instance) num.Num {
 	}
 	var best num.Num
 	found := false
-	permute(perm, 0, func(z qon.Sequence) {
+	permute(perm, 0, func(z qon.Sequence) bool {
 		if in.HasCartesianProduct(z) {
-			return
+			return true
 		}
 		c := in.Cost(z)
 		if !found || c.Less(best) {
 			best, found = c, true
 		}
+		return true
 	})
 	return best
 }
@@ -178,7 +185,7 @@ func bruteConnectedOptimum(in *qon.Instance) num.Num {
 func TestKBZOptimalOnTrees(t *testing.T) {
 	for seed := int64(0); seed < 15; seed++ {
 		in := treeInstance(6, seed)
-		r, err := NewKBZ().Optimize(in)
+		r, err := NewKBZ().Optimize(ctx, in)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -199,14 +206,14 @@ func TestKBZOnCyclicGraphs(t *testing.T) {
 		if !in.Q.IsConnected() {
 			continue
 		}
-		r, err := NewKBZ().Optimize(in)
+		r, err := NewKBZ().Optimize(ctx, in)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		if !in.ValidSequence(r.Sequence) {
 			t.Fatalf("seed %d: invalid sequence", seed)
 		}
-		dp, err := NewDP().Optimize(in)
+		dp, err := NewDP().Optimize(ctx, in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,37 +225,37 @@ func TestKBZOnCyclicGraphs(t *testing.T) {
 
 func TestKBZDisconnectedErrors(t *testing.T) {
 	in := randomInstance(6, 0, 30) // edgeless: disconnected
-	if _, err := NewKBZ().Optimize(in); err == nil {
+	if _, err := NewKBZ().Optimize(ctx, in); err == nil {
 		t.Error("disconnected graph accepted")
 	}
 }
 
 func TestBestOf(t *testing.T) {
 	in := randomInstance(6, 0.8, 42)
-	r, winner, err := BestOf(in, append(Heuristics(7), NewDP())...)
+	r, winner, err := BestOf(ctx, in, append(Heuristics(WithSeed(7)), NewDP())...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if winner == "" || !in.ValidSequence(r.Sequence) {
 		t.Fatal("BestOf malformed result")
 	}
-	dp, _ := NewDP().Optimize(in)
+	dp, _ := NewDP().Optimize(ctx, in)
 	if !r.Cost.Equal(dp.Cost) {
 		t.Error("BestOf including DP should achieve the optimum")
 	}
 	// All failing: empty optimizer achieving nothing.
-	if _, _, err := BestOf(in, DP{MaxN: 2}); err == nil {
+	if _, _, err := BestOf(ctx, in, DP{MaxN: 2}); err == nil {
 		t.Error("BestOf with only failing optimizers should error")
 	}
 }
 
 func TestDecide(t *testing.T) {
 	in := randomInstance(6, 0.7, 77)
-	optR, err := NewDP().Optimize(in)
+	optR, err := NewDP().Optimize(ctx, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	yes, witness, err := Decide(in, optR.Cost)
+	yes, witness, err := Decide(ctx, in, optR.Cost)
 	if err != nil || !yes {
 		t.Fatalf("Decide at the optimum should be YES (err=%v)", err)
 	}
@@ -256,10 +263,10 @@ func TestDecide(t *testing.T) {
 		t.Error("witness exceeds the bound")
 	}
 	below := optR.Cost.Mul(num.FromFloat64(0.5))
-	if yes, _, _ := Decide(in, below); yes {
+	if yes, _, _ := Decide(ctx, in, below); yes {
 		t.Error("Decide below the optimum should be NO")
 	}
-	if _, _, err := Decide(randomInstance(DefaultMaxDPN+1, 0.5, 1), optR.Cost); err == nil {
+	if _, _, err := Decide(ctx, randomInstance(DefaultMaxDPN+1, 0.5, 1), optR.Cost); err == nil {
 		t.Error("oversize instance accepted")
 	}
 }

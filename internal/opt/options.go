@@ -1,0 +1,76 @@
+package opt
+
+import (
+	"approxqo/internal/qon"
+	"approxqo/internal/stats"
+)
+
+// Option configures an optimizer constructor. The same option set is
+// shared by every constructor; options an algorithm has no use for are
+// ignored (WithWorkers on greedy, say), so one options slice can
+// configure a whole ensemble — see Heuristics.
+type Option func(*options)
+
+// options is the resolved configuration. Zero values mean "use the
+// algorithm's default".
+type options struct {
+	seed     int64
+	maxN     int
+	iters    int
+	samples  int
+	restarts int
+	workers  int
+	stats    *stats.Stats
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, apply := range opts {
+		apply(&o)
+	}
+	return o
+}
+
+// WithSeed sets the random seed for the randomized optimizers
+// (annealing, random sampling, iterative improvement). The default
+// seed is 0.
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithMaxRelations caps the instance size an exact algorithm accepts
+// (the subset DPs default to DefaultMaxDPN; the parallel DP to
+// DefaultMaxDPN+2). Larger instances make Optimize return an error
+// instead of an exponential blow-up.
+func WithMaxRelations(n int) Option { return func(o *options) { o.maxN = n } }
+
+// WithStats attaches an instrumentation sink: at Optimize time the
+// instance is instrumented with s (unless the caller already attached
+// one via qon.Instance.WithStats), so cost evaluations, DP subsets and
+// moves are counted. The engine package attaches per-run sinks itself;
+// this option serves standalone optimizer use.
+func WithStats(s *stats.Stats) Option { return func(o *options) { o.stats = s } }
+
+// WithIterations sets the iteration budget of simulated annealing
+// (default DefaultAnnealingIters).
+func WithIterations(n int) Option { return func(o *options) { o.iters = n } }
+
+// WithSamples sets the number of permutations random sampling draws
+// (default DefaultSamples).
+func WithSamples(n int) Option { return func(o *options) { o.samples = n } }
+
+// WithRestarts sets the restart count of iterative improvement
+// (default DefaultRestarts).
+func WithRestarts(n int) Option { return func(o *options) { o.restarts = n } }
+
+// WithWorkers sets the worker count of the parallel subset DP
+// (default GOMAXPROCS).
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// instrument attaches s to the instance unless the caller already
+// instrumented it (an engine-attached sink wins over a constructor
+// option, so per-run counts stay per-run).
+func (o options) instrument(in *qon.Instance) *qon.Instance {
+	if o.stats != nil && in.Stats() == nil {
+		return in.WithStats(o.stats)
+	}
+	return in
+}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,18 +14,37 @@ import (
 // QO_H plan search. A QO_H plan is a join sequence plus a pipeline
 // decomposition plus memory allocations; the inner two layers are
 // solved exactly by qoh.Instance.BestDecomposition, so the optimizers
-// here search the sequence space only.
+// here search the sequence space only. Like their QO_N counterparts,
+// they are anytime: cancellation returns the best feasible plan found
+// so far (or an error if none exists yet).
+
+// DefaultQOHAnnealingIters is the default iteration budget for QO_H
+// annealing (each iteration costs an O(n³) decomposition DP).
+const DefaultQOHAnnealingIters = 500
+
+// instrumentQOH mirrors options.instrument for QO_H instances.
+func (o options) instrumentQOH(in *qoh.Instance) *qoh.Instance {
+	if o.stats != nil && in.Stats() == nil {
+		return in.WithStats(o.stats)
+	}
+	return in
+}
 
 // QOHGreedy builds a sequence greedily — from each feasible start,
 // repeatedly append the relation minimizing the next intermediate size
 // — and returns the best optimally-decomposed plan among them.
-func QOHGreedy(in *qoh.Instance) (*qoh.Plan, error) {
+// Relevant options: WithStats.
+func QOHGreedy(ctx context.Context, in *qoh.Instance, opts ...Option) (*qoh.Plan, error) {
 	n := in.N()
 	if n < 2 {
 		return nil, fmt.Errorf("opt: QO_H greedy needs at least two relations")
 	}
+	in = buildOptions(opts).instrumentQOH(in)
 	var best *qoh.Plan
 	for first := 0; first < n; first++ {
+		if best != nil && cancelled(ctx) {
+			break
+		}
 		if !in.FeasibleStart(first) {
 			continue
 		}
@@ -71,31 +91,37 @@ func greedySizeSequence(in *qoh.Instance, first int) []int {
 }
 
 // QOHAnnealing runs simulated annealing over join sequences, solving
-// the decomposition and memory layers exactly per candidate. iters ≤ 0
-// means 500 (each iteration costs an O(n³) decomposition DP).
-func QOHAnnealing(in *qoh.Instance, seed int64, iters int) (*qoh.Plan, error) {
+// the decomposition and memory layers exactly per candidate. Relevant
+// options: WithSeed, WithIterations (default DefaultQOHAnnealingIters),
+// WithStats.
+func QOHAnnealing(ctx context.Context, in *qoh.Instance, opts ...Option) (*qoh.Plan, error) {
+	o := buildOptions(opts)
+	iters := o.iters
 	if iters <= 0 {
-		iters = 500
+		iters = DefaultQOHAnnealingIters
 	}
 	n := in.N()
 	if n < 2 {
 		return nil, fmt.Errorf("opt: QO_H annealing needs at least two relations")
 	}
+	in = o.instrumentQOH(in)
 	// Seed with the greedy plan; fall back to any feasible start.
-	cur, err := QOHGreedy(in)
+	cur, err := QOHGreedy(ctx, in)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
+	st := in.Stats()
+	rng := rand.New(rand.NewSource(o.seed))
 	curZ := append([]int(nil), cur.Z...)
 	curE := cur.Cost.Log2()
 	best := cur
 	temp := math.Max(1, curE/8)
 	cooling := math.Pow(0.01/temp, 1/float64(iters))
-	for it := 0; it < iters; it++ {
+	for it := 0; it < iters && !cancelled(ctx); it++ {
 		nextZ := append([]int(nil), curZ...)
 		i, j := rng.Intn(n), rng.Intn(n)
 		nextZ[i], nextZ[j] = nextZ[j], nextZ[i]
+		st.Move()
 		plan, err := in.BestDecomposition(nextZ)
 		if err != nil {
 			temp *= cooling
@@ -114,16 +140,18 @@ func QOHAnnealing(in *qoh.Instance, seed int64, iters int) (*qoh.Plan, error) {
 }
 
 // QOHBest runs the QO_H ensemble: exhaustive when tiny, otherwise
-// greedy plus annealing.
-func QOHBest(in *qoh.Instance, seed int64) (*qoh.Plan, error) {
+// greedy plus annealing. Relevant options: WithSeed, WithIterations,
+// WithStats.
+func QOHBest(ctx context.Context, in *qoh.Instance, opts ...Option) (*qoh.Plan, error) {
+	in = buildOptions(opts).instrumentQOH(in)
 	if in.N() <= qoh.MaxExhaustiveN {
 		return in.ExactBest()
 	}
-	best, err := QOHGreedy(in)
+	best, err := QOHGreedy(ctx, in)
 	if err != nil {
 		return nil, err
 	}
-	if sa, err := QOHAnnealing(in, seed, 0); err == nil && sa.Cost.Less(best.Cost) {
+	if sa, err := QOHAnnealing(ctx, in, opts...); err == nil && sa.Cost.Less(best.Cost) {
 		best = sa
 	}
 	return best, nil

@@ -42,7 +42,7 @@ func randomQOH(n int, seed int64) *qoh.Instance {
 func TestQOHGreedyFeasible(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		in := randomQOH(6, seed)
-		plan, err := QOHGreedy(in)
+		plan, err := QOHGreedy(ctx, in)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -66,14 +66,14 @@ func TestQOHHeuristicsSound(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		greedy, err := QOHGreedy(in)
+		greedy, err := QOHGreedy(ctx, in)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if greedy.Cost.Less(exact.Cost) {
 			t.Errorf("seed %d: greedy beat exhaustive", seed)
 		}
-		sa, err := QOHAnnealing(in, seed, 200)
+		sa, err := QOHAnnealing(ctx, in, WithSeed(seed), WithIterations(200))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +88,7 @@ func TestQOHHeuristicsSound(t *testing.T) {
 
 func TestQOHBestUsesExhaustiveWhenSmall(t *testing.T) {
 	in := randomQOH(5, 3)
-	best, err := QOHBest(in, 3)
+	best, err := QOHBest(ctx, in, WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,14 +103,14 @@ func TestQOHBestUsesExhaustiveWhenSmall(t *testing.T) {
 
 func TestQOHBestLargerInstance(t *testing.T) {
 	in := randomQOH(10, 4)
-	best, err := QOHBest(in, 4)
+	best, err := QOHBest(ctx, in, WithSeed(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(best.Z) != 10 {
 		t.Fatalf("plan has %d relations, want 10", len(best.Z))
 	}
-	greedy, err := QOHGreedy(in)
+	greedy, err := QOHGreedy(ctx, in)
 	if err != nil {
 		t.Fatal(err)
 	}

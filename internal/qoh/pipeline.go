@@ -105,6 +105,7 @@ func (in *Instance) PipelineCost(z []int, i, k int) (num.Num, Alloc, error) {
 }
 
 func (in *Instance) pipelineCostWithSizes(z []int, sizes []num.Num, i, k int) (num.Num, Alloc, error) {
+	in.stats.DPSubset()
 	js := in.shapes(z, sizes, i, k)
 	alloc, hsum, err := in.optimalAlloc(js)
 	if err != nil {
@@ -171,6 +172,7 @@ func (in *Instance) BestDecomposition(z []int) (*Plan, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("qoh: need at least two relations")
 	}
+	in.stats.CostEval() // one candidate sequence costed end to end
 	sizes := in.Sizes(z)
 
 	// pipe[i][k] = optimal cost of pipeline covering joins i..k (1-based),

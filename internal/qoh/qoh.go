@@ -34,6 +34,7 @@ import (
 
 	"approxqo/internal/graph"
 	"approxqo/internal/num"
+	"approxqo/internal/stats"
 )
 
 // DefaultPsi is the default exponent of hjmin(b) = ⌈b^ψ⌉. The paper
@@ -47,7 +48,21 @@ type Instance struct {
 	T   []num.Num   // relation sizes (tuples = pages)
 	M   num.Num     // memory available to each pipeline
 	Psi float64     // hjmin exponent; zero value means DefaultPsi
+
+	stats *stats.Stats // instrumentation sink; nil when uninstrumented
 }
+
+// WithStats returns a shallow copy of the instance whose decomposition
+// and pipeline costings are counted into s. The copy shares all
+// matrices with the original.
+func (in *Instance) WithStats(s *stats.Stats) *Instance {
+	cp := *in
+	cp.stats = s
+	return &cp
+}
+
+// Stats returns the instrumentation sink attached by WithStats, or nil.
+func (in *Instance) Stats() *stats.Stats { return in.stats }
 
 // N returns the number of relations.
 func (in *Instance) N() int { return len(in.T) }

@@ -29,6 +29,7 @@ import (
 
 	"approxqo/internal/graph"
 	"approxqo/internal/num"
+	"approxqo/internal/stats"
 )
 
 // Instance is a QO_N problem instance.
@@ -37,7 +38,23 @@ type Instance struct {
 	S [][]num.Num // selectivities; S[i][j] == S[j][i], 1 off the query graph
 	T []num.Num   // relation sizes (tuples = pages)
 	W [][]num.Num // access-path costs, see package comment
+
+	stats *stats.Stats // instrumentation sink; nil when uninstrumented
 }
+
+// WithStats returns a shallow copy of the instance whose cost
+// evaluations are counted into s. The copy shares all matrices with the
+// original, so it is cheap enough to create per optimization run.
+func (in *Instance) WithStats(s *stats.Stats) *Instance {
+	cp := *in
+	cp.stats = s
+	return &cp
+}
+
+// Stats returns the instrumentation sink attached by WithStats, or nil.
+// Optimizers use it to record work the cost model cannot see (DP
+// subsets expanded, local-search moves).
+func (in *Instance) Stats() *stats.Stats { return in.stats }
 
 // N returns the number of relations.
 func (in *Instance) N() int { return len(in.T) }
@@ -205,6 +222,7 @@ func (in *Instance) Evaluate(z Sequence) *Breakdown {
 	if !in.ValidSequence(z) {
 		panic(fmt.Sprintf("qon: invalid join sequence %v", z))
 	}
+	in.stats.CostEval()
 	n := in.N()
 	bd := &Breakdown{
 		H: make([]num.Num, 0, n-1),

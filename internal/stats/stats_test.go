@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilReceiverSafe(t *testing.T) {
+	var s *Stats
+	s.CostEval()
+	s.AddCostEvals(10)
+	s.DPSubset()
+	s.Move()
+	if snap := s.Snapshot(); snap != (Snapshot{}) {
+		t.Errorf("nil Stats snapshot = %+v, want zero", snap)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	s := &Stats{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.CostEval()
+				s.DPSubset()
+				s.Move()
+			}
+			s.AddCostEvals(100)
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.CostEvals != 8*1100 || snap.DPSubsets != 8000 || snap.Moves != 8000 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	s := &Stats{}
+	s.CostEval()
+	data, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CostEvals != 1 {
+		t.Errorf("round-trip lost counts: %+v", back)
+	}
+}

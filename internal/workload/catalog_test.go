@@ -1,10 +1,14 @@
 package workload
 
 import (
+	"context"
+
 	"testing"
 
 	"approxqo/internal/opt"
 )
+
+var ctx = context.Background()
 
 func TestCatalogAllValid(t *testing.T) {
 	cat := Catalog()
@@ -60,7 +64,7 @@ func TestCatalogShapes(t *testing.T) {
 // dimension-first orders beat fact-first orders by orders of magnitude.
 func TestCatalogOptimization(t *testing.T) {
 	for _, c := range Catalog() {
-		best, err := opt.NewDP().Optimize(c.Instance)
+		best, err := opt.NewDP().Optimize(ctx, c.Instance)
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name, err)
 		}
@@ -82,11 +86,11 @@ func TestCatalogOptimization(t *testing.T) {
 		}
 		// KBZ handles the acyclic ones exactly.
 		if c.Instance.Q.EdgeCount() == c.Instance.N()-1 {
-			kbz, err := opt.NewKBZ().Optimize(c.Instance)
+			kbz, err := opt.NewKBZ().Optimize(ctx, c.Instance)
 			if err != nil {
 				t.Fatalf("%s: kbz: %v", c.Name, err)
 			}
-			noCross, err := opt.NewDPNoCross().Optimize(c.Instance)
+			noCross, err := opt.NewDPNoCross().Optimize(ctx, c.Instance)
 			if err != nil {
 				t.Fatal(err)
 			}
