@@ -14,6 +14,8 @@ package approxqo
 
 import (
 	"approxqo/internal/bushy"
+	"approxqo/internal/certify"
+	"approxqo/internal/chaos"
 	"approxqo/internal/cliquered"
 	"approxqo/internal/core"
 	"approxqo/internal/engine"
@@ -74,6 +76,15 @@ type (
 	WorkloadParams = workload.Params
 	// ExperimentOptions tunes the experiment harness.
 	ExperimentOptions = experiments.Options
+	// Certificate records an auditor's verdict on one optimizer result:
+	// the claimed cost, the independently recomputed cost, and (for
+	// exact-flagged results) the witness bound it was checked against.
+	Certificate = certify.Certificate
+	// ChaosFault names an injectable fault (panic, stall, wrongcost,
+	// invalidplan, error, leak).
+	ChaosFault = chaos.Fault
+	// ChaosRule targets one fault at matching optimizers in a spec.
+	ChaosRule = chaos.Rule
 )
 
 // Reductions and pipelines.
@@ -148,8 +159,46 @@ var (
 	WithGrace = engine.WithGrace
 	// WithoutEarlyExit keeps all runs going after an exact result.
 	WithoutEarlyExit = engine.WithoutEarlyExit
+	// WithRetries bounds how many times a failing run is retried with a
+	// fresh seed before the engine gives up on it.
+	WithRetries = engine.WithRetries
+	// WithQuarantineAfter sets how many failures bench an optimizer.
+	WithQuarantineAfter = engine.WithQuarantineAfter
 	// QOHSearchers returns the engine-ready QO_H plan-search ensemble.
 	QOHSearchers = engine.QOHSearchers
+)
+
+// Certification and fault injection.
+var (
+	// CertifyQON and CertifyQOH independently audit an optimizer result:
+	// permutation validity, exact cost recomputation, and a witness bound
+	// for exact-flagged claims.
+	CertifyQON = certify.QON
+	CertifyQOH = certify.QOH
+	// ChaosWrap wraps an optimizer with a deterministic injected fault.
+	ChaosWrap = chaos.Wrap
+	// ParseChaosSpec parses the fault[:optimizer],... grammar used by
+	// qopt -chaos.
+	ParseChaosSpec = chaos.ParseSpec
+	// ApplyChaosSpec parses a spec and wraps the matching optimizers.
+	ApplyChaosSpec = chaos.ApplySpec
+)
+
+// Structured error taxonomy surfaced by the engine. Test with errors.Is.
+var (
+	// ErrUncertified marks a result that failed the certification audit.
+	ErrUncertified = engine.ErrUncertified
+	// ErrQuarantined marks an optimizer benched after repeated failures;
+	// its prior contributions are discarded from the merge.
+	ErrQuarantined = engine.ErrQuarantined
+	// ErrInvalidPlan marks a plan that is not a valid permutation (or,
+	// for QO_H, has malformed pipeline breaks).
+	ErrInvalidPlan = engine.ErrInvalidPlan
+	// ErrNoOptimizers, ErrNilInstance and ErrAllFailed are the engine's
+	// input- and outcome-level failures.
+	ErrNoOptimizers = engine.ErrNoOptimizers
+	ErrNilInstance  = engine.ErrNilInstance
+	ErrAllFailed    = engine.ErrAllFailed
 )
 
 // Extensions and tooling.

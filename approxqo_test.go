@@ -7,6 +7,7 @@ import (
 
 	"approxqo/internal/cliquered"
 	"approxqo/internal/core"
+	"approxqo/internal/opt"
 )
 
 var ctx = context.Background()
@@ -88,6 +89,38 @@ func TestFacadeEngineRun(t *testing.T) {
 		if run.Err == "" && run.Stats.CostEvals == 0 {
 			t.Errorf("run %s reported no cost evaluations", run.Name)
 		}
+	}
+}
+
+// The facade must expose the fault-injection and certification surface:
+// wrap an optimizer from a parsed chaos spec, watch the engine
+// quarantine it, and re-audit the merged result independently.
+func TestFacadeChaosAndCertification(t *testing.T) {
+	in, err := GenerateWorkload(WorkloadParams{N: 7, Shape: "chain", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ensemble, err := ApplyChaosSpec("wrongcost:greedy-min-size",
+		[]Optimizer{NewGreedy(opt.GreedyMinSize), NewGreedy(opt.GreedyMinCost)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewEngine().Run(ctx, in, ensemble...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best == nil || !rep.Best.Certified {
+		t.Fatalf("best = %+v", rep.Best)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "greedy-min-size" {
+		t.Fatalf("quarantined = %v", rep.Quarantined)
+	}
+	cert, err := CertifyQON(in, rep.Best.Sequence, rep.Best.Cost, rep.Best.Exact)
+	if err != nil {
+		t.Fatalf("merged result fails facade re-audit: %v", err)
+	}
+	if !cert.Recomputed.Equal(rep.Best.Cost) {
+		t.Fatal("recomputed cost differs from reported cost")
 	}
 }
 

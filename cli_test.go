@@ -144,6 +144,53 @@ func TestCLIUnifiedJSONFlag(t *testing.T) {
 	}
 }
 
+func TestCLIQoptChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	// A corrupted optimizer must be quarantined while the rest of the
+	// ensemble carries the run to a certified result.
+	out := runCLI(t, "./cmd/qopt", "-shape", "chain", "-n", "8", "-json",
+		"-chaos", "wrongcost:greedy-min-size")
+	var rep struct {
+		Best *struct {
+			Winner    string `json:"winner"`
+			Certified bool   `json:"certified"`
+		} `json:"best"`
+		Quarantined []string `json:"quarantined"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("qopt -chaos -json is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.Best == nil || !rep.Best.Certified || rep.Best.Winner == "greedy-min-size" {
+		t.Errorf("chaos run best = %+v", rep.Best)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "greedy-min-size" {
+		t.Errorf("quarantined = %v, want [greedy-min-size]", rep.Quarantined)
+	}
+
+	// When every optimizer is adversarial, the command fails with a
+	// structured error document, not unparseable text.
+	cmd := exec.Command("go", "run", "./cmd/qopt",
+		"-shape", "chain", "-n", "6", "-json", "-chaos", "error:*")
+	out2, err := cmd.Output()
+	if err == nil {
+		t.Fatalf("all-adversarial run should exit non-zero:\n%s", out2)
+	}
+	var doc struct {
+		Error struct {
+			Kind    string `json:"kind"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if jerr := json.Unmarshal(out2, &doc); jerr != nil {
+		t.Fatalf("failure output is not a JSON error doc: %v\n%s", jerr, out2)
+	}
+	if doc.Error.Kind != "all_failed" || doc.Error.Message == "" {
+		t.Errorf("error doc = %+v", doc)
+	}
+}
+
 func TestCLIQoptCatalogExplain(t *testing.T) {
 	if testing.Short() {
 		t.Skip("e2e")

@@ -114,5 +114,5 @@ func main() {
 }
 
 func fatal(err error) {
-	cliutil.Fatal("experiments", err)
+	common.Fatal("experiments", err)
 }

@@ -302,5 +302,5 @@ func writeInstance(path string, v any) {
 }
 
 func fatal(err error) {
-	cliutil.Fatal("qohard", err)
+	common.Fatal("qohard", err)
 }

@@ -5,6 +5,12 @@
 // isolation and deadline handling, and the per-optimizer report is
 // printed as a table or, with -json, as a structured engine.Report.
 //
+// The -chaos flag injects deterministic faults into the ensemble
+// (panics, stalls, corrupted costs, …) to exercise the engine's
+// certification gate and quarantine machinery end to end:
+//
+//	qopt -shape chain -n 8 -chaos 'panic:greedy-min-cost,wrongcost:dp'
+//
 // Usage:
 //
 //	qopt -file instance.json [-algo subset-dp]
@@ -18,6 +24,7 @@ import (
 	"os"
 
 	"approxqo/internal/bushy"
+	"approxqo/internal/chaos"
 	"approxqo/internal/cliutil"
 	"approxqo/internal/engine"
 	"approxqo/internal/opt"
@@ -27,8 +34,9 @@ import (
 	"approxqo/internal/workload"
 )
 
+var common = cliutil.Common{Seed: 1}
+
 func main() {
-	common := cliutil.Common{Seed: 1}
 	common.Register(flag.CommandLine)
 	file := flag.String("file", "", "JSON instance file (from qohard -out)")
 	shape := flag.String("shape", "chain", "workload shape: chain|cycle|star|grid|clique|random")
@@ -38,6 +46,7 @@ func main() {
 	algo := flag.String("algo", "all", "algorithm name or 'all'")
 	explain := flag.Bool("explain", false, "print an EXPLAIN tree for the best plan found")
 	bushyFlag := flag.Bool("bushy", false, "also optimize over bushy join trees")
+	chaosSpec := flag.String("chaos", "", "fault injection spec: fault[:optimizer],... (faults: panic|stall|wrongcost|invalidplan|error|leak)")
 	flag.Parse()
 
 	if *listCatalog {
@@ -83,6 +92,15 @@ func main() {
 			fatal(fmt.Errorf("no algorithm named %q; have %v", *algo, names(optimizers)))
 		}
 		optimizers = picked
+	}
+	if *chaosSpec != "" {
+		optimizers, err = chaos.ApplySpec(*chaosSpec, optimizers, chaos.WithSeed(common.Seed))
+		if err != nil {
+			fatal(err)
+		}
+		if !common.JSON {
+			fmt.Printf("chaos: injecting %q; uncertified results will be quarantined\n", *chaosSpec)
+		}
 	}
 
 	ctx, cancel := common.Context()
@@ -151,5 +169,5 @@ func loadInstance(file, shape string, n int, seed int64) (*qon.Instance, error) 
 }
 
 func fatal(err error) {
-	cliutil.Fatal("qopt", err)
+	common.Fatal("qopt", err)
 }

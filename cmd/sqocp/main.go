@@ -177,5 +177,5 @@ func methodNames(ms []sqocp.Method) []string {
 }
 
 func fatal(err error) {
-	cliutil.Fatal("sqocp", err)
+	common.Fatal("sqocp", err)
 }

@@ -1,0 +1,113 @@
+package certify
+
+import (
+	"fmt"
+
+	"approxqo/internal/num"
+	"approxqo/internal/qoh"
+)
+
+// QOH audits one QO_H plan-search result: z must be a permutation,
+// breaks must be strictly increasing pipeline boundaries ending at join
+// n−1, the claimed cost must equal the recomputed cost of that exact
+// decomposition under optimal per-pipeline memory allocation, and an
+// exact-flagged claim must not exceed the auditor's own feasible
+// witness decomposition.
+//
+// Unlike the QO_N audit, the cost recomputation goes through the
+// instance's canonical CostDecomposition: the optimal allocation is a
+// continuous knapsack whose equal-rate ties admit several allocations
+// of identical exact cost, so an order-independent reimplementation
+// cannot promise bit-identical arithmetic. The structural checks and
+// the bound are fully independent; the recomputation is an independent
+// *call* (fresh, uninstrumented walk over the claimed plan), which
+// still rejects any corrupted cost or infeasible decomposition.
+func QOH(in *qoh.Instance, z []int, breaks []int, claimed num.Num, exact bool) (*Certificate, error) {
+	if in == nil {
+		return nil, fmt.Errorf("%w: nil instance", ErrInvalidPlan)
+	}
+	if !claimed.IsValid() {
+		return nil, fmt.Errorf("%w: claimed cost is not a constructed value", ErrInvalidPlan)
+	}
+	if !validPermutation(z, in.N()) {
+		return nil, fmt.Errorf("%w: sequence %v is not a permutation of 0..%d", ErrInvalidPlan, z, in.N()-1)
+	}
+	if err := validBreaks(breaks, in.N()); err != nil {
+		return nil, err
+	}
+	plan, err := in.CostDecomposition(z, breaks)
+	if err != nil {
+		return nil, fmt.Errorf("%w: decomposition infeasible: %v", ErrInvalidPlan, err)
+	}
+	if !plan.Cost.Equal(claimed) {
+		return nil, fmt.Errorf("%w: claimed 2^%.6f, recomputed 2^%.6f",
+			ErrCostMismatch, safeLog2(claimed), safeLog2(plan.Cost))
+	}
+	cert := &Certificate{Claimed: claimed, Recomputed: plan.Cost, Exact: exact}
+	if exact {
+		bound, ok := qohWitnessBound(in)
+		if ok {
+			cert.Bound = bound
+			if bound.Less(plan.Cost) {
+				return nil, fmt.Errorf("%w: claims optimality at 2^%.6f but a witness plan costs 2^%.6f",
+					ErrBoundViolated, safeLog2(plan.Cost), safeLog2(bound))
+			}
+		}
+	}
+	return cert, nil
+}
+
+func validPermutation(z []int, n int) bool {
+	if len(z) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range z {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// validBreaks checks pipeline boundaries: non-empty, strictly
+// increasing join indices in 1..n−1 with the last equal to n−1.
+func validBreaks(breaks []int, n int) error {
+	if len(breaks) == 0 || breaks[len(breaks)-1] != n-1 {
+		return fmt.Errorf("%w: decomposition %v must end at join %d", ErrInvalidPlan, breaks, n-1)
+	}
+	prev := 0
+	for _, b := range breaks {
+		if b <= prev || b > n-1 {
+			return fmt.Errorf("%w: pipeline boundary %d out of order in %v", ErrInvalidPlan, b, breaks)
+		}
+		prev = b
+	}
+	return nil
+}
+
+// qohWitnessBound builds the auditor's own feasible plan — the greedy
+// size-ordered sequence under its best decomposition — as an upper
+// bound for exactness claims. It reports ok=false when no feasible
+// witness exists (then the exactness claim is left unchecked: with no
+// feasible plan of our own we cannot refute it).
+func qohWitnessBound(in *qoh.Instance) (num.Num, bool) {
+	n := in.N()
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = i
+	}
+	// Smallest relation first, then ascending by size (stable on ties):
+	// pipelines stream small intermediates into later hash tables.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && in.T[seq[j]].Less(in.T[seq[j-1]]); j-- {
+			seq[j], seq[j-1] = seq[j-1], seq[j]
+		}
+	}
+	plan, err := in.BestDecomposition(seq)
+	if err != nil {
+		return num.Num{}, false
+	}
+	return plan.Cost, true
+}

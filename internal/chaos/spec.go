@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"approxqo/internal/opt"
+)
+
+// Rule targets one fault at the optimizers matching Target. A Target of
+// "*" (or empty) matches every optimizer.
+type Rule struct {
+	Fault  Fault
+	Target string
+}
+
+// Matches reports whether the rule applies to an optimizer name.
+func (r Rule) Matches(name string) bool {
+	return r.Target == "" || r.Target == "*" || r.Target == name
+}
+
+func (r Rule) String() string {
+	target := r.Target
+	if target == "" {
+		target = "*"
+	}
+	return string(r.Fault) + ":" + target
+}
+
+// ParseSpec parses the qopt -chaos grammar: a comma-separated list of
+// fault[:optimizer] clauses, e.g.
+//
+//	wrongcost:greedy-min-size,panic:kbz,stall:*
+//
+// A clause without a target applies to every optimizer. Faults are the
+// Fault constants' names. An empty spec yields no rules.
+func ParseSpec(spec string) ([]Rule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		fault, target, _ := strings.Cut(clause, ":")
+		f := Fault(strings.TrimSpace(fault))
+		if !validFault(f) {
+			return nil, fmt.Errorf("chaos: unknown fault %q in clause %q (have %v)", fault, clause, Faults())
+		}
+		rules = append(rules, Rule{Fault: f, Target: strings.TrimSpace(target)})
+	}
+	return rules, nil
+}
+
+// Apply wraps each optimizer with the first rule matching its name;
+// optimizers no rule matches are returned unwrapped. Options apply to
+// every injector created.
+func Apply(rules []Rule, optimizers []opt.Optimizer, opts ...Option) []opt.Optimizer {
+	out := make([]opt.Optimizer, len(optimizers))
+	for i, o := range optimizers {
+		out[i] = o
+		for _, r := range rules {
+			if r.Matches(o.Name()) {
+				out[i] = Wrap(o, r.Fault, opts...)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ApplySpec parses spec and applies it in one step.
+func ApplySpec(spec string, optimizers []opt.Optimizer, opts ...Option) ([]opt.Optimizer, error) {
+	rules, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return Apply(rules, optimizers, opts...), nil
+}

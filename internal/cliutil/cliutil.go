@@ -1,17 +1,24 @@
 // Package cliutil unifies the flag surface of the repo's commands:
 // every binary accepts -seed, -timeout and -json with the same
 // spelling, semantics and defaults, and renders JSON and fatal errors
-// the same way.
+// the same way. Fatal errors are classified against the engine's
+// structured error taxonomy (uncertified, quarantined, invalid plan,
+// …) so -json consumers can branch on a stable kind instead of
+// matching message strings.
 package cliutil
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
+
+	"approxqo/internal/certify"
+	"approxqo/internal/engine"
 )
 
 // Common is the flag set shared by all commands.
@@ -56,4 +63,60 @@ func WriteJSON(w io.Writer, v any) error {
 func Fatal(prog string, err error) {
 	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
 	os.Exit(1)
+}
+
+// ErrorDoc is the machine-readable rendering of a fatal error in -json
+// mode: a stable kind from the engine's error taxonomy plus the full
+// message.
+type ErrorDoc struct {
+	Error struct {
+		Kind    string `json:"kind"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Classify maps err onto the structured taxonomy shared by all
+// commands' -json output. Unrecognized errors classify as "error".
+func Classify(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, engine.ErrQuarantined):
+		return "quarantined"
+	case errors.Is(err, engine.ErrUncertified):
+		return "uncertified"
+	case errors.Is(err, certify.ErrInvalidPlan):
+		return "invalid_plan"
+	case errors.Is(err, certify.ErrCostMismatch):
+		return "cost_mismatch"
+	case errors.Is(err, certify.ErrBoundViolated):
+		return "bound_violated"
+	case errors.Is(err, engine.ErrNoOptimizers):
+		return "no_optimizers"
+	case errors.Is(err, engine.ErrNilInstance):
+		return "nil_instance"
+	case errors.Is(err, engine.ErrAllFailed):
+		return "all_failed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	default:
+		return "error"
+	}
+}
+
+// Fatal renders err and exits 1. In -json mode it emits an ErrorDoc on
+// stdout — classified against the engine's error taxonomy — so scripted
+// consumers always receive valid JSON, even on failure; otherwise it
+// prints "prog: err" to stderr like the package-level Fatal.
+func (c *Common) Fatal(prog string, err error) {
+	if c.JSON {
+		var doc ErrorDoc
+		doc.Error.Kind = Classify(err)
+		doc.Error.Message = err.Error()
+		_ = WriteJSON(os.Stdout, doc)
+		os.Exit(1)
+	}
+	Fatal(prog, err)
 }

@@ -3,10 +3,16 @@ package cliutil
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
+
+	"approxqo/internal/certify"
+	"approxqo/internal/engine"
 )
 
 func TestRegisterParsesUnifiedFlags(t *testing.T) {
@@ -39,6 +45,55 @@ func TestContextHonorsTimeout(t *testing.T) {
 	}
 	if dctx.Err() != context.DeadlineExceeded {
 		t.Errorf("err = %v", dctx.Err())
+	}
+}
+
+func TestClassifyMapsTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{engine.ErrQuarantined, "quarantined"},
+		{fmt.Errorf("wrapped: %w", engine.ErrQuarantined), "quarantined"},
+		{engine.ErrUncertified, "uncertified"},
+		{certify.ErrInvalidPlan, "invalid_plan"},
+		{certify.ErrCostMismatch, "cost_mismatch"},
+		{certify.ErrBoundViolated, "bound_violated"},
+		{engine.ErrNoOptimizers, "no_optimizers"},
+		{engine.ErrNilInstance, "nil_instance"},
+		{engine.ErrAllFailed, "all_failed"},
+		{context.DeadlineExceeded, "deadline"},
+		{context.Canceled, "cancelled"},
+		{errors.New("anything else"), "error"},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+	// ErrUncertified wraps certification detail in practice; the engine
+	// kind must win over the wrapped certify sentinel order-independently.
+	combined := fmt.Errorf("%w: %w", engine.ErrUncertified, certify.ErrCostMismatch)
+	if got := Classify(combined); got != "uncertified" {
+		t.Errorf("Classify(uncertified+cost_mismatch) = %q, want uncertified", got)
+	}
+}
+
+func TestErrorDocShape(t *testing.T) {
+	var doc ErrorDoc
+	doc.Error.Kind = Classify(engine.ErrQuarantined)
+	doc.Error.Message = engine.ErrQuarantined.Error()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]map[string]string
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["error"]["kind"] != "quarantined" || decoded["error"]["message"] == "" {
+		t.Errorf("unexpected error doc: %s", data)
 	}
 }
 

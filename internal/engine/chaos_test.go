@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"approxqo/internal/certify"
+	"approxqo/internal/chaos"
+	"approxqo/internal/opt"
+)
+
+// The acceptance matrix: under every injected fault type, with one
+// honest optimizer alongside, Run must return a certified valid plan
+// whose recomputed cost equals the reported cost, and the faulty
+// optimizer must be quarantined in the report.
+func TestRunSurvivesEveryFault(t *testing.T) {
+	faults := []chaos.Fault{
+		chaos.FaultPanic,
+		chaos.FaultStall,
+		chaos.FaultWrongCost,
+		chaos.FaultInvalidPlan,
+		chaos.FaultError,
+	}
+	for _, fault := range faults {
+		fault := fault
+		t.Run(string(fault), func(t *testing.T) {
+			t.Parallel()
+			in := randomInstance(7, 0.7, 11)
+			faulty := chaos.Wrap(opt.NewGreedy(opt.GreedyMinSize), fault,
+				chaos.WithSeed(1), chaos.WithStall(5*time.Second))
+			honest := opt.NewGreedy(opt.GreedyMinCost)
+
+			ctx := context.Background()
+			var cancel context.CancelFunc
+			if fault == chaos.FaultStall {
+				// A stalling run never returns; bound the ensemble so the
+				// abandonment path fires instead of waiting out the stall.
+				ctx, cancel = context.WithTimeout(ctx, 100*time.Millisecond)
+				defer cancel()
+			}
+			report, err := New(WithGrace(100*time.Millisecond)).Run(ctx, in, faulty, honest)
+			if err != nil {
+				t.Fatalf("honest optimizer should carry the run: %v", err)
+			}
+			if report.Best == nil || !report.Best.Certified {
+				t.Fatal("merged result not certified")
+			}
+			if report.Best.Winner != honest.Name() {
+				t.Fatalf("winner %q, want the honest %q", report.Best.Winner, honest.Name())
+			}
+			if !in.ValidSequence(report.Best.Sequence) {
+				t.Fatal("merged sequence is not a valid permutation")
+			}
+			// Recomputed cost must equal the reported cost (the issue's
+			// acceptance check, applied through the independent auditor).
+			cert, aerr := certify.QON(in, report.Best.Sequence, report.Best.Cost, report.Best.Exact)
+			if aerr != nil {
+				t.Fatalf("merged result fails re-audit: %v", aerr)
+			}
+			if !cert.Recomputed.Equal(report.Best.Cost) {
+				t.Fatal("recomputed cost differs from reported cost")
+			}
+			found := false
+			for _, name := range report.Quarantined {
+				if name == faulty.Name() {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("faulty optimizer not quarantined: %v", report.Quarantined)
+			}
+			var rec *RunRecord
+			for i := range report.Runs {
+				if report.Runs[i].Name == faulty.Name() {
+					rec = &report.Runs[i]
+				}
+			}
+			if rec == nil || !rec.Quarantined {
+				t.Fatalf("faulty run record not quarantined: %+v", rec)
+			}
+			if !strings.Contains(rec.Err, ErrQuarantined.Error()) {
+				t.Fatalf("quarantine not surfaced in the record error: %q", rec.Err)
+			}
+			// The quarantine must survive the -json surface.
+			blob, err := json.Marshal(report)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Report
+			if err := json.Unmarshal(blob, &back); err != nil {
+				t.Fatal(err)
+			}
+			if len(back.Quarantined) == 0 || back.Quarantined[0] != faulty.Name() {
+				t.Fatalf("quarantine lost in JSON round trip: %v", back.Quarantined)
+			}
+		})
+	}
+}
+
+// An adversarial ensemble with no honest member must fail structurally:
+// ErrAllFailed, never an uncertified merge.
+func TestRunAllAdversarialFails(t *testing.T) {
+	in := randomInstance(6, 0.7, 12)
+	report, err := New().Run(context.Background(), in,
+		chaos.Wrap(opt.NewGreedy(opt.GreedyMinSize), chaos.FaultWrongCost),
+		chaos.Wrap(opt.NewGreedy(opt.GreedyMinCost), chaos.FaultInvalidPlan))
+	if !errors.Is(err, ErrAllFailed) {
+		t.Fatalf("err = %v, want ErrAllFailed", err)
+	}
+	if report == nil || report.Best != nil {
+		t.Fatal("no result may survive an all-adversarial ensemble")
+	}
+	for _, rec := range report.Runs {
+		if rec.Certified {
+			t.Fatalf("%s: corrupted result certified", rec.Name)
+		}
+		if !strings.Contains(rec.Err, ErrUncertified.Error()) && !strings.Contains(rec.Err, ErrQuarantined.Error()) {
+			t.Fatalf("%s: error %q carries no taxonomy", rec.Name, rec.Err)
+		}
+	}
+	if len(report.Quarantined) != 2 {
+		t.Fatalf("both adversaries should be quarantined, got %v", report.Quarantined)
+	}
+}
+
+// A transient failure (one injected error, then honesty) must be healed
+// by retry-with-reseed, without quarantine.
+func TestRunRetriesTransientFailure(t *testing.T) {
+	in := randomInstance(6, 0.7, 13)
+	flaky := chaos.Wrap(opt.NewGreedy(opt.GreedyMinSize), chaos.FaultError, chaos.WithFailures(1))
+	report, err := New().Run(context.Background(), in, flaky)
+	if err != nil {
+		t.Fatalf("transient failure not healed: %v", err)
+	}
+	rec := report.Runs[0]
+	if rec.Attempts != 2 || rec.Failures != 1 {
+		t.Fatalf("attempts=%d failures=%d, want 2 and 1", rec.Attempts, rec.Failures)
+	}
+	if rec.Quarantined || !rec.Certified {
+		t.Fatalf("healed run misrecorded: %+v", rec)
+	}
+	if report.Best == nil || !report.Best.Certified {
+		t.Fatal("healed run produced no certified best")
+	}
+}
+
+// With retries disabled, the failure budget is one attempt.
+func TestRunWithRetriesDisabled(t *testing.T) {
+	in := randomInstance(6, 0.7, 14)
+	flaky := chaos.Wrap(opt.NewGreedy(opt.GreedyMinSize), chaos.FaultError, chaos.WithFailures(1))
+	report, err := New(WithRetries(0)).Run(context.Background(), in, flaky)
+	if err == nil {
+		t.Fatal("zero retries must not heal a transient failure")
+	}
+	if report.Runs[0].Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", report.Runs[0].Attempts)
+	}
+}
+
+// A lowered circuit-breaker threshold quarantines on the first failure.
+func TestRunQuarantineThreshold(t *testing.T) {
+	in := randomInstance(6, 0.7, 15)
+	flaky := chaos.Wrap(opt.NewGreedy(opt.GreedyMinSize), chaos.FaultError, chaos.WithFailures(1))
+	report, err := New(WithQuarantineAfter(1)).Run(context.Background(), in, flaky)
+	if !errors.Is(err, ErrAllFailed) {
+		t.Fatalf("err = %v, want ErrAllFailed", err)
+	}
+	rec := report.Runs[0]
+	if !rec.Quarantined || rec.Attempts != 1 {
+		t.Fatalf("threshold 1 should bench on first failure: %+v", rec)
+	}
+}
+
+// Panicked runs must carry the recovered panic value and a stack
+// summary pointing at the crash site (satellite 1).
+func TestRunRecordsPanicValueAndStack(t *testing.T) {
+	in := randomInstance(6, 0.7, 16)
+	report, _ := New().Run(context.Background(), in,
+		chaos.Wrap(opt.NewGreedy(opt.GreedyMinSize), chaos.FaultPanic, chaos.WithSeed(9)))
+	rec := report.Runs[0]
+	if !rec.Panicked {
+		t.Fatalf("panic not recorded: %+v", rec)
+	}
+	// Retries reseed the injector, so the recorded value is the final
+	// attempt's deterministic panic.
+	if !strings.Contains(rec.PanicValue, "injected panic") || !strings.Contains(rec.PanicValue, "call 3") {
+		t.Fatalf("panic value lost: %q", rec.PanicValue)
+	}
+	if rec.Attempts != 3 || rec.Failures != 3 {
+		t.Fatalf("attempts=%d failures=%d, want 3 and 3", rec.Attempts, rec.Failures)
+	}
+	if !strings.Contains(rec.PanicStack, "chaos") || !strings.Contains(rec.PanicStack, ".go:") {
+		t.Fatalf("stack summary does not locate the crash: %q", rec.PanicStack)
+	}
+	blob, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "panic_value") {
+		t.Fatal("panic value missing from JSON report")
+	}
+}
+
+// Satellite 3: structured errors on degenerate inputs.
+func TestRunStructuredInputErrors(t *testing.T) {
+	in := randomInstance(4, 1.0, 17)
+
+	if _, err := New().Run(context.Background(), in); !errors.Is(err, ErrNoOptimizers) {
+		t.Fatalf("empty ensemble: err = %v, want ErrNoOptimizers", err)
+	}
+	if _, err := New().Run(context.Background(), nil, opt.NewGreedy(opt.GreedyMinSize)); !errors.Is(err, ErrNilInstance) {
+		t.Fatalf("nil instance: err = %v, want ErrNilInstance", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New().Run(ctx, in, opt.NewGreedy(opt.GreedyMinSize)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: err = %v, want context.Canceled", err)
+	}
+
+	// The QO_H entry point enforces the same taxonomy.
+	if _, err := New().RunQOH(context.Background(), nil); !errors.Is(err, ErrNilInstance) {
+		t.Fatalf("RunQOH nil instance: err = %v, want ErrNilInstance", err)
+	}
+}
+
+// A leak fault answers honestly, so it must NOT be quarantined — only
+// actually-faulty behavior trips the breaker.
+func TestRunDoesNotQuarantineLeaks(t *testing.T) {
+	in := randomInstance(6, 0.7, 18)
+	leaky := chaos.Wrap(opt.NewGreedy(opt.GreedyMinSize), chaos.FaultLeak,
+		chaos.WithLeakHold(10*time.Millisecond))
+	report, err := New().Run(context.Background(), in, leaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Quarantined) != 0 {
+		t.Fatalf("honest-but-leaky optimizer quarantined: %v", report.Quarantined)
+	}
+	if report.Best == nil || !report.Best.Certified {
+		t.Fatal("leaky run should still win with a certified result")
+	}
+	time.Sleep(20 * time.Millisecond) // drain the leaked goroutine before -race exit checks
+}

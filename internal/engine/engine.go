@@ -6,12 +6,22 @@
 //   - an optional per-run deadline on top of the caller's context,
 //   - early termination of the remaining runs once an exact
 //     (certified-optimal) result arrives,
-//   - panic isolation — a crashing optimizer becomes a RunRecord with
-//     Panicked set, never a crashed process,
+//   - panic isolation — a crashing optimizer becomes a RunRecord
+//     carrying the recovered panic value and a stack summary, never a
+//     crashed process,
+//   - a mandatory certification gate — every result is audited by the
+//     independent certify package (permutation bijection, exact-
+//     arithmetic cost recomputation, exactness cross-check) before it
+//     may enter the merge,
+//   - a quarantine circuit-breaker — an optimizer that panics or fails
+//     certification QuarantineAfter times in a run is benched, its
+//     contributions discarded, and the benching recorded in the Report,
+//   - bounded retry-with-reseed for transient failures (spurious
+//     errors, one-off bad results from randomized searches),
 //   - a grace period after cancellation, after which unresponsive runs
-//     are abandoned (their goroutines drain into a buffered channel;
-//     their counters are still snapshotted safely), and
-//   - a first-cheapest-wins merge of the results.
+//     are abandoned and quarantined (their goroutines drain into a
+//     buffered channel; their counters are still snapshotted safely),
+//   - a first-cheapest-wins merge over certified results only.
 //
 // Every run gets a fresh Stats sink attached to the instance, so the
 // cost model itself counts evaluations whether or not the optimizer
@@ -23,8 +33,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
+	"strings"
 	"time"
 
+	"approxqo/internal/certify"
 	"approxqo/internal/num"
 	"approxqo/internal/opt"
 	"approxqo/internal/qon"
@@ -41,12 +54,55 @@ type Stats = stats.Stats
 // abandoning them.
 const DefaultGrace = 250 * time.Millisecond
 
+// DefaultRetries is how many extra attempts a run gets after a
+// transient failure (error, panic, failed certification) before the
+// engine gives up on it.
+const DefaultRetries = 2
+
+// DefaultQuarantineAfter is how many failures within one run bench an
+// optimizer (see WithQuarantineAfter). With DefaultRetries it means an
+// optimizer that fails every attempt is quarantined.
+const DefaultQuarantineAfter = 3
+
+// The engine's structured error taxonomy. Errors returned by Run and
+// RunQOH, and the per-run errors folded into the all-failed error, wrap
+// these sentinels so callers can classify failures with errors.Is.
+var (
+	// ErrNoOptimizers is returned when Run is called with an empty
+	// ensemble.
+	ErrNoOptimizers = errors.New("engine: no optimizers registered")
+	// ErrNilInstance is returned when Run is called with a nil
+	// instance.
+	ErrNilInstance = errors.New("engine: nil instance")
+	// ErrUncertified marks a result the certification gate rejected;
+	// it always wraps the certify package's classification
+	// (ErrInvalidPlan, ErrCostMismatch, ErrBoundViolated).
+	ErrUncertified = errors.New("engine: result failed certification")
+	// ErrQuarantined marks an optimizer benched by the circuit-breaker
+	// after repeated failures; its results are discarded from the merge.
+	ErrQuarantined = errors.New("engine: optimizer quarantined")
+	// ErrAllFailed is returned when no optimizer produced a certified
+	// result.
+	ErrAllFailed = errors.New("engine: every optimizer failed")
+)
+
+// ErrInvalidPlan is the certify package's structural-violation
+// sentinel, re-exported so engine callers can classify certification
+// failures without importing certify.
+var ErrInvalidPlan = certify.ErrInvalidPlan
+
 // Engine supervises ensemble runs. The zero value is usable: no
-// per-run deadline, DefaultGrace, early exit enabled.
+// per-run deadline, DefaultGrace, early exit enabled, DefaultRetries,
+// DefaultQuarantineAfter.
 type Engine struct {
 	runTimeout time.Duration
 	grace      time.Duration
 	noEarly    bool
+
+	retries       int
+	retriesSet    bool
+	quarantine    int
+	quarantineSet bool
 }
 
 // Option configures an Engine.
@@ -67,6 +123,35 @@ func WithGrace(d time.Duration) Option { return func(e *Engine) { e.grace = d } 
 // the answer.
 func WithoutEarlyExit() Option { return func(e *Engine) { e.noEarly = true } }
 
+// WithRetries sets how many extra attempts a run gets after a
+// transient failure — an error, a panic, or a result the certification
+// gate rejected (default DefaultRetries; 0 disables retries). Before
+// each retry the optimizer is re-seeded when it implements
+// opt.Reseedable, so randomized searches do not deterministically
+// repeat the failed attempt.
+func WithRetries(n int) Option {
+	return func(e *Engine) {
+		if n < 0 {
+			n = 0
+		}
+		e.retries, e.retriesSet = n, true
+	}
+}
+
+// WithQuarantineAfter sets the circuit-breaker threshold: an optimizer
+// accumulating n failures (panics, errors, certification rejections)
+// within one run is benched — no further retries, its results
+// discarded, Quarantined set in its RunRecord (default
+// DefaultQuarantineAfter; minimum 1).
+func WithQuarantineAfter(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.quarantine, e.quarantineSet = n, true
+	}
+}
+
 // New builds an Engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{}
@@ -76,8 +161,22 @@ func New(opts ...Option) *Engine {
 	return e
 }
 
+func (e *Engine) effRetries() int {
+	if e.retriesSet {
+		return e.retries
+	}
+	return DefaultRetries
+}
+
+func (e *Engine) effQuarantine() int {
+	if e.quarantineSet {
+		return e.quarantine
+	}
+	return DefaultQuarantineAfter
+}
+
 // jobResult is the model-independent slice of an optimizer's result
-// that the supervisor needs for merging and reporting.
+// that the supervisor needs for auditing, merging and reporting.
 type jobResult struct {
 	seq    []int
 	breaks []int
@@ -91,27 +190,42 @@ type job struct {
 	// run executes with the per-run context; the instance it closes
 	// over already carries a fresh stats sink.
 	run func(ctx context.Context) (*jobResult, error)
+	// audit is the certification gate: a non-nil error rejects the
+	// result before it can reach the merge. It closes over the
+	// original (uninstrumented) instance so the auditor's recomputation
+	// never pollutes the run's counters.
+	audit func(*jobResult) error
+	// reseed re-seeds the optimizer before a retry attempt; nil when
+	// the optimizer is not reseedable.
+	reseed func(seed int64)
 	// sink is snapshotted into the RunRecord even when run never
 	// returns (abandonment) — it is written with atomics only.
 	sink *stats.Stats
 }
 
-// Run executes the optimizers concurrently over in and merges their
-// results. It returns a Report whenever the ensemble is non-empty; the
-// error is non-nil only when no optimizer produced a result (all
-// failed, panicked, or were abandoned resultless) — mirroring
-// opt.BestOf's skip-errors semantics. The Report is returned alongside
-// the error so failed runs can still be inspected.
+// Run executes the optimizers concurrently over in, audits every
+// result through the certification gate, and merges the surviving
+// results cheapest-first. It returns a Report whenever the ensemble is
+// non-empty; the error is non-nil only when no optimizer produced a
+// certified result (all failed, panicked, were quarantined, or were
+// abandoned resultless). The Report is returned alongside the error so
+// failed runs can still be inspected.
 func (e *Engine) Run(ctx context.Context, in *qon.Instance, optimizers ...opt.Optimizer) (*Report, error) {
+	if in == nil {
+		return nil, ErrNilInstance
+	}
 	if len(optimizers) == 0 {
-		return nil, errors.New("engine: no optimizers given")
+		return nil, ErrNoOptimizers
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: context done before any run started: %w", err)
 	}
 	jobs := make([]*job, len(optimizers))
 	for i, o := range optimizers {
 		o := o
 		sink := &stats.Stats{}
 		instrumented := in.WithStats(sink)
-		jobs[i] = &job{
+		j := &job{
 			name: o.Name(),
 			sink: sink,
 			run: func(ctx context.Context) (*jobResult, error) {
@@ -124,34 +238,114 @@ func (e *Engine) Run(ctx context.Context, in *qon.Instance, optimizers ...opt.Op
 				}
 				return &jobResult{seq: []int(r.Sequence), cost: r.Cost, exact: r.Exact}, nil
 			},
+			audit: func(r *jobResult) error {
+				_, err := certify.QON(in, r.seq, r.cost, r.exact)
+				return err
+			},
 		}
+		if rs, ok := o.(opt.Reseedable); ok {
+			j.reseed = rs.Reseed
+		}
+		jobs[i] = j
 	}
 	report, best := e.supervise(ctx, jobs)
 	report.Model = "qon"
 	report.N = in.N()
 	report.Best = best
 	if best == nil {
-		return report, fmt.Errorf("engine: every optimizer failed: %s", firstFailure(report.Runs))
+		return report, fmt.Errorf("%w: %s", ErrAllFailed, firstFailure(report.Runs))
 	}
 	return report, nil
 }
 
 // outcome is what a run goroutine delivers back to the supervisor.
 type outcome struct {
-	idx      int
-	res      *jobResult
-	err      error
-	panicked bool
-	timedOut bool
-	dur      time.Duration
+	idx         int
+	res         *jobResult
+	err         error
+	panicked    bool
+	panicValue  string
+	panicStack  string
+	timedOut    bool
+	certified   bool
+	quarantined bool
+	attempts    int
+	failures    int
+	certErr     string
+	dur         time.Duration
 }
 
-// supervise runs the jobs concurrently and collects them into records,
-// merging the cheapest successful result (first arrival wins ties).
+// runShielded executes one attempt with panic isolation, returning the
+// recovered panic value and a stack summary when the attempt crashed.
+func runShielded(ctx context.Context, j *job) (res *jobResult, err error, panicValue, panicStack string) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, nil
+			panicValue = fmt.Sprintf("%v", p)
+			panicStack = stackSummary(debug.Stack())
+		}
+	}()
+	res, err = j.run(ctx)
+	if err == nil && res == nil {
+		err = errors.New("optimizer returned no result")
+	}
+	return res, err, "", ""
+}
+
+// stackSummary compresses a debug.Stack dump to the first few
+// non-runtime frames ("func (file:line)"), enough to locate a panic in
+// a report without shipping the whole trace.
+func stackSummary(stack []byte) string {
+	lines := strings.Split(string(stack), "\n")
+	var frames []string
+	for i := 0; i+1 < len(lines) && len(frames) < 4; i++ {
+		fn := strings.TrimSpace(lines[i])
+		loc := strings.TrimSpace(lines[i+1])
+		// A frame is a "pkg.Func(...)" line followed by a tab-indented
+		// "file.go:N +0x..." line.
+		if fn == "" || !strings.Contains(fn, "(") || !strings.Contains(loc, ".go:") {
+			continue
+		}
+		if strings.HasPrefix(fn, "runtime") || strings.HasPrefix(fn, "panic(") ||
+			strings.Contains(fn, "runShielded") || strings.Contains(fn, "debug.Stack") {
+			i++
+			continue
+		}
+		name := fn
+		if cut := strings.LastIndex(name, "("); cut > 0 {
+			name = name[:cut]
+		}
+		file := loc
+		if cut := strings.LastIndex(file, " +0x"); cut > 0 {
+			file = file[:cut]
+		}
+		if cut := strings.LastIndex(file, "/"); cut >= 0 {
+			file = file[cut+1:]
+		}
+		frames = append(frames, name+" ("+file+")")
+		i++
+	}
+	return strings.Join(frames, " <- ")
+}
+
+// arrival is one certified result, kept for the final merge so a
+// later quarantine can discard an optimizer's prior contributions.
+type arrival struct {
+	idx int
+	res *jobResult
+}
+
+// supervise runs the jobs concurrently — each with retry, certification
+// and quarantine handling — and collects them into records, merging the
+// cheapest certified result from a non-quarantined optimizer (first
+// arrival wins ties).
 func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestRecord) {
 	started := time.Now()
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	retries := e.effRetries()
+	benchAt := e.effQuarantine()
 
 	// Buffered so abandoned goroutines can deliver late and exit
 	// instead of leaking blocked forever.
@@ -163,7 +357,14 @@ func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestReco
 			start := time.Now()
 			defer func() {
 				if p := recover(); p != nil {
-					oc.res, oc.err, oc.panicked = nil, fmt.Errorf("%v", p), true
+					// Backstop for panics outside the shielded attempt
+					// (supervision bug, audit panic): still a record,
+					// never a crashed process.
+					oc.res, oc.certified = nil, false
+					oc.panicked = true
+					oc.panicValue = fmt.Sprintf("%v", p)
+					oc.panicStack = stackSummary(debug.Stack())
+					oc.err = fmt.Errorf("panic: %s", oc.panicValue)
 				}
 				oc.dur = time.Since(start)
 				results <- oc
@@ -174,7 +375,45 @@ func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestReco
 				jctx, jcancel = context.WithTimeout(runCtx, e.runTimeout)
 				defer jcancel()
 			}
-			oc.res, oc.err = j.run(jctx)
+			for attempt := 0; ; attempt++ {
+				oc.attempts = attempt + 1
+				res, err, panicValue, panicStack := runShielded(jctx, j)
+				switch {
+				case panicValue != "":
+					oc.failures++
+					oc.panicked = true
+					oc.panicValue, oc.panicStack = panicValue, panicStack
+					oc.err = fmt.Errorf("panic: %s", panicValue)
+				case err != nil:
+					oc.failures++
+					oc.panicked = false
+					oc.err = err
+				default:
+					if aerr := j.audit(res); aerr != nil {
+						oc.failures++
+						oc.panicked = false
+						oc.certErr = aerr.Error()
+						oc.err = fmt.Errorf("%w: %v", ErrUncertified, aerr)
+					} else {
+						oc.res, oc.err, oc.certified = res, nil, true
+						oc.panicked = false
+					}
+				}
+				if oc.certified {
+					break
+				}
+				if oc.failures >= benchAt {
+					oc.quarantined = true
+					oc.err = fmt.Errorf("%w after %d failures: %v", ErrQuarantined, oc.failures, oc.err)
+					break
+				}
+				if attempt >= retries || jctx.Err() != nil {
+					break
+				}
+				if j.reseed != nil {
+					j.reseed(int64(attempt + 1))
+				}
+			}
 			// A deadline that expired marks the run timed out even when an
 			// anytime algorithm still salvaged a best-so-far result.
 			oc.timedOut = errors.Is(jctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil
@@ -186,7 +425,8 @@ func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestReco
 	for i, j := range jobs {
 		records[i].Name = j.name
 	}
-	var best *BestRecord
+	var arrivals []arrival
+	var best *BestRecord // provisional, for early exit only
 	var bestCost num.Num
 	grace := e.grace
 	if grace <= 0 {
@@ -204,25 +444,25 @@ func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestReco
 			rec.WallMS = float64(oc.dur.Microseconds()) / 1000
 			rec.Stats = jobs[oc.idx].sink.Snapshot()
 			rec.Panicked = oc.panicked
+			rec.PanicValue = oc.panicValue
+			rec.PanicStack = oc.panicStack
 			rec.TimedOut = oc.timedOut
+			rec.Certified = oc.certified
+			rec.Quarantined = oc.quarantined
+			rec.Attempts = oc.attempts
+			rec.Failures = oc.failures
+			rec.CertError = oc.certErr
 			if oc.err != nil {
 				rec.Err = oc.err.Error()
 			}
-			if oc.res != nil {
+			if oc.res != nil && oc.certified && !oc.quarantined {
 				cost := oc.res.cost
 				rec.Cost = &cost
 				rec.CostLog2 = cost.Log2()
 				rec.Exact = oc.res.exact
+				arrivals = append(arrivals, arrival{idx: oc.idx, res: oc.res})
 				if best == nil || cost.Less(bestCost) {
-					best = &BestRecord{
-						Winner:   jobs[oc.idx].name,
-						Sequence: oc.res.seq,
-						Breaks:   oc.res.breaks,
-						Cost:     cost,
-						CostLog2: cost.Log2(),
-						Exact:    oc.res.exact,
-					}
-					bestCost = cost
+					best, bestCost = e.bestRecord(jobs, oc.idx, oc.res), cost
 				}
 				if oc.res.exact && !e.noEarly {
 					cancel() // remaining runs can only tie at best
@@ -237,7 +477,9 @@ func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestReco
 			graceC = t.C
 		case <-graceC:
 			// Whatever is still running is abandoned: salvage counters
-			// (atomics stay coherent mid-run), record the abandonment.
+			// (atomics stay coherent mid-run), record the abandonment and
+			// bench the optimizer — a component that ignores cancellation
+			// is quarantined like one that fails certification.
 			for i := range jobs {
 				if finished[i] {
 					continue
@@ -246,15 +488,49 @@ func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestReco
 				rec.WallMS = float64(time.Since(started).Microseconds()) / 1000
 				rec.Stats = jobs[i].sink.Snapshot()
 				rec.Abandoned = true
-				rec.Err = "abandoned: no result within the cancellation grace period"
+				rec.Quarantined = true
+				rec.Err = ErrQuarantined.Error() + ": no result within the cancellation grace period"
 			}
 			pending = 0
 		}
 	}
-	return &Report{
+
+	// Final merge over certified arrivals from non-quarantined
+	// optimizers. A quarantined job cannot have delivered a certified
+	// result under the current retry loop, but the filter keeps the
+	// discard-prior-contributions guarantee independent of that detail.
+	best = nil
+	for _, a := range arrivals {
+		if records[a.idx].Quarantined {
+			continue
+		}
+		if best == nil || a.res.cost.Less(bestCost) {
+			best, bestCost = e.bestRecord(jobs, a.idx, a.res), a.res.cost
+		}
+	}
+	report := &Report{
 		Runs:   records,
 		WallMS: float64(time.Since(started).Microseconds()) / 1000,
-	}, best
+	}
+	for _, rec := range records {
+		if rec.Quarantined {
+			report.Quarantined = append(report.Quarantined, rec.Name)
+		}
+	}
+	return report, best
+}
+
+// bestRecord builds the winning-plan record for a certified result.
+func (e *Engine) bestRecord(jobs []*job, idx int, res *jobResult) *BestRecord {
+	return &BestRecord{
+		Winner:    jobs[idx].name,
+		Sequence:  res.seq,
+		Breaks:    res.breaks,
+		Cost:      res.cost,
+		CostLog2:  res.cost.Log2(),
+		Exact:     res.exact,
+		Certified: true,
+	}
 }
 
 // firstFailure summarizes the first failed run for the all-failed error.

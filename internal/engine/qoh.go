@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"approxqo/internal/certify"
 	"approxqo/internal/opt"
 	"approxqo/internal/qoh"
 	"approxqo/internal/stats"
@@ -41,14 +42,20 @@ func QOHSearchers(opts ...opt.Option) []QOHSearcher {
 
 // RunQOH is Run for the QO_H plan search: it supervises the searchers
 // concurrently over in with the same cancellation, deadline, panic
-// isolation, grace and merge semantics, and the same per-run
-// instrumentation (QO_H counts a cost evaluation per candidate
-// sequence costed end to end and a DP subset per pipeline interval).
-// The exhaustive searcher's winning plan is marked exact, triggering
-// early exit like an exact QO_N result.
+// isolation, certification, quarantine, retry, grace and merge
+// semantics, and the same per-run instrumentation (QO_H counts a cost
+// evaluation per candidate sequence costed end to end and a DP subset
+// per pipeline interval). The exhaustive searcher's winning plan is
+// marked exact, triggering early exit like an exact QO_N result.
 func (e *Engine) RunQOH(ctx context.Context, in *qoh.Instance, searchers ...QOHSearcher) (*Report, error) {
+	if in == nil {
+		return nil, ErrNilInstance
+	}
 	if len(searchers) == 0 {
-		return nil, errors.New("engine: no searchers given")
+		return nil, fmt.Errorf("%w (QO_H searchers)", ErrNoOptimizers)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: context done before any run started: %w", err)
 	}
 	jobs := make([]*job, len(searchers))
 	for i, s := range searchers {
@@ -69,6 +76,10 @@ func (e *Engine) RunQOH(ctx context.Context, in *qoh.Instance, searchers ...QOHS
 				}
 				return &jobResult{seq: p.Z, breaks: p.Breaks, cost: p.Cost, exact: exact}, nil
 			},
+			audit: func(r *jobResult) error {
+				_, err := certify.QOH(in, r.seq, r.breaks, r.cost, r.exact)
+				return err
+			},
 		}
 	}
 	report, best := e.supervise(ctx, jobs)
@@ -76,7 +87,7 @@ func (e *Engine) RunQOH(ctx context.Context, in *qoh.Instance, searchers ...QOHS
 	report.N = in.N()
 	report.Best = best
 	if best == nil {
-		return report, fmt.Errorf("engine: every searcher failed: %s", firstFailure(report.Runs))
+		return report, fmt.Errorf("%w: %s", ErrAllFailed, firstFailure(report.Runs))
 	}
 	return report, nil
 }

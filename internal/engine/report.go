@@ -26,25 +26,46 @@ type BestRecord struct {
 	CostLog2 float64 `json:"cost_log2"`
 	// Exact reports whether the cost is certified optimal.
 	Exact bool `json:"exact"`
+	// Certified reports that the plan passed the independent audit
+	// (always true for a merged winner: uncertified results cannot win).
+	Certified bool `json:"certified"`
 }
 
 // RunRecord is the per-optimizer account of one ensemble run: outcome,
-// wall time and instrumentation counters. Exactly one of Cost/Err is
-// meaningful unless the run was abandoned with no result.
+// wall time, certification verdict and instrumentation counters.
+// Exactly one of Cost/Err is meaningful unless the run was abandoned
+// with no result.
 type RunRecord struct {
 	Name   string  `json:"name"`
 	WallMS float64 `json:"wall_ms"`
 	// Stats are the cost-model counters observed for this run: cost
-	// evaluations, DP subsets expanded, local-search moves.
+	// evaluations, DP subsets expanded, local-search moves. With
+	// retries they accumulate across attempts.
 	Stats stats.Snapshot `json:"stats"`
 
 	Cost     *num.Num `json:"cost,omitempty"`
 	CostLog2 float64  `json:"cost_log2,omitempty"`
 	Exact    bool     `json:"exact,omitempty"`
 
+	// Certified reports that the run's result passed the independent
+	// audit; only certified results participate in the merge.
+	Certified bool `json:"certified,omitempty"`
+	// Attempts counts optimization attempts (1 unless retried);
+	// Failures counts attempts that errored, panicked or failed
+	// certification.
+	Attempts int `json:"attempts,omitempty"`
+	Failures int `json:"failures,omitempty"`
+	// CertError carries the auditor's rejection for the last attempt
+	// that failed certification.
+	CertError string `json:"cert_error,omitempty"`
+
 	Err string `json:"error,omitempty"`
-	// Panicked marks a run that crashed; Err carries the panic value.
-	Panicked bool `json:"panicked,omitempty"`
+	// Panicked marks a run that crashed; PanicValue carries the
+	// recovered panic value and PanicStack a short frame summary of
+	// where it happened.
+	Panicked   bool   `json:"panicked,omitempty"`
+	PanicValue string `json:"panic_value,omitempty"`
+	PanicStack string `json:"panic_stack,omitempty"`
 	// TimedOut marks a run whose per-run deadline expired (the run may
 	// still carry a best-so-far result if its algorithm is anytime).
 	TimedOut bool `json:"timed_out,omitempty"`
@@ -52,6 +73,9 @@ type RunRecord struct {
 	// grace period after cancellation; its goroutine was left behind and
 	// only its counters were salvaged.
 	Abandoned bool `json:"abandoned,omitempty"`
+	// Quarantined marks an optimizer benched by the circuit-breaker:
+	// repeated failures or abandonment. Its results are discarded.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // Report is the structured, JSON-serializable outcome of one ensemble
@@ -62,9 +86,12 @@ type Report struct {
 	// N is the relation count of the instance.
 	N int `json:"n"`
 	// Best is nil when every optimizer failed.
-	Best   *BestRecord `json:"best,omitempty"`
-	Runs   []RunRecord `json:"runs"`
-	WallMS float64     `json:"wall_ms"`
+	Best *BestRecord `json:"best,omitempty"`
+	Runs []RunRecord `json:"runs"`
+	// Quarantined lists the optimizers benched by the circuit-breaker
+	// during this run.
+	Quarantined []string `json:"quarantined,omitempty"`
+	WallMS      float64  `json:"wall_ms"`
 }
 
 // WriteText renders the report as an aligned table, cheapest run first.
@@ -88,21 +115,36 @@ func (r *Report) WriteText(w io.Writer) {
 			cost = fmt.Sprintf("%.3f", run.CostLog2)
 		}
 		switch {
-		case run.Panicked:
-			note = "panicked: " + run.Err
 		case run.Abandoned:
-			note = "abandoned"
+			note = "abandoned (quarantined)"
+		case run.Quarantined && run.Panicked:
+			note = "quarantined: panicked: " + run.PanicValue
+		case run.Quarantined && run.CertError != "":
+			note = "quarantined: uncertified: " + run.CertError
+		case run.Quarantined:
+			note = "quarantined: " + run.Err
+		case run.Panicked:
+			note = "panicked: " + run.PanicValue
+		case run.CertError != "":
+			note = "uncertified: " + run.CertError
 		case run.TimedOut:
 			note = "timed out"
 		case run.Err != "":
 			note = run.Err
 		}
+		if note == "" && run.Attempts > 1 {
+			note = fmt.Sprintf("recovered after %d attempts", run.Attempts)
+		}
 		fmt.Fprintf(tw, "%s\t%s\t%v\t%.1fms\t%d\t%d\t%d\t%s\n",
 			run.Name, cost, run.Exact, run.WallMS,
 			run.Stats.CostEvals, run.Stats.DPSubsets, run.Stats.Moves, note)
 	}
+	if len(r.Quarantined) > 0 {
+		fmt.Fprintf(tw, "\nquarantined\t%v\n", r.Quarantined)
+	}
 	if r.Best != nil {
-		fmt.Fprintf(tw, "\nwinner\t%s (log2 cost %.3f, exact=%v)\n", r.Best.Winner, r.Best.CostLog2, r.Best.Exact)
+		fmt.Fprintf(tw, "\nwinner\t%s (log2 cost %.3f, exact=%v, certified=%v)\n",
+			r.Best.Winner, r.Best.CostLog2, r.Best.Exact, r.Best.Certified)
 	}
 	tw.Flush()
 }

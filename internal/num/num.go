@@ -72,6 +72,13 @@ func Pow2(exp int64) Num {
 // valid reports whether n was produced by a constructor.
 func (n Num) valid() bool { return n.f != nil }
 
+// IsValid reports whether n was produced by a constructor (or decoded
+// from JSON). Arithmetic on an invalid (zero-value) Num panics, so
+// code that receives Num values from untrusted sources — decoded
+// instances, optimizer results under audit — should check IsValid
+// before computing with them.
+func (n Num) IsValid() bool { return n.valid() }
+
 func (n Num) check() {
 	if !n.valid() {
 		panic("num: use of zero-value Num; construct with Zero/FromInt64/...")
@@ -250,6 +257,13 @@ func (n *Num) UnmarshalJSON(data []byte) error {
 	}
 	if f.Sign() < 0 {
 		return fmt.Errorf("num: negative value %q", s)
+	}
+	// big.ParseFloat turns over-large exponents into +Inf without an
+	// error, and infinities poison later arithmetic (Inf−Inf and 0·Inf
+	// panic inside math/big). Num is finite by construction; keep it
+	// finite on the decode path too.
+	if f.IsInf() {
+		return fmt.Errorf("num: non-finite value %q", s)
 	}
 	n.f = f
 	return nil

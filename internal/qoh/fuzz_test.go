@@ -1,0 +1,89 @@
+package qoh
+
+import (
+	"encoding/json"
+	"testing"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+)
+
+// fuzzSeedInstance builds a small valid QO_H instance for the corpus.
+func fuzzSeedInstance() *Instance {
+	n := 3
+	q := graph.Complete(n)
+	in := &Instance{Q: q, T: make([]num.Num, n), M: num.FromInt64(64)}
+	in.S = make([][]num.Num, n)
+	for i := 0; i < n; i++ {
+		in.T[i] = num.FromInt64(8)
+		in.S[i] = make([]num.Num, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				in.S[i][j] = num.One()
+			} else {
+				in.S[i][j] = num.Pow2(-1)
+			}
+		}
+	}
+	return in
+}
+
+// FuzzInstanceJSON checks that arbitrary JSON never panics the QO_H
+// instance decoder (which validates on decode) and that accepted
+// instances survive a marshal/unmarshal round trip.
+func FuzzInstanceJSON(f *testing.F) {
+	valid, err := json.Marshal(fuzzSeedInstance())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(valid))
+	f.Add(`{}`)
+	f.Add(`{"query_graph":{"n":2,"edges":[[0,1]]},"sizes":["4","4"]}`)
+	f.Add(`{"query_graph":{"n":2,"edges":[[0,1]]},"sizes":["4","4"],"selectivities":[[null,null],[null,null]],"memory":"16"}`)
+	f.Add(`{"query_graph":{"n":1,"edges":[]},"sizes":["4"],"selectivities":[["1"]],"memory":"0"}`)
+	f.Add(`{"query_graph":{"n":2,"edges":[]},"sizes":["4","4"],"selectivities":[["1","1"],["1","1"]],"memory":"16","psi":2}`)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		var in Instance
+		if err := json.Unmarshal([]byte(input), &in); err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid instance: %v", err)
+		}
+		data, err := json.Marshal(&in)
+		if err != nil {
+			t.Fatalf("marshal of accepted instance: %v", err)
+		}
+		var back Instance
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if back.N() != in.N() {
+			t.Fatalf("round trip changed n: %d -> %d", in.N(), back.N())
+		}
+		if n := in.N(); n >= 2 && n <= 8 {
+			seq := make([]int, n)
+			for i := range seq {
+				seq[i] = i
+			}
+			// Sizes must agree across the round trip; decompositions may
+			// legitimately be infeasible (mandatory memory above M).
+			s1, s2 := in.Sizes(seq), back.Sizes(seq)
+			for i := range s1 {
+				if !s1[i].Equal(s2[i]) {
+					t.Fatal("round trip changed the size model")
+				}
+			}
+			if _, err := in.BestDecomposition(seq); err == nil {
+				if _, err := back.BestDecomposition(seq); err != nil {
+					t.Fatalf("round trip lost feasibility: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -84,6 +84,9 @@ func (in *Instance) Validate() error {
 	if len(in.S) != n {
 		return fmt.Errorf("qoh: selectivity matrix has %d rows, want %d", len(in.S), n)
 	}
+	if !in.M.IsValid() {
+		return fmt.Errorf("qoh: missing memory budget")
+	}
 	if in.M.IsZero() {
 		return fmt.Errorf("qoh: zero memory budget")
 	}
@@ -91,13 +94,25 @@ func (in *Instance) Validate() error {
 		return fmt.Errorf("qoh: psi = %v outside (0,1)", p)
 	}
 	one := num.One()
+	// First pass: dimensions and value validity, so the pairwise checks
+	// below can index any row safely.
 	for i := 0; i < n; i++ {
 		if len(in.S[i]) != n {
 			return fmt.Errorf("qoh: selectivity row %d has wrong length", i)
 		}
+		if !in.T[i].IsValid() {
+			return fmt.Errorf("qoh: relation %d has no size", i)
+		}
 		if in.T[i].IsZero() {
 			return fmt.Errorf("qoh: relation %d has size zero", i)
 		}
+		for j := 0; j < n; j++ {
+			if !in.S[i][j].IsValid() {
+				return fmt.Errorf("qoh: missing selectivity at (%d,%d)", i, j)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue

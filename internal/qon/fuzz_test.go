@@ -1,0 +1,62 @@
+package qon
+
+import (
+	"encoding/json"
+	"testing"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+)
+
+// FuzzInstanceJSON checks that arbitrary JSON never panics the QO_N
+// instance decoder (which validates on decode) and that accepted
+// instances survive a marshal/unmarshal round trip.
+func FuzzInstanceJSON(f *testing.F) {
+	valid, err := json.Marshal(NewUniform(graph.Complete(3), num.FromInt64(4), num.Pow2(-1), num.FromInt64(2)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(valid))
+	f.Add(`{}`)
+	f.Add(`{"query_graph":{"n":2,"edges":[[0,1]]}}`)
+	f.Add(`{"query_graph":{"n":2,"edges":[]},"sizes":["2","3"],"selectivities":[[null,null],[null,null]],"access_costs":[[null,null],[null,null]]}`)
+	f.Add(`{"query_graph":{"n":1,"edges":[]},"sizes":["0"],"selectivities":[["1"]],"access_costs":[["1"]]}`)
+	f.Add(`{"query_graph":{"n":2,"edges":[[0,1]]},"sizes":["2","2"],"selectivities":[["1","2"],["2","1"]],"access_costs":[["2","2"],["2","2"]]}`)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		var in Instance
+		if err := json.Unmarshal([]byte(input), &in); err != nil {
+			return
+		}
+		// An accepted instance is validated: it must be safe to cost a
+		// trivial sequence and to re-encode.
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid instance: %v", err)
+		}
+		data, err := json.Marshal(&in)
+		if err != nil {
+			t.Fatalf("marshal of accepted instance: %v", err)
+		}
+		var back Instance
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if back.N() != in.N() {
+			t.Fatalf("round trip changed n: %d -> %d", in.N(), back.N())
+		}
+		if n := in.N(); n > 0 && n <= 16 {
+			seq := make(Sequence, n)
+			for i := range seq {
+				seq[i] = i
+			}
+			cost := in.Cost(seq)
+			if !cost.Equal(back.Cost(seq)) {
+				t.Fatal("round trip changed the cost model")
+			}
+		}
+	})
+}

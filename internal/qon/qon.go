@@ -107,8 +107,16 @@ func (in *Instance) Validate() error {
 		if len(in.S[i]) != n || len(in.W[i]) != n {
 			return fmt.Errorf("qon: row %d has wrong length", i)
 		}
+		if !in.T[i].IsValid() {
+			return fmt.Errorf("qon: relation %d has no size", i)
+		}
 		if in.T[i].IsZero() {
 			return fmt.Errorf("qon: relation %d has size zero", i)
+		}
+		for j := 0; j < n; j++ {
+			if !in.S[i][j].IsValid() || !in.W[i][j].IsValid() {
+				return fmt.Errorf("qon: missing selectivity or access cost at (%d,%d)", i, j)
+			}
 		}
 	}
 	one := num.One()
