@@ -29,6 +29,7 @@ import (
 	"approxqo/internal/sat"
 	"approxqo/internal/sqocp"
 	"approxqo/internal/stats"
+	"approxqo/internal/trace"
 	"approxqo/internal/workload"
 )
 
@@ -70,6 +71,15 @@ type (
 	Stats = stats.Stats
 	// StatsSnapshot is an immutable copy of a Stats sink's counters.
 	StatsSnapshot = stats.Snapshot
+	// Tracer collects hierarchical spans and exports Chrome trace_event
+	// JSON; Span is one timed region of a traced run.
+	Tracer = trace.Tracer
+	Span   = trace.Span
+	// MetricsRegistry is the named counter/gauge/histogram sink the
+	// engine publishes ensemble aggregates into.
+	MetricsRegistry = trace.Registry
+	// MetricsSnapshot is a point-in-time copy of a whole registry.
+	MetricsSnapshot = trace.RegistrySnapshot
 	// StarQuery is the appendix's SQO−CP star-query instance.
 	StarQuery = sqocp.Star
 	// WorkloadParams parameterizes realistic random query generation.
@@ -166,6 +176,21 @@ var (
 	WithQuarantineAfter = engine.WithQuarantineAfter
 	// QOHSearchers returns the engine-ready QO_H plan-search ensemble.
 	QOHSearchers = engine.QOHSearchers
+)
+
+// Observability: tracing, metrics and profiling (see internal/trace).
+var (
+	// NewTracer builds a span collector for engine.WithTracer.
+	NewTracer = trace.New
+	// NewMetricsRegistry builds a metrics sink for engine.WithMetrics.
+	NewMetricsRegistry = trace.NewRegistry
+	// WithTracer and WithMetrics attach the observability sinks to an
+	// engine; nil sinks disable instrumentation with no branching.
+	WithTracer  = engine.WithTracer
+	WithMetrics = engine.WithMetrics
+	// StartProfiles starts pprof CPU/heap capture (either path may be
+	// empty); stop with the returned Profiler's Stop.
+	StartProfiles = trace.StartProfiles
 )
 
 // Certification and fault injection.

@@ -1,0 +1,73 @@
+package approxqo
+
+import (
+	"testing"
+
+	"approxqo/internal/opt"
+	"approxqo/internal/qon"
+	"approxqo/internal/workload"
+)
+
+// Regression benchmarks: the fixed set scripts/benchdiff compares
+// against the checked-in BENCH_qon.json baseline (>20% ns/op or allocs
+// regression fails extended verify). Keep the set small and single-size
+// — benchdiff runs them with -benchtime 30x -count 3 and takes the
+// minimum, so each iteration must be stable and quick.
+
+func regInstance(b *testing.B, n int) *qon.Instance {
+	b.Helper()
+	in, err := workload.Generate(workload.Params{N: n, Shape: workload.Random, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkRegSubsetDP pins the serial exact DP at n=10.
+func BenchmarkRegSubsetDP(b *testing.B) {
+	in := regInstance(b, 10)
+	dp := opt.NewDP()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dp.Optimize(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegDPParallel pins the layered parallel DP at n=10.
+func BenchmarkRegDPParallel(b *testing.B) {
+	in := regInstance(b, 10)
+	dp := opt.NewDPParallel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dp.Optimize(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegGreedy pins the min-cost greedy heuristic at n=16.
+func BenchmarkRegGreedy(b *testing.B) {
+	in := regInstance(b, 16)
+	g := opt.NewGreedy(opt.GreedyMinCost)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Optimize(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegCostEval pins one full QO_N cost evaluation at n=32.
+func BenchmarkRegCostEval(b *testing.B) {
+	in := regInstance(b, 32)
+	z := make(qon.Sequence, in.N())
+	for i := range z {
+		z[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Evaluate(z)
+	}
+}

@@ -47,6 +47,8 @@ func main() {
 
 	ctx, cancel := common.Context()
 	defer cancel()
+	common.Observe("experiments")
+	defer common.Close("experiments")
 	opts := experiments.Options{Quick: *quick, Seed: common.Seed, Context: ctx}
 	selected := experiments.All()
 	if *only != "" {
@@ -63,7 +65,7 @@ func main() {
 	if common.JSON {
 		doc := make([]jsonExperiment, 0, len(selected))
 		for _, e := range selected {
-			tables, err := e.Run(opts)
+			tables, err := runTraced(e, opts)
 			if err != nil {
 				fatal(err)
 			}
@@ -77,14 +79,18 @@ func main() {
 
 	for _, e := range selected {
 		if *csvDir == "" {
-			if err := experiments.WriteOne(os.Stdout, e, opts); err != nil {
+			span := common.Tracer().Start("experiment:" + e.ID)
+			err := experiments.WriteOne(os.Stdout, e, opts)
+			span.End()
+			if err != nil {
 				fatal(err)
 			}
+			common.Registry().Counter("experiments.runs").Inc()
 			continue
 		}
 		// Run once, render both ways.
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
-		tables, err := e.Run(opts)
+		tables, err := runTraced(e, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -111,6 +117,22 @@ func main() {
 			fmt.Printf("(csv: %s)\n\n", path)
 		}
 	}
+}
+
+// runTraced runs one experiment under a command-level span and tallies
+// it in the metrics registry; with -trace/-metrics off both sinks are
+// nil and this is just e.Run.
+func runTraced(e experiments.Experiment, opts experiments.Options) ([]*report.Table, error) {
+	span := common.Tracer().Start("experiment:" + e.ID)
+	defer span.End()
+	tables, err := e.Run(opts)
+	if err != nil {
+		common.Registry().Counter("experiments.failed").Inc()
+		return nil, err
+	}
+	common.Registry().Counter("experiments.runs").Inc()
+	span.SetField("tables", len(tables))
+	return tables, nil
 }
 
 func fatal(err error) {

@@ -35,6 +35,10 @@ import (
 
 var common = cliutil.Common{Seed: 1}
 
+// obsOpts carries the -trace/-metrics engine options from main to the
+// mode runners that start an ensemble.
+var obsOpts []engine.Option
+
 // summary is qohard's -json output: the mode's headline numbers in
 // log₂ form, plus the supervising engine's report where a search ran.
 type summary struct {
@@ -80,6 +84,8 @@ func main() {
 
 	ctx, cancel := common.Context()
 	defer cancel()
+	obsOpts = common.Observe("qohard")
+	defer common.Close("qohard")
 
 	switch *mode {
 	case "formula":
@@ -127,7 +133,7 @@ func runHash(ctx context.Context, n int, a int64) {
 	}
 	textf("YES witness (Lemma 12 five-pipeline plan): %s, pipelines %v\n",
 		report.Log2(plan.Cost), plan.Pipelines())
-	rep, err := engine.New().RunQOH(ctx, fhNo.QOH, engine.QOHSearchers(opt.WithSeed(common.Seed))...)
+	rep, err := engine.New(obsOpts...).RunQOH(ctx, fhNo.QOH, engine.QOHSearchers(opt.WithSeed(common.Seed))...)
 	if err != nil {
 		fatal(err)
 	}
@@ -271,7 +277,7 @@ func runPair(ctx context.Context, n int, c, d float64, a int64, out string) {
 		s.GapLog2 = noOpt.Cost.Log2() - yesOpt.Cost.Log2()
 		s.Exact = true
 	} else {
-		rep, err := engine.New().Run(ctx, fnNo.QON, opt.Heuristics(opt.WithSeed(7))...)
+		rep, err := engine.New(obsOpts...).Run(ctx, fnNo.QON, opt.Heuristics(opt.WithSeed(7))...)
 		if err != nil {
 			fatal(err)
 		}

@@ -15,6 +15,7 @@
 //
 //	qopt -file instance.json [-algo subset-dp]
 //	qopt -shape chain -n 12 [-seed 3] [-algo all] [-timeout 500ms] [-json]
+//	qopt -shape chain -n 12 -trace trace.json -metrics [-cpuprofile cpu.pb.gz]
 package main
 
 import (
@@ -105,8 +106,11 @@ func main() {
 
 	ctx, cancel := common.Context()
 	defer cancel()
+	observe := common.Observe("qopt")
+	defer common.Close("qopt")
 	// Keep every run going: qopt's point is the per-optimizer comparison.
-	rep, err := engine.New(engine.WithoutEarlyExit()).Run(ctx, in, optimizers...)
+	eng := engine.New(append([]engine.Option{engine.WithoutEarlyExit()}, observe...)...)
+	rep, err := eng.Run(ctx, in, optimizers...)
 	if err != nil {
 		fatal(err)
 	}

@@ -52,6 +52,8 @@ func main() {
 	// backstop so a pathological instance cannot wedge scripted runs.
 	ctx, cancel := common.Context()
 	defer cancel()
+	common.Observe("sqocp")
+	defer common.Close("sqocp")
 	type outcome struct {
 		res *result
 		err error
@@ -80,31 +82,43 @@ func main() {
 }
 
 func decideAll(items []int64) (*result, error) {
+	root := common.Tracer().Start("sqocp.decide")
+	root.SetField("items", len(items))
+	defer root.End()
+
+	stage := root.Child("partition")
 	p := &sqocp.Partition{Items: items}
 	yes, err := p.Decide()
+	stage.End()
 	if err != nil {
 		return nil, err
 	}
 	textf("PARTITION %v: %v\n", items, verdict(yes))
 
+	stage = root.Child("sppcs")
 	s, err := p.ToSPPCS()
 	if err != nil {
+		stage.End()
 		return nil, err
 	}
 	textf("SPPCS: %d pairs, L = %v\n", len(s.P), s.L)
 	sYes, mask, best, err := s.Decide()
+	stage.End()
 	if err != nil {
 		return nil, err
 	}
 	textf("SPPCS optimum: %v at subset mask %b → %v\n", best, mask, verdict(sYes))
 
+	stage = root.Child("sqocp")
 	red, err := sqocp.FromSPPCS(s, s.L)
 	if err != nil {
+		stage.End()
 		return nil, err
 	}
 	textf("SQO−CP star query: %d satellites, J = %v, threshold M ≈ 2^%d\n",
 		red.Star.M(), red.J, red.Threshold.BitLen()-1)
 	qYes, plan, cost, err := red.Decide()
+	stage.End()
 	if err != nil {
 		return nil, err
 	}
@@ -112,9 +126,12 @@ func decideAll(items []int64) (*result, error) {
 		plan.Order, methodNames(plan.Methods), cost.BitLen()-1, verdict(qYes))
 
 	agree := yes == sYes && sYes == qYes
+	root.SetField("agree", agree)
 	if agree {
+		common.Registry().Counter("sqocp.agree").Inc()
 		textf("all three stages agree ✓\n")
 	} else {
+		common.Registry().Counter("sqocp.disagree").Inc()
 		textf("STAGE DISAGREEMENT — reduction bug\n")
 	}
 	return &result{

@@ -6,6 +6,10 @@
 // ratios against the certified subset-DP optimum — the empirical side
 // of the paper's conclusion that easy shapes (trees) have exact
 // polynomial algorithms while general graphs do not.
+//
+// All shapes share one metrics registry, so the closing metrics summary
+// aggregates the whole shootout: total runs, certification verdicts,
+// and per-optimizer latency histograms across every shape.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"approxqo/internal/num"
 	"approxqo/internal/opt"
 	"approxqo/internal/report"
+	"approxqo/internal/trace"
 	"approxqo/internal/workload"
 )
 
@@ -26,6 +31,7 @@ func main() {
 	const n = 12
 	const budget = 2 * time.Second
 
+	metrics := trace.NewRegistry()
 	summary := report.New(
 		fmt.Sprintf("Join-order optimizer shootout (n = %d relations per query, %v budget per shape)", n, budget),
 		"shape", "optimizer", "ratio to optimum", "time",
@@ -46,7 +52,7 @@ func main() {
 		// expires; WithoutEarlyExit keeps the slow heuristics running
 		// even after the exact DP finishes, since the comparison is
 		// the point.
-		rep, err := engine.New(engine.WithoutEarlyExit()).Run(ctx, in, ensemble...)
+		rep, err := engine.New(engine.WithoutEarlyExit(), engine.WithMetrics(metrics)).Run(ctx, in, ensemble...)
 		cancel()
 		if err != nil {
 			log.Fatal(err)
@@ -82,4 +88,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\nratio 2^0.0 = found the certified optimum; kbz is exact on chain/star (trees).")
+
+	fmt.Println("\nshootout metrics (all shapes):")
+	if err := metrics.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,134 @@
+package approxqo
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// Golden-file tests pin the exact -json output of the commands: the
+// schema, field names, ordering and values consumers script against.
+// Volatile fields (wall_ms, span_id) are normalized before comparison.
+// Regenerate after an intentional schema change with:
+//
+//	go test -run TestGolden -update ./...
+var update = flag.Bool("update", false, "rewrite testdata/golden files")
+
+// normalizeJSON zeroes wall-clock fields and strips span ids anywhere
+// in the document, then re-marshals with stable indentation.
+func normalizeJSON(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, raw)
+	}
+	var walk func(v any)
+	walk = func(v any) {
+		switch v := v.(type) {
+		case map[string]any:
+			if _, ok := v["wall_ms"]; ok {
+				v["wall_ms"] = 0
+			}
+			delete(v, "span_id")
+			for _, c := range v {
+				walk(c)
+			}
+		case []any:
+			for _, c := range v {
+				walk(c)
+			}
+		}
+	}
+	walk(doc)
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// checkGolden compares got (already normalized) against the named
+// golden file, rewriting it under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test -run TestGolden -update ./...)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// goldenCLI runs a command expecting the given exit code and returns
+// its stdout.
+func goldenCLI(t *testing.T, wantExit int, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	exit := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	if exit != wantExit {
+		t.Fatalf("go run %v exited %d, want %d\nstdout: %s\nstderr: %s",
+			args, exit, wantExit, stdout.Bytes(), stderr.Bytes())
+	}
+	return stdout.Bytes()
+}
+
+func TestGoldenQoptJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	out := goldenCLI(t, 0, "./cmd/qopt", "-shape", "chain", "-n", "6", "-seed", "1", "-json")
+	checkGolden(t, "qopt_chain_n6.json", normalizeJSON(t, out))
+}
+
+func TestGoldenQohardPairJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	// n ≤ 18 takes the exact-DP branch: fully deterministic output.
+	out := goldenCLI(t, 0, "./cmd/qohard", "-mode", "pair", "-n", "10", "-json")
+	checkGolden(t, "qohard_pair_n10.json", normalizeJSON(t, out))
+	out = goldenCLI(t, 0, "./cmd/qohard", "-mode", "pair", "-n", "12", "-json")
+	checkGolden(t, "qohard_pair_n12.json", normalizeJSON(t, out))
+}
+
+func TestGoldenSqocpJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	out := goldenCLI(t, 0, "./cmd/sqocp", "-items", "1,2,3", "-json")
+	checkGolden(t, "sqocp_items123.json", normalizeJSON(t, out))
+}
+
+func TestGoldenErrorDoc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	// Every optimizer adversarial: the command must exit 1 with the
+	// structured error document, and its kind/message are stable.
+	out := goldenCLI(t, 1, "./cmd/qopt", "-shape", "chain", "-n", "6", "-seed", "1",
+		"-json", "-chaos", "error:*")
+	checkGolden(t, "qopt_error_doc.json", normalizeJSON(t, out))
+}

@@ -19,6 +19,7 @@ import (
 
 	"approxqo/internal/certify"
 	"approxqo/internal/engine"
+	"approxqo/internal/trace"
 )
 
 // Common is the flag set shared by all commands.
@@ -33,6 +34,21 @@ type Common struct {
 	// JSON switches the command's primary output to machine-readable
 	// JSON (engine reports, experiment tables).
 	JSON bool
+
+	// TracePath, when non-empty, collects hierarchical spans for the
+	// whole command and writes a Chrome trace_event JSON file there on
+	// Close (load it in chrome://tracing or ui.perfetto.dev).
+	TracePath string
+	// Metrics, when set, prints the metrics-registry summary (counters,
+	// gauges, latency histograms) to stderr on Close.
+	Metrics bool
+	// CPUProfile / MemProfile name pprof output files; empty disables.
+	CPUProfile string
+	MemProfile string
+
+	tracer   *trace.Tracer
+	registry *trace.Registry
+	profiler *trace.Profiler
 }
 
 // Register installs the shared flags on fs with the Common's current
@@ -41,6 +57,66 @@ func (c *Common) Register(fs *flag.FlagSet) {
 	fs.Int64Var(&c.Seed, "seed", c.Seed, "seed for randomized components")
 	fs.DurationVar(&c.Timeout, "timeout", c.Timeout, "overall deadline (e.g. 500ms, 10s); 0 = none")
 	fs.BoolVar(&c.JSON, "json", c.JSON, "emit machine-readable JSON instead of text")
+	fs.StringVar(&c.TracePath, "trace", c.TracePath, "write a Chrome trace_event JSON file of the run")
+	fs.BoolVar(&c.Metrics, "metrics", c.Metrics, "print the metrics-registry summary to stderr")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", c.CPUProfile, "write a pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", c.MemProfile, "write a pprof heap profile to this file on exit")
+}
+
+// Observe starts whatever observability the parsed flags requested and
+// returns the matching engine options (nil slice when nothing was
+// asked for — engine.New tolerates the resulting nil tracer/registry).
+// Call once after flag parsing; pair with a deferred Close.
+func (c *Common) Observe(prog string) []engine.Option {
+	var opts []engine.Option
+	if c.TracePath != "" {
+		c.tracer = trace.New()
+		opts = append(opts, engine.WithTracer(c.tracer))
+	}
+	if c.Metrics {
+		c.registry = trace.NewRegistry()
+		opts = append(opts, engine.WithMetrics(c.registry))
+	}
+	if c.CPUProfile != "" || c.MemProfile != "" {
+		p, err := trace.StartProfiles(c.CPUProfile, c.MemProfile)
+		if err != nil {
+			Fatal(prog, err)
+		}
+		c.profiler = p
+	}
+	return opts
+}
+
+// Tracer returns the tracer started by Observe, or nil when -trace was
+// not given — commands can hang extra spans off it without branching.
+func (c *Common) Tracer() *trace.Tracer { return c.tracer }
+
+// Registry returns the metrics registry started by Observe, or nil
+// when -metrics was not given.
+func (c *Common) Registry() *trace.Registry { return c.registry }
+
+// Close flushes the observability outputs requested by the flags: the
+// trace file, the metrics summary on stderr, and any pprof profiles.
+// Idempotent (Fatal flushes before exiting, and commands also defer a
+// Close) and safe when Observe was never called or requested nothing.
+func (c *Common) Close(prog string) {
+	if c.tracer != nil {
+		if err := c.tracer.WriteFile(c.TracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: writing trace: %v\n", prog, err)
+		}
+		c.tracer = nil
+	}
+	if c.registry != nil {
+		fmt.Fprintf(os.Stderr, "\n%s metrics:\n", prog)
+		c.registry.WriteText(os.Stderr)
+		c.registry = nil
+	}
+	if c.profiler != nil {
+		if err := c.profiler.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: writing profile: %v\n", prog, err)
+		}
+		c.profiler = nil
+	}
 }
 
 // Context returns a context honouring c.Timeout. The cancel func must
@@ -109,8 +185,11 @@ func Classify(err error) string {
 // Fatal renders err and exits 1. In -json mode it emits an ErrorDoc on
 // stdout — classified against the engine's error taxonomy — so scripted
 // consumers always receive valid JSON, even on failure; otherwise it
-// prints "prog: err" to stderr like the package-level Fatal.
+// prints "prog: err" to stderr like the package-level Fatal. Requested
+// observability outputs are flushed first (os.Exit skips defers), so a
+// failing run still leaves its trace and metrics behind.
 func (c *Common) Fatal(prog string, err error) {
+	c.Close(prog)
 	if c.JSON {
 		var doc ErrorDoc
 		doc.Error.Kind = Classify(err)

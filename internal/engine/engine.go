@@ -42,6 +42,7 @@ import (
 	"approxqo/internal/opt"
 	"approxqo/internal/qon"
 	"approxqo/internal/stats"
+	"approxqo/internal/trace"
 )
 
 // Stats is the per-run instrumentation collector threaded through the
@@ -91,6 +92,35 @@ var (
 // failures without importing certify.
 var ErrInvalidPlan = certify.ErrInvalidPlan
 
+// Metric names published into a WithMetrics registry. The counters and
+// histograms obey two invariants the soak tests assert: MetricRuns
+// equals the observation count of MetricRunWallUS (every run — finished
+// or abandoned — is measured exactly once), and MetricAttempts equals
+// MetricCertifyPass + MetricCertifyFail + MetricPanics + MetricErrors
+// (every attempt ends in exactly one of those outcomes).
+const (
+	MetricRuns        = "engine.runs"            // counter: runs accounted (incl. abandoned)
+	MetricAttempts    = "engine.attempts"        // counter: optimization attempts started
+	MetricRetries     = "engine.retries"         // counter: attempts beyond each run's first
+	MetricCertifyPass = "engine.certify.pass"    // counter: results the audit accepted
+	MetricCertifyFail = "engine.certify.fail"    // counter: results the audit rejected
+	MetricPanics      = "engine.panics"          // counter: attempts that panicked
+	MetricErrors      = "engine.errors"          // counter: attempts that returned an error
+	MetricQuarantined = "engine.quarantined"     // counter: optimizers benched
+	MetricAbandoned   = "engine.abandoned"       // counter: runs abandoned past the grace window
+	MetricTimeouts    = "engine.timeouts"        // counter: runs whose per-run deadline expired
+	MetricPending     = "engine.pending"         // gauge: runs not yet accounted (queue depth)
+	MetricRunWallUS   = "engine.run.wall_us"     // histogram: per-run wall time (µs)
+	MetricMergeSize   = "engine.merge.arrivals"  // histogram: certified arrivals per engine run
+)
+
+// MetricOptimizerWallUS names the per-optimizer wall-time histogram.
+func MetricOptimizerWallUS(name string) string { return "opt." + name + ".wall_us" }
+
+// MetricOptimizerCostEvals names the per-optimizer cost-evaluation
+// histogram (one observation per run, of the run's total count).
+func MetricOptimizerCostEvals(name string) string { return "opt." + name + ".cost_evals" }
+
 // Engine supervises ensemble runs. The zero value is usable: no
 // per-run deadline, DefaultGrace, early exit enabled, DefaultRetries,
 // DefaultQuarantineAfter.
@@ -103,6 +133,9 @@ type Engine struct {
 	retriesSet    bool
 	quarantine    int
 	quarantineSet bool
+
+	tracer  *trace.Tracer
+	metrics *trace.Registry
 }
 
 // Option configures an Engine.
@@ -151,6 +184,24 @@ func WithQuarantineAfter(n int) Option {
 		e.quarantine, e.quarantineSet = n, true
 	}
 }
+
+// WithTracer records hierarchical spans for every run into t: the
+// engine run, each optimizer (one trace track each), each attempt and
+// its optimize/certify phases, and the final merge. Abandoned runs
+// leave their spans unfinished, which the exporter marks explicitly —
+// a stalled optimizer is visible as an open span in the timeline. A
+// nil tracer disables tracing (the default).
+func WithTracer(t *trace.Tracer) Option { return func(e *Engine) { e.tracer = t } }
+
+// WithMetrics aggregates every run into r: attempt/retry/certification/
+// quarantine/abandonment counters, an engine.pending queue-depth gauge,
+// and per-optimizer wall-time and cost-evaluation histograms (see the
+// Metric* constants). The per-run stats sinks remain attached to each
+// instance; the supervisor alone absorbs their snapshots into the
+// registry at run completion or abandonment, so the registry is the
+// single synchronized aggregation point. A nil registry disables
+// metrics (the default).
+func WithMetrics(r *trace.Registry) Option { return func(e *Engine) { e.metrics = r } }
 
 // New builds an Engine.
 func New(opts ...Option) *Engine {
@@ -248,7 +299,7 @@ func (e *Engine) Run(ctx context.Context, in *qon.Instance, optimizers ...opt.Op
 		}
 		jobs[i] = j
 	}
-	report, best := e.supervise(ctx, jobs)
+	report, best := e.supervise(ctx, "qon", jobs)
 	report.Model = "qon"
 	report.N = in.N()
 	report.Best = best
@@ -271,6 +322,9 @@ type outcome struct {
 	quarantined bool
 	attempts    int
 	failures    int
+	certFails   int
+	panics      int
+	errs        int
 	certErr     string
 	dur         time.Duration
 }
@@ -338,8 +392,13 @@ type arrival struct {
 // supervise runs the jobs concurrently — each with retry, certification
 // and quarantine handling — and collects them into records, merging the
 // cheapest certified result from a non-quarantined optimizer (first
-// arrival wins ties).
-func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestRecord) {
+// arrival wins ties). When the engine carries a tracer it records the
+// span taxonomy documented in DESIGN.md (engine.run → optimizer:<name>
+// → attempt → optimize/certify → merge); when it carries a metrics
+// registry, the supervisor — and only the supervisor — absorbs each
+// run's stats snapshot and outcome tallies into it, so aggregate reads
+// never race the optimizer goroutines.
+func (e *Engine) supervise(ctx context.Context, model string, jobs []*job) (*Report, *BestRecord) {
 	started := time.Now()
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -347,11 +406,25 @@ func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestReco
 	retries := e.effRetries()
 	benchAt := e.effQuarantine()
 
+	rootSpan := e.tracer.Start("engine.run")
+	rootSpan.SetField("model", model)
+	rootSpan.SetField("optimizers", len(jobs))
+	e.metrics.Gauge(MetricPending).Add(int64(len(jobs)))
+
+	// Per-optimizer spans are opened by the supervisor (not the run
+	// goroutines) so abandoned runs still have a span to report in the
+	// record; the goroutine only adds children to it.
+	optSpans := make([]*trace.Span, len(jobs))
+	for i, j := range jobs {
+		optSpans[i] = rootSpan.ChildTrack("optimizer:"+j.name, i+1)
+	}
+
 	// Buffered so abandoned goroutines can deliver late and exit
 	// instead of leaking blocked forever.
 	results := make(chan outcome, len(jobs))
 	for i, j := range jobs {
 		i, j := i, j
+		optSpan := optSpans[i]
 		go func() {
 			oc := outcome{idx: i}
 			start := time.Now()
@@ -369,54 +442,77 @@ func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestReco
 				oc.dur = time.Since(start)
 				results <- oc
 			}()
-			jctx := runCtx
-			if e.runTimeout > 0 {
-				var jcancel context.CancelFunc
-				jctx, jcancel = context.WithTimeout(runCtx, e.runTimeout)
-				defer jcancel()
-			}
-			for attempt := 0; ; attempt++ {
-				oc.attempts = attempt + 1
-				res, err, panicValue, panicStack := runShielded(jctx, j)
-				switch {
-				case panicValue != "":
-					oc.failures++
-					oc.panicked = true
-					oc.panicValue, oc.panicStack = panicValue, panicStack
-					oc.err = fmt.Errorf("panic: %s", panicValue)
-				case err != nil:
-					oc.failures++
-					oc.panicked = false
-					oc.err = err
-				default:
-					if aerr := j.audit(res); aerr != nil {
+			// The pprof label makes CPU/heap profile samples attributable
+			// per optimizer (`go tool pprof`, tags view).
+			trace.Do(runCtx, "optimizer", j.name, func(lctx context.Context) {
+				jctx := lctx
+				if e.runTimeout > 0 {
+					var jcancel context.CancelFunc
+					jctx, jcancel = context.WithTimeout(lctx, e.runTimeout)
+					defer jcancel()
+				}
+				for attempt := 0; ; attempt++ {
+					oc.attempts = attempt + 1
+					attemptSpan := optSpan.Child("attempt")
+					attemptSpan.SetField("attempt", attempt+1)
+					if attempt > 0 {
+						attemptSpan.SetField("retry", true)
+					}
+					optimizeSpan := attemptSpan.Child("optimize")
+					res, err, panicValue, panicStack := runShielded(jctx, j)
+					optimizeSpan.End()
+					switch {
+					case panicValue != "":
 						oc.failures++
+						oc.panics++
+						oc.panicked = true
+						oc.panicValue, oc.panicStack = panicValue, panicStack
+						oc.err = fmt.Errorf("panic: %s", panicValue)
+						attemptSpan.SetField("outcome", "panic")
+					case err != nil:
+						oc.failures++
+						oc.errs++
 						oc.panicked = false
-						oc.certErr = aerr.Error()
-						oc.err = fmt.Errorf("%w: %v", ErrUncertified, aerr)
-					} else {
-						oc.res, oc.err, oc.certified = res, nil, true
-						oc.panicked = false
+						oc.err = err
+						attemptSpan.SetField("outcome", "error")
+					default:
+						certifySpan := attemptSpan.Child("certify")
+						aerr := j.audit(res)
+						certifySpan.SetField("pass", aerr == nil)
+						certifySpan.End()
+						if aerr != nil {
+							oc.failures++
+							oc.certFails++
+							oc.panicked = false
+							oc.certErr = aerr.Error()
+							oc.err = fmt.Errorf("%w: %v", ErrUncertified, aerr)
+							attemptSpan.SetField("outcome", "uncertified")
+						} else {
+							oc.res, oc.err, oc.certified = res, nil, true
+							oc.panicked = false
+							attemptSpan.SetField("outcome", "certified")
+						}
+					}
+					attemptSpan.End()
+					if oc.certified {
+						break
+					}
+					if oc.failures >= benchAt {
+						oc.quarantined = true
+						oc.err = fmt.Errorf("%w after %d failures: %v", ErrQuarantined, oc.failures, oc.err)
+						break
+					}
+					if attempt >= retries || jctx.Err() != nil {
+						break
+					}
+					if j.reseed != nil {
+						j.reseed(int64(attempt + 1))
 					}
 				}
-				if oc.certified {
-					break
-				}
-				if oc.failures >= benchAt {
-					oc.quarantined = true
-					oc.err = fmt.Errorf("%w after %d failures: %v", ErrQuarantined, oc.failures, oc.err)
-					break
-				}
-				if attempt >= retries || jctx.Err() != nil {
-					break
-				}
-				if j.reseed != nil {
-					j.reseed(int64(attempt + 1))
-				}
-			}
-			// A deadline that expired marks the run timed out even when an
-			// anytime algorithm still salvaged a best-so-far result.
-			oc.timedOut = errors.Is(jctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil
+				// A deadline that expired marks the run timed out even when an
+				// anytime algorithm still salvaged a best-so-far result.
+				oc.timedOut = errors.Is(jctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil
+			})
 		}()
 	}
 
@@ -435,12 +531,48 @@ func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestReco
 	done := runCtx.Done()
 	var graceC <-chan time.Time
 	pending := len(jobs)
+	// publish absorbs one accounted run into the metrics registry. It is
+	// called only from this (supervising) goroutine — the registry is the
+	// single synchronized sink for aggregates, so a concurrent metrics
+	// reader can never observe a half-published run racing an optimizer.
+	publish := func(rec *RunRecord, oc *outcome) {
+		m := e.metrics
+		if m == nil {
+			return
+		}
+		m.Counter(MetricRuns).Inc()
+		m.Gauge(MetricPending).Add(-1)
+		wallUS := int64(rec.WallMS * 1000)
+		m.Histogram(MetricRunWallUS).Observe(wallUS)
+		m.Histogram(MetricOptimizerWallUS(rec.Name)).Observe(wallUS)
+		m.Histogram(MetricOptimizerCostEvals(rec.Name)).Observe(rec.Stats.CostEvals)
+		if rec.Quarantined {
+			m.Counter(MetricQuarantined).Inc()
+		}
+		if rec.Abandoned {
+			m.Counter(MetricAbandoned).Inc()
+			return // no outcome: the attempt tallies never arrived
+		}
+		m.Counter(MetricAttempts).Add(int64(oc.attempts))
+		m.Counter(MetricRetries).Add(int64(oc.attempts - 1))
+		if oc.certified {
+			m.Counter(MetricCertifyPass).Inc()
+		}
+		m.Counter(MetricCertifyFail).Add(int64(oc.certFails))
+		m.Counter(MetricPanics).Add(int64(oc.panics))
+		m.Counter(MetricErrors).Add(int64(oc.errs))
+		if oc.timedOut {
+			m.Counter(MetricTimeouts).Inc()
+		}
+	}
+
 	for pending > 0 {
 		select {
 		case oc := <-results:
 			pending--
 			finished[oc.idx] = true
 			rec := &records[oc.idx]
+			rec.SpanID = optSpans[oc.idx].ID()
 			rec.WallMS = float64(oc.dur.Microseconds()) / 1000
 			rec.Stats = jobs[oc.idx].sink.Snapshot()
 			rec.Panicked = oc.panicked
@@ -455,6 +587,9 @@ func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestReco
 			if oc.err != nil {
 				rec.Err = oc.err.Error()
 			}
+			optSpans[oc.idx].SetField("certified", oc.certified)
+			optSpans[oc.idx].End()
+			publish(rec, &oc)
 			if oc.res != nil && oc.certified && !oc.quarantined {
 				cost := oc.res.cost
 				rec.Cost = &cost
@@ -479,17 +614,22 @@ func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestReco
 			// Whatever is still running is abandoned: salvage counters
 			// (atomics stay coherent mid-run), record the abandonment and
 			// bench the optimizer — a component that ignores cancellation
-			// is quarantined like one that fails certification.
+			// is quarantined like one that fails certification. The
+			// optimizer's span is left open on purpose: the exporter marks
+			// it unfinished, so the stall is visible in the timeline.
 			for i := range jobs {
 				if finished[i] {
 					continue
 				}
 				rec := &records[i]
+				rec.SpanID = optSpans[i].ID()
 				rec.WallMS = float64(time.Since(started).Microseconds()) / 1000
 				rec.Stats = jobs[i].sink.Snapshot()
 				rec.Abandoned = true
 				rec.Quarantined = true
 				rec.Err = ErrQuarantined.Error() + ": no result within the cancellation grace period"
+				optSpans[i].SetField("abandoned", true)
+				publish(rec, nil)
 			}
 			pending = 0
 		}
@@ -499,6 +639,8 @@ func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestReco
 	// optimizers. A quarantined job cannot have delivered a certified
 	// result under the current retry loop, but the filter keeps the
 	// discard-prior-contributions guarantee independent of that detail.
+	mergeSpan := rootSpan.Child("merge")
+	mergeSpan.SetField("arrivals", len(arrivals))
 	best = nil
 	for _, a := range arrivals {
 		if records[a.idx].Quarantined {
@@ -508,15 +650,23 @@ func (e *Engine) supervise(ctx context.Context, jobs []*job) (*Report, *BestReco
 			best, bestCost = e.bestRecord(jobs, a.idx, a.res), a.res.cost
 		}
 	}
+	mergeSpan.End()
+	e.metrics.Histogram(MetricMergeSize).Observe(int64(len(arrivals)))
 	report := &Report{
 		Runs:   records,
 		WallMS: float64(time.Since(started).Microseconds()) / 1000,
+		SpanID: rootSpan.ID(),
 	}
 	for _, rec := range records {
 		if rec.Quarantined {
 			report.Quarantined = append(report.Quarantined, rec.Name)
 		}
 	}
+	if best != nil {
+		rootSpan.SetField("winner", best.Winner)
+	}
+	rootSpan.SetField("quarantined", len(report.Quarantined))
+	rootSpan.End()
 	return report, best
 }
 

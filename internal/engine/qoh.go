@@ -82,7 +82,7 @@ func (e *Engine) RunQOH(ctx context.Context, in *qoh.Instance, searchers ...QOHS
 			},
 		}
 	}
-	report, best := e.supervise(ctx, jobs)
+	report, best := e.supervise(ctx, "qoh", jobs)
 	report.Model = "qoh"
 	report.N = in.N()
 	report.Best = best

@@ -38,6 +38,9 @@ type BestRecord struct {
 type RunRecord struct {
 	Name   string  `json:"name"`
 	WallMS float64 `json:"wall_ms"`
+	// SpanID links the record to its optimizer span in the trace
+	// exported by engine.WithTracer; zero when tracing was off.
+	SpanID uint64 `json:"span_id,omitempty"`
 	// Stats are the cost-model counters observed for this run: cost
 	// evaluations, DP subsets expanded, local-search moves. With
 	// retries they accumulate across attempts.
@@ -92,6 +95,9 @@ type Report struct {
 	// during this run.
 	Quarantined []string `json:"quarantined,omitempty"`
 	WallMS      float64  `json:"wall_ms"`
+	// SpanID identifies the engine.run root span when the run was
+	// traced (engine.WithTracer); zero otherwise.
+	SpanID uint64 `json:"span_id,omitempty"`
 }
 
 // WriteText renders the report as an aligned table, cheapest run first.

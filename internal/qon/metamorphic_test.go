@@ -1,0 +1,120 @@
+package qon
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+)
+
+// metamorphicInstances is the generated-instance budget per relation;
+// these suites are tier-1 and evaluate only a handful of sequences per
+// instance, so they stay far under the 30s budget.
+const metamorphicInstances = 200
+
+// approxEqual compares costs up to a 2^-200 relative error: num works
+// at 256-bit precision, and reassociating the same product across a
+// relabeled instance can shift the final rounding by an ulp.
+func approxEqual(a, b num.Num) bool {
+	if a.Equal(b) {
+		return true
+	}
+	hi, lo := a.Max(b), a.Min(b)
+	return hi.Sub(lo).Mul(num.Pow2(200)).LessEq(hi)
+}
+
+// relabeled returns the instance with relation i renamed to pi[i].
+func relabeled(in *Instance, pi []int) *Instance {
+	n := in.N()
+	q := graph.New(n)
+	for _, e := range in.Q.Edges() {
+		q.AddEdge(pi[e[0]], pi[e[1]])
+	}
+	out := &Instance{Q: q, T: make([]num.Num, n), S: make([][]num.Num, n), W: make([][]num.Num, n)}
+	for i := 0; i < n; i++ {
+		out.S[i] = make([]num.Num, n)
+		out.W[i] = make([]num.Num, n)
+	}
+	for i := 0; i < n; i++ {
+		out.T[pi[i]] = in.T[i]
+		for j := 0; j < n; j++ {
+			out.S[pi[i]][pi[j]] = in.S[i][j]
+			out.W[pi[i]][pi[j]] = in.W[i][j]
+		}
+	}
+	return out
+}
+
+// scaled returns the instance with every relation size — and, to keep
+// the t·s ≤ W ≤ t access-cost bounds intact, every access cost —
+// multiplied by c. Selectivities are untouched.
+func scaled(in *Instance, c num.Num) *Instance {
+	n := in.N()
+	out := &Instance{Q: in.Q, T: make([]num.Num, n), S: in.S, W: make([][]num.Num, n)}
+	for i := 0; i < n; i++ {
+		out.T[i] = in.T[i].Mul(c)
+		out.W[i] = make([]num.Num, n)
+		for j := 0; j < n; j++ {
+			out.W[i][j] = in.W[i][j].Mul(c)
+		}
+	}
+	return out
+}
+
+// Metamorphic: the cost function is equivariant under relabeling — for
+// any sequence z, the relabeled instance charges the relabeled sequence
+// exactly what the original charges z.
+func TestMetamorphicRelabelCostEquivariant(t *testing.T) {
+	for i := 0; i < metamorphicInstances; i++ {
+		n := 4 + i%5 // 4..8
+		in := randomInstance(n, int64(i))
+		rng := rand.New(rand.NewSource(int64(500 + i)))
+		pi := rng.Perm(n)
+		rel := relabeled(in, pi)
+		if err := rel.Validate(); err != nil {
+			t.Fatalf("instance %d: relabeled instance invalid: %v", i, err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			z := Sequence(rng.Perm(n))
+			mapped := make(Sequence, n)
+			for k, v := range z {
+				mapped[k] = pi[v]
+			}
+			want := in.Cost(z)
+			if got := rel.Cost(mapped); !approxEqual(got, want) {
+				t.Fatalf("instance %d: Cost(%v)=%v but relabeled Cost(%v)=%v under %v",
+					i, z, want, mapped, got, pi)
+			}
+		}
+	}
+}
+
+// Metamorphic: scaling every relation size (and access cost) by a
+// constant c ≥ 1 never makes any sequence cheaper, and larger scale
+// factors dominate smaller ones — cost is monotone in the data volume.
+func TestMetamorphicSizeScalingMonotone(t *testing.T) {
+	for i := 0; i < metamorphicInstances; i++ {
+		n := 4 + i%5
+		in := randomInstance(n, int64(7000+i))
+		rng := rand.New(rand.NewSource(int64(7500 + i)))
+		c := num.FromInt64(int64(rng.Intn(9) + 2)) // 2..10
+		up := scaled(in, c)
+		if err := up.Validate(); err != nil {
+			t.Fatalf("instance %d: scaled instance invalid: %v", i, err)
+		}
+		upAgain := scaled(up, c)
+		for trial := 0; trial < 3; trial++ {
+			z := Sequence(rng.Perm(n))
+			base, mid, high := in.Cost(z), up.Cost(z), upAgain.Cost(z)
+			if mid.Less(base) {
+				t.Fatalf("instance %d: scaling sizes by %v made %v cheaper: %v -> %v",
+					i, c, z, base, mid)
+			}
+			if high.Less(mid) {
+				t.Fatalf("instance %d: scaling further by %v made %v cheaper: %v -> %v",
+					i, c, z, mid, high)
+			}
+		}
+	}
+}

@@ -66,10 +66,34 @@ type Snapshot struct {
 // Snapshot reads the counters. Safe while writers are still running (it
 // is used to report on abandoned optimizers); a nil receiver yields a
 // zero Snapshot.
+//
+// Each field is read atomically, but three separate loads are not one
+// consistent cut: an optimizer still running during grace-period
+// abandonment can increment costEvals between the costEvals and moves
+// loads, yielding a snapshot that mixes two instants. Since every
+// counter is monotone this can never under-report a finished run, but
+// a mid-run snapshot could pair a newer costEvals with an older moves.
+// To keep salvaged counters coherent, Snapshot double-reads until two
+// consecutive reads agree (bounded, so a hot writer cannot live-lock
+// the reporter); engine-level aggregates are additionally funneled
+// through the trace.Registry by the supervisor goroutine alone, which
+// is the single synchronized sink for cross-run metrics.
 func (s *Stats) Snapshot() Snapshot {
 	if s == nil {
 		return Snapshot{}
 	}
+	prev := s.read()
+	for tries := 0; tries < 3; tries++ {
+		cur := s.read()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
+}
+
+func (s *Stats) read() Snapshot {
 	return Snapshot{
 		CostEvals: s.costEvals.Load(),
 		DPSubsets: s.dpSubsets.Load(),

@@ -1,0 +1,363 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+)
+
+// Registry is a process-wide metrics sink: named counters, gauges and
+// log₂-bucket histograms, created on first use. It is the single
+// synchronized aggregation point for the engine's instrumentation — the
+// per-run atomic counters of internal/stats are absorbed into it at
+// well-defined points (run completion, abandonment) by exactly one
+// goroutine, so aggregate reads never race optimizer hot paths.
+//
+// All methods are safe for concurrent use and safe on a nil receiver
+// (instruments obtained from a nil registry are nil and their methods
+// are no-ops), matching the stats package's idiom.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named monotone counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = newHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotone atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depth, active runs).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value (no-op on nil).
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count: bucket 0 holds values ≤ 0 and
+// bucket i (1 ≤ i ≤ 63) holds values in [2^(i−1), 2^i). The layout is
+// fixed so histograms from different runs and processes merge by simple
+// bucket-wise addition.
+const histBuckets = 64
+
+// Histogram counts observations in fixed log₂-scale buckets and keeps
+// exact count, sum, min and max. Observations are lock-free.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// bucketIndex maps a value onto its log₂ bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistBucket is one non-empty bucket of a histogram snapshot: values in
+// [Lo, Hi) — Lo = Hi = 0 for the ≤ 0 bucket.
+type HistBucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the log₂ buckets,
+// returning the geometric midpoint of the bucket where the cumulative
+// count crosses q·Count. Exact min/max are returned at the extremes.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(s.Min)
+	}
+	if q >= 1 {
+		return float64(s.Max)
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			if b.Lo == 0 {
+				return 0
+			}
+			return math.Sqrt(float64(b.Lo) * float64(b.Hi))
+		}
+	}
+	return float64(s.Max)
+}
+
+// Snapshot copies the histogram. Like stats.Snapshot it is safe while
+// writers run; the fields are each atomically read, so a snapshot taken
+// mid-run is a near-instant cut, not a torn mix of distant states.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		b := HistBucket{Count: c}
+		if i > 0 {
+			b.Lo = int64(1) << (i - 1)
+			b.Hi = int64(1) << i
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s
+}
+
+// RegistrySnapshot is a JSON-serializable copy of every instrument.
+type RegistrySnapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the whole registry (empty snapshot on nil).
+func (r *Registry) Snapshot() RegistrySnapshot {
+	var s RegistrySnapshot
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteText renders the registry as aligned tables: counters and gauges
+// by name, then histograms with count/mean/p50/p90/max columns.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(tw, "counter\tvalue\n")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(tw, "%s\t%d\n", name, s.Counters[name])
+		}
+		fmt.Fprintln(tw)
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(tw, "gauge\tvalue\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(tw, "%s\t%d\n", name, s.Gauges[name])
+		}
+		fmt.Fprintln(tw)
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(tw, "histogram\tcount\tmean\tp50\tp90\tmax\n")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%d\n",
+				name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Max)
+		}
+	}
+	return tw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

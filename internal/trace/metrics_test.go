@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.runs").Add(3)
+	r.Counter("engine.runs").Inc()
+	if got := r.Counter("engine.runs").Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	r.Gauge("engine.pending").Set(7)
+	r.Gauge("engine.pending").Add(-2)
+	if got := r.Gauge("engine.pending").Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+
+	h := r.Histogram("latency")
+	for _, v := range []int64{1, 2, 3, 100, 1000, 0} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 || s.Sum != 1106 || s.Min != 0 || s.Max != 1000 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != s.Count {
+		t.Errorf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 40, 41}, {math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestQuantileFromBuckets(t *testing.T) {
+	h := newHistogram()
+	// 90 fast observations around 8..15, 10 slow around 1024..2047.
+	for i := 0; i < 90; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1500)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 < 8 || p50 > 16 {
+		t.Errorf("p50 = %v, want within [8,16]", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 1024 || p99 > 2048 {
+		t.Errorf("p99 = %v, want within [1024,2048]", p99)
+	}
+	if s.Quantile(0) != float64(s.Min) || s.Quantile(1) != float64(s.Max) {
+		t.Errorf("extreme quantiles should be exact min/max")
+	}
+	if (HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Errorf("empty histogram quantile should be 0")
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("certify.pass").Add(12)
+	r.Gauge("pending").Set(2)
+	r.Histogram("wall_us").Observe(128)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"certify.pass", "12", "pending", "wall_us", "p50", "p90"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

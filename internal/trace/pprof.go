@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Do runs f with a pprof label attached to its goroutine (and any it
+// spawns), so CPU and heap profiles attribute samples per optimizer:
+//
+//	trace.Do(ctx, "optimizer", name, func(ctx context.Context) { ... })
+//
+// The label shows up in `go tool pprof` under the tags view.
+func Do(ctx context.Context, key, value string, f func(context.Context)) {
+	pprof.Do(ctx, pprof.Labels(key, value), f)
+}
+
+// Profiler captures optional CPU and heap profiles around a region —
+// typically one engine run. Obtain one with StartProfiles, defer Stop.
+// A nil Profiler's Stop is a no-op.
+type Profiler struct {
+	cpu      *os.File
+	heapPath string
+}
+
+// StartProfiles begins CPU profiling to cpuPath (when non-empty) and
+// arranges for a heap profile at heapPath (when non-empty) to be
+// written by Stop. Both empty returns a nil Profiler.
+func StartProfiles(cpuPath, heapPath string) (*Profiler, error) {
+	if cpuPath == "" && heapPath == "" {
+		return nil, nil
+	}
+	p := &Profiler{heapPath: heapPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("trace: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("trace: cpu profile: %w", err)
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// Stop ends CPU profiling and writes the heap profile, if either was
+// requested. Safe on nil and idempotent for the CPU side.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			return fmt.Errorf("trace: cpu profile: %w", err)
+		}
+		p.cpu = nil
+	}
+	if p.heapPath != "" {
+		f, err := os.Create(p.heapPath)
+		if err != nil {
+			return fmt.Errorf("trace: heap profile: %w", err)
+		}
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace: heap profile: %w", err)
+		}
+		p.heapPath = ""
+	}
+	return nil
+}

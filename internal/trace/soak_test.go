@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSoakSharedTracerAndRegistry hammers one Tracer and one Registry
+// from many goroutines — the shape of concurrent engine runs sharing a
+// single observability sink — and then checks the two structural
+// invariants the engine relies on: no span ever loses its parent (every
+// recorded parent ID resolves to a recorded span), and histogram
+// observation totals equal the counters incremented alongside them.
+// Run under -race this is the trace layer's soak test (see ROADMAP
+// extended verify).
+func TestSoakSharedTracerAndRegistry(t *testing.T) {
+	const (
+		workers        = 16
+		runsPerWorker  = 25
+		spansPerRun    = 4 // root + optimizer + attempt + certify
+		obsPerObserver = runsPerWorker
+	)
+	tr := New()
+	reg := NewRegistry()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < runsPerWorker; i++ {
+				root := tr.Start(fmt.Sprintf("run.%d", w))
+				optSpan := root.ChildTrack("optimizer", w+1)
+				attempt := optSpan.Child("attempt")
+				attempt.SetField("attempt", i)
+				certify := attempt.Child("certify")
+				certify.End()
+				attempt.End()
+				// Half the runs leave the optimizer span unfinished, like
+				// an abandoned stall.
+				if i%2 == 0 {
+					optSpan.End()
+				}
+				root.End()
+
+				reg.Counter("runs").Inc()
+				reg.Histogram("wall_us").Observe(int64(i + 1))
+				reg.Gauge("pending").Add(1)
+				reg.Gauge("pending").Add(-1)
+			}
+		}()
+	}
+	// Concurrent readers: snapshot the registry and tracer while the
+	// writers run, as the engine report and a metrics poller would.
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < obsPerObserver; i++ {
+				_ = reg.Snapshot()
+				_ = tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	readers.Wait()
+
+	infos := tr.Snapshot()
+	wantSpans := workers * runsPerWorker * spansPerRun
+	if len(infos) != wantSpans {
+		t.Fatalf("recorded %d spans, want %d", len(infos), wantSpans)
+	}
+	ids := make(map[uint64]bool, len(infos))
+	for _, s := range infos {
+		if ids[s.ID] {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		ids[s.ID] = true
+	}
+	for _, s := range infos {
+		if s.Parent != 0 && !ids[s.Parent] {
+			t.Errorf("span %d (%s) lost its parent %d", s.ID, s.Name, s.Parent)
+		}
+	}
+
+	snap := reg.Snapshot()
+	wantRuns := int64(workers * runsPerWorker)
+	if got := snap.Counters["runs"]; got != wantRuns {
+		t.Errorf("runs counter = %d, want %d", got, wantRuns)
+	}
+	h := snap.Histograms["wall_us"]
+	if h.Count != wantRuns {
+		t.Errorf("histogram count %d != counter total %d", h.Count, wantRuns)
+	}
+	var bucketTotal int64
+	for _, b := range h.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != h.Count {
+		t.Errorf("bucket total %d != histogram count %d", bucketTotal, h.Count)
+	}
+	if got := snap.Gauges["pending"]; got != 0 {
+		t.Errorf("pending gauge = %d after all runs drained, want 0", got)
+	}
+
+	// The export must stay valid JSON even with unfinished spans.
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("soak export is not valid JSON")
+	}
+}

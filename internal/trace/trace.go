@@ -1,0 +1,288 @@
+// Package trace is the repository's zero-dependency observability
+// layer, threaded through the ensemble engine and the commands:
+//
+//   - hierarchical spans (engine run → per-optimizer attempt →
+//     certify/retry/merge phases) with monotonic timings and recorded
+//     heap allocations, exported as Chrome trace_event-compatible JSON
+//     that loads directly in chrome://tracing or Perfetto;
+//   - a metrics registry — counters, gauges and histograms with fixed
+//     log₂-scale buckets — that absorbs the per-run counters of
+//     internal/stats into a single synchronized sink (see metrics.go);
+//   - runtime/pprof profiling hooks: per-optimizer goroutine labels and
+//     optional CPU/heap profile capture around an engine run (see
+//     pprof.go).
+//
+// Everything is race-safe and, like internal/stats, nil-safe: a nil
+// *Tracer produces nil *Spans whose methods are no-ops, so
+// instrumentation points never branch on whether observability is
+// enabled.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime/metrics"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects spans for one process. The epoch is captured at New,
+// so span timestamps are monotonic offsets and two spans' timings are
+// directly comparable even across goroutines.
+type Tracer struct {
+	epoch  time.Time
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// New returns an empty Tracer whose epoch is now.
+func New() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span is one timed region. Spans form a hierarchy through Child; the
+// root spans of a Tracer have parent ID 0. Safe for concurrent use;
+// methods are no-ops on a nil receiver.
+type Span struct {
+	t          *Tracer
+	id         uint64
+	parent     uint64
+	name       string
+	track      int
+	start      time.Duration // offset from the tracer's epoch
+	startAlloc uint64
+
+	mu         sync.Mutex
+	fields     map[string]any
+	dur        time.Duration
+	allocBytes uint64
+	ended      bool
+}
+
+// heapAllocSample reads the process-wide cumulative heap allocation
+// counter (cheaper than runtime.ReadMemStats: no stop-the-world).
+// Span allocation deltas are process-global, so under concurrency they
+// attribute other goroutines' allocations too — they are a profiling
+// hint, not an exact account.
+func heapAllocSample() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}
+
+func (t *Tracer) newSpan(name string, parent uint64, track int) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{
+		t:          t,
+		id:         t.nextID.Add(1),
+		parent:     parent,
+		name:       name,
+		track:      track,
+		start:      time.Since(t.epoch),
+		startAlloc: heapAllocSample(),
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Start opens a root span on track 0.
+func (t *Tracer) Start(name string) *Span { return t.newSpan(name, 0, 0) }
+
+// StartTrack opens a root span on the given track (a "tid" lane in the
+// Chrome viewer; the engine gives each optimizer its own track).
+func (t *Tracer) StartTrack(name string, track int) *Span { return t.newSpan(name, 0, track) }
+
+// Child opens a sub-span on the same track as s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(name, s.id, s.track)
+}
+
+// ChildTrack opens a sub-span on an explicit track.
+func (s *Span) ChildTrack(name string, track int) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(name, s.id, track)
+}
+
+// ID returns the span's identifier (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetField attaches a key/value pair, rendered into the trace_event
+// "args" object. Last write per key wins.
+func (s *Span) SetField(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.fields == nil {
+		s.fields = make(map[string]any, 4)
+	}
+	s.fields[key] = value
+	s.mu.Unlock()
+}
+
+// End closes the span, recording its duration and allocation delta.
+// Ending twice is a no-op; a span never ended (an abandoned optimizer)
+// is exported with its duration measured at export time and an
+// "unfinished" arg.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Since(s.t.epoch)
+	alloc := heapAllocSample()
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = now - s.start
+		if alloc >= s.startAlloc {
+			s.allocBytes = alloc - s.startAlloc
+		}
+	}
+	s.mu.Unlock()
+}
+
+// SpanInfo is an immutable snapshot of one span, used by tests and by
+// the exporter.
+type SpanInfo struct {
+	ID         uint64
+	Parent     uint64
+	Name       string
+	Track      int
+	StartUS    float64
+	DurUS      float64
+	AllocBytes uint64
+	Fields     map[string]any
+	Ended      bool
+}
+
+// Snapshot copies every span recorded so far. Unfinished spans report
+// the duration accumulated up to the call.
+func (t *Tracer) Snapshot() []SpanInfo {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.epoch)
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	out := make([]SpanInfo, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		info := SpanInfo{
+			ID:         s.id,
+			Parent:     s.parent,
+			Name:       s.name,
+			Track:      s.track,
+			StartUS:    float64(s.start.Microseconds()),
+			AllocBytes: s.allocBytes,
+			Ended:      s.ended,
+		}
+		if s.ended {
+			info.DurUS = float64(s.dur.Microseconds())
+		} else {
+			info.DurUS = float64((now - s.start).Microseconds())
+		}
+		if len(s.fields) > 0 {
+			info.Fields = make(map[string]any, len(s.fields))
+			for k, v := range s.fields {
+				info.Fields[k] = v
+			}
+		}
+		s.mu.Unlock()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// traceEvent is one entry of the Chrome trace_event JSON array
+// (complete events, "ph":"X"; timestamps in microseconds).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// Export writes every span as Chrome trace_event JSON — the format
+// chrome://tracing and Perfetto load directly. Unfinished spans are
+// exported with their duration so far and args.unfinished = true, so an
+// abandoned optimizer's stalled attempt is visible in the timeline.
+func (t *Tracer) Export(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	infos := t.Snapshot()
+	doc := traceDoc{DisplayTimeUnit: "ms", TraceEvents: make([]traceEvent, 0, len(infos))}
+	for _, s := range infos {
+		args := make(map[string]any, len(s.Fields)+3)
+		for k, v := range s.Fields {
+			args[k] = v
+		}
+		args["span_id"] = s.ID
+		if s.Parent != 0 {
+			args["parent_id"] = s.Parent
+		}
+		if s.AllocBytes > 0 {
+			args["alloc_bytes"] = s.AllocBytes
+		}
+		if !s.Ended {
+			args["unfinished"] = true
+		}
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: s.Name, Cat: "approxqo", Ph: "X", PID: 1, TID: s.Track,
+			TS: s.StartUS, Dur: s.DurUS, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteFile exports the trace to path (see Export).
+func (t *Tracer) WriteFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := t.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

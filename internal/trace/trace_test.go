@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchyAndExport(t *testing.T) {
+	tr := New()
+	root := tr.Start("engine.run")
+	root.SetField("model", "qon")
+	opt := root.ChildTrack("optimizer:greedy", 1)
+	attempt := opt.Child("attempt")
+	attempt.SetField("attempt", 1)
+	certify := attempt.Child("certify")
+	time.Sleep(time.Millisecond)
+	certify.End()
+	attempt.End()
+	opt.End()
+	stalled := root.ChildTrack("optimizer:annealing", 2) // never ended
+	_ = stalled
+	root.End()
+
+	infos := tr.Snapshot()
+	if len(infos) != 5 {
+		t.Fatalf("got %d spans, want 5", len(infos))
+	}
+	byName := map[string]SpanInfo{}
+	for _, s := range infos {
+		byName[s.Name] = s
+	}
+	if byName["attempt"].Parent != byName["optimizer:greedy"].ID {
+		t.Errorf("attempt parent = %d, want %d", byName["attempt"].Parent, byName["optimizer:greedy"].ID)
+	}
+	if byName["certify"].Parent != byName["attempt"].ID {
+		t.Errorf("certify parent wrong")
+	}
+	if byName["optimizer:greedy"].Track != 1 || byName["optimizer:annealing"].Track != 2 {
+		t.Errorf("tracks not assigned: %+v", byName)
+	}
+	if byName["optimizer:annealing"].Ended {
+		t.Errorf("stalled span should be unfinished")
+	}
+	if byName["certify"].DurUS <= 0 {
+		t.Errorf("certify duration = %v, want > 0", byName["certify"].DurUS)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("exported %d events, want 5", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Name == "optimizer:annealing" {
+			if unfinished, _ := ev.Args["unfinished"].(bool); !unfinished {
+				t.Errorf("stalled span not marked unfinished: %v", ev.Args)
+			}
+		}
+		if ev.Name == "engine.run" {
+			if model, _ := ev.Args["model"].(string); model != "qon" {
+				t.Errorf("root span lost its field: %v", ev.Args)
+			}
+		}
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	tr := New()
+	tr.Start("solo").End()
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("trace file is not valid JSON:\n%s", data)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("nothing")
+	s.SetField("k", "v")
+	c := s.Child("child")
+	c.End()
+	s.End()
+	if s.ID() != 0 || c.ID() != 0 {
+		t.Errorf("nil spans should have ID 0")
+	}
+	if got := tr.Snapshot(); got != nil {
+		t.Errorf("nil tracer snapshot = %v", got)
+	}
+	if err := tr.Export(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil tracer export: %v", err)
+	}
+
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(3)
+	r.Histogram("h").Observe(5)
+	if r.Counter("c").Value() != 0 || r.Histogram("h").Count() != 0 {
+		t.Errorf("nil registry instruments should be inert")
+	}
+	snap := r.Snapshot()
+	if snap.Counters != nil || snap.Histograms != nil {
+		t.Errorf("nil registry snapshot = %+v", snap)
+	}
+
+	Do(context.Background(), "optimizer", "x", func(ctx context.Context) {})
+	var p *Profiler
+	if err := p.Stop(); err != nil {
+		t.Errorf("nil profiler stop: %v", err)
+	}
+}
+
+func TestProfilerCapture(t *testing.T) {
+	dir := t.TempDir()
+	cpu, heap := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "heap.pprof")
+	p, err := StartProfiles(cpu, heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU under a label so the profile is non-trivial.
+	Do(context.Background(), "optimizer", "spin", func(ctx context.Context) {
+		x := 0
+		for i := 0; i < 1e6; i++ {
+			x += i
+		}
+		_ = x
+	})
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, heap} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("profile %s: %v", path, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+	if none, err := StartProfiles("", ""); err != nil || none != nil {
+		t.Errorf("StartProfiles(\"\",\"\") = %v, %v; want nil, nil", none, err)
+	}
+}

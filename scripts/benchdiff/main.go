@@ -1,0 +1,182 @@
+// Command benchdiff guards against performance regressions: it runs
+// the repo's fixed regression benchmarks (BenchmarkReg* in
+// benchreg_test.go) and compares ns/op and allocs/op against the
+// checked-in baseline BENCH_qon.json, failing when either metric
+// regresses by more than the threshold (default 20%).
+//
+// Benchmarks run with -benchtime 30x -count 3 and the minimum of the
+// three counts is compared — the minimum is the least noisy estimator
+// of a benchmark's true cost on a shared machine.
+//
+// Usage (from the repository root):
+//
+//	go run ./scripts/benchdiff            # compare against baseline
+//	go run ./scripts/benchdiff -update    # rewrite the baseline
+//	go run ./scripts/benchdiff -inject 2  # self-test: fake a 2× slowdown
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const baselineFile = "BENCH_qon.json"
+
+// measurement is one benchmark's pinned numbers.
+type measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// baseline is the schema of BENCH_qon.json.
+type baseline struct {
+	// Comment documents the file for people reading the diff.
+	Comment    string                 `json:"comment"`
+	Benchmarks map[string]measurement `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkRegFoo-8  30  12345 ns/op  678 B/op  9 allocs/op`.
+var benchLine = regexp.MustCompile(`^(BenchmarkReg\w*)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	update := flag.Bool("update", false, "rewrite "+baselineFile+" from this run")
+	inject := flag.Float64("inject", 1.0, "multiply measured ns/op by this factor (CI self-test)")
+	threshold := flag.Float64("threshold", 1.20, "fail when measured/baseline exceeds this ratio")
+	flag.Parse()
+
+	measured, err := runBenchmarks()
+	if err != nil {
+		fatal(err)
+	}
+	if len(measured) == 0 {
+		fatal(fmt.Errorf("no BenchmarkReg* benchmarks found — run from the repository root"))
+	}
+	for name, m := range measured {
+		m.NsPerOp *= *inject
+		measured[name] = m
+	}
+
+	if *update {
+		b := baseline{
+			Comment: "benchdiff baseline: minimum ns/op and allocs/op of BenchmarkReg* " +
+				"over -benchtime 30x -count 3; regenerate with `go run ./scripts/benchdiff -update`",
+			Benchmarks: measured,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(baselineFile, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %s (%d benchmarks)\n", baselineFile, len(measured))
+		return
+	}
+
+	data, err := os.ReadFile(baselineFile)
+	if err != nil {
+		fatal(fmt.Errorf("%w (create it with `go run ./scripts/benchdiff -update`)", err))
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", baselineFile, err))
+	}
+
+	var failures []string
+	for _, name := range sortedKeys(measured) {
+		m := measured[name]
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: not in baseline (run -update)", name))
+			continue
+		}
+		nsRatio := m.NsPerOp / b.NsPerOp
+		status := "ok"
+		if nsRatio > *threshold {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx)",
+				name, m.NsPerOp, b.NsPerOp, nsRatio, *threshold))
+		}
+		allocNote := ""
+		if b.AllocsPerOp > 0 {
+			allocRatio := float64(m.AllocsPerOp) / float64(b.AllocsPerOp)
+			allocNote = fmt.Sprintf("  allocs %d vs %d", m.AllocsPerOp, b.AllocsPerOp)
+			if allocRatio > *threshold {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d (%.2fx > %.2fx)",
+					name, m.AllocsPerOp, b.AllocsPerOp, allocRatio, *threshold))
+			}
+		}
+		fmt.Printf("%-28s %10.0f ns/op  (baseline %10.0f, %.2fx)%s  %s\n",
+			name, m.NsPerOp, b.NsPerOp, nsRatio, allocNote, status)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := measured[name]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but no longer measured", name))
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d failure(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: all benchmarks within threshold")
+}
+
+// runBenchmarks executes the regression set and returns the minimum
+// ns/op and allocs/op per benchmark across the repeated counts.
+func runBenchmarks() (map[string]measurement, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "^BenchmarkReg",
+		"-benchmem", "-benchtime", "30x", "-count", "3", ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w\n%s", err, out)
+	}
+	measured := map[string]measurement{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		var allocs int64
+		if m[3] != "" {
+			allocs, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		cur, seen := measured[m[1]]
+		if !seen || ns < cur.NsPerOp {
+			cur.NsPerOp = ns
+		}
+		if !seen || allocs < cur.AllocsPerOp {
+			cur.AllocsPerOp = allocs
+		}
+		measured[m[1]] = cur
+	}
+	return measured, nil
+}
+
+func sortedKeys(m map[string]measurement) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
