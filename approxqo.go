@@ -27,6 +27,7 @@ import (
 	"approxqo/internal/qoh"
 	"approxqo/internal/qon"
 	"approxqo/internal/sat"
+	"approxqo/internal/server"
 	"approxqo/internal/sqocp"
 	"approxqo/internal/stats"
 	"approxqo/internal/trace"
@@ -95,6 +96,17 @@ type (
 	ChaosFault = chaos.Fault
 	// ChaosRule targets one fault at matching optimizers in a spec.
 	ChaosRule = chaos.Rule
+	// EngineHealth is the engine's cheap health probe: run/failure
+	// counts, quarantine depth and recent error kinds (qod's /readyz).
+	EngineHealth = engine.Health
+	// Server is the daemon's HTTP serving layer (admission control,
+	// degradation ladder, circuit breaker, graceful drain); ServerConfig
+	// configures it and ServerRequest/ServerResult are the /optimize
+	// wire documents.
+	Server        = server.Server
+	ServerConfig  = server.Config
+	ServerRequest = server.Request
+	ServerResult  = server.Result
 )
 
 // Reductions and pipelines.
@@ -162,6 +174,9 @@ var (
 	// NewEngine builds a supervised ensemble runner; see engine.Options
 	// re-exported below.
 	NewEngine = engine.New
+	// NewServer builds the daemon's serving layer from a ServerConfig
+	// (cmd/qod wires it to an address and the signal machinery).
+	NewServer = server.New
 	// WithRunTimeout bounds each optimizer run individually.
 	WithRunTimeout = engine.WithRunTimeout
 	// WithGrace sets how long the engine waits for straggler results

@@ -1,0 +1,84 @@
+// Command qod is the optimization daemon: it serves QO_N/QO_H
+// optimization requests over HTTP through the supervised ensemble
+// engine, with admission control, a load-aware degradation ladder and
+// graceful shutdown (see internal/server and README §Serving).
+//
+// Endpoints:
+//
+//	POST /optimize — JSON request (inline instance, qoh_instance or a
+//	                 workload spec) → certified result or structured
+//	                 error document
+//	GET  /healthz  — liveness + load gauges
+//	GET  /readyz   — readiness (engine health probe, breaker circuits)
+//
+// Usage:
+//
+//	qod -addr :8080
+//	qod -addr :8080 -workers 8 -queue 64 -degrade-at 8 -shed-at 48
+//	qod -addr :8080 -req-timeout 2s -max-timeout 30s -drain 5s
+//	qod -addr :8080 -chaos 'panic:greedy-min-cost' -metrics
+//
+// SIGINT/SIGTERM triggers a graceful drain: admission stops, in-flight
+// requests finish within -drain, and the observability outputs
+// requested by -trace/-metrics/-cpuprofile/-memprofile are flushed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"approxqo/internal/cliutil"
+	"approxqo/internal/server"
+)
+
+var common = cliutil.Common{Seed: 1}
+
+func main() {
+	common.Register(flag.CommandLine)
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent optimization workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth beyond the workers (0 = 4x workers)")
+	degradeAt := flag.Int("degrade-at", 0, "load at which exact optimizers are shed (0 = workers)")
+	shedAt := flag.Int("shed-at", 0, "load at which requests are shed outright (0 = disabled)")
+	reqTimeout := flag.Duration("req-timeout", 2*time.Second, "default per-request deadline budget")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on requested deadline budgets")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	retryAfter := flag.Duration("retry-after", 250*time.Millisecond, "Retry-After hint on 429/503")
+	chaosSpec := flag.String("chaos", "", "fault injection spec applied to every request's ensemble")
+	flag.Parse()
+
+	// The signal handler's force-flush must not fire while a healthy
+	// drain is still inside its deadline.
+	common.SignalGrace = *drain + 2*time.Second
+	ctx, cancel := common.Context()
+	defer cancel()
+	common.Observe("qod")
+	defer common.Close("qod")
+
+	s, err := server.New(server.Config{
+		MaxConcurrent:  *workers,
+		QueueDepth:     *queue,
+		DegradeAt:      *degradeAt,
+		ShedAt:         *shedAt,
+		DefaultTimeout: *reqTimeout,
+		MaxTimeout:     *maxTimeout,
+		DrainTimeout:   *drain,
+		RetryAfter:     *retryAfter,
+		Seed:           common.Seed,
+		ChaosSpec:      *chaosSpec,
+		Tracer:         common.Tracer(),
+		Metrics:        common.Registry(),
+	})
+	if err != nil {
+		common.Fatal("qod", err)
+	}
+	fmt.Fprintf(os.Stderr, "qod: serving on %s (drain deadline %s)\n", *addr, *drain)
+	// ListenAndServe blocks until ctx ends (SIGINT/SIGTERM via cliutil,
+	// or -timeout), then drains in-flight requests before returning.
+	if err := s.ListenAndServe(ctx, *addr); err != nil {
+		common.Fatal("qod", err)
+	}
+	fmt.Fprintln(os.Stderr, "qod: drained cleanly")
+}

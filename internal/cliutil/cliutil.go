@@ -15,12 +15,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"approxqo/internal/certify"
 	"approxqo/internal/engine"
 	"approxqo/internal/trace"
 )
+
+// DefaultSignalGrace is how long the interrupt handler waits, after
+// cancelling the command's context, for the command to wind down and
+// flush on its own before force-flushing the observability outputs and
+// exiting.
+const DefaultSignalGrace = 3 * time.Second
 
 // Common is the flag set shared by all commands.
 type Common struct {
@@ -46,9 +55,19 @@ type Common struct {
 	CPUProfile string
 	MemProfile string
 
-	tracer   *trace.Tracer
-	registry *trace.Registry
-	profiler *trace.Profiler
+	// SignalGrace overrides how long the SIGINT/SIGTERM handler waits
+	// for a graceful wind-down before force-flushing and exiting (zero
+	// means DefaultSignalGrace). Long-running servers set this above
+	// their drain deadline.
+	SignalGrace time.Duration
+
+	mu        sync.Mutex // guards the fields below (Close races the signal handler)
+	tracer    *trace.Tracer
+	registry  *trace.Registry
+	profiler  *trace.Profiler
+	cancels   []context.CancelFunc
+	signalsOn bool
+	exit      func(int) // test hook; os.Exit when nil
 }
 
 // Register installs the shared flags on fs with the Common's current
@@ -66,9 +85,24 @@ func (c *Common) Register(fs *flag.FlagSet) {
 // Observe starts whatever observability the parsed flags requested and
 // returns the matching engine options (nil slice when nothing was
 // asked for — engine.New tolerates the resulting nil tracer/registry).
+// It also installs a SIGINT/SIGTERM handler: the first signal cancels
+// every context handed out by Context so the run winds down gracefully
+// (anytime optimizers return best-so-far, the normal exit path flushes);
+// if the command has not exited within SignalGrace — or a second signal
+// arrives — the handler flushes the trace/metrics/profile outputs
+// itself and exits, so an interrupted run never loses its trace file.
 // Call once after flag parsing; pair with a deferred Close.
 func (c *Common) Observe(prog string) []engine.Option {
 	var opts []engine.Option
+	var profiler *trace.Profiler
+	if c.CPUProfile != "" || c.MemProfile != "" {
+		p, err := trace.StartProfiles(c.CPUProfile, c.MemProfile)
+		if err != nil {
+			Fatal(prog, err)
+		}
+		profiler = p
+	}
+	c.mu.Lock()
 	if c.TracePath != "" {
 		c.tracer = trace.New()
 		opts = append(opts, engine.WithTracer(c.tracer))
@@ -77,55 +111,119 @@ func (c *Common) Observe(prog string) []engine.Option {
 		c.registry = trace.NewRegistry()
 		opts = append(opts, engine.WithMetrics(c.registry))
 	}
-	if c.CPUProfile != "" || c.MemProfile != "" {
-		p, err := trace.StartProfiles(c.CPUProfile, c.MemProfile)
-		if err != nil {
-			Fatal(prog, err)
-		}
-		c.profiler = p
+	c.profiler = profiler
+	install := !c.signalsOn
+	c.signalsOn = true
+	c.mu.Unlock()
+	if install {
+		sigC := make(chan os.Signal, 2)
+		signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+		go c.interruptLoop(prog, sigC)
 	}
 	return opts
 }
 
+// interruptLoop is the body of the signal handler goroutine (split out
+// so tests can drive it with a synthetic channel and exit hook).
+func (c *Common) interruptLoop(prog string, sigC <-chan os.Signal) {
+	sig := <-sigC
+	fmt.Fprintf(os.Stderr, "%s: %v: winding down (signal again to force exit)\n", prog, sig)
+	c.cancelAll()
+	grace := c.SignalGrace
+	if grace <= 0 {
+		grace = DefaultSignalGrace
+	}
+	t := time.NewTimer(grace)
+	defer t.Stop()
+	select {
+	case <-sigC:
+	case <-t.C:
+	}
+	// Still alive past the grace window: the command is stuck or slow.
+	// Flush observability ourselves so the interrupt does not lose the
+	// trace/metrics/profile outputs, then exit with the conventional
+	// 128+SIGINT status.
+	c.Close(prog)
+	exit := os.Exit
+	c.mu.Lock()
+	if c.exit != nil {
+		exit = c.exit
+	}
+	c.mu.Unlock()
+	exit(130)
+}
+
+// cancelAll cancels every context handed out by Context.
+func (c *Common) cancelAll() {
+	c.mu.Lock()
+	cancels := c.cancels
+	c.cancels = nil
+	c.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+}
+
 // Tracer returns the tracer started by Observe, or nil when -trace was
 // not given — commands can hang extra spans off it without branching.
-func (c *Common) Tracer() *trace.Tracer { return c.tracer }
+func (c *Common) Tracer() *trace.Tracer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracer
+}
 
 // Registry returns the metrics registry started by Observe, or nil
 // when -metrics was not given.
-func (c *Common) Registry() *trace.Registry { return c.registry }
+func (c *Common) Registry() *trace.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.registry
+}
 
 // Close flushes the observability outputs requested by the flags: the
 // trace file, the metrics summary on stderr, and any pprof profiles.
 // Idempotent (Fatal flushes before exiting, and commands also defer a
-// Close) and safe when Observe was never called or requested nothing.
+// Close), safe when Observe was never called or requested nothing, and
+// safe to race with the interrupt handler's own flush — exactly one of
+// them writes each output.
 func (c *Common) Close(prog string) {
-	if c.tracer != nil {
-		if err := c.tracer.WriteFile(c.TracePath); err != nil {
+	c.mu.Lock()
+	tracer, registry, profiler := c.tracer, c.registry, c.profiler
+	c.tracer, c.registry, c.profiler = nil, nil, nil
+	c.mu.Unlock()
+	if tracer != nil {
+		if err := tracer.WriteFile(c.TracePath); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: writing trace: %v\n", prog, err)
 		}
-		c.tracer = nil
 	}
-	if c.registry != nil {
+	if registry != nil {
 		fmt.Fprintf(os.Stderr, "\n%s metrics:\n", prog)
-		c.registry.WriteText(os.Stderr)
-		c.registry = nil
+		registry.WriteText(os.Stderr)
 	}
-	if c.profiler != nil {
-		if err := c.profiler.Stop(); err != nil {
+	if profiler != nil {
+		if err := profiler.Stop(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: writing profile: %v\n", prog, err)
 		}
-		c.profiler = nil
 	}
 }
 
 // Context returns a context honouring c.Timeout. The cancel func must
-// be called (defer it) even when Timeout is zero.
+// be called (defer it) even when Timeout is zero. The context is also
+// cancelled by the first SIGINT/SIGTERM once Observe has installed the
+// interrupt handler, so a Ctrl-C degrades the run gracefully instead of
+// killing it mid-write.
 func (c *Common) Context() (context.Context, context.CancelFunc) {
+	var ctx context.Context
+	var cancel context.CancelFunc
 	if c.Timeout > 0 {
-		return context.WithTimeout(context.Background(), c.Timeout)
+		ctx, cancel = context.WithTimeout(context.Background(), c.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
 	}
-	return context.WithCancel(context.Background())
+	c.mu.Lock()
+	c.cancels = append(c.cancels, cancel)
+	c.mu.Unlock()
+	return ctx, cancel
 }
 
 // WriteJSON writes v to w indented, with a trailing newline.

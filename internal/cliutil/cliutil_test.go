@@ -23,7 +23,7 @@ func TestRegisterParsesUnifiedFlags(t *testing.T) {
 		t.Fatal(err)
 	}
 	if c.Seed != 42 || c.Timeout != 250*time.Millisecond || !c.JSON {
-		t.Fatalf("parsed Common = %+v", c)
+		t.Fatalf("parsed Common: seed=%d timeout=%v json=%v", c.Seed, c.Timeout, c.JSON)
 	}
 }
 

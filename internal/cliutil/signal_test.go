@@ -1,0 +1,102 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestInterruptCancelsContextAndFlushes drives the interrupt loop with
+// a synthetic signal: the first signal must cancel every context handed
+// out by Context, and once the grace window lapses the handler must
+// flush the trace file itself and exit 130 — an interrupted run keeps
+// its observability outputs.
+func TestInterruptCancelsContextAndFlushes(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	c := &Common{TracePath: tracePath, SignalGrace: 10 * time.Millisecond}
+	exited := make(chan int, 1)
+	c.mu.Lock()
+	c.exit = func(code int) { exited <- code }
+	c.mu.Unlock()
+	if opts := c.Observe("test"); len(opts) != 1 {
+		t.Fatalf("want one engine option for -trace, got %d", len(opts))
+	}
+	ctx, cancel := c.Context()
+	defer cancel()
+
+	sigC := make(chan os.Signal, 1)
+	done := make(chan struct{})
+	go func() {
+		c.interruptLoop("test", sigC)
+		close(done)
+	}()
+	sigC <- os.Interrupt
+
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("first signal did not cancel the run context")
+	}
+	select {
+	case code := <-exited:
+		if code != 130 {
+			t.Fatalf("exit code = %d, want 130", code)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler did not exit after the grace window")
+	}
+	<-done
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatalf("interrupt lost the trace file: %v", err)
+	}
+}
+
+// TestSecondSignalForcesImmediateFlush checks that a second signal
+// preempts the grace window.
+func TestSecondSignalForcesImmediateFlush(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	c := &Common{TracePath: tracePath, SignalGrace: time.Hour}
+	exited := make(chan int, 1)
+	c.mu.Lock()
+	c.exit = func(code int) { exited <- code }
+	c.tracer = nil
+	c.mu.Unlock()
+	c.Observe("test")
+
+	sigC := make(chan os.Signal, 2)
+	go c.interruptLoop("test", sigC)
+	sigC <- os.Interrupt
+	sigC <- os.Interrupt
+	select {
+	case <-exited:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second signal did not force an exit")
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatalf("forced exit lost the trace file: %v", err)
+	}
+}
+
+// TestCloseConcurrentWithHandlerWritesOnce races Close against the
+// handler's own flush; the trace file must be written exactly once and
+// without a data race (the detector is the assertion).
+func TestCloseConcurrentWithHandlerWritesOnce(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	c := &Common{TracePath: tracePath}
+	c.Observe("test")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Close("test")
+		}()
+	}
+	wg.Wait()
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatalf("no trace file after concurrent Close: %v", err)
+	}
+	c.Close("test") // idempotent
+}

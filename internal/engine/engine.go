@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"approxqo/internal/certify"
@@ -136,6 +137,94 @@ type Engine struct {
 
 	tracer  *trace.Tracer
 	metrics *trace.Registry
+
+	healthMu sync.Mutex
+	health   Health
+}
+
+// Health is a cheap probe of the engine's run history, for serving
+// layers that need a readiness signal or a circuit-breaker input
+// without parsing full Reports. It is maintained across Run/RunQOH
+// calls and safe to read concurrently with in-flight runs.
+type Health struct {
+	// Runs counts completed ensemble runs (successful or not).
+	Runs int64 `json:"runs"`
+	// Failed counts runs that produced no certified winner.
+	Failed int64 `json:"failed"`
+	// LastOK reports whether the most recent run produced a certified
+	// winner (false before any run).
+	LastOK bool `json:"last_ok"`
+	// Quarantined is the number of optimizers benched in the most
+	// recent run.
+	Quarantined int `json:"quarantined"`
+	// ErrKinds are the distinct failure kinds of the most recent run's
+	// failed optimizers, in record order: "panic", "abandoned",
+	// "uncertified", "quarantined", "timeout" or "error".
+	ErrKinds []string `json:"err_kinds,omitempty"`
+}
+
+// Health returns a snapshot of the engine's run history. It is a few
+// atomic loads under a mutex — cheap enough for a /readyz handler or a
+// per-request breaker check.
+func (e *Engine) Health() Health {
+	e.healthMu.Lock()
+	defer e.healthMu.Unlock()
+	h := e.health
+	h.ErrKinds = append([]string(nil), e.health.ErrKinds...)
+	return h
+}
+
+// errKind classifies one failed run record for the health probe.
+func errKind(rec *RunRecord) string {
+	switch {
+	case rec.Abandoned:
+		return "abandoned"
+	case rec.Panicked:
+		return "panic"
+	case rec.CertError != "":
+		return "uncertified"
+	case rec.Quarantined:
+		return "quarantined"
+	case rec.TimedOut && !rec.Certified:
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+// recordHealth folds one completed run into the health probe.
+func (e *Engine) recordHealth(records []RunRecord, ok bool) {
+	var kinds []string
+	var quarantined int
+	for i := range records {
+		rec := &records[i]
+		if rec.Quarantined {
+			quarantined++
+		}
+		if rec.Err == "" {
+			continue
+		}
+		kind := errKind(rec)
+		seen := false
+		for _, k := range kinds {
+			if k == kind {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			kinds = append(kinds, kind)
+		}
+	}
+	e.healthMu.Lock()
+	defer e.healthMu.Unlock()
+	e.health.Runs++
+	if !ok {
+		e.health.Failed++
+	}
+	e.health.LastOK = ok
+	e.health.Quarantined = quarantined
+	e.health.ErrKinds = kinds
 }
 
 // Option configures an Engine.
@@ -667,6 +756,7 @@ func (e *Engine) supervise(ctx context.Context, model string, jobs []*job) (*Rep
 	}
 	rootSpan.SetField("quarantined", len(report.Quarantined))
 	rootSpan.End()
+	e.recordHealth(records, best != nil)
 	return report, best
 }
 

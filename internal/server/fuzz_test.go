@@ -1,0 +1,74 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzServerRequestJSON mirrors qon's FuzzInstanceJSON for the daemon's
+// request decoder: arbitrary JSON must never panic DecodeRequest, and
+// every accepted request must be internally consistent — it validates,
+// resolves a budget within the configured bounds, produces a valid
+// instance, and survives a marshal/decode round trip.
+func FuzzServerRequestJSON(f *testing.F) {
+	f.Add(`{"workload":{"shape":"chain","n":5}}`)
+	f.Add(`{"workload":{"shape":"random","n":8,"seed":7,"edge_prob":0.5},"timeout_ms":250}`)
+	f.Add(`{"model":"qon","instance":{"query_graph":{"n":2,"edges":[[0,1]]},"sizes":["2","2"],` +
+		`"selectivities":[["1","2"],["2","1"]],"access_costs":[["2","2"],["2","2"]]}}`)
+	f.Add(`{"model":"qoh","qoh_instance":{"query_graph":{"n":3,"edges":[[0,1],[1,2]]},` +
+		`"sizes":["8","8","8"],"selectivities":[["1","0.5","1"],["0.5","1","0.5"],["1","0.5","1"]],"memory":"6"}}`)
+	f.Add(`{"workload":{"shape":"chain","n":5},"instance":{"query_graph":{"n":2,"edges":[[0,1]]}}}`)
+	f.Add(`{"workload":{"shape":"pentagon","n":5}}`)
+	f.Add(`{"workload":{"shape":"chain","n":5},"timeout_ms":-1}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		req, err := DecodeRequest([]byte(input))
+		if err != nil {
+			return
+		}
+		// Accepted requests were validated on decode; Validate must agree
+		// with itself on a second pass.
+		if err := req.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid request: %v", err)
+		}
+		if m := req.model(); m != "qon" && m != "qoh" {
+			t.Fatalf("accepted request resolves to unknown model %q", m)
+		}
+		def, max := 2*time.Second, 30*time.Second
+		if d := req.budget(def, max); d <= 0 || d > max {
+			t.Fatalf("budget %v out of range (0, %v]", d, max)
+		}
+		if req.model() == "qon" {
+			in, err := req.qonInstance()
+			if err != nil {
+				t.Fatalf("accepted qon request failed to resolve an instance: %v", err)
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatalf("accepted request produced an invalid instance: %v", err)
+			}
+			if n := in.N(); n < 1 || n > MaxRequestN {
+				t.Fatalf("accepted request produced instance with n=%d, cap %d", n, MaxRequestN)
+			}
+		}
+		data, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("marshal of accepted request: %v", err)
+		}
+		back, err := DecodeRequest(data)
+		if err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if back.model() != req.model() {
+			t.Fatalf("round trip changed model: %q -> %q", req.model(), back.model())
+		}
+		if back.budget(def, max) != req.budget(def, max) {
+			t.Fatal("round trip changed the deadline budget")
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package loadgen is a seeded, well-behaved client for the
+// optimization daemon: it retries backpressure responses (429/503) with
+// capped exponential backoff plus jitter, honouring the server's
+// retry_after_ms hint as a floor. The soak tests drive fleets of these
+// against an in-process server; qod operators can use it as a reference
+// client.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"approxqo/internal/server"
+)
+
+// Client issues optimization requests against one server. A Client is
+// deterministic given its seed but NOT safe for concurrent use (each
+// goroutine of a fleet gets its own — see New's seed parameter).
+type Client struct {
+	// Base is the server's base URL (httptest.Server.URL, or
+	// http://host:port for a real qod).
+	Base string
+	// HTTP is the transport; http.DefaultClient when nil.
+	HTTP *http.Client
+	// Retries is the maximum number of retry attempts after the first
+	// try (default 8). Only 429 and 503 responses are retried: they are
+	// the two backpressure signals, and both promise the condition is
+	// transient.
+	Retries int
+	// BaseBackoff and MaxBackoff shape the exponential backoff (defaults
+	// 10ms and 1s). The sleep before retry k is
+	// jitter(min(BaseBackoff·2^k, MaxBackoff)), with jitter drawing
+	// uniformly from [d/2, d) so a synchronized fleet decorrelates, and
+	// the server's retry_after_ms taken as a floor when present.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	rng *rand.Rand
+}
+
+// New builds a client for the server at base with a seeded jitter
+// source.
+func New(base string, seed int64) *Client {
+	return &Client{Base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Outcome is the terminal result of one Optimize call: the last
+// response received, plus the retry account.
+type Outcome struct {
+	// Status is the final HTTP status.
+	Status int
+	// Attempts counts tries including the first; Backoffs how many
+	// 429/503 responses were absorbed along the way.
+	Attempts int
+	Backoffs int
+	// Result is set on 200; ErrDoc on any structured error response.
+	Result *server.Result
+	ErrDoc *server.ErrorDoc
+}
+
+// OK reports whether the final response was a 200.
+func (o *Outcome) OK() bool { return o.Status == http.StatusOK }
+
+// Optimize POSTs req to /optimize, retrying backpressure with
+// exponential backoff + jitter until a terminal response, exhausted
+// retries (the last 429/503 outcome is returned, error nil) or context
+// expiry. A non-nil error means transport-level failure only — every
+// HTTP response, error documents included, is a successful Outcome.
+func (c *Client) Optimize(ctx context.Context, req *server.Request) (*Outcome, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 8
+	}
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = time.Second
+	}
+	out := &Outcome{}
+	for attempt := 0; ; attempt++ {
+		out.Attempts++
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/optimize", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := hc.Do(hreq)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		out.Status = resp.StatusCode
+		out.Result, out.ErrDoc = nil, nil
+		if resp.StatusCode == http.StatusOK {
+			var res server.Result
+			if err := json.Unmarshal(data, &res); err != nil {
+				return nil, fmt.Errorf("loadgen: undecodable 200 body: %w", err)
+			}
+			out.Result = &res
+			return out, nil
+		}
+		var doc server.ErrorDoc
+		if err := json.Unmarshal(data, &doc); err != nil || doc.Error.Kind == "" {
+			return nil, fmt.Errorf("loadgen: status %d with unstructured body %q", resp.StatusCode, data)
+		}
+		out.ErrDoc = &doc
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= retries {
+			return out, nil
+		}
+		out.Backoffs++
+		if err := c.sleep(ctx, c.backoff(attempt, &doc)); err != nil {
+			return out, err
+		}
+	}
+}
+
+// backoff computes the sleep before retry attempt (0-based): capped
+// exponential with jitter, floored at the server's hint.
+func (c *Client) backoff(attempt int, doc *server.ErrorDoc) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max { // <<= overflow guards too
+		d = max
+	}
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	if hint := time.Duration(doc.Error.RetryAfterMS) * time.Millisecond; d < hint {
+		d = hint
+	}
+	return d
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

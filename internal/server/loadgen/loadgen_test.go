@@ -1,0 +1,134 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"approxqo/internal/server"
+)
+
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	c := New("http://unused", 1)
+	c.BaseBackoff = 10 * time.Millisecond
+	c.MaxBackoff = 200 * time.Millisecond
+	doc := &server.ErrorDoc{}
+	for attempt := 0; attempt < 12; attempt++ {
+		want := c.BaseBackoff << uint(attempt)
+		if want <= 0 || want > c.MaxBackoff {
+			want = c.MaxBackoff
+		}
+		d := c.backoff(attempt, doc)
+		if d < want/2 || d > want {
+			t.Fatalf("attempt %d: backoff %v outside jitter window [%v, %v]", attempt, d, want/2, want)
+		}
+	}
+}
+
+func TestBackoffHonorsRetryAfterHint(t *testing.T) {
+	c := New("http://unused", 1)
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 2 * time.Millisecond
+	var doc server.ErrorDoc
+	doc.Error.RetryAfterMS = 500
+	if d := c.backoff(0, &doc); d < 500*time.Millisecond {
+		t.Fatalf("backoff %v ignores the server's 500ms retry hint", d)
+	}
+}
+
+func TestOptimizeRetriesBackpressureThenSucceeds(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"kind":"overloaded","message":"queue full","retry_after_ms":1}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"model":"qon","n":3,"rung":"full","degraded":false,` +
+			`"report":{"model":"qon","n":3,"runs":[]}}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, 7)
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 5 * time.Millisecond
+	out, err := c.Optimize(context.Background(), &server.Request{
+		Workload: &server.WorkloadSpec{Shape: "chain", N: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() || out.Attempts != 3 || out.Backoffs != 2 {
+		t.Fatalf("outcome %+v, want 200 after 3 attempts / 2 backoffs", out)
+	}
+	if out.Result == nil || out.Result.Model != "qon" {
+		t.Fatalf("result not decoded: %+v", out.Result)
+	}
+}
+
+func TestOptimizeDoesNotRetryTerminalErrors(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":{"kind":"bad_request","message":"nope"}}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, 7)
+	out, err := c.Optimize(context.Background(), &server.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != http.StatusBadRequest || out.Attempts != 1 || out.Backoffs != 0 {
+		t.Fatalf("outcome %+v, want a single non-retried 400", out)
+	}
+	if out.ErrDoc == nil || out.ErrDoc.Error.Kind != "bad_request" {
+		t.Fatalf("error document not decoded: %+v", out.ErrDoc)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server hit %d times, want 1", hits.Load())
+	}
+}
+
+func TestOptimizeRejectsUnstructuredErrorBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "oops", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, 7)
+	if _, err := c.Optimize(context.Background(), &server.Request{}); err == nil {
+		t.Fatal("unstructured 503 body must surface as an error")
+	}
+}
+
+func TestOptimizeExhaustsRetriesAndReturnsLastOutcome(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"kind":"draining","message":"bye"}}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, 7)
+	c.Retries = 2
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 2 * time.Millisecond
+	out, err := c.Optimize(context.Background(), &server.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != http.StatusServiceUnavailable || out.Attempts != 3 || out.Backoffs != 2 {
+		t.Fatalf("outcome %+v, want 503 after 3 attempts / 2 backoffs", out)
+	}
+	if out.ErrDoc == nil || out.ErrDoc.Error.Kind != "draining" {
+		t.Fatalf("last error document not kept: %+v", out.ErrDoc)
+	}
+}

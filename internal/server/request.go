@@ -1,0 +1,182 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"approxqo/internal/qoh"
+	"approxqo/internal/qon"
+	"approxqo/internal/workload"
+)
+
+// Request size caps. The daemon is a shared resource: an instance too
+// large to optimize within any sane deadline is rejected at the door
+// with a 400 instead of burning a worker slot until the budget expires.
+const (
+	// MaxRequestN caps inline and generated QO_N instances.
+	MaxRequestN = 32
+	// MaxRequestQOHN caps inline QO_H instances (the pipeline DP is a
+	// heavier cost model; qoh.MaxExhaustiveN bounds the exact searcher
+	// separately).
+	MaxRequestQOHN = 16
+	// DefaultMaxBodyBytes bounds the request body the decoder will read.
+	DefaultMaxBodyBytes = 1 << 20
+)
+
+// WorkloadSpec asks the server to generate a seeded random instance
+// instead of shipping one inline — the shape grammar of the workload
+// package (chain|cycle|star|grid|clique|random).
+type WorkloadSpec struct {
+	Shape    string  `json:"shape"`
+	N        int     `json:"n"`
+	Seed     int64   `json:"seed,omitempty"`
+	EdgeProb float64 `json:"edge_prob,omitempty"`
+}
+
+// Request is the JSON body of POST /optimize. Exactly one instance
+// source must be set: an inline QO_N instance (the qon decoder
+// validates it), an inline QO_H instance, or a workload spec to
+// generate from.
+type Request struct {
+	// Model is "qon" (default) or "qoh"; it must agree with the
+	// instance source.
+	Model string `json:"model,omitempty"`
+	// Instance is an inline QO_N instance (qohard -out / qopt -file
+	// format).
+	Instance *qon.Instance `json:"instance,omitempty"`
+	// QOHInstance is an inline QO_H instance.
+	QOHInstance *qoh.Instance `json:"qoh_instance,omitempty"`
+	// Workload generates a QO_N instance server-side (qoh generation is
+	// not supported).
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// TimeoutMS is the per-request deadline budget in milliseconds,
+	// clamped to the server's MaxTimeout; zero means the server's
+	// DefaultTimeout. The budget covers queueing and optimization: when
+	// it expires mid-run, anytime heuristics still deliver a certified
+	// best-so-far result.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// DecodeRequest parses and validates one request body. Errors are
+// safe to echo to clients.
+func DecodeRequest(data []byte) (*Request, error) {
+	var req Request
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("decoding request: %w", err)
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate checks the cross-field constraints the per-instance decoders
+// cannot see: exactly one instance source, model agreement, size caps,
+// and a sane budget.
+func (r *Request) Validate() error {
+	sources := 0
+	for _, set := range []bool{r.Instance != nil, r.QOHInstance != nil, r.Workload != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return fmt.Errorf("request needs exactly one of instance, qoh_instance or workload (got %d)", sources)
+	}
+	switch r.Model {
+	case "", "qon":
+		if r.QOHInstance != nil {
+			return fmt.Errorf("qoh_instance requires model %q", "qoh")
+		}
+	case "qoh":
+		if r.QOHInstance == nil {
+			return fmt.Errorf("model %q requires qoh_instance", "qoh")
+		}
+	default:
+		return fmt.Errorf("unknown model %q (want qon or qoh)", r.Model)
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be non-negative, got %d", r.TimeoutMS)
+	}
+	if in := r.Instance; in != nil {
+		if err := in.Validate(); err != nil {
+			return err
+		}
+		// The n ≥ 1 floor matters: an empty query_graph decodes to a
+		// valid zero-relation instance (and JSON key matching is
+		// case-insensitive, so "instAnCe" reaches this field too).
+		if in.N() < 1 {
+			return fmt.Errorf("instance has no relations")
+		}
+		if in.N() > MaxRequestN {
+			return fmt.Errorf("instance has %d relations, cap is %d", in.N(), MaxRequestN)
+		}
+	}
+	if in := r.QOHInstance; in != nil {
+		if err := in.Validate(); err != nil {
+			return err
+		}
+		if in.N() < 1 {
+			return fmt.Errorf("qoh instance has no relations")
+		}
+		if in.N() > MaxRequestQOHN {
+			return fmt.Errorf("qoh instance has %d relations, cap is %d", in.N(), MaxRequestQOHN)
+		}
+	}
+	if w := r.Workload; w != nil {
+		if w.N < 2 || w.N > MaxRequestN {
+			return fmt.Errorf("workload n=%d out of range [2, %d]", w.N, MaxRequestN)
+		}
+		if w.EdgeProb < 0 || w.EdgeProb > 1 {
+			return fmt.Errorf("workload edge_prob=%g out of range [0, 1]", w.EdgeProb)
+		}
+		valid := false
+		for _, s := range workload.Shapes() {
+			if workload.Shape(w.Shape) == s {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return fmt.Errorf("unknown workload shape %q (have %v)", w.Shape, workload.Shapes())
+		}
+	}
+	return nil
+}
+
+// model returns the effective model after validation.
+func (r *Request) model() string {
+	if r.QOHInstance != nil {
+		return "qoh"
+	}
+	return "qon"
+}
+
+// budget resolves the request's deadline from its timeout_ms and the
+// server's defaults.
+func (r *Request) budget(def, max time.Duration) time.Duration {
+	d := time.Duration(r.TimeoutMS) * time.Millisecond
+	if d <= 0 {
+		d = def
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}
+
+// qonInstance resolves the QO_N instance to optimize — inline or
+// generated from the workload spec.
+func (r *Request) qonInstance() (*qon.Instance, error) {
+	if r.Instance != nil {
+		return r.Instance, nil
+	}
+	w := r.Workload
+	return workload.Generate(workload.Params{
+		N:        w.N,
+		Shape:    workload.Shape(w.Shape),
+		Seed:     w.Seed,
+		EdgeProb: w.EdgeProb,
+	})
+}

@@ -1,0 +1,648 @@
+// Package server is the optimization daemon's serving layer: it exposes
+// the supervised ensemble engine over HTTP (JSON in/out, reusing the
+// qon/qoh instance decoders) and protects the expensive exact
+// optimizers from overload with explicit, per-request policy instead of
+// timeouts and tipping over:
+//
+//   - a bounded admission queue with backpressure — requests beyond the
+//     worker slots wait in a bounded queue, and requests beyond the
+//     queue are rejected with 429 + Retry-After;
+//   - per-request deadline budgets, propagated through context into
+//     engine.Run so anytime heuristics degrade to certified best-so-far
+//     results instead of erroring;
+//   - a load-aware graceful-degradation ladder (see Rung): full
+//     certified ensemble at low load, heuristics-only (marked
+//     degraded: true) under pressure, outright load shedding at the top;
+//   - a per-optimizer circuit breaker (see Breaker) layered over the
+//     engine's per-run quarantine;
+//   - panic-isolated request handlers, /healthz and /readyz endpoints,
+//     and graceful shutdown that drains in-flight requests within a
+//     configurable deadline;
+//   - request spans and server.* metrics wired into internal/trace.
+//
+// Every accepted request yields either a certified result document or a
+// structured error document — nothing is silently dropped, which the
+// chaos soak tests assert under injected faults.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"approxqo/internal/chaos"
+	"approxqo/internal/cliutil"
+	"approxqo/internal/engine"
+	"approxqo/internal/opt"
+	"approxqo/internal/qoh"
+	"approxqo/internal/trace"
+)
+
+// Metric names published into the configured registry. The soak tests
+// assert the admission invariant: every POST /optimize hit is either
+// accepted or rejected at admission (MetricRequests = MetricAccepted +
+// MetricRejected + non-POST hits), and every accepted request is
+// answered (200, a 400/413 decode failure, a queue-deadline 503, or an
+// engine-error document). MetricBadRequest counts response documents —
+// pre-admission 405s plus post-admission decode failures — so it
+// overlaps MetricAccepted rather than partitioning MetricRequests.
+const (
+	MetricRequests      = "server.requests"         // counter: POST /optimize hits
+	MetricAccepted      = "server.accepted"         // counter: requests admitted
+	MetricRejected      = "server.rejected"         // counter: 429/503 at admission
+	MetricShed          = "server.shed"             // counter: shed-rung rejections (⊆ rejected)
+	MetricDegraded      = "server.degraded"         // counter: requests served heuristics-only
+	MetricBadRequest    = "server.bad_request"      // counter: 400/405 responses
+	MetricQueueDeadline = "server.queue.deadline"   // counter: budgets expired while queued
+	MetricPanics        = "server.panics"           // counter: handler panics converted to 500s
+	MetricBreakerSkips  = "server.breaker.skips"    // counter: optimizers left out, circuit open
+	MetricInFlight      = "server.inflight"         // gauge: admitted, not yet answered
+	MetricQueueDepth    = "server.queue.depth"      // gauge: admitted, waiting for a worker slot
+	MetricRung          = "server.rung"             // histogram: ladder rung per accepted request
+	MetricQueueWaitUS   = "server.queue.wait_us"    // histogram: time queued before a slot (µs)
+	MetricRequestWallUS = "server.request.wall_us"  // histogram: accepted-request wall time (µs)
+)
+
+// SpanRequest names the per-request span (fields: model, n, rung,
+// status, kind).
+const SpanRequest = "server.request"
+
+// Config configures a Server. The zero value is usable: every field
+// has a production-shaped default.
+type Config struct {
+	// MaxConcurrent is the number of worker slots running the engine at
+	// once (default GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth is the admission queue beyond the worker slots;
+	// requests past MaxConcurrent+QueueDepth are rejected with 429
+	// (default 4×MaxConcurrent).
+	QueueDepth int
+	// DegradeAt is the load (admitted requests not yet answered) at
+	// which the ladder sheds the exact optimizers (default
+	// MaxConcurrent: degrade as soon as requests start queueing).
+	DegradeAt int
+	// ShedAt is the load at which requests are rejected outright with
+	// 503; zero disables the shed rung and leaves backpressure to the
+	// queue bound alone. Must be > DegradeAt when set.
+	ShedAt int
+
+	// DefaultTimeout is the per-request budget when the request does
+	// not carry timeout_ms (default 2s). MaxTimeout clamps requested
+	// budgets (default 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DrainTimeout bounds graceful shutdown's drain of in-flight
+	// requests (default 5s).
+	DrainTimeout time.Duration
+	// RetryAfter is the hint attached to 429/503 rejections (default
+	// 250ms).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds the request body (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+
+	// Seed seeds the randomized heuristics; each request derives its
+	// own seed from it.
+	Seed int64
+	// ChaosSpec injects deterministic faults into every request's
+	// ensemble (the qopt -chaos grammar) — the soak tests and qod
+	// -chaos use it; empty disables. ChaosOptions configure the
+	// injectors (stall duration, transient-failure counts).
+	ChaosSpec    string
+	ChaosOptions []chaos.Option
+
+	// BreakerThreshold / BreakerCooldown configure the per-optimizer
+	// circuit breaker (defaults DefaultBreakerThreshold /
+	// DefaultBreakerCooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// EngineGrace overrides the engine's post-cancellation grace window
+	// (default engine.DefaultGrace).
+	EngineGrace time.Duration
+
+	// Tracer / Metrics wire the server and its engine into the
+	// observability layer; nil disables either.
+	Tracer  *trace.Tracer
+	Metrics *trace.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxConcurrent
+	}
+	if c.DegradeAt <= 0 {
+		c.DegradeAt = c.MaxConcurrent
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 250 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return c
+}
+
+// Server serves optimization requests. Build with New; serve via
+// Handler (in-process, tests) or ListenAndServe (qod).
+type Server struct {
+	cfg        Config
+	eng        *engine.Engine
+	breaker    *Breaker
+	chaosRules []chaos.Rule
+
+	slots  chan struct{} // worker tokens
+	reqSeq atomic.Int64  // per-request seed derivation
+	queued atomic.Int64  // waiting for a slot (healthz, gauge mirror)
+
+	mu          sync.Mutex
+	inflight    int // admitted, not yet answered
+	draining    bool
+	drainClosed bool
+	drained     chan struct{}
+
+	started time.Time
+	mux     *http.ServeMux
+}
+
+// New builds a Server. It fails only on an invalid configuration (bad
+// chaos spec, inconsistent ladder thresholds).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ShedAt > 0 && cfg.ShedAt <= cfg.DegradeAt {
+		return nil, fmt.Errorf("server: ShedAt (%d) must exceed DegradeAt (%d)", cfg.ShedAt, cfg.DegradeAt)
+	}
+	rules, err := chaos.ParseSpec(cfg.ChaosSpec)
+	if err != nil {
+		return nil, err
+	}
+	engOpts := []engine.Option{
+		engine.WithTracer(cfg.Tracer),
+		engine.WithMetrics(cfg.Metrics),
+	}
+	if cfg.EngineGrace > 0 {
+		engOpts = append(engOpts, engine.WithGrace(cfg.EngineGrace))
+	}
+	s := &Server{
+		cfg:        cfg,
+		eng:        engine.New(engOpts...),
+		breaker:    NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		chaosRules: rules,
+		slots:      make(chan struct{}, cfg.MaxConcurrent),
+		drained:    make(chan struct{}),
+		started:    time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/optimize", s.handleOptimize)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	return s, nil
+}
+
+// Engine exposes the server's supervised engine (its Health feeds
+// /readyz; tests reach it too).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Handler returns the server's panic-isolated HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.cfg.Metrics.Counter(MetricPanics).Inc()
+				writeErrorDoc(w, http.StatusInternalServerError, "panic",
+					fmt.Sprintf("internal error: %v", p), 0)
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then performs a
+// graceful shutdown: admission stops, in-flight requests drain within
+// DrainTimeout, and only then do the listeners close.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errC := make(chan error, 1)
+	go func() { errC <- hs.ListenAndServe() }()
+	select {
+	case err := <-errC:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	drainErr := s.Shutdown(drainCtx)
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}
+
+// Shutdown stops admitting requests (new ones get a structured 503
+// "draining" document) and blocks until every in-flight request has
+// been answered or ctx expires. It returns nil exactly when the drain
+// completed with zero dropped requests.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.inflight == 0 && !s.drainClosed {
+		close(s.drained)
+		s.drainClosed = true
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		return fmt.Errorf("server: drain incomplete, %d request(s) still in flight: %w", n, ctx.Err())
+	}
+}
+
+// InFlight reports the number of admitted, unanswered requests.
+func (s *Server) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// rejection is a refused admission: a status, a taxonomy kind and a
+// message, rendered as a structured error document with Retry-After.
+type rejection struct {
+	status int
+	kind   string
+	msg    string
+}
+
+// admit applies admission control and the degradation ladder. On
+// success the caller holds one in-flight slot (pair with release) and
+// the rung to serve at; otherwise the rejection says why.
+func (s *Server) admit() (Rung, *rejection) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return 0, &rejection{http.StatusServiceUnavailable, "draining", "server is draining; request not admitted"}
+	}
+	load := s.inflight
+	capacity := s.cfg.MaxConcurrent + s.cfg.QueueDepth
+	if load >= capacity {
+		return 0, &rejection{http.StatusTooManyRequests, "overloaded",
+			fmt.Sprintf("admission queue full (%d in flight, capacity %d)", load, capacity)}
+	}
+	rung := ladder(load, s.cfg.DegradeAt, s.cfg.ShedAt)
+	if rung == RungShed {
+		s.cfg.Metrics.Counter(MetricShed).Inc()
+		return 0, &rejection{http.StatusServiceUnavailable, "shed",
+			fmt.Sprintf("load shed at rung %q (%d in flight, shed threshold %d)", rung, load, s.cfg.ShedAt)}
+	}
+	s.inflight++
+	s.cfg.Metrics.Gauge(MetricInFlight).Add(1)
+	return rung, nil
+}
+
+// release returns an in-flight slot; the last release during a drain
+// completes Shutdown.
+func (s *Server) release() {
+	s.mu.Lock()
+	s.inflight--
+	s.cfg.Metrics.Gauge(MetricInFlight).Add(-1)
+	if s.draining && s.inflight == 0 && !s.drainClosed {
+		close(s.drained)
+		s.drainClosed = true
+	}
+	s.mu.Unlock()
+}
+
+// handleOptimize is POST /optimize: admission, decode, queue for a
+// worker slot, run the (possibly degraded) ensemble under the request's
+// deadline budget, respond with a certified result or a structured
+// error document.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	m := s.cfg.Metrics
+	m.Counter(MetricRequests).Inc()
+	span := s.cfg.Tracer.Start(SpanRequest)
+	defer span.End()
+	if r.Method != http.MethodPost {
+		m.Counter(MetricBadRequest).Inc()
+		span.SetField("kind", "method_not_allowed")
+		writeErrorDoc(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"use POST with a JSON request body", 0)
+		return
+	}
+
+	// Admission before body parsing: under overload, rejects cost a few
+	// atomic ops, not a JSON decode.
+	rung, rej := s.admit()
+	if rej != nil {
+		m.Counter(MetricRejected).Inc()
+		span.SetField("kind", rej.kind)
+		writeErrorDoc(w, rej.status, rej.kind, rej.msg, s.cfg.RetryAfter)
+		return
+	}
+	accepted := time.Now()
+	defer s.release()
+	m.Counter(MetricAccepted).Inc()
+	m.Histogram(MetricRung).Observe(int64(rung))
+	span.SetField("rung", rung.String())
+	if rung.Degraded() {
+		m.Counter(MetricDegraded).Inc()
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		m.Counter(MetricBadRequest).Inc()
+		span.SetField("kind", "too_large")
+		writeErrorDoc(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes), 0)
+		return
+	}
+	req, err := DecodeRequest(body)
+	if err != nil {
+		m.Counter(MetricBadRequest).Inc()
+		span.SetField("kind", "bad_request")
+		writeErrorDoc(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	span.SetField("model", req.model())
+
+	// The budget covers queueing and optimization, so a request cannot
+	// occupy the queue longer than its caller is willing to wait.
+	ctx, cancel := context.WithTimeout(r.Context(), req.budget(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
+	defer cancel()
+
+	s.queued.Add(1)
+	s.cfg.Metrics.Gauge(MetricQueueDepth).Add(1)
+	select {
+	case s.slots <- struct{}{}:
+		s.queued.Add(-1)
+		s.cfg.Metrics.Gauge(MetricQueueDepth).Add(-1)
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		s.cfg.Metrics.Gauge(MetricQueueDepth).Add(-1)
+		m.Counter(MetricQueueDeadline).Inc()
+		span.SetField("kind", "queue_deadline")
+		writeErrorDoc(w, http.StatusServiceUnavailable, "queue_deadline",
+			"deadline budget expired while queued", s.cfg.RetryAfter)
+		return
+	}
+	defer func() { <-s.slots }()
+	queueWait := time.Since(accepted)
+	m.Histogram(MetricQueueWaitUS).Observe(queueWait.Microseconds())
+
+	rep, err := s.run(ctx, req, rung)
+	wall := time.Since(accepted)
+	m.Histogram(MetricRequestWallUS).Observe(wall.Microseconds())
+	if err != nil {
+		kind := cliutil.Classify(err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		span.SetField("kind", kind)
+		writeErrorDoc(w, status, kind, err.Error(), 0)
+		return
+	}
+	span.SetField("status", http.StatusOK)
+	writeJSON(w, http.StatusOK, &Result{
+		Model:    req.model(),
+		N:        rep.N,
+		Rung:     rung.String(),
+		Degraded: rung.Degraded(),
+		QueueMS:  float64(queueWait.Microseconds()) / 1000,
+		WallMS:   float64(wall.Microseconds()) / 1000,
+		Report:   rep,
+	})
+}
+
+// run executes the request's ensemble at the given rung under ctx and
+// feeds the outcome into the circuit breaker.
+func (s *Server) run(ctx context.Context, req *Request, rung Rung) (*engine.Report, error) {
+	seed := s.cfg.Seed + s.reqSeq.Add(1)
+	var rep *engine.Report
+	var err error
+	if req.model() == "qoh" {
+		rep, err = s.eng.RunQOH(ctx, req.QOHInstance, s.qohEnsemble(req.QOHInstance, rung, seed)...)
+	} else {
+		in, ierr := req.qonInstance()
+		if ierr != nil {
+			return nil, ierr
+		}
+		rep, err = s.eng.Run(ctx, in, s.qonEnsemble(in.N(), rung, seed)...)
+	}
+	if rep != nil {
+		for i := range rep.Runs {
+			rec := &rep.Runs[i]
+			if rec.Certified {
+				s.breaker.Record(rec.Name, true)
+			} else if rec.Quarantined {
+				// Only quarantine trips the breaker: errors alone include
+				// benign cancellations from the engine's early exit.
+				s.breaker.Record(rec.Name, false)
+			}
+		}
+	}
+	return rep, err
+}
+
+// qonEnsemble builds the request's optimizer set: sized to the
+// instance, degraded to heuristics-only above the degrade rung,
+// filtered by the circuit breaker, and wrapped with the configured
+// chaos faults.
+func (s *Server) qonEnsemble(n int, rung Rung, seed int64) []opt.Optimizer {
+	var optimizers []opt.Optimizer
+	if rung == RungFull {
+		// Exact optimizers, each within its applicable range so a
+		// too-large instance does not burn retries on out-of-range errors.
+		if n <= opt.MaxExhaustiveN {
+			optimizers = append(optimizers, opt.NewExhaustive())
+		}
+		if n <= opt.DefaultMaxDPN {
+			optimizers = append(optimizers, opt.NewDP(), opt.NewDPNoCross())
+		}
+		if n <= opt.DefaultMaxDPN+2 {
+			optimizers = append(optimizers, opt.NewDPParallel())
+		}
+		optimizers = append(optimizers, opt.NewIterativeImprovement(opt.WithSeed(seed), opt.WithRestarts(5)))
+	}
+	optimizers = append(optimizers, opt.Heuristics(opt.WithSeed(seed))...)
+	optimizers = s.filterOpen(optimizers)
+	if len(s.chaosRules) > 0 {
+		optimizers = chaos.Apply(s.chaosRules, optimizers,
+			append(append([]chaos.Option(nil), s.cfg.ChaosOptions...), chaos.WithSeed(seed))...)
+	}
+	return optimizers
+}
+
+// qohEnsemble is qonEnsemble for the QO_H plan search. Chaos wrapping
+// does not apply (the injectors target opt.Optimizer).
+func (s *Server) qohEnsemble(in *qoh.Instance, rung Rung, seed int64) []engine.QOHSearcher {
+	searchers := engine.QOHSearchers(opt.WithSeed(seed))
+	keep := searchers[:0]
+	for _, sr := range searchers {
+		if sr.Name == "qoh-exhaustive" && (rung != RungFull || in.N() > qoh.MaxExhaustiveN) {
+			continue
+		}
+		if !s.breaker.Allow(sr.Name) {
+			s.cfg.Metrics.Counter(MetricBreakerSkips).Inc()
+			continue
+		}
+		keep = append(keep, sr)
+	}
+	if len(keep) == 0 {
+		// Never serve an empty ensemble: a fully open breaker half-opens
+		// here, probing every searcher again.
+		return engine.QOHSearchers(opt.WithSeed(seed))
+	}
+	return keep
+}
+
+// filterOpen drops optimizers whose breaker circuit is open, keeping at
+// least one: an ensemble emptied by the breaker half-opens instead.
+func (s *Server) filterOpen(optimizers []opt.Optimizer) []opt.Optimizer {
+	keep := optimizers[:0]
+	for _, o := range optimizers {
+		if s.breaker.Allow(o.Name()) {
+			keep = append(keep, o)
+		} else {
+			s.cfg.Metrics.Counter(MetricBreakerSkips).Inc()
+		}
+	}
+	if len(keep) == 0 {
+		return optimizers[:cap(keep)]
+	}
+	return keep
+}
+
+// Result is the success document of POST /optimize.
+type Result struct {
+	Model string `json:"model"`
+	N     int    `json:"n"`
+	// Rung is the degradation-ladder rung the request was served at;
+	// Degraded marks a heuristics-only (exact-optimizers-shed) result.
+	Rung     string `json:"rung"`
+	Degraded bool   `json:"degraded"`
+	// QueueMS is time spent waiting for a worker slot; WallMS the full
+	// accepted-to-answered wall time.
+	QueueMS float64 `json:"queue_ms"`
+	WallMS  float64 `json:"wall_ms"`
+	// Report is the engine's full per-optimizer account; Report.Best is
+	// the certified winning plan.
+	Report *engine.Report `json:"report"`
+}
+
+// ErrorDoc is the structured error document every non-200 response
+// carries: the same {"error":{"kind","message"}} shape as the CLI's
+// -json fatal errors, plus a retry hint on 429/503.
+type ErrorDoc struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody is the payload of an ErrorDoc.
+type ErrorBody struct {
+	// Kind is a stable taxonomy tag: the CLI kinds (all_failed,
+	// deadline, …) plus the server's own (bad_request, overloaded,
+	// shed, draining, queue_deadline, too_large, method_not_allowed,
+	// panic).
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	// RetryAfterMS mirrors the Retry-After header on 429/503: the
+	// backoff hint for well-behaved clients (see loadgen).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErrorDoc(w http.ResponseWriter, status int, kind, msg string, retryAfter time.Duration) {
+	var doc ErrorDoc
+	doc.Error.Kind = kind
+	doc.Error.Message = msg
+	if retryAfter > 0 {
+		doc.Error.RetryAfterMS = retryAfter.Milliseconds()
+		// Retry-After is whole seconds; round up so the header never
+		// promises an earlier retry than the document.
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((retryAfter+time.Second-1)/time.Second), 10))
+	}
+	writeJSON(w, status, &doc)
+}
+
+// HealthDoc is the /healthz payload: liveness plus the load gauges.
+type HealthDoc struct {
+	Status   string  `json:"status"`
+	UptimeMS float64 `json:"uptime_ms"`
+	InFlight int     `json:"inflight"`
+	Queued   int     `json:"queued"`
+	Draining bool    `json:"draining"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	inflight, draining := s.inflight, s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, &HealthDoc{
+		Status:   "ok",
+		UptimeMS: float64(time.Since(s.started).Microseconds()) / 1000,
+		InFlight: inflight,
+		Queued:   int(s.queued.Load()),
+		Draining: draining,
+	})
+}
+
+// ReadyDoc is the /readyz payload: whether the server should receive
+// traffic, with the engine health probe and open breaker circuits as
+// the evidence.
+type ReadyDoc struct {
+	Ready       bool          `json:"ready"`
+	Draining    bool          `json:"draining"`
+	Engine      engine.Health `json:"engine"`
+	BreakerOpen []string      `json:"breaker_open,omitempty"`
+	InFlight    int           `json:"inflight"`
+	Queued      int           `json:"queued"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	inflight, draining := s.inflight, s.draining
+	s.mu.Unlock()
+	health := s.eng.Health()
+	doc := &ReadyDoc{
+		Draining:    draining,
+		Engine:      health,
+		BreakerOpen: s.breaker.Open(),
+		InFlight:    inflight,
+		Queued:      int(s.queued.Load()),
+	}
+	// Ready means: accepting requests, and the engine's most recent run
+	// (if any) produced a certified winner.
+	doc.Ready = !draining && (health.Runs == 0 || health.LastOK)
+	status := http.StatusOK
+	if !doc.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, doc)
+}
