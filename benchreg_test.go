@@ -3,14 +3,16 @@ package approxqo
 import (
 	"testing"
 
+	"approxqo/internal/num"
 	"approxqo/internal/opt"
 	"approxqo/internal/qon"
 	"approxqo/internal/workload"
 )
 
 // Regression benchmarks: the fixed set scripts/benchdiff compares
-// against the checked-in BENCH_qon.json baseline (>20% ns/op or allocs
-// regression fails extended verify). Keep the set small and single-size
+// against the checked-in baselines — BenchmarkRegOpt* vs BENCH_opt.json,
+// everything else vs BENCH_qon.json (>20% ns/op or allocs regression
+// fails extended verify). Keep the set small and single-size
 // — benchdiff runs them with -benchtime 30x -count 3 and takes the
 // minimum, so each iteration must be stable and quick.
 
@@ -69,5 +71,65 @@ func BenchmarkRegCostEval(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in.Evaluate(z)
+	}
+}
+
+// The BenchmarkRegOpt* set below pins the tiered cost kernel itself and
+// is compared against BENCH_opt.json (scripts/benchdiff partitions the
+// regression set by the RegOpt prefix).
+
+// BenchmarkRegOptAnnealMoves pins annealing at n=16 with a fixed
+// 2000-move budget: each op is exactly 2000 moves through the Tier-1/
+// Tier-2 kernel, so per-op ratios are per-move ratios.
+func BenchmarkRegOptAnnealMoves(b *testing.B) {
+	in := regInstance(b, 16)
+	a := opt.NewAnnealing(opt.WithSeed(1), opt.WithIterations(2000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Optimize(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegOptDPMask pins the scratch-converted subset DP at n=10.
+// The mask count per op is fixed (one full 2^n sweep), so per-op ns and
+// allocs ratios are per-mask ratios.
+func BenchmarkRegOptDPMask(b *testing.B) {
+	in := regInstance(b, 10)
+	dp := opt.NewDP()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dp.Optimize(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegOptScratchMulAdd pins the pooled mutable accumulator on
+// the DP inner-loop op pattern; BenchmarkRegOptImmutableMulAdd is the
+// same chain through immutable num.Num values, kept side by side so the
+// baseline file documents the scratch-vs-immutable gap.
+func BenchmarkRegOptScratchMulAdd(b *testing.B) {
+	x, y := num.Pow2(100), num.FromInt64(12345)
+	s := num.NewScratch()
+	defer s.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SetInt64(1)
+		for k := 0; k < 64; k++ {
+			s.MulAdd(x, y)
+		}
+	}
+}
+
+func BenchmarkRegOptImmutableMulAdd(b *testing.B) {
+	x, y := num.Pow2(100), num.FromInt64(12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := num.FromInt64(1)
+		for k := 0; k < 64; k++ {
+			acc = num.MulAdd(x, y, acc)
+		}
 	}
 }

@@ -47,6 +47,7 @@ func main() {
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	retryAfter := flag.Duration("retry-after", 250*time.Millisecond, "Retry-After hint on 429/503")
 	chaosSpec := flag.String("chaos", "", "fault injection spec applied to every request's ensemble")
+	cacheSize := flag.Int("cache-size", 0, "certified-result cache entries (0 = default 256, negative disables)")
 	flag.Parse()
 
 	// The signal handler's force-flush must not fire while a healthy
@@ -68,6 +69,7 @@ func main() {
 		RetryAfter:     *retryAfter,
 		Seed:           common.Seed,
 		ChaosSpec:      *chaosSpec,
+		CacheSize:      *cacheSize,
 		Tracer:         common.Tracer(),
 		Metrics:        common.Registry(),
 	})

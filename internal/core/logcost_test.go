@@ -1,0 +1,39 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/qon"
+	"approxqo/internal/stats"
+)
+
+// Differential on hardness instances: the f_N reduction builds uniform
+// power-of-two instances whose sequence costs collide massively, so the
+// log₂ fast path sees exact ties everywhere — every Rank must still
+// agree with the exact ordering, and the guard band must actually fire.
+func TestLogCosterRanksHardnessInstances(t *testing.T) {
+	yes, no := cliquered.YesNoPair(12, 0.75, 0.25)
+	for name, g := range map[string]*cliquered.Certified{"yes": &yes, "no": &no} {
+		fn, err := FN(g.G, FNParams{A: 4, OmegaYes: 9, OmegaNo: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &stats.Stats{}
+		in := fn.QON.WithStats(st)
+		lc := qon.NewLogCoster(in)
+		rng := rand.New(rand.NewSource(7))
+		n := in.N()
+		for trial := 0; trial < 20; trial++ {
+			a, b := qon.Sequence(rng.Perm(n)), qon.Sequence(rng.Perm(n))
+			want := in.Cost(a).Cmp(in.Cost(b))
+			if got := lc.Rank(a, b); got != want {
+				t.Fatalf("%s instance: Rank(%v, %v) = %d, exact order %d", name, a, b, got, want)
+			}
+		}
+		if snap := st.Snapshot(); snap.Fallbacks == 0 {
+			t.Errorf("%s instance: no guard-band fallback across 20 power-of-two rankings", name)
+		}
+	}
+}

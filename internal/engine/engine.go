@@ -113,6 +113,15 @@ const (
 	MetricPending     = "engine.pending"         // gauge: runs not yet accounted (queue depth)
 	MetricRunWallUS   = "engine.run.wall_us"     // histogram: per-run wall time (µs)
 	MetricMergeSize   = "engine.merge.arrivals"  // histogram: certified arrivals per engine run
+
+	// Cost-kernel tier split (see DESIGN.md § Cost-kernel tiers): how
+	// much work the float64 fast path absorbed versus exact arithmetic,
+	// and how often the guard band forced an exact re-decision.
+	MetricCostFastPath  = "cost.fast_path"   // counter: float64 log₂ evaluations
+	MetricCostExactPath = "cost.exact_path"  // counter: exact num.Num evaluations
+	MetricCostFallbacks = "cost.fallbacks"   // counter: guard-band exact fallbacks
+	MetricScratchGets   = "num.scratch.gets" // gauge: pooled scratch checkouts (process-wide)
+	MetricScratchNews   = "num.scratch.news" // gauge: pool misses that allocated (process-wide)
 )
 
 // MetricOptimizerWallUS names the per-optimizer wall-time histogram.
@@ -635,6 +644,9 @@ func (e *Engine) supervise(ctx context.Context, model string, jobs []*job) (*Rep
 		m.Histogram(MetricRunWallUS).Observe(wallUS)
 		m.Histogram(MetricOptimizerWallUS(rec.Name)).Observe(wallUS)
 		m.Histogram(MetricOptimizerCostEvals(rec.Name)).Observe(rec.Stats.CostEvals)
+		m.Counter(MetricCostFastPath).Add(rec.Stats.FastEvals)
+		m.Counter(MetricCostExactPath).Add(rec.Stats.CostEvals)
+		m.Counter(MetricCostFallbacks).Add(rec.Stats.Fallbacks)
 		if rec.Quarantined {
 			m.Counter(MetricQuarantined).Inc()
 		}
@@ -741,6 +753,9 @@ func (e *Engine) supervise(ctx context.Context, model string, jobs []*job) (*Rep
 	}
 	mergeSpan.End()
 	e.metrics.Histogram(MetricMergeSize).Observe(int64(len(arrivals)))
+	gets, news := num.ScratchPoolStats()
+	e.metrics.Gauge(MetricScratchGets).Set(gets)
+	e.metrics.Gauge(MetricScratchNews).Set(news)
 	report := &Report{
 		Runs:   records,
 		WallMS: float64(time.Since(started).Microseconds()) / 1000,

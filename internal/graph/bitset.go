@@ -64,6 +64,20 @@ func (b *Bitset) IsEmpty() bool {
 	return true
 }
 
+// CopyFrom overwrites b's contents with o's, without allocating. The
+// capacities must match.
+func (b *Bitset) CopyFrom(o *Bitset) {
+	b.sameCap(o)
+	copy(b.words, o.words)
+}
+
+// Clear removes every element.
+func (b *Bitset) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
 // Clone returns an independent copy of b.
 func (b *Bitset) Clone() *Bitset {
 	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}

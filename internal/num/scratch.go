@@ -1,0 +1,149 @@
+package num
+
+import (
+	"math"
+	"math/big"
+	"sync"
+	"sync/atomic"
+)
+
+// Scratch is a mutable accumulator over the same 256-bit big.Float
+// arithmetic as Num. It exists for one reason: the subset DPs and cost
+// evaluators perform Θ(2ⁿ·n²) multiply-adds, and the immutable Num API
+// allocates a fresh big.Float per operation. A Scratch performs the
+// identical sequence of rounded operations in place, so hot loops run
+// allocation-free while producing bit-identical values (same precision,
+// same rounding mode, same operand order).
+//
+// Discipline — scratches are pooled and MUST NOT escape:
+//
+//   - Obtain with NewScratch, free with Release. Between the two the
+//     scratch is owned exclusively by the caller; it is not safe for
+//     concurrent use (give each goroutine its own).
+//   - Never retain a Scratch, or anything aliasing its internals, past
+//     Release. To publish a value, snapshot it with Num() — that copy
+//     is immutable and safe forever.
+//   - Release at most once. The usual shape is
+//     `s := num.NewScratch(); defer s.Release()`.
+//
+// The pool's hit rate is observable via ScratchPoolStats, which the
+// engine exports as gauges.
+type Scratch struct {
+	f   *big.Float
+	tmp *big.Float // MulAdd intermediary, never visible to callers
+}
+
+var (
+	scratchGets atomic.Int64 // NewScratch calls (pool Gets)
+	scratchNews atomic.Int64 // pool misses that allocated a fresh Scratch
+)
+
+var scratchPool = sync.Pool{New: func() any {
+	scratchNews.Add(1)
+	return &Scratch{f: newFloat(), tmp: newFloat()}
+}}
+
+// NewScratch returns a pooled scratch accumulator initialized to 0.
+func NewScratch() *Scratch {
+	scratchGets.Add(1)
+	s := scratchPool.Get().(*Scratch)
+	s.f.SetInt64(0)
+	return s
+}
+
+// Release returns s to the pool. s must not be used afterwards.
+func (s *Scratch) Release() { scratchPool.Put(s) }
+
+// ScratchPoolStats reports cumulative pool traffic: gets is the number
+// of NewScratch calls, news the subset that had to allocate because the
+// pool was empty. hit rate = (gets − news) / gets.
+func ScratchPoolStats() (gets, news int64) {
+	return scratchGets.Load(), scratchNews.Load()
+}
+
+// Set sets s to n.
+func (s *Scratch) Set(n Num) *Scratch {
+	n.check()
+	s.f.Set(n.f)
+	return s
+}
+
+// SetScratch sets s to the current value of t.
+func (s *Scratch) SetScratch(t *Scratch) *Scratch {
+	s.f.Set(t.f)
+	return s
+}
+
+// SetInt64 sets s to v. It panics if v is negative.
+func (s *Scratch) SetInt64(v int64) *Scratch {
+	if v < 0 {
+		panic("num: Scratch.SetInt64 called with negative value")
+	}
+	s.f.SetInt64(v)
+	return s
+}
+
+// Add sets s to s + n.
+func (s *Scratch) Add(n Num) *Scratch {
+	n.check()
+	s.f.Add(s.f, n.f)
+	return s
+}
+
+// AddScratch sets s to s + t.
+func (s *Scratch) AddScratch(t *Scratch) *Scratch {
+	s.f.Add(s.f, t.f)
+	return s
+}
+
+// Mul sets s to s · n.
+func (s *Scratch) Mul(n Num) *Scratch {
+	n.check()
+	s.f.Mul(s.f, n.f)
+	return s
+}
+
+// MulScratch sets s to s · t.
+func (s *Scratch) MulScratch(t *Scratch) *Scratch {
+	s.f.Mul(s.f, t.f)
+	return s
+}
+
+// MulAdd sets s to s + a·b, rounding the product before the sum exactly
+// like the immutable num.MulAdd, so DP candidates computed either way
+// are bit-identical.
+func (s *Scratch) MulAdd(a, b Num) *Scratch {
+	a.check()
+	b.check()
+	s.tmp.Mul(a.f, b.f)
+	s.f.Add(s.f, s.tmp)
+	return s
+}
+
+// Cmp compares s against n, returning −1, 0 or +1.
+func (s *Scratch) Cmp(n Num) int {
+	n.check()
+	return s.f.Cmp(n.f)
+}
+
+// CmpScratch compares s against t, returning −1, 0 or +1.
+func (s *Scratch) CmpScratch(t *Scratch) int { return s.f.Cmp(t.f) }
+
+// Sign returns 0 when s is zero and +1 otherwise (scratches are
+// non-negative like Num).
+func (s *Scratch) Sign() int { return s.f.Sign() }
+
+// Num snapshots the current value as an immutable Num. The snapshot
+// does not alias the scratch and survives Release.
+func (s *Scratch) Num() Num { return Num{newFloat().Set(s.f)} }
+
+// Log2 returns log₂ of the current value without allocating. It panics
+// on zero, like Num.Log2.
+func (s *Scratch) Log2() float64 {
+	if s.f.Sign() == 0 {
+		panic("num: Log2 of zero")
+	}
+	exp := s.f.MantExp(s.tmp) // s = tmp · 2^exp, tmp ∈ [0.5, 1)
+	m, _ := s.tmp.Float64()
+	return float64(exp) + math.Log2(m)
+}

@@ -1,0 +1,114 @@
+package num
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestScratchMatchesImmutableOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a := FromFloat64(rng.Float64() * 1e6).Pow(int64(1 + rng.Intn(40)))
+		b := FromFloat64(rng.Float64() + 0.5)
+		c := FromFloat64(rng.Float64() * 1e3)
+
+		s := NewScratch()
+		if got := s.Set(a).Mul(b).Num(); !got.Equal(a.Mul(b)) {
+			t.Fatalf("Mul mismatch: %v vs %v", got, a.Mul(b))
+		}
+		if got := s.Set(a).Add(c).Num(); !got.Equal(a.Add(c)) {
+			t.Fatalf("Add mismatch")
+		}
+		if got := s.Set(c).MulAdd(a, b).Num(); !got.Equal(MulAdd(a, b, c)) {
+			t.Fatalf("MulAdd mismatch: %v vs %v", got, MulAdd(a, b, c))
+		}
+		s.Release()
+	}
+}
+
+func TestScratchChainBitIdentical(t *testing.T) {
+	// A long in-place chain must round exactly like the equivalent
+	// immutable chain: same ops, same order, same precision.
+	rng := rand.New(rand.NewSource(11))
+	factors := make([]Num, 64)
+	for i := range factors {
+		factors[i] = FromFloat64(rng.Float64()*3 + 0.1)
+	}
+	im := One()
+	s := NewScratch()
+	defer s.Release()
+	s.SetInt64(1)
+	for _, f := range factors {
+		im = im.Mul(f)
+		s.Mul(f)
+	}
+	if !s.Num().Equal(im) {
+		t.Fatalf("chained product diverged: %v vs %v", s.Num(), im)
+	}
+	if s.Log2() != im.Log2() {
+		t.Fatalf("Log2 diverged: %v vs %v", s.Log2(), im.Log2())
+	}
+}
+
+func TestScratchCmpAndSign(t *testing.T) {
+	s := NewScratch()
+	defer s.Release()
+	if s.Sign() != 0 {
+		t.Fatalf("fresh scratch not zero")
+	}
+	s.Set(FromInt64(5))
+	if s.Cmp(FromInt64(7)) >= 0 || s.Cmp(FromInt64(5)) != 0 || s.Cmp(FromInt64(3)) <= 0 {
+		t.Fatalf("Cmp wrong")
+	}
+	u := NewScratch()
+	defer u.Release()
+	u.Set(FromInt64(7))
+	if s.CmpScratch(u) >= 0 || u.CmpScratch(s) <= 0 {
+		t.Fatalf("CmpScratch wrong")
+	}
+	u.SetScratch(s)
+	if s.CmpScratch(u) != 0 {
+		t.Fatalf("SetScratch did not copy")
+	}
+}
+
+func TestScratchNumSnapshotIndependent(t *testing.T) {
+	s := NewScratch()
+	s.Set(FromInt64(42))
+	snap := s.Num()
+	s.Mul(FromInt64(2)) // mutate after snapshot
+	s.Release()
+	if !snap.Equal(FromInt64(42)) {
+		t.Fatalf("snapshot aliased scratch: %v", snap)
+	}
+}
+
+func TestScratchExtremeMagnitudes(t *testing.T) {
+	// α^{n²} territory: the hardness reductions' magnitudes.
+	huge := Pow2(100000)
+	s := NewScratch()
+	defer s.Release()
+	s.Set(huge).Mul(huge)
+	if got, want := s.Log2(), 200000.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Log2 of 2^200000 = %v", got)
+	}
+	if !s.Num().Equal(huge.Mul(huge)) {
+		t.Fatalf("huge product mismatch")
+	}
+}
+
+func TestScratchPoolStatsMonotone(t *testing.T) {
+	g0, n0 := ScratchPoolStats()
+	for i := 0; i < 32; i++ {
+		s := NewScratch()
+		s.Release()
+	}
+	g1, n1 := ScratchPoolStats()
+	if g1 < g0+32 {
+		t.Fatalf("gets did not advance: %d -> %d", g0, g1)
+	}
+	if n1 < n0 {
+		t.Fatalf("news went backwards")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"approxqo/internal/num"
 	"approxqo/internal/qon"
 )
 
@@ -20,11 +21,55 @@ const DefaultSamples = 1000
 // improvement.
 const DefaultRestarts = 10
 
+// safeLog2 is Log2 extended to the zero cost of single-relation
+// sequences (log₂ 0 = −Inf).
+func safeLog2(c num.Num) float64 {
+	if c.IsZero() {
+		return math.Inf(-1)
+	}
+	return c.Log2()
+}
+
+// moveFrom applies a random swap or reinsert move to next (a copy of
+// the current sequence) and returns the first position whose prefix
+// changed — the anchor the incremental evaluator re-derives from. An
+// identity draw (i == j) returns n: nothing changed, so the caller can
+// skip the evaluation entirely instead of burning an exact fallback on
+// a guaranteed tie.
+func moveFrom(rng *rand.Rand, next qon.Sequence) int {
+	n := len(next)
+	i, j := rng.Intn(n), rng.Intn(n)
+	if i == j {
+		return n
+	}
+	if rng.Intn(2) == 0 {
+		// Swap move.
+		next[i], next[j] = next[j], next[i]
+	} else {
+		// Reinsert move: remove position i, insert before position j.
+		v := next[i]
+		copy(next[i:], next[i+1:])
+		copy(next[j+1:], next[j:n-1])
+		next[j] = v
+	}
+	if j < i {
+		return j
+	}
+	return i
+}
+
 // Annealing is simulated annealing over permutations with swap and
 // reinsert moves. Energy is log₂-cost, so acceptance probabilities stay
 // meaningful despite astronomically large absolute costs. It is an
 // anytime algorithm: on context cancellation it returns the best
 // sequence visited so far.
+//
+// Moves are ranked by the tiered cost kernel: a float64 log-domain
+// suffix evaluation per candidate (qon.IncEval), with exact num.Num
+// confirmation for every accepted move and an exact fallback whenever
+// the log-domain margin falls inside qon.DefaultLogGuard. The returned
+// Result.Cost is always an exact cost, bit-identical to in.Cost of the
+// returned sequence.
 type Annealing struct {
 	cfg options
 }
@@ -55,9 +100,11 @@ func (a Annealing) Optimize(ctx context.Context, in *qon.Instance) (*Result, err
 	st := in.Stats()
 	rng := rand.New(rand.NewSource(a.cfg.seed))
 	cur := qon.Sequence(rng.Perm(n))
-	curE := in.Cost(cur).Log2()
+	inc := qon.NewIncEval(in, cur)
+	curE := inc.CostLog2()
+	curC := inc.Cost()
 	best := append(qon.Sequence(nil), cur...)
-	bestE := curE
+	bestC := curC
 
 	// Geometric cooling from an energy scale proportional to n·log t.
 	temp := math.Max(1, curE/4)
@@ -65,36 +112,44 @@ func (a Annealing) Optimize(ctx context.Context, in *qon.Instance) (*Result, err
 	next := make(qon.Sequence, n)
 	for it := 0; it < iters && !cancelled(ctx); it++ {
 		copy(next, cur)
-		if rng.Intn(2) == 0 {
-			// Swap move.
-			i, j := rng.Intn(n), rng.Intn(n)
-			next[i], next[j] = next[j], next[i]
-		} else {
-			// Reinsert move: remove position i, insert before position j.
-			i, j := rng.Intn(n), rng.Intn(n)
-			v := next[i]
-			copy(next[i:], next[i+1:])
-			copy(next[j+1:], next[j:n-1])
-			next[j] = v
-		}
+		from := moveFrom(rng, next)
 		st.Move()
-		e := in.Cost(next).Log2()
-		if e <= curE || rng.Float64() < math.Exp((curE-e)/temp) {
+		if from == n {
+			// Identity move: accepting it would change nothing.
+			temp *= cooling
+			continue
+		}
+		e := inc.MoveLog2(next, from)
+		d := e - curE
+		better := d < 0
+		if math.Abs(d) <= qon.DefaultLogGuard {
+			// Precision collapse: the float64 margin cannot be trusted,
+			// so the downhill test reruns in exact arithmetic.
+			st.Fallback()
+			better = inc.MoveExact(next, from).LessEq(curC)
+		}
+		if better || rng.Float64() < math.Exp(-d/temp) {
+			inc.Apply(next, from) // exact confirmation of the accepted move
 			cur, next = next, cur
-			curE = e
-			if curE < bestE {
-				bestE = curE
+			curE = inc.CostLog2()
+			curC = inc.Cost()
+			if curC.Less(bestC) {
+				bestC = curC
 				best = append(best[:0], cur...)
 			}
 		}
 		temp *= cooling
 	}
-	return &Result{Sequence: best, Cost: in.Cost(best)}, nil
+	return &Result{Sequence: best, Cost: bestC}, nil
 }
 
 // RandomSampler evaluates k uniform random permutations and keeps the
 // best — the weakest baseline, useful as a calibration floor. Anytime:
 // cancellation returns the best of the samples drawn so far.
+//
+// Samples are screened in the log domain: only candidates within the
+// guard band of (or clearly below) the incumbent pay for an exact
+// evaluation, and the kept Result.Cost is always exact.
 type RandomSampler struct {
 	cfg options
 }
@@ -119,17 +174,34 @@ func (r RandomSampler) Optimize(ctx context.Context, in *qon.Instance) (*Result,
 	if samples <= 0 {
 		samples = DefaultSamples
 	}
+	st := in.Stats()
 	rng := rand.New(rand.NewSource(r.cfg.seed))
+	lc := qon.NewLogCoster(in)
 	var best *Result
+	bestE := math.Inf(1)
 	for i := 0; i < samples; i++ {
 		if best != nil && cancelled(ctx) {
 			break
 		}
 		z := qon.Sequence(rng.Perm(n))
-		c := in.Cost(z)
-		if best == nil || c.Less(best.Cost) {
-			best = &Result{Sequence: z, Cost: c}
+		e := lc.CostLog2(z)
+		d := e - bestE
+		if best != nil && d > qon.DefaultLogGuard {
+			continue // certainly worse than the incumbent
 		}
+		if best != nil && d >= -qon.DefaultLogGuard {
+			// Near-tie with the incumbent: decide exactly.
+			st.Fallback()
+			if c := in.Cost(z); c.Less(best.Cost) {
+				best = &Result{Sequence: z, Cost: c}
+				bestE = safeLog2(c)
+			}
+			continue
+		}
+		// First sample, or clearly better: confirm exactly and adopt.
+		c := in.Cost(z)
+		best = &Result{Sequence: z, Cost: c}
+		bestE = safeLog2(c)
 	}
 	return best, nil
 }
@@ -137,6 +209,12 @@ func (r RandomSampler) Optimize(ctx context.Context, in *qon.Instance) (*Result,
 // IterativeImprovement is repeated random-restart hill climbing with
 // pairwise-swap moves to local optimality. Anytime: cancellation
 // returns the best local optimum (or partial climb) reached so far.
+//
+// Candidate swaps are ranked via the tiered kernel exactly like
+// Annealing: decisive log-domain margins decide directly, in-band
+// margins fall back to exact arithmetic, and accepted swaps are
+// confirmed exactly — so the climb trajectory is identical to one
+// computed purely in num.Num.
 type IterativeImprovement struct {
 	cfg options
 }
@@ -164,21 +242,37 @@ func (ii IterativeImprovement) Optimize(ctx context.Context, in *qon.Instance) (
 	st := in.Stats()
 	rng := rand.New(rand.NewSource(ii.cfg.seed))
 	var best *Result
+	var inc *qon.IncEval
+	next := make(qon.Sequence, n)
 	for r := 0; r < restarts; r++ {
 		cur := qon.Sequence(rng.Perm(n))
-		curC := in.Cost(cur)
+		if inc == nil {
+			inc = qon.NewIncEval(in, cur)
+		} else {
+			inc.Reset(cur)
+		}
+		curC := inc.Cost()
+		curE := inc.CostLog2()
 		improved := true
 		for improved && !cancelled(ctx) {
 			improved = false
 			for i := 0; i < n && !improved; i++ {
 				for j := i + 1; j < n && !improved; j++ {
-					cur[i], cur[j] = cur[j], cur[i]
+					copy(next, cur)
+					next[i], next[j] = next[j], next[i]
 					st.Move()
-					if c := in.Cost(cur); c.Less(curC) {
-						curC = c
+					d := inc.MoveLog2(next, i) - curE
+					better := d < -qon.DefaultLogGuard
+					if !better && d <= qon.DefaultLogGuard {
+						st.Fallback()
+						better = inc.MoveExact(next, i).Less(curC)
+					}
+					if better {
+						inc.Apply(next, i)
+						cur, next = next, cur
+						curC = inc.Cost()
+						curE = inc.CostLog2()
 						improved = true
-					} else {
-						cur[i], cur[j] = cur[j], cur[i]
 					}
 				}
 			}

@@ -90,14 +90,28 @@ func (d DP) Optimize(ctx context.Context, in *qon.Instance) (*Result, error) {
 		}
 		return scratch
 	}
+	// All per-candidate arithmetic runs on pooled scratch accumulators;
+	// only the size/dp table entries materialize immutable Nums. The
+	// rounding sequence matches the immutable operations exactly, so the
+	// table (and the certified optimum) is bit-identical either way.
+	acc := num.NewScratch()
+	factor := num.NewScratch()
+	defer acc.Release()
+	defer factor.Release()
 	for mask := 1; mask < total; mask++ {
 		low := bits.TrailingZeros(uint(mask))
 		rest := mask &^ (1 << low)
-		size[mask] = size[rest].Mul(in.ExtendFactor(low, maskToBitset(rest)))
+		in.ExtendInto(factor, low, maskToBitset(rest))
+		acc.Set(size[rest]).MulScratch(factor)
+		size[mask] = acc.Num()
 	}
 
 	st := in.Stats()
 	minw := newMinWIndex(in)
+	cand := num.NewScratch()
+	bestAcc := num.NewScratch()
+	defer cand.Release()
+	defer bestAcc.Release()
 	for mask := 1; mask < total; mask++ {
 		if mask%ctxCheckMaskStride == 0 && cancelled(ctx) {
 			return nil, ctx.Err()
@@ -109,21 +123,21 @@ func (d DP) Optimize(ctx context.Context, in *qon.Instance) (*Result, error) {
 		}
 		st.DPSubset()
 		candidates := int64(0)
-		var best num.Num
 		bestV := -1
 		for v := 0; v < n; v++ {
 			if mask&(1<<v) == 0 {
 				continue
 			}
 			rest := mask &^ (1 << v)
-			cand := num.MulAdd(size[rest], minw.min(in, v, rest), dp[rest])
+			cand.Set(dp[rest]).MulAdd(size[rest], minw.min(in, v, rest))
 			candidates++
-			if bestV < 0 || cand.Less(best) {
-				best, bestV = cand, v
+			if bestV < 0 || cand.CmpScratch(bestAcc) < 0 {
+				cand, bestAcc = bestAcc, cand
+				bestV = v
 			}
 		}
 		st.AddCostEvals(candidates)
-		dp[mask], parent[mask] = best, int8(bestV)
+		dp[mask], parent[mask] = bestAcc.Num(), int8(bestV)
 	}
 
 	// Reconstruct the sequence.

@@ -76,14 +76,26 @@ func (d DPNoCross) Optimize(ctx context.Context, in *qon.Instance) (*Result, err
 		}
 		return scratch
 	}
+	// Scratch accumulators keep the table construction allocation-free
+	// (bit-identical to the immutable ops — see dp.go).
+	acc := num.NewScratch()
+	factor := num.NewScratch()
+	defer acc.Release()
+	defer factor.Release()
 	for mask := 1; mask < total; mask++ {
 		low := bits.TrailingZeros(uint(mask))
 		rest := mask &^ (1 << low)
-		size[mask] = size[rest].Mul(in.ExtendFactor(low, toBitset(rest)))
+		in.ExtendInto(factor, low, toBitset(rest))
+		acc.Set(size[rest]).MulScratch(factor)
+		size[mask] = acc.Num()
 	}
 
 	st := in.Stats()
 	minw := newMinWIndex(in)
+	cand := num.NewScratch()
+	bestAcc := num.NewScratch()
+	defer cand.Release()
+	defer bestAcc.Release()
 	dp := make([]num.Num, total)
 	reachable := make([]bool, total)
 	parent := make([]int8, total)
@@ -102,7 +114,6 @@ func (d DPNoCross) Optimize(ctx context.Context, in *qon.Instance) (*Result, err
 		}
 		st.DPSubset()
 		candidates := int64(0)
-		var best num.Num
 		bestV := -1
 		for v := 0; v < n; v++ {
 			if mask&(1<<v) == 0 {
@@ -112,15 +123,16 @@ func (d DPNoCross) Optimize(ctx context.Context, in *qon.Instance) (*Result, err
 			if !reachable[rest] || adjacency[v]&rest == 0 {
 				continue // unreachable prefix, or v would be a cartesian product
 			}
-			cand := num.MulAdd(size[rest], minw.min(in, v, rest), dp[rest])
+			cand.Set(dp[rest]).MulAdd(size[rest], minw.min(in, v, rest))
 			candidates++
-			if bestV < 0 || cand.Less(best) {
-				best, bestV = cand, v
+			if bestV < 0 || cand.CmpScratch(bestAcc) < 0 {
+				cand, bestAcc = bestAcc, cand
+				bestV = v
 			}
 		}
 		st.AddCostEvals(candidates)
 		if bestV >= 0 {
-			dp[mask], parent[mask], reachable[mask] = best, int8(bestV), true
+			dp[mask], parent[mask], reachable[mask] = bestAcc.Num(), int8(bestV), true
 		}
 	}
 	if !reachable[total-1] {

@@ -31,6 +31,12 @@ type DPParallel struct {
 	cfg options
 }
 
+// dpScratch is one worker's private mutable state for a layer sweep.
+type dpScratch struct {
+	x                       *graph.Bitset
+	acc, factor, cand, best *num.Scratch
+}
+
 // NewDPParallel returns the parallel subset DP. Relevant options:
 // WithMaxRelations, WithWorkers, WithStats.
 func NewDPParallel(opts ...Option) DPParallel {
@@ -76,11 +82,28 @@ func (d DPParallel) Optimize(ctx context.Context, in *qon.Instance) (*Result, er
 	dp := make([]num.Num, total)
 	parent := make([]int8, total)
 
-	// Per-worker scratch bitsets (ExtendFactor/MinW take bitsets).
-	scratches := make([]*graph.Bitset, workers)
+	// Per-worker scratch state: a bitset (ExtendInto/MinW take bitsets)
+	// plus pooled accumulators, each owned by exactly one worker
+	// goroutine per layer. The arithmetic rounds identically to the
+	// immutable ops, so the table stays bit-equal to DP's.
+	scratches := make([]*dpScratch, workers)
 	for i := range scratches {
-		scratches[i] = graph.NewBitset(n)
+		scratches[i] = &dpScratch{
+			x:      graph.NewBitset(n),
+			acc:    num.NewScratch(),
+			factor: num.NewScratch(),
+			cand:   num.NewScratch(),
+			best:   num.NewScratch(),
+		}
 	}
+	defer func() {
+		for _, ws := range scratches {
+			ws.acc.Release()
+			ws.factor.Release()
+			ws.cand.Release()
+			ws.best.Release()
+		}
+	}()
 	fill := func(scratch *graph.Bitset, mask int) *graph.Bitset {
 		for v := 0; v < n; v++ {
 			if mask&(1<<v) != 0 {
@@ -92,7 +115,7 @@ func (d DPParallel) Optimize(ctx context.Context, in *qon.Instance) (*Result, er
 		return scratch
 	}
 
-	runLayer := func(masks []int, work func(scratch *graph.Bitset, mask int)) {
+	runLayer := func(masks []int, work func(ws *dpScratch, mask int)) {
 		var wg sync.WaitGroup
 		chunk := (len(masks) + workers - 1) / workers
 		for w := 0; w < workers; w++ {
@@ -105,13 +128,13 @@ func (d DPParallel) Optimize(ctx context.Context, in *qon.Instance) (*Result, er
 				hi = len(masks)
 			}
 			wg.Add(1)
-			go func(scratch *graph.Bitset, part []int) {
+			go func(ws *dpScratch, part []int) {
 				defer wg.Done()
 				for i, mask := range part {
 					if i%ctxCheckMaskStride == 0 && cancelled(ctx) {
 						return
 					}
-					work(scratch, mask)
+					work(ws, mask)
 				}
 			}(scratches[w], masks[lo:hi])
 		}
@@ -125,13 +148,15 @@ func (d DPParallel) Optimize(ctx context.Context, in *qon.Instance) (*Result, er
 			return nil, ctx.Err()
 		}
 		// Sizes for this layer (reads only the previous layer).
-		runLayer(layers[pc], func(scratch *graph.Bitset, mask int) {
+		runLayer(layers[pc], func(ws *dpScratch, mask int) {
 			low := bits.TrailingZeros(uint(mask))
 			rest := mask &^ (1 << low)
-			size[mask] = size[rest].Mul(in.ExtendFactor(low, fill(scratch, rest)))
+			in.ExtendInto(ws.factor, low, fill(ws.x, rest))
+			ws.acc.Set(size[rest]).MulScratch(ws.factor)
+			size[mask] = ws.acc.Num()
 		})
 		// DP for this layer.
-		runLayer(layers[pc], func(scratch *graph.Bitset, mask int) {
+		runLayer(layers[pc], func(ws *dpScratch, mask int) {
 			if pc < 2 {
 				dp[mask] = num.Zero()
 				parent[mask] = int8(bits.TrailingZeros(uint(mask)))
@@ -139,21 +164,22 @@ func (d DPParallel) Optimize(ctx context.Context, in *qon.Instance) (*Result, er
 			}
 			st.DPSubset()
 			candidates := int64(0)
-			var best num.Num
+			cand, bestAcc := ws.cand, ws.best
 			bestV := -1
 			for v := 0; v < n; v++ {
 				if mask&(1<<v) == 0 {
 					continue
 				}
 				rest := mask &^ (1 << v)
-				cand := num.MulAdd(size[rest], minw.min(in, v, rest), dp[rest])
+				cand.Set(dp[rest]).MulAdd(size[rest], minw.min(in, v, rest))
 				candidates++
-				if bestV < 0 || cand.Less(best) {
-					best, bestV = cand, v
+				if bestV < 0 || cand.CmpScratch(bestAcc) < 0 {
+					cand, bestAcc = bestAcc, cand
+					bestV = v
 				}
 			}
 			st.AddCostEvals(candidates)
-			dp[mask], parent[mask] = best, int8(bestV)
+			dp[mask], parent[mask] = bestAcc.Num(), int8(bestV)
 		})
 	}
 	if cancelled(ctx) {

@@ -3,6 +3,7 @@ package opt
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"approxqo/internal/qon"
 )
@@ -17,6 +18,13 @@ const ctxCheckPermStride = 256
 // Exhaustive enumerates every join sequence. Exact when it completes;
 // if the context is cancelled mid-enumeration it returns the best
 // sequence seen so far with Exact left false. n ≤ MaxExhaustiveN.
+//
+// Permutations are screened in the log₂ domain: a candidate clearly
+// above the incumbent (beyond qon.DefaultLogGuard) is discarded on
+// float64 evidence alone, which the guard-band bound makes safe;
+// candidates at or below the band are decided in exact arithmetic, so
+// the enumerated optimum — and the Exact flag — are identical to a
+// purely exact sweep.
 type Exhaustive struct {
 	cfg options
 }
@@ -44,12 +52,28 @@ func (e Exhaustive) Optimize(ctx context.Context, in *qon.Instance) (*Result, er
 	for i := range perm {
 		perm[i] = i
 	}
+	st := in.Stats()
+	lc := qon.NewLogCoster(in)
 	var best *Result
+	bestE := math.Inf(1)
 	tried := 0
 	complete := permute(perm, 0, func(z qon.Sequence) bool {
-		c := in.Cost(z)
-		if best == nil || c.Less(best.Cost) {
+		d := lc.CostLog2(z) - bestE
+		switch {
+		case best != nil && d > qon.DefaultLogGuard:
+			// Certainly worse — float64 screening is decisive.
+		case best != nil && d >= -qon.DefaultLogGuard:
+			// Near-tie: re-decide exactly.
+			st.Fallback()
+			if c := in.Cost(z); c.Less(best.Cost) {
+				best = &Result{Sequence: append(qon.Sequence(nil), z...), Cost: c}
+				bestE = safeLog2(c)
+			}
+		default:
+			// First candidate, or clearly better: confirm exactly.
+			c := in.Cost(z)
 			best = &Result{Sequence: append(qon.Sequence(nil), z...), Cost: c}
+			bestE = safeLog2(c)
 		}
 		tried++
 		return tried%ctxCheckPermStride != 0 || !cancelled(ctx)

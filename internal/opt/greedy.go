@@ -53,12 +53,16 @@ func (g Greedy) Optimize(ctx context.Context, in *qon.Instance) (*Result, error)
 		return nil, fmt.Errorf("opt: empty instance")
 	}
 	in = g.cfg.instrument(in)
+	// One shared index serves every start vertex: W is read-only, and
+	// min_{u∈X} W[v][u] over the sorted order is the same value in.MinW
+	// would compute per candidate, without the per-call comparisons.
+	ix := newMinWIndex(in)
 	var best *Result
 	for first := 0; first < n; first++ {
 		if best != nil && cancelled(ctx) {
 			break
 		}
-		z := g.buildFrom(in, first)
+		z := g.buildFrom(in, ix, first)
 		c := in.Cost(z)
 		if best == nil || c.Less(best.Cost) {
 			best = &Result{Sequence: z, Cost: c}
@@ -67,16 +71,24 @@ func (g Greedy) Optimize(ctx context.Context, in *qon.Instance) (*Result, error)
 	return best, nil
 }
 
-func (g Greedy) buildFrom(in *qon.Instance, first int) qon.Sequence {
+func (g Greedy) buildFrom(in *qon.Instance, ix *minWIndex, first int) qon.Sequence {
 	n := in.N()
 	z := make(qon.Sequence, 0, n)
 	x := graph.NewBitset(n)
+	size := num.NewScratch()
+	factor := num.NewScratch()
+	key := num.NewScratch()
+	pickKey := num.NewScratch()
+	defer size.Release()
+	defer factor.Release()
+	defer key.Release()
+	defer pickKey.Release()
+	in.ExtendInto(factor, first, x)
+	size.SetInt64(1).MulScratch(factor)
 	z = append(z, first)
 	x.Add(first)
-	size := in.Size([]int{first})
 	for len(z) < n {
 		pick, pickConnected := -1, false
-		var pickKey num.Num
 		for v := 0; v < n; v++ {
 			if x.Has(v) {
 				continue
@@ -86,17 +98,20 @@ func (g Greedy) buildFrom(in *qon.Instance, first int) qon.Sequence {
 			if pick >= 0 && pickConnected && !connected {
 				continue
 			}
-			var key num.Num
+			key.SetScratch(size)
 			if g.rule == GreedyMinSize {
-				key = size.Mul(in.ExtendFactor(v, x))
+				in.ExtendInto(factor, v, x)
+				key.MulScratch(factor)
 			} else {
-				key = size.Mul(in.MinW(v, x))
+				key.Mul(ix.minBitset(in, v, x))
 			}
-			if pick < 0 || (connected && !pickConnected) || key.Less(pickKey) {
-				pick, pickConnected, pickKey = v, connected, key
+			if pick < 0 || (connected && !pickConnected) || key.CmpScratch(pickKey) < 0 {
+				pick, pickConnected = v, connected
+				pickKey.SetScratch(key)
 			}
 		}
-		size = size.Mul(in.ExtendFactor(pick, x))
+		in.ExtendInto(factor, pick, x)
+		size.MulScratch(factor)
 		z = append(z, pick)
 		x.Add(pick)
 	}

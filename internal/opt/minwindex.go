@@ -3,6 +3,7 @@ package opt
 import (
 	"sort"
 
+	"approxqo/internal/graph"
 	"approxqo/internal/num"
 	"approxqo/internal/qon"
 )
@@ -43,4 +44,17 @@ func (ix *minWIndex) min(in *qon.Instance, v int, mask int) num.Num {
 		}
 	}
 	panic("opt: minWIndex over empty mask")
+}
+
+// minBitset is min for bitset-shaped prefixes (greedy's representation,
+// which is not bounded by the machine word the DPs' masks live in). x
+// must be non-empty and must not contain v. Ties sort stably, so the
+// value returned always equals in.MinW(v, x).
+func (ix *minWIndex) minBitset(in *qon.Instance, v int, x *graph.Bitset) num.Num {
+	for _, u := range ix.order[v] {
+		if x.Has(int(u)) {
+			return in.W[v][u]
+		}
+	}
+	panic("opt: minWIndex over empty bitset")
 }

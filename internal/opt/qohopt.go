@@ -9,6 +9,7 @@ import (
 	"approxqo/internal/graph"
 	"approxqo/internal/num"
 	"approxqo/internal/qoh"
+	"approxqo/internal/qon"
 )
 
 // QO_H plan search. A QO_H plan is a join sequence plus a pipeline
@@ -40,6 +41,7 @@ func QOHGreedy(ctx context.Context, in *qoh.Instance, opts ...Option) (*qoh.Plan
 		return nil, fmt.Errorf("opt: QO_H greedy needs at least two relations")
 	}
 	in = buildOptions(opts).instrumentQOH(in)
+	ls := qoh.NewLogSizer(in)
 	var best *qoh.Plan
 	for first := 0; first < n; first++ {
 		if best != nil && cancelled(ctx) {
@@ -48,7 +50,7 @@ func QOHGreedy(ctx context.Context, in *qoh.Instance, opts ...Option) (*qoh.Plan
 		if !in.FeasibleStart(first) {
 			continue
 		}
-		z := greedySizeSequence(in, first)
+		z := greedySizeSequence(in, ls, first)
 		plan, err := in.BestDecomposition(z)
 		if err != nil {
 			continue
@@ -63,29 +65,72 @@ func QOHGreedy(ctx context.Context, in *qoh.Instance, opts ...Option) (*qoh.Plan
 	return best, nil
 }
 
-func greedySizeSequence(in *qoh.Instance, first int) []int {
+// qohExtendInto writes N(X ∪ {v}) into s using the exact operation order
+// qoh.Sizes performs (multiply by t_v, then each s_vu in ascending u), so
+// the chained sizes below stay bit-identical to a from-scratch Sizes
+// walk of the finished sequence.
+func qohExtendInto(s *num.Scratch, in *qoh.Instance, size num.Num, v int, x *graph.Bitset) {
+	s.Set(size)
+	s.Mul(in.T[v])
+	x.ForEach(func(u int) { s.Mul(in.S[v][u]) })
+}
+
+// greedySizeSequence ranks candidate extensions through the tiered
+// kernel: the float64 log₂ size (qoh.LogSizer) decides clear margins,
+// and near-ties within qon.DefaultLogGuard are re-decided in exact
+// arithmetic — so the chosen sequence is identical to the one the old
+// fully-exact loop produced, at one big.Float op chain per *step*
+// instead of per candidate.
+func greedySizeSequence(in *qoh.Instance, ls *qoh.LogSizer, first int) []int {
 	n := in.N()
+	st := in.Stats()
 	z := make([]int, 0, n)
 	z = append(z, first)
 	used := graph.NewBitset(n)
 	used.Add(first)
 	size := in.T[first]
+	logSize := ls.LogT(first)
+	cand := num.NewScratch()
+	pickCand := num.NewScratch()
+	defer cand.Release()
+	defer pickCand.Release()
 	for len(z) < n {
 		pick := -1
-		var pickSize num.Num
+		pickLog := math.Inf(1)
+		pickExact := false // pickCand holds pick's exact next size
 		for v := 0; v < n; v++ {
 			if used.Has(v) {
 				continue
 			}
-			next := size.Mul(in.T[v])
-			used.ForEach(func(u int) { next = next.Mul(in.S[v][u]) })
-			if pick < 0 || next.Less(pickSize) {
-				pick, pickSize = v, next
+			st.FastEval()
+			lnext := ls.ExtendLog2(logSize, v, used)
+			d := lnext - pickLog
+			if pick >= 0 && d > qon.DefaultLogGuard {
+				continue // certainly not smaller than the incumbent
 			}
+			if pick >= 0 && d >= -qon.DefaultLogGuard {
+				// Near-tie: the float64 margin cannot be trusted, so the
+				// comparison reruns in exact arithmetic. Strict Less keeps
+				// the incumbent on exact ties, matching the old loop.
+				st.Fallback()
+				if !pickExact {
+					qohExtendInto(pickCand, in, size, pick, used)
+					pickExact = true
+				}
+				qohExtendInto(cand, in, size, v, used)
+				if cand.CmpScratch(pickCand) < 0 {
+					pick, pickLog = v, lnext
+					cand, pickCand = pickCand, cand
+				}
+				continue
+			}
+			pick, pickLog, pickExact = v, lnext, false
 		}
+		qohExtendInto(cand, in, size, pick, used)
+		size = cand.Num()
+		logSize = cand.Log2() // re-anchor the shadow from the exact value
 		z = append(z, pick)
 		used.Add(pick)
-		size = pickSize
 	}
 	return z
 }
@@ -122,6 +167,16 @@ func QOHAnnealing(ctx context.Context, in *qoh.Instance, opts ...Option) (*qoh.P
 		i, j := rng.Intn(n), rng.Intn(n)
 		nextZ[i], nextZ[j] = nextZ[j], nextZ[i]
 		st.Move()
+		// Feasibility pre-screen, exact: a decomposition exists iff the
+		// all-singletons one does (singleton pipelines minimize each
+		// join's mandatory memory), and that in turn holds iff every
+		// non-first relation's hjmin fits M — which is FeasibleStart of
+		// the leading relation. Screening here skips the O(n³)
+		// decomposition DP for neighbours it would only reject.
+		if !in.FeasibleStart(nextZ[0]) {
+			temp *= cooling
+			continue // infeasible neighbour
+		}
 		plan, err := in.BestDecomposition(nextZ)
 		if err != nil {
 			temp *= cooling

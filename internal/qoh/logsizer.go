@@ -1,0 +1,74 @@
+package qoh
+
+import (
+	"fmt"
+
+	"approxqo/internal/graph"
+)
+
+// LogSizer is the QO_H analogue of qon.LogCoster: a Tier-1 float64
+// log₂-domain evaluator of the intermediate-size model the two problems
+// share. Sequence searchers use it to *rank* candidate extensions; any
+// comparison whose margin falls inside the guard band must be re-decided
+// in exact num.Num arithmetic (see qon.DefaultLogGuard for the error
+// budget argument — the size recurrence here is a strict subset of the
+// QO_N cost recurrence, so the same bound applies with room to spare).
+//
+// LogSizer is read-only after construction and safe for concurrent use.
+type LogSizer struct {
+	n    int
+	logT []float64
+	logS [][]float64
+}
+
+// NewLogSizer precomputes log₂ of every size and selectivity (O(n²)
+// exact Log2 calls, done once per instance).
+func NewLogSizer(in *Instance) *LogSizer {
+	n := in.N()
+	ls := &LogSizer{
+		n:    n,
+		logT: make([]float64, n),
+		logS: make([][]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		ls.logT[v] = in.T[v].Log2()
+		ls.logS[v] = make([]float64, n)
+		for u := 0; u < n; u++ {
+			if u != v {
+				ls.logS[v][u] = in.S[v][u].Log2()
+			}
+		}
+	}
+	return ls
+}
+
+// LogT returns log₂ t_v — the log-domain size of the single-relation
+// prefix (v).
+func (ls *LogSizer) LogT(v int) float64 { return ls.logT[v] }
+
+// ExtendLog2 returns log₂ N(X ∪ {v}) given log₂ N(X) and the prefix set
+// x: the log-domain image of the size recurrence
+// N(Xv) = N(X) · t_v · ∏_{u∈X} s_vu.
+func (ls *LogSizer) ExtendLog2(logSize float64, v int, x *graph.Bitset) float64 {
+	f := logSize + ls.logT[v]
+	x.ForEach(func(u int) { f += ls.logS[v][u] })
+	return f
+}
+
+// SizesLog2 returns the float64 log₂ shadows of Sizes(z), parallel to
+// it: out[i] = log₂ N_i. The differential suite asserts these track the
+// exact values to well within the guard band.
+func (ls *LogSizer) SizesLog2(z []int) []float64 {
+	if len(z) != ls.n {
+		panic(fmt.Sprintf("qoh: invalid join sequence %v", z))
+	}
+	out := make([]float64, ls.n)
+	x := graph.NewBitset(ls.n)
+	logSize := 0.0
+	for i, v := range z {
+		logSize = ls.ExtendLog2(logSize, v, x)
+		out[i] = logSize
+		x.Add(v)
+	}
+	return out
+}

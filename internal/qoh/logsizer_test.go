@@ -1,0 +1,42 @@
+package qoh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential: the log₂ shadows track the exact sizes to far inside
+// the guard band searchers use (1e-6), across random instances and
+// random sequences.
+func TestLogSizerTracksExactSizes(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		in := randomInstance(8, seed)
+		ls := NewLogSizer(in)
+		z := rand.New(rand.NewSource(seed ^ 0x5a)).Perm(8)
+		exact := in.Sizes(z)
+		shadow := ls.SizesLog2(z)
+		if len(shadow) != len(exact) {
+			t.Fatalf("seed %d: %d shadows for %d sizes", seed, len(shadow), len(exact))
+		}
+		for i := range exact {
+			want := exact[i].Log2()
+			if d := math.Abs(shadow[i] - want); d > 1e-9 {
+				t.Errorf("seed %d pos %d: log2 shadow %v, exact %v (diff %g)",
+					seed, i, shadow[i], want, d)
+			}
+		}
+	}
+}
+
+// ExtendLog2 must agree with SizesLog2 position by position — greedy
+// candidate ranking uses the former, the differential suite the latter.
+func TestLogSizerExtendMatchesSizes(t *testing.T) {
+	in := randomInstance(7, 42)
+	ls := NewLogSizer(in)
+	z := rand.New(rand.NewSource(7)).Perm(7)
+	shadow := ls.SizesLog2(z)
+	if got := ls.LogT(z[0]); math.Abs(got-shadow[0]) > 1e-12 {
+		t.Errorf("LogT(%d) = %v, SizesLog2[0] = %v", z[0], got, shadow[0])
+	}
+}

@@ -19,18 +19,30 @@ type joinShape struct {
 }
 
 // shapes lists the joins of pipeline P(z, i, k) — join indices i..k,
-// 1-based as in the paper — given the precomputed sizes of z.
-func (in *Instance) shapes(z []int, sizes []num.Num, i, k int) []joinShape {
+// 1-based as in the paper — given the precomputed sizes of z and the
+// per-relation hjmin table.
+func (in *Instance) shapes(z []int, sizes, hjT []num.Num, i, k int) []joinShape {
 	js := make([]joinShape, 0, k-i+1)
 	for j := i; j <= k; j++ {
-		inner := in.T[z[j]] // join J_j brings in relation z[j] (0-based position j)
 		js = append(js, joinShape{
 			outer: sizes[j-1],
-			inner: inner,
-			hjmin: in.hjmin(inner),
+			inner: in.T[z[j]], // join J_j brings in relation z[j] (0-based position j)
+			hjmin: hjT[z[j]],
 		})
 	}
 	return js
+}
+
+// hjTable precomputes hjmin(t_v) for every relation. hjmin depends only
+// on the inner relation's base size, so the interval DP over O(n²)
+// pipelines needs just these n values instead of an HJMin evaluation
+// (a Log2 plus a fresh power of two) per join per pipeline.
+func (in *Instance) hjTable() []num.Num {
+	hjT := make([]num.Num, in.N())
+	for v := range hjT {
+		hjT[v] = in.hjmin(in.T[v])
+	}
+	return hjT
 }
 
 // OptimalAlloc computes a cost-minimizing memory split for one pipeline
@@ -101,12 +113,12 @@ func (in *Instance) PipelineCost(z []int, i, k int) (num.Num, Alloc, error) {
 		return num.Num{}, nil, fmt.Errorf("qoh: invalid pipeline bounds (%d,%d) for n=%d", i, k, n)
 	}
 	sizes := in.Sizes(z)
-	return in.pipelineCostWithSizes(z, sizes, i, k)
+	return in.pipelineCostWithSizes(z, sizes, in.hjTable(), i, k)
 }
 
-func (in *Instance) pipelineCostWithSizes(z []int, sizes []num.Num, i, k int) (num.Num, Alloc, error) {
+func (in *Instance) pipelineCostWithSizes(z []int, sizes, hjT []num.Num, i, k int) (num.Num, Alloc, error) {
 	in.stats.DPSubset()
-	js := in.shapes(z, sizes, i, k)
+	js := in.shapes(z, sizes, hjT, i, k)
 	alloc, hsum, err := in.optimalAlloc(js)
 	if err != nil {
 		return num.Num{}, nil, err
@@ -145,13 +157,14 @@ func (in *Instance) CostDecomposition(z []int, breaks []int) (*Plan, error) {
 		return nil, fmt.Errorf("qoh: decomposition must end at join %d", n-1)
 	}
 	sizes := in.Sizes(z)
+	hjT := in.hjTable()
 	plan := &Plan{Z: append([]int(nil), z...), Breaks: append([]int(nil), breaks...), Cost: num.Zero()}
 	start := 1
 	for _, end := range breaks {
 		if end < start {
 			return nil, fmt.Errorf("qoh: non-increasing pipeline boundary %d", end)
 		}
-		cost, alloc, err := in.pipelineCostWithSizes(z, sizes, start, end)
+		cost, alloc, err := in.pipelineCostWithSizes(z, sizes, hjT, start, end)
 		if err != nil {
 			return nil, err
 		}
@@ -174,6 +187,7 @@ func (in *Instance) BestDecomposition(z []int) (*Plan, error) {
 	}
 	in.stats.CostEval() // one candidate sequence costed end to end
 	sizes := in.Sizes(z)
+	hjT := in.hjTable()
 
 	// pipe[i][k] = optimal cost of pipeline covering joins i..k (1-based),
 	// or invalid Num if infeasible.
@@ -186,7 +200,7 @@ func (in *Instance) BestDecomposition(z []int) (*Plan, error) {
 	for i := 1; i <= n-1; i++ {
 		pipe[i] = make([]cell, n)
 		for k := i; k <= n-1; k++ {
-			cost, alloc, err := in.pipelineCostWithSizes(z, sizes, i, k)
+			cost, alloc, err := in.pipelineCostWithSizes(z, sizes, hjT, i, k)
 			if err == nil {
 				pipe[i][k] = cell{cost: cost, alloc: alloc, ok: true}
 			}

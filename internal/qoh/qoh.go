@@ -177,11 +177,17 @@ func (in *Instance) Sizes(z []int) []num.Num {
 	n := in.N()
 	sizes := make([]num.Num, 0, n)
 	x := graph.NewBitset(n)
-	size := num.One()
+	// Scratch accumulation performs the identical rounded-op sequence the
+	// immutable chain did (multiply by t_v, then by each s_vu in ascending
+	// u order), so every snapshot below is bit-identical to the old code —
+	// the allocation-cost oracle in alloc_test.go depends on that.
+	size := num.NewScratch()
+	defer size.Release()
+	size.SetInt64(1)
 	for _, v := range z {
-		size = size.Mul(in.T[v])
-		x.ForEach(func(u int) { size = size.Mul(in.S[v][u]) })
-		sizes = append(sizes, size)
+		size.Mul(in.T[v])
+		x.ForEach(func(u int) { size.Mul(in.S[v][u]) })
+		sizes = append(sizes, size.Num())
 		x.Add(v)
 	}
 	return sizes

@@ -17,6 +17,29 @@ func FuzzInstanceJSON(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(string(valid))
+	// Near-tie seed: the two orders of this instance differ in cost by a
+	// relative 2^-71 — far inside DefaultLogGuard — so costing it through
+	// the tiered kernel forces the Tier-1 exact fallback path.
+	tie := &Instance{
+		Q: graph.Complete(2),
+		T: []num.Num{num.Pow2(30), num.Pow2(30)},
+		S: [][]num.Num{
+			{num.One(), num.Pow2(-1)},
+			{num.Pow2(-1), num.One()},
+		},
+		W: [][]num.Num{
+			{num.Pow2(30), num.Pow2(29).Add(num.Pow2(-71))},
+			{num.Pow2(29), num.Pow2(30)},
+		},
+	}
+	if err := tie.Validate(); err != nil {
+		f.Fatal(err)
+	}
+	tieJSON, err := json.Marshal(tie)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(tieJSON))
 	f.Add(`{}`)
 	f.Add(`{"query_graph":{"n":2,"edges":[[0,1]]}}`)
 	f.Add(`{"query_graph":{"n":2,"edges":[]},"sizes":["2","3"],"selectivities":[[null,null],[null,null]],"access_costs":[[null,null],[null,null]]}`)
@@ -50,12 +73,21 @@ func FuzzInstanceJSON(f *testing.F) {
 		}
 		if n := in.N(); n > 0 && n <= 16 {
 			seq := make(Sequence, n)
+			rev := make(Sequence, n)
 			for i := range seq {
 				seq[i] = i
+				rev[n-1-i] = i
 			}
 			cost := in.Cost(seq)
 			if !cost.Equal(back.Cost(seq)) {
 				t.Fatal("round trip changed the cost model")
+			}
+			// Differential: the log-domain ranking must agree with the
+			// exact ordering on every accepted instance — including the
+			// near-tie seed above, whose margin forces the exact fallback.
+			lc := NewLogCoster(&in)
+			if got, want := lc.Rank(seq, rev), cost.Cmp(in.Cost(rev)); got != want {
+				t.Fatalf("Rank = %d, exact order %d", got, want)
 			}
 		}
 	})

@@ -1,0 +1,139 @@
+package qon
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultLogGuard is the guard band, in log₂ units, inside which a
+// float64 log-domain cost comparison is considered too close to call
+// and is re-decided in exact num.Num arithmetic.
+//
+// Why 1e-6 is safe: CostLog2 accumulates at most O(n²) float64
+// additions of log₂ magnitudes. The instance caps (n ≤ 64 everywhere
+// this path runs) and the 256-bit source values bound every
+// intermediate log₂ magnitude by ~2³¹ (big.Float's exponent range), but
+// in practice the hardness reductions stay below ~10⁵, so each rounded
+// operation contributes ≲ 10⁵·2⁻⁵³ ≈ 1.2e-11 absolute error and a full
+// evaluation stays below ~1e-7 even adversarially. Margins larger than
+// the band are therefore decided correctly by float64 alone; anything
+// inside the band — including the exact ties the reductions manufacture
+// from powers of two — falls back to exact arithmetic. The differential
+// tests (logcost_test.go) check this agreement on metamorphic and
+// cliquered hardness instances.
+const DefaultLogGuard = 1e-6
+
+// LogCoster evaluates C(Z) in the log₂ domain: pure float64, zero
+// allocations, no big.Float traffic. It is the Tier-1 fast path used by
+// the local-search optimizers to *rank* candidate sequences; accepted
+// candidates are always re-confirmed in exact arithmetic, and
+// comparisons within DefaultLogGuard must fall back to exact num.Num
+// (see Rank).
+//
+// A LogCoster reuses internal scratch state and is NOT safe for
+// concurrent use; give each goroutine its own.
+type LogCoster struct {
+	in   *Instance
+	logT []float64
+	logS [][]float64
+	logW [][]float64
+	// wOrder[v] lists the candidate inners u sorted ascending by the
+	// *exact* W[v][u] (stable), so min_{u∈X} W[v][u] is the first entry
+	// present in X — and the fast path picks the same access path the
+	// exact evaluator does.
+	wOrder [][]int32
+	inSet  []bool // scratch membership for one evaluation
+}
+
+// NewLogCoster precomputes the log₂ tables for in. Cost: O(n²) exact
+// Log2 calls, once per optimization run.
+func NewLogCoster(in *Instance) *LogCoster {
+	n := in.N()
+	lc := &LogCoster{
+		in:     in,
+		logT:   make([]float64, n),
+		logS:   make([][]float64, n),
+		logW:   make([][]float64, n),
+		wOrder: make([][]int32, n),
+		inSet:  make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		lc.logT[v] = in.T[v].Log2()
+		lc.logS[v] = make([]float64, n)
+		lc.logW[v] = make([]float64, n)
+		us := make([]int32, 0, n-1)
+		for u := 0; u < n; u++ {
+			if u != v {
+				lc.logS[v][u] = in.S[v][u].Log2()
+				lc.logW[v][u] = in.W[v][u].Log2()
+				us = append(us, int32(u))
+			}
+		}
+		sort.SliceStable(us, func(a, b int) bool {
+			return in.W[v][us[a]].Less(in.W[v][us[b]])
+		})
+		lc.wOrder[v] = us
+	}
+	return lc
+}
+
+// logAdd returns log₂(2^a + 2^b), the numerically stable way.
+func logAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log2(1+math.Exp2(b-a))
+}
+
+// CostLog2 returns log₂ C(z) (−Inf for the zero cost of a single
+// relation). It allocates nothing and records one FastEval.
+func (lc *LogCoster) CostLog2(z Sequence) float64 {
+	lc.in.stats.FastEval()
+	inSet := lc.inSet
+	for i := range inSet {
+		inSet[i] = false
+	}
+	total := math.Inf(-1)
+	logSize := 0.0
+	for i, v := range z {
+		if i > 0 {
+			var hw float64
+			for _, u := range lc.wOrder[v] {
+				if inSet[u] {
+					hw = lc.logW[v][u]
+					break
+				}
+			}
+			total = logAdd(total, logSize+hw)
+		}
+		f := lc.logT[v]
+		for _, u := range z[:i] {
+			f += lc.logS[v][u]
+		}
+		logSize += f
+		inSet[v] = true
+	}
+	return total
+}
+
+// Rank compares C(a) against C(b), returning −1, 0 or +1 exactly as
+// the exact comparison would. Decisive log-domain margins (beyond
+// DefaultLogGuard) are trusted; anything inside the band is re-decided
+// with exact num.Num costs, recording a Fallback.
+func (lc *LogCoster) Rank(a, b Sequence) int {
+	d := lc.CostLog2(a) - lc.CostLog2(b)
+	if !math.IsNaN(d) && math.Abs(d) > DefaultLogGuard {
+		if d < 0 {
+			return -1
+		}
+		return 1
+	}
+	lc.in.stats.Fallback()
+	return lc.in.Cost(a).Cmp(lc.in.Cost(b))
+}

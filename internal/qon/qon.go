@@ -180,6 +180,16 @@ func (in *Instance) ExtendFactor(v int, x *graph.Bitset) num.Num {
 	return f
 }
 
+// ExtendInto sets s to the extend factor t_v · ∏_{u∈X} s_vu without
+// allocating. The multiplication order (ascending u) matches
+// ExtendFactor, so the two produce bit-identical values.
+func (in *Instance) ExtendInto(s *num.Scratch, v int, x *graph.Bitset) {
+	s.Set(in.T[v])
+	x.ForEach(func(u int) {
+		s.Mul(in.S[v][u])
+	})
+}
+
 // MinW returns min_{u∈X} W[v][u], the best per-outer-tuple access cost
 // for joining v against the prefix set X. It panics on an empty X.
 func (in *Instance) MinW(v int, x *graph.Bitset) num.Num {
@@ -240,7 +250,19 @@ func (in *Instance) Evaluate(z Sequence) *Breakdown {
 		C: num.Zero(),
 	}
 	x := graph.NewBitset(n)
-	size := num.One()
+	// The whole walk runs on pooled scratch accumulators; only the
+	// Breakdown entries materialize immutable Nums. The operation order
+	// (factor assembled over ascending u, then the size multiply) is the
+	// canonical one certify.QON mirrors — do not reorder.
+	size := num.NewScratch()
+	factor := num.NewScratch()
+	join := num.NewScratch()
+	total := num.NewScratch()
+	defer size.Release()
+	defer factor.Release()
+	defer join.Release()
+	defer total.Release()
+	size.SetInt64(1)
 	edges := 0
 	for i, v := range z {
 		back := in.Q.Neighbors(v).IntersectCount(x)
@@ -248,14 +270,18 @@ func (in *Instance) Evaluate(z Sequence) *Breakdown {
 		edges += back
 		bd.D[i] = edges
 		if i > 0 {
-			h := size.Mul(in.MinW(v, x))
+			join.SetScratch(size)
+			join.Mul(in.MinW(v, x))
+			h := join.Num()
 			bd.H = append(bd.H, h)
-			bd.C = bd.C.Add(h)
+			total.Add(h)
 		}
-		size = size.Mul(in.ExtendFactor(v, x))
-		bd.N = append(bd.N, size)
+		in.ExtendInto(factor, v, x)
+		size.MulScratch(factor)
+		bd.N = append(bd.N, size.Num())
 		x.Add(v)
 	}
+	bd.C = total.Num()
 	return bd
 }
 

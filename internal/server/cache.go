@@ -1,0 +1,144 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"approxqo/internal/engine"
+	"approxqo/internal/qoh"
+	"approxqo/internal/qon"
+)
+
+// DefaultCacheSize is the result-cache capacity when Config.CacheSize
+// is zero. Each entry is one engine report — a few KB — so the default
+// is sized for memory headroom, not hit rate.
+const DefaultCacheSize = 256
+
+// Cache metric names. Hits and misses partition the cache lookups of
+// accepted, well-formed requests when caching is enabled; neither is
+// touched when the cache is disabled or bypassed (chaos injection).
+const (
+	MetricCacheHits   = "server.cache.hits"
+	MetricCacheMisses = "server.cache.misses"
+)
+
+// cacheKey canonicalizes the request's instance source — model plus the
+// inline instance or workload spec, deliberately excluding timeout_ms:
+// a certified full-rung result is a pure function of the instance (up
+// to heuristic seeds, which only certified winners survive), so it is
+// valid for any later budget. The JSON encoding is deterministic: fixed
+// struct field order, num values as strings.
+func cacheKey(req *Request) string {
+	src := struct {
+		Model    string        `json:"model"`
+		Instance *qon.Instance `json:"instance,omitempty"`
+		QOH      *qoh.Instance `json:"qoh,omitempty"`
+		Workload *WorkloadSpec `json:"workload,omitempty"`
+	}{Model: req.model(), Instance: req.Instance, QOH: req.QOHInstance, Workload: req.Workload}
+	data, err := json.Marshal(&src)
+	if err != nil {
+		return "" // unmarshalable instance: skip caching, never fail the request
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// cacheEntry is one stored result: the full engine report of a
+// certified, full-rung run.
+type cacheEntry struct {
+	key string
+	rep *engine.Report
+}
+
+// resultCache is a mutex-guarded LRU over canonical instance keys.
+// Stored reports are treated as immutable by all readers (handlers only
+// marshal them), so one *engine.Report may be served concurrently.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key → element holding *cacheEntry
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (*engine.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).rep, true
+}
+
+func (c *resultCache) put(key string, rep *engine.Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).rep = rep
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, rep: rep})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries (tests).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flightGroup deduplicates concurrent identical requests: the first
+// caller for a key becomes the leader and runs the ensemble; followers
+// block on the leader's completion and then re-check the result cache.
+// If the leader's result was not cacheable (degraded rung, error, chaos)
+// the next waiter is promoted to leader and runs itself, so dedup can
+// delay a duplicate but never lose one. Hand-rolled because the module
+// carries no external singleflight dependency.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// join registers interest in key. It returns the call to wait on and
+// whether the caller is the leader (and therefore must call leave when
+// its run — successful or not — is over).
+func (g *flightGroup) join(key string) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// leave ends the leader's flight, releasing every follower.
+func (g *flightGroup) leave(key string, c *flightCall) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}

@@ -108,6 +108,14 @@ type Config struct {
 	// MaxBodyBytes bounds the request body (default DefaultMaxBodyBytes).
 	MaxBodyBytes int64
 
+	// CacheSize is the capacity of the certified-result cache keyed by
+	// canonical instance hash: zero means DefaultCacheSize, negative
+	// disables caching. Only full-rung certified reports are stored, so
+	// a cache hit is always served with degraded: false. The cache is
+	// bypassed entirely when chaos injection is active — fault behaviour
+	// must stay per-request.
+	CacheSize int
+
 	// Seed seeds the randomized heuristics; each request derives its
 	// own seed from it.
 	Seed int64
@@ -168,6 +176,8 @@ type Server struct {
 	eng        *engine.Engine
 	breaker    *Breaker
 	chaosRules []chaos.Rule
+	cache      *resultCache // nil when disabled (CacheSize < 0)
+	flights    *flightGroup
 
 	slots  chan struct{} // worker tokens
 	reqSeq atomic.Int64  // per-request seed derivation
@@ -207,8 +217,15 @@ func New(cfg Config) (*Server, error) {
 		breaker:    NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		chaosRules: rules,
 		slots:      make(chan struct{}, cfg.MaxConcurrent),
+		flights:    newFlightGroup(),
 		drained:    make(chan struct{}),
 		started:    time.Now(),
+	}
+	if size := cfg.CacheSize; size >= 0 {
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		s.cache = newResultCache(size)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/optimize", s.handleOptimize)
@@ -385,10 +402,57 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	span.SetField("model", req.model())
 
-	// The budget covers queueing and optimization, so a request cannot
-	// occupy the queue longer than its caller is willing to wait.
+	// The budget covers queueing, deduplication and optimization, so a
+	// request cannot occupy the queue longer than its caller is willing
+	// to wait.
 	ctx, cancel := context.WithTimeout(r.Context(), req.budget(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
 	defer cancel()
+
+	// Certified-result cache with duplicate suppression, keyed by the
+	// canonical instance hash. Bypassed under chaos injection: fault
+	// behaviour must stay per-request, never served from memory.
+	var key string
+	if s.cache != nil && len(s.chaosRules) == 0 {
+		key = cacheKey(req)
+	}
+	for key != "" {
+		if rep, ok := s.cache.get(key); ok {
+			m.Counter(MetricCacheHits).Inc()
+			span.SetField("kind", "cache_hit")
+			wall := time.Since(accepted)
+			m.Histogram(MetricRequestWallUS).Observe(wall.Microseconds())
+			span.SetField("status", http.StatusOK)
+			// A stored report is always a certified full-rung result, so
+			// the hit is served at the full rung regardless of the rung
+			// this request was admitted at.
+			writeJSON(w, http.StatusOK, &Result{
+				Model:  req.model(),
+				N:      rep.N,
+				Rung:   RungFull.String(),
+				Cached: true,
+				WallMS: float64(wall.Microseconds()) / 1000,
+				Report: rep,
+			})
+			return
+		}
+		call, leader := s.flights.join(key)
+		if leader {
+			m.Counter(MetricCacheMisses).Inc()
+			defer s.flights.leave(key, call)
+			break // run below; a cacheable outcome is stored before leave
+		}
+		// Follower: an identical request is already in flight. Wait it
+		// out, then re-check the cache — if the leader's outcome was not
+		// cacheable (degraded rung, error), the next round promotes this
+		// request to leader instead of losing it.
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			// Budget exhausted while deduplicating: fall through to the
+			// normal path, whose slot wait accounts the queue deadline.
+			key = ""
+		}
+	}
 
 	s.queued.Add(1)
 	s.cfg.Metrics.Gauge(MetricQueueDepth).Add(1)
@@ -412,6 +476,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	rep, err := s.run(ctx, req, rung)
 	wall := time.Since(accepted)
 	m.Histogram(MetricRequestWallUS).Observe(wall.Microseconds())
+	if key != "" && err == nil && rung == RungFull &&
+		rep != nil && rep.Best != nil && rep.Best.Certified {
+		// Only full-rung certified reports are stored: a hit must never
+		// downgrade a future request to a heuristics-only answer.
+		s.cache.put(key, rep)
+	}
 	if err != nil {
 		kind := cliutil.Classify(err)
 		status := http.StatusInternalServerError
@@ -541,6 +611,9 @@ type Result struct {
 	// Degraded marks a heuristics-only (exact-optimizers-shed) result.
 	Rung     string `json:"rung"`
 	Degraded bool   `json:"degraded"`
+	// Cached marks a result served from the certified-result cache —
+	// always a full-rung, non-degraded report.
+	Cached bool `json:"cached,omitempty"`
 	// QueueMS is time spent waiting for a worker slot; WallMS the full
 	// accepted-to-answered wall time.
 	QueueMS float64 `json:"queue_ms"`

@@ -20,6 +20,8 @@ type Stats struct {
 	costEvals atomic.Int64
 	dpSubsets atomic.Int64
 	moves     atomic.Int64
+	fastEvals atomic.Int64
+	fallbacks atomic.Int64
 }
 
 // CostEval records one evaluation of the cost function — a full join
@@ -55,12 +57,33 @@ func (s *Stats) Move() {
 	}
 }
 
+// FastEval records one log-domain (float64) cost evaluation — the
+// Tier-1 fast path that ranks candidates without exact arithmetic.
+// Exact evaluations keep going through CostEval, so the tier split is
+// fast_evals vs cost_evals.
+func (s *Stats) FastEval() {
+	if s != nil {
+		s.fastEvals.Add(1)
+	}
+}
+
+// Fallback records one guard-band trigger: a log-domain comparison too
+// close to call (|Δlog₂| within the guard band) that was re-decided in
+// exact num.Num arithmetic.
+func (s *Stats) Fallback() {
+	if s != nil {
+		s.fallbacks.Add(1)
+	}
+}
+
 // Snapshot is a point-in-time copy of the counters, JSON-serializable
 // for engine reports.
 type Snapshot struct {
 	CostEvals int64 `json:"cost_evals"`
 	DPSubsets int64 `json:"dp_subsets,omitempty"`
 	Moves     int64 `json:"moves,omitempty"`
+	FastEvals int64 `json:"fast_evals,omitempty"`
+	Fallbacks int64 `json:"fallbacks,omitempty"`
 }
 
 // Snapshot reads the counters. Safe while writers are still running (it
@@ -98,5 +121,7 @@ func (s *Stats) read() Snapshot {
 		CostEvals: s.costEvals.Load(),
 		DPSubsets: s.dpSubsets.Load(),
 		Moves:     s.moves.Load(),
+		FastEvals: s.fastEvals.Load(),
+		Fallbacks: s.fallbacks.Load(),
 	}
 }

@@ -1,8 +1,11 @@
 // Command benchdiff guards against performance regressions: it runs
 // the repo's fixed regression benchmarks (BenchmarkReg* in
 // benchreg_test.go) and compares ns/op and allocs/op against the
-// checked-in baseline BENCH_qon.json, failing when either metric
-// regresses by more than the threshold (default 20%).
+// checked-in baselines, failing when either metric regresses by more
+// than the threshold (default 20%). The set is partitioned into two
+// pinned files: BenchmarkRegOpt* — the tiered cost-kernel benchmarks —
+// against BENCH_opt.json, everything else against BENCH_qon.json; both
+// files gate.
 //
 // Benchmarks run with -benchtime 30x -count 3 and the minimum of the
 // three counts is compared — the minimum is the least noisy estimator
@@ -10,8 +13,8 @@
 //
 // Usage (from the repository root):
 //
-//	go run ./scripts/benchdiff            # compare against baseline
-//	go run ./scripts/benchdiff -update    # rewrite the baseline
+//	go run ./scripts/benchdiff            # compare against baselines
+//	go run ./scripts/benchdiff -update    # rewrite both baselines
 //	go run ./scripts/benchdiff -inject 2  # self-test: fake a 2× slowdown
 package main
 
@@ -27,7 +30,17 @@ import (
 	"strings"
 )
 
-const baselineFile = "BENCH_qon.json"
+// optPrefix routes a benchmark into the cost-kernel baseline file.
+const optPrefix = "BenchmarkRegOpt"
+
+// baselineFiles maps each pinned file to its membership test.
+var baselineFiles = []struct {
+	name    string
+	matches func(bench string) bool
+}{
+	{"BENCH_opt.json", func(b string) bool { return strings.HasPrefix(b, optPrefix) }},
+	{"BENCH_qon.json", func(b string) bool { return !strings.HasPrefix(b, optPrefix) }},
+}
 
 // measurement is one benchmark's pinned numbers.
 type measurement struct {
@@ -35,7 +48,7 @@ type measurement struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// baseline is the schema of BENCH_qon.json.
+// baseline is the schema of each BENCH_*.json file.
 type baseline struct {
 	// Comment documents the file for people reading the diff.
 	Comment    string                 `json:"comment"`
@@ -46,7 +59,7 @@ type baseline struct {
 var benchLine = regexp.MustCompile(`^(BenchmarkReg\w*)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ B/op\s+(\d+) allocs/op)?`)
 
 func main() {
-	update := flag.Bool("update", false, "rewrite "+baselineFile+" from this run")
+	update := flag.Bool("update", false, "rewrite the baseline files from this run")
 	inject := flag.Float64("inject", 1.0, "multiply measured ns/op by this factor (CI self-test)")
 	threshold := flag.Float64("threshold", 1.20, "fail when measured/baseline exceeds this ratio")
 	flag.Parse()
@@ -63,64 +76,22 @@ func main() {
 		measured[name] = m
 	}
 
-	if *update {
-		b := baseline{
-			Comment: "benchdiff baseline: minimum ns/op and allocs/op of BenchmarkReg* " +
-				"over -benchtime 30x -count 3; regenerate with `go run ./scripts/benchdiff -update`",
-			Benchmarks: measured,
-		}
-		data, err := json.MarshalIndent(b, "", "  ")
-		if err != nil {
-			fatal(err)
-		}
-		if err := os.WriteFile(baselineFile, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("benchdiff: wrote %s (%d benchmarks)\n", baselineFile, len(measured))
-		return
-	}
-
-	data, err := os.ReadFile(baselineFile)
-	if err != nil {
-		fatal(fmt.Errorf("%w (create it with `go run ./scripts/benchdiff -update`)", err))
-	}
-	var base baseline
-	if err := json.Unmarshal(data, &base); err != nil {
-		fatal(fmt.Errorf("parsing %s: %w", baselineFile, err))
-	}
-
 	var failures []string
-	for _, name := range sortedKeys(measured) {
-		m := measured[name]
-		b, ok := base.Benchmarks[name]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: not in baseline (run -update)", name))
-			continue
-		}
-		nsRatio := m.NsPerOp / b.NsPerOp
-		status := "ok"
-		if nsRatio > *threshold {
-			status = "REGRESSION"
-			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx)",
-				name, m.NsPerOp, b.NsPerOp, nsRatio, *threshold))
-		}
-		allocNote := ""
-		if b.AllocsPerOp > 0 {
-			allocRatio := float64(m.AllocsPerOp) / float64(b.AllocsPerOp)
-			allocNote = fmt.Sprintf("  allocs %d vs %d", m.AllocsPerOp, b.AllocsPerOp)
-			if allocRatio > *threshold {
-				status = "REGRESSION"
-				failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d (%.2fx > %.2fx)",
-					name, m.AllocsPerOp, b.AllocsPerOp, allocRatio, *threshold))
+	for _, file := range baselineFiles {
+		part := map[string]measurement{}
+		for name, m := range measured {
+			if file.matches(name) {
+				part[name] = m
 			}
 		}
-		fmt.Printf("%-28s %10.0f ns/op  (baseline %10.0f, %.2fx)%s  %s\n",
-			name, m.NsPerOp, b.NsPerOp, nsRatio, allocNote, status)
-	}
-	for name := range base.Benchmarks {
-		if _, ok := measured[name]; !ok {
-			failures = append(failures, fmt.Sprintf("%s: in baseline but no longer measured", name))
+		if *update {
+			writeBaseline(file.name, part)
+			continue
 		}
+		failures = append(failures, compare(file.name, part, *threshold)...)
+	}
+	if *update {
+		return
 	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d failure(s):\n", len(failures))
@@ -130,6 +101,71 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: all benchmarks within threshold")
+}
+
+func writeBaseline(path string, measured map[string]measurement) {
+	b := baseline{
+		Comment: "benchdiff baseline: minimum ns/op and allocs/op of BenchmarkReg* " +
+			"over -benchtime 30x -count 3; regenerate with `go run ./scripts/benchdiff -update`",
+		Benchmarks: measured,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchdiff: wrote %s (%d benchmarks)\n", path, len(measured))
+}
+
+// compare gates one partition against its baseline file and returns the
+// accumulated failures (threshold breaches, unknown or vanished
+// benchmarks).
+func compare(path string, measured map[string]measurement, threshold float64) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(fmt.Errorf("%w (create it with `go run ./scripts/benchdiff -update`)", err))
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+
+	var failures []string
+	for _, name := range sortedKeys(measured) {
+		m := measured[name]
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: not in %s (run -update)", name, path))
+			continue
+		}
+		nsRatio := m.NsPerOp / b.NsPerOp
+		status := "ok"
+		if nsRatio > threshold {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx)",
+				name, m.NsPerOp, b.NsPerOp, nsRatio, threshold))
+		}
+		allocNote := ""
+		if b.AllocsPerOp > 0 {
+			allocRatio := float64(m.AllocsPerOp) / float64(b.AllocsPerOp)
+			allocNote = fmt.Sprintf("  allocs %d vs %d", m.AllocsPerOp, b.AllocsPerOp)
+			if allocRatio > threshold {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d (%.2fx > %.2fx)",
+					name, m.AllocsPerOp, b.AllocsPerOp, allocRatio, threshold))
+			}
+		}
+		fmt.Printf("%-34s %10.0f ns/op  (baseline %10.0f, %.2fx)%s  %s\n",
+			name, m.NsPerOp, b.NsPerOp, nsRatio, allocNote, status)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := measured[name]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: in %s but no longer measured", name, path))
+		}
+	}
+	return failures
 }
 
 // runBenchmarks executes the regression set and returns the minimum
