@@ -107,6 +107,14 @@ type (
 	ServerConfig  = server.Config
 	ServerRequest = server.Request
 	ServerResult  = server.Result
+	// ServerJob is the unified tagged job object shared by /optimize and
+	// /optimize/batch; ServerBatchRequest/ServerBatchResponse are the
+	// /optimize/batch wire documents and ServerBatchJobResult one job's
+	// slot in the response.
+	ServerJob            = server.Job
+	ServerBatchRequest   = server.BatchRequest
+	ServerBatchResponse  = server.BatchResponse
+	ServerBatchJobResult = server.BatchJobResult
 )
 
 // Reductions and pipelines.
@@ -239,6 +247,26 @@ var (
 	ErrNoOptimizers = engine.ErrNoOptimizers
 	ErrNilInstance  = engine.ErrNilInstance
 	ErrAllFailed    = engine.ErrAllFailed
+)
+
+// Canonical instance identity (see DESIGN.md §Canonical identity): a
+// graph-invariant fingerprint plus a deterministic relabeling, so any
+// two relabelings of one instance agree byte-for-byte.
+var (
+	// FingerprintQON and FingerprintQOH return the model-tagged canonical
+	// fingerprint of an instance — equal exactly for relabelings of the
+	// same instance. The qod result cache keys on it.
+	FingerprintQON = qon.Fingerprint
+	FingerprintQOH = qoh.Fingerprint
+	// CanonicalizeQON and CanonicalizeQOH return the canonical relabeling
+	// of an instance together with the permutation pi that produced it
+	// (pi[v] = canonical label of input label v).
+	CanonicalizeQON = qon.Canonicalize
+	CanonicalizeQOH = qoh.Canonicalize
+	// RelabelQON and RelabelQOH apply an explicit relation relabeling —
+	// the cost models are invariant under them (metamorphic suites).
+	RelabelQON = qon.Relabel
+	RelabelQOH = qoh.Relabel
 )
 
 // Extensions and tooling.

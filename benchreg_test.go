@@ -1,11 +1,17 @@
 package approxqo
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"approxqo/internal/num"
 	"approxqo/internal/opt"
 	"approxqo/internal/qon"
+	"approxqo/internal/server"
+	"approxqo/internal/server/loadgen"
 	"approxqo/internal/workload"
 )
 
@@ -131,5 +137,67 @@ func BenchmarkRegOptImmutableMulAdd(b *testing.B) {
 		for k := 0; k < 64; k++ {
 			acc = num.MulAdd(x, y, acc)
 		}
+	}
+}
+
+// The canonical-identity benchmarks below also pin into BENCH_opt.json
+// (benchdiff routes the RegFingerprint/RegBatch prefixes there): they
+// gate the cost the batch API adds on top of the cost kernel.
+
+// BenchmarkRegFingerprint pins canonicalization at n=16: each op
+// fingerprints one star, one chain and one clique instance — the star
+// and chain finish in the first refinement rounds, the clique is the
+// densest search the workload generator can produce.
+func BenchmarkRegFingerprint(b *testing.B) {
+	shapes := []workload.Shape{workload.Star, workload.Chain, workload.Clique}
+	ins := make([]*qon.Instance, len(shapes))
+	for i, sh := range shapes {
+		in, err := workload.Generate(workload.Params{N: 16, Shape: sh, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins[i] = in
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range ins {
+			if qon.Fingerprint(in) == "" {
+				b.Fatal("empty fingerprint")
+			}
+		}
+	}
+}
+
+// BenchmarkRegBatchDedup pins steady-state batch throughput: one op is
+// a 16-job POST /optimize/batch with planted relabeled duplicates,
+// served end to end (decode, canonicalize, group, cache hit, remap,
+// encode). The cache is warmed before the timer, so per-op cost is the
+// dedup machinery itself, not the engine.
+func BenchmarkRegBatchDedup(b *testing.B) {
+	s, err := server.New(server.Config{MaxConcurrent: 4, DegradeAt: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	jobs, _, err := loadgen.PlantedBatch(9, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(&server.BatchRequest{Jobs: jobs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	serve := func() {
+		req := httptest.NewRequest(http.MethodPost, "/optimize/batch", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("batch status %d: %s", w.Code, w.Body.Bytes())
+		}
+	}
+	serve() // warm the certified-result cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serve()
 	}
 }

@@ -5,17 +5,22 @@
 //
 // Endpoints:
 //
-//	POST /optimize — JSON request (inline instance, qoh_instance or a
-//	                 workload spec) → certified result or structured
-//	                 error document
-//	GET  /healthz  — liveness + load gauges
-//	GET  /readyz   — readiness (engine health probe, breaker circuits)
+//	POST /optimize       — JSON request (a tagged job object, or the
+//	                       deprecated top-level form) → certified result
+//	                       or structured error document
+//	POST /optimize/batch — {"jobs":[...]} → per-job results in order;
+//	                       jobs are deduplicated by canonical instance
+//	                       fingerprint, so k relabeled copies of one
+//	                       query cost one engine run
+//	GET  /healthz        — liveness + load gauges
+//	GET  /readyz         — readiness (engine health probe, breaker circuits)
 //
 // Usage:
 //
 //	qod -addr :8080
 //	qod -addr :8080 -workers 8 -queue 64 -degrade-at 8 -shed-at 48
 //	qod -addr :8080 -req-timeout 2s -max-timeout 30s -drain 5s
+//	qod -addr :8080 -max-batch 128 -cache-size 1024
 //	qod -addr :8080 -chaos 'panic:greedy-min-cost' -metrics
 //
 // SIGINT/SIGTERM triggers a graceful drain: admission stops, in-flight
@@ -48,6 +53,7 @@ func main() {
 	retryAfter := flag.Duration("retry-after", 250*time.Millisecond, "Retry-After hint on 429/503")
 	chaosSpec := flag.String("chaos", "", "fault injection spec applied to every request's ensemble")
 	cacheSize := flag.Int("cache-size", 0, "certified-result cache entries (0 = default 256, negative disables)")
+	maxBatch := flag.Int("max-batch", 0, "max jobs per /optimize/batch request (0 = default 64)")
 	flag.Parse()
 
 	// The signal handler's force-flush must not fire while a healthy
@@ -70,6 +76,7 @@ func main() {
 		Seed:           common.Seed,
 		ChaosSpec:      *chaosSpec,
 		CacheSize:      *cacheSize,
+		MaxBatchJobs:   *maxBatch,
 		Tracer:         common.Tracer(),
 		Metrics:        common.Registry(),
 	})

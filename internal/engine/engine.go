@@ -21,7 +21,9 @@
 //   - a grace period after cancellation, after which unresponsive runs
 //     are abandoned and quarantined (their goroutines drain into a
 //     buffered channel; their counters are still snapshotted safely),
-//   - a first-cheapest-wins merge over certified results only.
+//   - a cheapest-wins merge over certified results only; on a cost
+//     tie an exact result beats a heuristic one, otherwise the first
+//     arrival keeps the slot.
 //
 // Every run gets a fresh Stats sink attached to the instance, so the
 // cost model itself counts evaluations whether or not the optimizer
@@ -100,19 +102,19 @@ var ErrInvalidPlan = certify.ErrInvalidPlan
 // MetricCertifyPass + MetricCertifyFail + MetricPanics + MetricErrors
 // (every attempt ends in exactly one of those outcomes).
 const (
-	MetricRuns        = "engine.runs"            // counter: runs accounted (incl. abandoned)
-	MetricAttempts    = "engine.attempts"        // counter: optimization attempts started
-	MetricRetries     = "engine.retries"         // counter: attempts beyond each run's first
-	MetricCertifyPass = "engine.certify.pass"    // counter: results the audit accepted
-	MetricCertifyFail = "engine.certify.fail"    // counter: results the audit rejected
-	MetricPanics      = "engine.panics"          // counter: attempts that panicked
-	MetricErrors      = "engine.errors"          // counter: attempts that returned an error
-	MetricQuarantined = "engine.quarantined"     // counter: optimizers benched
-	MetricAbandoned   = "engine.abandoned"       // counter: runs abandoned past the grace window
-	MetricTimeouts    = "engine.timeouts"        // counter: runs whose per-run deadline expired
-	MetricPending     = "engine.pending"         // gauge: runs not yet accounted (queue depth)
-	MetricRunWallUS   = "engine.run.wall_us"     // histogram: per-run wall time (µs)
-	MetricMergeSize   = "engine.merge.arrivals"  // histogram: certified arrivals per engine run
+	MetricRuns        = "engine.runs"           // counter: runs accounted (incl. abandoned)
+	MetricAttempts    = "engine.attempts"       // counter: optimization attempts started
+	MetricRetries     = "engine.retries"        // counter: attempts beyond each run's first
+	MetricCertifyPass = "engine.certify.pass"   // counter: results the audit accepted
+	MetricCertifyFail = "engine.certify.fail"   // counter: results the audit rejected
+	MetricPanics      = "engine.panics"         // counter: attempts that panicked
+	MetricErrors      = "engine.errors"         // counter: attempts that returned an error
+	MetricQuarantined = "engine.quarantined"    // counter: optimizers benched
+	MetricAbandoned   = "engine.abandoned"      // counter: runs abandoned past the grace window
+	MetricTimeouts    = "engine.timeouts"       // counter: runs whose per-run deadline expired
+	MetricPending     = "engine.pending"        // gauge: runs not yet accounted (queue depth)
+	MetricRunWallUS   = "engine.run.wall_us"    // histogram: per-run wall time (µs)
+	MetricMergeSize   = "engine.merge.arrivals" // histogram: certified arrivals per engine run
 
 	// Cost-kernel tier split (see DESIGN.md § Cost-kernel tiers): how
 	// much work the float64 fast path absorbed versus exact arithmetic,
@@ -489,8 +491,9 @@ type arrival struct {
 
 // supervise runs the jobs concurrently — each with retry, certification
 // and quarantine handling — and collects them into records, merging the
-// cheapest certified result from a non-quarantined optimizer (first
-// arrival wins ties). When the engine carries a tracer it records the
+// cheapest certified result from a non-quarantined optimizer (on a
+// cost tie an exact result beats a heuristic one; otherwise the first
+// arrival wins). When the engine carries a tracer it records the
 // span taxonomy documented in DESIGN.md (engine.run → optimizer:<name>
 // → attempt → optimize/certify → merge); when it carries a metrics
 // registry, the supervisor — and only the supervisor — absorbs each
@@ -747,7 +750,13 @@ func (e *Engine) supervise(ctx context.Context, model string, jobs []*job) (*Rep
 		if records[a.idx].Quarantined {
 			continue
 		}
-		if best == nil || a.res.cost.Less(bestCost) {
+		switch {
+		case best == nil || a.res.cost.Less(bestCost):
+			best, bestCost = e.bestRecord(jobs, a.idx, a.res), a.res.cost
+		case a.res.exact && !best.Exact && !bestCost.Less(a.res.cost):
+			// Equal cost: an exact result is strictly more informative
+			// than a heuristic one, so it displaces a tying heuristic
+			// regardless of arrival order.
 			best, bestCost = e.bestRecord(jobs, a.idx, a.res), a.res.cost
 		}
 	}

@@ -314,3 +314,68 @@ func TestRunMatchesBestOf(t *testing.T) {
 		t.Fatalf("engine best 2^%.3f, BestOf 2^%.3f", report.Best.CostLog2, seq.Cost.Log2())
 	}
 }
+
+// cannedOptimizer returns a fixed pre-computed result, optionally
+// waiting for a release channel first — a deterministic way to stage
+// equal-cost arrivals in a chosen order.
+type cannedOptimizer struct {
+	name    string
+	res     *opt.Result
+	release <-chan struct{}
+}
+
+func (c cannedOptimizer) Name() string { return c.name }
+
+func (c cannedOptimizer) Optimize(ctx context.Context, in *qon.Instance) (*opt.Result, error) {
+	if c.release != nil {
+		select {
+		case <-c.release:
+		case <-ctx.Done():
+		}
+	}
+	return &opt.Result{Sequence: c.res.Sequence, Cost: c.res.Cost, Exact: c.res.Exact}, nil
+}
+
+// On an equal-cost tie the exact result must win the merge even when a
+// heuristic with the same plan arrives first — otherwise the report's
+// winner claims a merely-certified cost for what is in fact the proven
+// optimum, and downstream exactness checks flake on scheduling order.
+func TestMergePrefersExactOnCostTie(t *testing.T) {
+	in := randomInstance(7, 0.8, 11)
+	optimum, err := opt.NewDP().Optimize(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	heuristic := cannedOptimizer{
+		name: "tie-heuristic-stub",
+		res:  &opt.Result{Sequence: optimum.Sequence, Cost: optimum.Cost, Exact: false},
+	}
+	exact := cannedOptimizer{
+		name:    "tie-exact-stub",
+		res:     &opt.Result{Sequence: optimum.Sequence, Cost: optimum.Cost, Exact: true},
+		release: release,
+	}
+	// Release the exact stub only after a beat, so the heuristic's
+	// arrival is (with overwhelming likelihood) merged first; the
+	// assertion holds in either order, but this order exercises the
+	// displacement path.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	report, err := New(WithoutEarlyExit()).Run(context.Background(), in, heuristic, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Best == nil {
+		t.Fatal("no best result")
+	}
+	if !report.Best.Exact || report.Best.Winner != "tie-exact-stub" {
+		t.Fatalf("tie went to %q (exact=%v); want the exact result to displace the tying heuristic",
+			report.Best.Winner, report.Best.Exact)
+	}
+	if !report.Best.Cost.Equal(optimum.Cost) {
+		t.Fatal("winner cost drifted from the computed optimum")
+	}
+}

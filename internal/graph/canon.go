@@ -1,0 +1,375 @@
+// Canonical ordering of weighted-graph-shaped structures.
+//
+// CanonicalOrder computes a label-invariant vertex ordering for any
+// structure describable as per-vertex bytes plus per-ordered-pair
+// bytes: two isomorphic structures (identical up to a relabeling of
+// the vertices) produce byte-identical canonical encodings, and two
+// structures with the same encoding are isomorphic. The qon and qoh
+// instance fingerprints are built on it.
+//
+// The algorithm is individualization–refinement, the classical
+// canonical-labeling scheme (nauty's skeleton) specialized for the
+// small, densely weighted instances this repository optimizes
+// (n ≤ 32 at the serving layer):
+//
+//  1. Seed colors: each vertex is colored by a hash of its own bytes
+//     together with the multiset of its pair bytes — a label-invariant
+//     starting partition.
+//  2. WL refinement: colors are iteratively rehashed with the sorted
+//     multiset of (neighbor color, pair bytes) until the number of
+//     color classes stops growing. On weighted instances this is
+//     almost always discrete after one or two rounds.
+//  3. Search: while the partition has ties, the minimal color class is
+//     chosen (a label-invariant cell), one candidate is individualized,
+//     the partition is re-refined, and the search recurses; the
+//     canonical encoding is the lexicographic minimum over all explored
+//     completions. Two prunes keep the tree small: branches whose
+//     partial encoding already exceeds the best found are cut, and
+//     candidates that are pairwise twins (swapping them is an
+//     automorphism) collapse to one representative — the uniform-weight
+//     hardness instances (cliques from the f_N reduction, star gadgets)
+//     are fully symmetric, and twin classes reduce their search to a
+//     single path.
+//
+// Hash collisions in the color refinement are harmless for
+// correctness: colors only steer the search, and they are
+// deterministic functions of the (label-invariant) data, so both
+// relabelings of an instance see the same collisions and explore
+// isomorphic trees. The final comparison is on full encoding bytes.
+package graph
+
+import "sort"
+
+// CanonData describes a structure to canonicalize. All three callbacks
+// must be label-invariant data accessors (they may depend on the
+// vertex identities only through the data they return), and the
+// returned bytes must not contain 0x00 — the encoder uses NUL as its
+// component separator.
+type CanonData struct {
+	// N is the vertex count.
+	N int
+	// VertexBytes returns the per-vertex data of v (e.g. its relation
+	// size), exact values included.
+	VertexBytes func(v int) []byte
+	// PairBytes returns u's complete view of the ordered pair (u, v):
+	// adjacency, selectivity, and any direction-dependent weights of
+	// both orientations. The encoding stores PairBytes(v, u) for every
+	// pair placed u-before-v, so the pair data of both directions must
+	// be recoverable from that single call.
+	PairBytes func(u, v int) []byte
+}
+
+// CanonicalOrder returns ord — ord[k] is the original vertex placed at
+// canonical position k — and the canonical encoding: the
+// lexicographically least concatenation, over all label-invariant
+// orderings explored, of each vertex's data row against its
+// predecessors. Isomorphic structures yield identical encodings;
+// identical encodings imply isomorphic structures.
+func CanonicalOrder(d CanonData) ([]int, []byte) {
+	n := d.N
+	if n == 0 {
+		return []int{}, []byte{}
+	}
+	c := &canonizer{n: n}
+	c.vb = make([][]byte, n)
+	for v := 0; v < n; v++ {
+		c.vb[v] = d.VertexBytes(v)
+	}
+	c.pb = make([][][]byte, n)
+	c.pc = make([][]uint64, n)
+	for u := 0; u < n; u++ {
+		c.pb[u] = make([][]byte, n)
+		c.pc[u] = make([]uint64, n)
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			c.pb[u][v] = d.PairBytes(u, v)
+			c.pc[u][v] = fnvBytes(fnvOffset, c.pb[u][v])
+		}
+	}
+	c.computeTwins()
+
+	// Seed colors: vertex bytes + sorted multiset of pair codes.
+	colors := make([]uint64, n)
+	sig := make([]uint64, 0, n-1)
+	for v := 0; v < n; v++ {
+		sig = sig[:0]
+		for u := 0; u < n; u++ {
+			if u != v {
+				sig = append(sig, c.pc[v][u])
+			}
+		}
+		sortU64(sig)
+		h := fnvBytes(fnvOffset, c.vb[v])
+		for _, s := range sig {
+			h = fnvU64(h, s)
+		}
+		colors[v] = h
+	}
+	colors = c.refine(colors)
+
+	c.ord = make([]int, 0, n)
+	c.placed = make([]bool, n)
+	c.buf = make([]byte, 0, 256)
+	c.search(colors, 0, 0, false)
+
+	ord := make([]int, n)
+	copy(ord, c.bestOrd)
+	return ord, c.best
+}
+
+// canonizer carries the search state of one CanonicalOrder call.
+type canonizer struct {
+	n    int
+	vb   [][]byte   // vertex bytes
+	pb   [][][]byte // pair bytes, pb[u][v] = u's view of (u,v)
+	pc   [][]uint64 // hash of pb
+	twin [][]bool   // twin[u][v]: swapping u and v is an automorphism
+
+	ord     []int  // current prefix (original vertex per position)
+	placed  []bool // membership of ord
+	buf     []byte // encoding of the current prefix
+	best    []byte // least complete encoding found
+	bestOrd []int  // its ordering
+}
+
+// computeTwins marks vertex pairs whose transposition is an
+// automorphism: identical vertex bytes, consistent cross-pair bytes,
+// and identical views of every third vertex. Pairwise twins within a
+// candidate cell are interchangeable — their search subtrees produce
+// identical encodings — so only one representative is explored.
+func (c *canonizer) computeTwins() {
+	n := c.n
+	c.twin = make([][]bool, n)
+	for u := 0; u < n; u++ {
+		c.twin[u] = make([]bool, n)
+	}
+	for u := 0; u < n; u++ {
+	pair:
+		for v := u + 1; v < n; v++ {
+			if !bytesEq(c.vb[u], c.vb[v]) || !bytesEq(c.pb[u][v], c.pb[v][u]) {
+				continue
+			}
+			for w := 0; w < n; w++ {
+				if w == u || w == v {
+					continue
+				}
+				if !bytesEq(c.pb[u][w], c.pb[v][w]) || !bytesEq(c.pb[w][u], c.pb[w][v]) {
+					continue pair
+				}
+			}
+			c.twin[u][v], c.twin[v][u] = true, true
+		}
+	}
+}
+
+// refine runs WL-style color refinement to a fixed point: each round
+// rehashes every vertex with the sorted multiset of (color, pair code)
+// over all other vertices, stopping when the class count stops
+// growing (or everything is discrete).
+func (c *canonizer) refine(colors []uint64) []uint64 {
+	n := c.n
+	cur := append([]uint64(nil), colors...)
+	next := make([]uint64, n)
+	sig := make([]uint64, 0, n-1)
+	classes := countDistinct(cur)
+	for round := 0; round < n && classes < n; round++ {
+		for v := 0; v < n; v++ {
+			sig = sig[:0]
+			for u := 0; u < n; u++ {
+				if u != v {
+					sig = append(sig, fnvU64(cur[u], c.pc[v][u]))
+				}
+			}
+			sortU64(sig)
+			h := fnvU64(fnvOffset, cur[v])
+			for _, s := range sig {
+				h = fnvU64(h, s)
+			}
+			next[v] = h
+		}
+		nc := countDistinct(next)
+		if nc <= classes {
+			break
+		}
+		classes = nc
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// search extends the current prefix by every canonical candidate.
+// off is the length of buf known equal to best; alreadyLess marks a
+// branch strictly below the current best.
+func (c *canonizer) search(colors []uint64, depth, off int, alreadyLess bool) {
+	n := c.n
+	if depth == n {
+		if c.best == nil || alreadyLess || lexLess(c.buf, c.best) {
+			c.best = append(c.best[:0:0], c.buf...)
+			c.bestOrd = append(c.bestOrd[:0:0], c.ord...)
+		}
+		return
+	}
+	// Target cell: unplaced vertices of minimal color. The color values
+	// are data-derived hashes, so the cell is label-invariant.
+	var minColor uint64
+	first := true
+	for v := 0; v < n; v++ {
+		if !c.placed[v] {
+			if first || colors[v] < minColor {
+				minColor, first = colors[v], false
+			}
+		}
+	}
+	var cands []int
+	for v := 0; v < n; v++ {
+		if !c.placed[v] && colors[v] == minColor {
+			cands = append(cands, v)
+		}
+	}
+	// Collapse twin classes: one representative each. Classes are built
+	// greedily requiring pairwise twin-ness, so every transposition
+	// within a class is an automorphism and the pruned subtrees are
+	// byte-identical to the explored one.
+	reps := cands[:0]
+	for _, v := range cands {
+		dup := false
+		for _, r := range reps {
+			if c.twin[r][v] {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			reps = append(reps, v)
+		}
+	}
+	// Explore cheapest row first so the best tightens early.
+	rows := make([][]byte, len(reps))
+	for i, v := range reps {
+		rows[i] = c.row(v)
+	}
+	idx := make([]int, len(reps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return lexLess(rows[idx[a]], rows[idx[b]]) })
+
+	mark := len(c.buf)
+	for _, j := range idx {
+		v := reps[j]
+		c.buf = append(c.buf, rows[j]...)
+		less, prune := alreadyLess, false
+		newOff := off
+		if c.best != nil && !less {
+			less, prune, newOff = c.compare(off)
+		}
+		if !prune {
+			c.ord = append(c.ord, v)
+			c.placed[v] = true
+			child := append([]uint64(nil), colors...)
+			child[v] = fnvU64(0x9e3779b97f4a7c15, uint64(depth))
+			c.search(c.refine(child), depth+1, newOff, less)
+			c.placed[v] = false
+			c.ord = c.ord[:len(c.ord)-1]
+		}
+		c.buf = c.buf[:mark]
+	}
+}
+
+// row is the encoding contribution of placing v next: its vertex bytes
+// then its pair view against each placed vertex in prefix order, all
+// NUL-separated.
+func (c *canonizer) row(v int) []byte {
+	out := make([]byte, 0, 16*(len(c.ord)+1))
+	out = append(out, c.vb[v]...)
+	out = append(out, 0)
+	for _, u := range c.ord {
+		out = append(out, c.pb[v][u]...)
+		out = append(out, 0)
+	}
+	return out
+}
+
+// compare advances the equality frontier between buf and best from
+// off. It reports whether the branch is now strictly less, whether it
+// must be pruned (strictly greater, or best is a proper prefix), and
+// the new frontier.
+func (c *canonizer) compare(off int) (less, prune bool, newOff int) {
+	i := off
+	for ; i < len(c.buf) && i < len(c.best); i++ {
+		if c.buf[i] != c.best[i] {
+			if c.buf[i] < c.best[i] {
+				return true, false, i
+			}
+			return false, true, i
+		}
+	}
+	if i == len(c.best) && len(c.buf) > len(c.best) {
+		return false, true, i // best is a proper prefix of buf: buf > best
+	}
+	return false, false, i
+}
+
+// lexLess is bytes.Compare(a, b) < 0 without importing bytes into the
+// hot path signature (kept local for clarity).
+func lexLess(a, b []byte) bool {
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	for i := 0; i < m; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func bytesEq(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func countDistinct(vs []uint64) int {
+	seen := make(map[uint64]struct{}, len(vs))
+	for _, v := range vs {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}
+
+func sortU64(vs []uint64) {
+	sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+}
+
+// FNV-1a, hand-rolled so colors are stable across processes (the
+// fingerprints derived downstream must not vary run to run the way
+// maphash seeds do).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, x := range b {
+		h = (h ^ uint64(x)) * fnvPrime
+	}
+	return h
+}
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}

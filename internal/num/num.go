@@ -236,6 +236,18 @@ func (n Num) String() string {
 	return n.f.Text('g', 10)
 }
 
+// CanonicalAppend appends an exact, injective textual form of n to dst
+// and returns the extended slice: two Nums append the same bytes if and
+// only if they are numerically equal. It is the value encoding the
+// canonical instance fingerprints (qon/qoh Canonicalize) fold into
+// their hashes. The bytes are big.Float 'p' format — hex mantissa and
+// binary exponent — and never contain a NUL byte, so callers may use
+// 0x00 as a separator.
+func (n Num) CanonicalAppend(dst []byte) []byte {
+	n.check()
+	return n.f.Append(dst, 'p', 0)
+}
+
 // MarshalJSON encodes n as a JSON string in big.Float parseable form.
 func (n Num) MarshalJSON() ([]byte, error) {
 	if !n.valid() {

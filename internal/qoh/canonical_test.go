@@ -1,0 +1,78 @@
+package qoh
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxqo/internal/num"
+)
+
+func TestFingerprintInvariantUnderRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(411))
+	for _, n := range []int{2, 4, 6, 9} {
+		in := randomInstance(n, int64(900+n))
+		want := Fingerprint(in)
+		for rep := 0; rep < 200; rep++ {
+			rel := Relabel(in, rng.Perm(n))
+			if err := rel.Validate(); err != nil {
+				t.Fatalf("n=%d rep %d: relabeled instance invalid: %v", n, rep, err)
+			}
+			if got := Fingerprint(rel); got != want {
+				t.Fatalf("n=%d rep %d: fingerprint changed under relabeling", n, rep)
+			}
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	in := randomInstance(6, 910)
+	want := Fingerprint(in)
+
+	// Different memory budget → different instance.
+	mod := Relabel(in, []int{0, 1, 2, 3, 4, 5})
+	mod.M = in.M.Add(num.One())
+	if Fingerprint(mod) == want {
+		t.Fatal("memory-perturbed instance has identical fingerprint")
+	}
+
+	// Explicit default ψ denotes the same instance as the zero value.
+	eff := Relabel(in, []int{0, 1, 2, 3, 4, 5})
+	eff.Psi = DefaultPsi
+	if Fingerprint(eff) != want {
+		t.Fatal("explicit DefaultPsi changed the fingerprint")
+	}
+	eff.Psi = 0.75
+	if Fingerprint(eff) == want {
+		t.Fatal("ψ-perturbed instance has identical fingerprint")
+	}
+}
+
+func TestCanonicalizeAgreesAcrossRelabelings(t *testing.T) {
+	rng := rand.New(rand.NewSource(412))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		in := randomInstance(n, int64(920+trial))
+		canon, pi := Canonicalize(in)
+		if err := canon.Validate(); err != nil {
+			t.Fatalf("trial %d: canonical form invalid: %v", trial, err)
+		}
+		ref := Relabel(in, pi)
+		if !canon.Q.Equal(ref.Q) {
+			t.Fatalf("trial %d: canonical ≠ Relabel(in, pi)", trial)
+		}
+		canon2, _ := Canonicalize(Relabel(in, rng.Perm(n)))
+		if !canon.Q.Equal(canon2.Q) {
+			t.Fatalf("trial %d: canonical graphs differ across relabelings", trial)
+		}
+		for i := 0; i < n; i++ {
+			if !canon.T[i].Equal(canon2.T[i]) {
+				t.Fatalf("trial %d: canonical T differs across relabelings", trial)
+			}
+			for j := 0; j < n; j++ {
+				if i != j && !canon.S[i][j].Equal(canon2.S[i][j]) {
+					t.Fatalf("trial %d: canonical S differs across relabelings", trial)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Fingerprint behaviour on the hardness instances. This file lives in
+// the external test package because it drives qon through the core
+// reductions (core imports qon, so an in-package test would be an
+// import cycle).
+package qon_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/qon"
+)
+
+// TestFingerprintOnHardnessInstances is the adversarial case for the
+// canonical labeler: f_N instances are uniform (every relation the same
+// size, every edge the same selectivity and cost), so WL refinement
+// gets no help from the weights and the fingerprint rests entirely on
+// the graph-canonicalization search over highly symmetric complete
+// multipartite graphs. The YES and NO sides of the promise pair are
+// non-isomorphic (different clique numbers) and must be told apart;
+// relabelings of each side must agree.
+func TestFingerprintOnHardnessInstances(t *testing.T) {
+	const n = 12
+	yes, no := cliquered.YesNoPair(n, 0.75, 0.5)
+	params := core.FNParams{A: 4, OmegaYes: yes.Omega, OmegaNo: no.Omega}
+	fnYes, err := core.FN(yes.G, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fnNo, err := core.FN(no.G, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpYes, fpNo := qon.Fingerprint(fnYes.QON), qon.Fingerprint(fnNo.QON)
+	if fpYes == fpNo {
+		t.Fatalf("YES (ω=%d) and NO (ω=%d) hardness instances share a fingerprint", yes.Omega, no.Omega)
+	}
+	rng := rand.New(rand.NewSource(405))
+	for rep := 0; rep < 25; rep++ {
+		if got := qon.Fingerprint(qon.Relabel(fnYes.QON, rng.Perm(n))); got != fpYes {
+			t.Fatalf("rep %d: YES fingerprint not relabel-invariant", rep)
+		}
+		if got := qon.Fingerprint(qon.Relabel(fnNo.QON, rng.Perm(n))); got != fpNo {
+			t.Fatalf("rep %d: NO fingerprint not relabel-invariant", rep)
+		}
+	}
+}

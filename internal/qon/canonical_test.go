@@ -1,0 +1,140 @@
+package qon
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxqo/internal/num"
+)
+
+// fingerprintRelabelings is the relabeling budget of the invariance
+// property test, per instance.
+const fingerprintRelabelings = 200
+
+func TestFingerprintInvariantUnderRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for _, n := range []int{2, 3, 5, 8, 10} {
+		in := randomInstance(n, int64(500+n))
+		want := Fingerprint(in)
+		for rep := 0; rep < fingerprintRelabelings; rep++ {
+			rel := relabeled(in, rng.Perm(n))
+			if got := Fingerprint(rel); got != want {
+				t.Fatalf("n=%d rep %d: fingerprint changed under relabeling:\n  %s\n  %s",
+					n, rep, want, got)
+			}
+		}
+	}
+}
+
+func TestFingerprintDistinguishesModifiedInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(8)
+		in := randomInstance(n, int64(600+trial))
+		want := Fingerprint(in)
+
+		// Perturb one relation size: a genuinely different instance.
+		mod := relabeled(in, identity(n))
+		v := rng.Intn(n)
+		mod.T[v] = mod.T[v].Add(num.FromInt64(1_000_003))
+		// Keep the instance valid: growing t_v moves both W bounds
+		// (t_v·s ≤ W[v][k] ≤ t_v, with equality to t_v off the graph), so
+		// pin the whole row to the always-valid upper bound.
+		for k := 0; k < n; k++ {
+			mod.W[v][k] = mod.T[v]
+		}
+		if err := mod.Validate(); err != nil {
+			t.Fatalf("trial %d: perturbed instance invalid: %v", trial, err)
+		}
+		if got := Fingerprint(mod); got == want {
+			t.Fatalf("trial %d: size-perturbed instance has identical fingerprint", trial)
+		}
+	}
+}
+
+func TestRelabelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(9)
+		in := randomInstance(n, int64(700+trial))
+		pi := rng.Perm(n)
+		got, want := Relabel(in, pi), relabeled(in, pi)
+		if !got.Q.Equal(want.Q) {
+			t.Fatalf("trial %d: Relabel graph mismatch", trial)
+		}
+		for i := 0; i < n; i++ {
+			if !got.T[i].Equal(want.T[i]) {
+				t.Fatalf("trial %d: T[%d] mismatch", trial, i)
+			}
+			for j := 0; j < n; j++ {
+				if !got.S[i][j].Equal(want.S[i][j]) || !got.W[i][j].Equal(want.W[i][j]) {
+					t.Fatalf("trial %d: matrix mismatch at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestCanonicalizeTransfersSequences exercises the property the server
+// cache depends on: Canonicalize returns (canonical, pi) with canonical
+// = Relabel(in, pi), the canonical form is valid and fingerprints
+// identically, and a join sequence costed in canonical space maps back
+// through pi⁻¹ to a sequence with the same cost on the original.
+func TestCanonicalizeTransfersSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(9)
+		in := randomInstance(n, int64(800+trial))
+		canon, pi := Canonicalize(in)
+		if err := canon.Validate(); err != nil {
+			t.Fatalf("trial %d: canonical form invalid: %v", trial, err)
+		}
+		if Fingerprint(canon) != Fingerprint(in) {
+			t.Fatalf("trial %d: canonical form has different fingerprint", trial)
+		}
+		ref := relabeled(in, pi)
+		if !canon.Q.Equal(ref.Q) {
+			t.Fatalf("trial %d: canonical ≠ Relabel(in, pi)", trial)
+		}
+		// Two relabelings of the same instance canonicalize to equal
+		// off-diagonal data.
+		canon2, _ := Canonicalize(relabeled(in, rng.Perm(n)))
+		if !canon.Q.Equal(canon2.Q) {
+			t.Fatalf("trial %d: canonical graphs differ across relabelings", trial)
+		}
+		for i := 0; i < n; i++ {
+			if !canon.T[i].Equal(canon2.T[i]) {
+				t.Fatalf("trial %d: canonical T differs across relabelings", trial)
+			}
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if !canon.S[i][j].Equal(canon2.S[i][j]) || !canon.W[i][j].Equal(canon2.W[i][j]) {
+					t.Fatalf("trial %d: canonical matrices differ across relabelings at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+		// Sequence transfer: z in canonical labels ↦ piInv∘z in original.
+		piInv := make([]int, n)
+		for v, p := range pi {
+			piInv[p] = v
+		}
+		z := Sequence(rng.Perm(n))
+		back := make(Sequence, n)
+		for k, v := range z {
+			back[k] = piInv[v]
+		}
+		if !approxEqual(canon.Cost(z), in.Cost(back)) {
+			t.Fatalf("trial %d: cost not preserved through canonical mapping", trial)
+		}
+	}
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

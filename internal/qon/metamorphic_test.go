@@ -24,7 +24,9 @@ func approxEqual(a, b num.Num) bool {
 	return hi.Sub(lo).Mul(num.Pow2(200)).LessEq(hi)
 }
 
-// relabeled returns the instance with relation i renamed to pi[i].
+// relabeled returns the instance with relation i renamed to pi[i]. It
+// is an independent reimplementation of the exported Relabel, kept so
+// the metamorphic suites don't assume the code under test is correct.
 func relabeled(in *Instance, pi []int) *Instance {
 	n := in.N()
 	q := graph.New(n)

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// POST /optimize/batch: many jobs, one request. The handler groups the
+// jobs by canonical fingerprint and serves each distinct instance shape
+// exactly once — the admission ladder is charged per shape, not per
+// job, so a batch of k relabeled duplicates costs one in-flight slot
+// and one engine run. Results fan back out in job order; each job
+// carries its own result or error document, so one invalid job never
+// fails the batch.
+
+// BatchResponse is the success document of POST /optimize/batch.
+type BatchResponse struct {
+	// Jobs echoes the number of jobs received; Shapes is the number of
+	// distinct admission groups they collapsed to (the engine-run charge
+	// of the batch before caching).
+	Jobs   int `json:"jobs"`
+	Shapes int `json:"shapes"`
+	// Results has one entry per job, in job order.
+	Results []BatchJobResult `json:"results"`
+}
+
+// BatchJobResult is one job's outcome: exactly one of Result or Error
+// is set.
+type BatchJobResult struct {
+	Index  int        `json:"index"`
+	Result *Result    `json:"result,omitempty"`
+	Error  *ErrorBody `json:"error,omitempty"`
+}
+
+// batchGroup is one admission group: jobs sharing a canonical cache
+// key, served by a single serveAdmitted call on the leader (the first
+// member).
+type batchGroup struct {
+	key  string
+	idxs []int
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	m := s.cfg.Metrics
+	m.Counter(MetricBatchRequests).Inc()
+	span := s.cfg.Tracer.Start(SpanBatch)
+	defer span.End()
+	if r.Method != http.MethodPost {
+		m.Counter(MetricBadRequest).Inc()
+		span.SetField("kind", "method_not_allowed")
+		writeErrorDoc(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"use POST with a JSON request body", 0)
+		return
+	}
+	// Batch-level admission gate before the decode: when the server
+	// would reject every group anyway (draining, queue full, shed rung),
+	// refuse the whole batch for the price of a mutex, not a JSON parse.
+	if rej := s.precheck(); rej != nil {
+		span.SetField("kind", rej.kind)
+		writeErrorDoc(w, rej.status, rej.kind, rej.msg, s.cfg.RetryAfter)
+		return
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		m.Counter(MetricBadRequest).Inc()
+		span.SetField("kind", "too_large")
+		writeErrorDoc(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes), 0)
+		return
+	}
+	br, err := DecodeBatchRequest(body, s.cfg.MaxBatchJobs)
+	if err != nil {
+		m.Counter(MetricBadRequest).Inc()
+		span.SetField("kind", "bad_request")
+		writeErrorDoc(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	n := len(br.Jobs)
+	m.Counter(MetricBatchJobs).Add(int64(n))
+	span.SetField("jobs", n)
+
+	// Validate each job and group by canonical cache key. Canonical
+	// identity (fingerprint + permutation) is resolved here, before any
+	// goroutine shares a Request. Jobs without a usable key — cache
+	// disabled, chaos injection active, ungenerable workload — form
+	// singleton groups under a synthetic key ("\x00" never prefixes a
+	// real model:fingerprint key), so they run per-job like /optimize.
+	reqs := make([]*Request, n)
+	errDocs := make([]*ErrorBody, n)
+	groupOf := make(map[string]int)
+	var groups []*batchGroup
+	for i, job := range br.Jobs {
+		req := requestForJob(job)
+		if err := req.Validate(); err != nil {
+			errDocs[i] = &ErrorBody{Kind: "bad_request", Message: err.Error()}
+			continue
+		}
+		reqs[i] = req
+		key := ""
+		if s.cache != nil && len(s.chaosRules) == 0 {
+			key = cacheKey(req)
+		}
+		if key == "" {
+			key = fmt.Sprintf("\x00job\x00%d", i)
+		}
+		if gi, ok := groupOf[key]; ok {
+			groups[gi].idxs = append(groups[gi].idxs, i)
+			continue
+		}
+		groupOf[key] = len(groups)
+		groups = append(groups, &batchGroup{key: key, idxs: []int{i}})
+	}
+	span.SetField("shapes", len(groups))
+
+	results := make([]*Result, n)
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *batchGroup) {
+			defer wg.Done()
+			s.serveBatchGroup(r.Context(), g, reqs, results, errDocs)
+		}(g)
+	}
+	wg.Wait()
+
+	doc := &BatchResponse{Jobs: n, Shapes: len(groups), Results: make([]BatchJobResult, n)}
+	for i := range doc.Results {
+		doc.Results[i] = BatchJobResult{Index: i, Result: results[i], Error: errDocs[i]}
+	}
+	span.SetField("status", http.StatusOK)
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// serveBatchGroup admits and serves one shape group: the leader (first
+// member) runs through the shared serveAdmitted path, and every other
+// member receives the leader's report remapped into its own label
+// space — members of one group are relabelings of the same instance,
+// so a join sequence transfers through canonical space exactly.
+func (s *Server) serveBatchGroup(ctx context.Context, g *batchGroup, reqs []*Request, results []*Result, errDocs []*ErrorBody) {
+	m := s.cfg.Metrics
+	rung, rej := s.admit()
+	if rej != nil {
+		m.Counter(MetricBatchRejected).Inc()
+		for _, i := range g.idxs {
+			errDocs[i] = &ErrorBody{Kind: rej.kind, Message: rej.msg, RetryAfterMS: s.cfg.RetryAfter.Milliseconds()}
+		}
+		return
+	}
+	accepted := time.Now()
+	defer s.release()
+	m.Counter(MetricBatchShapes).Inc()
+
+	// The group's budget is the largest member budget: the slowest
+	// caller's patience bounds the shared run.
+	leader := reqs[g.idxs[0]]
+	budget := leader.budget(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	for _, i := range g.idxs[1:] {
+		if b := reqs[i].budget(s.cfg.DefaultTimeout, s.cfg.MaxTimeout); b > budget {
+			budget = b
+		}
+	}
+	runCtx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+
+	out := s.serveAdmitted(runCtx, leader, rung, accepted)
+	if !out.ok {
+		for _, i := range g.idxs {
+			errDocs[i] = &ErrorBody{Kind: out.kind, Message: out.msg, RetryAfterMS: out.retryAfter.Milliseconds()}
+		}
+		return
+	}
+	results[g.idxs[0]] = out.result(leader.model())
+	if len(g.idxs) == 1 {
+		return
+	}
+	// Fan out to group mates: leader labels → canonical labels → mate
+	// labels. Multi-member groups only form on a real fingerprint key,
+	// so every member's canonical permutation is resolved.
+	_, leaderPerm, _ := leader.canonicalID()
+	canonical := remapReport(out.rep, leaderPerm)
+	for _, i := range g.idxs[1:] {
+		req := reqs[i]
+		_, perm, _ := req.canonicalID()
+		mate := out.result(req.model())
+		mate.Cached = true
+		mate.QueueMS = 0
+		mate.Report = remapReport(canonical, invertPerm(perm))
+		results[i] = mate
+	}
+}

@@ -20,18 +20,38 @@ const DefaultCacheSize = 256
 // Cache metric names. Hits and misses partition the cache lookups of
 // accepted, well-formed requests when caching is enabled; neither is
 // touched when the cache is disabled or bypassed (chaos injection).
+// Canonical hits are the subset of hits the fingerprint keying earned:
+// the stored entry was produced by a request whose raw JSON source
+// differed (a relabeling, reordered keys, different whitespace), so a
+// byte-identity cache would have missed.
 const (
-	MetricCacheHits   = "server.cache.hits"
-	MetricCacheMisses = "server.cache.misses"
+	MetricCacheHits     = "server.cache.hits"
+	MetricCacheMisses   = "server.cache.misses"
+	MetricCanonicalHits = "server.cache.canonical_hits"
 )
 
-// cacheKey canonicalizes the request's instance source — model plus the
-// inline instance or workload spec, deliberately excluding timeout_ms:
-// a certified full-rung result is a pure function of the instance (up
-// to heuristic seeds, which only certified winners survive), so it is
-// valid for any later budget. The JSON encoding is deterministic: fixed
-// struct field order, num values as strings.
+// cacheKey keys the request's instance identity: the model plus the
+// graph-invariant canonical fingerprint of the resolved instance,
+// deliberately excluding timeout_ms — a certified full-rung result is a
+// pure function of the instance (up to heuristic seeds, which only
+// certified winners survive), so it is valid for any later budget.
+// Because the fingerprint is relabel-invariant, cosmetically different
+// and relabeled duplicates map to the same key; stored reports live in
+// canonical label space and are remapped per requester (see
+// serveAdmitted).
 func cacheKey(req *Request) string {
+	fp, _, err := req.canonicalID()
+	if err != nil {
+		return "" // ungenerable workload: skip caching, never fail the request
+	}
+	return req.model() + ":" + fp
+}
+
+// rawSourceKey hashes the decoded request's literal instance source —
+// the pre-canonicalization identity. The cache stores it alongside each
+// entry purely for attribution: a hit whose stored rawSourceKey differs
+// from the requester's is a canonical hit.
+func rawSourceKey(req *Request) string {
 	src := struct {
 		Model    string        `json:"model"`
 		Instance *qon.Instance `json:"instance,omitempty"`
@@ -40,17 +60,20 @@ func cacheKey(req *Request) string {
 	}{Model: req.model(), Instance: req.Instance, QOH: req.QOHInstance, Workload: req.Workload}
 	data, err := json.Marshal(&src)
 	if err != nil {
-		return "" // unmarshalable instance: skip caching, never fail the request
+		return ""
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:])
 }
 
 // cacheEntry is one stored result: the full engine report of a
-// certified, full-rung run.
+// certified, full-rung run, with Best.Sequence remapped into the
+// instance's canonical label space, plus the raw source key of the
+// request that produced it (canonical-hit attribution).
 type cacheEntry struct {
-	key string
-	rep *engine.Report
+	key    string
+	rawKey string
+	rep    *engine.Report
 }
 
 // resultCache is a mutex-guarded LRU over canonical instance keys.
@@ -67,26 +90,28 @@ func newResultCache(max int) *resultCache {
 	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-func (c *resultCache) get(key string) (*engine.Report, bool) {
+func (c *resultCache) get(key string) (*engine.Report, string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).rep, true
+	ent := el.Value.(*cacheEntry)
+	return ent.rep, ent.rawKey, true
 }
 
-func (c *resultCache) put(key string, rep *engine.Report) {
+func (c *resultCache) put(key, rawKey string, rep *engine.Report) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).rep = rep
+		ent := el.Value.(*cacheEntry)
+		ent.rep, ent.rawKey = rep, rawKey
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, rep: rep})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, rawKey: rawKey, rep: rep})
 	for c.ll.Len() > c.max {
 		back := c.ll.Back()
 		c.ll.Remove(back)

@@ -146,27 +146,27 @@ func TestCacheDisabledAndChaosBypass(t *testing.T) {
 func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(2)
 	rep := func(n int) *engine.Report { return &engine.Report{N: n} }
-	c.put("a", rep(1))
-	c.put("b", rep(2))
-	if _, ok := c.get("a"); !ok { // refresh a; b becomes LRU
+	c.put("a", "raw-a", rep(1))
+	c.put("b", "raw-b", rep(2))
+	if _, _, ok := c.get("a"); !ok { // refresh a; b becomes LRU
 		t.Fatal("a evicted below capacity")
 	}
-	c.put("c", rep(3))
+	c.put("c", "raw-c", rep(3))
 	if c.len() != 2 {
 		t.Fatalf("cache holds %d entries, cap 2", c.len())
 	}
-	if _, ok := c.get("b"); ok {
+	if _, _, ok := c.get("b"); ok {
 		t.Fatal("LRU entry b survived eviction")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, _, ok := c.get("a"); !ok {
 		t.Fatal("refreshed entry a was evicted")
 	}
-	if got, ok := c.get("c"); !ok || got.N != 3 {
-		t.Fatalf("c lookup = %+v, %v", got, ok)
+	if got, raw, ok := c.get("c"); !ok || got.N != 3 || raw != "raw-c" {
+		t.Fatalf("c lookup = %+v, %q, %v", got, raw, ok)
 	}
-	c.put("c", rep(30)) // overwrite in place
-	if got, _ := c.get("c"); got.N != 30 {
-		t.Fatalf("overwrite kept stale report N=%d", got.N)
+	c.put("c", "raw-c2", rep(30)) // overwrite in place
+	if got, raw, _ := c.get("c"); got.N != 30 || raw != "raw-c2" {
+		t.Fatalf("overwrite kept stale report N=%d rawKey=%q", got.N, raw)
 	}
 }
 

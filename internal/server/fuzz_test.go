@@ -72,3 +72,91 @@ func FuzzServerRequestJSON(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBatchRequestJSON covers the batch decoder: arbitrary JSON must
+// never panic DecodeBatchRequest, and every accepted batch must honour
+// the batch-level contract — 1..maxJobs non-null jobs, a marshal/decode
+// round trip that preserves the job count, and, for each job that
+// validates, a resolvable model, an in-range budget, and a canonical
+// identity that is deterministic across calls.
+func FuzzBatchRequestJSON(f *testing.F) {
+	f.Add(`{"jobs":[{"workload":{"shape":"chain","n":5}}]}`)
+	f.Add(`{"jobs":[{"workload":{"shape":"star","n":6,"seed":3},"timeout_ms":250},` +
+		`{"workload":{"shape":"star","n":6,"seed":3}}]}`)
+	f.Add(`{"jobs":[{"model":"qon","instance":{"query_graph":{"n":2,"edges":[[0,1]]},"sizes":["2","2"],` +
+		`"selectivities":[["1","2"],["2","1"]],"access_costs":[["2","2"],["2","2"]]}}]}`)
+	f.Add(`{"jobs":[{"model":"qoh","qoh_instance":{"query_graph":{"n":3,"edges":[[0,1],[1,2]]},` +
+		`"sizes":["8","8","8"],"selectivities":[["1","0.5","1"],["0.5","1","0.5"],["1","0.5","1"]],"memory":"6"}}]}`)
+	f.Add(`{"jobs":[{"workload":{"shape":"chain","n":5}},{"model":"nonsense"}]}`)
+	f.Add(`{"jobs":[]}`)
+	f.Add(`{"jobs":[null]}`)
+	f.Add(`{"jobs":"nope"}`)
+	f.Add(`{}`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		const maxJobs = 8
+		br, err := DecodeBatchRequest([]byte(input), maxJobs)
+		if err != nil {
+			return
+		}
+		if len(br.Jobs) == 0 || len(br.Jobs) > maxJobs {
+			t.Fatalf("decoder accepted %d jobs outside [1, %d]", len(br.Jobs), maxJobs)
+		}
+		def, max := 2*time.Second, 30*time.Second
+		for i, job := range br.Jobs {
+			if job == nil {
+				t.Fatalf("decoder accepted a null job at index %d", i)
+			}
+			req := requestForJob(job)
+			if err := req.Validate(); err != nil {
+				continue // per-job failure: the handler answers it with an error doc
+			}
+			if m := req.model(); m != "qon" && m != "qoh" {
+				t.Fatalf("job %d resolves to unknown model %q", i, m)
+			}
+			if d := req.budget(def, max); d <= 0 || d > max {
+				t.Fatalf("job %d budget %v out of range (0, %v]", i, d, max)
+			}
+			// Canonicalization cost grows with instance size; bound the
+			// per-input work so the fuzzer keeps its throughput.
+			if req.model() == "qon" {
+				if in, err := req.qonInstance(); err != nil || in.N() > 12 {
+					continue
+				}
+			} else if job.QOHInstance.N() > 12 {
+				continue
+			}
+			fp, perm, err := req.canonicalID()
+			if err != nil {
+				continue // ungenerable workload: the handler skips caching
+			}
+			if fp == "" {
+				t.Fatalf("job %d canonicalized to an empty fingerprint", i)
+			}
+			fp2, _, _ := requestForJob(job).canonicalID()
+			if fp2 != fp {
+				t.Fatalf("job %d fingerprint not deterministic: %q vs %q", i, fp, fp2)
+			}
+			if req.model() == "qon" {
+				in, _ := req.qonInstance()
+				if len(perm) != in.N() {
+					t.Fatalf("job %d permutation has %d entries for n=%d", i, len(perm), in.N())
+				}
+			}
+		}
+		data, err := json.Marshal(br)
+		if err != nil {
+			t.Fatalf("marshal of accepted batch: %v", err)
+		}
+		back, err := DecodeBatchRequest(data, maxJobs)
+		if err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if len(back.Jobs) != len(br.Jobs) {
+			t.Fatalf("round trip changed job count: %d -> %d", len(br.Jobs), len(back.Jobs))
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+
+	"approxqo/internal/qon"
+	"approxqo/internal/server"
+	"approxqo/internal/workload"
+)
+
+// BatchOutcome is the terminal result of one OptimizeBatch call.
+// Batch-level rejections (the whole request turned away at admission)
+// surface as ErrDoc; per-job failures live inside Response, which is a
+// 200 even when some jobs carry error documents.
+type BatchOutcome struct {
+	Status   int
+	Attempts int
+	Backoffs int
+	Response *server.BatchResponse
+	ErrDoc   *server.ErrorDoc
+}
+
+// OK reports whether the final response was a 200. Inspect the per-job
+// Response.Results for job-level errors.
+func (o *BatchOutcome) OK() bool { return o.Status == http.StatusOK }
+
+// OptimizeBatch POSTs req to /optimize/batch with the same
+// backpressure retry policy as Optimize: batch-level 429/503 documents
+// are retried with capped exponential backoff + jitter, everything
+// else is terminal.
+func (c *Client) OptimizeBatch(ctx context.Context, req *server.BatchRequest) (*BatchOutcome, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	w, err := c.do(ctx, "/optimize/batch", body)
+	if w == nil {
+		return nil, err
+	}
+	out := &BatchOutcome{Status: w.status, Attempts: w.attempts, Backoffs: w.backoffs, ErrDoc: w.doc}
+	if err != nil {
+		return out, err
+	}
+	if w.status == http.StatusOK {
+		var br server.BatchResponse
+		if err := json.Unmarshal(w.data, &br); err != nil {
+			return nil, fmt.Errorf("loadgen: undecodable 200 batch body: %w", err)
+		}
+		out.Response = &br
+	}
+	return out, nil
+}
+
+// PlantedBatch builds a seeded batch of n jobs for dedup soaking: a mix
+// of distinct workload instances where most are planted again as
+// relabeled duplicates (fresh random permutation per copy), then the
+// whole batch is shuffled so duplicates are not adjacent. It returns
+// the jobs and the number of distinct instances planted — the exact
+// shape count the server must report for the batch when canonical
+// dedup works (distinct instances cannot collide, duplicates must).
+func PlantedBatch(seed int64, n int) ([]*server.Job, int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	shapes := []workload.Shape{workload.Chain, workload.Star, workload.Cycle}
+	var jobs []*server.Job
+	distinct := 0
+	for len(jobs) < n {
+		size := 5 + rng.Intn(3)
+		base, err := workload.Generate(workload.Params{
+			N:     size,
+			Shape: shapes[distinct%len(shapes)],
+			Seed:  rng.Int63(),
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("loadgen: generating planted instance: %w", err)
+		}
+		distinct++
+		jobs = append(jobs, &server.Job{Instance: base, TimeoutMS: 20_000})
+		for copies := rng.Intn(3); copies > 0 && len(jobs) < n; copies-- {
+			jobs = append(jobs, &server.Job{
+				Instance:  qon.Relabel(base, rng.Perm(size)),
+				TimeoutMS: 20_000,
+			})
+		}
+	}
+	rng.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+	return jobs, distinct, nil
+}

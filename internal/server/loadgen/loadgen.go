@@ -77,6 +77,39 @@ func (c *Client) Optimize(ctx context.Context, req *server.Request) (*Outcome, e
 	if err != nil {
 		return nil, err
 	}
+	w, err := c.do(ctx, "/optimize", body)
+	if w == nil {
+		return nil, err
+	}
+	out := &Outcome{Status: w.status, Attempts: w.attempts, Backoffs: w.backoffs, ErrDoc: w.doc}
+	if err != nil {
+		return out, err
+	}
+	if w.status == http.StatusOK {
+		var res server.Result
+		if err := json.Unmarshal(w.data, &res); err != nil {
+			return nil, fmt.Errorf("loadgen: undecodable 200 body: %w", err)
+		}
+		out.Result = &res
+	}
+	return out, nil
+}
+
+// wire is the transport-level outcome of one retried POST: the final
+// status, body and decoded error document, plus the retry account.
+type wire struct {
+	status   int
+	attempts int
+	backoffs int
+	data     []byte
+	doc      *server.ErrorDoc
+}
+
+// do POSTs body to path with the client's backpressure retry policy.
+// Transport failures return (nil, err); a backoff sleep cut short by
+// ctx returns the partial wire state alongside the error; every HTTP
+// response — error documents included — is a nil-error wire.
+func (c *Client) do(ctx context.Context, path string, body []byte) (*wire, error) {
 	hc := c.HTTP
 	if hc == nil {
 		hc = http.DefaultClient
@@ -85,18 +118,10 @@ func (c *Client) Optimize(ctx context.Context, req *server.Request) (*Outcome, e
 	if retries <= 0 {
 		retries = 8
 	}
-	base := c.BaseBackoff
-	if base <= 0 {
-		base = 10 * time.Millisecond
-	}
-	max := c.MaxBackoff
-	if max <= 0 {
-		max = time.Second
-	}
-	out := &Outcome{}
+	w := &wire{}
 	for attempt := 0; ; attempt++ {
-		out.Attempts++
-		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/optimize", bytes.NewReader(body))
+		w.attempts++
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
@@ -110,29 +135,24 @@ func (c *Client) Optimize(ctx context.Context, req *server.Request) (*Outcome, e
 		if err != nil {
 			return nil, err
 		}
-		out.Status = resp.StatusCode
-		out.Result, out.ErrDoc = nil, nil
+		w.status = resp.StatusCode
+		w.data, w.doc = data, nil
 		if resp.StatusCode == http.StatusOK {
-			var res server.Result
-			if err := json.Unmarshal(data, &res); err != nil {
-				return nil, fmt.Errorf("loadgen: undecodable 200 body: %w", err)
-			}
-			out.Result = &res
-			return out, nil
+			return w, nil
 		}
 		var doc server.ErrorDoc
 		if err := json.Unmarshal(data, &doc); err != nil || doc.Error.Kind == "" {
 			return nil, fmt.Errorf("loadgen: status %d with unstructured body %q", resp.StatusCode, data)
 		}
-		out.ErrDoc = &doc
+		w.doc = &doc
 		retryable := resp.StatusCode == http.StatusTooManyRequests ||
 			resp.StatusCode == http.StatusServiceUnavailable
 		if !retryable || attempt >= retries {
-			return out, nil
+			return w, nil
 		}
-		out.Backoffs++
+		w.backoffs++
 		if err := c.sleep(ctx, c.backoff(attempt, &doc)); err != nil {
-			return out, err
+			return w, err
 		}
 	}
 }

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -130,5 +131,82 @@ func TestOptimizeExhaustsRetriesAndReturnsLastOutcome(t *testing.T) {
 	}
 	if out.ErrDoc == nil || out.ErrDoc.Error.Kind != "draining" {
 		t.Fatalf("last error document not kept: %+v", out.ErrDoc)
+	}
+}
+
+func TestOptimizeBatchRetriesBackpressureThenSucceeds(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/optimize/batch" {
+			t.Errorf("batch client hit %q", r.URL.Path)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if hits.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"kind":"shed","message":"later","retry_after_ms":1}}`))
+			return
+		}
+		w.Write([]byte(`{"jobs":2,"shapes":1,"results":[` +
+			`{"index":0,"result":{"model":"qon","n":3,"rung":"full"}},` +
+			`{"index":1,"error":{"kind":"bad_request","message":"nope"}}]}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, 11)
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 5 * time.Millisecond
+	out, err := c.OptimizeBatch(context.Background(), &server.BatchRequest{
+		Jobs: []*server.Job{{Workload: &server.WorkloadSpec{Shape: "chain", N: 3}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() || out.Attempts != 2 || out.Backoffs != 1 {
+		t.Fatalf("outcome %+v, want 200 after 2 attempts / 1 backoff", out)
+	}
+	br := out.Response
+	if br == nil || br.Jobs != 2 || br.Shapes != 1 || len(br.Results) != 2 {
+		t.Fatalf("batch response not decoded: %+v", br)
+	}
+	if br.Results[0].Result == nil || br.Results[1].Error == nil {
+		t.Fatalf("per-job outcomes lost in decoding: %+v", br.Results)
+	}
+}
+
+func TestPlantedBatchIsSeededAndPlantsDuplicates(t *testing.T) {
+	jobs, distinct, err := PlantedBatch(3, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 24 {
+		t.Fatalf("got %d jobs, want 24", len(jobs))
+	}
+	if distinct <= 0 || distinct >= len(jobs) {
+		t.Fatalf("distinct = %d of %d jobs: want some planted duplicates", distinct, len(jobs))
+	}
+	for i, j := range jobs {
+		if j.Instance == nil {
+			t.Fatalf("job %d has no inline instance", i)
+		}
+	}
+	again, distinct2, err := PlantedBatch(3, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distinct2 != distinct {
+		t.Fatalf("same seed planted %d then %d distinct instances", distinct, distinct2)
+	}
+	a, _ := json.Marshal(jobs)
+	b, _ := json.Marshal(again)
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different batches")
+	}
+	other, _, err := PlantedBatch(4, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := json.Marshal(other)
+	if string(a) == string(o) {
+		t.Fatal("different seeds produced identical batches")
 	}
 }

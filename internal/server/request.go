@@ -34,11 +34,12 @@ type WorkloadSpec struct {
 	EdgeProb float64 `json:"edge_prob,omitempty"`
 }
 
-// Request is the JSON body of POST /optimize. Exactly one instance
-// source must be set: an inline QO_N instance (the qon decoder
-// validates it), an inline QO_H instance, or a workload spec to
-// generate from.
-type Request struct {
+// Job is the unified tagged job object shared by POST /optimize
+// (`{"job": {...}}`) and POST /optimize/batch (`{"jobs": [{...}, ...]}`).
+// Exactly one instance source must be set: an inline QO_N instance (the
+// qon decoder validates it), an inline QO_H instance, or a workload
+// spec to generate from.
+type Job struct {
 	// Model is "qon" (default) or "qoh"; it must agree with the
 	// instance source.
 	Model string `json:"model,omitempty"`
@@ -58,6 +59,36 @@ type Request struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
+// Request is the JSON body of POST /optimize: either a tagged job
+// object under the "job" key, or — deprecated, kept decoding for one
+// release — the same fields at the top level. Mixing the two forms is
+// rejected with a structured error document.
+type Request struct {
+	// Job is the tagged form. When set, no legacy top-level field may
+	// be present.
+	Job *Job `json:"job,omitempty"`
+
+	// Legacy top-level fields.
+	//
+	// Deprecated: send the same fields inside the "job" object instead;
+	// the top-level form will stop decoding one release after the batch
+	// API's introduction.
+	Model       string        `json:"model,omitempty"`
+	Instance    *qon.Instance `json:"instance,omitempty"`
+	QOHInstance *qoh.Instance `json:"qoh_instance,omitempty"`
+	Workload    *WorkloadSpec `json:"workload,omitempty"`
+	TimeoutMS   int64         `json:"timeout_ms,omitempty"`
+
+	// Resolved state, computed at most once per request: the generated
+	// workload instance and the canonical identity (fingerprint plus the
+	// permutation into canonical label space).
+	genQON *qon.Instance
+	fpDone bool
+	fp     string
+	perm   []int
+	fpErr  error
+}
+
 // DecodeRequest parses and validates one request body. Errors are
 // safe to echo to clients.
 func DecodeRequest(data []byte) (*Request, error) {
@@ -65,10 +96,41 @@ func DecodeRequest(data []byte) (*Request, error) {
 	if err := json.Unmarshal(data, &req); err != nil {
 		return nil, fmt.Errorf("decoding request: %w", err)
 	}
+	if err := req.normalize(); err != nil {
+		return nil, err
+	}
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
 	return &req, nil
+}
+
+// normalize folds the tagged job form into the legacy working fields,
+// rejecting bodies that mix the two forms (an ambiguous request is more
+// likely a client bug than an intent).
+func (r *Request) normalize() error {
+	if r.Job == nil {
+		return nil
+	}
+	if r.Model != "" || r.Instance != nil || r.QOHInstance != nil || r.Workload != nil || r.TimeoutMS != 0 {
+		return fmt.Errorf("request mixes the job object with legacy top-level fields; send one form only (the top-level form is deprecated)")
+	}
+	r.Model, r.Instance, r.QOHInstance, r.Workload, r.TimeoutMS =
+		r.Job.Model, r.Job.Instance, r.Job.QOHInstance, r.Job.Workload, r.Job.TimeoutMS
+	r.Job = nil
+	return nil
+}
+
+// requestForJob wraps one batch job as a Request so the two endpoints
+// share validation, budget resolution and canonical identity.
+func requestForJob(j *Job) *Request {
+	return &Request{
+		Model:       j.Model,
+		Instance:    j.Instance,
+		QOHInstance: j.QOHInstance,
+		Workload:    j.Workload,
+		TimeoutMS:   j.TimeoutMS,
+	}
 }
 
 // Validate checks the cross-field constraints the per-instance decoders
@@ -167,16 +229,80 @@ func (r *Request) budget(def, max time.Duration) time.Duration {
 }
 
 // qonInstance resolves the QO_N instance to optimize — inline or
-// generated from the workload spec.
+// generated from the workload spec. Generation happens at most once
+// per request; the canonical-identity path and the engine run share
+// the same instance.
 func (r *Request) qonInstance() (*qon.Instance, error) {
 	if r.Instance != nil {
 		return r.Instance, nil
 	}
+	if r.genQON != nil {
+		return r.genQON, nil
+	}
 	w := r.Workload
-	return workload.Generate(workload.Params{
+	in, err := workload.Generate(workload.Params{
 		N:        w.N,
 		Shape:    workload.Shape(w.Shape),
 		Seed:     w.Seed,
 		EdgeProb: w.EdgeProb,
 	})
+	if err != nil {
+		return nil, err
+	}
+	r.genQON = in
+	return in, nil
+}
+
+// canonicalID resolves the request's canonical identity: the
+// graph-invariant instance fingerprint and the permutation pi mapping
+// the request's relation labels into canonical space (pi[v] = canonical
+// label of request label v). Both are computed at most once per
+// request. Not safe for concurrent use on one Request — resolve before
+// sharing across goroutines.
+func (r *Request) canonicalID() (string, []int, error) {
+	if r.fpDone {
+		return r.fp, r.perm, r.fpErr
+	}
+	r.fpDone = true
+	if r.model() == "qoh" {
+		r.fp, r.perm = qoh.CanonicalID(r.QOHInstance)
+		return r.fp, r.perm, nil
+	}
+	in, err := r.qonInstance()
+	if err != nil {
+		r.fpErr = err
+		return "", nil, err
+	}
+	r.fp, r.perm = qon.CanonicalID(in)
+	return r.fp, r.perm, nil
+}
+
+// BatchRequest is the JSON body of POST /optimize/batch.
+type BatchRequest struct {
+	// Jobs are processed as one admission group per distinct instance
+	// shape; results come back in job order.
+	Jobs []*Job `json:"jobs"`
+}
+
+// DecodeBatchRequest parses one batch body and applies the batch-level
+// constraints (well-formed JSON, 1..maxJobs jobs). Per-job validation
+// is the handler's job — one invalid job yields a per-job error
+// document, not a batch-level failure.
+func DecodeBatchRequest(data []byte, maxJobs int) (*BatchRequest, error) {
+	var br BatchRequest
+	if err := json.Unmarshal(data, &br); err != nil {
+		return nil, fmt.Errorf("decoding batch request: %w", err)
+	}
+	if len(br.Jobs) == 0 {
+		return nil, fmt.Errorf("batch request needs a non-empty jobs array")
+	}
+	if maxJobs > 0 && len(br.Jobs) > maxJobs {
+		return nil, fmt.Errorf("batch has %d jobs, cap is %d", len(br.Jobs), maxJobs)
+	}
+	for i, j := range br.Jobs {
+		if j == nil {
+			return nil, fmt.Errorf("job %d is null", i)
+		}
+	}
+	return &br, nil
 }

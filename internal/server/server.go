@@ -55,25 +55,41 @@ import (
 // pre-admission 405s plus post-admission decode failures — so it
 // overlaps MetricAccepted rather than partitioning MetricRequests.
 const (
-	MetricRequests      = "server.requests"         // counter: POST /optimize hits
-	MetricAccepted      = "server.accepted"         // counter: requests admitted
-	MetricRejected      = "server.rejected"         // counter: 429/503 at admission
-	MetricShed          = "server.shed"             // counter: shed-rung rejections (⊆ rejected)
-	MetricDegraded      = "server.degraded"         // counter: requests served heuristics-only
-	MetricBadRequest    = "server.bad_request"      // counter: 400/405 responses
-	MetricQueueDeadline = "server.queue.deadline"   // counter: budgets expired while queued
-	MetricPanics        = "server.panics"           // counter: handler panics converted to 500s
-	MetricBreakerSkips  = "server.breaker.skips"    // counter: optimizers left out, circuit open
-	MetricInFlight      = "server.inflight"         // gauge: admitted, not yet answered
-	MetricQueueDepth    = "server.queue.depth"      // gauge: admitted, waiting for a worker slot
-	MetricRung          = "server.rung"             // histogram: ladder rung per accepted request
-	MetricQueueWaitUS   = "server.queue.wait_us"    // histogram: time queued before a slot (µs)
-	MetricRequestWallUS = "server.request.wall_us"  // histogram: accepted-request wall time (µs)
+	MetricRequests      = "server.requests"        // counter: POST /optimize hits
+	MetricAccepted      = "server.accepted"        // counter: requests admitted
+	MetricRejected      = "server.rejected"        // counter: 429/503 at admission
+	MetricShed          = "server.shed"            // counter: shed-rung rejections (⊆ rejected)
+	MetricDegraded      = "server.degraded"        // counter: requests served heuristics-only
+	MetricBadRequest    = "server.bad_request"     // counter: 400/405 responses
+	MetricQueueDeadline = "server.queue.deadline"  // counter: budgets expired while queued
+	MetricPanics        = "server.panics"          // counter: handler panics converted to 500s
+	MetricBreakerSkips  = "server.breaker.skips"   // counter: optimizers left out, circuit open
+	MetricInFlight      = "server.inflight"        // gauge: admitted, not yet answered
+	MetricQueueDepth    = "server.queue.depth"     // gauge: admitted, waiting for a worker slot
+	MetricRung          = "server.rung"            // histogram: ladder rung per accepted request
+	MetricQueueWaitUS   = "server.queue.wait_us"   // histogram: time queued before a slot (µs)
+	MetricRequestWallUS = "server.request.wall_us" // histogram: accepted-request wall time (µs)
+)
+
+// Batch metric names. POST /optimize/batch deliberately keeps its own
+// counters so the single-request admission invariant above stays exact;
+// the admission ladder itself is shared (each distinct shape takes one
+// in-flight slot through admit/release, so MetricInFlight and the
+// ladder thresholds see batch load).
+const (
+	MetricBatchRequests = "server.batch.requests" // counter: POST /optimize/batch hits
+	MetricBatchJobs     = "server.batch.jobs"     // counter: jobs across all decoded batches
+	MetricBatchShapes   = "server.batch.shapes"   // counter: distinct shapes admitted (engine runs charged)
+	MetricBatchRejected = "server.batch.rejected" // counter: shape groups refused admission
 )
 
 // SpanRequest names the per-request span (fields: model, n, rung,
-// status, kind).
-const SpanRequest = "server.request"
+// status, kind). SpanBatch names the per-batch span (fields: jobs,
+// shapes, status).
+const (
+	SpanRequest = "server.request"
+	SpanBatch   = "server.batch"
+)
 
 // Config configures a Server. The zero value is usable: every field
 // has a production-shaped default.
@@ -107,6 +123,9 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds the request body (default DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// MaxBatchJobs caps the jobs array of POST /optimize/batch (default
+	// DefaultMaxBatchJobs).
+	MaxBatchJobs int
 
 	// CacheSize is the capacity of the certified-result cache keyed by
 	// canonical instance hash: zero means DefaultCacheSize, negative
@@ -166,8 +185,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = DefaultMaxBatchJobs
+	}
 	return c
 }
+
+// DefaultMaxBatchJobs is the jobs-array cap of POST /optimize/batch
+// when Config.MaxBatchJobs is zero.
+const DefaultMaxBatchJobs = 64
 
 // Server serves optimization requests. Build with New; serve via
 // Handler (in-process, tests) or ListenAndServe (qod).
@@ -229,6 +255,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/optimize", s.handleOptimize)
+	s.mux.HandleFunc("/optimize/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s, nil
@@ -337,6 +364,30 @@ func (s *Server) admit() (Rung, *rejection) {
 	return rung, nil
 }
 
+// precheck reports the rejection admit would return right now, without
+// taking a slot: the batch endpoint's cheap pre-decode gate — a
+// draining or saturated server refuses the whole batch before paying
+// for a JSON decode. It never touches metrics; real admission attempts
+// account themselves.
+func (s *Server) precheck() *rejection {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return &rejection{http.StatusServiceUnavailable, "draining", "server is draining; request not admitted"}
+	}
+	load := s.inflight
+	capacity := s.cfg.MaxConcurrent + s.cfg.QueueDepth
+	if load >= capacity {
+		return &rejection{http.StatusTooManyRequests, "overloaded",
+			fmt.Sprintf("admission queue full (%d in flight, capacity %d)", load, capacity)}
+	}
+	if ladder(load, s.cfg.DegradeAt, s.cfg.ShedAt) == RungShed {
+		return &rejection{http.StatusServiceUnavailable, "shed",
+			fmt.Sprintf("load shed (%d in flight, shed threshold %d)", load, s.cfg.ShedAt)}
+	}
+	return nil
+}
+
 // release returns an in-flight slot; the last release during a drain
 // completes Shutdown.
 func (s *Server) release() {
@@ -408,32 +459,92 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), req.budget(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
 	defer cancel()
 
-	// Certified-result cache with duplicate suppression, keyed by the
-	// canonical instance hash. Bypassed under chaos injection: fault
-	// behaviour must stay per-request, never served from memory.
-	var key string
+	out := s.serveAdmitted(ctx, req, rung, accepted)
+	if !out.ok {
+		span.SetField("kind", out.kind)
+		writeErrorDoc(w, out.status, out.kind, out.msg, out.retryAfter)
+		return
+	}
+	if out.cached {
+		span.SetField("kind", "cache_hit")
+	}
+	span.SetField("status", http.StatusOK)
+	writeJSON(w, http.StatusOK, out.result(req.model()))
+}
+
+// jobOutcome is the result of serving one admitted, decoded job — the
+// shared core of /optimize and /optimize/batch. Either ok with a
+// report, or an error triple (status, kind, msg).
+type jobOutcome struct {
+	ok         bool
+	status     int
+	kind, msg  string
+	retryAfter time.Duration
+
+	rep     *engine.Report // in the requester's label space
+	rung    Rung           // rung the result was served at (full for cache hits)
+	cached  bool
+	fp      string // instance fingerprint when canonical identity resolved
+	queueMS float64
+	wallMS  float64
+}
+
+// result renders the outcome as the success document.
+func (o *jobOutcome) result(model string) *Result {
+	return &Result{
+		Model:       model,
+		N:           o.rep.N,
+		Rung:        o.rung.String(),
+		Degraded:    o.rung.Degraded(),
+		Cached:      o.cached,
+		Fingerprint: o.fp,
+		QueueMS:     o.queueMS,
+		WallMS:      o.wallMS,
+		Report:      o.rep,
+	}
+}
+
+// serveAdmitted runs one admitted, decoded request end to end: the
+// certified-result cache (keyed by model + canonical fingerprint, so
+// relabeled duplicates hit) with singleflight duplicate suppression,
+// the worker-slot queue, the ensemble run, and the cache store. The
+// caller holds the in-flight slot and owns the HTTP (or batch-item)
+// rendering of the outcome.
+func (s *Server) serveAdmitted(ctx context.Context, req *Request, rung Rung, accepted time.Time) (out jobOutcome) {
+	m := s.cfg.Metrics
+	out.rung = rung
+
+	// Cache and singleflight are bypassed under chaos injection: fault
+	// behaviour must stay per-request, never served from memory. Stored
+	// reports live in canonical label space; hits remap them into the
+	// requester's labels through the inverse canonical permutation.
+	var key, rawKey string
 	if s.cache != nil && len(s.chaosRules) == 0 {
 		key = cacheKey(req)
+		rawKey = rawSourceKey(req)
+		out.fp, _, _ = req.canonicalID()
 	}
 	for key != "" {
-		if rep, ok := s.cache.get(key); ok {
+		if rep, storedRaw, ok := s.cache.get(key); ok {
 			m.Counter(MetricCacheHits).Inc()
-			span.SetField("kind", "cache_hit")
+			if storedRaw != rawKey {
+				// The stored entry came from a different raw source — this
+				// hit exists only because of canonical keying.
+				m.Counter(MetricCanonicalHits).Inc()
+			}
 			wall := time.Since(accepted)
 			m.Histogram(MetricRequestWallUS).Observe(wall.Microseconds())
-			span.SetField("status", http.StatusOK)
 			// A stored report is always a certified full-rung result, so
 			// the hit is served at the full rung regardless of the rung
 			// this request was admitted at.
-			writeJSON(w, http.StatusOK, &Result{
-				Model:  req.model(),
-				N:      rep.N,
-				Rung:   RungFull.String(),
-				Cached: true,
-				WallMS: float64(wall.Microseconds()) / 1000,
-				Report: rep,
-			})
-			return
+			_, perm, _ := req.canonicalID()
+			out.ok = true
+			out.status = http.StatusOK
+			out.rung = RungFull
+			out.cached = true
+			out.rep = remapReport(rep, invertPerm(perm))
+			out.wallMS = float64(wall.Microseconds()) / 1000
+			return out
 		}
 		call, leader := s.flights.join(key)
 		if leader {
@@ -464,10 +575,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.queued.Add(-1)
 		s.cfg.Metrics.Gauge(MetricQueueDepth).Add(-1)
 		m.Counter(MetricQueueDeadline).Inc()
-		span.SetField("kind", "queue_deadline")
-		writeErrorDoc(w, http.StatusServiceUnavailable, "queue_deadline",
-			"deadline budget expired while queued", s.cfg.RetryAfter)
-		return
+		out.status = http.StatusServiceUnavailable
+		out.kind = "queue_deadline"
+		out.msg = "deadline budget expired while queued"
+		out.retryAfter = s.cfg.RetryAfter
+		return out
 	}
 	defer func() { <-s.slots }()
 	queueWait := time.Since(accepted)
@@ -479,29 +591,59 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if key != "" && err == nil && rung == RungFull &&
 		rep != nil && rep.Best != nil && rep.Best.Certified {
 		// Only full-rung certified reports are stored: a hit must never
-		// downgrade a future request to a heuristics-only answer.
-		s.cache.put(key, rep)
+		// downgrade a future request to a heuristics-only answer. The
+		// stored copy is remapped into canonical label space so any
+		// relabeling of this instance can be served from it.
+		if _, perm, cerr := req.canonicalID(); cerr == nil {
+			s.cache.put(key, rawKey, remapReport(rep, perm))
+		}
 	}
 	if err != nil {
-		kind := cliutil.Classify(err)
-		status := http.StatusInternalServerError
+		out.kind = cliutil.Classify(err)
+		out.status = http.StatusInternalServerError
 		if errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusGatewayTimeout
+			out.status = http.StatusGatewayTimeout
 		}
-		span.SetField("kind", kind)
-		writeErrorDoc(w, status, kind, err.Error(), 0)
-		return
+		out.msg = err.Error()
+		return out
 	}
-	span.SetField("status", http.StatusOK)
-	writeJSON(w, http.StatusOK, &Result{
-		Model:    req.model(),
-		N:        rep.N,
-		Rung:     rung.String(),
-		Degraded: rung.Degraded(),
-		QueueMS:  float64(queueWait.Microseconds()) / 1000,
-		WallMS:   float64(wall.Microseconds()) / 1000,
-		Report:   rep,
-	})
+	out.ok = true
+	out.status = http.StatusOK
+	out.rep = rep
+	out.queueMS = float64(queueWait.Microseconds()) / 1000
+	out.wallMS = float64(wall.Microseconds()) / 1000
+	return out
+}
+
+// remapReport returns a copy of rep with every entry of Best.Sequence
+// mapped through perm (perm[v] = new label of v). Every other report
+// field is label-invariant — Breaks are sequence positions, run records
+// carry no sequences — and is shared with the original. A nil perm
+// (identity) or sequence-free report is returned unchanged.
+func remapReport(rep *engine.Report, perm []int) *engine.Report {
+	if rep == nil || rep.Best == nil || perm == nil {
+		return rep
+	}
+	best := *rep.Best
+	best.Sequence = make([]int, len(rep.Best.Sequence))
+	for k, v := range rep.Best.Sequence {
+		best.Sequence[k] = perm[v]
+	}
+	cp := *rep
+	cp.Best = &best
+	return &cp
+}
+
+// invertPerm returns perm⁻¹, or nil for nil.
+func invertPerm(perm []int) []int {
+	if perm == nil {
+		return nil
+	}
+	inv := make([]int, len(perm))
+	for v, p := range perm {
+		inv[p] = v
+	}
+	return inv
 }
 
 // run executes the request's ensemble at the given rung under ctx and
@@ -612,8 +754,14 @@ type Result struct {
 	Rung     string `json:"rung"`
 	Degraded bool   `json:"degraded"`
 	// Cached marks a result served from the certified-result cache —
-	// always a full-rung, non-degraded report.
+	// always a full-rung, non-degraded report. In a batch response it
+	// also marks group mates served from their leader's single engine
+	// run.
 	Cached bool `json:"cached,omitempty"`
+	// Fingerprint is the graph-invariant canonical identity of the
+	// resolved instance (the cache key, sans model prefix); empty when
+	// caching is disabled or bypassed.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// QueueMS is time spent waiting for a worker slot; WallMS the full
 	// accepted-to-answered wall time.
 	QueueMS float64 `json:"queue_ms"`

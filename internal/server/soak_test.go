@@ -122,6 +122,38 @@ func checkSuccess(res *server.Result, wantQOH bool) error {
 	return nil
 }
 
+// checkCertifiedPlan asserts the chaos-free serving contract on one 200
+// response: a certified winner whose sequence is a valid permutation,
+// with degraded/rung agreement. It does not restrict the winner —
+// that check belongs to the chaos soak, where specific optimizers are
+// permanently faulted.
+func checkCertifiedPlan(res *server.Result) error {
+	if res == nil || res.Report == nil {
+		return fmt.Errorf("200 without a result document")
+	}
+	best := res.Report.Best
+	if best == nil {
+		return fmt.Errorf("200 without a winning plan")
+	}
+	if !best.Certified {
+		return fmt.Errorf("uncertified winner %q served as 200", best.Winner)
+	}
+	if got := len(best.Sequence); got != res.N {
+		return fmt.Errorf("winning sequence has %d relations, instance has %d", got, res.N)
+	}
+	seen := make([]bool, res.N)
+	for _, r := range best.Sequence {
+		if r < 0 || r >= res.N || seen[r] {
+			return fmt.Errorf("winning sequence %v is not a permutation of 0..%d", best.Sequence, res.N-1)
+		}
+		seen[r] = true
+	}
+	if res.Degraded != (res.Rung == "heuristic") {
+		return fmt.Errorf("degraded=%v disagrees with rung %q", res.Degraded, res.Rung)
+	}
+	return nil
+}
+
 // checkRejection asserts the serving contract on one non-200 response.
 func checkRejection(out *loadgen.Outcome, wantOK bool) error {
 	if out.ErrDoc == nil || out.ErrDoc.Error.Kind == "" {
@@ -286,5 +318,114 @@ func TestSoakChaosFleetWithMidLoadDrain(t *testing.T) {
 	}
 	if reg.Counter(server.MetricPanics).Value() != 0 {
 		t.Error("handler panics escaped the engine's panic isolation")
+	}
+}
+
+// Batch dedup under load: a fleet of batch clients, each carrying a
+// seeded job mix with planted relabeled duplicates, hammers one server.
+// Every job must come back certified and permutation-valid, every batch
+// must report exactly its planted distinct-instance count as shapes
+// (canonical dedup collapses the duplicates, nothing else collides),
+// and the engine must run at most once per distinct shape fleet-wide.
+func TestSoakBatchFleetDedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		batchClients = 8
+		batchJobs    = 12
+	)
+	reg := trace.NewRegistry()
+	s, err := server.New(server.Config{
+		MaxConcurrent:  soakMaxParallel,
+		QueueDepth:     batchClients * batchJobs, // admit every group; dedup, not shedding, is under test
+		DegradeAt:      batchClients * batchJobs,
+		DefaultTimeout: 10 * time.Second,
+		MaxBatchJobs:   batchJobs,
+		Seed:           17,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var (
+		wg            sync.WaitGroup
+		totalDistinct atomic.Int64
+	)
+	errC := make(chan error, batchClients*batchJobs)
+	for i := 0; i < batchClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			jobs, distinct, err := loadgen.PlantedBatch(int64(500+i), batchJobs)
+			if err != nil {
+				errC <- fmt.Errorf("client %d: %v", i, err)
+				return
+			}
+			totalDistinct.Add(int64(distinct))
+			c := loadgen.New(ts.URL, int64(2000+i))
+			c.BaseBackoff = time.Millisecond
+			c.MaxBackoff = 20 * time.Millisecond
+			out, err := c.OptimizeBatch(ctx, &server.BatchRequest{Jobs: jobs})
+			if err != nil {
+				errC <- fmt.Errorf("client %d: %v", i, err)
+				return
+			}
+			if !out.OK() {
+				errC <- fmt.Errorf("client %d: batch status %d (%+v)", i, out.Status, out.ErrDoc)
+				return
+			}
+			br := out.Response
+			if br.Jobs != batchJobs || br.Shapes != distinct {
+				errC <- fmt.Errorf("client %d: jobs/shapes = %d/%d, want %d/%d",
+					i, br.Jobs, br.Shapes, batchJobs, distinct)
+			}
+			for j, item := range br.Results {
+				if item.Error != nil {
+					errC <- fmt.Errorf("client %d job %d: %+v", i, j, item.Error)
+					continue
+				}
+				// Unlike the chaos soak, no optimizer is faulted here, so
+				// any certified winner is legitimate — check the certified
+				// permutation contract, not the winner identity.
+				if err := checkCertifiedPlan(item.Result); err != nil {
+					errC <- fmt.Errorf("client %d job %d: %v", i, j, err)
+					continue
+				}
+				if item.Result.Fingerprint == "" {
+					errC <- fmt.Errorf("client %d job %d: no fingerprint on a batch result", i, j)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errC)
+	failures := 0
+	for err := range errC {
+		failures++
+		if failures <= 20 {
+			t.Error(err)
+		}
+	}
+	if failures > 20 {
+		t.Errorf("... and %d more failures", failures-20)
+	}
+
+	// The engine-run bound is the batch API's whole point: planted
+	// duplicates never reach the engine, and cross-batch repeats are
+	// absorbed by the canonical cache.
+	if runs, distinct := s.Engine().Health().Runs, totalDistinct.Load(); runs > distinct {
+		t.Errorf("engine ran %d times for %d distinct shapes", runs, distinct)
+	}
+	if jobs := reg.Counter(server.MetricBatchJobs).Value(); jobs != batchClients*batchJobs {
+		t.Errorf("batch jobs counter = %d, want %d", jobs, batchClients*batchJobs)
+	}
+	if v := reg.Gauge(server.MetricInFlight).Value(); v != 0 {
+		t.Errorf("inflight gauge %d after the fleet drained, want 0", v)
 	}
 }
