@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func relabelCheckData(n int, adj [][]bool) CanonData {
+	return CanonData{
+		N:           n,
+		VertexBytes: func(v int) []byte { return []byte{'x'} },
+		PairBytes: func(u, v int) []byte {
+			if adj[u][v] {
+				return []byte{'1'}
+			}
+			return []byte{'0'}
+		},
+	}
+}
+
+func TestZZRelabelInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3000; trial++ {
+		n := 5 + rng.Intn(4)
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					adj[i][j], adj[j][i] = true, true
+				}
+			}
+		}
+		_, enc0 := CanonicalOrder(relabelCheckData(n, adj))
+		for rep := 0; rep < 5; rep++ {
+			pi := rng.Perm(n)
+			adj2 := make([][]bool, n)
+			for i := range adj2 {
+				adj2[i] = make([]bool, n)
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					adj2[pi[i]][pi[j]] = adj[i][j]
+				}
+			}
+			_, enc1 := CanonicalOrder(relabelCheckData(n, adj2))
+			if !bytes.Equal(enc0, enc1) {
+				t.Fatalf("trial %d rep %d: encodings differ for isomorphic graphs (n=%d)\nadj=%v\npi=%v", trial, rep, n, adj, pi)
+			}
+		}
+	}
+}
