@@ -17,6 +17,7 @@ import (
 	"approxqo/internal/certify"
 	"approxqo/internal/chaos"
 	"approxqo/internal/cliquered"
+	"approxqo/internal/cluster"
 	"approxqo/internal/core"
 	"approxqo/internal/engine"
 	"approxqo/internal/experiments"
@@ -115,6 +116,17 @@ type (
 	ServerBatchRequest   = server.BatchRequest
 	ServerBatchResponse  = server.BatchResponse
 	ServerBatchJobResult = server.BatchJobResult
+	// Coordinator is the fault-tolerant cluster front for a pool of qod
+	// workers: fingerprint-affinity routing over a consistent-hash ring,
+	// health-gated failover under a global retry budget, and
+	// tail-latency hedging (qod -coordinate). ClusterConfig configures
+	// it.
+	Coordinator   = cluster.Coordinator
+	ClusterConfig = cluster.Config
+	// NetFault names an injectable network fault (drop, delay, 5xx,
+	// reset, truncate); NetRule targets one at matching workers.
+	NetFault = chaos.NetFault
+	NetRule  = chaos.NetRule
 )
 
 // Reductions and pipelines.
@@ -230,6 +242,14 @@ var (
 	ParseChaosSpec = chaos.ParseSpec
 	// ApplyChaosSpec parses a spec and wraps the matching optimizers.
 	ApplyChaosSpec = chaos.ApplySpec
+	// NewCoordinator builds the cluster coordinator over a worker pool
+	// (see ClusterConfig).
+	NewCoordinator = cluster.New
+	// NewChaosTransport wraps an http.RoundTripper with deterministic
+	// network-fault injection; ParseNetSpec parses the
+	// fault[:worker],... grammar used by qod -net-chaos.
+	NewChaosTransport = chaos.NewTransport
+	ParseNetSpec      = chaos.ParseNetSpec
 )
 
 // Structured error taxonomy surfaced by the engine. Test with errors.Is.

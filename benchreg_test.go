@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 
+	"approxqo/internal/cluster"
 	"approxqo/internal/num"
 	"approxqo/internal/opt"
 	"approxqo/internal/qon"
@@ -199,5 +201,26 @@ func BenchmarkRegBatchDedup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		serve()
+	}
+}
+
+// BenchmarkRegRingRoute pins the coordinator's per-request routing
+// cost: one consistent-hash Lookup (primary + 2 replicas) over a
+// 64-worker ring, with distinct fingerprint-shaped keys so the binary
+// search and distinct-owner walk see realistic spread.
+func BenchmarkRegRingRoute(b *testing.B) {
+	ring := cluster.NewRing(0)
+	for i := 0; i < 64; i++ {
+		ring.Add("http://worker-" + strconv.Itoa(i) + ":8080")
+	}
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = "qon:fp-" + strconv.Itoa(i*2654435761)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ring.Lookup(keys[i%len(keys)], 3); len(got) != 3 {
+			b.Fatalf("lookup returned %d workers, want 3", len(got))
+		}
 	}
 }

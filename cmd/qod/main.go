@@ -23,6 +23,17 @@
 //	qod -addr :8080 -max-batch 128 -cache-size 1024
 //	qod -addr :8080 -chaos 'panic:greedy-min-cost' -metrics
 //
+// Coordinator mode (-coordinate) turns qod into the fault-tolerant
+// front of a worker fleet instead of a worker: requests are routed to
+// the listed qod workers by canonical instance fingerprint over a
+// consistent-hash ring, with health-gated failover, budgeted retries
+// and tail-latency hedging (see internal/cluster and README
+// §Clustering):
+//
+//	qod -addr :8080 -coordinate 'http://w1:8081,http://w2:8082'
+//	qod -addr :8080 -coordinate ... -hedge-after 0 -max-retries 2
+//	qod -addr :8080 -coordinate ... -net-chaos 'delay:w2,rate:0.1'
+//
 // SIGINT/SIGTERM triggers a graceful drain: admission stops, in-flight
 // requests finish within -drain, and the observability outputs
 // requested by -trace/-metrics/-cpuprofile/-memprofile are flushed.
@@ -31,10 +42,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
+	"approxqo/internal/chaos"
 	"approxqo/internal/cliutil"
+	"approxqo/internal/cluster"
 	"approxqo/internal/server"
 )
 
@@ -54,6 +69,11 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "fault injection spec applied to every request's ensemble")
 	cacheSize := flag.Int("cache-size", 0, "certified-result cache entries (0 = default 256, negative disables)")
 	maxBatch := flag.Int("max-batch", 0, "max jobs per /optimize/batch request (0 = default 64)")
+	coordinate := flag.String("coordinate", "", "comma-separated worker base URLs; set to run as a cluster coordinator instead of a worker")
+	maxRetries := flag.Int("max-retries", 0, "coordinator: failover retries per request (0 = default 2)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: hedge trigger (0 = adaptive p95, negative disables)")
+	probeEvery := flag.Duration("probe-every", 0, "coordinator: worker /readyz probe cadence (0 = default 500ms, negative disables)")
+	netChaos := flag.String("net-chaos", "", "coordinator: network fault spec applied to upstream requests (e.g. 'drop,delay:w2')")
 	flag.Parse()
 
 	// The signal handler's force-flush must not fire while a healthy
@@ -63,6 +83,46 @@ func main() {
 	defer cancel()
 	common.Observe("qod")
 	defer common.Close("qod")
+
+	if *coordinate != "" {
+		var workers []string
+		for _, w := range strings.Split(*coordinate, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				workers = append(workers, strings.TrimRight(w, "/"))
+			}
+		}
+		var transport http.RoundTripper
+		if *netChaos != "" {
+			rules, err := chaos.ParseNetSpec(*netChaos)
+			if err != nil {
+				common.Fatal("qod", err)
+			}
+			transport = chaos.NewTransport(nil, rules, chaos.WithNetSeed(common.Seed))
+		}
+		co, err := cluster.New(cluster.Config{
+			Workers:        workers,
+			Transport:      transport,
+			MaxRetries:     *maxRetries,
+			HedgeAfter:     *hedgeAfter,
+			ProbeInterval:  *probeEvery,
+			DefaultTimeout: *reqTimeout,
+			MaxTimeout:     *maxTimeout,
+			RetryAfter:     *retryAfter,
+			MaxBatchJobs:   *maxBatch,
+			Seed:           common.Seed,
+			Tracer:         common.Tracer(),
+			Metrics:        common.Registry(),
+		})
+		if err != nil {
+			common.Fatal("qod", err)
+		}
+		fmt.Fprintf(os.Stderr, "qod: coordinating %d workers on %s\n", len(workers), *addr)
+		if err := co.ListenAndServe(ctx, *addr); err != nil {
+			common.Fatal("qod", err)
+		}
+		fmt.Fprintln(os.Stderr, "qod: coordinator drained cleanly")
+		return
+	}
 
 	s, err := server.New(server.Config{
 		MaxConcurrent:  *workers,

@@ -1,0 +1,256 @@
+package chaos
+
+// Network fault injection: a deterministic http.RoundTripper wrapper
+// that misbehaves the way a real network path does, so the cluster
+// coordinator's routing, health state machine, retry budget and hedging
+// can be proven under attack the same way the engine was (see
+// Injector for the optimizer-level counterpart). The spec grammar is
+// the same fault[:target],... form, with targets matching the upstream
+// host instead of an optimizer name.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NetFault names one injectable network failure mode.
+type NetFault string
+
+// The supported network faults:
+//
+//   - NetDrop — the connection fails before the request is sent (the
+//     worker never sees it; retrying is always safe);
+//   - NetDelay — the request is held in the network for a fixed delay
+//     before being forwarded (tail latency: the hedging trigger);
+//   - Net5xx — the path answers 502 Bad Gateway itself, as a broken
+//     intermediary would, without consulting the worker;
+//   - NetReset — the request IS delivered and processed, but the
+//     connection resets before the response arrives (the dangerous
+//     half: work happened, the caller cannot know);
+//   - NetTruncate — the response body is cut in half mid-stream, so the
+//     caller reads a syntactically broken document.
+const (
+	NetDrop     NetFault = "drop"
+	NetDelay    NetFault = "delay"
+	Net5xx      NetFault = "5xx"
+	NetReset    NetFault = "reset"
+	NetTruncate NetFault = "truncate"
+)
+
+// NetFaults lists every supported network fault, in the order used by
+// docs and the spec grammar.
+func NetFaults() []NetFault {
+	return []NetFault{NetDrop, NetDelay, Net5xx, NetReset, NetTruncate}
+}
+
+func validNetFault(f NetFault) bool {
+	for _, v := range NetFaults() {
+		if v == f {
+			return true
+		}
+	}
+	return false
+}
+
+// NetRule targets one network fault at the upstream hosts matching
+// Target. A Target of "*" (or empty) matches every host; otherwise the
+// rule fires when Target equals the request URL's host (host:port) or
+// is a substring of the full URL, so tests can target one worker of an
+// httptest fleet by its port.
+type NetRule struct {
+	Fault  NetFault
+	Target string
+}
+
+// Matches reports whether the rule applies to a request URL.
+func (r NetRule) Matches(host, url string) bool {
+	return r.Target == "" || r.Target == "*" || r.Target == host || strings.Contains(url, r.Target)
+}
+
+func (r NetRule) String() string {
+	target := r.Target
+	if target == "" {
+		target = "*"
+	}
+	return string(r.Fault) + ":" + target
+}
+
+// ParseNetSpec parses the network-chaos grammar — the same
+// fault[:target],... clause form as ParseSpec, with network faults and
+// host targets:
+//
+//	drop:127.0.0.1:41234,delay:*,5xx
+//
+// An empty spec yields no rules.
+func ParseNetSpec(spec string) ([]NetRule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []NetRule
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		fault, target, _ := strings.Cut(clause, ":")
+		f := NetFault(strings.TrimSpace(fault))
+		if !validNetFault(f) {
+			return nil, fmt.Errorf("chaos: unknown network fault %q in clause %q (have %v)", fault, clause, NetFaults())
+		}
+		rules = append(rules, NetRule{Fault: f, Target: strings.TrimSpace(target)})
+	}
+	return rules, nil
+}
+
+// DefaultNetDelay is how long a NetDelay fault holds a request.
+const DefaultNetDelay = 50 * time.Millisecond
+
+// NetOption configures a Transport.
+type NetOption func(*Transport)
+
+// WithNetSeed seeds the transport's deterministic fault decisions
+// (injected error text embeds it, so a failure identifies its
+// injection).
+func WithNetSeed(seed int64) NetOption { return func(t *Transport) { t.seed = seed } }
+
+// WithNetRate makes each matching request fault with probability p
+// (drawn from the seeded source) instead of always — the soak shape,
+// where most traffic must still succeed. p ≥ 1 (the default) always
+// fires.
+func WithNetRate(p float64) NetOption { return func(t *Transport) { t.rate = p } }
+
+// WithNetFailures limits each rule to its first k matching requests,
+// after which the rule stops firing — the transient-outage shape. k ≤ 0
+// (the default) means the rule fires forever.
+func WithNetFailures(k int) NetOption { return func(t *Transport) { t.failures = k } }
+
+// WithNetDelay sets how long NetDelay holds a request (default
+// DefaultNetDelay).
+func WithNetDelay(d time.Duration) NetOption { return func(t *Transport) { t.delay = d } }
+
+// Transport is a fault-injecting http.RoundTripper. Each request is
+// matched against the rules in order; the first matching rule decides
+// the fault (gated by the rate and per-rule failure budget), and
+// unmatched requests pass straight through to the inner transport. It
+// is safe for concurrent use; fault decisions are deterministic given
+// the seed and the arrival order of matching requests.
+type Transport struct {
+	inner    http.RoundTripper
+	rules    []NetRule
+	seed     int64
+	rate     float64
+	failures int
+	delay    time.Duration
+
+	calls []atomic.Int64 // per-rule matching-request count
+	mu    sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with the
+// given fault rules.
+func NewTransport(inner http.RoundTripper, rules []NetRule, opts ...NetOption) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	t := &Transport{inner: inner, rules: rules, rate: 1, delay: DefaultNetDelay}
+	for _, apply := range opts {
+		apply(t)
+	}
+	t.calls = make([]atomic.Int64, len(rules))
+	t.rng = rand.New(rand.NewSource(t.seed))
+	return t
+}
+
+// NewTransportSpec parses spec and wraps inner in one step.
+func NewTransportSpec(inner http.RoundTripper, spec string, opts ...NetOption) (*Transport, error) {
+	rules, err := ParseNetSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return NewTransport(inner, rules, opts...), nil
+}
+
+// fires decides whether rule i fires for this matching request:
+// the per-rule failure budget first, then the seeded rate gate.
+func (t *Transport) fires(i int) bool {
+	if t.failures > 0 && t.calls[i].Add(1) > int64(t.failures) {
+		return false
+	}
+	if t.rate >= 1 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rng.Float64() < t.rate
+}
+
+// RoundTrip applies the first matching, firing rule to the request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	for i, r := range t.rules {
+		if !r.Matches(req.URL.Host, req.URL.String()) || !t.fires(i) {
+			continue
+		}
+		switch r.Fault {
+		case NetDrop:
+			// Fail before the request leaves: the request body is unread,
+			// the worker untouched.
+			return nil, fmt.Errorf("chaos: injected connection drop to %s (seed %d)", req.URL.Host, t.seed)
+		case NetDelay:
+			timer := time.NewTimer(t.delay)
+			select {
+			case <-timer.C:
+			case <-req.Context().Done():
+				timer.Stop()
+				return nil, req.Context().Err()
+			}
+			return t.inner.RoundTrip(req)
+		case Net5xx:
+			body := fmt.Sprintf(`{"error":{"kind":"injected_5xx","message":"chaos: injected 502 on the path to %s (seed %d)"}}`,
+				req.URL.Host, t.seed)
+			return &http.Response{
+				StatusCode: http.StatusBadGateway,
+				Status:     "502 Bad Gateway",
+				Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+				Header:        http.Header{"Content-Type": []string{"application/json"}},
+				Body:          io.NopCloser(strings.NewReader(body)),
+				ContentLength: int64(len(body)),
+				Request:       req,
+			}, nil
+		case NetReset:
+			// Deliver the request — the worker does the work — then lose
+			// the response: the at-most-once hazard retries must tolerate.
+			resp, err := t.inner.RoundTrip(req)
+			if err != nil {
+				return nil, err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil, fmt.Errorf("chaos: injected connection reset from %s after delivery (seed %d)", req.URL.Host, t.seed)
+		case NetTruncate:
+			resp, err := t.inner.RoundTrip(req)
+			if err != nil {
+				return nil, err
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			cut := data[:len(data)/2]
+			resp.Body = io.NopCloser(bytes.NewReader(cut))
+			resp.ContentLength = int64(len(cut))
+			resp.Header.Del("Content-Length")
+			return resp, nil
+		}
+	}
+	return t.inner.RoundTrip(req)
+}

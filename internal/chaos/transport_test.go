@@ -1,0 +1,223 @@
+package chaos
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeRT is an inner transport answering 200 {"ok":true} and counting
+// deliveries — NetReset/NetTruncate must reach it, NetDrop/Net5xx must
+// not.
+type fakeRT struct {
+	delivered int
+	body      string
+}
+
+func (f *fakeRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.delivered++
+	body := f.body
+	if body == "" {
+		body = `{"ok":true}`
+	}
+	return &http.Response{
+		StatusCode:    http.StatusOK,
+		Status:        "200 OK",
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}, nil
+}
+
+func get(t *testing.T, rt http.RoundTripper, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+func TestParseNetSpec(t *testing.T) {
+	rules, err := ParseNetSpec(" drop:127.0.0.1:9999 , delay:* ,5xx, reset:w2, truncate ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NetRule{
+		{NetDrop, "127.0.0.1:9999"},
+		{NetDelay, "*"},
+		{Net5xx, ""},
+		{NetReset, "w2"},
+		{NetTruncate, ""},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(rules), len(want))
+	}
+	for i, r := range rules {
+		if r != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	if _, err := ParseNetSpec("explode:w1"); err == nil {
+		t.Error("unknown fault accepted")
+	}
+	if rules, err := ParseNetSpec(""); err != nil || rules != nil {
+		t.Errorf("empty spec: rules=%v err=%v, want nil/nil", rules, err)
+	}
+}
+
+func TestTransportDropNeverDelivers(t *testing.T) {
+	inner := &fakeRT{}
+	tr := NewTransport(inner, []NetRule{{Fault: NetDrop}})
+	if _, err := get(t, tr, "http://w1/optimize"); err == nil {
+		t.Fatal("drop fault returned no error")
+	}
+	if inner.delivered != 0 {
+		t.Errorf("drop delivered %d request(s) to the worker", inner.delivered)
+	}
+}
+
+func TestTransport5xxSynthesizesStructured502(t *testing.T) {
+	inner := &fakeRT{}
+	tr := NewTransport(inner, []NetRule{{Fault: Net5xx}})
+	resp, err := get(t, tr, "http://w1/optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(data), `"kind":"injected_5xx"`) {
+		t.Errorf("502 body %q is not a structured error document", data)
+	}
+	if inner.delivered != 0 {
+		t.Errorf("5xx consulted the worker %d time(s)", inner.delivered)
+	}
+}
+
+func TestTransportResetDeliversThenLosesResponse(t *testing.T) {
+	inner := &fakeRT{}
+	tr := NewTransport(inner, []NetRule{{Fault: NetReset}})
+	if _, err := get(t, tr, "http://w1/optimize"); err == nil {
+		t.Fatal("reset fault returned no error")
+	}
+	if inner.delivered != 1 {
+		t.Errorf("reset delivered %d request(s), want exactly 1 (the at-most-once hazard)", inner.delivered)
+	}
+}
+
+func TestTransportTruncateCutsBody(t *testing.T) {
+	inner := &fakeRT{body: `{"jobs":4,"shapes":2,"results":[{"index":0}]}`}
+	tr := NewTransport(inner, []NetRule{{Fault: NetTruncate}})
+	resp, err := get(t, tr, "http://w1/optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if len(data) != len(inner.body)/2 {
+		t.Errorf("truncated body has %d bytes, want %d", len(data), len(inner.body)/2)
+	}
+	if resp.Header.Get("Content-Length") != "" {
+		t.Error("truncate left a Content-Length header on the cut body")
+	}
+}
+
+func TestTransportDelayHoldsAndHonorsContext(t *testing.T) {
+	inner := &fakeRT{}
+	tr := NewTransport(inner, []NetRule{{Fault: NetDelay}}, WithNetDelay(20*time.Millisecond))
+	start := time.Now()
+	resp, err := get(t, tr, "http://w1/optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if held := time.Since(start); held < 20*time.Millisecond {
+		t.Errorf("delay held the request %v, want ≥ 20ms", held)
+	}
+
+	// A cancelled context frees the held request without delivery.
+	inner2 := &fakeRT{}
+	tr2 := NewTransport(inner2, []NetRule{{Fault: NetDelay}}, WithNetDelay(10*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://w1/optimize", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr2.RoundTrip(req); err == nil {
+		t.Fatal("delayed request outlived its context")
+	}
+	if inner2.delivered != 0 {
+		t.Error("cancelled delayed request was still delivered")
+	}
+}
+
+func TestTransportTargeting(t *testing.T) {
+	inner := &fakeRT{}
+	tr := NewTransport(inner, []NetRule{{Fault: NetDrop, Target: "w2:80"}})
+	resp, err := get(t, tr, "http://w1:80/optimize")
+	if err != nil {
+		t.Fatalf("untargeted host faulted: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := get(t, tr, "http://w2:80/optimize"); err == nil {
+		t.Error("targeted host did not fault")
+	}
+	// URL-substring targeting: an httptest worker is addressable by its
+	// port alone.
+	tr2 := NewTransport(&fakeRT{}, []NetRule{{Fault: NetDrop, Target: ":41234"}})
+	if _, err := get(t, tr2, "http://127.0.0.1:41234/optimize"); err == nil {
+		t.Error("substring target did not fault")
+	}
+}
+
+func TestTransportFailureBudgetExpires(t *testing.T) {
+	inner := &fakeRT{}
+	tr := NewTransport(inner, []NetRule{{Fault: NetDrop}}, WithNetFailures(2))
+	for i := 0; i < 2; i++ {
+		if _, err := get(t, tr, "http://w1/optimize"); err == nil {
+			t.Fatalf("request %d: transient outage ended early", i)
+		}
+	}
+	resp, err := get(t, tr, "http://w1/optimize")
+	if err != nil {
+		t.Fatalf("outage outlived its %d-failure budget: %v", 2, err)
+	}
+	resp.Body.Close()
+	if inner.delivered != 1 {
+		t.Errorf("post-outage deliveries = %d, want 1", inner.delivered)
+	}
+}
+
+func TestTransportRateIsSeededAndPartial(t *testing.T) {
+	countFaults := func(seed int64) (faults int) {
+		inner := &fakeRT{}
+		tr := NewTransport(inner, []NetRule{{Fault: NetDrop}}, WithNetSeed(seed), WithNetRate(0.3))
+		for i := 0; i < 200; i++ {
+			resp, err := get(t, tr, "http://w1/optimize")
+			if err != nil {
+				faults++
+				continue
+			}
+			resp.Body.Close()
+		}
+		return faults
+	}
+	a, b := countFaults(7), countFaults(7)
+	if a != b {
+		t.Errorf("same seed faulted %d then %d of 200", a, b)
+	}
+	if a == 0 || a == 200 {
+		t.Errorf("rate 0.3 faulted %d of 200: gate is not partial", a)
+	}
+}

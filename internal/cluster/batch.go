@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"approxqo/internal/server"
+)
+
+// POST /optimize/batch at the coordinator: the batch is split by
+// canonical instance shape, each shape group routed to its own ring
+// shard as one worker sub-batch, and the per-job results reassembled
+// in job order. Affinity is per shape, not per batch — two batches
+// carrying relabelings of the same query hit the same worker and dedup
+// through its canonical cache. Sub-batches fail over to the next
+// replica under the same retry budget as single requests; hedging is
+// deliberately not applied (a duplicated sub-batch multiplies whole
+// engine-run groups, not one tail request — the premium is not worth
+// the tail).
+
+// clusterGroup is one shape group of a coordinator batch: the jobs
+// (by original index) that share one ring key.
+type clusterGroup struct {
+	key  string
+	idxs []int
+}
+
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	m := c.cfg.Metrics
+	m.Counter(MetricBatchRequests).Inc()
+	span := c.cfg.Tracer.Start(SpanBatch)
+	defer span.End()
+	rid := r.Header.Get(server.RequestIDHeader)
+	if rid == "" {
+		rid = c.nextRequestID()
+	}
+	w.Header().Set(server.RequestIDHeader, rid)
+	span.SetField("request_id", rid)
+	if r.Method != http.MethodPost {
+		span.SetField("kind", "method_not_allowed")
+		writeErrorDoc(w, rid, http.StatusMethodNotAllowed, "method_not_allowed",
+			"use POST with a JSON request body", 0)
+		return
+	}
+	c.inflight.Add(1)
+	m.Gauge(MetricInFlight).Add(1)
+	defer func() {
+		c.inflight.Add(-1)
+		m.Gauge(MetricInFlight).Add(-1)
+	}()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		span.SetField("kind", "too_large")
+		writeErrorDoc(w, rid, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("request body exceeds %d bytes", c.cfg.MaxBodyBytes), 0)
+		return
+	}
+	br, err := server.DecodeBatchRequest(body, c.cfg.MaxBatchJobs)
+	if err != nil {
+		span.SetField("kind", "bad_request")
+		writeErrorDoc(w, rid, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	n := len(br.Jobs)
+	m.Counter(MetricBatchJobs).Add(int64(n))
+	span.SetField("jobs", n)
+
+	// Validate locally and group by ring key. Invalid jobs get their
+	// error document here — no upstream round trip for a job no worker
+	// would accept. Jobs whose fingerprint cannot resolve form singleton
+	// groups on a synthetic key: still routed deterministically, no
+	// cross-batch affinity claim.
+	reqs := make([]*server.Request, n)
+	results := make([]*server.Result, n)
+	errDocs := make([]*server.ErrorBody, n)
+	groupOf := make(map[string]int)
+	var groups []*clusterGroup
+	for i, job := range br.Jobs {
+		req := &server.Request{
+			Model:       job.Model,
+			Instance:    job.Instance,
+			QOHInstance: job.QOHInstance,
+			Workload:    job.Workload,
+			TimeoutMS:   job.TimeoutMS,
+		}
+		if err := req.Validate(); err != nil {
+			errDocs[i] = &server.ErrorBody{Kind: "bad_request", Message: err.Error(), RequestID: rid}
+			continue
+		}
+		reqs[i] = req
+		key := ""
+		if fp, _, err := req.CanonicalID(); err == nil && fp != "" {
+			key = req.ResolvedModel() + ":" + fp
+		}
+		if key == "" {
+			key = fmt.Sprintf("\x00job\x00%d", i)
+		}
+		if gi, ok := groupOf[key]; ok {
+			groups[gi].idxs = append(groups[gi].idxs, i)
+			continue
+		}
+		groupOf[key] = len(groups)
+		groups = append(groups, &clusterGroup{key: key, idxs: []int{i}})
+	}
+	span.SetField("shapes", len(groups))
+
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *clusterGroup) {
+			defer wg.Done()
+			c.dispatchGroup(r.Context(), rid, g, reqs, results, errDocs)
+		}(g)
+	}
+	wg.Wait()
+
+	doc := &server.BatchResponse{Jobs: n, Shapes: len(groups), Results: make([]server.BatchJobResult, n)}
+	for i := range doc.Results {
+		doc.Results[i] = server.BatchJobResult{Index: i, Result: results[i], Error: errDocs[i]}
+	}
+	span.SetField("status", http.StatusOK)
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// dispatchGroup routes one shape group as a worker sub-batch, failing
+// over down the group key's replica list under the shared retry
+// budget. Outcomes land per-job in results/errDocs at the group's
+// original indices.
+func (c *Coordinator) dispatchGroup(ctx context.Context, rid string, g *clusterGroup, reqs []*server.Request, results []*server.Result, errDocs []*server.ErrorBody) {
+	m := c.cfg.Metrics
+	m.Counter(MetricBatchShapes).Inc()
+	c.budget.deposit()
+
+	// The group's budget is the largest member budget, mirroring the
+	// worker's own batch policy.
+	budget := reqs[g.idxs[0]].ResolveBudget(c.cfg.DefaultTimeout, c.cfg.MaxTimeout)
+	for _, i := range g.idxs[1:] {
+		if b := reqs[i].ResolveBudget(c.cfg.DefaultTimeout, c.cfg.MaxTimeout); b > budget {
+			budget = b
+		}
+	}
+	gctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+
+	prefs := c.routeOrder(g.key)
+	if len(prefs) == 0 {
+		c.failGroup(g, errDocs, rid, "no_workers", "cluster has no workers in the ring")
+		return
+	}
+	m.Counter(MetricAttempts).Inc()
+	res := c.tryWorkerBatch(gctx, prefs[0], rid, g, reqs)
+	for retry := 0; !res.terminal() && retry < c.cfg.MaxRetries; retry++ {
+		if gctx.Err() != nil {
+			break
+		}
+		if !c.budget.withdraw() {
+			m.Counter(MetricRetryDenied).Inc()
+			break
+		}
+		if err := sleepCtx(gctx, c.backoff(retry)); err != nil {
+			break
+		}
+		m.Counter(MetricRetries).Inc()
+		m.Counter(MetricAttempts).Inc()
+		res = c.tryWorkerBatch(gctx, prefs[(retry+1)%len(prefs)], rid, g, reqs)
+	}
+	if !res.terminal() {
+		kind, msg := "upstream", fmt.Sprintf("upstream attempts exhausted: %v", res.err)
+		if errors.Is(res.err, context.DeadlineExceeded) || gctx.Err() != nil {
+			kind, msg = "deadline", "budget exhausted before a worker answered"
+		}
+		c.failGroup(g, errDocs, rid, kind, msg)
+		return
+	}
+	if res.status != http.StatusOK {
+		// A structured worker refusal (429 overloaded, 503 draining, …):
+		// relay its document to every member.
+		doc, _ := decodeWorkerError(res.body)
+		for _, i := range g.idxs {
+			eb := doc.Error
+			eb.RequestID = rid
+			errDocs[i] = &eb
+		}
+		return
+	}
+	sub, _ := decodeWorkerBatch(res.body, len(g.idxs))
+	for k, i := range g.idxs {
+		jr := sub.Results[k]
+		if jr.Error != nil {
+			eb := *jr.Error
+			eb.RequestID = rid
+			errDocs[i] = &eb
+			continue
+		}
+		results[i] = jr.Result
+	}
+}
+
+// failGroup writes one coordinator-origin error document to every
+// member of a group.
+func (c *Coordinator) failGroup(g *clusterGroup, errDocs []*server.ErrorBody, rid, kind, msg string) {
+	for _, i := range g.idxs {
+		errDocs[i] = &server.ErrorBody{
+			Kind: kind, Message: msg,
+			RetryAfterMS: c.cfg.RetryAfter.Milliseconds(),
+			RequestID:    rid,
+		}
+	}
+}
+
+// tryWorkerBatch issues one sub-batch attempt against one worker. The
+// response is validated like a single result: a 200 must decode to a
+// batch document with one entry per job, each entry either a
+// certified, permutation-valid result or a structured error.
+func (c *Coordinator) tryWorkerBatch(ctx context.Context, worker, rid string, g *clusterGroup, reqs []*server.Request) *upstream {
+	u := &upstream{worker: worker}
+	deadline, ok := ctx.Deadline()
+	remaining := time.Duration(0)
+	if ok {
+		remaining = time.Until(deadline) - c.cfg.HopMargin
+	}
+	if ok && remaining <= 0 {
+		u.err = fmt.Errorf("cluster: hop budget exhausted before attempt: %w", context.DeadlineExceeded)
+		return u
+	}
+	sub := &server.BatchRequest{Jobs: make([]*server.Job, len(g.idxs))}
+	for k, i := range g.idxs {
+		req := reqs[i]
+		sub.Jobs[k] = &server.Job{
+			Model:       req.Model,
+			Instance:    req.Instance,
+			QOHInstance: req.QOHInstance,
+			Workload:    req.Workload,
+			TimeoutMS:   remaining.Milliseconds(),
+		}
+	}
+	body, err := json.Marshal(sub)
+	if err != nil {
+		u.err = fmt.Errorf("cluster: encoding sub-batch: %w", err)
+		return u
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/optimize/batch", bytes.NewReader(body))
+	if err != nil {
+		u.err = err
+		return u
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(server.RequestIDHeader, rid)
+	start := time.Now()
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		u.err = err
+		c.health.observe(worker, false)
+		c.cfg.Metrics.Counter(MetricUpstreamErrors).Inc()
+		return u
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		u.err = fmt.Errorf("cluster: reading response from %s: %w", worker, err)
+		c.health.observe(worker, false)
+		c.cfg.Metrics.Counter(MetricUpstreamErrors).Inc()
+		return u
+	}
+	u.status, u.body = resp.StatusCode, data
+	if u.status == http.StatusOK {
+		if _, err := decodeWorkerBatch(data, len(g.idxs)); err != nil {
+			u.err = fmt.Errorf("cluster: invalid batch 200 from %s: %w", worker, err)
+			c.health.observe(worker, false)
+			c.cfg.Metrics.Counter(MetricUpstreamErrors).Inc()
+			return u
+		}
+		c.lat.observe(time.Since(start))
+		c.health.observe(worker, true)
+		c.cfg.Metrics.Histogram(MetricUpstreamWallUS).Observe(time.Since(start).Microseconds())
+		return u
+	}
+	if _, err := decodeWorkerError(data); err != nil {
+		u.err = fmt.Errorf("cluster: unstructured %d from %s: %w", u.status, worker, err)
+		c.health.observe(worker, false)
+		c.cfg.Metrics.Counter(MetricUpstreamErrors).Inc()
+		return u
+	}
+	c.health.observe(worker, u.status < 500)
+	if u.status >= 500 {
+		c.cfg.Metrics.Counter(MetricUpstreamErrors).Inc()
+	}
+	return u
+}
+
+// decodeWorkerBatch validates one worker batch 200 body: a batch
+// document with exactly wantJobs entries, each carrying either a
+// structured error or a result that passes the same certification and
+// permutation checks as a single /optimize response.
+func decodeWorkerBatch(data []byte, wantJobs int) (*server.BatchResponse, error) {
+	var doc server.BatchResponse
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("undecodable batch document: %w", err)
+	}
+	if len(doc.Results) != wantJobs {
+		return nil, fmt.Errorf("batch document has %d results, want %d", len(doc.Results), wantJobs)
+	}
+	for k, jr := range doc.Results {
+		switch {
+		case jr.Result != nil && jr.Error != nil:
+			return nil, fmt.Errorf("job %d carries both a result and an error", k)
+		case jr.Error != nil:
+			if jr.Error.Kind == "" {
+				return nil, fmt.Errorf("job %d error document without a kind", k)
+			}
+		case jr.Result != nil:
+			if err := validateResult(jr.Result); err != nil {
+				return nil, fmt.Errorf("job %d: %w", k, err)
+			}
+		default:
+			return nil, fmt.Errorf("job %d carries neither a result nor an error", k)
+		}
+	}
+	return &doc, nil
+}

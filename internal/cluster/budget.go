@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// retryBudget is a token bucket shared by every retry and hedge the
+// coordinator issues. Each incoming client request deposits ratio
+// tokens (capped at burst); each retry or hedge withdraws one whole
+// token or is denied. The invariant the chaos soak asserts falls
+// straight out: upstream attempts ≤ requests + burst + ratio·requests —
+// a down shard can cost a bounded retry premium, never a retry storm
+// that multiplies the fleet's load when it is least able to absorb it.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	burst  float64
+}
+
+// DefaultRetryRatio and DefaultRetryBurst shape the default budget:
+// retries may add at most 20% to upstream load, with a 10-token burst
+// so a cold coordinator can still fail over its first requests.
+const (
+	DefaultRetryRatio = 0.2
+	DefaultRetryBurst = 10
+)
+
+func newRetryBudget(ratio float64, burst int) *retryBudget {
+	if ratio <= 0 {
+		ratio = DefaultRetryRatio
+	}
+	if burst <= 0 {
+		burst = DefaultRetryBurst
+	}
+	return &retryBudget{tokens: float64(burst), ratio: ratio, burst: float64(burst)}
+}
+
+// deposit credits one incoming request's share.
+func (b *retryBudget) deposit() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// withdraw takes one token if available; a false return means the
+// retry (or hedge) must not be issued.
+func (b *retryBudget) withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// latencyTracker keeps a sliding window of successful upstream
+// latencies and serves the adaptive hedge delay: hedge after the
+// observed p95, so hedges chase only the tail — ~5% of requests — and
+// the retry budget, which hedges share, stays priced for the tail too.
+type latencyTracker struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	n    int
+}
+
+// latencyWindow is the sample window; 128 recent latencies make the
+// p95 responsive to load shifts without jitter from any single slow
+// request.
+const latencyWindow = 128
+
+// latencyMinSamples gates the adaptive delay: below it the tracker has
+// no opinion and the configured fallback applies.
+const latencyMinSamples = 8
+
+func newLatencyTracker() *latencyTracker {
+	return &latencyTracker{buf: make([]time.Duration, latencyWindow)}
+}
+
+func (l *latencyTracker) observe(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.next] = d
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// p95 reports the 95th-percentile latency of the window, or fallback
+// below latencyMinSamples. The result is clamped to [lo, hi].
+func (l *latencyTracker) p95(fallback, lo, hi time.Duration) time.Duration {
+	l.mu.Lock()
+	n := l.n
+	tmp := make([]time.Duration, n)
+	copy(tmp, l.buf[:n])
+	l.mu.Unlock()
+	d := fallback
+	if n >= latencyMinSamples {
+		sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+		d = tmp[(n*95)/100]
+	}
+	if d < lo {
+		d = lo
+	}
+	if hi > 0 && d > hi {
+		d = hi
+	}
+	return d
+}

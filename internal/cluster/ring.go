@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVirtualNodes is how many points each worker contributes to the
+// ring. 64 keeps the keyspace split within a few percent of even for
+// small fleets while membership changes stay cheap (a rebuild is
+// O(workers · vnodes · log)).
+const DefaultVirtualNodes = 64
+
+// Ring is a consistent-hash ring over worker names (base URLs). Keys —
+// canonical instance fingerprints — map to an ordered preference list
+// of distinct workers: the primary shard first, then the failover
+// replicas in ring order. Because the hash ignores everything but the
+// key and the membership, the same fingerprint routes to the same
+// worker from every coordinator, which is what lets each worker's
+// canonical cache and singleflight dedup relabeled duplicates
+// fleet-wide.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []ringPoint // sorted by hash
+	names  map[string]bool
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner string
+}
+
+// NewRing builds an empty ring; vnodes ≤ 0 means DefaultVirtualNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, names: make(map[string]bool)}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// fnv-1a of near-identical strings (vnode suffixes differ by one
+	// digit) clusters on the ring; a splitmix64 finalizer scatters it.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a worker; adding an existing worker is a no-op.
+func (r *Ring) Add(worker string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[worker] {
+		return
+	}
+	r.names[worker] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{ringHash(worker + "#" + strconv.Itoa(i)), worker})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].owner < r.points[b].owner // deterministic on (vanishingly rare) collisions
+	})
+}
+
+// Remove deletes a worker; removing an unknown worker is a no-op.
+func (r *Ring) Remove(worker string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.names[worker] {
+		return
+	}
+	delete(r.names, worker)
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.owner != worker {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+}
+
+// Workers lists the current members, sorted.
+func (r *Ring) Workers() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.names))
+	for w := range r.names {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size reports the number of members.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.names)
+}
+
+// Lookup returns up to n distinct workers for key, primary first, then
+// successive replicas walking the ring clockwise. n ≤ 0 or n > members
+// returns every member. An empty ring returns nil.
+func (r *Ring) Lookup(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.names) {
+		n = len(r.names)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.owner] {
+			seen[p.owner] = true
+			out = append(out, p.owner)
+		}
+	}
+	return out
+}

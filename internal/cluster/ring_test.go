@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWorkers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://worker-%d:8080", i)
+	}
+	return out
+}
+
+func TestRingLookupIsDeterministicAndDistinct(t *testing.T) {
+	r := NewRing(0)
+	for _, w := range ringWorkers(8) {
+		r.Add(w)
+	}
+	for _, key := range []string{"qon:fp-a", "qon:fp-b", "qoh:fp-c", ""} {
+		first := r.Lookup(key, 0)
+		if len(first) != 8 {
+			t.Fatalf("Lookup(%q, 0) returned %d workers, want all 8", key, len(first))
+		}
+		seen := map[string]bool{}
+		for _, w := range first {
+			if seen[w] {
+				t.Fatalf("Lookup(%q) repeated worker %s", key, w)
+			}
+			seen[w] = true
+		}
+		for trial := 0; trial < 3; trial++ {
+			again := r.Lookup(key, 0)
+			for i := range first {
+				if again[i] != first[i] {
+					t.Fatalf("Lookup(%q) not deterministic at position %d: %s vs %s", key, i, first[i], again[i])
+				}
+			}
+		}
+	}
+	if got := r.Lookup("qon:fp-a", 3); len(got) != 3 {
+		t.Errorf("Lookup(_, 3) returned %d workers, want 3", len(got))
+	}
+}
+
+func TestRingMembershipChangeMovesOnlyAffectedKeys(t *testing.T) {
+	r := NewRing(0)
+	workers := ringWorkers(8)
+	for _, w := range workers {
+		r.Add(w)
+	}
+	keys := make([]string, 500)
+	before := make([]string, len(keys))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("qon:fp-%d", i)
+		before[i] = r.Lookup(keys[i], 1)[0]
+	}
+	removed := workers[3]
+	r.Remove(removed)
+	moved := 0
+	for i, key := range keys {
+		now := r.Lookup(key, 1)[0]
+		if now == removed {
+			t.Fatalf("key %q still routes to the removed worker", key)
+		}
+		if before[i] == removed {
+			continue // had to move
+		}
+		if now != before[i] {
+			moved++
+		}
+	}
+	// Consistent hashing's whole point: keys not owned by the removed
+	// worker stay put.
+	if moved != 0 {
+		t.Errorf("%d key(s) whose owner survived were reassigned anyway", moved)
+	}
+	// And re-adding restores the original assignment exactly.
+	r.Add(removed)
+	for i, key := range keys {
+		if now := r.Lookup(key, 1)[0]; now != before[i] {
+			t.Errorf("key %q routes to %s after re-add, originally %s", key, now, before[i])
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	for _, w := range ringWorkers(8) {
+		r.Add(w)
+	}
+	counts := map[string]int{}
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("qon:fp-%d", i), 1)[0]]++
+	}
+	for w, n := range counts {
+		// 64 vnodes keeps shards within a loose 2x band of the mean.
+		if n < keys/8/2 || n > keys/8*2 {
+			t.Errorf("worker %s owns %d of %d keys (mean %d): ring is unbalanced", w, n, keys, keys/8)
+		}
+	}
+}
+
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Lookup("k", 1); got != nil {
+		t.Errorf("empty ring Lookup = %v, want nil", got)
+	}
+	r.Add("http://w:1")
+	r.Add("http://w:1")
+	if r.Size() != 1 {
+		t.Errorf("double Add yields size %d, want 1", r.Size())
+	}
+	r.Remove("http://unknown:2")
+	r.Remove("http://w:1")
+	r.Remove("http://w:1")
+	if r.Size() != 0 || r.Lookup("k", 1) != nil {
+		t.Errorf("ring not empty after removals: size %d", r.Size())
+	}
+}

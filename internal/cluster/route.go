@@ -1,0 +1,421 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"approxqo/internal/server"
+	"approxqo/internal/trace"
+)
+
+// routeKey derives the ring key for a decoded request: the model plus
+// the canonical instance fingerprint, so every relabeling of one query
+// routes to the same shard. A request whose fingerprint cannot be
+// resolved (an ungenerable workload spec) falls back to a raw body
+// hash — still deterministic, no affinity guarantee.
+func routeKey(req *server.Request, body []byte) string {
+	fp, _, err := req.CanonicalID()
+	if err != nil || fp == "" {
+		sum := sha256.Sum256(body)
+		return "raw:" + hex.EncodeToString(sum[:])
+	}
+	return req.ResolvedModel() + ":" + fp
+}
+
+// forwardBody re-encodes the decoded request as a tagged job for the
+// worker, with timeout_ms rewritten to the remaining hop budget — the
+// deadline-propagation half of the routing contract.
+func forwardBody(req *server.Request, remaining time.Duration) ([]byte, error) {
+	job := &server.Job{
+		Model:       req.Model,
+		Instance:    req.Instance,
+		QOHInstance: req.QOHInstance,
+		Workload:    req.Workload,
+		TimeoutMS:   remaining.Milliseconds(),
+	}
+	return json.Marshal(struct {
+		Job *server.Job `json:"job"`
+	}{job})
+}
+
+// upstream is the outcome of one upstream attempt. Exactly one of two
+// shapes: a relayed HTTP response (status + body, already validated
+// for 200s), or a retryable failure (err set — transport error,
+// injected fault, undecodable/truncated body, or an hop budget that
+// expired before the attempt could be issued).
+type upstream struct {
+	worker string
+	status int
+	body   []byte
+	hedge  bool
+	err    error
+}
+
+// terminal reports whether the outcome should be relayed to the client
+// as-is: any decodable response the coordinator will not fail over
+// from. 5xx statuses are upstream failures (another replica may serve
+// them); everything else — 200s, 4xxs, 429s — is the worker's answer.
+func (u *upstream) terminal() bool {
+	return u.err == nil && u.status < 500
+}
+
+// tryWorker issues one attempt against one worker. It recomputes the
+// remaining hop budget, POSTs the job, and validates the response
+// (200s must decode to a certified, permutation-valid result; errors
+// must decode to a structured document). Health and latency are
+// observed here, exactly once per attempt.
+func (c *Coordinator) tryWorker(ctx context.Context, worker, rid string, req *server.Request, hedge bool) *upstream {
+	u := &upstream{worker: worker, hedge: hedge}
+	deadline, ok := ctx.Deadline()
+	remaining := time.Duration(0)
+	if ok {
+		remaining = time.Until(deadline) - c.cfg.HopMargin
+	}
+	if ok && remaining <= 0 {
+		u.err = fmt.Errorf("cluster: hop budget exhausted before attempt: %w", context.DeadlineExceeded)
+		return u
+	}
+	body, err := forwardBody(req, remaining)
+	if err != nil {
+		u.err = fmt.Errorf("cluster: encoding forwarded job: %w", err)
+		return u
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/optimize", bytes.NewReader(body))
+	if err != nil {
+		u.err = err
+		return u
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(server.RequestIDHeader, rid)
+	start := time.Now()
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		u.err = err
+		c.health.observe(worker, false)
+		c.cfg.Metrics.Counter(MetricUpstreamErrors).Inc()
+		return u
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		u.err = fmt.Errorf("cluster: reading response from %s: %w", worker, err)
+		c.health.observe(worker, false)
+		c.cfg.Metrics.Counter(MetricUpstreamErrors).Inc()
+		return u
+	}
+	u.status, u.body = resp.StatusCode, data
+	if u.status == http.StatusOK {
+		if _, err := decodeWorkerResult(data); err != nil {
+			// A truncated or corrupted 200 must never reach the client:
+			// demote it to a retryable upstream failure.
+			u.err = fmt.Errorf("cluster: invalid 200 from %s: %w", worker, err)
+			c.health.observe(worker, false)
+			c.cfg.Metrics.Counter(MetricUpstreamErrors).Inc()
+			return u
+		}
+		c.lat.observe(time.Since(start))
+		c.health.observe(worker, true)
+		c.cfg.Metrics.Histogram(MetricUpstreamWallUS).Observe(time.Since(start).Microseconds())
+		return u
+	}
+	if _, err := decodeWorkerError(data); err != nil {
+		u.err = fmt.Errorf("cluster: unstructured %d from %s: %w", u.status, worker, err)
+		c.health.observe(worker, false)
+		c.cfg.Metrics.Counter(MetricUpstreamErrors).Inc()
+		return u
+	}
+	// A structured non-200: the worker is alive and answering. Only 5xx
+	// counts against its health (overload and client errors are not
+	// worker faults).
+	c.health.observe(worker, u.status < 500)
+	if u.status >= 500 {
+		c.cfg.Metrics.Counter(MetricUpstreamErrors).Inc()
+	}
+	return u
+}
+
+// decodeWorkerResult validates one worker 200 body: it must decode to
+// a Result carrying a certified winning plan whose sequence is a
+// permutation of the instance's relations. This is the coordinator's
+// re-statement of the serving layer's core promise — a corrupted or
+// truncated body fails here and becomes a retryable upstream error
+// instead of reaching a client.
+func decodeWorkerResult(data []byte) (*server.Result, error) {
+	var res server.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("undecodable result document: %w", err)
+	}
+	if err := validateResult(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// validateResult applies the coordinator's certification checks to one
+// decoded result (shared by the single and batch decoders).
+func validateResult(res *server.Result) error {
+	if res.Report == nil || res.Report.Best == nil {
+		return errors.New("result document has no winning plan")
+	}
+	best := res.Report.Best
+	if !best.Certified {
+		return fmt.Errorf("winner %q is not certified", best.Winner)
+	}
+	if !best.Cost.IsValid() {
+		return fmt.Errorf("winner %q carries no plan cost", best.Winner)
+	}
+	if res.N < 0 || res.N > 1<<20 {
+		return fmt.Errorf("implausible instance size %d", res.N)
+	}
+	if len(best.Sequence) != res.N {
+		return fmt.Errorf("winning sequence has %d relations, instance has %d", len(best.Sequence), res.N)
+	}
+	seen := make([]bool, res.N)
+	for _, r := range best.Sequence {
+		if r < 0 || r >= res.N || seen[r] {
+			return fmt.Errorf("winning sequence %v is not a permutation", best.Sequence)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// decodeWorkerError validates one worker non-200 body: it must be a
+// structured error document with a non-empty kind.
+func decodeWorkerError(data []byte) (*server.ErrorDoc, error) {
+	var doc server.ErrorDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("undecodable error document: %w", err)
+	}
+	if doc.Error.Kind == "" {
+		return nil, errors.New("error document without a kind")
+	}
+	return &doc, nil
+}
+
+// dispatch routes one decoded request: primary attempt (with a hedge
+// race once the hedge delay fires), then budgeted failover retries
+// down the replica preference list. It returns the outcome to relay,
+// which may still be a retryable failure when every avenue is
+// exhausted — the caller renders that as a 502 upstream document.
+func (c *Coordinator) dispatch(ctx context.Context, span *trace.Span, rid string, req *server.Request, key string) *upstream {
+	prefs := c.routeOrder(key)
+	if len(prefs) == 0 {
+		return &upstream{err: errors.New("cluster: no workers in the ring")}
+	}
+	next := 0
+	nextWorker := func() string {
+		w := prefs[next%len(prefs)]
+		next++
+		return w
+	}
+	m := c.cfg.Metrics
+	res := c.attemptHedged(ctx, rid, req, nextWorker)
+	attempts := 1
+	for retry := 0; !res.terminal() && retry < c.cfg.MaxRetries; retry++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if !c.budget.withdraw() {
+			m.Counter(MetricRetryDenied).Inc()
+			break
+		}
+		if err := sleepCtx(ctx, c.backoff(retry)); err != nil {
+			break
+		}
+		m.Counter(MetricRetries).Inc()
+		m.Counter(MetricAttempts).Inc()
+		res = c.tryWorker(ctx, nextWorker(), rid, req, false)
+		attempts++
+	}
+	span.SetField("worker", res.worker)
+	span.SetField("attempts", attempts)
+	return res
+}
+
+// routeOrder is the ring's preference list for key, stably partitioned
+// so routable workers come before down ones — a fully down fleet still
+// gets half-open trials rather than instant failure.
+func (c *Coordinator) routeOrder(key string) []string {
+	all := c.ring.Lookup(key, 0)
+	routable := make([]string, 0, len(all))
+	var down []string
+	for _, w := range all {
+		if c.health.routable(w) {
+			routable = append(routable, w)
+		} else {
+			down = append(down, w)
+		}
+	}
+	return append(routable, down...)
+}
+
+// attemptHedged runs the primary attempt with tail-latency hedging:
+// when the hedge delay lapses before the primary answers, a duplicate
+// goes to the next replica (budget permitting) and the first terminal
+// answer wins; the loser's context is cancelled. Safe because every
+// relayed 200 is a certified result for the same canonical instance —
+// the two answers are interchangeable.
+func (c *Coordinator) attemptHedged(ctx context.Context, rid string, req *server.Request, nextWorker func() string) *upstream {
+	m := c.cfg.Metrics
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan *upstream, 2)
+	m.Counter(MetricAttempts).Inc()
+	primary := nextWorker()
+	go func() { ch <- c.tryWorker(actx, primary, rid, req, false) }()
+
+	delay := c.hedgeDelay()
+	if delay < 0 || c.ring.Size() < 2 {
+		return <-ch
+	}
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	pending := 1
+	var firstFail *upstream
+	for {
+		select {
+		case res := <-ch:
+			pending--
+			if res.terminal() {
+				if res.hedge {
+					m.Counter(MetricHedgeWins).Inc()
+				}
+				return res
+			}
+			if firstFail == nil {
+				firstFail = res
+			}
+			if pending == 0 {
+				return firstFail
+			}
+		case <-timer.C:
+			// The primary has outlived the tail threshold: issue the
+			// hedge, if the shared budget allows one.
+			if !c.budget.withdraw() {
+				m.Counter(MetricRetryDenied).Inc()
+				continue
+			}
+			m.Counter(MetricHedgeIssued).Inc()
+			m.Counter(MetricAttempts).Inc()
+			pending++
+			hedge := nextWorker()
+			go func() { ch <- c.tryWorker(actx, hedge, rid, req, true) }()
+		case <-ctx.Done():
+			return &upstream{err: ctx.Err()}
+		}
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// handleOptimize is the coordinator's POST /optimize: decode, resolve
+// the ring key and budget, dispatch with hedging and budgeted
+// failover, relay the worker's answer (or render a coordinator-origin
+// error document when the fleet could not serve it).
+func (c *Coordinator) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	m := c.cfg.Metrics
+	m.Counter(MetricRequests).Inc()
+	span := c.cfg.Tracer.Start(SpanRequest)
+	defer span.End()
+	rid := r.Header.Get(server.RequestIDHeader)
+	if rid == "" {
+		rid = c.nextRequestID()
+	}
+	w.Header().Set(server.RequestIDHeader, rid)
+	span.SetField("request_id", rid)
+	if r.Method != http.MethodPost {
+		span.SetField("kind", "method_not_allowed")
+		writeErrorDoc(w, rid, http.StatusMethodNotAllowed, "method_not_allowed",
+			"use POST with a JSON request body", 0)
+		return
+	}
+	c.inflight.Add(1)
+	m.Gauge(MetricInFlight).Add(1)
+	defer func() {
+		c.inflight.Add(-1)
+		m.Gauge(MetricInFlight).Add(-1)
+	}()
+	c.budget.deposit()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		span.SetField("kind", "too_large")
+		writeErrorDoc(w, rid, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("request body exceeds %d bytes", c.cfg.MaxBodyBytes), 0)
+		return
+	}
+	req, err := server.DecodeRequest(body)
+	if err != nil {
+		span.SetField("kind", "bad_request")
+		writeErrorDoc(w, rid, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	key := routeKey(req, body)
+	span.SetField("key", key)
+
+	ctx, cancel := context.WithTimeout(r.Context(), req.ResolveBudget(c.cfg.DefaultTimeout, c.cfg.MaxTimeout))
+	defer cancel()
+
+	res := c.dispatch(ctx, span, rid, req, key)
+	if res.err != nil {
+		status, kind := http.StatusBadGateway, "upstream"
+		if errors.Is(res.err, context.DeadlineExceeded) || ctx.Err() != nil {
+			status, kind = http.StatusGatewayTimeout, "deadline"
+		}
+		span.SetField("kind", kind)
+		writeErrorDoc(w, rid, status, kind,
+			fmt.Sprintf("upstream attempts exhausted: %v", res.err), c.cfg.RetryAfter)
+		return
+	}
+	span.SetField("status", res.status)
+	relay(w, res.status, res.body)
+}
+
+// relay writes an upstream response body through unchanged.
+func relay(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeErrorDoc renders a coordinator-origin structured error document
+// in the serving layer's shape, so clients (loadgen included) handle
+// coordinator and worker failures identically.
+func writeErrorDoc(w http.ResponseWriter, rid string, status int, kind, msg string, retryAfter time.Duration) {
+	var doc server.ErrorDoc
+	doc.Error.Kind = kind
+	doc.Error.Message = msg
+	doc.Error.RequestID = rid
+	if retryAfter > 0 {
+		doc.Error.RetryAfterMS = retryAfter.Milliseconds()
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((retryAfter+time.Second-1)/time.Second), 10))
+	}
+	writeJSON(w, status, &doc)
+}

@@ -49,10 +49,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	m.Counter(MetricBatchRequests).Inc()
 	span := s.cfg.Tracer.Start(SpanBatch)
 	defer span.End()
+	rid := echoRequestID(w, r, span)
 	if r.Method != http.MethodPost {
 		m.Counter(MetricBadRequest).Inc()
 		span.SetField("kind", "method_not_allowed")
-		writeErrorDoc(w, http.StatusMethodNotAllowed, "method_not_allowed",
+		writeErrorDocID(w, rid, http.StatusMethodNotAllowed, "method_not_allowed",
 			"use POST with a JSON request body", 0)
 		return
 	}
@@ -61,7 +62,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// refuse the whole batch for the price of a mutex, not a JSON parse.
 	if rej := s.precheck(); rej != nil {
 		span.SetField("kind", rej.kind)
-		writeErrorDoc(w, rej.status, rej.kind, rej.msg, s.cfg.RetryAfter)
+		writeErrorDocID(w, rid, rej.status, rej.kind, rej.msg, s.cfg.RetryAfter)
 		return
 	}
 
@@ -69,7 +70,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		m.Counter(MetricBadRequest).Inc()
 		span.SetField("kind", "too_large")
-		writeErrorDoc(w, http.StatusRequestEntityTooLarge, "too_large",
+		writeErrorDocID(w, rid, http.StatusRequestEntityTooLarge, "too_large",
 			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes), 0)
 		return
 	}
@@ -77,7 +78,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		m.Counter(MetricBadRequest).Inc()
 		span.SetField("kind", "bad_request")
-		writeErrorDoc(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		writeErrorDocID(w, rid, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
 	}
 	n := len(br.Jobs)
@@ -97,7 +98,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, job := range br.Jobs {
 		req := requestForJob(job)
 		if err := req.Validate(); err != nil {
-			errDocs[i] = &ErrorBody{Kind: "bad_request", Message: err.Error()}
+			errDocs[i] = &ErrorBody{Kind: "bad_request", Message: err.Error(), RequestID: rid}
 			continue
 		}
 		reqs[i] = req
@@ -123,7 +124,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(g *batchGroup) {
 			defer wg.Done()
-			s.serveBatchGroup(r.Context(), g, reqs, results, errDocs)
+			s.serveBatchGroup(r.Context(), rid, g, reqs, results, errDocs)
 		}(g)
 	}
 	wg.Wait()
@@ -141,13 +142,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // member receives the leader's report remapped into its own label
 // space — members of one group are relabelings of the same instance,
 // so a join sequence transfers through canonical space exactly.
-func (s *Server) serveBatchGroup(ctx context.Context, g *batchGroup, reqs []*Request, results []*Result, errDocs []*ErrorBody) {
+func (s *Server) serveBatchGroup(ctx context.Context, rid string, g *batchGroup, reqs []*Request, results []*Result, errDocs []*ErrorBody) {
 	m := s.cfg.Metrics
 	rung, rej := s.admit()
 	if rej != nil {
 		m.Counter(MetricBatchRejected).Inc()
 		for _, i := range g.idxs {
-			errDocs[i] = &ErrorBody{Kind: rej.kind, Message: rej.msg, RetryAfterMS: s.cfg.RetryAfter.Milliseconds()}
+			errDocs[i] = &ErrorBody{Kind: rej.kind, Message: rej.msg, RetryAfterMS: s.cfg.RetryAfter.Milliseconds(), RequestID: rid}
 		}
 		return
 	}
@@ -170,7 +171,7 @@ func (s *Server) serveBatchGroup(ctx context.Context, g *batchGroup, reqs []*Req
 	out := s.serveAdmitted(runCtx, leader, rung, accepted)
 	if !out.ok {
 		for _, i := range g.idxs {
-			errDocs[i] = &ErrorBody{Kind: out.kind, Message: out.msg, RetryAfterMS: out.retryAfter.Milliseconds()}
+			errDocs[i] = &ErrorBody{Kind: out.kind, Message: out.msg, RetryAfterMS: out.retryAfter.Milliseconds(), RequestID: rid}
 		}
 		return
 	}

@@ -22,16 +22,19 @@ type BatchOutcome struct {
 	Backoffs int
 	Response *server.BatchResponse
 	ErrDoc   *server.ErrorDoc
+	// RequestID is the X-Request-ID the client attached (empty for a
+	// zero-value Client).
+	RequestID string
 }
 
 // OK reports whether the final response was a 200. Inspect the per-job
 // Response.Results for job-level errors.
 func (o *BatchOutcome) OK() bool { return o.Status == http.StatusOK }
 
-// OptimizeBatch POSTs req to /optimize/batch with the same
-// backpressure retry policy as Optimize: batch-level 429/503 documents
-// are retried with capped exponential backoff + jitter, everything
-// else is terminal.
+// OptimizeBatch POSTs req to /optimize/batch with the same retry
+// policy as Optimize: batch-level 429/503/502/504 documents are
+// retried with capped exponential backoff + jitter, floored at the
+// document's retry_after_ms hint; everything else is terminal.
 func (c *Client) OptimizeBatch(ctx context.Context, req *server.BatchRequest) (*BatchOutcome, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -41,7 +44,7 @@ func (c *Client) OptimizeBatch(ctx context.Context, req *server.BatchRequest) (*
 	if w == nil {
 		return nil, err
 	}
-	out := &BatchOutcome{Status: w.status, Attempts: w.attempts, Backoffs: w.backoffs, ErrDoc: w.doc}
+	out := &BatchOutcome{Status: w.status, Attempts: w.attempts, Backoffs: w.backoffs, ErrDoc: w.doc, RequestID: w.rid}
 	if err != nil {
 		return out, err
 	}

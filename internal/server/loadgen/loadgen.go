@@ -1,9 +1,13 @@
 // Package loadgen is a seeded, well-behaved client for the
-// optimization daemon: it retries backpressure responses (429/503) with
-// capped exponential backoff plus jitter, honouring the server's
-// retry_after_ms hint as a floor. The soak tests drive fleets of these
-// against an in-process server; qod operators can use it as a reference
-// client.
+// optimization daemon: it retries backpressure responses (429/503) and
+// transient gateway failures (502/504, which a cluster coordinator
+// emits when its upstream attempts are exhausted) with capped
+// exponential backoff plus jitter, honouring the server's
+// retry_after_ms hint as a floor — in single and batch mode alike. The
+// soak tests drive fleets of these against an in-process server; qod
+// operators can use it as a reference client. Every request carries a
+// generated X-Request-ID, echoed by servers and coordinators into
+// error documents and spans, so one failure is traceable end to end.
 package loadgen
 
 import (
@@ -29,9 +33,10 @@ type Client struct {
 	// HTTP is the transport; http.DefaultClient when nil.
 	HTTP *http.Client
 	// Retries is the maximum number of retry attempts after the first
-	// try (default 8). Only 429 and 503 responses are retried: they are
-	// the two backpressure signals, and both promise the condition is
-	// transient.
+	// try (default 8). Retried statuses: 429 and 503 (backpressure) plus
+	// 502 and 504 (a coordinator's upstream-exhausted and
+	// deadline-on-the-hop documents) — all four promise the condition is
+	// transient. Other statuses are terminal.
 	Retries int
 	// BaseBackoff and MaxBackoff shape the exponential backoff (defaults
 	// 10ms and 1s). The sleep before retry k is
@@ -41,13 +46,30 @@ type Client struct {
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
 
-	rng *rand.Rand
+	rng    *rand.Rand
+	ridTag string
+	ridSeq int64
 }
 
 // New builds a client for the server at base with a seeded jitter
-// source.
+// source and a seed-derived request-ID tag.
 func New(base string, seed int64) *Client {
-	return &Client{Base: base, rng: rand.New(rand.NewSource(seed))}
+	return &Client{
+		Base:   base,
+		rng:    rand.New(rand.NewSource(seed)),
+		ridTag: fmt.Sprintf("lg-%08x", uint64(seed)*0x9e3779b97f4a7c15>>32&0xffffffff),
+	}
+}
+
+// nextRequestID mints the X-Request-ID for one logical request. All
+// attempts of one retried request share the ID — that is what makes the
+// retry chain traceable in server spans and error documents.
+func (c *Client) nextRequestID() string {
+	if c.ridTag == "" { // zero-value Client (no New): stay headerless
+		return ""
+	}
+	c.ridSeq++
+	return fmt.Sprintf("%s-%x", c.ridTag, c.ridSeq)
 }
 
 // Outcome is the terminal result of one Optimize call: the last
@@ -62,6 +84,9 @@ type Outcome struct {
 	// Result is set on 200; ErrDoc on any structured error response.
 	Result *server.Result
 	ErrDoc *server.ErrorDoc
+	// RequestID is the X-Request-ID the client attached (empty for a
+	// zero-value Client).
+	RequestID string
 }
 
 // OK reports whether the final response was a 200.
@@ -81,7 +106,7 @@ func (c *Client) Optimize(ctx context.Context, req *server.Request) (*Outcome, e
 	if w == nil {
 		return nil, err
 	}
-	out := &Outcome{Status: w.status, Attempts: w.attempts, Backoffs: w.backoffs, ErrDoc: w.doc}
+	out := &Outcome{Status: w.status, Attempts: w.attempts, Backoffs: w.backoffs, ErrDoc: w.doc, RequestID: w.rid}
 	if err != nil {
 		return out, err
 	}
@@ -103,6 +128,7 @@ type wire struct {
 	backoffs int
 	data     []byte
 	doc      *server.ErrorDoc
+	rid      string
 }
 
 // do POSTs body to path with the client's backpressure retry policy.
@@ -118,7 +144,7 @@ func (c *Client) do(ctx context.Context, path string, body []byte) (*wire, error
 	if retries <= 0 {
 		retries = 8
 	}
-	w := &wire{}
+	w := &wire{rid: c.nextRequestID()}
 	for attempt := 0; ; attempt++ {
 		w.attempts++
 		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
@@ -126,6 +152,9 @@ func (c *Client) do(ctx context.Context, path string, body []byte) (*wire, error
 			return nil, err
 		}
 		hreq.Header.Set("Content-Type", "application/json")
+		if w.rid != "" {
+			hreq.Header.Set(server.RequestIDHeader, w.rid)
+		}
 		resp, err := hc.Do(hreq)
 		if err != nil {
 			return nil, err
@@ -146,7 +175,9 @@ func (c *Client) do(ctx context.Context, path string, body []byte) (*wire, error
 		}
 		w.doc = &doc
 		retryable := resp.StatusCode == http.StatusTooManyRequests ||
-			resp.StatusCode == http.StatusServiceUnavailable
+			resp.StatusCode == http.StatusServiceUnavailable ||
+			resp.StatusCode == http.StatusBadGateway ||
+			resp.StatusCode == http.StatusGatewayTimeout
 		if !retryable || attempt >= retries {
 			return w, nil
 		}

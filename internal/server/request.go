@@ -215,6 +215,26 @@ func (r *Request) model() string {
 	return "qon"
 }
 
+// ResolvedModel reports the effective model ("qon" or "qoh") after
+// validation — the exported accessor the cluster coordinator routes by.
+// (The Model field itself may be empty: it defaults to qon.)
+func (r *Request) ResolvedModel() string { return r.model() }
+
+// ResolveBudget resolves the request's deadline budget from timeout_ms
+// and the given defaults, exactly as the serving layer does — exported
+// so the coordinator propagates the same budget across the hop.
+func (r *Request) ResolveBudget(def, max time.Duration) time.Duration {
+	return r.budget(def, max)
+}
+
+// CanonicalID exposes the request's canonical identity (fingerprint,
+// permutation into canonical label space, resolution error) to the
+// cluster coordinator, which keys its consistent-hash routing on the
+// fingerprint so relabeled duplicates land on the same shard. Like
+// canonicalID, it is resolved at most once and is not safe for
+// concurrent use on one Request.
+func (r *Request) CanonicalID() (string, []int, error) { return r.canonicalID() }
+
 // budget resolves the request's deadline from its timeout_ms and the
 // server's defaults.
 func (r *Request) budget(def, max time.Duration) time.Duration {

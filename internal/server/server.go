@@ -271,7 +271,7 @@ func (s *Server) Handler() http.Handler {
 		defer func() {
 			if p := recover(); p != nil {
 				s.cfg.Metrics.Counter(MetricPanics).Inc()
-				writeErrorDoc(w, http.StatusInternalServerError, "panic",
+				writeErrorDocID(w, requestID(r), http.StatusInternalServerError, "panic",
 					fmt.Sprintf("internal error: %v", p), 0)
 			}
 		}()
@@ -410,10 +410,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	m.Counter(MetricRequests).Inc()
 	span := s.cfg.Tracer.Start(SpanRequest)
 	defer span.End()
+	rid := echoRequestID(w, r, span)
 	if r.Method != http.MethodPost {
 		m.Counter(MetricBadRequest).Inc()
 		span.SetField("kind", "method_not_allowed")
-		writeErrorDoc(w, http.StatusMethodNotAllowed, "method_not_allowed",
+		writeErrorDocID(w, rid, http.StatusMethodNotAllowed, "method_not_allowed",
 			"use POST with a JSON request body", 0)
 		return
 	}
@@ -424,7 +425,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if rej != nil {
 		m.Counter(MetricRejected).Inc()
 		span.SetField("kind", rej.kind)
-		writeErrorDoc(w, rej.status, rej.kind, rej.msg, s.cfg.RetryAfter)
+		writeErrorDocID(w, rid, rej.status, rej.kind, rej.msg, s.cfg.RetryAfter)
 		return
 	}
 	accepted := time.Now()
@@ -440,7 +441,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		m.Counter(MetricBadRequest).Inc()
 		span.SetField("kind", "too_large")
-		writeErrorDoc(w, http.StatusRequestEntityTooLarge, "too_large",
+		writeErrorDocID(w, rid, http.StatusRequestEntityTooLarge, "too_large",
 			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes), 0)
 		return
 	}
@@ -448,7 +449,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		m.Counter(MetricBadRequest).Inc()
 		span.SetField("kind", "bad_request")
-		writeErrorDoc(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		writeErrorDocID(w, rid, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
 	}
 	span.SetField("model", req.model())
@@ -462,7 +463,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	out := s.serveAdmitted(ctx, req, rung, accepted)
 	if !out.ok {
 		span.SetField("kind", out.kind)
-		writeErrorDoc(w, out.status, out.kind, out.msg, out.retryAfter)
+		writeErrorDocID(w, rid, out.status, out.kind, out.msg, out.retryAfter)
 		return
 	}
 	if out.cached {
@@ -789,6 +790,30 @@ type ErrorBody struct {
 	// RetryAfterMS mirrors the Retry-After header on 429/503: the
 	// backoff hint for well-behaved clients (see loadgen).
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// RequestID echoes the request's X-Request-ID header (generated by
+	// the client or the cluster coordinator), so a failure can be traced
+	// across the coordinator→worker hop. Empty when the caller sent
+	// none.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// RequestIDHeader carries the end-to-end request correlation ID
+// (client → coordinator → worker). The server never generates one: it
+// echoes whatever the caller sent, on the response header, on the
+// server.request span (field request_id) and in error documents.
+const RequestIDHeader = "X-Request-ID"
+
+func requestID(r *http.Request) string { return r.Header.Get(RequestIDHeader) }
+
+// echoRequestID reflects the caller's request ID onto the response and
+// the span, returning it for the error-document path.
+func echoRequestID(w http.ResponseWriter, r *http.Request, span *trace.Span) string {
+	rid := requestID(r)
+	if rid != "" {
+		w.Header().Set(RequestIDHeader, rid)
+		span.SetField("request_id", rid)
+	}
+	return rid
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -800,9 +825,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErrorDoc(w http.ResponseWriter, status int, kind, msg string, retryAfter time.Duration) {
+	writeErrorDocID(w, "", status, kind, msg, retryAfter)
+}
+
+func writeErrorDocID(w http.ResponseWriter, rid string, status int, kind, msg string, retryAfter time.Duration) {
 	var doc ErrorDoc
 	doc.Error.Kind = kind
 	doc.Error.Message = msg
+	doc.Error.RequestID = rid
 	if retryAfter > 0 {
 		doc.Error.RetryAfterMS = retryAfter.Milliseconds()
 		// Retry-After is whole seconds; round up so the header never

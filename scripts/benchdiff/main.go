@@ -35,8 +35,9 @@ import (
 
 // optPrefixes route a benchmark into the optimization-layer baseline
 // file: the tiered cost-kernel set plus the canonical-identity set the
-// batch API added (fingerprinting, batch dedup throughput).
-var optPrefixes = []string{"BenchmarkRegOpt", "BenchmarkRegFingerprint", "BenchmarkRegBatch"}
+// batch API added (fingerprinting, batch dedup throughput) and the
+// cluster coordinator's per-request ring-routing cost.
+var optPrefixes = []string{"BenchmarkRegOpt", "BenchmarkRegFingerprint", "BenchmarkRegBatch", "BenchmarkRegRing"}
 
 func isOptBench(b string) bool {
 	for _, p := range optPrefixes {
