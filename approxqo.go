@@ -16,6 +16,7 @@ import (
 	"approxqo/internal/bushy"
 	"approxqo/internal/certify"
 	"approxqo/internal/chaos"
+	"approxqo/internal/classify"
 	"approxqo/internal/cliquered"
 	"approxqo/internal/cluster"
 	"approxqo/internal/core"
@@ -127,6 +128,20 @@ type (
 	// reset, truncate); NetRule targets one at matching workers.
 	NetFault = chaos.NetFault
 	NetRule  = chaos.NetRule
+	// RouteFeatures is the relabel-invariant structural feature vector
+	// the adaptive router extracts from a QO_N instance; RouteDecision
+	// is the router's verdict (class, ensemble tiers in shed order,
+	// budget fraction, reason). RouteClass and RouteTier name the
+	// classes and ensemble tiers.
+	RouteFeatures = classify.Features
+	RouteDecision = classify.Decision
+	RouteClass    = classify.Class
+	RouteTier     = classify.Tier
+	// WorkloadSpec is the JSON workload-family grammar shared by the
+	// server's request decoder, loadgen and the ratio harness: basic
+	// topologies plus the paper-grounded families (skewed-star,
+	// chain-selective, sparse-em, cliquered-yes/no).
+	WorkloadSpec = workload.Spec
 )
 
 // Reductions and pipelines.
@@ -146,8 +161,27 @@ var (
 	Lemma4 = cliquered.Lemma4
 	// GenerateWorkload builds realistic random QO_N instances.
 	GenerateWorkload = workload.Generate
+	// DecodeWorkloadSpec parses and validates one JSON family spec;
+	// WorkloadFamilies lists every generatable population name.
+	DecodeWorkloadSpec = workload.DecodeSpec
+	WorkloadFamilies   = workload.Families
 	// Experiments returns the reproduction's experiment catalog.
 	Experiments = experiments.All
+)
+
+// Adaptive ensemble routing (see internal/classify and README
+// §Adaptive routing).
+var (
+	// ExtractRouteFeatures computes the relabel-invariant feature vector
+	// of a QO_N instance; RouteInstance maps features to a routing
+	// decision (a pure function: equal features, equal decisions).
+	ExtractRouteFeatures = classify.Extract
+	RouteInstance        = classify.Route
+	// RouteEnsemble materializes a decision into engine-ready optimizers
+	// plus skip records for the tiers the decision left out.
+	RouteEnsemble = classify.Ensemble
+	// AllRouteTiers is the full-ensemble tier set in shed order.
+	AllRouteTiers = classify.AllTiers
 )
 
 // Optimizer constructors.

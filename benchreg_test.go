@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"testing"
 
+	"approxqo/internal/classify"
 	"approxqo/internal/cluster"
 	"approxqo/internal/num"
 	"approxqo/internal/opt"
@@ -21,8 +22,8 @@ import (
 // against the checked-in baselines — BenchmarkRegOpt* vs BENCH_opt.json,
 // everything else vs BENCH_qon.json (>20% ns/op or allocs regression
 // fails extended verify). Keep the set small and single-size
-// — benchdiff runs them with -benchtime 30x -count 3 and takes the
-// minimum, so each iteration must be stable and quick.
+// — benchdiff runs them over 3 passes of -benchtime 300x -count 5 and
+// takes the minimum, so each iteration must be stable and quick.
 
 func regInstance(b *testing.B, n int) *qon.Instance {
 	b.Helper()
@@ -165,6 +166,34 @@ func BenchmarkRegFingerprint(b *testing.B) {
 		for _, in := range ins {
 			if qon.Fingerprint(in) == "" {
 				b.Fatal("empty fingerprint")
+			}
+		}
+	}
+}
+
+// BenchmarkRegClassify pins the adaptive router's per-request cost at
+// n=16: each op extracts features and routes one star, one chain and
+// one clique instance. The classifier sits on the serving hot path of
+// every routed request, so its budget is a sliver of a request's —
+// microseconds against the engine's milliseconds (see
+// internal/classify's DESIGN entry). Pinned into BENCH_opt.json via the
+// RegClassify benchdiff prefix.
+func BenchmarkRegClassify(b *testing.B) {
+	shapes := []workload.Shape{workload.Star, workload.Chain, workload.Clique}
+	ins := make([]*qon.Instance, len(shapes))
+	for i, sh := range shapes {
+		in, err := workload.Generate(workload.Params{N: 16, Shape: sh, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins[i] = in
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range ins {
+			d := classify.Route(classify.Extract(in))
+			if len(d.Tiers) == 0 {
+				b.Fatal("empty routing decision")
 			}
 		}
 	}

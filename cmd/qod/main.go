@@ -22,6 +22,18 @@
 //	qod -addr :8080 -req-timeout 2s -max-timeout 30s -drain 5s
 //	qod -addr :8080 -max-batch 128 -cache-size 1024
 //	qod -addr :8080 -chaos 'panic:greedy-min-cost' -metrics
+//	qod -addr :8080 -route
+//
+// With -route, the structural classifier (internal/classify) picks each
+// QO_N request's ensemble subset and the degradation ladder sheds the
+// tiers it ranks least valuable; jobs can override per request with
+// "route": true/false. Two one-shot modes support the routing feature
+// without starting a server: -route-explain prints the classifier's
+// decision for a workload spec, and -eval measures routed-vs-full cost
+// ratios and wall times per family against a running qod:
+//
+//	qod -route-explain '{"shape":"chain-selective","n":12,"seed":4}'
+//	qod -eval http://localhost:8080 -eval-n 12 -eval-seeds 5
 //
 // Coordinator mode (-coordinate) turns qod into the fault-tolerant
 // front of a worker fleet instead of a worker: requests are routed to
@@ -48,9 +60,12 @@ import (
 	"time"
 
 	"approxqo/internal/chaos"
+	"approxqo/internal/classify"
 	"approxqo/internal/cliutil"
 	"approxqo/internal/cluster"
 	"approxqo/internal/server"
+	"approxqo/internal/server/loadgen"
+	"approxqo/internal/workload"
 )
 
 var common = cliutil.Common{Seed: 1}
@@ -68,6 +83,12 @@ func main() {
 	retryAfter := flag.Duration("retry-after", 250*time.Millisecond, "Retry-After hint on 429/503")
 	chaosSpec := flag.String("chaos", "", "fault injection spec applied to every request's ensemble")
 	cacheSize := flag.Int("cache-size", 0, "certified-result cache entries (0 = default 256, negative disables)")
+	route := flag.Bool("route", false, "adaptive ensemble routing by structural classifier (jobs override per-request with \"route\")")
+	routeExplain := flag.String("route-explain", "", "one-shot: classify the given workload spec JSON, print the routing decision, exit")
+	evalTarget := flag.String("eval", "", "one-shot: run the routed-vs-full family eval against the given qod base URL, print the report, exit")
+	evalFamilies := flag.String("eval-families", "", "eval mode: comma-separated workload families (default: the harness families)")
+	evalN := flag.Int("eval-n", 0, "eval mode: instance size (0 = default 12)")
+	evalSeeds := flag.Int("eval-seeds", 0, "eval mode: seeds per family (0 = default 5)")
 	maxBatch := flag.Int("max-batch", 0, "max jobs per /optimize/batch request (0 = default 64)")
 	coordinate := flag.String("coordinate", "", "comma-separated worker base URLs; set to run as a cluster coordinator instead of a worker")
 	maxRetries := flag.Int("max-retries", 0, "coordinator: failover retries per request (0 = default 2)")
@@ -83,6 +104,41 @@ func main() {
 	defer cancel()
 	common.Observe("qod")
 	defer common.Close("qod")
+
+	if *routeExplain != "" {
+		spec, err := workload.DecodeSpec([]byte(*routeExplain))
+		if err != nil {
+			common.Fatal("qod", err)
+		}
+		in, err := spec.Generate()
+		if err != nil {
+			common.Fatal("qod", err)
+		}
+		dec := classify.Route(classify.Extract(in))
+		if err := cliutil.WriteJSON(os.Stdout, dec); err != nil {
+			common.Fatal("qod", err)
+		}
+		return
+	}
+
+	if *evalTarget != "" {
+		cfg := loadgen.EvalConfig{N: *evalN, Seeds: *evalSeeds, TimeoutMS: int64(*maxTimeout / time.Millisecond)}
+		if *evalFamilies != "" {
+			for _, f := range strings.Split(*evalFamilies, ",") {
+				if f = strings.TrimSpace(f); f != "" {
+					cfg.Families = append(cfg.Families, f)
+				}
+			}
+		}
+		rep, err := loadgen.New(strings.TrimRight(*evalTarget, "/"), common.Seed).EvalFamilies(ctx, cfg)
+		if err != nil {
+			common.Fatal("qod", err)
+		}
+		if err := cliutil.WriteJSON(os.Stdout, rep); err != nil {
+			common.Fatal("qod", err)
+		}
+		return
+	}
 
 	if *coordinate != "" {
 		var workers []string
@@ -129,6 +185,7 @@ func main() {
 		QueueDepth:     *queue,
 		DegradeAt:      *degradeAt,
 		ShedAt:         *shedAt,
+		Route:          *route,
 		DefaultTimeout: *reqTimeout,
 		MaxTimeout:     *maxTimeout,
 		DrainTimeout:   *drain,

@@ -11,10 +11,18 @@
 //
 //	qopt -shape chain -n 8 -chaos 'panic:greedy-min-cost,wrongcost:dp'
 //
+// The -route flag hands ensemble selection to the structural
+// classifier (internal/classify): the routed subset runs, the pruned
+// optimizers are reported as skipped with reasons, and -json wraps the
+// report together with the routing decision:
+//
+//	qopt -shape chain-selective -n 12 -route [-json]
+//
 // Usage:
 //
 //	qopt -file instance.json [-algo subset-dp]
 //	qopt -shape chain -n 12 [-seed 3] [-algo all] [-timeout 500ms] [-json]
+//	qopt -shape skewed-star -n 12 -route
 //	qopt -shape chain -n 12 -trace trace.json -metrics [-cpuprofile cpu.pb.gz]
 package main
 
@@ -26,6 +34,7 @@ import (
 
 	"approxqo/internal/bushy"
 	"approxqo/internal/chaos"
+	"approxqo/internal/classify"
 	"approxqo/internal/cliutil"
 	"approxqo/internal/engine"
 	"approxqo/internal/opt"
@@ -40,11 +49,12 @@ var common = cliutil.Common{Seed: 1}
 func main() {
 	common.Register(flag.CommandLine)
 	file := flag.String("file", "", "JSON instance file (from qohard -out)")
-	shape := flag.String("shape", "chain", "workload shape: chain|cycle|star|grid|clique|random")
+	shape := flag.String("shape", "chain", "workload shape (chain|cycle|star|grid|clique|random) or family (skewed-star|chain-selective|sparse-em|cliquered-yes|cliquered-no)")
 	catalog := flag.String("catalog", "", "named catalog query (e.g. tpch-q5-like); overrides -shape")
 	listCatalog := flag.Bool("list-catalog", false, "list catalog queries and exit")
 	n := flag.Int("n", 10, "workload size")
 	algo := flag.String("algo", "all", "algorithm name or 'all'")
+	route := flag.Bool("route", false, "pick the ensemble with the structural classifier and report its decision (incompatible with -algo)")
 	explain := flag.Bool("explain", false, "print an EXPLAIN tree for the best plan found")
 	bushyFlag := flag.Bool("bushy", false, "also optimize over bushy join trees")
 	chaosSpec := flag.String("chaos", "", "fault injection spec: fault[:optimizer],... (faults: panic|stall|wrongcost|invalidplan|error|leak)")
@@ -82,6 +92,20 @@ func main() {
 	}
 
 	optimizers := registry(common.Seed)
+	var dec *classify.Decision
+	var skips []engine.SkipRecord
+	if *route {
+		if *algo != "all" {
+			fatal(fmt.Errorf("-route picks the ensemble itself; drop -algo"))
+		}
+		d := classify.Route(classify.Extract(in))
+		dec = &d
+		optimizers, skips = classify.Ensemble(d, in.N(), common.Seed)
+		if !common.JSON {
+			fmt.Printf("routing: class=%s recognized=%v tiers=%v budget_frac=%g\n  %s\n",
+				d.Class, d.Recognized, d.Tiers, d.BudgetFrac, d.Reason)
+		}
+	}
 	if *algo != "all" {
 		var picked []opt.Optimizer
 		for _, o := range optimizers {
@@ -114,8 +138,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rep.Skipped = skips
 	if common.JSON {
-		if err := cliutil.WriteJSON(os.Stdout, rep); err != nil {
+		if dec != nil {
+			err = cliutil.WriteJSON(os.Stdout, struct {
+				Routing *classify.Decision `json:"routing"`
+				Report  *engine.Report     `json:"report"`
+			}{dec, rep})
+		} else {
+			err = cliutil.WriteJSON(os.Stdout, rep)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -169,7 +202,9 @@ func loadInstance(file, shape string, n int, seed int64) (*qon.Instance, error) 
 		}
 		return &in, nil
 	}
-	return workload.Generate(workload.Params{N: n, Shape: workload.Shape(shape), Seed: seed})
+	// The Spec grammar covers the basic topologies and the paper-grounded
+	// families alike.
+	return (&workload.Spec{Shape: shape, N: n, Seed: seed}).Generate()
 }
 
 func fatal(err error) {

@@ -103,6 +103,30 @@ func TestGoldenQoptJSON(t *testing.T) {
 	checkGolden(t, "qopt_chain_n6.json", normalizeJSON(t, out))
 }
 
+func TestGoldenQoptRouteJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	// A recognized family's routed ensemble is all-deterministic
+	// (greedy tier only), so the full {routing, report} document —
+	// decision, features, skip reasons, certified costs — is stable.
+	out := goldenCLI(t, 0, "./cmd/qopt", "-shape", "chain-selective", "-n", "10", "-seed", "4",
+		"-route", "-json")
+	checkGolden(t, "qopt_route_chainsel_n10.json", normalizeJSON(t, out))
+}
+
+func TestGoldenQodRouteExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	out := goldenCLI(t, 0, "./cmd/qod", "-route-explain", `{"shape":"chain-selective","n":12,"seed":4}`)
+	checkGolden(t, "qod_route_explain_chainsel.json", normalizeJSON(t, out))
+	// The adversarial side: the statistics-free f_N signature must keep
+	// the exact tier first.
+	out = goldenCLI(t, 0, "./cmd/qod", "-route-explain", `{"shape":"cliquered-yes","n":12}`)
+	checkGolden(t, "qod_route_explain_cliquered.json", normalizeJSON(t, out))
+}
+
 func TestGoldenQohardPairJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("e2e")

@@ -81,6 +81,30 @@ type RunRecord struct {
 	Quarantined bool `json:"quarantined,omitempty"`
 }
 
+// Skip reasons for SkipRecord. Routing and degradation come from the
+// adaptive classifier (internal/classify); breaker skips come from the
+// server's circuit breaker; out_of_range marks an exact optimizer whose
+// size cap excludes the instance. None of these are failures — that is
+// exactly why they are recorded separately from quarantine/abandonment,
+// so soaks and metrics checks don't conflate "benched for misbehaving"
+// with "deliberately not run".
+const (
+	SkipRouting    = "routing"
+	SkipDegraded   = "degraded"
+	SkipBreaker    = "breaker"
+	SkipOutOfRange = "out_of_range"
+)
+
+// SkipRecord documents an optimizer that was deliberately not run and
+// why. The engine itself runs whatever it is given; callers that prune
+// the ensemble (router, ladder, breaker) attach the records to the
+// Report so the account of the run stays complete.
+type SkipRecord struct {
+	Name   string `json:"name"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+}
+
 // Report is the structured, JSON-serializable outcome of one ensemble
 // run: the winning plan plus one RunRecord per optimizer.
 type Report struct {
@@ -94,7 +118,11 @@ type Report struct {
 	// Quarantined lists the optimizers benched by the circuit-breaker
 	// during this run.
 	Quarantined []string `json:"quarantined,omitempty"`
-	WallMS      float64  `json:"wall_ms"`
+	// Skipped lists optimizers deliberately excluded before the run
+	// (routing, load degradation, open breaker, size range) — attached
+	// by the caller that pruned the ensemble, never by the engine.
+	Skipped []SkipRecord `json:"skipped,omitempty"`
+	WallMS  float64      `json:"wall_ms"`
 	// SpanID identifies the engine.run root span when the run was
 	// traced (engine.WithTracer); zero otherwise.
 	SpanID uint64 `json:"span_id,omitempty"`
@@ -144,6 +172,13 @@ func (r *Report) WriteText(w io.Writer) {
 		fmt.Fprintf(tw, "%s\t%s\t%v\t%.1fms\t%d\t%d\t%d\t%s\n",
 			run.Name, cost, run.Exact, run.WallMS,
 			run.Stats.CostEvals, run.Stats.DPSubsets, run.Stats.Moves, note)
+	}
+	for _, sk := range r.Skipped {
+		note := sk.Reason
+		if sk.Detail != "" {
+			note += ": " + sk.Detail
+		}
+		fmt.Fprintf(tw, "%s\t-\t-\t-\t-\t-\t-\tskipped (%s)\n", sk.Name, note)
 	}
 	if len(r.Quarantined) > 0 {
 		fmt.Fprintf(tw, "\nquarantined\t%v\n", r.Quarantined)

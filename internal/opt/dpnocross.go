@@ -148,5 +148,8 @@ func (d DPNoCross) Optimize(ctx context.Context, in *qon.Instance) (*Result, err
 	for l, r := 0, len(seq)-1; l < r; l, r = l+1, r-1 {
 		seq[l], seq[r] = seq[r], seq[l]
 	}
-	return &Result{Sequence: seq, Cost: dp[total-1], Exact: true}, nil
+	// Canonical-order recomputation, for the same reason as DP: the
+	// table's rounding sequence differs from Evaluate's on non-dyadic
+	// workloads, and certification demands bit-equality.
+	return &Result{Sequence: seq, Cost: in.Cost(seq), Exact: true}, nil
 }

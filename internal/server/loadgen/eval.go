@@ -1,0 +1,161 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"approxqo/internal/server"
+	"approxqo/internal/workload"
+)
+
+// EvalConfig parameterizes EvalFamilies. Zero fields take the defaults
+// of the competitive-ratio harness (internal/classify): the routed
+// workload families at n=12, five seeds each.
+type EvalConfig struct {
+	// Families are workload family names (workload.Families grammar).
+	Families []string `json:"families,omitempty"`
+	// N is the instance size (default 12).
+	N int `json:"n,omitempty"`
+	// Seeds is how many seeded instances to measure per family
+	// (default 5; the cliquered promise pair is deterministic in n, so
+	// its families are always measured once).
+	Seeds int `json:"seeds,omitempty"`
+	// TimeoutMS is the per-request budget forwarded to the server
+	// (default: server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// FamilyEval aggregates one family's routed-vs-full comparison as
+// measured through the server's HTTP API.
+type FamilyEval struct {
+	Family     string `json:"family"`
+	Class      string `json:"class"`
+	Recognized bool   `json:"recognized"`
+	Seeds      int    `json:"seeds"`
+	// WorstRatioL2 is the maximum over seeds of
+	// log₂(routed best cost) − log₂(full best cost): 0 means routing
+	// never cost anything on this family.
+	WorstRatioL2 float64 `json:"worst_ratio_log2"`
+	// RoutedP50MS and FullP50MS are median server-side wall times.
+	// Full-ensemble requests served from the certified-result cache are
+	// excluded from FullP50MS (their wall time measures the cache, not
+	// the ensemble); FullP50MS is 0 when every full request hit.
+	RoutedP50MS float64 `json:"routed_p50_ms"`
+	FullP50MS   float64 `json:"full_p50_ms"`
+	// RoutedOptimizers is the routed ensemble size observed on the last
+	// seed; ExactReached whether every routed result was certified
+	// exact.
+	RoutedOptimizers int  `json:"routed_optimizers"`
+	ExactReached     bool `json:"exact_reached"`
+}
+
+// EvalReport is the full eval-mode output: one row per family.
+type EvalReport struct {
+	N        int          `json:"n"`
+	Families []FamilyEval `json:"families"`
+}
+
+// DefaultEvalFamilies is the population the eval mode measures when
+// none is given: the same families the competitive-ratio harness pins.
+func DefaultEvalFamilies() []string {
+	return []string{
+		string(workload.SkewedStar),
+		string(workload.ChainSelective),
+		string(workload.SparseEM),
+		string(workload.CliqueredYes),
+		string(workload.CliqueredNo),
+	}
+}
+
+// EvalFamilies measures the adaptive router end to end through the
+// server's HTTP API: for each family and seed it requests the same
+// generated instance twice — once with the job-level route override on,
+// once forced to the historical full ensemble — and aggregates the
+// cost ratio and wall-time medians per family.
+//
+// The routed request is issued first: a full-ensemble result is
+// certified and cacheable, and issuing it first would let the routed
+// request be served from the cache, measuring nothing.
+func (c *Client) EvalFamilies(ctx context.Context, cfg EvalConfig) (*EvalReport, error) {
+	families := cfg.Families
+	if len(families) == 0 {
+		families = DefaultEvalFamilies()
+	}
+	n := cfg.N
+	if n == 0 {
+		n = 12
+	}
+	seeds := cfg.Seeds
+	if seeds == 0 {
+		seeds = 5
+	}
+	routed, full := true, false
+	report := &EvalReport{N: n}
+	for _, family := range families {
+		fe := FamilyEval{Family: family, ExactReached: true}
+		var routedWalls, fullWalls []float64
+		famSeeds := seeds
+		if family == string(workload.CliqueredYes) || family == string(workload.CliqueredNo) {
+			famSeeds = 1 // deterministic in n
+		}
+		for seed := 0; seed < famSeeds; seed++ {
+			spec := &server.WorkloadSpec{Shape: family, N: n, Seed: int64(seed)}
+			routedRes, err := c.evalOne(ctx, spec, cfg.TimeoutMS, &routed)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: eval %s seed %d routed: %w", family, seed, err)
+			}
+			fullRes, err := c.evalOne(ctx, spec, cfg.TimeoutMS, &full)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: eval %s seed %d full: %w", family, seed, err)
+			}
+			fe.Seeds++
+			if r := routedRes.Routing; r != nil {
+				fe.Class, fe.Recognized = string(r.Class), r.Recognized
+			}
+			if excess := routedRes.Report.Best.CostLog2 - fullRes.Report.Best.CostLog2; excess > fe.WorstRatioL2 {
+				fe.WorstRatioL2 = excess
+			}
+			fe.RoutedOptimizers = len(routedRes.Report.Runs)
+			fe.ExactReached = fe.ExactReached && routedRes.Report.Best.Exact
+			routedWalls = append(routedWalls, routedRes.WallMS)
+			if !fullRes.Cached {
+				fullWalls = append(fullWalls, fullRes.WallMS)
+			}
+		}
+		fe.RoutedP50MS = medianMS(routedWalls)
+		fe.FullP50MS = medianMS(fullWalls)
+		report.Families = append(report.Families, fe)
+	}
+	return report, nil
+}
+
+// evalOne issues one routed-or-full request and insists on a certified
+// result document.
+func (c *Client) evalOne(ctx context.Context, spec *server.WorkloadSpec, timeoutMS int64, route *bool) (*server.Result, error) {
+	out, err := c.Optimize(ctx, &server.Request{
+		Job: &server.Job{Workload: spec, TimeoutMS: timeoutMS, Route: route},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !out.OK() {
+		if out.ErrDoc != nil {
+			return nil, fmt.Errorf("status %d: %s: %s", out.Status, out.ErrDoc.Error.Kind, out.ErrDoc.Error.Message)
+		}
+		return nil, fmt.Errorf("status %d", out.Status)
+	}
+	if out.Result.Report == nil || out.Result.Report.Best == nil {
+		return nil, fmt.Errorf("result carries no certified best")
+	}
+	return out.Result, nil
+}
+
+func medianMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	return ys[len(ys)/2]
+}

@@ -1,0 +1,59 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"approxqo/internal/server"
+)
+
+// TestEvalFamiliesEndToEnd drives the routed-vs-full eval mode through
+// a real in-process server: the HTTP-level counterpart of the
+// competitive-ratio harness in internal/classify.
+func TestEvalFamiliesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e")
+	}
+	s, err := server.New(server.Config{Seed: 1, DrainTimeout: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := New(ts.URL, 5)
+	rep, err := c.EvalFamilies(context.Background(), EvalConfig{
+		Families:  []string{"skewed-star", "cliquered-yes"},
+		N:         10,
+		Seeds:     2,
+		TimeoutMS: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 10 || len(rep.Families) != 2 {
+		t.Fatalf("report %+v, want 2 families at n=10", rep)
+	}
+	byName := map[string]FamilyEval{}
+	for _, fe := range rep.Families {
+		byName[fe.Family] = fe
+	}
+	star := byName["skewed-star"]
+	if star.Class != "star-skewed" || !star.Recognized || star.Seeds != 2 {
+		t.Errorf("skewed-star eval %+v: want recognized star-skewed over 2 seeds", star)
+	}
+	if star.WorstRatioL2 > 0.03 { // log₂(1+ε) for the harness ε=0.02
+		t.Errorf("skewed-star worst ratio 2^%.4f exceeds the harness ε", star.WorstRatioL2)
+	}
+	adv := byName["cliquered-yes"]
+	if adv.Class != "adversarial" || adv.Recognized || adv.Seeds != 1 {
+		t.Errorf("cliquered-yes eval %+v: want unrecognized adversarial, 1 seed", adv)
+	}
+	if !adv.ExactReached {
+		t.Error("cliquered-yes routed request did not reach the certified exact tier")
+	}
+	if adv.WorstRatioL2 != 0 {
+		t.Errorf("cliquered-yes routed cost differs from full by 2^%.4f", adv.WorstRatioL2)
+	}
+}

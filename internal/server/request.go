@@ -25,14 +25,12 @@ const (
 )
 
 // WorkloadSpec asks the server to generate a seeded random instance
-// instead of shipping one inline — the shape grammar of the workload
-// package (chain|cycle|star|grid|clique|random).
-type WorkloadSpec struct {
-	Shape    string  `json:"shape"`
-	N        int     `json:"n"`
-	Seed     int64   `json:"seed,omitempty"`
-	EdgeProb float64 `json:"edge_prob,omitempty"`
-}
+// instead of shipping one inline — the full family grammar of the
+// workload package: the basic topologies
+// (chain|cycle|star|grid|clique|random) plus the paper-grounded
+// families (skewed-star|chain-selective|sparse-em|cliquered-yes|
+// cliquered-no). It is the server-side alias of workload.Spec.
+type WorkloadSpec = workload.Spec
 
 // Job is the unified tagged job object shared by POST /optimize
 // (`{"job": {...}}`) and POST /optimize/batch (`{"jobs": [{...}, ...]}`).
@@ -57,6 +55,12 @@ type Job struct {
 	// it expires mid-run, anytime heuristics still deliver a certified
 	// best-so-far result.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Route overrides the server's adaptive-routing default for this
+	// job: true forces the structural classifier to pick the ensemble
+	// subset, false forces the historical full ensemble. Nil inherits
+	// the server configuration. QO_H jobs ignore it (the classifier is
+	// a QO_N feature).
+	Route *bool `json:"route,omitempty"`
 }
 
 // Request is the JSON body of POST /optimize: either a tagged job
@@ -78,6 +82,7 @@ type Request struct {
 	QOHInstance *qoh.Instance `json:"qoh_instance,omitempty"`
 	Workload    *WorkloadSpec `json:"workload,omitempty"`
 	TimeoutMS   int64         `json:"timeout_ms,omitempty"`
+	Route       *bool         `json:"route,omitempty"`
 
 	// Resolved state, computed at most once per request: the generated
 	// workload instance and the canonical identity (fingerprint plus the
@@ -112,11 +117,11 @@ func (r *Request) normalize() error {
 	if r.Job == nil {
 		return nil
 	}
-	if r.Model != "" || r.Instance != nil || r.QOHInstance != nil || r.Workload != nil || r.TimeoutMS != 0 {
+	if r.Model != "" || r.Instance != nil || r.QOHInstance != nil || r.Workload != nil || r.TimeoutMS != 0 || r.Route != nil {
 		return fmt.Errorf("request mixes the job object with legacy top-level fields; send one form only (the top-level form is deprecated)")
 	}
-	r.Model, r.Instance, r.QOHInstance, r.Workload, r.TimeoutMS =
-		r.Job.Model, r.Job.Instance, r.Job.QOHInstance, r.Job.Workload, r.Job.TimeoutMS
+	r.Model, r.Instance, r.QOHInstance, r.Workload, r.TimeoutMS, r.Route =
+		r.Job.Model, r.Job.Instance, r.Job.QOHInstance, r.Job.Workload, r.Job.TimeoutMS, r.Job.Route
 	r.Job = nil
 	return nil
 }
@@ -130,6 +135,7 @@ func requestForJob(j *Job) *Request {
 		QOHInstance: j.QOHInstance,
 		Workload:    j.Workload,
 		TimeoutMS:   j.TimeoutMS,
+		Route:       j.Route,
 	}
 }
 
@@ -187,24 +193,29 @@ func (r *Request) Validate() error {
 		}
 	}
 	if w := r.Workload; w != nil {
-		if w.N < 2 || w.N > MaxRequestN {
+		// The serving-layer size cap first, then the family grammar's
+		// own semantic constraints (shape, edge_prob, tau, skew, …).
+		if w.N > MaxRequestN {
 			return fmt.Errorf("workload n=%d out of range [2, %d]", w.N, MaxRequestN)
 		}
-		if w.EdgeProb < 0 || w.EdgeProb > 1 {
-			return fmt.Errorf("workload edge_prob=%g out of range [0, 1]", w.EdgeProb)
-		}
-		valid := false
-		for _, s := range workload.Shapes() {
-			if workload.Shape(w.Shape) == s {
-				valid = true
-				break
-			}
-		}
-		if !valid {
-			return fmt.Errorf("unknown workload shape %q (have %v)", w.Shape, workload.Shapes())
+		if err := w.Validate(); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// routeEnabled resolves the request's adaptive-routing switch: the
+// job-level override when present, otherwise the server default. QO_H
+// requests are never routed (the classifier is a QO_N feature).
+func (r *Request) routeEnabled(def bool) bool {
+	if r.model() == "qoh" {
+		return false
+	}
+	if r.Route != nil {
+		return *r.Route
+	}
+	return def
 }
 
 // model returns the effective model after validation.
@@ -259,13 +270,7 @@ func (r *Request) qonInstance() (*qon.Instance, error) {
 	if r.genQON != nil {
 		return r.genQON, nil
 	}
-	w := r.Workload
-	in, err := workload.Generate(workload.Params{
-		N:        w.N,
-		Shape:    workload.Shape(w.Shape),
-		Seed:     w.Seed,
-		EdgeProb: w.EdgeProb,
-	})
+	in, err := r.Workload.Generate()
 	if err != nil {
 		return nil, err
 	}

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"approxqo/internal/chaos"
+	"approxqo/internal/classify"
 	"approxqo/internal/cliutil"
 	"approxqo/internal/engine"
 	"approxqo/internal/opt"
@@ -64,6 +65,8 @@ const (
 	MetricQueueDeadline = "server.queue.deadline"  // counter: budgets expired while queued
 	MetricPanics        = "server.panics"          // counter: handler panics converted to 500s
 	MetricBreakerSkips  = "server.breaker.skips"   // counter: optimizers left out, circuit open
+	MetricRouted        = "server.routed"          // counter: requests served through the adaptive router
+	MetricRouteSkips    = "server.route.skips"     // counter: optimizers the router left out (routing+degraded skips)
 	MetricInFlight      = "server.inflight"        // gauge: admitted, not yet answered
 	MetricQueueDepth    = "server.queue.depth"     // gauge: admitted, waiting for a worker slot
 	MetricRung          = "server.rung"            // histogram: ladder rung per accepted request
@@ -134,6 +137,16 @@ type Config struct {
 	// bypassed entirely when chaos injection is active — fault behaviour
 	// must stay per-request.
 	CacheSize int
+
+	// Route enables adaptive optimizer routing: the structural
+	// classifier (internal/classify) picks the ensemble tiers and
+	// budget split per QO_N instance, and the degradation ladder sheds
+	// the tier the classifier ranks least important instead of always
+	// shedding the exact optimizers. Per-job `route` overrides it
+	// either way. Routed reduced-ensemble results are cached only when
+	// certified exact (a greedy-only answer must never be served to a
+	// later full-ensemble request).
+	Route bool
 
 	// Seed seeds the randomized heuristics; each request derives its
 	// own seed from it.
@@ -485,7 +498,8 @@ type jobOutcome struct {
 	rep     *engine.Report // in the requester's label space
 	rung    Rung           // rung the result was served at (full for cache hits)
 	cached  bool
-	fp      string // instance fingerprint when canonical identity resolved
+	routing *classify.Decision // non-nil when the adaptive router picked the ensemble
+	fp      string             // instance fingerprint when canonical identity resolved
 	queueMS float64
 	wallMS  float64
 }
@@ -498,6 +512,7 @@ func (o *jobOutcome) result(model string) *Result {
 		Rung:        o.rung.String(),
 		Degraded:    o.rung.Degraded(),
 		Cached:      o.cached,
+		Routing:     o.routing,
 		Fingerprint: o.fp,
 		QueueMS:     o.queueMS,
 		WallMS:      o.wallMS,
@@ -586,15 +601,20 @@ func (s *Server) serveAdmitted(ctx context.Context, req *Request, rung Rung, acc
 	queueWait := time.Since(accepted)
 	m.Histogram(MetricQueueWaitUS).Observe(queueWait.Microseconds())
 
-	rep, err := s.run(ctx, req, rung)
+	rep, dec, err := s.run(ctx, req, rung)
+	out.routing = dec
 	wall := time.Since(accepted)
 	m.Histogram(MetricRequestWallUS).Observe(wall.Microseconds())
 	if key != "" && err == nil && rung == RungFull &&
-		rep != nil && rep.Best != nil && rep.Best.Certified {
+		rep != nil && rep.Best != nil && rep.Best.Certified &&
+		(dec == nil || !dec.Reduced() || rep.Best.Exact) {
 		// Only full-rung certified reports are stored: a hit must never
-		// downgrade a future request to a heuristics-only answer. The
-		// stored copy is remapped into canonical label space so any
-		// relabeling of this instance can be served from it.
+		// downgrade a future request to a heuristics-only answer. For
+		// the same reason a routed reduced-ensemble report qualifies
+		// only when its winner is certified exact — optimal is optimal
+		// no matter how few optimizers ran. The stored copy is remapped
+		// into canonical label space so any relabeling of this instance
+		// can be served from it.
 		if _, perm, cerr := req.canonicalID(); cerr == nil {
 			s.cache.put(key, rawKey, remapReport(rep, perm))
 		}
@@ -648,19 +668,59 @@ func invertPerm(perm []int) []int {
 }
 
 // run executes the request's ensemble at the given rung under ctx and
-// feeds the outcome into the circuit breaker.
-func (s *Server) run(ctx context.Context, req *Request, rung Rung) (*engine.Report, error) {
+// feeds the outcome into the circuit breaker. When adaptive routing is
+// active for the request (Config.Route, overridable per job) the
+// returned Decision documents the classifier's choice; nil otherwise.
+func (s *Server) run(ctx context.Context, req *Request, rung Rung) (*engine.Report, *classify.Decision, error) {
 	seed := s.cfg.Seed + s.reqSeq.Add(1)
 	var rep *engine.Report
+	var dec *classify.Decision
 	var err error
 	if req.model() == "qoh" {
 		rep, err = s.eng.RunQOH(ctx, req.QOHInstance, s.qohEnsemble(req.QOHInstance, rung, seed)...)
 	} else {
 		in, ierr := req.qonInstance()
 		if ierr != nil {
-			return nil, ierr
+			return nil, nil, ierr
 		}
-		rep, err = s.eng.Run(ctx, in, s.qonEnsemble(in.N(), rung, seed)...)
+		var optimizers []opt.Optimizer
+		var skips []engine.SkipRecord
+		if req.routeEnabled(s.cfg.Route) {
+			d := classify.Route(classify.Extract(in))
+			if rung.Degraded() {
+				// The ladder sheds the tier the classifier ranks least
+				// important — for adversarial instances that keeps the
+				// certified exact tier and sheds heuristics instead.
+				d = d.Degrade()
+			}
+			dec = &d
+			optimizers, skips = classify.Ensemble(d, in.N(), seed)
+			var brSkips []engine.SkipRecord
+			optimizers, brSkips = s.filterOpenSkips(optimizers)
+			skips = append(skips, brSkips...)
+			if len(s.chaosRules) > 0 {
+				optimizers = chaos.Apply(s.chaosRules, optimizers,
+					append(append([]chaos.Option(nil), s.cfg.ChaosOptions...), chaos.WithSeed(seed))...)
+			}
+			s.cfg.Metrics.Counter(MetricRouted).Inc()
+			s.cfg.Metrics.Counter(MetricRouteSkips).Add(int64(len(skips)))
+			// A reduced ensemble deserves a reduced slice of the budget:
+			// the wall-time headroom is the point of routing.
+			if frac := d.BudgetFrac; frac > 0 && frac < 1 {
+				if dl, ok := ctx.Deadline(); ok {
+					scaled := time.Now().Add(time.Duration(float64(time.Until(dl)) * frac))
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithDeadline(ctx, scaled)
+					defer cancel()
+				}
+			}
+		} else {
+			optimizers = s.qonEnsemble(in.N(), rung, seed)
+		}
+		rep, err = s.eng.Run(ctx, in, optimizers...)
+		if rep != nil {
+			rep.Skipped = skips
+		}
 	}
 	if rep != nil {
 		for i := range rep.Runs {
@@ -674,7 +734,7 @@ func (s *Server) run(ctx context.Context, req *Request, rung Rung) (*engine.Repo
 			}
 		}
 	}
-	return rep, err
+	return rep, dec, err
 }
 
 // qonEnsemble builds the request's optimizer set: sized to the
@@ -732,18 +792,31 @@ func (s *Server) qohEnsemble(in *qoh.Instance, rung Rung, seed int64) []engine.Q
 // filterOpen drops optimizers whose breaker circuit is open, keeping at
 // least one: an ensemble emptied by the breaker half-opens instead.
 func (s *Server) filterOpen(optimizers []opt.Optimizer) []opt.Optimizer {
+	kept, _ := s.filterOpenSkips(optimizers)
+	return kept
+}
+
+// filterOpenSkips is filterOpen plus a SkipRecord per dropped
+// optimizer, so routed reports account for breaker skips alongside
+// routing skips.
+func (s *Server) filterOpenSkips(optimizers []opt.Optimizer) ([]opt.Optimizer, []engine.SkipRecord) {
 	keep := optimizers[:0]
+	var skips []engine.SkipRecord
 	for _, o := range optimizers {
 		if s.breaker.Allow(o.Name()) {
 			keep = append(keep, o)
 		} else {
 			s.cfg.Metrics.Counter(MetricBreakerSkips).Inc()
+			skips = append(skips, engine.SkipRecord{
+				Name: o.Name(), Reason: engine.SkipBreaker,
+				Detail: "circuit open after repeated quarantine",
+			})
 		}
 	}
 	if len(keep) == 0 {
-		return optimizers[:cap(keep)]
+		return optimizers[:cap(keep)], nil
 	}
-	return keep
+	return keep, skips
 }
 
 // Result is the success document of POST /optimize.
@@ -759,6 +832,11 @@ type Result struct {
 	// also marks group mates served from their leader's single engine
 	// run.
 	Cached bool `json:"cached,omitempty"`
+	// Routing is the adaptive router's decision (class, tiers, reason,
+	// features) when it picked this request's ensemble; nil for
+	// unrouted requests and cache hits. Report.Skipped lists the
+	// optimizers the decision left out.
+	Routing *classify.Decision `json:"routing,omitempty"`
 	// Fingerprint is the graph-invariant canonical identity of the
 	// resolved instance (the cache key, sans model prefix); empty when
 	// caching is disabled or bypassed.

@@ -1,0 +1,327 @@
+// Paper-grounded workload families beyond the basic topologies: the
+// instance populations the adaptive router (internal/classify) is
+// judged against. Each family realizes one of the regimes the paper's
+// analysis distinguishes:
+//
+//   - skewed-star — a star query whose hub is a fact relation orders of
+//     magnitude larger than the dimensions, with key–foreign-key-style
+//     selectivities: the SNIPPETS.md "When Greedy Beats Optimal" regime
+//     where selectivity is visible in the query structure.
+//   - chain-selective — a chain with a few planted strongly selective
+//     edges (s ≈ 2^−20) separated by a wide gap from the mild rest, and
+//     index-access costs at the model's t·s lower bound on the planted
+//     edges: a greedy-sufficient family by construction.
+//   - sparse-em — the e(m)-constrained sparse query graphs of §6
+//     (Theorems 16/17): exactly m + ⌈m^τ⌉ edges on m vertices, the
+//     sparse end of the admissible range, with workload-style random
+//     weights.
+//   - cliquered-yes / cliquered-no — the f_N hardness instances over
+//     the certified CLIQUE promise pair (uniform sizes, uniform 1/α
+//     selectivities): the adversarial population where every heuristic
+//     can be off by α^Θ(n) and only the certified exact tier is safe.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"approxqo/internal/cliquered"
+	"approxqo/internal/core"
+	"approxqo/internal/graph"
+	"approxqo/internal/num"
+	"approxqo/internal/qon"
+)
+
+// The named families beyond the Shape topologies.
+const (
+	SkewedStar     Shape = "skewed-star"
+	ChainSelective Shape = "chain-selective"
+	SparseEM       Shape = "sparse-em"
+	CliqueredYes   Shape = "cliquered-yes"
+	CliqueredNo    Shape = "cliquered-no"
+)
+
+// Families lists every generatable population name: the basic
+// topologies plus the paper-grounded families.
+func Families() []Shape {
+	return append(Shapes(), SkewedStar, ChainSelective, SparseEM, CliqueredYes, CliqueredNo)
+}
+
+// IsFamily reports whether name is a known shape or family.
+func IsFamily(name Shape) bool {
+	for _, f := range Families() {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Spec is the JSON workload-family specification shared by the server's
+// request decoder (POST /optimize {"workload": {...}}), loadgen and the
+// competitive-ratio harness. Zero optional fields take family defaults.
+type Spec struct {
+	// Shape is a topology (chain|cycle|star|grid|clique|random) or a
+	// family (skewed-star|chain-selective|sparse-em|cliquered-yes|
+	// cliquered-no).
+	Shape string `json:"shape"`
+	N     int    `json:"n"`
+	Seed  int64  `json:"seed,omitempty"`
+	// EdgeProb is the edge probability for shape "random" (default ½).
+	EdgeProb float64 `json:"edge_prob,omitempty"`
+	// Tau is the sparse-em edge-budget exponent: e(m) = m + ⌈m^τ⌉,
+	// 0 < τ < 1 (default 0.5).
+	Tau float64 `json:"tau,omitempty"`
+	// Skew is the skewed-star hub factor: the hub relation is Skew times
+	// the largest dimension (default 1024; must be ≥ 2).
+	Skew float64 `json:"skew,omitempty"`
+	// SelectiveEdges is how many strongly selective edges
+	// chain-selective plants (default 2; capped at n−1).
+	SelectiveEdges int `json:"selective_edges,omitempty"`
+}
+
+// DecodeSpec parses one JSON family spec and validates it. Errors are
+// safe to echo to clients.
+func DecodeSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("workload: decoding spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec's semantic constraints (the caller owns any
+// stricter serving-layer size cap).
+func (s *Spec) Validate() error {
+	if !IsFamily(Shape(s.Shape)) {
+		return fmt.Errorf("workload: unknown shape %q (have %v)", s.Shape, Families())
+	}
+	if s.N < 2 {
+		return fmt.Errorf("workload: n=%d below the 2-relation floor", s.N)
+	}
+	if s.EdgeProb < 0 || s.EdgeProb > 1 {
+		return fmt.Errorf("workload: edge_prob=%g out of range [0, 1]", s.EdgeProb)
+	}
+	if s.Tau != 0 && (s.Tau <= 0 || s.Tau >= 1) {
+		return fmt.Errorf("workload: tau=%g out of range (0, 1)", s.Tau)
+	}
+	if s.Skew != 0 && s.Skew < 2 {
+		return fmt.Errorf("workload: skew=%g below the 2x floor", s.Skew)
+	}
+	if s.SelectiveEdges < 0 {
+		return fmt.Errorf("workload: selective_edges=%d negative", s.SelectiveEdges)
+	}
+	switch Shape(s.Shape) {
+	case Cycle:
+		if s.N < 3 {
+			return fmt.Errorf("workload: cycle needs n ≥ 3")
+		}
+	case SkewedStar, ChainSelective:
+		if s.N < 3 {
+			return fmt.Errorf("workload: %s needs n ≥ 3", s.Shape)
+		}
+	case SparseEM:
+		if s.N < 4 {
+			return fmt.Errorf("workload: sparse-em needs n ≥ 4")
+		}
+	case CliqueredYes, CliqueredNo:
+		// ω_No = ⌊n/4⌋ must stay below ω_Yes = ⌈3n/4⌉ with both positive.
+		if s.N < 4 {
+			return fmt.Errorf("workload: cliquered promise pair needs n ≥ 4")
+		}
+	}
+	return nil
+}
+
+// Generate builds the spec's instance. The result is deterministic in
+// (Shape, N, Seed, family parameters).
+func (s *Spec) Generate() (*qon.Instance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch Shape(s.Shape) {
+	case SkewedStar:
+		return generateSkewedStar(s)
+	case ChainSelective:
+		return generateChainSelective(s)
+	case SparseEM:
+		return generateSparseEM(s)
+	case CliqueredYes:
+		return generateCliquered(s, true)
+	case CliqueredNo:
+		return generateCliquered(s, false)
+	default:
+		return Generate(Params{N: s.N, Shape: Shape(s.Shape), Seed: s.Seed, EdgeProb: s.EdgeProb})
+	}
+}
+
+// fillUniformRows initializes S and W to the non-edge conventions
+// (selectivity 1, access cost t_i) for an instance whose T is set.
+func fillUniformRows(in *qon.Instance) {
+	n := in.N()
+	one := num.One()
+	in.S = make([][]num.Num, n)
+	in.W = make([][]num.Num, n)
+	for i := 0; i < n; i++ {
+		in.S[i] = make([]num.Num, n)
+		in.W[i] = make([]num.Num, n)
+		for j := 0; j < n; j++ {
+			in.S[i][j] = one
+			in.W[i][j] = in.T[i]
+		}
+	}
+}
+
+// generateSkewedStar builds a star whose hub (vertex 0) is a fact
+// relation Skew times the largest dimension, joined to every dimension
+// with a key–foreign-key selectivity filter/|dim| and index access at
+// the t·s lower bound — pattern-visible selectivity in the SSB mold.
+func generateSkewedStar(s *Spec) (*qon.Instance, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	skew := s.Skew
+	if skew == 0 {
+		skew = 1024
+	}
+	n := s.N
+	in := &qon.Instance{Q: graph.Star(n), T: make([]num.Num, n)}
+	maxDim := 0.0
+	for i := 1; i < n; i++ {
+		// Dimension cardinalities, log-uniform in [100, 1e5].
+		lg := math.Log(100) + rng.Float64()*(math.Log(1e5)-math.Log(100))
+		card := math.Ceil(math.Exp(lg))
+		in.T[i] = num.FromFloat64(card)
+		if card > maxDim {
+			maxDim = card
+		}
+	}
+	in.T[0] = num.FromFloat64(math.Ceil(maxDim * skew))
+	fillUniformRows(in)
+	for i := 1; i < n; i++ {
+		// Key–foreign-key probe with a local filter in [0.05, 1].
+		filter := 0.05 + 0.95*rng.Float64()
+		sel := num.FromFloat64(filter).Div(in.T[i])
+		in.S[0][i], in.S[i][0] = sel, sel
+		in.W[0][i] = in.T[0].Mul(sel) // index access at the t·s bound
+		in.W[i][0] = in.T[i].Mul(sel)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: skewed-star invalid: %w", err)
+	}
+	return in, nil
+}
+
+// generateChainSelective builds a chain with SelectiveEdges planted
+// strongly selective edges (s = 2^−20) whose access costs sit at the
+// t·s lower bound, against a mild background (s ∈ [¼, ½], full-scan
+// access): the selectivity signal is wide enough (≥ 2^18 separation)
+// that a structural classifier can see it without statistics.
+func generateChainSelective(s *Spec) (*qon.Instance, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	n := s.N
+	planted := s.SelectiveEdges
+	if planted == 0 {
+		planted = 2
+	}
+	if planted > n-1 {
+		planted = n - 1
+	}
+	in := &qon.Instance{Q: graph.Path(n), T: make([]num.Num, n)}
+	for i := range in.T {
+		// Cardinalities log-uniform in [1e3, 1e6].
+		lg := math.Log(1e3) + rng.Float64()*(math.Log(1e6)-math.Log(1e3))
+		in.T[i] = num.FromFloat64(math.Ceil(math.Exp(lg)))
+	}
+	fillUniformRows(in)
+	selective := rng.Perm(n - 1)[:planted]
+	isPlanted := make([]bool, n-1)
+	for _, e := range selective {
+		isPlanted[e] = true
+	}
+	strong := num.Pow2(-20)
+	for i := 0; i+1 < n; i++ {
+		j := i + 1
+		var sel num.Num
+		if isPlanted[i] {
+			sel = strong
+		} else {
+			sel = num.FromFloat64(0.25 + 0.25*rng.Float64())
+		}
+		in.S[i][j], in.S[j][i] = sel, sel
+		if isPlanted[i] {
+			in.W[i][j] = in.T[i].Mul(sel)
+			in.W[j][i] = in.T[j].Mul(sel)
+		} // mild edges keep the full-scan default W = t
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: chain-selective invalid: %w", err)
+	}
+	return in, nil
+}
+
+// generateSparseEM builds a connected random query graph on n vertices
+// with exactly e(n) = n + ⌈n^τ⌉ edges — the sparse end of the §6
+// admissible range — carrying workload-style random weights.
+func generateSparseEM(s *Spec) (*qon.Instance, error) {
+	tau := s.Tau
+	if tau == 0 {
+		tau = 0.5
+	}
+	n := s.N
+	edges := core.SparseBudget(tau)(n)
+	if max := n * (n - 1) / 2; edges > max {
+		edges = max
+	}
+	q := graph.ConnectedRandom(n, edges, s.Seed)
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+	in := &qon.Instance{Q: q, T: make([]num.Num, n)}
+	for i := range in.T {
+		lg := math.Log(10) + rng.Float64()*(math.Log(1e6)-math.Log(10))
+		in.T[i] = num.FromFloat64(math.Ceil(math.Exp(lg)))
+	}
+	fillUniformRows(in)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if !q.HasEdge(i, j) {
+				continue
+			}
+			lg := math.Log(1e-4) + rng.Float64()*(math.Log(0.5)-math.Log(1e-4))
+			sel := num.FromFloat64(math.Exp(lg))
+			in.S[i][j], in.S[j][i] = sel, sel
+			in.W[i][j] = between(in.T[i].Mul(sel), in.T[i], rng.Float64())
+			in.W[j][i] = between(in.T[j].Mul(sel), in.T[j], rng.Float64())
+		}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: sparse-em invalid: %w", err)
+	}
+	return in, nil
+}
+
+// generateCliquered builds the f_N hardness instance over the certified
+// CLIQUE promise pair on n vertices (c = 3/4, d = 1/2): uniform
+// relation sizes α^Peak, uniform edge selectivity 1/α, uniform edge
+// access cost — the adversarial population where the optimal cost
+// separates the YES and NO sides by α^Θ(n) and heuristics carry no
+// guarantee. Deterministic in n (Seed only perturbs nothing: the
+// promise pair is a fixed complete multipartite construction).
+func generateCliquered(s *Spec, yesSide bool) (*qon.Instance, error) {
+	n := s.N
+	yes, no := cliquered.YesNoPair(n, 0.75, 0.5)
+	if yes.Omega <= no.Omega {
+		return nil, fmt.Errorf("workload: degenerate promise pair at n=%d (ωYes=%d, ωNo=%d)", n, yes.Omega, no.Omega)
+	}
+	g := yes.G
+	if !yesSide {
+		g = no.G
+	}
+	fn, err := core.FN(g, core.FNParams{A: 4, OmegaYes: yes.Omega, OmegaNo: no.Omega})
+	if err != nil {
+		return nil, fmt.Errorf("workload: cliquered reduction: %w", err)
+	}
+	return fn.QON, nil
+}

@@ -1,0 +1,259 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+
+	"approxqo/internal/num"
+)
+
+func TestGenerateFamilies(t *testing.T) {
+	for _, family := range Families() {
+		t.Run(string(family), func(t *testing.T) {
+			spec := &Spec{Shape: string(family), N: 8, Seed: 3}
+			in, err := spec.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if in.N() != 8 {
+				t.Fatalf("n = %d, want 8", in.N())
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatalf("invalid instance: %v", err)
+			}
+			if !in.Q.IsConnected() {
+				t.Error("query graph disconnected")
+			}
+		})
+	}
+}
+
+func TestFamilyGenerateDeterministic(t *testing.T) {
+	for _, family := range []Shape{SkewedStar, ChainSelective, SparseEM} {
+		t.Run(string(family), func(t *testing.T) {
+			gen := func(seed int64) [][]num.Num {
+				in, err := (&Spec{Shape: string(family), N: 9, Seed: seed}).Generate()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return append([][]num.Num{in.T}, in.S...)
+			}
+			a, b, c := gen(7), gen(7), gen(8)
+			differs := false
+			for i := range a {
+				for j := range a[i] {
+					if !a[i][j].Equal(b[i][j]) {
+						t.Fatalf("same seed produced different statistics at [%d][%d]", i, j)
+					}
+					if !a[i][j].Equal(c[i][j]) {
+						differs = true
+					}
+				}
+			}
+			if !differs {
+				t.Error("different seeds produced identical statistics")
+			}
+		})
+	}
+}
+
+func TestSparseEMEdgeBudget(t *testing.T) {
+	for _, tc := range []struct {
+		n   int
+		tau float64
+	}{{8, 0}, {12, 0}, {16, 0.5}, {10, 0.75}, {20, 0.25}} {
+		spec := &Spec{Shape: string(SparseEM), N: tc.n, Seed: 1, Tau: tc.tau}
+		in, err := spec.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tau := tc.tau
+		if tau == 0 {
+			tau = 0.5
+		}
+		want := tc.n + int(math.Ceil(math.Pow(float64(tc.n), tau)))
+		if max := tc.n * (tc.n - 1) / 2; want > max {
+			want = max
+		}
+		if got := in.Q.EdgeCount(); got != want {
+			t.Errorf("sparse-em(n=%d, tau=%g): %d edges, want exactly %d", tc.n, tc.tau, got, want)
+		}
+	}
+}
+
+func TestChainSelectivePlantedEdges(t *testing.T) {
+	strong := num.Pow2(-20)
+	for _, planted := range []int{0, 1, 3, 50} {
+		spec := &Spec{Shape: string(ChainSelective), N: 10, Seed: 4, SelectiveEdges: planted}
+		in, err := spec.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := planted
+		if want == 0 {
+			want = 2 // family default
+		}
+		if want > 9 {
+			want = 9 // capped at n−1
+		}
+		got := 0
+		for i := 0; i+1 < 10; i++ {
+			if in.S[i][i+1].Equal(strong) {
+				got++
+				// Planted edges must sit at the W = t·s lower bound.
+				if !in.W[i][i+1].Equal(in.T[i].Mul(strong)) {
+					t.Errorf("planted edge (%d,%d) not at the t·s access bound", i, i+1)
+				}
+			}
+		}
+		if got != want {
+			t.Errorf("selective_edges=%d: %d planted edges, want %d", planted, got, want)
+		}
+	}
+}
+
+func TestSkewedStarHubDominates(t *testing.T) {
+	for _, skew := range []float64{0, 16, 4096} {
+		spec := &Spec{Shape: string(SkewedStar), N: 9, Seed: 2, Skew: skew}
+		in, err := spec.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := skew
+		if want == 0 {
+			want = 1024 // family default
+		}
+		hub := in.T[0].Float64()
+		for i := 1; i < 9; i++ {
+			if dim := in.T[i].Float64(); hub < want*dim {
+				t.Errorf("skew=%g: hub %g below %g× dimension %d (%g)", skew, hub, want, i, dim)
+			}
+		}
+	}
+}
+
+func TestCliqueredSidesDiffer(t *testing.T) {
+	yes, err := (&Spec{Shape: string(CliqueredYes), N: 12}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	no, err := (&Spec{Shape: string(CliqueredNo), N: 12}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yes.Q.Equal(no.Q) {
+		t.Error("YES and NO promise-pair query graphs are identical")
+	}
+	// Statistics-free signature: both sides are uniform in T, S and W.
+	for _, in := range []*struct {
+		name string
+		t    []num.Num
+	}{{"yes", yes.T}, {"no", no.T}} {
+		for i := 1; i < len(in.t); i++ {
+			if !in.t[i].Equal(in.t[0]) {
+				t.Errorf("%s side: non-uniform relation sizes", in.name)
+			}
+		}
+	}
+	// Deterministic in n: seed must not perturb the construction.
+	again, err := (&Spec{Shape: string(CliqueredYes), N: 12, Seed: 99}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Q.Equal(yes.Q) {
+		t.Error("cliquered-yes depends on seed; should be deterministic in n")
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	cases := []Spec{
+		{Shape: "mystery", N: 8},
+		{Shape: string(SkewedStar), N: 1},
+		{Shape: string(SkewedStar), N: 2},     // needs n ≥ 3
+		{Shape: string(ChainSelective), N: 2}, // needs n ≥ 3
+		{Shape: string(SparseEM), N: 3},       // needs n ≥ 4
+		{Shape: string(CliqueredYes), N: 3},   // promise pair needs n ≥ 4
+		{Shape: string(CliqueredNo), N: 2},
+		{Shape: "cycle", N: 2},
+		{Shape: "random", N: 8, EdgeProb: 1.5},
+		{Shape: "random", N: 8, EdgeProb: -0.1},
+		{Shape: string(SparseEM), N: 8, Tau: 1},
+		{Shape: string(SparseEM), N: 8, Tau: -0.5},
+		{Shape: string(SkewedStar), N: 8, Skew: 1.5},
+		{Shape: string(ChainSelective), N: 8, SelectiveEdges: -1},
+	}
+	for _, tc := range cases {
+		if err := tc.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", tc)
+		}
+	}
+}
+
+func TestDecodeSpec(t *testing.T) {
+	spec, err := DecodeSpec([]byte(`{"shape":"chain-selective","n":10,"seed":3,"selective_edges":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Shape != string(ChainSelective) || spec.N != 10 || spec.Seed != 3 || spec.SelectiveEdges != 1 {
+		t.Errorf("decoded %+v", spec)
+	}
+	for _, bad := range []string{
+		`{"shape":"chain-selective","n":10`, // malformed JSON
+		`{"shape":"nope","n":10}`,           // unknown family
+		`{"shape":"star","n":1}`,            // below floor
+	} {
+		if _, err := DecodeSpec([]byte(bad)); err == nil {
+			t.Errorf("DecodeSpec accepted %s", bad)
+		}
+	}
+}
+
+// FuzzWorkloadSpecJSON drives the JSON spec decoder — the server's
+// attack surface for workload requests — with arbitrary bytes. The
+// invariants: DecodeSpec never panics; anything it accepts survives a
+// marshal round-trip and (at fuzz-sized n) generates a valid instance.
+func FuzzWorkloadSpecJSON(f *testing.F) {
+	f.Add([]byte(`{"shape":"chain","n":6}`))
+	f.Add([]byte(`{"shape":"skewed-star","n":8,"seed":1,"skew":64}`))
+	f.Add([]byte(`{"shape":"chain-selective","n":9,"selective_edges":3}`))
+	f.Add([]byte(`{"shape":"sparse-em","n":10,"tau":0.75}`))
+	f.Add([]byte(`{"shape":"cliquered-yes","n":8}`))
+	f.Add([]byte(`{"shape":"random","n":7,"edge_prob":0.4}`))
+	f.Add([]byte(`{"shape":"","n":-1}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("DecodeSpec accepted a spec Validate rejects: %v", verr)
+		}
+		round, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if _, err := DecodeSpec(round); err != nil {
+			t.Fatalf("round-trip rejected: %v (from %s)", err, round)
+		}
+		if spec.N > 10 {
+			return // keep fuzz iterations cheap; generation is size-exponential downstream
+		}
+		in, err := spec.Generate()
+		if err != nil {
+			t.Fatalf("validated spec failed to generate: %v", err)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("generated instance invalid: %v", err)
+		}
+	})
+}
+
+func ExampleDecodeSpec() {
+	spec, _ := DecodeSpec([]byte(`{"shape":"sparse-em","n":12}`))
+	in, _ := spec.Generate()
+	fmt.Println(in.N(), in.Q.EdgeCount())
+	// Output: 12 16
+}
