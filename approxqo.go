@@ -19,6 +19,7 @@ import (
 	"approxqo/internal/classify"
 	"approxqo/internal/cliquered"
 	"approxqo/internal/cluster"
+	"approxqo/internal/cluster/replica"
 	"approxqo/internal/core"
 	"approxqo/internal/engine"
 	"approxqo/internal/experiments"
@@ -124,6 +125,12 @@ type (
 	// it.
 	Coordinator   = cluster.Coordinator
 	ClusterConfig = cluster.Config
+	// ReplicaEntry is one replicated certified cache entry (key +
+	// canonical-space report), re-validated at every trust boundary;
+	// ReplicaRange is a half-open wrapping arc of the hash circle the
+	// handoff and anti-entropy paths address keyspace by.
+	ReplicaEntry = replica.Entry
+	ReplicaRange = replica.Range
 	// NetFault names an injectable network fault (drop, delay, 5xx,
 	// reset, truncate); NetRule targets one at matching workers.
 	NetFault = chaos.NetFault

@@ -10,6 +10,7 @@ import (
 
 	"approxqo/internal/classify"
 	"approxqo/internal/cluster"
+	"approxqo/internal/cluster/replica"
 	"approxqo/internal/num"
 	"approxqo/internal/opt"
 	"approxqo/internal/qon"
@@ -250,6 +251,32 @@ func BenchmarkRegRingRoute(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if got := ring.Lookup(keys[i%len(keys)], 3); len(got) != 3 {
 			b.Fatalf("lookup returned %d workers, want 3", len(got))
+		}
+	}
+}
+
+// BenchmarkRegReplicaDigest pins the anti-entropy fingerprint cost: one
+// digest pass of a 512-key cache over 64 vnode arcs — the per-round
+// work a worker's /cache/digest endpoint does for the repair loop, and
+// the reason repair stays cheap enough to price like a retry.
+func BenchmarkRegReplicaDigest(b *testing.B) {
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = "qon:" + strconv.FormatUint(uint64(i)*2654435761, 16)
+	}
+	ranges := make([]replica.Range, 64)
+	step := uint64(1) << 58 // 64 equal arcs covering the circle
+	for i := range ranges {
+		lo := uint64(i) * step
+		ranges[i] = replica.Range{Lo: lo, Hi: lo + step}
+	}
+	ranges[len(ranges)-1].Hi = 0 // wrap: the last arc closes the circle
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := replica.DigestRanges(keys, ranges)
+		if len(ds) != len(ranges) {
+			b.Fatalf("digested %d arcs, want %d", len(ds), len(ranges))
 		}
 	}
 }

@@ -44,7 +44,15 @@
 //
 //	qod -addr :8080 -coordinate 'http://w1:8081,http://w2:8082'
 //	qod -addr :8080 -coordinate ... -hedge-after 0 -max-retries 2
+//	qod -addr :8080 -coordinate ... -replicas 2 -repair-every 5s
 //	qod -addr :8080 -coordinate ... -net-chaos 'delay:w2,rate:0.1'
+//
+// With replication on (the default, -replicas 2), each certified result
+// stored by a worker is fanned out to its ring successors, membership
+// changes stream the moved keyspace to the new owner before traffic
+// flips (hinted handoff), and a background anti-entropy loop
+// (-repair-every) digests replica pairs and read-repairs divergence,
+// paying for each transfer out of the global retry budget.
 //
 // SIGINT/SIGTERM triggers a graceful drain: admission stops, in-flight
 // requests finish within -drain, and the observability outputs
@@ -94,6 +102,8 @@ func main() {
 	maxRetries := flag.Int("max-retries", 0, "coordinator: failover retries per request (0 = default 2)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: hedge trigger (0 = adaptive p95, negative disables)")
 	probeEvery := flag.Duration("probe-every", 0, "coordinator: worker /readyz probe cadence (0 = default 500ms, negative disables)")
+	replicas := flag.Int("replicas", 0, "coordinator: ring successors holding a copy of each certified result (0 = default 2, negative disables replication)")
+	repairEvery := flag.Duration("repair-every", 0, "coordinator: anti-entropy repair cadence (0 = default 5s, negative disables)")
 	netChaos := flag.String("net-chaos", "", "coordinator: network fault spec applied to upstream requests (e.g. 'drop,delay:w2')")
 	flag.Parse()
 
@@ -161,6 +171,8 @@ func main() {
 			MaxRetries:     *maxRetries,
 			HedgeAfter:     *hedgeAfter,
 			ProbeInterval:  *probeEvery,
+			Replicas:       *replicas,
+			RepairInterval: *repairEvery,
 			DefaultTimeout: *reqTimeout,
 			MaxTimeout:     *maxTimeout,
 			RetryAfter:     *retryAfter,

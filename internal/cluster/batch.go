@@ -254,6 +254,11 @@ func (c *Coordinator) tryWorkerBatch(ctx context.Context, worker, rid string, g 
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set(server.RequestIDHeader, rid)
+	if peers := c.replicaPeers(g.key, worker); len(peers) > 0 {
+		// One shape per sub-batch means one replica set for the whole
+		// group; the worker fans out each stored leader result.
+		hreq.Header.Set(server.ReplicateToHeader, replicateToHeader(peers))
+	}
 	start := time.Now()
 	resp, err := c.client.Do(hreq)
 	if err != nil {

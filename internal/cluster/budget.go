@@ -60,6 +60,27 @@ func (b *retryBudget) withdraw() bool {
 	return true
 }
 
+// refund returns one withdrawn token, capped at burst. Only for
+// attempts cancelled before completing any upstream work — a hedge
+// whose race was decided by the other arm. A completed-but-failed
+// attempt is never refunded: it consumed real worker capacity, which
+// is exactly what the budget prices.
+func (b *retryBudget) refund() {
+	b.mu.Lock()
+	b.tokens++
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// balance reports the current token count (tests).
+func (b *retryBudget) balance() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
 // latencyTracker keeps a sliding window of successful upstream
 // latencies and serves the adaptive hedge delay: hedge after the
 // observed p95, so hedges chase only the tail — ~5% of requests — and

@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"approxqo/internal/cluster/replica"
 	"approxqo/internal/server"
 	"approxqo/internal/trace"
 )
@@ -53,20 +54,36 @@ import (
 // MetricRequests + MetricBatchShapes + retry-budget burst +
 // ratio·requests — every upstream POST is accounted, including hedges.
 const (
-	MetricRequests       = "cluster.requests"        // counter: client /optimize hits
-	MetricBatchRequests  = "cluster.batch.requests"  // counter: client /optimize/batch hits
-	MetricBatchJobs      = "cluster.batch.jobs"      // counter: jobs across decoded batches
-	MetricBatchShapes    = "cluster.batch.shapes"    // counter: distinct fingerprints routed
-	MetricAttempts       = "cluster.attempts"        // counter: upstream POSTs, retries and hedges included
-	MetricRetries        = "cluster.retries"         // counter: failover retries issued (⊆ attempts)
-	MetricRetryDenied    = "cluster.retry.denied"    // counter: retries/hedges refused by the budget
-	MetricHedgeIssued    = "cluster.hedge.issued"    // counter: hedged duplicates launched (⊆ attempts)
-	MetricHedgeWins      = "cluster.hedge.wins"      // counter: hedges that answered first
-	MetricUpstreamErrors = "cluster.upstream.errors" // counter: attempts that failed retryably
-	MetricWorkerDown     = "cluster.worker.down"     // counter: healthy/suspect → down transitions
-	MetricProbes         = "cluster.probes"          // counter: /readyz probes issued
-	MetricInFlight       = "cluster.inflight"        // gauge: client requests being routed
+	MetricRequests       = "cluster.requests"         // counter: client /optimize hits
+	MetricBatchRequests  = "cluster.batch.requests"   // counter: client /optimize/batch hits
+	MetricBatchJobs      = "cluster.batch.jobs"       // counter: jobs across decoded batches
+	MetricBatchShapes    = "cluster.batch.shapes"     // counter: distinct fingerprints routed
+	MetricAttempts       = "cluster.attempts"         // counter: upstream POSTs, retries and hedges included
+	MetricRetries        = "cluster.retries"          // counter: failover retries issued (⊆ attempts)
+	MetricRetryDenied    = "cluster.retry.denied"     // counter: retries/hedges refused by the budget
+	MetricHedgeIssued    = "cluster.hedge.issued"     // counter: hedged duplicates launched (⊆ attempts)
+	MetricHedgeWins      = "cluster.hedge.wins"       // counter: hedges that answered first
+	MetricUpstreamErrors = "cluster.upstream.errors"  // counter: attempts that failed retryably
+	MetricWorkerDown     = "cluster.worker.down"      // counter: healthy/suspect → down transitions
+	MetricProbes         = "cluster.probes"           // counter: /readyz probes issued
+	MetricInFlight       = "cluster.inflight"         // gauge: client requests being routed
 	MetricUpstreamWallUS = "cluster.upstream.wall_us" // histogram: successful upstream attempt wall time (µs)
+	MetricRetryRefunded  = "cluster.retry.refunded"   // counter: hedge-loser tokens returned to the budget
+)
+
+// Replication metric names. The chaos soak asserts MetricHandoff > 0
+// after a kill-and-replace (the moved keyspace was streamed, not
+// cold-started) and that repair transfers stay within the retry
+// budget's bound (MetricRepairXfers withdraws ⊆ the budget invariant).
+const (
+	MetricReplicaWarm   = "cluster.replica.warm"           // gauge: 1 when the moved keyspace is fully streamed
+	MetricHandoff       = "cluster.replica.handoff"        // counter: entries streamed by hinted handoff
+	MetricHandoffDenied = "cluster.replica.handoff.denied" // counter: entries past the transfer budget, left to repair
+	MetricRepairRounds  = "cluster.replica.repair.rounds"  // counter: anti-entropy passes started
+	MetricRepairRanges  = "cluster.replica.repair.ranges"  // counter: divergent replica ranges found
+	MetricRepairXfers   = "cluster.replica.repair.xfers"   // counter: repair transfers issued (each withdrew a budget token)
+	MetricRepairEntries = "cluster.replica.repair.entries" // counter: entries read-repaired onto a replica
+	MetricRepairDenied  = "cluster.replica.repair.denied"  // counter: transfers refused by the retry budget
 )
 
 // SpanRequest and SpanBatch name the coordinator's per-request spans
@@ -130,6 +147,25 @@ type Config struct {
 	MaxTimeout     time.Duration
 	HopMargin      time.Duration
 
+	// Replicas is the number of ring successors each worker's certified
+	// cache entries are replicated to: the coordinator names them in the
+	// X-Replicate-To header of every forwarded job, and handoff and
+	// anti-entropy maintain that copy count across membership changes
+	// and partitions. Zero means replica.DefaultReplicas; negative
+	// disables replication, handoff and repair entirely.
+	Replicas int
+	// RepairInterval is the anti-entropy cadence (default 5s; negative
+	// disables the background loop — RepairOnce still works).
+	RepairInterval time.Duration
+	// HandoffEntries bounds the entries one membership change may
+	// stream (default 512). Past it, handoff degrades gracefully: the
+	// ring still flips, the warm gauge stays 0, and anti-entropy
+	// finishes the job under the retry budget's pacing.
+	HandoffEntries int
+	// HandoffTimeout bounds one hinted-handoff pass (default 5s);
+	// serving never waits on it.
+	HandoffTimeout time.Duration
+
 	// MaxBodyBytes bounds client request bodies (default
 	// server.DefaultMaxBodyBytes). MaxBatchJobs caps batch jobs (default
 	// server.DefaultMaxBatchJobs). RetryAfter is the hint attached to
@@ -190,6 +226,18 @@ func (c Config) withDefaults() Config {
 	if c.HopMargin <= 0 {
 		c.HopMargin = 5 * time.Millisecond
 	}
+	if c.Replicas == 0 {
+		c.Replicas = replica.DefaultReplicas
+	}
+	if c.RepairInterval == 0 {
+		c.RepairInterval = 5 * time.Second
+	}
+	if c.HandoffEntries <= 0 {
+		c.HandoffEntries = 512
+	}
+	if c.HandoffTimeout <= 0 {
+		c.HandoffTimeout = 5 * time.Second
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = server.DefaultMaxBodyBytes
 	}
@@ -220,6 +268,8 @@ type Coordinator struct {
 	rng *rand.Rand
 
 	inflight atomic.Int64
+	draining atomic.Bool
+	warm     atomic.Bool
 	started  time.Time
 }
 
@@ -245,14 +295,36 @@ func New(cfg Config) (*Coordinator, error) {
 	for _, w := range cfg.Workers {
 		c.ring.Add(w)
 	}
+	c.setWarm(true) // no membership change has moved any keyspace yet
 	return c, nil
 }
 
-// AddWorker joins a worker to the ring (live membership change: keys
-// rebalance immediately, health starts fresh).
+// setWarm records replica warmth: whether every keyspace arc moved by
+// membership changes has been fully streamed to its new owner. Serving
+// never gates on it — cold arcs just miss their caches until handoff
+// or anti-entropy catches up.
+func (c *Coordinator) setWarm(warm bool) {
+	c.warm.Store(warm)
+	v := int64(0)
+	if warm {
+		v = 1
+	}
+	c.cfg.Metrics.Gauge(MetricReplicaWarm).Set(v)
+}
+
+// BeginDrain marks the coordinator as draining: /readyz reports
+// draining:true (and stays 200 while requests are in flight, so a
+// load balancer sees a deliberate drain rather than a flapping
+// failure) and stops claiming readiness once the last request ends.
+func (c *Coordinator) BeginDrain() { c.draining.Store(true) }
+
+// AddWorker joins a worker to the ring immediately, without hinted
+// handoff: keys rebalance at once and the moved arcs cold-start (or
+// wait for anti-entropy). JoinWorker is the warm path.
 func (c *Coordinator) AddWorker(worker string) { c.ring.Add(worker) }
 
-// RemoveWorker leaves a worker from the ring and forgets its health.
+// RemoveWorker leaves a worker from the ring and forgets its health,
+// without streaming its keyspace first. RetireWorker is the warm path.
 func (c *Coordinator) RemoveWorker(worker string) {
 	c.ring.Remove(worker)
 	c.health.forget(worker)
@@ -290,10 +362,13 @@ func (c *Coordinator) StartProbes(ctx context.Context) {
 	go c.probeLoop(ctx)
 }
 
-// ListenAndServe serves on addr with probing active until ctx is
-// cancelled, then shuts the listener down within a short drain window.
+// ListenAndServe serves on addr with probing and anti-entropy repair
+// active until ctx is cancelled, then drains: /readyz flips to
+// draining:true first (staying 200 while requests finish), and the
+// listener shuts down within a short drain window.
 func (c *Coordinator) ListenAndServe(ctx context.Context, addr string) error {
 	c.StartProbes(ctx)
+	c.StartRepair(ctx)
 	hs := &http.Server{Addr: addr, Handler: c.Handler()}
 	errC := make(chan error, 1)
 	go func() { errC <- hs.ListenAndServe() }()
@@ -302,6 +377,7 @@ func (c *Coordinator) ListenAndServe(ctx context.Context, addr string) error {
 		return err
 	case <-ctx.Done():
 	}
+	c.BeginDrain()
 	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -404,24 +480,43 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // ReadyDoc is the coordinator's /readyz payload: ready while at least
-// one worker is routable.
+// one worker is routable and the coordinator is not draining.
+// ReplicaWarm reports whether every membership-moved keyspace arc has
+// been streamed to its new owner — informational, never gating: a cold
+// fleet serves correctly, just with more cache misses.
 type ReadyDoc struct {
-	Ready   bool           `json:"ready"`
-	Workers []WorkerStatus `json:"workers"`
+	Ready       bool           `json:"ready"`
+	Draining    bool           `json:"draining"`
+	ReplicaWarm bool           `json:"replica_warm"`
+	InFlight    int            `json:"inflight"`
+	Workers     []WorkerStatus `json:"workers"`
 }
 
 func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	workers := c.ring.Workers()
-	doc := &ReadyDoc{Workers: c.health.snapshot(workers)}
+	doc := &ReadyDoc{
+		Draining:    c.draining.Load(),
+		ReplicaWarm: c.warm.Load(),
+		InFlight:    int(c.inflight.Load()),
+		Workers:     c.health.snapshot(workers),
+	}
+	fleetUp := false
 	for _, ws := range workers {
 		if c.health.stateOf(ws) != StateDown {
-			doc.Ready = true
+			fleetUp = true
 			break
 		}
 	}
+	doc.Ready = fleetUp && !doc.Draining
 	status := http.StatusOK
 	if !doc.Ready {
 		status = http.StatusServiceUnavailable
+	}
+	if doc.Draining && doc.InFlight > 0 && fleetUp {
+		// Mid-drain with work still in flight: report 200 with
+		// draining:true and the per-worker states instead of flapping to
+		// 503 while the remaining requests are being answered.
+		status = http.StatusOK
 	}
 	writeJSON(w, status, doc)
 }

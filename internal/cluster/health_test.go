@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 )
@@ -158,5 +161,49 @@ func TestLatencyTrackerP95(t *testing.T) {
 	}
 	if got := l2.p95(fallback, lo, hi); got != lo {
 		t.Errorf("p95 ignored the floor: %v, want %v", got, lo)
+	}
+}
+
+// A draining coordinator with work still in flight must answer /readyz
+// 200 with draining:true and the per-worker states — not flap to 503
+// while the remaining requests are being answered. Only a drained (or
+// fleet-down) coordinator is unready.
+func TestReadyzReportsDrainingWithoutFlapping(t *testing.T) {
+	co, err := New(Config{Workers: []string{"http://w1:1", "http://w2:2"}, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readyz := func() (int, *ReadyDoc) {
+		rr := httptest.NewRecorder()
+		co.handleReadyz(rr, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		var doc ReadyDoc
+		if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+			t.Fatalf("undecodable readyz body %q: %v", rr.Body.String(), err)
+		}
+		return rr.Code, &doc
+	}
+
+	if code, doc := readyz(); code != http.StatusOK || !doc.Ready || doc.Draining {
+		t.Fatalf("fresh coordinator readyz = %d %+v, want 200 ready", code, doc)
+	}
+
+	// Mid-drain with in-flight work: 200, draining flagged, workers listed.
+	co.inflight.Add(1)
+	co.BeginDrain()
+	code, doc := readyz()
+	if code != http.StatusOK {
+		t.Fatalf("mid-drain readyz = %d, want 200 (no flapping while requests finish)", code)
+	}
+	if !doc.Draining || doc.Ready {
+		t.Fatalf("mid-drain doc = %+v, want draining and not ready", doc)
+	}
+	if doc.InFlight != 1 || len(doc.Workers) != 2 {
+		t.Fatalf("mid-drain doc carries inflight=%d workers=%d, want 1 and 2", doc.InFlight, len(doc.Workers))
+	}
+
+	// Drain complete: nothing left in flight → 503, load balancers move on.
+	co.inflight.Add(-1)
+	if code, doc := readyz(); code != http.StatusServiceUnavailable || doc.Ready {
+		t.Fatalf("drained readyz = %d %+v, want 503 not ready", code, doc)
 	}
 }

@@ -1,0 +1,267 @@
+// Package replica defines the wire protocol and keyspace arithmetic of
+// the cluster's certified-result cache replication: the entry shape a
+// worker offers its ring successors, the per-range digests anti-entropy
+// compares, and the hash/range primitives the coordinator's ring and
+// its ownership deltas are built on.
+//
+// The package sits below both internal/server (which serves the
+// /cache/* endpoints and fans offers out) and internal/cluster (which
+// orchestrates handoff and repair), so the two sides of every exchange
+// validate with the same code. Validation here is the trust boundary:
+// a replica accepts an offered entry only if it re-proves the serving
+// layer's contract — certified winner, valid cost, permutation-valid
+// sequence in canonical label space — mirroring the coordinator's
+// checks on worker 200s. A corrupted or malicious offer is rejected
+// entry by entry, never crashing the receiver (FuzzCacheOfferJSON pins
+// this).
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"approxqo/internal/engine"
+)
+
+// DefaultReplicas is how many ring successors each certified cache
+// entry is copied to (R). Two successors mean an entry survives any
+// single worker loss plus one concurrent partition, at a write
+// amplification the async fan-out absorbs off the request path; full
+// quorum schemes buy nothing more for a cache whose entries are
+// immutable and re-derivable.
+const DefaultReplicas = 2
+
+// KeyHash maps a cache key (model:fingerprint) or ring vnode name to
+// its position on the 64-bit hash ring. fnv-1a of near-identical
+// strings clusters, so a splitmix64 finalizer scatters the positions;
+// the cluster ring and the digest arithmetic share this single
+// definition so ownership ranges computed by the coordinator match the
+// ranges workers digest.
+func KeyHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Range is a half-open arc (Lo, Hi] of the hash ring, wrapping through
+// zero when Hi ≤ Lo. Lo == Hi denotes the full circle (the
+// single-boundary degenerate case), matching how a one-point ring owns
+// everything.
+type Range struct {
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+}
+
+// Contains reports whether hash h falls on the arc.
+func (r Range) Contains(h uint64) bool {
+	if r.Lo == r.Hi {
+		return true
+	}
+	if r.Lo < r.Hi {
+		return h > r.Lo && h <= r.Hi
+	}
+	return h > r.Lo || h <= r.Hi
+}
+
+// Entry is one replicated cache entry: the canonical cache key
+// (model:fingerprint), the raw source key of the producing request
+// (canonical-hit attribution travels with the entry), and the full
+// engine report in canonical label space.
+type Entry struct {
+	Key    string         `json:"key"`
+	RawKey string         `json:"raw_key,omitempty"`
+	Report *engine.Report `json:"report"`
+}
+
+// maxEntryN mirrors the coordinator's plausibility cap on instance
+// sizes (validateResult); a report claiming more relations is corrupt
+// or hostile, not large.
+const maxEntryN = 1 << 20
+
+// Validate re-proves the serving contract on one offered entry. Every
+// acceptor (worker /cache/offer, coordinator export fetch) must call it
+// before trusting the entry: replication moves certified results
+// between caches, and an entry that fails any check would let a
+// corrupted replica poison a healthy one.
+func (e *Entry) Validate() error {
+	if e == nil {
+		return errors.New("null entry")
+	}
+	model, fp, ok := strings.Cut(e.Key, ":")
+	if !ok || fp == "" {
+		return fmt.Errorf("entry key %q is not model:fingerprint", e.Key)
+	}
+	if model != "qon" && model != "qoh" {
+		return fmt.Errorf("entry key has unknown model %q", model)
+	}
+	if len(fp) > 128 {
+		return fmt.Errorf("entry fingerprint is %d bytes, cap is 128", len(fp))
+	}
+	rep := e.Report
+	if rep == nil || rep.Best == nil {
+		return errors.New("entry has no winning plan")
+	}
+	if rep.Model != "" && rep.Model != model {
+		return fmt.Errorf("entry key model %q disagrees with report model %q", model, rep.Model)
+	}
+	best := rep.Best
+	if !best.Certified {
+		return fmt.Errorf("winner %q is not certified", best.Winner)
+	}
+	if !best.Cost.IsValid() {
+		return fmt.Errorf("winner %q carries no plan cost", best.Winner)
+	}
+	if rep.N < 1 || rep.N > maxEntryN {
+		return fmt.Errorf("implausible instance size %d", rep.N)
+	}
+	if len(best.Sequence) != rep.N {
+		return fmt.Errorf("winning sequence has %d relations, instance has %d", len(best.Sequence), rep.N)
+	}
+	seen := make([]bool, rep.N)
+	for _, r := range best.Sequence {
+		if r < 0 || r >= rep.N || seen[r] {
+			return fmt.Errorf("winning sequence %v is not a permutation", best.Sequence)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// OfferRequest is the body of POST /cache/offer: entries a peer (the
+// owning worker's async fan-out, or the coordinator's handoff/repair
+// streams) wants this replica to hold.
+type OfferRequest struct {
+	// From names the offering peer (diagnostic only; acceptance never
+	// depends on it).
+	From    string   `json:"from,omitempty"`
+	Entries []*Entry `json:"entries"`
+}
+
+// OfferResponse reports the per-entry outcome of an offer: entries that
+// passed re-validation and were stored, and entries rejected at the
+// trust boundary.
+type OfferResponse struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+}
+
+// DefaultMaxOfferEntries bounds one offer body; handoff and repair
+// stream in chunks below it.
+const DefaultMaxOfferEntries = 256
+
+// DecodeOffer parses one offer body, applying the structural checks
+// that precede per-entry validation: well-formed JSON, a non-empty
+// entries array within maxEntries (≤ 0 means DefaultMaxOfferEntries),
+// no null entries. Per-entry Validate is the caller's accept/reject
+// loop — one bad entry must not void its neighbours.
+func DecodeOffer(data []byte, maxEntries int) (*OfferRequest, error) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxOfferEntries
+	}
+	var off OfferRequest
+	if err := json.Unmarshal(data, &off); err != nil {
+		return nil, fmt.Errorf("decoding cache offer: %w", err)
+	}
+	if len(off.Entries) == 0 {
+		return nil, errors.New("cache offer carries no entries")
+	}
+	if len(off.Entries) > maxEntries {
+		return nil, fmt.Errorf("cache offer carries %d entries, cap is %d", len(off.Entries), maxEntries)
+	}
+	for i, e := range off.Entries {
+		if e == nil {
+			return nil, fmt.Errorf("cache offer entry %d is null", i)
+		}
+	}
+	return &off, nil
+}
+
+// DigestRequest is the body of POST /cache/digest: the ring ranges the
+// caller wants fingerprint digests for (anti-entropy compares one
+// vnode arc at a time).
+type DigestRequest struct {
+	Ranges []Range `json:"ranges"`
+}
+
+// RangeDigest summarizes one range of a cache: an order-independent
+// XOR fold of the keys' hashes plus the key count. Equal digests and
+// counts mean the two replicas hold the same key set on that arc (up
+// to a vanishing collision probability); divergence triggers a key
+// exchange and read repair.
+type RangeDigest struct {
+	Digest string `json:"digest"`
+	Count  int    `json:"count"`
+}
+
+// DigestResponse answers a DigestRequest, one digest per requested
+// range in order.
+type DigestResponse struct {
+	Digests []RangeDigest `json:"digests"`
+}
+
+// MaxDigestRanges bounds one digest request (a 64-vnode worker has 64
+// arcs; 4096 leaves room for large fleets without unbounded work).
+const MaxDigestRanges = 4096
+
+// DigestRanges computes the per-range digests of a key set. The fold
+// re-mixes each key's ring hash so the digest is not simply the XOR of
+// ring positions the caller already knows.
+func DigestRanges(keys []string, ranges []Range) []RangeDigest {
+	acc := make([]uint64, len(ranges))
+	counts := make([]int, len(ranges))
+	for _, k := range keys {
+		h := KeyHash(k)
+		m := mix64(h)
+		for i, r := range ranges {
+			if r.Contains(h) {
+				acc[i] ^= m
+				counts[i]++
+			}
+		}
+	}
+	out := make([]RangeDigest, len(ranges))
+	for i := range out {
+		out[i] = RangeDigest{Digest: strconv.FormatUint(acc[i], 16), Count: counts[i]}
+	}
+	return out
+}
+
+// KeysRequest is the body of POST /cache/keys: list the cache keys
+// falling in the given ranges, up to Limit (≤ 0 means
+// DefaultMaxOfferEntries).
+type KeysRequest struct {
+	Ranges []Range `json:"ranges"`
+	Limit  int     `json:"limit,omitempty"`
+}
+
+// KeysResponse answers a KeysRequest.
+type KeysResponse struct {
+	Keys []string `json:"keys"`
+}
+
+// ExportRequest is the body of POST /cache/export: fetch full entries
+// by key (the pull half of handoff and read repair). Keys absent from
+// the cache are silently omitted — eviction between the key exchange
+// and the export is normal, not an error.
+type ExportRequest struct {
+	Keys []string `json:"keys"`
+}
+
+// ExportResponse answers an ExportRequest.
+type ExportResponse struct {
+	Entries []*Entry `json:"entries"`
+}

@@ -1,0 +1,172 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"approxqo/internal/engine"
+	"approxqo/internal/num"
+)
+
+// validEntry builds a certified n-relation entry for key.
+func validEntry(key string, n int) *Entry {
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = (i + 1) % n // a non-identity permutation
+	}
+	return &Entry{
+		Key:    key,
+		RawKey: "raw-" + key,
+		Report: &engine.Report{
+			Model: "qon",
+			N:     n,
+			Best: &engine.BestRecord{
+				Winner:    "dp",
+				Sequence:  seq,
+				Cost:      num.FromInt64(42),
+				Certified: true,
+			},
+		},
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	cases := []struct {
+		r    Range
+		h    uint64
+		want bool
+	}{
+		{Range{10, 20}, 10, false}, // half-open: Lo excluded
+		{Range{10, 20}, 11, true},
+		{Range{10, 20}, 20, true}, // Hi included
+		{Range{10, 20}, 21, false},
+		{Range{20, 10}, 25, true}, // wrap: above Lo
+		{Range{20, 10}, 5, true},  // wrap: below Hi
+		{Range{20, 10}, 15, false},
+		{Range{20, 10}, 0, true},
+		{Range{7, 7}, 7, true}, // degenerate = full circle
+		{Range{7, 7}, 123456, true},
+	}
+	for _, c := range cases {
+		if got := c.r.Contains(c.h); got != c.want {
+			t.Errorf("Range{%d,%d}.Contains(%d) = %v, want %v", c.r.Lo, c.r.Hi, c.h, got, c.want)
+		}
+	}
+}
+
+func TestEntryValidateAcceptsCertified(t *testing.T) {
+	if err := validEntry("qon:deadbeef", 3).Validate(); err != nil {
+		t.Fatalf("valid entry rejected: %v", err)
+	}
+	if err := validEntry("qoh:cafe", 2).Validate(); err == nil {
+		t.Fatal("qoh key with qon report model accepted")
+	}
+	qoh := validEntry("qoh:cafe", 2)
+	qoh.Report.Model = "qoh"
+	if err := qoh.Validate(); err != nil {
+		t.Fatalf("valid qoh entry rejected: %v", err)
+	}
+}
+
+func TestEntryValidateRejectsBrokenEntries(t *testing.T) {
+	breakers := map[string]func(*Entry){
+		"nil report":     func(e *Entry) { e.Report = nil },
+		"nil best":       func(e *Entry) { e.Report.Best = nil },
+		"uncertified":    func(e *Entry) { e.Report.Best.Certified = false },
+		"no cost":        func(e *Entry) { e.Report.Best.Cost = num.Num{} },
+		"bad key":        func(e *Entry) { e.Key = "nocolon" },
+		"empty fp":       func(e *Entry) { e.Key = "qon:" },
+		"unknown model":  func(e *Entry) { e.Key = "sql:deadbeef" },
+		"model mismatch": func(e *Entry) { e.Key = "qoh:" + e.Key[4:] },
+		"zero n":         func(e *Entry) { e.Report.N = 0; e.Report.Best.Sequence = nil },
+		"huge n":         func(e *Entry) { e.Report.N = maxEntryN + 1 },
+		"short sequence": func(e *Entry) { e.Report.Best.Sequence = e.Report.Best.Sequence[:2] },
+		"repeated label": func(e *Entry) { e.Report.Best.Sequence = []int{0, 0, 1} },
+		"label range":    func(e *Entry) { e.Report.Best.Sequence = []int{0, 1, 3} },
+		"long fp":        func(e *Entry) { e.Key = "qon:" + string(make([]byte, 200)) },
+	}
+	for name, brk := range breakers {
+		e := validEntry("qon:deadbeef", 3)
+		brk(e)
+		if err := e.Validate(); err == nil {
+			t.Errorf("%s: broken entry accepted", name)
+		}
+	}
+	var nilEntry *Entry
+	if err := nilEntry.Validate(); err == nil {
+		t.Error("nil entry accepted")
+	}
+}
+
+func TestDecodeOfferBounds(t *testing.T) {
+	body, _ := json.Marshal(&OfferRequest{From: "w1", Entries: []*Entry{validEntry("qon:ff", 2)}})
+	off, err := DecodeOffer(body, 0)
+	if err != nil {
+		t.Fatalf("valid offer rejected: %v", err)
+	}
+	if len(off.Entries) != 1 || off.From != "w1" {
+		t.Fatalf("offer decoded wrong: %+v", off)
+	}
+	for _, bad := range []string{
+		`{"entries":[]}`,
+		`{"entries":null}`,
+		`{"entries":[null]}`,
+		`not json`,
+	} {
+		if _, err := DecodeOffer([]byte(bad), 0); err == nil {
+			t.Errorf("DecodeOffer accepted %q", bad)
+		}
+	}
+	two, _ := json.Marshal(&OfferRequest{Entries: []*Entry{validEntry("qon:a1", 2), validEntry("qon:b2", 2)}})
+	if _, err := DecodeOffer(two, 1); err == nil {
+		t.Error("DecodeOffer ignored maxEntries")
+	}
+}
+
+func TestDigestRangesDetectsDivergence(t *testing.T) {
+	keys := make([]string, 32)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("qon:%08x", i*2654435761)
+	}
+	full := []Range{{0, 0}}
+	d1 := DigestRanges(keys, full)
+	if d1[0].Count != len(keys) {
+		t.Fatalf("full-circle digest counted %d of %d keys", d1[0].Count, len(keys))
+	}
+	// Order independence: a permuted key list digests identically.
+	rev := make([]string, len(keys))
+	for i, k := range keys {
+		rev[len(keys)-1-i] = k
+	}
+	if d2 := DigestRanges(rev, full); d2[0] != d1[0] {
+		t.Fatalf("digest is order-dependent: %+v vs %+v", d1[0], d2[0])
+	}
+	// Divergence: dropping one key changes the digest.
+	if d3 := DigestRanges(keys[1:], full); d3[0].Digest == d1[0].Digest {
+		t.Fatal("digest did not change when a key was dropped")
+	}
+	// Range partition: two complementary halves cover every key once.
+	mid := uint64(1) << 63
+	halves := DigestRanges(keys, []Range{{0, mid}, {mid, 0}})
+	if halves[0].Count+halves[1].Count != len(keys) {
+		t.Fatalf("complementary ranges cover %d keys, want %d", halves[0].Count+halves[1].Count, len(keys))
+	}
+	if halves[0].Count == 0 || halves[1].Count == 0 {
+		t.Fatalf("splitmix-scattered keys all fell in one half: %+v", halves)
+	}
+}
+
+func TestKeyHashScatters(t *testing.T) {
+	// Near-identical keys (the vnode naming pattern) must not cluster:
+	// with the finalizer, 64 suffixes split around the midpoint.
+	lowHalf := 0
+	for i := 0; i < 64; i++ {
+		if KeyHash(fmt.Sprintf("http://w1:8081#%d", i)) < 1<<63 {
+			lowHalf++
+		}
+	}
+	if lowHalf < 16 || lowHalf > 48 {
+		t.Fatalf("vnode hashes cluster: %d/64 in the low half", lowHalf)
+	}
+}

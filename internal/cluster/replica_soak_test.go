@@ -1,0 +1,372 @@
+// Replication chaos soak: the replicated certified-result cache under
+// attack. Phase one fills the fleet's caches through the coordinator
+// while a chaos transport drops and resets the replication path (and
+// only it — /optimize stays clean, proving serving never blocks on
+// replication); anti-entropy repairs the divergence the partition
+// created, paying for every transfer out of the global retry budget.
+// Then one worker is killed and replaced — hinted handoff streams the
+// moved keyspace from the surviving replicas to the newcomer — and
+// relabeled duplicates of every pre-kill request must come back as
+// canonical cache hits, certified, with zero uncertified 200s.
+// Race-clean (go test -race).
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"approxqo/internal/chaos"
+	"approxqo/internal/cluster/replica"
+	"approxqo/internal/engine"
+	"approxqo/internal/num"
+	"approxqo/internal/qon"
+	"approxqo/internal/server"
+	"approxqo/internal/server/loadgen"
+	"approxqo/internal/trace"
+	"approxqo/internal/workload"
+)
+
+// rsoakWorker builds one qod worker whose replication client rides the
+// given (possibly chaotic) transport.
+func rsoakWorker(t *testing.T, seed int64, rt http.RoundTripper) (*trace.Registry, *httptest.Server) {
+	t.Helper()
+	reg := trace.NewRegistry()
+	s, err := server.New(server.Config{
+		MaxConcurrent:    4,
+		QueueDepth:       64,
+		DegradeAt:        64,
+		DefaultTimeout:   10 * time.Second,
+		Seed:             seed,
+		Metrics:          reg,
+		ReplicaTransport: rt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	return reg, ts
+}
+
+// rsoakEntry builds a distinct valid certified entry for direct
+// injection (i varies the key and cost).
+func rsoakEntry(i int) *replica.Entry {
+	n := 3
+	seq := make([]int, n)
+	for k := range seq {
+		seq[k] = (k + 1) % n
+	}
+	return &replica.Entry{
+		Key:    fmt.Sprintf("qon:inject-%04x", i),
+		RawKey: fmt.Sprintf("raw-%d", i),
+		Report: &engine.Report{
+			Model: "qon",
+			N:     n,
+			Best: &engine.BestRecord{
+				Winner:    "dp",
+				Sequence:  seq,
+				Cost:      num.FromInt64(int64(500 + i)),
+				Certified: true,
+			},
+		},
+	}
+}
+
+// rsoakPost POSTs one JSON body to url and decodes a 200 into out.
+func rsoakPost(t *testing.T, url string, in, out any) {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %s response %s: %v", url, data, err)
+		}
+	}
+}
+
+// rsoakKeys lists every cache key a worker holds.
+func rsoakKeys(t *testing.T, worker string) []string {
+	t.Helper()
+	var out replica.KeysResponse
+	rsoakPost(t, worker+"/cache/keys",
+		&replica.KeysRequest{Ranges: []replica.Range{{Lo: 0, Hi: 0}}, Limit: replica.DefaultMaxOfferEntries}, &out)
+	return out.Keys
+}
+
+// One anti-entropy pass heals injected divergence — and a dry retry
+// budget stops it instead of letting repair starve serving.
+func TestRepairOnceHealsInjectedDivergence(t *testing.T) {
+	const workers = 3
+	urls := make([]string, workers)
+	for i := 0; i < workers; i++ {
+		_, ts := rsoakWorker(t, int64(400+i), nil)
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	reg := trace.NewRegistry()
+	co, err := New(Config{
+		Workers:        urls,
+		ProbeInterval:  -1,
+		RepairInterval: -1,
+		HedgeAfter:     -1,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Divergence: one worker holds an entry its replica set lacks.
+	lone := rsoakEntry(1)
+	var or replica.OfferResponse
+	rsoakPost(t, urls[0]+"/cache/offer", &replica.OfferRequest{Entries: []*replica.Entry{lone}}, &or)
+	if or.Accepted != 1 {
+		t.Fatalf("injection offer accepted %d, want 1", or.Accepted)
+	}
+
+	diverged, repaired := co.RepairOnce(ctx)
+	if diverged < 1 || repaired < 1 {
+		t.Fatalf("RepairOnce found %d divergent arcs and repaired %d entries, want ≥1 each", diverged, repaired)
+	}
+	if v := reg.Counter(MetricRepairXfers).Value(); v < 1 {
+		t.Fatalf("repair.xfers = %d, want ≥1 (each transfer withdraws a budget token)", v)
+	}
+	for i, w := range urls {
+		found := false
+		for _, k := range rsoakKeys(t, w) {
+			if k == lone.Key {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("worker %d lacks %q after repair", i, lone.Key)
+		}
+	}
+	if d, r := co.RepairOnce(ctx); d != 0 || r != 0 {
+		t.Fatalf("second pass found %d/%d, want converged 0/0", d, r)
+	}
+
+	// Dry budget: repair must stop, not borrow from serving.
+	for co.budget.withdraw() {
+	}
+	rsoakPost(t, urls[0]+"/cache/offer", &replica.OfferRequest{Entries: []*replica.Entry{rsoakEntry(2)}}, nil)
+	co.RepairOnce(ctx)
+	if v := reg.Counter(MetricRepairDenied).Value(); v < 1 {
+		t.Fatalf("repair.denied = %d after draining the budget, want ≥1", v)
+	}
+}
+
+func TestSoakReplicaPartitionRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		workers = 3
+		bases   = 16
+	)
+
+	// The partition: the replication path (and only it — the "/cache/"
+	// target leaves /optimize untouched) drops the first five matching
+	// requests outright, then resets the next five after delivery, then
+	// heals. Serving must ride through untouched; anti-entropy must
+	// close whatever gaps the outage left.
+	transport := chaos.NewTransport(nil, []chaos.NetRule{
+		{Fault: chaos.NetDrop, Target: "/cache/"},
+		{Fault: chaos.NetReset, Target: "/cache/"},
+	}, chaos.WithNetSeed(17), chaos.WithNetFailures(5))
+
+	regs := make([]*trace.Registry, workers)
+	listeners := make([]*httptest.Server, workers)
+	urls := make([]string, workers)
+	for i := 0; i < workers; i++ {
+		regs[i], listeners[i] = rsoakWorker(t, int64(600+i), transport)
+		defer listeners[i].Close()
+		urls[i] = listeners[i].URL
+	}
+
+	reg := trace.NewRegistry()
+	co, err := New(Config{
+		Workers:        urls,
+		Transport:      transport,
+		ProbeInterval:  -1,
+		RepairInterval: -1,
+		HedgeAfter:     -1,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     8 * time.Millisecond,
+		RetryBurst:     128, // repair transfers draw real tokens; deposits alone (0.2/req) would stall convergence
+		Seed:           21,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	cts := httptest.NewServer(co.Handler())
+	defer cts.Close()
+
+	// Phase 1: fill the fleet through the front door while the
+	// replication path misbehaves.
+	c := loadgen.New(cts.URL, 31)
+	c.Retries = 4
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 10 * time.Millisecond
+	instances := make([]*qon.Instance, bases)
+	keys := make(map[string]bool, bases)
+	for i := 0; i < bases; i++ {
+		in, err := workload.Generate(workload.Params{
+			N: 5 + i%3, Shape: workload.Chain, Seed: int64(800 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances[i] = in
+		out, err := c.Optimize(ctx, &server.Request{Instance: in, TimeoutMS: 20_000})
+		if err != nil {
+			t.Fatalf("base %d transport: %v", i, err)
+		}
+		if !out.OK() {
+			t.Fatalf("base %d: status %d (%+v)", i, out.Status, out.ErrDoc)
+		}
+		if err := csoakCheck200(out.Result); err != nil {
+			t.Fatalf("base %d: %v", i, err)
+		}
+		keys["qon:"+out.Result.Fingerprint] = true
+	}
+	want := len(keys) // distinct canonical keys (seeds make collisions unexpected)
+	if want < bases-1 {
+		t.Fatalf("only %d distinct fingerprints across %d bases", want, bases)
+	}
+
+	// Anti-entropy until convergence: two consecutive clean passes.
+	// Early rounds lose traffic to the partition; the fault budget is
+	// finite, so the loop must converge once it heals.
+	repairUntilClean := func(phase string) {
+		t.Helper()
+		clean := 0
+		for round := 0; round < 25 && clean < 2; round++ {
+			if d, _ := co.RepairOnce(ctx); d == 0 {
+				clean++
+			} else {
+				clean = 0
+			}
+		}
+		if clean < 2 {
+			t.Fatalf("%s: anti-entropy never converged", phase)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // let async fan-out land (or fault) first
+	repairUntilClean("phase 1")
+
+	// R=2 on a 3-worker ring puts every certified result everywhere.
+	for i, w := range urls {
+		if got := len(rsoakKeys(t, w)); got != want {
+			t.Errorf("worker %d holds %d keys after repair, want %d", i, got, want)
+		}
+	}
+
+	// Kill worker 0 and replace it: retire streams its arcs' entries
+	// between the survivors, join hands the newcomer its keyspace before
+	// the ring flips traffic. Both degrade gracefully — an error means
+	// cold, never refused.
+	listeners[0].Close()
+	if _, err := co.RetireWorker(ctx, urls[0]); err != nil {
+		t.Logf("retire degraded (expected with a dead peer): %v", err)
+	}
+	replReg, replTS := rsoakWorker(t, 999, transport)
+	defer replTS.Close()
+	if _, err := co.JoinWorker(ctx, replTS.URL); err != nil {
+		t.Logf("join degraded: %v", err)
+	}
+	repairUntilClean("post-rejoin")
+	if v := reg.Counter(MetricHandoff).Value(); v < 1 {
+		t.Errorf("replica.handoff = %d, want ≥1 (membership changes must stream moved keys)", v)
+	}
+	if got := len(rsoakKeys(t, replTS.URL)); got != want {
+		t.Errorf("replacement holds %d keys after handoff+repair, want %d", got, want)
+	}
+
+	// Phase 2: a relabeled duplicate of every pre-kill request. Each
+	// must be a certified 200 served from a cache — the canonical-space
+	// copy survived the kill on the surviving replicas and reached the
+	// replacement — with zero engine re-runs visible as cache misses.
+	rng := rand.New(rand.NewSource(51))
+	for i, base := range instances {
+		dup := qon.Relabel(base, rng.Perm(base.N()))
+		out, err := c.Optimize(ctx, &server.Request{Instance: dup, TimeoutMS: 20_000})
+		if err != nil {
+			t.Fatalf("duplicate %d transport: %v", i, err)
+		}
+		if !out.OK() {
+			t.Fatalf("duplicate %d: status %d (%+v)", i, out.Status, out.ErrDoc)
+		}
+		if err := csoakCheck200(out.Result); err != nil {
+			t.Fatalf("duplicate %d: %v", i, err)
+		}
+		if !out.Result.Cached {
+			t.Errorf("duplicate %d missed every cache: the replicated copy did not survive the kill", i)
+		}
+	}
+	var canonicalHits int64
+	for _, r := range append(regs[1:], replReg) {
+		canonicalHits += r.Counter(server.MetricCanonicalHits).Value()
+	}
+	if canonicalHits == 0 {
+		t.Error("no canonical cache hits fleet-wide after the kill: recovery did not restore the hit path")
+	}
+
+	// The ring is warm and ready again.
+	rd, err := c.Readyz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Status != http.StatusOK || !rd.Ready || !rd.ReplicaWarm {
+		t.Errorf("/readyz = %d %+v, want 200 ready+warm", rd.Status, rd)
+	}
+	if v := reg.Gauge(MetricReplicaWarm).Value(); v != 1 {
+		t.Errorf("replica.warm gauge = %d, want 1", v)
+	}
+
+	// Repair traffic is priced like retries: attempts beyond the
+	// per-request primaries plus repair transfers all fit inside the
+	// token bucket (deposits + burst + refunded hedge losers).
+	requests := reg.Counter(MetricRequests).Value()
+	groups := reg.Counter(MetricBatchShapes).Value()
+	attempts := reg.Counter(MetricAttempts).Value()
+	xfers := reg.Counter(MetricRepairXfers).Value()
+	refunded := reg.Counter(MetricRetryRefunded).Value()
+	bound := float64(requests+groups)*(1+DefaultRetryRatio) + 128 + float64(refunded)
+	if float64(attempts+xfers) > bound+1 {
+		t.Errorf("attempts=%d + repair xfers=%d exceed the budget bound %.0f (requests=%d groups=%d)",
+			attempts, xfers, bound, requests, groups)
+	}
+	if v := reg.Gauge(MetricInFlight).Value(); v != 0 {
+		t.Errorf("inflight gauge %d after the soak drained, want 0", v)
+	}
+	t.Logf("replica soak: %d keys replicated, handoff=%d xfers=%d repaired=%d denied=%d attempts=%d of bound %.0f",
+		want, reg.Counter(MetricHandoff).Value(), xfers,
+		reg.Counter(MetricRepairEntries).Value(), reg.Counter(MetricRepairDenied).Value(),
+		attempts, bound)
+}

@@ -1,10 +1,11 @@
 package cluster
 
 import (
-	"hash/fnv"
 	"sort"
 	"strconv"
 	"sync"
+
+	"approxqo/internal/cluster/replica"
 )
 
 // DefaultVirtualNodes is how many points each worker contributes to the
@@ -41,19 +42,11 @@ func NewRing(vnodes int) *Ring {
 	return &Ring{vnodes: vnodes, names: make(map[string]bool)}
 }
 
-func ringHash(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	x := h.Sum64()
-	// fnv-1a of near-identical strings (vnode suffixes differ by one
-	// digit) clusters on the ring; a splitmix64 finalizer scatters it.
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+// ringHash is replica.KeyHash: the single keyspace definition shared
+// with the workers' digest arithmetic, so the ownership ranges the
+// coordinator hands a worker to digest select exactly the keys the
+// ring would route there.
+func ringHash(s string) uint64 { return replica.KeyHash(s) }
 
 // Add inserts a worker; adding an existing worker is a no-op.
 func (r *Ring) Add(worker string) {
@@ -108,6 +101,151 @@ func (r *Ring) Size() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.names)
+}
+
+// Clone returns an independent copy of the ring — the shadow membership
+// the coordinator mutates to compute ownership deltas before flipping
+// live traffic. The points slice is deep-copied because Remove
+// truncates its backing array in place.
+func (r *Ring) Clone() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cp := &Ring{vnodes: r.vnodes, names: make(map[string]bool, len(r.names))}
+	cp.points = append([]ringPoint(nil), r.points...)
+	for w := range r.names {
+		cp.names[w] = true
+	}
+	return cp
+}
+
+// ownerAt returns the worker owning ring position h (the owner of the
+// first point clockwise from h), or "" on an empty ring. Callers hold
+// at least a read lock.
+func (r *Ring) ownerAt(h uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	return r.points[i%len(r.points)].owner
+}
+
+// OwnersAt returns up to n distinct workers responsible for ring
+// position h, primary first — Lookup with the hash already in hand
+// (handoff works range by range, not key by key).
+func (r *Ring) OwnersAt(h uint64, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.names) {
+		n = len(r.names)
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.owner] {
+			seen[p.owner] = true
+			out = append(out, p.owner)
+		}
+	}
+	return out
+}
+
+// OwnedRange is one vnode arc of the ring with its owner and the
+// distinct successor workers holding the arc's replicas.
+type OwnedRange struct {
+	Range      replica.Range
+	Owner      string
+	Successors []string
+}
+
+// OwnedRanges enumerates the ring's vnode arcs: for each point, the arc
+// (previous point, point] it owns, plus up to `successors` distinct
+// follow-on workers — the replica set anti-entropy compares digests
+// across. A single point (impossible in practice: every worker carries
+// vnodes points) would own the full circle via the Lo==Hi convention.
+func (r *Ring) OwnedRanges(successors int) []OwnedRange {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.points)
+	if n == 0 {
+		return nil
+	}
+	out := make([]OwnedRange, 0, n)
+	for i := 0; i < n; i++ {
+		lo := r.points[(i-1+n)%n].hash
+		p := r.points[i]
+		if lo == p.hash && n > 1 {
+			continue // zero-length arc from a (vanishingly rare) hash collision
+		}
+		or := OwnedRange{Range: replica.Range{Lo: lo, Hi: p.hash}, Owner: p.owner}
+		if successors > 0 {
+			seen := map[string]bool{p.owner: true}
+			for j := 1; j < n && len(or.Successors) < successors; j++ {
+				q := r.points[(i+j)%n]
+				if !seen[q.owner] {
+					seen[q.owner] = true
+					or.Successors = append(or.Successors, q.owner)
+				}
+			}
+		}
+		out = append(out, or)
+	}
+	return out
+}
+
+// MovedRange is one arc of the keyspace whose primary owner differs
+// between two ring memberships.
+type MovedRange struct {
+	Range    replica.Range
+	From, To string
+}
+
+// OwnershipDelta computes exactly the keyspace whose primary ownership
+// changes between two memberships — the arcs hinted handoff must
+// stream, and nothing else (the property test pins both directions).
+// The boundaries are the union of both rings' points: within each
+// consecutive arc both rings' ownership is constant, so comparing the
+// owners at the arc's top classifies every key in it at once. Either
+// ring empty means no delta to stream.
+func OwnershipDelta(oldRing, newRing *Ring) []MovedRange {
+	if oldRing == nil || newRing == nil {
+		return nil
+	}
+	oldRing.mu.RLock()
+	newRing.mu.RLock()
+	defer oldRing.mu.RUnlock()
+	defer newRing.mu.RUnlock()
+	if len(oldRing.points) == 0 || len(newRing.points) == 0 {
+		return nil
+	}
+	bounds := make([]uint64, 0, len(oldRing.points)+len(newRing.points))
+	for _, p := range oldRing.points {
+		bounds = append(bounds, p.hash)
+	}
+	for _, p := range newRing.points {
+		bounds = append(bounds, p.hash)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	dedup := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	bounds = dedup
+	var out []MovedRange
+	for i, hi := range bounds {
+		lo := bounds[(i-1+len(bounds))%len(bounds)]
+		from, to := oldRing.ownerAt(hi), newRing.ownerAt(hi)
+		if from != to {
+			out = append(out, MovedRange{Range: replica.Range{Lo: lo, Hi: hi}, From: from, To: to})
+		}
+	}
+	return out
 }
 
 // Lookup returns up to n distinct workers for key, primary first, then

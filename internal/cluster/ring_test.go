@@ -2,7 +2,10 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
+
+	"approxqo/internal/cluster/replica"
 )
 
 func ringWorkers(n int) []string {
@@ -118,5 +121,74 @@ func TestRingEmptyAndIdempotent(t *testing.T) {
 	r.Remove("http://w:1")
 	if r.Size() != 0 || r.Lookup("k", 1) != nil {
 		t.Errorf("ring not empty after removals: size %d", r.Size())
+	}
+}
+
+// Property test of the handoff planner: OwnershipDelta(old, new)
+// returns exactly the moved keyspace — every key whose owner changed
+// falls in exactly one returned arc, labelled with its old and new
+// owner, and no key whose owner is unchanged falls in any arc.
+func TestOwnershipDeltaIsExactlyTheMovedKeyspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		old := NewRing(0)
+		members := 3 + rng.Intn(6)
+		for _, w := range ringWorkers(members) {
+			old.Add(w)
+		}
+		next := old.Clone()
+		// Random membership churn: 1-2 joins and/or up to one removal.
+		for j := 0; j <= rng.Intn(2); j++ {
+			next.Add(fmt.Sprintf("http://joiner-%d-%d:9", trial, j))
+		}
+		if rng.Intn(2) == 0 {
+			next.Remove(ringWorkers(members)[rng.Intn(members)])
+		}
+
+		delta := OwnershipDelta(old, next)
+		for k := 0; k < 2000; k++ {
+			key := fmt.Sprintf("qon:key-%d-%d", trial, k)
+			h := replica.KeyHash(key)
+			var matches []MovedRange
+			for _, mr := range delta {
+				if mr.Range.Contains(h) {
+					matches = append(matches, mr)
+				}
+			}
+			oldOwner := old.Lookup(key, 1)[0]
+			newOwner := next.Lookup(key, 1)[0]
+			if oldOwner == newOwner {
+				if len(matches) != 0 {
+					t.Fatalf("trial %d: unmoved key %q (owner %s) matched %d delta arcs: %+v",
+						trial, key, oldOwner, len(matches), matches)
+				}
+				continue
+			}
+			if len(matches) != 1 {
+				t.Fatalf("trial %d: moved key %q (%s → %s) matched %d delta arcs, want exactly 1",
+					trial, key, oldOwner, newOwner, len(matches))
+			}
+			if matches[0].From != oldOwner || matches[0].To != newOwner {
+				t.Fatalf("trial %d: key %q arc labelled %s → %s, ring says %s → %s",
+					trial, key, matches[0].From, matches[0].To, oldOwner, newOwner)
+			}
+		}
+	}
+}
+
+// Identical rings and empty rings produce no delta.
+func TestOwnershipDeltaDegenerateCases(t *testing.T) {
+	r := NewRing(0)
+	for _, w := range ringWorkers(4) {
+		r.Add(w)
+	}
+	if d := OwnershipDelta(r, r.Clone()); len(d) != 0 {
+		t.Fatalf("identical rings produced a %d-arc delta: %+v", len(d), d)
+	}
+	if d := OwnershipDelta(NewRing(0), r); d != nil {
+		t.Fatalf("empty old ring produced a delta: %+v", d)
+	}
+	if d := OwnershipDelta(r, NewRing(0)); d != nil {
+		t.Fatalf("empty new ring produced a delta: %+v", d)
 	}
 }

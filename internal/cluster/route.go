@@ -73,7 +73,7 @@ func (u *upstream) terminal() bool {
 // (200s must decode to a certified, permutation-valid result; errors
 // must decode to a structured document). Health and latency are
 // observed here, exactly once per attempt.
-func (c *Coordinator) tryWorker(ctx context.Context, worker, rid string, req *server.Request, hedge bool) *upstream {
+func (c *Coordinator) tryWorker(ctx context.Context, worker, rid, key string, req *server.Request, hedge bool) *upstream {
 	u := &upstream{worker: worker, hedge: hedge}
 	deadline, ok := ctx.Deadline()
 	remaining := time.Duration(0)
@@ -96,6 +96,11 @@ func (c *Coordinator) tryWorker(ctx context.Context, worker, rid string, req *se
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set(server.RequestIDHeader, rid)
+	if peers := c.replicaPeers(key, worker); len(peers) > 0 {
+		// Name the key's ring successors so the worker can fan its
+		// certified result out asynchronously after the cache store.
+		hreq.Header.Set(server.ReplicateToHeader, replicateToHeader(peers))
+	}
 	start := time.Now()
 	resp, err := c.client.Do(hreq)
 	if err != nil {
@@ -219,7 +224,7 @@ func (c *Coordinator) dispatch(ctx context.Context, span *trace.Span, rid string
 		return w
 	}
 	m := c.cfg.Metrics
-	res := c.attemptHedged(ctx, rid, req, nextWorker)
+	res := c.attemptHedged(ctx, rid, key, req, nextWorker)
 	attempts := 1
 	for retry := 0; !res.terminal() && retry < c.cfg.MaxRetries; retry++ {
 		if ctx.Err() != nil {
@@ -234,7 +239,7 @@ func (c *Coordinator) dispatch(ctx context.Context, span *trace.Span, rid string
 		}
 		m.Counter(MetricRetries).Inc()
 		m.Counter(MetricAttempts).Inc()
-		res = c.tryWorker(ctx, nextWorker(), rid, req, false)
+		res = c.tryWorker(ctx, nextWorker(), rid, key, req, false)
 		attempts++
 	}
 	span.SetField("worker", res.worker)
@@ -265,14 +270,14 @@ func (c *Coordinator) routeOrder(key string) []string {
 // answer wins; the loser's context is cancelled. Safe because every
 // relayed 200 is a certified result for the same canonical instance —
 // the two answers are interchangeable.
-func (c *Coordinator) attemptHedged(ctx context.Context, rid string, req *server.Request, nextWorker func() string) *upstream {
+func (c *Coordinator) attemptHedged(ctx context.Context, rid, key string, req *server.Request, nextWorker func() string) *upstream {
 	m := c.cfg.Metrics
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ch := make(chan *upstream, 2)
 	m.Counter(MetricAttempts).Inc()
 	primary := nextWorker()
-	go func() { ch <- c.tryWorker(actx, primary, rid, req, false) }()
+	go func() { ch <- c.tryWorker(actx, primary, rid, key, req, false) }()
 
 	delay := c.hedgeDelay()
 	if delay < 0 || c.ring.Size() < 2 {
@@ -281,14 +286,26 @@ func (c *Coordinator) attemptHedged(ctx context.Context, rid string, req *server
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
 	pending := 1
+	hedging := 0 // hedges in flight (issued, no outcome yet)
 	var firstFail *upstream
 	for {
 		select {
 		case res := <-ch:
 			pending--
+			if res.hedge {
+				hedging--
+			}
 			if res.terminal() {
 				if res.hedge {
 					m.Counter(MetricHedgeWins).Inc()
+				} else if hedging > 0 {
+					// The primary won with a hedge still in flight: the
+					// loser is about to be cancelled without completing any
+					// upstream work, so the token it withdrew bought
+					// nothing — refund it. (A hedge that already failed
+					// spent real worker capacity and stays charged.)
+					c.budget.refund()
+					m.Counter(MetricRetryRefunded).Inc()
 				}
 				return res
 			}
@@ -308,8 +325,9 @@ func (c *Coordinator) attemptHedged(ctx context.Context, rid string, req *server
 			m.Counter(MetricHedgeIssued).Inc()
 			m.Counter(MetricAttempts).Inc()
 			pending++
+			hedging++
 			hedge := nextWorker()
-			go func() { ch <- c.tryWorker(actx, hedge, rid, req, true) }()
+			go func() { ch <- c.tryWorker(actx, hedge, rid, key, req, true) }()
 		case <-ctx.Done():
 			return &upstream{err: ctx.Err()}
 		}

@@ -92,6 +92,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// singleton groups under a synthetic key ("\x00" never prefixes a
 	// real model:fingerprint key), so they run per-job like /optimize.
 	reqs := make([]*Request, n)
+	replicaTo := parseReplicaTo(r.Header.Get(ReplicateToHeader))
 	errDocs := make([]*ErrorBody, n)
 	groupOf := make(map[string]int)
 	var groups []*batchGroup
@@ -101,6 +102,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			errDocs[i] = &ErrorBody{Kind: "bad_request", Message: err.Error(), RequestID: rid}
 			continue
 		}
+		req.replicaTo = replicaTo
 		reqs[i] = req
 		key := ""
 		if s.cache != nil && len(s.chaosRules) == 0 {

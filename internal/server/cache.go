@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"sync"
 
+	"approxqo/internal/cluster/replica"
 	"approxqo/internal/engine"
 	"approxqo/internal/qoh"
 	"approxqo/internal/qon"
@@ -124,6 +125,37 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// keys snapshots every cached key, MRU first. The replication
+// endpoints digest and enumerate over this snapshot; entries evicted
+// between the snapshot and a later export are simply omitted.
+func (c *resultCache) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
+}
+
+// export looks entries up by key for replication, skipping absentees.
+// The returned reports are the cache's own immutable values — callers
+// marshal them, never mutate. Lookups do not touch LRU order: a repair
+// sweep reading the whole cache must not launder cold entries into
+// looking hot.
+func (c *resultCache) export(keys []string) []*replica.Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*replica.Entry, 0, len(keys))
+	for _, k := range keys {
+		if el, ok := c.items[k]; ok {
+			ent := el.Value.(*cacheEntry)
+			out = append(out, &replica.Entry{Key: ent.key, RawKey: ent.rawKey, Report: ent.rep})
+		}
+	}
+	return out
 }
 
 // flightGroup deduplicates concurrent identical requests: the first

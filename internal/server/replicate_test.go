@@ -1,0 +1,299 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"approxqo/internal/cluster/replica"
+	"approxqo/internal/engine"
+	"approxqo/internal/num"
+	"approxqo/internal/trace"
+)
+
+// replicaEntry builds a distinct valid certified entry (i varies the
+// fingerprint and cost).
+func replicaEntry(i int) *replica.Entry {
+	n := 3
+	seq := make([]int, n)
+	for k := range seq {
+		seq[k] = (k + 1) % n
+	}
+	return &replica.Entry{
+		Key:    fmt.Sprintf("qon:%04x", i),
+		RawKey: fmt.Sprintf("raw-%d", i),
+		Report: &engine.Report{
+			Model: "qon",
+			N:     n,
+			Best: &engine.BestRecord{
+				Winner:    "dp",
+				Sequence:  seq,
+				Cost:      num.FromInt64(int64(100 + i)),
+				Certified: true,
+			},
+		},
+	}
+}
+
+func postCacheJSON(t *testing.T, url string, in, out any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %s: %v", data, err)
+		}
+	}
+	return resp
+}
+
+// POST /cache/offer re-validates every entry at the trust boundary:
+// certified entries are stored, tampered ones rejected per entry
+// without voiding the rest of the chunk.
+func TestCacheOfferValidatesAtTrustBoundary(t *testing.T) {
+	reg := trace.NewRegistry()
+	s, err := New(Config{MaxConcurrent: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	good := replicaEntry(1)
+	uncertified := replicaEntry(2)
+	uncertified.Report.Best.Certified = false
+	badPerm := replicaEntry(3)
+	badPerm.Report.Best.Sequence = []int{0, 0, 2}
+
+	var or replica.OfferResponse
+	resp := postCacheJSON(t, ts.URL+"/cache/offer",
+		&replica.OfferRequest{Entries: []*replica.Entry{good, uncertified, badPerm}}, &or)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("offer status %d", resp.StatusCode)
+	}
+	if or.Accepted != 1 || or.Rejected != 2 {
+		t.Fatalf("accepted/rejected = %d/%d, want 1/2", or.Accepted, or.Rejected)
+	}
+	if s.cache.len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", s.cache.len())
+	}
+	if rep, raw, ok := s.cache.get(good.Key); !ok || raw != good.RawKey || !rep.Best.Certified {
+		t.Fatalf("stored entry lookup = %v/%q/%v", rep, raw, ok)
+	}
+	if a, r := reg.Counter(MetricCacheOfferAccepted).Value(), reg.Counter(MetricCacheOfferRejected).Value(); a != 1 || r != 2 {
+		t.Fatalf("offer metrics accepted/rejected = %d/%d", a, r)
+	}
+
+	// Malformed body → 400; GET → 405.
+	resp, err = http.Post(ts.URL+"/cache/offer", "application/json", bytes.NewReader([]byte(`{"entries":[]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty offer status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/cache/offer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET offer status %d, want 405", resp.StatusCode)
+	}
+}
+
+// The /cache/* surface is gated on the cache being enabled.
+func TestCacheEndpointsDisabledCache(t *testing.T) {
+	s, err := New(Config{MaxConcurrent: 2, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/cache/offer", "/cache/digest", "/cache/keys", "/cache/export"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(`{}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s with disabled cache: status %d, want 503", path, resp.StatusCode)
+		}
+	}
+}
+
+// digest/keys/export round trip: digests over the full ring reflect
+// the stored key set, keys enumerate it, export returns entries that
+// re-validate — the handoff/repair pull path end to end.
+func TestCacheDigestKeysExportRoundTrip(t *testing.T) {
+	s, err := New(Config{MaxConcurrent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var want []string
+	for i := 0; i < 5; i++ {
+		ent := replicaEntry(i)
+		s.cache.put(ent.Key, ent.RawKey, ent.Report)
+		want = append(want, ent.Key)
+	}
+
+	full := []replica.Range{{Lo: 0, Hi: 0}} // full circle
+	var dr replica.DigestResponse
+	if resp := postCacheJSON(t, ts.URL+"/cache/digest", &replica.DigestRequest{Ranges: full}, &dr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("digest status %d", resp.StatusCode)
+	}
+	if len(dr.Digests) != 1 || dr.Digests[0].Count != 5 {
+		t.Fatalf("digest = %+v, want one range counting 5", dr.Digests)
+	}
+	if local := replica.DigestRanges(want, full); dr.Digests[0].Digest != local[0].Digest {
+		t.Fatalf("endpoint digest %q != local digest %q", dr.Digests[0].Digest, local[0].Digest)
+	}
+
+	var kr replica.KeysResponse
+	if resp := postCacheJSON(t, ts.URL+"/cache/keys", &replica.KeysRequest{Ranges: full}, &kr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("keys status %d", resp.StatusCode)
+	}
+	if len(kr.Keys) != 5 {
+		t.Fatalf("keys returned %d, want 5", len(kr.Keys))
+	}
+
+	var er replica.ExportResponse
+	if resp := postCacheJSON(t, ts.URL+"/cache/export", &replica.ExportRequest{Keys: kr.Keys}, &er); resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status %d", resp.StatusCode)
+	}
+	if len(er.Entries) != 5 {
+		t.Fatalf("export returned %d entries, want 5", len(er.Entries))
+	}
+	for _, ent := range er.Entries {
+		if err := ent.Validate(); err != nil {
+			t.Fatalf("exported entry %q fails validation: %v", ent.Key, err)
+		}
+	}
+
+	// Absent keys are omitted, not errors.
+	var er2 replica.ExportResponse
+	if resp := postCacheJSON(t, ts.URL+"/cache/export", &replica.ExportRequest{Keys: []string{"qon:missing", want[0]}}, &er2); resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial export status %d", resp.StatusCode)
+	}
+	if len(er2.Entries) != 1 || er2.Entries[0].Key != want[0] {
+		t.Fatalf("partial export = %+v, want just %q", er2.Entries, want[0])
+	}
+}
+
+// A certified /optimize store fans out to every peer named in
+// X-Replicate-To — asynchronously, with the canonical-space copy that
+// re-validates at the receiving trust boundary.
+func TestReplicateFanOutOnStore(t *testing.T) {
+	var mu sync.Mutex
+	var got []*replica.Entry
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		off, err := replica.DecodeOffer(body, 0)
+		if err != nil {
+			t.Errorf("peer received undecodable offer: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		got = append(got, off.Entries...)
+		mu.Unlock()
+		json.NewEncoder(w).Encode(&replica.OfferResponse{Accepted: len(off.Entries)})
+	}))
+	defer peer.Close()
+
+	reg := trace.NewRegistry()
+	s, err := New(Config{MaxConcurrent: 2, Metrics: reg, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/optimize",
+		bytes.NewReader([]byte(`{"workload":{"shape":"chain","n":6,"seed":3}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ReplicateToHeader, peer.URL)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize status %d: %s", resp.StatusCode, data)
+	}
+	res := decodeResult(t, data)
+	if res.Report.Best == nil || !res.Report.Best.Certified {
+		t.Fatalf("result not certified: %s", data)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer never received the replicated entry (sent=%d errors=%d dropped=%d)",
+				reg.Counter(MetricReplicateSent).Value(),
+				reg.Counter(MetricReplicateErrors).Value(),
+				reg.Counter(MetricReplicateDropped).Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	ent := got[0]
+	mu.Unlock()
+	if err := ent.Validate(); err != nil {
+		t.Fatalf("replicated entry fails trust-boundary validation: %v", err)
+	}
+	if wantKey := "qon:" + res.Fingerprint; ent.Key != wantKey {
+		t.Fatalf("replicated key %q, want %q", ent.Key, wantKey)
+	}
+	if reg.Counter(MetricReplicateSent).Value() < 1 {
+		t.Fatal("replicate.sent not counted")
+	}
+}
+
+// parseReplicaTo trims, drops empties and caps the peer count — a
+// hostile header must not fan out unboundedly.
+func TestParseReplicaTo(t *testing.T) {
+	if got := parseReplicaTo(""); got != nil {
+		t.Fatalf("empty header parsed to %v", got)
+	}
+	got := parseReplicaTo(" http://a:1/ ,, http://b:2 ")
+	if want := []string{"http://a:1", "http://b:2"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	many := "http://a,http://b,http://c,http://d,http://e,http://f"
+	if got := parseReplicaTo(many); len(got) != maxReplicaPeers {
+		t.Fatalf("hostile header parsed to %d peers, want cap %d", len(got), maxReplicaPeers)
+	}
+}

@@ -88,10 +88,14 @@ type Request struct {
 	// workload instance and the canonical identity (fingerprint plus the
 	// permutation into canonical label space).
 	genQON *qon.Instance
-	fpDone bool
-	fp     string
-	perm   []int
-	fpErr  error
+	// replicaTo holds the coordinator-named ring successors that should
+	// receive a copy of any certified result this request stores
+	// (X-Replicate-To header; empty means no fan-out).
+	replicaTo []string
+	fpDone    bool
+	fp        string
+	perm      []int
+	fpErr     error
 }
 
 // DecodeRequest parses and validates one request body. Errors are

@@ -41,6 +41,7 @@ import (
 	"approxqo/internal/chaos"
 	"approxqo/internal/classify"
 	"approxqo/internal/cliutil"
+	"approxqo/internal/cluster/replica"
 	"approxqo/internal/engine"
 	"approxqo/internal/opt"
 	"approxqo/internal/qoh"
@@ -158,6 +159,13 @@ type Config struct {
 	ChaosSpec    string
 	ChaosOptions []chaos.Option
 
+	// ReplicaTransport is the HTTP transport used for cache-replication
+	// fan-out to ring peers (nil means http.DefaultTransport). The chaos
+	// soak injects a partitioning transport here. ReplicaTimeout bounds
+	// one fan-out offer POST (default DefaultReplicaTimeout).
+	ReplicaTransport http.RoundTripper
+	ReplicaTimeout   time.Duration
+
 	// BreakerThreshold / BreakerCooldown configure the per-optimizer
 	// circuit breaker (defaults DefaultBreakerThreshold /
 	// DefaultBreakerCooldown).
@@ -218,6 +226,9 @@ type Server struct {
 	cache      *resultCache // nil when disabled (CacheSize < 0)
 	flights    *flightGroup
 
+	replicaSem    chan struct{} // bounded fan-out pool (nil when cache disabled)
+	replicaClient *http.Client  // fan-out offers to ring peers
+
 	slots  chan struct{} // worker tokens
 	reqSeq atomic.Int64  // per-request seed derivation
 	queued atomic.Int64  // waiting for a slot (healthz, gauge mirror)
@@ -265,10 +276,20 @@ func New(cfg Config) (*Server, error) {
 			size = DefaultCacheSize
 		}
 		s.cache = newResultCache(size)
+		s.replicaSem = make(chan struct{}, replicateWorkers)
+		rt := cfg.ReplicaTransport
+		if rt == nil {
+			rt = http.DefaultTransport
+		}
+		s.replicaClient = &http.Client{Transport: rt}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/optimize", s.handleOptimize)
 	s.mux.HandleFunc("/optimize/batch", s.handleBatch)
+	s.mux.HandleFunc("/cache/offer", s.handleCacheOffer)
+	s.mux.HandleFunc("/cache/digest", s.handleCacheDigest)
+	s.mux.HandleFunc("/cache/keys", s.handleCacheKeys)
+	s.mux.HandleFunc("/cache/export", s.handleCacheExport)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s, nil
@@ -466,6 +487,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	span.SetField("model", req.model())
+	req.replicaTo = parseReplicaTo(r.Header.Get(ReplicateToHeader))
 
 	// The budget covers queueing, deduplication and optimization, so a
 	// request cannot occupy the queue longer than its caller is willing
@@ -616,7 +638,12 @@ func (s *Server) serveAdmitted(ctx context.Context, req *Request, rung Rung, acc
 		// into canonical label space so any relabeling of this instance
 		// can be served from it.
 		if _, perm, cerr := req.canonicalID(); cerr == nil {
-			s.cache.put(key, rawKey, remapReport(rep, perm))
+			canon := remapReport(rep, perm)
+			s.cache.put(key, rawKey, canon)
+			// Replicate the canonical copy to the ring successors the
+			// coordinator named, asynchronously — the response below never
+			// waits on a peer.
+			s.replicate(req.replicaTo, &replica.Entry{Key: key, RawKey: rawKey, Report: canon})
 		}
 	}
 	if err != nil {

@@ -43,9 +43,10 @@ import (
 // optPrefixes route a benchmark into the optimization-layer baseline
 // file: the tiered cost-kernel set plus the canonical-identity set the
 // batch API added (fingerprinting, batch dedup throughput), the cluster
-// coordinator's per-request ring-routing cost, and the adaptive
-// router's per-request classification cost.
-var optPrefixes = []string{"BenchmarkRegOpt", "BenchmarkRegFingerprint", "BenchmarkRegBatch", "BenchmarkRegRing", "BenchmarkRegClassify"}
+// coordinator's per-request ring-routing cost, the replica digest the
+// anti-entropy loop leans on, and the adaptive router's per-request
+// classification cost.
+var optPrefixes = []string{"BenchmarkRegOpt", "BenchmarkRegFingerprint", "BenchmarkRegBatch", "BenchmarkRegRing", "BenchmarkRegReplica", "BenchmarkRegClassify"}
 
 func isOptBench(b string) bool {
 	for _, p := range optPrefixes {
