@@ -52,7 +52,11 @@
 // changes stream the moved keyspace to the new owner before traffic
 // flips (hinted handoff), and a background anti-entropy loop
 // (-repair-every) digests replica pairs and read-repairs divergence,
-// paying for each transfer out of the global retry budget.
+// paying for each transfer out of the global retry budget. Replication
+// traffic is authenticated by a shared secret (-cluster-secret, or
+// $QOD_CLUSTER_SECRET) that every fleet member must be started with;
+// without one, workers keep their /cache/* surfaces closed and the
+// coordinator runs with replication off.
 //
 // SIGINT/SIGTERM triggers a graceful drain: admission stops, in-flight
 // requests finish within -drain, and the observability outputs
@@ -105,6 +109,8 @@ func main() {
 	replicas := flag.Int("replicas", 0, "coordinator: ring successors holding a copy of each certified result (0 = default 2, negative disables replication)")
 	repairEvery := flag.Duration("repair-every", 0, "coordinator: anti-entropy repair cadence (0 = default 5s, negative disables)")
 	netChaos := flag.String("net-chaos", "", "coordinator: network fault spec applied to upstream requests (e.g. 'drop,delay:w2')")
+	clusterSecret := flag.String("cluster-secret", os.Getenv("QOD_CLUSTER_SECRET"),
+		"shared secret authenticating cache-replication traffic; must match across the fleet (default $QOD_CLUSTER_SECRET; empty disables replication)")
 	flag.Parse()
 
 	// The signal handler's force-flush must not fire while a healthy
@@ -165,6 +171,9 @@ func main() {
 			}
 			transport = chaos.NewTransport(nil, rules, chaos.WithNetSeed(common.Seed))
 		}
+		if *replicas >= 0 && *clusterSecret == "" {
+			fmt.Fprintln(os.Stderr, "qod: replication disabled: -cluster-secret not set")
+		}
 		co, err := cluster.New(cluster.Config{
 			Workers:        workers,
 			Transport:      transport,
@@ -173,6 +182,7 @@ func main() {
 			ProbeInterval:  *probeEvery,
 			Replicas:       *replicas,
 			RepairInterval: *repairEvery,
+			ClusterSecret:  *clusterSecret,
 			DefaultTimeout: *reqTimeout,
 			MaxTimeout:     *maxTimeout,
 			RetryAfter:     *retryAfter,
@@ -206,6 +216,7 @@ func main() {
 		ChaosSpec:      *chaosSpec,
 		CacheSize:      *cacheSize,
 		MaxBatchJobs:   *maxBatch,
+		ClusterSecret:  *clusterSecret,
 		Tracer:         common.Tracer(),
 		Metrics:        common.Registry(),
 	})

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"approxqo/internal/cluster/replica"
 	"approxqo/internal/server"
 )
 
@@ -97,8 +98,8 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		reqs[i] = req
 		key := ""
-		if fp, _, err := req.CanonicalID(); err == nil && fp != "" {
-			key = req.ResolvedModel() + ":" + fp
+		if fp, perm, err := req.CanonicalID(); err == nil && fp != "" {
+			key = replica.Key(req.ResolvedModel(), len(perm), fp)
 		}
 		if key == "" {
 			key = fmt.Sprintf("\x00job\x00%d", i)
@@ -256,8 +257,11 @@ func (c *Coordinator) tryWorkerBatch(ctx context.Context, worker, rid string, g 
 	hreq.Header.Set(server.RequestIDHeader, rid)
 	if peers := c.replicaPeers(g.key, worker); len(peers) > 0 {
 		// One shape per sub-batch means one replica set for the whole
-		// group; the worker fans out each stored leader result.
+		// group; the worker fans out each stored leader result. The
+		// secret authenticates the hint (unauthenticated ones are
+		// ignored).
 		hreq.Header.Set(server.ReplicateToHeader, replicateToHeader(peers))
+		hreq.Header.Set(replica.AuthHeader, c.cfg.ClusterSecret)
 	}
 	start := time.Now()
 	resp, err := c.client.Do(hreq)

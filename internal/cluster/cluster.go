@@ -152,8 +152,17 @@ type Config struct {
 	// X-Replicate-To header of every forwarded job, and handoff and
 	// anti-entropy maintain that copy count across membership changes
 	// and partitions. Zero means replica.DefaultReplicas; negative
-	// disables replication, handoff and repair entirely.
+	// disables replication, handoff and repair entirely. Replication
+	// also requires ClusterSecret: without one, workers keep their
+	// /cache/* surfaces closed, so withDefaults forces Replicas
+	// negative rather than fanning out requests every worker refuses.
 	Replicas int
+	// ClusterSecret is the shared secret proving cluster membership on
+	// every replication exchange (replica.AuthHeader): offers, digests,
+	// key/export pulls, and the X-Replicate-To hint on forwarded jobs.
+	// Every fleet member must be started with the same value (qod
+	// -cluster-secret). Empty disables replication.
+	ClusterSecret string
 	// RepairInterval is the anti-entropy cadence (default 5s; negative
 	// disables the background loop — RepairOnce still works).
 	RepairInterval time.Duration
@@ -229,6 +238,12 @@ func (c Config) withDefaults() Config {
 	if c.Replicas == 0 {
 		c.Replicas = replica.DefaultReplicas
 	}
+	if c.ClusterSecret == "" {
+		// Workers refuse unauthenticated replication traffic, so a
+		// secretless fleet runs with replication off instead of fanning
+		// out exchanges every peer rejects.
+		c.Replicas = -1
+	}
 	if c.RepairInterval == 0 {
 		c.RepairInterval = 5 * time.Second
 	}
@@ -271,6 +286,17 @@ type Coordinator struct {
 	draining atomic.Bool
 	warm     atomic.Bool
 	started  time.Time
+
+	// mmu serializes membership changes (JoinWorker/RetireWorker/
+	// AddWorker/RemoveWorker): each computes its ownership delta from a
+	// ring snapshot, and two interleaved changes would hand keyspace off
+	// against stale snapshots. warmGen counts membership generations and
+	// handoffs counts handoff passes in flight, so a concurrent
+	// RepairOnce that converged against the old ring cannot flip the
+	// warm gauge mid-change (see RepairOnce).
+	mmu      sync.Mutex
+	warmGen  atomic.Int64
+	handoffs atomic.Int32
 }
 
 // New builds a Coordinator over the configured worker pool.
@@ -321,11 +347,19 @@ func (c *Coordinator) BeginDrain() { c.draining.Store(true) }
 // AddWorker joins a worker to the ring immediately, without hinted
 // handoff: keys rebalance at once and the moved arcs cold-start (or
 // wait for anti-entropy). JoinWorker is the warm path.
-func (c *Coordinator) AddWorker(worker string) { c.ring.Add(worker) }
+func (c *Coordinator) AddWorker(worker string) {
+	c.mmu.Lock()
+	defer c.mmu.Unlock()
+	c.warmGen.Add(1)
+	c.ring.Add(worker)
+}
 
 // RemoveWorker leaves a worker from the ring and forgets its health,
 // without streaming its keyspace first. RetireWorker is the warm path.
 func (c *Coordinator) RemoveWorker(worker string) {
+	c.mmu.Lock()
+	defer c.mmu.Unlock()
+	c.warmGen.Add(1)
 	c.ring.Remove(worker)
 	c.health.forget(worker)
 }

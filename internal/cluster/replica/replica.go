@@ -10,10 +10,14 @@
 // validate with the same code. Validation here is the trust boundary:
 // a replica accepts an offered entry only if it re-proves the serving
 // layer's contract — certified winner, valid cost, permutation-valid
-// sequence in canonical label space — mirroring the coordinator's
+// sequence in canonical label space, and a cache key whose declared
+// instance size matches the report's — mirroring the coordinator's
 // checks on worker 200s. A corrupted or malicious offer is rejected
 // entry by entry, never crashing the receiver (FuzzCacheOfferJSON pins
-// this).
+// this). On top of per-entry validation, every replication exchange is
+// authenticated: peers prove cluster membership with the shared secret
+// in the AuthHeader header, so the /cache/* surface is never open to
+// arbitrary clients.
 package replica
 
 import (
@@ -21,11 +25,21 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strconv"
 	"strings"
 
 	"approxqo/internal/engine"
 )
+
+// AuthHeader carries the cluster's shared replication secret on every
+// replication exchange: the /cache/* endpoints (offer, digest, keys,
+// export) refuse requests without it, and a worker honors the
+// coordinator's X-Replicate-To fan-out hint only on requests that
+// carry it. The secret is configured out of band (qod -cluster-secret
+// on every member); a fleet without one simply runs with replication
+// off rather than with an open cache-write surface.
+const AuthHeader = "X-Cluster-Key"
 
 // DefaultReplicas is how many ring successors each certified cache
 // entry is copied to (R). Two successors mean an entry survives any
@@ -35,7 +49,7 @@ import (
 // immutable and re-derivable.
 const DefaultReplicas = 2
 
-// KeyHash maps a cache key (model:fingerprint) or ring vnode name to
+// KeyHash maps a cache key (model:n:fingerprint) or ring vnode name to
 // its position on the 64-bit hash ring. fnv-1a of near-identical
 // strings clusters, so a splitmix64 finalizer scatters the positions;
 // the cluster ring and the digest arithmetic share this single
@@ -77,10 +91,20 @@ func (r Range) Contains(h uint64) bool {
 	return h > r.Lo || h <= r.Hi
 }
 
+// Key renders the canonical cache key: model, declared instance size,
+// and the graph-invariant fingerprint, colon-separated. Encoding n in
+// the key is what lets Validate bind a claimed key to its report — an
+// offer whose report disagrees with the size its own key declares is
+// rejected at the trust boundary instead of lying dormant until a
+// cache hit trips over it.
+func Key(model string, n int, fp string) string {
+	return model + ":" + strconv.Itoa(n) + ":" + fp
+}
+
 // Entry is one replicated cache entry: the canonical cache key
-// (model:fingerprint), the raw source key of the producing request
-// (canonical-hit attribution travels with the entry), and the full
-// engine report in canonical label space.
+// (model:n:fingerprint, see Key), the raw source key of the producing
+// request (canonical-hit attribution travels with the entry), and the
+// full engine report in canonical label space.
 type Entry struct {
 	Key    string         `json:"key"`
 	RawKey string         `json:"raw_key,omitempty"`
@@ -101,12 +125,20 @@ func (e *Entry) Validate() error {
 	if e == nil {
 		return errors.New("null entry")
 	}
-	model, fp, ok := strings.Cut(e.Key, ":")
+	model, rest, ok := strings.Cut(e.Key, ":")
+	if !ok {
+		return fmt.Errorf("entry key %q is not model:n:fingerprint", e.Key)
+	}
+	nStr, fp, ok := strings.Cut(rest, ":")
 	if !ok || fp == "" {
-		return fmt.Errorf("entry key %q is not model:fingerprint", e.Key)
+		return fmt.Errorf("entry key %q is not model:n:fingerprint", e.Key)
 	}
 	if model != "qon" && model != "qoh" {
 		return fmt.Errorf("entry key has unknown model %q", model)
+	}
+	keyN, err := strconv.Atoi(nStr)
+	if err != nil || keyN < 1 || keyN > maxEntryN {
+		return fmt.Errorf("entry key declares implausible instance size %q", nStr)
 	}
 	if len(fp) > 128 {
 		return fmt.Errorf("entry fingerprint is %d bytes, cap is 128", len(fp))
@@ -127,6 +159,12 @@ func (e *Entry) Validate() error {
 	}
 	if rep.N < 1 || rep.N > maxEntryN {
 		return fmt.Errorf("implausible instance size %d", rep.N)
+	}
+	if rep.N != keyN {
+		// The key↔report binding: a report stored under a key declaring a
+		// different size could crash the serving layer's label remap on a
+		// later hit, so the mismatch is refused here, at the boundary.
+		return fmt.Errorf("entry key declares n=%d, report has n=%d", keyN, rep.N)
 	}
 	if len(best.Sequence) != rep.N {
 		return fmt.Errorf("winning sequence has %d relations, instance has %d", len(best.Sequence), rep.N)
@@ -220,22 +258,43 @@ const MaxDigestRanges = 4096
 // DigestRanges computes the per-range digests of a key set. The fold
 // re-mixes each key's ring hash so the digest is not simply the XOR of
 // ring positions the caller already knows.
+//
+// Cost is O(keys·log keys + ranges·log keys), not O(keys·ranges): the
+// key hashes are sorted once and each range is answered by binary
+// search over a prefix-XOR array, so a request carrying the maximum
+// range count cannot force a full key scan per range.
 func DigestRanges(keys []string, ranges []Range) []RangeDigest {
-	acc := make([]uint64, len(ranges))
-	counts := make([]int, len(ranges))
-	for _, k := range keys {
-		h := KeyHash(k)
-		m := mix64(h)
-		for i, r := range ranges {
-			if r.Contains(h) {
-				acc[i] ^= m
-				counts[i]++
-			}
-		}
+	hs := make([]uint64, len(keys))
+	for i, k := range keys {
+		hs[i] = KeyHash(k)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	// px[i] is the XOR fold of the first i (sorted) hashes, re-mixed;
+	// the fold of any contiguous hash interval is then px[j]^px[i].
+	px := make([]uint64, len(hs)+1)
+	for i, h := range hs {
+		px[i+1] = px[i] ^ mix64(h)
+	}
+	n := len(hs)
+	// upperBound is the number of hashes ≤ x.
+	upperBound := func(x uint64) int {
+		return sort.Search(n, func(i int) bool { return hs[i] > x })
 	}
 	out := make([]RangeDigest, len(ranges))
-	for i := range out {
-		out[i] = RangeDigest{Digest: strconv.FormatUint(acc[i], 16), Count: counts[i]}
+	for i, r := range ranges {
+		var acc uint64
+		var count int
+		switch {
+		case r.Lo == r.Hi: // full circle
+			acc, count = px[n], n
+		case r.Lo < r.Hi: // contiguous arc (Lo, Hi]
+			i1, i2 := upperBound(r.Lo), upperBound(r.Hi)
+			acc, count = px[i2]^px[i1], i2-i1
+		default: // wraps through zero: (Lo, max] ∪ [0, Hi]
+			i1, i2 := upperBound(r.Lo), upperBound(r.Hi)
+			acc, count = (px[n]^px[i1])^px[i2], (n-i1)+i2
+		}
+		out[i] = RangeDigest{Digest: strconv.FormatUint(acc, 16), Count: count}
 	}
 	return out
 }

@@ -3,6 +3,8 @@ package replica
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
+	"strconv"
 	"testing"
 
 	"approxqo/internal/engine"
@@ -56,16 +58,19 @@ func TestRangeContains(t *testing.T) {
 }
 
 func TestEntryValidateAcceptsCertified(t *testing.T) {
-	if err := validEntry("qon:deadbeef", 3).Validate(); err != nil {
+	if err := validEntry("qon:3:deadbeef", 3).Validate(); err != nil {
 		t.Fatalf("valid entry rejected: %v", err)
 	}
-	if err := validEntry("qoh:cafe", 2).Validate(); err == nil {
+	if err := validEntry("qoh:2:cafe", 2).Validate(); err == nil {
 		t.Fatal("qoh key with qon report model accepted")
 	}
-	qoh := validEntry("qoh:cafe", 2)
+	qoh := validEntry("qoh:2:cafe", 2)
 	qoh.Report.Model = "qoh"
 	if err := qoh.Validate(); err != nil {
 		t.Fatalf("valid qoh entry rejected: %v", err)
+	}
+	if Key("qon", 3, "deadbeef") != "qon:3:deadbeef" {
+		t.Fatalf("Key rendered %q", Key("qon", 3, "deadbeef"))
 	}
 }
 
@@ -76,18 +81,23 @@ func TestEntryValidateRejectsBrokenEntries(t *testing.T) {
 		"uncertified":    func(e *Entry) { e.Report.Best.Certified = false },
 		"no cost":        func(e *Entry) { e.Report.Best.Cost = num.Num{} },
 		"bad key":        func(e *Entry) { e.Key = "nocolon" },
-		"empty fp":       func(e *Entry) { e.Key = "qon:" },
-		"unknown model":  func(e *Entry) { e.Key = "sql:deadbeef" },
-		"model mismatch": func(e *Entry) { e.Key = "qoh:" + e.Key[4:] },
+		"missing n":      func(e *Entry) { e.Key = "qon:deadbeef" }, // pre-binding key format
+		"empty fp":       func(e *Entry) { e.Key = "qon:3:" },
+		"unknown model":  func(e *Entry) { e.Key = "sql:3:deadbeef" },
+		"model mismatch": func(e *Entry) { e.Key = "qoh:3:deadbeef" },
+		"key n mismatch": func(e *Entry) { e.Key = "qon:4:deadbeef" },
+		"huge key n":     func(e *Entry) { e.Key = fmt.Sprintf("qon:%d:deadbeef", maxEntryN+1) },
+		"non-numeric n":  func(e *Entry) { e.Key = "qon:x:deadbeef" },
+		"negative n":     func(e *Entry) { e.Key = "qon:-3:deadbeef" },
 		"zero n":         func(e *Entry) { e.Report.N = 0; e.Report.Best.Sequence = nil },
 		"huge n":         func(e *Entry) { e.Report.N = maxEntryN + 1 },
 		"short sequence": func(e *Entry) { e.Report.Best.Sequence = e.Report.Best.Sequence[:2] },
 		"repeated label": func(e *Entry) { e.Report.Best.Sequence = []int{0, 0, 1} },
 		"label range":    func(e *Entry) { e.Report.Best.Sequence = []int{0, 1, 3} },
-		"long fp":        func(e *Entry) { e.Key = "qon:" + string(make([]byte, 200)) },
+		"long fp":        func(e *Entry) { e.Key = "qon:3:" + string(make([]byte, 200)) },
 	}
 	for name, brk := range breakers {
-		e := validEntry("qon:deadbeef", 3)
+		e := validEntry("qon:3:deadbeef", 3)
 		brk(e)
 		if err := e.Validate(); err == nil {
 			t.Errorf("%s: broken entry accepted", name)
@@ -100,7 +110,7 @@ func TestEntryValidateRejectsBrokenEntries(t *testing.T) {
 }
 
 func TestDecodeOfferBounds(t *testing.T) {
-	body, _ := json.Marshal(&OfferRequest{From: "w1", Entries: []*Entry{validEntry("qon:ff", 2)}})
+	body, _ := json.Marshal(&OfferRequest{From: "w1", Entries: []*Entry{validEntry("qon:2:ff", 2)}})
 	off, err := DecodeOffer(body, 0)
 	if err != nil {
 		t.Fatalf("valid offer rejected: %v", err)
@@ -118,7 +128,7 @@ func TestDecodeOfferBounds(t *testing.T) {
 			t.Errorf("DecodeOffer accepted %q", bad)
 		}
 	}
-	two, _ := json.Marshal(&OfferRequest{Entries: []*Entry{validEntry("qon:a1", 2), validEntry("qon:b2", 2)}})
+	two, _ := json.Marshal(&OfferRequest{Entries: []*Entry{validEntry("qon:2:a1", 2), validEntry("qon:2:b2", 2)}})
 	if _, err := DecodeOffer(two, 1); err == nil {
 		t.Error("DecodeOffer ignored maxEntries")
 	}
@@ -154,6 +164,64 @@ func TestDigestRangesDetectsDivergence(t *testing.T) {
 	}
 	if halves[0].Count == 0 || halves[1].Count == 0 {
 		t.Fatalf("splitmix-scattered keys all fell in one half: %+v", halves)
+	}
+}
+
+// The bisecting DigestRanges must agree exactly with the naive
+// per-key Contains scan it replaced, over random keys and every range
+// shape (contiguous, wrapping, full circle, empty).
+func TestDigestRangesMatchesNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	naive := func(keys []string, ranges []Range) []RangeDigest {
+		acc := make([]uint64, len(ranges))
+		counts := make([]int, len(ranges))
+		for _, k := range keys {
+			h := KeyHash(k)
+			for i, r := range ranges {
+				if r.Contains(h) {
+					acc[i] ^= mix64(h)
+					counts[i]++
+				}
+			}
+		}
+		out := make([]RangeDigest, len(ranges))
+		for i := range out {
+			out[i] = RangeDigest{Digest: strconv.FormatUint(acc[i], 16), Count: counts[i]}
+		}
+		return out
+	}
+	for trial := 0; trial < 50; trial++ {
+		keys := make([]string, rng.Intn(40))
+		for i := range keys {
+			keys[i] = fmt.Sprintf("qon:%d:%08x", 2+rng.Intn(9), rng.Uint32())
+		}
+		ranges := make([]Range, 1+rng.Intn(8))
+		for i := range ranges {
+			switch rng.Intn(4) {
+			case 0: // full circle
+				p := rng.Uint64()
+				ranges[i] = Range{p, p}
+			case 1: // wrap through zero
+				lo, hi := rng.Uint64()|1<<63, rng.Uint64()&^(1<<63)
+				ranges[i] = Range{lo, hi}
+			default:
+				lo, hi := rng.Uint64(), rng.Uint64()
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if lo == hi {
+					hi++
+				}
+				ranges[i] = Range{lo, hi}
+			}
+		}
+		got, want := DigestRanges(keys, ranges), naive(keys, ranges)
+		for i := range ranges {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d range %d (%x,%x]: bisect %+v != naive %+v over %d keys",
+					trial, i, ranges[i].Lo, ranges[i].Hi, got[i], want[i], len(keys))
+			}
+		}
 	}
 }
 

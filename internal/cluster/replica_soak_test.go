@@ -20,6 +20,8 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -34,6 +36,9 @@ import (
 	"approxqo/internal/workload"
 )
 
+// rsoakSecret authenticates the soak fleet's replication traffic.
+const rsoakSecret = "rsoak-secret"
+
 // rsoakWorker builds one qod worker whose replication client rides the
 // given (possibly chaotic) transport.
 func rsoakWorker(t *testing.T, seed int64, rt http.RoundTripper) (*trace.Registry, *httptest.Server) {
@@ -47,6 +52,7 @@ func rsoakWorker(t *testing.T, seed int64, rt http.RoundTripper) (*trace.Registr
 		Seed:             seed,
 		Metrics:          reg,
 		ReplicaTransport: rt,
+		ClusterSecret:    rsoakSecret,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +70,7 @@ func rsoakEntry(i int) *replica.Entry {
 		seq[k] = (k + 1) % n
 	}
 	return &replica.Entry{
-		Key:    fmt.Sprintf("qon:inject-%04x", i),
+		Key:    fmt.Sprintf("qon:3:inject-%04x", i),
 		RawKey: fmt.Sprintf("raw-%d", i),
 		Report: &engine.Report{
 			Model: "qon",
@@ -86,7 +92,13 @@ func rsoakPost(t *testing.T, url string, in, out any) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(replica.AuthHeader, rsoakSecret)
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,6 +142,7 @@ func TestRepairOnceHealsInjectedDivergence(t *testing.T) {
 		ProbeInterval:  -1,
 		RepairInterval: -1,
 		HedgeAfter:     -1,
+		ClusterSecret:  rsoakSecret,
 		Metrics:        reg,
 	})
 	if err != nil {
@@ -178,6 +191,93 @@ func TestRepairOnceHealsInjectedDivergence(t *testing.T) {
 	}
 }
 
+// Membership changes are serialized against each other and against the
+// repair loop: concurrent join/retire churn with anti-entropy hammering
+// in the background must leave a consistent ring (race-clean under
+// go test -race), and a repair pass that overlapped a membership change
+// must not have flipped the warm gauge for a ring it never saw.
+func TestMembershipChangesSerializedAgainstRepair(t *testing.T) {
+	const workers = 3
+	urls := make([]string, workers)
+	for i := 0; i < workers; i++ {
+		_, ts := rsoakWorker(t, int64(700+i), nil)
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	_, extra := rsoakWorker(t, 777, nil)
+	defer extra.Close()
+
+	co, err := New(Config{
+		Workers:        urls,
+		ProbeInterval:  -1,
+		RepairInterval: -1,
+		HedgeAfter:     -1,
+		ClusterSecret:  rsoakSecret,
+		Metrics:        trace.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Seed one entry so repair has keyspace to digest.
+	rsoakPost(t, urls[0]+"/cache/offer", &replica.OfferRequest{Entries: []*replica.Entry{rsoakEntry(9)}}, nil)
+
+	stop := make(chan struct{})
+	var repairWG sync.WaitGroup
+	repairWG.Add(1)
+	go func() {
+		defer repairWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				co.RepairOnce(ctx)
+			}
+		}
+	}()
+	for round := 0; round < 4; round++ {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); co.JoinWorker(ctx, extra.URL) }()
+		go func() { defer wg.Done(); co.RetireWorker(ctx, urls[2]) }()
+		wg.Wait()
+		// Undo, concurrently again, so every round churns both directions.
+		wg.Add(2)
+		go func() { defer wg.Done(); co.RetireWorker(ctx, extra.URL) }()
+		go func() { defer wg.Done(); co.JoinWorker(ctx, urls[2]) }()
+		wg.Wait()
+	}
+	close(stop)
+	repairWG.Wait()
+
+	got := co.Workers()
+	sort.Strings(got)
+	want := append([]string(nil), urls...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("ring holds %d workers after churn, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ring membership after churn = %v, want %v", got, want)
+		}
+	}
+	if gen := co.warmGen.Load(); gen < 16 {
+		t.Fatalf("warm generation %d after 16 membership changes, want ≥16", gen)
+	}
+	// With churn over, a converged pass may restore warmth.
+	deadline := time.Now().Add(10 * time.Second)
+	for co.cfg.Metrics.Gauge(MetricReplicaWarm).Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("warm gauge never restored after churn ended")
+		}
+		co.RepairOnce(ctx)
+	}
+}
+
 func TestSoakReplicaPartitionRejoin(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
@@ -216,6 +316,7 @@ func TestSoakReplicaPartitionRejoin(t *testing.T) {
 		BaseBackoff:    time.Millisecond,
 		MaxBackoff:     8 * time.Millisecond,
 		RetryBurst:     128, // repair transfers draw real tokens; deposits alone (0.2/req) would stall convergence
+		ClusterSecret:  rsoakSecret,
 		Seed:           21,
 		Metrics:        reg,
 	})

@@ -62,10 +62,20 @@ func (c *Coordinator) replicaPeers(key, serving string) []string {
 // anti-entropy repairs the gap — because a worker the fleet needs now
 // must not wait on a perfect warmup.
 func (c *Coordinator) JoinWorker(ctx context.Context, worker string) (int, error) {
+	// Membership changes are serialized: the ownership delta is computed
+	// from a ring snapshot, and a concurrent change would stream keyspace
+	// against a ring that no longer exists. The generation bump plus the
+	// handoff counter keep a concurrent RepairOnce from flipping the warm
+	// gauge mid-change.
+	c.mmu.Lock()
+	defer c.mmu.Unlock()
+	c.warmGen.Add(1)
 	if c.cfg.Replicas <= 0 || c.ring.Size() == 0 {
 		c.ring.Add(worker)
 		return 0, nil
 	}
+	c.handoffs.Add(1)
+	defer c.handoffs.Add(-1)
 	next := c.ring.Clone()
 	next.Add(worker)
 	delta := OwnershipDelta(c.ring, next)
@@ -84,6 +94,11 @@ func (c *Coordinator) JoinWorker(ctx context.Context, worker string) (int, error
 // it. Like JoinWorker, failure degrades to a cold removal plus
 // anti-entropy, never a refusal.
 func (c *Coordinator) RetireWorker(ctx context.Context, worker string) (int, error) {
+	c.mmu.Lock()
+	defer c.mmu.Unlock()
+	c.warmGen.Add(1)
+	c.handoffs.Add(1)
+	defer c.handoffs.Add(-1)
 	next := c.ring.Clone()
 	next.Remove(worker)
 	var moved int
@@ -200,6 +215,10 @@ func (c *Coordinator) RepairOnce(ctx context.Context) (diverged, repaired int) {
 	if c.cfg.Replicas <= 0 {
 		return 0, 0
 	}
+	// Snapshot the membership generation: if a Join/Retire lands while
+	// this pass runs, its conclusion describes a ring that no longer
+	// exists and must not flip the warm gauge.
+	gen := c.warmGen.Load()
 	m := c.cfg.Metrics
 	m.Counter(MetricRepairRounds).Inc()
 	owned := c.ring.OwnedRanges(c.cfg.Replicas)
@@ -272,7 +291,7 @@ func (c *Coordinator) RepairOnce(ctx context.Context) (diverged, repaired int) {
 			}
 		}
 	}
-	if clean && diverged == 0 {
+	if clean && diverged == 0 && c.handoffs.Load() == 0 && c.warmGen.Load() == gen {
 		c.setWarm(true)
 	}
 	return diverged, repaired
@@ -358,6 +377,7 @@ func (c *Coordinator) postJSON(ctx context.Context, worker, path string, in, out
 		return err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(replica.AuthHeader, c.cfg.ClusterSecret)
 	resp, err := c.client.Do(hreq)
 	if err != nil {
 		return err

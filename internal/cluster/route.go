@@ -13,22 +13,25 @@ import (
 	"strconv"
 	"time"
 
+	"approxqo/internal/cluster/replica"
 	"approxqo/internal/server"
 	"approxqo/internal/trace"
 )
 
-// routeKey derives the ring key for a decoded request: the model plus
-// the canonical instance fingerprint, so every relabeling of one query
-// routes to the same shard. A request whose fingerprint cannot be
-// resolved (an ungenerable workload spec) falls back to a raw body
-// hash — still deterministic, no affinity guarantee.
+// routeKey derives the ring key for a decoded request: the worker's
+// cache key (replica.Key — model, instance size, canonical
+// fingerprint), so every relabeling of one query routes to the same
+// shard and the ring arcs the coordinator digests match the keys
+// workers store. A request whose fingerprint cannot be resolved (an
+// ungenerable workload spec) falls back to a raw body hash — still
+// deterministic, no affinity guarantee.
 func routeKey(req *server.Request, body []byte) string {
-	fp, _, err := req.CanonicalID()
+	fp, perm, err := req.CanonicalID()
 	if err != nil || fp == "" {
 		sum := sha256.Sum256(body)
 		return "raw:" + hex.EncodeToString(sum[:])
 	}
-	return req.ResolvedModel() + ":" + fp
+	return replica.Key(req.ResolvedModel(), len(perm), fp)
 }
 
 // forwardBody re-encodes the decoded request as a tagged job for the
@@ -98,8 +101,11 @@ func (c *Coordinator) tryWorker(ctx context.Context, worker, rid, key string, re
 	hreq.Header.Set(server.RequestIDHeader, rid)
 	if peers := c.replicaPeers(key, worker); len(peers) > 0 {
 		// Name the key's ring successors so the worker can fan its
-		// certified result out asynchronously after the cache store.
+		// certified result out asynchronously after the cache store. The
+		// cluster secret proves the hint came from the coordinator — the
+		// worker ignores the header on unauthenticated requests.
 		hreq.Header.Set(server.ReplicateToHeader, replicateToHeader(peers))
+		hreq.Header.Set(replica.AuthHeader, c.cfg.ClusterSecret)
 	}
 	start := time.Now()
 	resp, err := c.client.Do(hreq)

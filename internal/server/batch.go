@@ -90,9 +90,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// goroutine shares a Request. Jobs without a usable key — cache
 	// disabled, chaos injection active, ungenerable workload — form
 	// singleton groups under a synthetic key ("\x00" never prefixes a
-	// real model:fingerprint key), so they run per-job like /optimize.
+	// real model:n:fingerprint key), so they run per-job like /optimize.
 	reqs := make([]*Request, n)
-	replicaTo := parseReplicaTo(r.Header.Get(ReplicateToHeader))
+	var replicaTo []string
+	if s.peerAuthed(r) {
+		// Same rule as /optimize: fan-out destinations are honored only
+		// from authenticated cluster peers.
+		replicaTo = parseReplicaTo(r.Header.Get(ReplicateToHeader))
+	}
 	errDocs := make([]*ErrorBody, n)
 	groupOf := make(map[string]int)
 	var groups []*batchGroup

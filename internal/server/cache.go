@@ -29,23 +29,31 @@ const (
 	MetricCacheHits     = "server.cache.hits"
 	MetricCacheMisses   = "server.cache.misses"
 	MetricCanonicalHits = "server.cache.canonical_hits"
+	// MetricCacheMismatch counts hits whose stored report disagreed with
+	// the requesting instance's size — a corrupt or poisoned entry that
+	// key↔report binding should make impossible. The entry is evicted
+	// and the request falls through to a real run; a nonzero counter is
+	// an integrity alarm, not a performance signal.
+	MetricCacheMismatch = "server.cache.mismatch"
 )
 
-// cacheKey keys the request's instance identity: the model plus the
-// graph-invariant canonical fingerprint of the resolved instance,
-// deliberately excluding timeout_ms — a certified full-rung result is a
-// pure function of the instance (up to heuristic seeds, which only
-// certified winners survive), so it is valid for any later budget.
-// Because the fingerprint is relabel-invariant, cosmetically different
-// and relabeled duplicates map to the same key; stored reports live in
-// canonical label space and are remapped per requester (see
-// serveAdmitted).
+// cacheKey keys the request's instance identity: the model, the
+// instance size, and the graph-invariant canonical fingerprint of the
+// resolved instance (replica.Key), deliberately excluding timeout_ms —
+// a certified full-rung result is a pure function of the instance (up
+// to heuristic seeds, which only certified winners survive), so it is
+// valid for any later budget. Because the fingerprint is
+// relabel-invariant, cosmetically different and relabeled duplicates
+// map to the same key; stored reports live in canonical label space
+// and are remapped per requester (see serveAdmitted). Encoding the
+// size in the key lets the replication trust boundary bind an offered
+// key to its report (replica.Entry.Validate).
 func cacheKey(req *Request) string {
-	fp, _, err := req.canonicalID()
+	fp, perm, err := req.canonicalID()
 	if err != nil {
 		return "" // ungenerable workload: skip caching, never fail the request
 	}
-	return req.model() + ":" + fp
+	return replica.Key(req.model(), len(perm), fp)
 }
 
 // rawSourceKey hashes the decoded request's literal instance source —
@@ -117,6 +125,18 @@ func (c *resultCache) put(key, rawKey string, rep *engine.Report) {
 		back := c.ll.Back()
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+}
+
+// evict drops one entry by key, if present. The serving layer calls it
+// when a hit fails the size-binding check — a stored report that
+// disagrees with its own key is corrupt and must not be served again.
+func (c *resultCache) evict(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
 	}
 }
 

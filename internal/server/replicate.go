@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -27,11 +28,18 @@ import (
 //	POST /cache/digest — per-range key digests (anti-entropy compare)
 //	POST /cache/keys   — keys on given ring ranges (handoff/repair diff)
 //	POST /cache/export — full entries by key (handoff/repair source)
+//
+// The whole surface is authenticated: every /cache/* request must carry
+// the cluster's shared secret (replica.AuthHeader), and the fan-out
+// hint is honored only on requests that do. A worker with no configured
+// secret keeps the surface closed.
 
 // ReplicateToHeader carries the comma-separated worker base URLs that
 // should receive a copy of any certified result this request stores —
-// set by the cluster coordinator, which knows the ring. The server
-// itself never derives peers: an empty header means no fan-out.
+// set by the cluster coordinator, which knows the ring and proves
+// itself with the cluster secret; the header is ignored on requests
+// that don't. The server itself never derives peers: an empty header
+// means no fan-out.
 const ReplicateToHeader = "X-Replicate-To"
 
 // maxReplicaPeers caps how many peers one request may name: a hostile
@@ -58,6 +66,19 @@ const replicateWorkers = 4
 
 // DefaultReplicaTimeout bounds one fan-out offer POST.
 const DefaultReplicaTimeout = 2 * time.Second
+
+// peerAuthed reports whether the request proved cluster membership: it
+// carries the configured shared secret in replica.AuthHeader. With no
+// secret configured nothing authenticates — the replication surface is
+// closed, not open.
+func (s *Server) peerAuthed(r *http.Request) bool {
+	secret := s.cfg.ClusterSecret
+	if secret == "" {
+		return false
+	}
+	got := r.Header.Get(replica.AuthHeader)
+	return subtle.ConstantTimeCompare([]byte(got), []byte(secret)) == 1
+}
 
 // parseReplicaTo splits the X-Replicate-To header into peer base URLs,
 // dropping empties and capping the count.
@@ -118,6 +139,7 @@ func (s *Server) offerPeer(peer string, body []byte) bool {
 		return false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(replica.AuthHeader, s.cfg.ClusterSecret)
 	resp, err := s.replicaClient.Do(req)
 	if err != nil {
 		return false
@@ -135,8 +157,9 @@ func (s *Server) replicaTimeout() time.Duration {
 }
 
 // cacheEndpointGate applies the shared preconditions of every /cache/*
-// endpoint: POST only, caching enabled, body within bounds. It returns
-// the body and true, or writes the error and returns false.
+// endpoint: POST only, caching enabled, authenticated peer, body within
+// bounds. It returns the body and true, or writes the error and
+// returns false.
 func (s *Server) cacheEndpointGate(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	if r.Method != http.MethodPost {
 		s.cfg.Metrics.Counter(MetricBadRequest).Inc()
@@ -147,6 +170,13 @@ func (s *Server) cacheEndpointGate(w http.ResponseWriter, r *http.Request) ([]by
 	if s.cache == nil {
 		writeErrorDocID(w, requestID(r), http.StatusServiceUnavailable, "cache_disabled",
 			"certified-result cache is disabled on this worker", 0)
+		return nil, false
+	}
+	if !s.peerAuthed(r) {
+		// The replication surface writes into (and enumerates) the
+		// certified-result cache; only cluster members may touch it.
+		writeErrorDocID(w, requestID(r), http.StatusForbidden, "unauthorized",
+			"cache replication requires the cluster secret", 0)
 		return nil, false
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,6 +18,9 @@ import (
 	"approxqo/internal/num"
 	"approxqo/internal/trace"
 )
+
+// testClusterSecret authenticates test replication traffic.
+const testClusterSecret = "test-secret"
 
 // replicaEntry builds a distinct valid certified entry (i varies the
 // fingerprint and cost).
@@ -27,7 +31,7 @@ func replicaEntry(i int) *replica.Entry {
 		seq[k] = (k + 1) % n
 	}
 	return &replica.Entry{
-		Key:    fmt.Sprintf("qon:%04x", i),
+		Key:    fmt.Sprintf("qon:3:%04x", i),
 		RawKey: fmt.Sprintf("raw-%d", i),
 		Report: &engine.Report{
 			Model: "qon",
@@ -48,7 +52,13 @@ func postCacheJSON(t *testing.T, url string, in, out any) *http.Response {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(replica.AuthHeader, testClusterSecret)
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +80,7 @@ func postCacheJSON(t *testing.T, url string, in, out any) *http.Response {
 // without voiding the rest of the chunk.
 func TestCacheOfferValidatesAtTrustBoundary(t *testing.T) {
 	reg := trace.NewRegistry()
-	s, err := New(Config{MaxConcurrent: 2, Metrics: reg})
+	s, err := New(Config{MaxConcurrent: 2, Metrics: reg, ClusterSecret: testClusterSecret})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +113,12 @@ func TestCacheOfferValidatesAtTrustBoundary(t *testing.T) {
 	}
 
 	// Malformed body → 400; GET → 405.
-	resp, err = http.Post(ts.URL+"/cache/offer", "application/json", bytes.NewReader([]byte(`{"entries":[]}`)))
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/cache/offer", bytes.NewReader([]byte(`{"entries":[]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(replica.AuthHeader, testClusterSecret)
+	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +160,7 @@ func TestCacheEndpointsDisabledCache(t *testing.T) {
 // the stored key set, keys enumerate it, export returns entries that
 // re-validate — the handoff/repair pull path end to end.
 func TestCacheDigestKeysExportRoundTrip(t *testing.T) {
-	s, err := New(Config{MaxConcurrent: 2})
+	s, err := New(Config{MaxConcurrent: 2, ClusterSecret: testClusterSecret})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +239,7 @@ func TestReplicateFanOutOnStore(t *testing.T) {
 	defer peer.Close()
 
 	reg := trace.NewRegistry()
-	s, err := New(Config{MaxConcurrent: 2, Metrics: reg, Seed: 7})
+	s, err := New(Config{MaxConcurrent: 2, Metrics: reg, Seed: 7, ClusterSecret: testClusterSecret})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,6 +253,7 @@ func TestReplicateFanOutOnStore(t *testing.T) {
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ReplicateToHeader, peer.URL)
+	req.Header.Set(replica.AuthHeader, testClusterSecret)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -274,11 +290,169 @@ func TestReplicateFanOutOnStore(t *testing.T) {
 	if err := ent.Validate(); err != nil {
 		t.Fatalf("replicated entry fails trust-boundary validation: %v", err)
 	}
-	if wantKey := "qon:" + res.Fingerprint; ent.Key != wantKey {
+	if wantKey := "qon:6:" + res.Fingerprint; ent.Key != wantKey {
 		t.Fatalf("replicated key %q, want %q", ent.Key, wantKey)
 	}
 	if reg.Counter(MetricReplicateSent).Value() < 1 {
 		t.Fatal("replicate.sent not counted")
+	}
+}
+
+// The /cache/* surface refuses unauthenticated requests: no secret,
+// a wrong secret, and a server with no configured secret all yield
+// 403 — the replication surface is never open to arbitrary clients.
+func TestCacheEndpointsRequireClusterSecret(t *testing.T) {
+	s, err := New(Config{MaxConcurrent: 2, ClusterSecret: testClusterSecret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	paths := []string{"/cache/offer", "/cache/digest", "/cache/keys", "/cache/export"}
+	for _, path := range paths {
+		for _, secret := range []string{"", "wrong-secret"} {
+			req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader([]byte(`{}`)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if secret != "" {
+				req.Header.Set(replica.AuthHeader, secret)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusForbidden {
+				t.Fatalf("%s with secret %q: status %d, want 403", path, secret, resp.StatusCode)
+			}
+		}
+	}
+
+	// A worker with no secret configured keeps the surface closed even
+	// for requests that carry one — nothing can authenticate.
+	open, err := New(Config{MaxConcurrent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(open.Handler())
+	defer ts2.Close()
+	req, err := http.NewRequest(http.MethodPost, ts2.URL+"/cache/offer", bytes.NewReader([]byte(`{}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(replica.AuthHeader, "anything")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("secretless worker /cache/offer: status %d, want 403", resp.StatusCode)
+	}
+}
+
+// X-Replicate-To from an unauthenticated client is ignored: the worker
+// must not POST cache offers at URLs an arbitrary request names (the
+// SSRF primitive the cluster secret closes).
+func TestReplicateToIgnoredWithoutSecret(t *testing.T) {
+	var hits atomic.Int32
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		json.NewEncoder(w).Encode(&replica.OfferResponse{})
+	}))
+	defer peer.Close()
+
+	reg := trace.NewRegistry()
+	s, err := New(Config{MaxConcurrent: 2, Metrics: reg, Seed: 7, ClusterSecret: testClusterSecret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, secret := range []string{"", "wrong-secret"} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/optimize",
+			bytes.NewReader([]byte(`{"workload":{"shape":"chain","n":6,"seed":3}}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(ReplicateToHeader, peer.URL)
+		if secret != "" {
+			req.Header.Set(replica.AuthHeader, secret)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("optimize with secret %q: status %d", secret, resp.StatusCode)
+		}
+	}
+	// The request itself succeeded (and stored), so any fan-out would
+	// have launched by now; give the async pool a moment to prove it
+	// stays quiet.
+	time.Sleep(50 * time.Millisecond)
+	if n := hits.Load(); n != 0 {
+		t.Fatalf("unauthenticated X-Replicate-To reached the peer %d times", n)
+	}
+	if sent := reg.Counter(MetricReplicateSent).Value(); sent != 0 {
+		t.Fatalf("replicate.sent = %d, want 0", sent)
+	}
+}
+
+// A poisoned cache entry — a certified report stored under a key whose
+// instance is a different size — must be served as a miss, evicted and
+// re-run, never panicking the hit path's label remap.
+func TestCacheHitMismatchedEntryEvictedNotServed(t *testing.T) {
+	reg := trace.NewRegistry()
+	s, err := New(Config{MaxConcurrent: 2, Metrics: reg, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Resolve the real cache key of a 6-relation request, then plant a
+	// self-consistent 3-relation certified report under it (what a
+	// malicious offer would have stored before key↔report binding).
+	body := []byte(`{"workload":{"shape":"chain","n":6,"seed":3}}`)
+	req, err := DecodeRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := cacheKey(req)
+	if key == "" {
+		t.Fatal("no cache key resolved")
+	}
+	poison := replicaEntry(1).Report // n=3, certified
+	s.cache.put(key, "poison-raw", poison)
+
+	resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize status %d: %s", resp.StatusCode, data)
+	}
+	res := decodeResult(t, data)
+	if res.Cached {
+		t.Fatal("poisoned entry was served as a cache hit")
+	}
+	if res.N != 6 || res.Report.Best == nil || !res.Report.Best.Certified || len(res.Report.Best.Sequence) != 6 {
+		t.Fatalf("re-run result wrong: %s", data)
+	}
+	if v := reg.Counter(MetricCacheMismatch).Value(); v != 1 {
+		t.Fatalf("cache.mismatch = %d, want 1", v)
+	}
+	// The corrupt entry is gone; the re-run's real result replaced it.
+	if rep, _, ok := s.cache.get(key); !ok || rep.N != 6 {
+		t.Fatalf("cache after mismatch: ok=%v n=%d, want the 6-relation re-run", ok, rep.N)
 	}
 }
 

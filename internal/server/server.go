@@ -165,6 +165,14 @@ type Config struct {
 	// one fan-out offer POST (default DefaultReplicaTimeout).
 	ReplicaTransport http.RoundTripper
 	ReplicaTimeout   time.Duration
+	// ClusterSecret authenticates replication traffic: the /cache/*
+	// endpoints refuse requests that do not carry it in
+	// replica.AuthHeader, and the X-Replicate-To fan-out hint is honored
+	// only on requests that do. Empty (the default) closes the surface
+	// entirely — every /cache/* request is refused and every
+	// X-Replicate-To header ignored — so a standalone worker exposes no
+	// cache-write or fan-out primitive.
+	ClusterSecret string
 
 	// BreakerThreshold / BreakerCooldown configure the per-optimizer
 	// circuit breaker (defaults DefaultBreakerThreshold /
@@ -487,7 +495,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	span.SetField("model", req.model())
-	req.replicaTo = parseReplicaTo(r.Header.Get(ReplicateToHeader))
+	if s.peerAuthed(r) {
+		// The fan-out hint is only honored from authenticated cluster
+		// peers: an arbitrary client must not be able to direct this
+		// worker to POST cache offers at URLs of its choosing.
+		req.replicaTo = parseReplicaTo(r.Header.Get(ReplicateToHeader))
+	}
 
 	// The budget covers queueing, deduplication and optimization, so a
 	// request cannot occupy the queue longer than its caller is willing
@@ -564,25 +577,36 @@ func (s *Server) serveAdmitted(ctx context.Context, req *Request, rung Rung, acc
 	}
 	for key != "" {
 		if rep, storedRaw, ok := s.cache.get(key); ok {
-			m.Counter(MetricCacheHits).Inc()
-			if storedRaw != rawKey {
-				// The stored entry came from a different raw source — this
-				// hit exists only because of canonical keying.
-				m.Counter(MetricCanonicalHits).Inc()
-			}
-			wall := time.Since(accepted)
-			m.Histogram(MetricRequestWallUS).Observe(wall.Microseconds())
 			// A stored report is always a certified full-rung result, so
 			// the hit is served at the full rung regardless of the rung
 			// this request was admitted at.
 			_, perm, _ := req.canonicalID()
-			out.ok = true
-			out.status = http.StatusOK
-			out.rung = RungFull
-			out.cached = true
-			out.rep = remapReport(rep, invertPerm(perm))
-			out.wallMS = float64(wall.Microseconds()) / 1000
-			return out
+			if rep == nil || rep.N != len(perm) || rep.Best == nil || len(rep.Best.Sequence) != rep.N {
+				// The stored report disagrees with the requesting
+				// instance's size: serving it would remap out of bounds.
+				// Key↔report binding at the replication trust boundary
+				// makes this unreachable, but the cache is also fed by
+				// local stores and must never crash on its own contents —
+				// evict the corrupt entry and run for real.
+				m.Counter(MetricCacheMismatch).Inc()
+				s.cache.evict(key)
+			} else {
+				m.Counter(MetricCacheHits).Inc()
+				if storedRaw != rawKey {
+					// The stored entry came from a different raw source —
+					// this hit exists only because of canonical keying.
+					m.Counter(MetricCanonicalHits).Inc()
+				}
+				wall := time.Since(accepted)
+				m.Histogram(MetricRequestWallUS).Observe(wall.Microseconds())
+				out.ok = true
+				out.status = http.StatusOK
+				out.rung = RungFull
+				out.cached = true
+				out.rep = remapReport(rep, invertPerm(perm))
+				out.wallMS = float64(wall.Microseconds()) / 1000
+				return out
+			}
 		}
 		call, leader := s.flights.join(key)
 		if leader {
@@ -865,7 +889,8 @@ type Result struct {
 	// optimizers the decision left out.
 	Routing *classify.Decision `json:"routing,omitempty"`
 	// Fingerprint is the graph-invariant canonical identity of the
-	// resolved instance (the cache key, sans model prefix); empty when
+	// resolved instance (the bare fingerprint — the cache key prefixes
+	// it with model and instance size, see replica.Key); empty when
 	// caching is disabled or bypassed.
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// QueueMS is time spent waiting for a worker slot; WallMS the full
