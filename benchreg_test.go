@@ -234,6 +234,99 @@ func BenchmarkRegBatchDedup(b *testing.B) {
 	}
 }
 
+// The BenchmarkRegServe* set pins the serving hot path itself (routing
+// prefix RegServe → BENCH_serve.json): one op is one HTTP request
+// served end to end through the real handler. RegServeHit and
+// RegServeBatch are steady-state paths (warmed certified-result cache),
+// RegServeMiss is the full-rung engine path with the cache disabled —
+// together they gate decode, canonicalize, cache, remap and encode, not
+// just the kernels underneath.
+
+func regServeBody(b *testing.B, n int) []byte {
+	b.Helper()
+	in, err := workload.Generate(workload.Params{N: n, Shape: workload.Random, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{"job": map[string]any{"instance": in}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+func regServeOnce(b *testing.B, h http.Handler, path string, body []byte) {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("%s status %d: %s", path, w.Code, w.Body.Bytes())
+	}
+}
+
+// BenchmarkRegServeHit pins the cache-hit serve: an inline n=12
+// instance POSTed to /optimize with the certified-result cache warmed,
+// so each op is admission, decode, canonical identity, cache hit,
+// remap and encode — the allocation budget the pooled serving path is
+// accountable for.
+func BenchmarkRegServeHit(b *testing.B) {
+	s, err := server.New(server.Config{MaxConcurrent: 4, DegradeAt: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	body := regServeBody(b, 12)
+	regServeOnce(b, h, "/optimize", body) // warm the certified-result cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regServeOnce(b, h, "/optimize", body)
+	}
+}
+
+// BenchmarkRegServeMiss pins the cache-miss full-rung serve: caching is
+// disabled, so every op runs the complete n=6 ensemble and renders the
+// report — the cold-path cost a first-seen instance pays.
+func BenchmarkRegServeMiss(b *testing.B) {
+	s, err := server.New(server.Config{MaxConcurrent: 4, DegradeAt: 64, Seed: 1, CacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	body := regServeBody(b, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regServeOnce(b, h, "/optimize", body)
+	}
+}
+
+// BenchmarkRegServeBatch pins the batch dedup serve on the RegServe
+// gate: one op is a 16-job planted batch (relabeled duplicates) served
+// from the warmed cache — the leader remap plus 15 mate remaps and the
+// batch document encode.
+func BenchmarkRegServeBatch(b *testing.B) {
+	s, err := server.New(server.Config{MaxConcurrent: 4, DegradeAt: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	jobs, _, err := loadgen.PlantedBatch(9, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(&server.BatchRequest{Jobs: jobs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	regServeOnce(b, h, "/optimize/batch", body) // warm the certified-result cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regServeOnce(b, h, "/optimize/batch", body)
+	}
+}
+
 // BenchmarkRegRingRoute pins the coordinator's per-request routing
 // cost: one consistent-hash Lookup (primary + 2 replicas) over a
 // 64-worker ring, with distinct fingerprint-shaped keys so the binary

@@ -23,6 +23,7 @@
 //	qod -addr :8080 -max-batch 128 -cache-size 1024
 //	qod -addr :8080 -chaos 'panic:greedy-min-cost' -metrics
 //	qod -addr :8080 -route
+//	qod -addr :8080 -pprof-addr localhost:6060 -memlimit 2GiB
 //
 // With -route, the structural classifier (internal/classify) picks each
 // QO_N request's ensemble subset and the degradation ladder sheds the
@@ -66,8 +67,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -111,7 +115,35 @@ func main() {
 	netChaos := flag.String("net-chaos", "", "coordinator: network fault spec applied to upstream requests (e.g. 'drop,delay:w2')")
 	clusterSecret := flag.String("cluster-secret", os.Getenv("QOD_CLUSTER_SECRET"),
 		"shared secret authenticating cache-replication traffic; must match across the fleet (default $QOD_CLUSTER_SECRET; empty disables replication)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this extra listener (e.g. localhost:6060); never exposed on the public mux")
+	memLimit := flag.String("memlimit", "", "soft heap limit for the Go runtime (e.g. 512MiB, 2GiB); sets debug.SetMemoryLimit like GOMEMLIMIT")
 	flag.Parse()
+
+	if *memLimit != "" {
+		limit, err := parseByteSize(*memLimit)
+		if err != nil {
+			common.Fatal("qod", err)
+		}
+		debug.SetMemoryLimit(limit)
+	}
+	if *pprofAddr != "" {
+		// The profiling surface gets its own listener and mux so it can be
+		// bound to loopback while -addr faces the network; registering
+		// pprof on the serving mux would expose heap and goroutine dumps
+		// to every client.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			common.Fatal("qod", fmt.Errorf("pprof listener: %w", err))
+		}
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(os.Stderr, "qod: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		go func() { _ = (&http.Server{Handler: pm}).Serve(ln) }()
+	}
 
 	// The signal handler's force-flush must not fire while a healthy
 	// drain is still inside its deadline.
@@ -230,4 +262,40 @@ func main() {
 		common.Fatal("qod", err)
 	}
 	fmt.Fprintln(os.Stderr, "qod: drained cleanly")
+}
+
+// parseByteSize parses a GOMEMLIMIT-style byte quantity: a decimal
+// count with an optional B, KiB, MiB, GiB or TiB suffix.
+func parseByteSize(s string) (int64, error) {
+	orig := s
+	shift := 0
+	switch {
+	case strings.HasSuffix(s, "KiB"):
+		shift, s = 10, s[:len(s)-3]
+	case strings.HasSuffix(s, "MiB"):
+		shift, s = 20, s[:len(s)-3]
+	case strings.HasSuffix(s, "GiB"):
+		shift, s = 30, s[:len(s)-3]
+	case strings.HasSuffix(s, "TiB"):
+		shift, s = 40, s[:len(s)-3]
+	case strings.HasSuffix(s, "B"):
+		s = s[:len(s)-1]
+	}
+	if s == "" {
+		return 0, fmt.Errorf("invalid -memlimit %q", orig)
+	}
+	var v int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("invalid -memlimit %q (want e.g. 512MiB, 2GiB)", orig)
+		}
+		v = v*10 + int64(c-'0')
+		if v<<shift < 0 {
+			return 0, fmt.Errorf("-memlimit %q overflows", orig)
+		}
+	}
+	if v == 0 {
+		return 0, fmt.Errorf("-memlimit %q must be positive", orig)
+	}
+	return v << shift, nil
 }

@@ -354,6 +354,69 @@ type job struct {
 	sink *stats.Stats
 }
 
+// runState is the per-run supervision state the engine pools across
+// requests: the job slab with its stats sinks, the outcome channel, the
+// per-optimizer spans, the finished bitmap and the merge arrivals. One
+// runState is owned by exactly one supervise call; it is returned to
+// the pool only when every run goroutine has delivered its outcome. A
+// run that abandons a straggler retains the state instead — the
+// abandoned goroutine still writes its sink and may yet send on the
+// results channel, and handing either to the next request would be a
+// cross-request bleed (see DESIGN § Pooled request lifecycle).
+type runState struct {
+	jobs     []*job
+	jobSlab  []job
+	sinks    []stats.Stats
+	results  chan outcome
+	optSpans []*trace.Span
+	finished []bool
+	arrivals []arrival
+}
+
+var runStatePool = sync.Pool{New: func() any { return &runState{} }}
+
+// getRunState returns a runState sized for n jobs with sinks reset and
+// job slots zeroed.
+func getRunState(n int) *runState {
+	st := runStatePool.Get().(*runState)
+	if cap(st.jobs) < n {
+		st.jobs = make([]*job, n)
+		st.jobSlab = make([]job, n)
+		st.sinks = make([]stats.Stats, n)
+		st.optSpans = make([]*trace.Span, n)
+		st.finished = make([]bool, n)
+	}
+	st.jobs = st.jobs[:n]
+	st.jobSlab = st.jobSlab[:n]
+	st.sinks = st.sinks[:n]
+	st.optSpans = st.optSpans[:n]
+	st.finished = st.finished[:n]
+	for i := 0; i < n; i++ {
+		st.jobSlab[i] = job{}
+		st.sinks[i].Reset()
+		st.jobs[i] = &st.jobSlab[i]
+		st.optSpans[i] = nil
+		st.finished[i] = false
+	}
+	// The channel is reused only when the previous run drained it
+	// completely; an abandoned run retains its whole state, channel
+	// included, so a late send can never reach a later request.
+	if st.results == nil || cap(st.results) < n {
+		st.results = make(chan outcome, n)
+	}
+	st.arrivals = st.arrivals[:0]
+	return st
+}
+
+// putRunState drops the closures (so pooled state never pins an
+// instance past its request) and returns the state to the pool.
+func putRunState(st *runState) {
+	for i := range st.jobSlab {
+		st.jobSlab[i] = job{}
+	}
+	runStatePool.Put(st)
+}
+
 // Run executes the optimizers concurrently over in, audits every
 // result through the certification gate, and merges the surviving
 // results cheapest-first. It returns a Report whenever the ensemble is
@@ -361,6 +424,11 @@ type job struct {
 // certified result (all failed, panicked, were quarantined, or were
 // abandoned resultless). The Report is returned alongside the error so
 // failed runs can still be inspected.
+//
+// The Report's buffers are pooled: callers that are done with it may
+// call Report.Release to recycle them, and must Detach before storing
+// it anywhere that outlives the request. Callers that do neither are
+// still correct — an unreleased Report is ordinary garbage.
 func (e *Engine) Run(ctx context.Context, in *qon.Instance, optimizers ...opt.Optimizer) (*Report, error) {
 	if in == nil {
 		return nil, ErrNilInstance
@@ -371,35 +439,33 @@ func (e *Engine) Run(ctx context.Context, in *qon.Instance, optimizers ...opt.Op
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("engine: context done before any run started: %w", err)
 	}
-	jobs := make([]*job, len(optimizers))
+	st := getRunState(len(optimizers))
 	for i, o := range optimizers {
 		o := o
-		sink := &stats.Stats{}
+		sink := &st.sinks[i]
 		instrumented := in.WithStats(sink)
-		j := &job{
-			name: o.Name(),
-			sink: sink,
-			run: func(ctx context.Context) (*jobResult, error) {
-				r, err := o.Optimize(ctx, instrumented)
-				if err != nil || r == nil {
-					if err == nil {
-						err = errors.New("optimizer returned no result")
-					}
-					return nil, err
+		j := st.jobs[i]
+		j.name = o.Name()
+		j.sink = sink
+		j.run = func(ctx context.Context) (*jobResult, error) {
+			r, err := o.Optimize(ctx, instrumented)
+			if err != nil || r == nil {
+				if err == nil {
+					err = errors.New("optimizer returned no result")
 				}
-				return &jobResult{seq: []int(r.Sequence), cost: r.Cost, exact: r.Exact}, nil
-			},
-			audit: func(r *jobResult) error {
-				_, err := certify.QON(in, r.seq, r.cost, r.exact)
-				return err
-			},
+				return nil, err
+			}
+			return &jobResult{seq: []int(r.Sequence), cost: r.Cost, exact: r.Exact}, nil
+		}
+		j.audit = func(r *jobResult) error {
+			_, err := certify.QON(in, r.seq, r.cost, r.exact)
+			return err
 		}
 		if rs, ok := o.(opt.Reseedable); ok {
 			j.reseed = rs.Reseed
 		}
-		jobs[i] = j
 	}
-	report, best := e.supervise(ctx, "qon", jobs)
+	report, best := e.supervise(ctx, "qon", st)
 	report.Model = "qon"
 	report.N = in.N()
 	report.Best = best
@@ -499,11 +565,12 @@ type arrival struct {
 // registry, the supervisor — and only the supervisor — absorbs each
 // run's stats snapshot and outcome tallies into it, so aggregate reads
 // never race the optimizer goroutines.
-func (e *Engine) supervise(ctx context.Context, model string, jobs []*job) (*Report, *BestRecord) {
+func (e *Engine) supervise(ctx context.Context, model string, st *runState) (*Report, *BestRecord) {
 	started := time.Now()
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	jobs := st.jobs
 	retries := e.effRetries()
 	benchAt := e.effQuarantine()
 
@@ -515,14 +582,14 @@ func (e *Engine) supervise(ctx context.Context, model string, jobs []*job) (*Rep
 	// Per-optimizer spans are opened by the supervisor (not the run
 	// goroutines) so abandoned runs still have a span to report in the
 	// record; the goroutine only adds children to it.
-	optSpans := make([]*trace.Span, len(jobs))
+	optSpans := st.optSpans
 	for i, j := range jobs {
 		optSpans[i] = rootSpan.ChildTrack("optimizer:"+j.name, i+1)
 	}
 
 	// Buffered so abandoned goroutines can deliver late and exit
 	// instead of leaking blocked forever.
-	results := make(chan outcome, len(jobs))
+	results := st.results
 	for i, j := range jobs {
 		i, j := i, j
 		optSpan := optSpans[i]
@@ -617,12 +684,14 @@ func (e *Engine) supervise(ctx context.Context, model string, jobs []*job) (*Rep
 		}()
 	}
 
-	records := make([]RunRecord, len(jobs))
-	finished := make([]bool, len(jobs))
+	report := newReport(len(jobs))
+	records := report.Runs
+	finished := st.finished
 	for i, j := range jobs {
 		records[i].Name = j.name
 	}
-	var arrivals []arrival
+	arrivals := st.arrivals
+	abandoned := false
 	var best *BestRecord // provisional, for early exit only
 	var bestCost num.Num
 	grace := e.grace
@@ -725,6 +794,7 @@ func (e *Engine) supervise(ctx context.Context, model string, jobs []*job) (*Rep
 				if finished[i] {
 					continue
 				}
+				abandoned = true
 				rec := &records[i]
 				rec.SpanID = optSpans[i].ID()
 				rec.WallMS = float64(time.Since(started).Microseconds()) / 1000
@@ -765,11 +835,8 @@ func (e *Engine) supervise(ctx context.Context, model string, jobs []*job) (*Rep
 	gets, news := num.ScratchPoolStats()
 	e.metrics.Gauge(MetricScratchGets).Set(gets)
 	e.metrics.Gauge(MetricScratchNews).Set(news)
-	report := &Report{
-		Runs:   records,
-		WallMS: float64(time.Since(started).Microseconds()) / 1000,
-		SpanID: rootSpan.ID(),
-	}
+	report.WallMS = float64(time.Since(started).Microseconds()) / 1000
+	report.SpanID = rootSpan.ID()
 	for _, rec := range records {
 		if rec.Quarantined {
 			report.Quarantined = append(report.Quarantined, rec.Name)
@@ -781,6 +848,14 @@ func (e *Engine) supervise(ctx context.Context, model string, jobs []*job) (*Rep
 	rootSpan.SetField("quarantined", len(report.Quarantined))
 	rootSpan.End()
 	e.recordHealth(records, best != nil)
+	// Recycle the supervision state — but only when every goroutine has
+	// delivered. An abandoned run keeps writing its sink and may still
+	// send on the results channel; its state is forfeited to the GC, so
+	// a later request can never observe this run's leftovers.
+	st.arrivals = arrivals[:0]
+	if !abandoned {
+		putRunState(st)
+	}
 	return report, best
 }
 

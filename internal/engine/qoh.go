@@ -8,7 +8,6 @@ import (
 	"approxqo/internal/certify"
 	"approxqo/internal/opt"
 	"approxqo/internal/qoh"
-	"approxqo/internal/stats"
 )
 
 // QOHSearcher is one QO_H plan-search strategy the engine can
@@ -57,32 +56,31 @@ func (e *Engine) RunQOH(ctx context.Context, in *qoh.Instance, searchers ...QOHS
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("engine: context done before any run started: %w", err)
 	}
-	jobs := make([]*job, len(searchers))
+	st := getRunState(len(searchers))
 	for i, s := range searchers {
 		s := s
-		sink := &stats.Stats{}
+		sink := &st.sinks[i]
 		instrumented := in.WithStats(sink)
 		exact := s.Name == "qoh-exhaustive"
-		jobs[i] = &job{
-			name: s.Name,
-			sink: sink,
-			run: func(ctx context.Context) (*jobResult, error) {
-				p, err := s.Search(ctx, instrumented)
-				if err != nil || p == nil {
-					if err == nil {
-						err = errors.New("searcher returned no plan")
-					}
-					return nil, err
+		j := st.jobs[i]
+		j.name = s.Name
+		j.sink = sink
+		j.run = func(ctx context.Context) (*jobResult, error) {
+			p, err := s.Search(ctx, instrumented)
+			if err != nil || p == nil {
+				if err == nil {
+					err = errors.New("searcher returned no plan")
 				}
-				return &jobResult{seq: p.Z, breaks: p.Breaks, cost: p.Cost, exact: exact}, nil
-			},
-			audit: func(r *jobResult) error {
-				_, err := certify.QOH(in, r.seq, r.breaks, r.cost, r.exact)
-				return err
-			},
+				return nil, err
+			}
+			return &jobResult{seq: p.Z, breaks: p.Breaks, cost: p.Cost, exact: exact}, nil
+		}
+		j.audit = func(r *jobResult) error {
+			_, err := certify.QOH(in, r.seq, r.breaks, r.cost, r.exact)
+			return err
 		}
 	}
-	report, best := e.supervise(ctx, "qoh", jobs)
+	report, best := e.supervise(ctx, "qoh", st)
 	report.Model = "qoh"
 	report.N = in.N()
 	report.Best = best

@@ -9,6 +9,13 @@
 // exact for every comparison the experiments perform; for generic
 // workloads it behaves as very wide floating point.
 //
+// Values whose mantissa fits 128 bits — every power of two, every
+// float64-derived workload quantity, and most intermediate products the
+// DPs form from them — are carried inline in a dyadic fixed-point form
+// (odd uint128 mantissa × 2^int32) and computed on with plain machine
+// arithmetic, falling back to big.Float transparently and
+// bit-identically when a result outgrows the form (see dyadic.go).
+//
 // Num values are immutable: every operation returns a fresh value and
 // never mutates its operands. The zero Num is not valid; use Zero(),
 // FromInt64, or the other constructors.
@@ -25,25 +32,30 @@ const Prec = 256
 
 // Num is an immutable non-negative number of arbitrary magnitude.
 type Num struct {
-	f *big.Float
+	f        *big.Float // big representation; nil when dy
+	mhi, mlo uint64     // dyadic odd mantissa (mhi:mlo); 0 means the value 0
+	exp      int32      // dyadic exponent: value = (mhi:mlo)·2^exp
+	dy       bool       // true when the dyadic fields carry the value
 }
 
 func newFloat() *big.Float {
+	floatAllocs.Add(1)
 	return new(big.Float).SetPrec(Prec).SetMode(big.ToNearestEven)
 }
 
 // Zero returns the number 0.
-func Zero() Num { return Num{newFloat()} }
+func Zero() Num { return Num{dy: true} }
 
 // One returns the number 1.
-func One() Num { return FromInt64(1) }
+func One() Num { return Num{mlo: 1, dy: true} }
 
 // FromInt64 returns v as a Num. It panics if v is negative.
 func FromInt64(v int64) Num {
 	if v < 0 {
 		panic(fmt.Sprintf("num: FromInt64 called with negative value %d", v))
 	}
-	return Num{newFloat().SetInt64(v)}
+	n, _ := dyNum(0, uint64(v), 0)
+	return n
 }
 
 // FromFloat64 returns v as a Num. It panics if v is negative, NaN or Inf.
@@ -51,7 +63,14 @@ func FromFloat64(v float64) Num {
 	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 		panic(fmt.Sprintf("num: FromFloat64 called with invalid value %v", v))
 	}
-	return Num{newFloat().SetFloat64(v)}
+	if v == 0 {
+		return Num{dy: true}
+	}
+	// Every finite float64 is dyadic: frexp's 53-bit mantissa scaled to an
+	// integer is exact.
+	fr, e := math.Frexp(v)
+	n, _ := dyNum(0, uint64(fr*(1<<53)), int64(e)-53)
+	return n
 }
 
 // FromBigInt returns v as a Num. It panics if v is negative.
@@ -59,18 +78,31 @@ func FromBigInt(v *big.Int) Num {
 	if v.Sign() < 0 {
 		panic("num: FromBigInt called with negative value")
 	}
-	return Num{newFloat().SetInt(v)}
+	if v.Sign() == 0 {
+		return Num{dy: true}
+	}
+	if tz := v.TrailingZeroBits(); int64(v.BitLen())-int64(tz) <= 128 {
+		t := new(big.Int).Rsh(v, tz)
+		hi, lo := wordsTo128(t.Bits())
+		if n, ok := dyNum(hi, lo, int64(tz)); ok {
+			return n
+		}
+	}
+	return Num{f: newFloat().SetInt(v)}
 }
 
 // Pow2 returns 2^exp for any int64 exponent (including negative ones).
 func Pow2(exp int64) Num {
+	if exp >= -maxDyExp && exp <= maxDyExp {
+		return Num{mlo: 1, exp: int32(exp), dy: true}
+	}
 	f := newFloat().SetInt64(1)
 	f.SetMantExp(f, int(exp))
-	return Num{f}
+	return Num{f: f}
 }
 
 // valid reports whether n was produced by a constructor.
-func (n Num) valid() bool { return n.f != nil }
+func (n Num) valid() bool { return n.dy || n.f != nil }
 
 // IsValid reports whether n was produced by a constructor (or decoded
 // from JSON). Arithmetic on an invalid (zero-value) Num panics, so
@@ -85,66 +117,121 @@ func (n Num) check() {
 	}
 }
 
-// Float returns a copy of the underlying big.Float.
+// Float returns a copy of the underlying value as a big.Float.
 func (n Num) Float() *big.Float {
 	n.check()
-	return newFloat().Set(n.f)
+	if n.f != nil {
+		return newFloat().Set(n.f)
+	}
+	t := getTemps()
+	f := setDy(newFloat(), t.a, t.b, n.mhi, n.mlo, int64(n.exp))
+	putTemps(t)
+	return f
 }
 
 // Add returns n + m.
 func (n Num) Add(m Num) Num {
 	n.check()
 	m.check()
-	return Num{newFloat().Add(n.f, m.f)}
+	if n.dy && m.dy {
+		if hi, lo, e, ok := addDyRaw(n.mhi, n.mlo, int64(n.exp), m.mhi, m.mlo, int64(m.exp)); ok {
+			return Num{mhi: hi, mlo: lo, exp: int32(e), dy: true}
+		}
+	}
+	t := getTemps()
+	defer putTemps(t)
+	return Num{f: newFloat().Add(n.bigVal(t.a, t.c, t.d), m.bigVal(t.b, t.c, t.d))}
 }
 
 // Sub returns n − m. It panics if the result would be negative.
 func (n Num) Sub(m Num) Num {
 	n.check()
 	m.check()
-	r := newFloat().Sub(n.f, m.f)
+	if n.dy && m.dy {
+		switch cmpDyRaw(n.mhi, n.mlo, int64(n.exp), m.mhi, m.mlo, int64(m.exp)) {
+		case 0:
+			return Num{dy: true}
+		case -1:
+			panic("num: Sub result is negative")
+		}
+		if m.mhi|m.mlo == 0 {
+			return n
+		}
+		if hi, lo, e, ok := subDyRaw(n.mhi, n.mlo, int64(n.exp), m.mhi, m.mlo, int64(m.exp)); ok {
+			return Num{mhi: hi, mlo: lo, exp: int32(e), dy: true}
+		}
+	}
+	t := getTemps()
+	defer putTemps(t)
+	r := newFloat().Sub(n.bigVal(t.a, t.c, t.d), m.bigVal(t.b, t.c, t.d))
 	if r.Sign() < 0 {
 		panic("num: Sub result is negative")
 	}
-	return Num{r}
+	return Num{f: r}
 }
 
 // Mul returns n · m.
 func (n Num) Mul(m Num) Num {
 	n.check()
 	m.check()
-	return Num{newFloat().Mul(n.f, m.f)}
+	if n.dy && m.dy {
+		if hi, lo, e, ok := mulDyRaw(n.mhi, n.mlo, int64(n.exp), m.mhi, m.mlo, int64(m.exp)); ok {
+			return Num{mhi: hi, mlo: lo, exp: int32(e), dy: true}
+		}
+	}
+	t := getTemps()
+	defer putTemps(t)
+	return Num{f: newFloat().Mul(n.bigVal(t.a, t.c, t.d), m.bigVal(t.b, t.c, t.d))}
 }
 
 // Div returns n / m. It panics if m is zero.
 func (n Num) Div(m Num) Num {
 	n.check()
 	m.check()
-	if m.f.Sign() == 0 {
+	if m.dy {
+		if m.mhi|m.mlo == 0 {
+			panic("num: division by zero")
+		}
+		if n.dy {
+			if n.mhi|n.mlo == 0 {
+				return Num{dy: true}
+			}
+			if m.mhi == 0 && m.mlo == 1 {
+				// Power-of-two divisor: an exact exponent shift.
+				if q, ok := dyNum(n.mhi, n.mlo, int64(n.exp)-int64(m.exp)); ok {
+					return q
+				}
+			}
+		}
+	} else if m.f.Sign() == 0 {
 		panic("num: division by zero")
 	}
-	return Num{newFloat().Quo(n.f, m.f)}
+	t := getTemps()
+	defer putTemps(t)
+	return Num{f: newFloat().Quo(n.bigVal(t.a, t.c, t.d), m.bigVal(t.b, t.c, t.d))}
 }
 
 // MulInt64 returns n · v. It panics if v is negative.
 func (n Num) MulInt64(v int64) Num { return n.Mul(FromInt64(v)) }
 
 // Pow returns n^k for k ≥ 0 by binary exponentiation. 0^0 is 1.
+// The square-and-multiply chain performs the same sequence of rounded
+// operations whichever representation carries the intermediates.
 func (n Num) Pow(k int64) Num {
 	n.check()
 	if k < 0 {
 		panic(fmt.Sprintf("num: Pow called with negative exponent %d", k))
 	}
-	result := newFloat().SetInt64(1)
-	base := newFloat().Set(n.f)
+	result := One()
+	base := n
 	for k > 0 {
 		if k&1 == 1 {
-			result.Mul(result, base)
+			result = result.Mul(base)
 		}
-		base.Mul(base, base)
+		base = base.Mul(base)
 		k >>= 1
 	}
-	return Num{result}
+	return result
 }
 
 // Inv returns 1/n. It panics if n is zero.
@@ -154,7 +241,15 @@ func (n Num) Inv() Num { return One().Div(n) }
 func (n Num) Cmp(m Num) int {
 	n.check()
 	m.check()
-	return n.f.Cmp(m.f)
+	if n.dy && m.dy {
+		return cmpDyRaw(n.mhi, n.mlo, int64(n.exp), m.mhi, m.mlo, int64(m.exp))
+	}
+	if n.f != nil && m.f != nil {
+		return n.f.Cmp(m.f)
+	}
+	t := getTemps()
+	defer putTemps(t)
+	return n.bigVal(t.a, t.c, t.d).Cmp(m.bigVal(t.b, t.c, t.d))
 }
 
 // Less reports whether n < m.
@@ -169,6 +264,9 @@ func (n Num) Equal(m Num) bool { return n.Cmp(m) == 0 }
 // IsZero reports whether n == 0.
 func (n Num) IsZero() bool {
 	n.check()
+	if n.dy {
+		return n.mhi|n.mlo == 0
+	}
 	return n.f.Sign() == 0
 }
 
@@ -195,6 +293,12 @@ func (n Num) Max(m Num) Num {
 // thousands.
 func (n Num) Log2() float64 {
 	n.check()
+	if n.dy {
+		if n.mhi|n.mlo == 0 {
+			panic("num: Log2 of zero")
+		}
+		return log2DyRaw(n.mhi, n.mlo, int64(n.exp))
+	}
 	if n.f.Sign() == 0 {
 		panic("num: Log2 of zero")
 	}
@@ -209,6 +313,21 @@ func (n Num) Log2() float64 {
 // is non-negative).
 func (n Num) Float64() float64 {
 	n.check()
+	if n.dy {
+		if n.mhi|n.mlo == 0 {
+			return 0
+		}
+		l := bitLen128(n.mhi, n.mlo)
+		if e := int64(n.exp) + int64(l); e >= -1021 && e <= 1023 {
+			// Normal range: scaling the correctly rounded mantissa is exact.
+			// Subnormal and overflow edges delegate to big.Float below.
+			return math.Ldexp(mantFloat(n.mhi, n.mlo, l), int(e))
+		}
+		t := getTemps()
+		defer putTemps(t)
+		v, _ := n.bigVal(t.a, t.b, t.c).Float64()
+		return v
+	}
 	v, _ := n.f.Float64()
 	return v
 }
@@ -217,6 +336,19 @@ func (n Num) Float64() float64 {
 // ok is false otherwise.
 func (n Num) Int64() (v int64, ok bool) {
 	n.check()
+	if n.dy {
+		if n.mhi|n.mlo == 0 {
+			return 0, true
+		}
+		// The mantissa is odd: integers have a non-negative exponent.
+		if n.exp < 0 || n.mhi != 0 || n.exp >= 64 {
+			return 0, false
+		}
+		if n.mlo > uint64(math.MaxInt64)>>uint(n.exp) {
+			return 0, false
+		}
+		return int64(n.mlo << uint(n.exp)), true
+	}
 	if !n.f.IsInt() {
 		return 0, false
 	}
@@ -233,7 +365,12 @@ func (n Num) String() string {
 	if v, ok := n.Int64(); ok {
 		return fmt.Sprintf("%d", v)
 	}
-	return n.f.Text('g', 10)
+	if n.f != nil {
+		return n.f.Text('g', 10)
+	}
+	t := getTemps()
+	defer putTemps(t)
+	return n.bigVal(t.a, t.b, t.c).Text('g', 10)
 }
 
 // CanonicalAppend appends an exact, injective textual form of n to dst
@@ -242,10 +379,18 @@ func (n Num) String() string {
 // canonical instance fingerprints (qon/qoh Canonicalize) fold into
 // their hashes. The bytes are big.Float 'p' format — hex mantissa and
 // binary exponent — and never contain a NUL byte, so callers may use
-// 0x00 as a separator.
+// 0x00 as a separator. Dyadic values format directly from the uint128
+// mantissa (see appendDyP) — byte-identical to the big.Float rendering,
+// so the bytes stay representation-independent.
 func (n Num) CanonicalAppend(dst []byte) []byte {
 	n.check()
-	return n.f.Append(dst, 'p', 0)
+	if n.f != nil {
+		return n.f.Append(dst, 'p', 0)
+	}
+	if n.mhi|n.mlo == 0 {
+		return append(dst, '0')
+	}
+	return appendDyP(dst, n.mhi, n.mlo, int64(n.exp))
 }
 
 // MarshalJSON encodes n as a JSON string in big.Float parseable form.
@@ -253,16 +398,34 @@ func (n Num) MarshalJSON() ([]byte, error) {
 	if !n.valid() {
 		return nil, fmt.Errorf("num: cannot marshal zero-value Num")
 	}
-	return []byte(`"` + n.f.Text('p', 0) + `"`), nil
+	if n.f != nil {
+		return []byte(`"` + n.f.Text('p', 0) + `"`), nil
+	}
+	buf := make([]byte, 1, 52) // "0x." + ≤32 nibbles + "p±" + ≤10 exp digits + quotes
+	buf[0] = '"'
+	if n.mhi|n.mlo == 0 {
+		buf = append(buf, '0')
+	} else {
+		buf = appendDyP(buf, n.mhi, n.mlo, int64(n.exp))
+	}
+	return append(buf, '"'), nil
 }
 
 // UnmarshalJSON decodes a Num from the representation MarshalJSON emits
-// (it also accepts plain decimal strings and bare JSON numbers).
+// (it also accepts plain decimal strings and bare JSON numbers). Values
+// whose mantissa fits 128 bits decode into the dyadic fast-path form —
+// for the common 'p'-notation and small-integer spellings without
+// touching math/big at all.
 func (n *Num) UnmarshalJSON(data []byte) error {
-	s := string(data)
-	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
-		s = s[1 : len(s)-1]
+	b := data
+	if len(b) >= 2 && b[0] == '"' && b[len(b)-1] == '"' {
+		b = b[1 : len(b)-1]
 	}
+	if d, ok := parseDyadic(b); ok {
+		*n = d
+		return nil
+	}
+	s := string(b)
 	f, _, err := big.ParseFloat(s, 0, Prec, big.ToNearestEven)
 	if err != nil {
 		return fmt.Errorf("num: parsing %q: %w", s, err)
@@ -277,7 +440,11 @@ func (n *Num) UnmarshalJSON(data []byte) error {
 	if f.IsInf() {
 		return fmt.Errorf("num: non-finite value %q", s)
 	}
-	n.f = f
+	if d, ok := capture(f); ok {
+		*n = d
+		return nil
+	}
+	*n = Num{f: f}
 	return nil
 }
 
@@ -299,13 +466,31 @@ func Prod(values ...Num) Num {
 	return total
 }
 
-// MulAdd returns a·b + c using a single allocation — the fused
-// operation of the subset DPs' inner loops.
+// MulAdd returns a·b + c — the fused operation of the subset DPs' inner
+// loops — rounding the product before the sum like the two-step form.
 func MulAdd(a, b, c Num) Num {
 	a.check()
 	b.check()
 	c.check()
-	f := newFloat().Mul(a.f, b.f)
-	f.Add(f, c.f)
-	return Num{f}
+	if a.dy && b.dy {
+		if phi, plo, pe, ok := mulDyRaw(a.mhi, a.mlo, int64(a.exp), b.mhi, b.mlo, int64(b.exp)); ok {
+			if c.dy {
+				if hi, lo, e, ok2 := addDyRaw(phi, plo, pe, c.mhi, c.mlo, int64(c.exp)); ok2 {
+					return Num{mhi: hi, mlo: lo, exp: int32(e), dy: true}
+				}
+			}
+			// Exact product, wide sum: the big.Float product would have been
+			// this same exact value, so only the addition rounds.
+			t := getTemps()
+			defer putTemps(t)
+			f := setDy(newFloat(), t.a, t.b, phi, plo, pe)
+			f.Add(f, c.bigVal(t.a, t.b, t.c))
+			return Num{f: f}
+		}
+	}
+	t := getTemps()
+	defer putTemps(t)
+	f := newFloat().Mul(a.bigVal(t.a, t.c, t.d), b.bigVal(t.b, t.c, t.d))
+	f.Add(f, c.bigVal(t.a, t.c, t.d))
+	return Num{f: f}
 }

@@ -7,13 +7,20 @@ import (
 	"sync/atomic"
 )
 
-// Scratch is a mutable accumulator over the same 256-bit big.Float
-// arithmetic as Num. It exists for one reason: the subset DPs and cost
-// evaluators perform Θ(2ⁿ·n²) multiply-adds, and the immutable Num API
-// allocates a fresh big.Float per operation. A Scratch performs the
-// identical sequence of rounded operations in place, so hot loops run
-// allocation-free while producing bit-identical values (same precision,
-// same rounding mode, same operand order).
+// Scratch is a mutable accumulator over the same arithmetic as Num. It
+// exists for one reason: the subset DPs and cost evaluators perform
+// Θ(2ⁿ·n²) multiply-adds, and the immutable Num API allocates a fresh
+// value per operation. A Scratch performs the identical sequence of
+// operations in place, so hot loops run allocation-free while producing
+// bit-identical values (same precision, same rounding mode, same
+// operand order).
+//
+// Like Num, a Scratch carries its value dyadically (odd uint128
+// mantissa × 2^int32) while every result stays exactly representable,
+// and spills into its big.Float only when an operation outgrows the
+// form — see dyadic.go for why the two representations are
+// indistinguishable to callers. On the all-dyadic workloads the
+// generators emit, a warm Scratch touches no big.Float at all.
 //
 // Discipline — scratches are pooled and MUST NOT escape:
 //
@@ -29,8 +36,13 @@ import (
 // The pool's hit rate is observable via ScratchPoolStats, which the
 // engine exports as gauges.
 type Scratch struct {
-	f   *big.Float
-	tmp *big.Float // MulAdd intermediary, never visible to callers
+	f        *big.Float // big representation; authoritative when !dy
+	tmp      *big.Float // transient help word and MulAdd intermediary
+	t2, t3   *big.Float // operand materialization destinations
+	t4       *big.Float // second setDy help word (see setDy on aliasing)
+	mhi, mlo uint64     // dyadic odd mantissa, authoritative when dy
+	exp      int32
+	dy       bool
 }
 
 var (
@@ -40,14 +52,14 @@ var (
 
 var scratchPool = sync.Pool{New: func() any {
 	scratchNews.Add(1)
-	return &Scratch{f: newFloat(), tmp: newFloat()}
+	return &Scratch{f: newFloat(), tmp: newFloat(), t2: newFloat(), t3: newFloat(), t4: newFloat()}
 }}
 
 // NewScratch returns a pooled scratch accumulator initialized to 0.
 func NewScratch() *Scratch {
 	scratchGets.Add(1)
 	s := scratchPool.Get().(*Scratch)
-	s.f.SetInt64(0)
+	s.mhi, s.mlo, s.exp, s.dy = 0, 0, 0, true
 	return s
 }
 
@@ -61,16 +73,51 @@ func ScratchPoolStats() (gets, news int64) {
 	return scratchGets.Load(), scratchNews.Load()
 }
 
+// spill moves a dyadic value into s.f, making the big representation
+// authoritative. The move is exact (≤128 mantissa bits at Prec = 256),
+// so the subsequent big.Float operations see the same value the dyadic
+// form carried. s.tmp and s.t4 are clobbered.
+func (s *Scratch) spill() {
+	if s.dy {
+		setDy(s.f, s.tmp, s.t4, s.mhi, s.mlo, int64(s.exp))
+		s.dy = false
+	}
+}
+
+// val returns the current value as a *big.Float without changing which
+// representation is authoritative: s.f directly, or the dyadic value
+// materialized into dst. s.tmp and s.t4 are clobbered.
+func (s *Scratch) val(dst *big.Float) *big.Float {
+	if !s.dy {
+		return s.f
+	}
+	return setDy(dst, s.tmp, s.t4, s.mhi, s.mlo, int64(s.exp))
+}
+
+// setDyVal installs a dyadic result.
+func (s *Scratch) setDyVal(hi, lo uint64, e int64) *Scratch {
+	s.mhi, s.mlo, s.exp, s.dy = hi, lo, int32(e), true
+	return s
+}
+
 // Set sets s to n.
 func (s *Scratch) Set(n Num) *Scratch {
 	n.check()
+	if n.dy {
+		return s.setDyVal(n.mhi, n.mlo, int64(n.exp))
+	}
 	s.f.Set(n.f)
+	s.dy = false
 	return s
 }
 
 // SetScratch sets s to the current value of t.
 func (s *Scratch) SetScratch(t *Scratch) *Scratch {
+	if t.dy {
+		return s.setDyVal(t.mhi, t.mlo, int64(t.exp))
+	}
 	s.f.Set(t.f)
+	s.dy = false
 	return s
 }
 
@@ -79,33 +126,57 @@ func (s *Scratch) SetInt64(v int64) *Scratch {
 	if v < 0 {
 		panic("num: Scratch.SetInt64 called with negative value")
 	}
-	s.f.SetInt64(v)
-	return s
+	hi, lo, e, _ := normDy(0, uint64(v), 0)
+	return s.setDyVal(hi, lo, e)
 }
 
 // Add sets s to s + n.
 func (s *Scratch) Add(n Num) *Scratch {
 	n.check()
-	s.f.Add(s.f, n.f)
+	if s.dy && n.dy {
+		if hi, lo, e, ok := addDyRaw(s.mhi, s.mlo, int64(s.exp), n.mhi, n.mlo, int64(n.exp)); ok {
+			return s.setDyVal(hi, lo, e)
+		}
+	}
+	s.spill()
+	s.f.Add(s.f, n.bigVal(s.t2, s.tmp, s.t4))
 	return s
 }
 
 // AddScratch sets s to s + t.
 func (s *Scratch) AddScratch(t *Scratch) *Scratch {
-	s.f.Add(s.f, t.f)
+	if s.dy && t.dy {
+		if hi, lo, e, ok := addDyRaw(s.mhi, s.mlo, int64(s.exp), t.mhi, t.mlo, int64(t.exp)); ok {
+			return s.setDyVal(hi, lo, e)
+		}
+	}
+	s.spill()
+	s.f.Add(s.f, t.val(s.t2))
 	return s
 }
 
 // Mul sets s to s · n.
 func (s *Scratch) Mul(n Num) *Scratch {
 	n.check()
-	s.f.Mul(s.f, n.f)
+	if s.dy && n.dy {
+		if hi, lo, e, ok := mulDyRaw(s.mhi, s.mlo, int64(s.exp), n.mhi, n.mlo, int64(n.exp)); ok {
+			return s.setDyVal(hi, lo, e)
+		}
+	}
+	s.spill()
+	s.f.Mul(s.f, n.bigVal(s.t2, s.tmp, s.t4))
 	return s
 }
 
 // MulScratch sets s to s · t.
 func (s *Scratch) MulScratch(t *Scratch) *Scratch {
-	s.f.Mul(s.f, t.f)
+	if s.dy && t.dy {
+		if hi, lo, e, ok := mulDyRaw(s.mhi, s.mlo, int64(s.exp), t.mhi, t.mlo, int64(t.exp)); ok {
+			return s.setDyVal(hi, lo, e)
+		}
+	}
+	s.spill()
+	s.f.Mul(s.f, t.val(s.t2))
 	return s
 }
 
@@ -115,7 +186,25 @@ func (s *Scratch) MulScratch(t *Scratch) *Scratch {
 func (s *Scratch) MulAdd(a, b Num) *Scratch {
 	a.check()
 	b.check()
-	s.tmp.Mul(a.f, b.f)
+	if a.dy && b.dy {
+		if phi, plo, pe, ok := mulDyRaw(a.mhi, a.mlo, int64(a.exp), b.mhi, b.mlo, int64(b.exp)); ok {
+			if s.dy {
+				if hi, lo, e, ok2 := addDyRaw(s.mhi, s.mlo, int64(s.exp), phi, plo, pe); ok2 {
+					return s.setDyVal(hi, lo, e)
+				}
+			}
+			// Exact product, wide sum: big.Float would have formed the same
+			// exact product, so only the addition rounds.
+			s.spill()
+			setDy(s.tmp, s.t2, s.t4, phi, plo, pe)
+			s.f.Add(s.f, s.tmp)
+			return s
+		}
+	}
+	s.spill()
+	av := a.bigVal(s.t2, s.tmp, s.t4)
+	bv := b.bigVal(s.t3, s.tmp, s.t4)
+	s.tmp.Mul(av, bv)
 	s.f.Add(s.f, s.tmp)
 	return s
 }
@@ -123,23 +212,53 @@ func (s *Scratch) MulAdd(a, b Num) *Scratch {
 // Cmp compares s against n, returning −1, 0 or +1.
 func (s *Scratch) Cmp(n Num) int {
 	n.check()
-	return s.f.Cmp(n.f)
+	if s.dy && n.dy {
+		return cmpDyRaw(s.mhi, s.mlo, int64(s.exp), n.mhi, n.mlo, int64(n.exp))
+	}
+	sv := s.val(s.t2)
+	return sv.Cmp(n.bigVal(s.t3, s.tmp, s.t4))
 }
 
 // CmpScratch compares s against t, returning −1, 0 or +1.
-func (s *Scratch) CmpScratch(t *Scratch) int { return s.f.Cmp(t.f) }
+func (s *Scratch) CmpScratch(t *Scratch) int {
+	if s.dy && t.dy {
+		return cmpDyRaw(s.mhi, s.mlo, int64(s.exp), t.mhi, t.mlo, int64(t.exp))
+	}
+	sv := s.val(s.t2)
+	return sv.Cmp(t.val(s.t3))
+}
 
 // Sign returns 0 when s is zero and +1 otherwise (scratches are
 // non-negative like Num).
-func (s *Scratch) Sign() int { return s.f.Sign() }
+func (s *Scratch) Sign() int {
+	if s.dy {
+		if s.mhi|s.mlo == 0 {
+			return 0
+		}
+		return 1
+	}
+	return s.f.Sign()
+}
 
 // Num snapshots the current value as an immutable Num. The snapshot
-// does not alias the scratch and survives Release.
-func (s *Scratch) Num() Num { return Num{newFloat().Set(s.f)} }
+// does not alias the scratch and survives Release; dyadic snapshots
+// allocate nothing.
+func (s *Scratch) Num() Num {
+	if s.dy {
+		return Num{mhi: s.mhi, mlo: s.mlo, exp: s.exp, dy: true}
+	}
+	return Num{f: newFloat().Set(s.f)}
+}
 
 // Log2 returns log₂ of the current value without allocating. It panics
 // on zero, like Num.Log2.
 func (s *Scratch) Log2() float64 {
+	if s.dy {
+		if s.mhi|s.mlo == 0 {
+			panic("num: Log2 of zero")
+		}
+		return log2DyRaw(s.mhi, s.mlo, int64(s.exp))
+	}
 	if s.f.Sign() == 0 {
 		panic("num: Log2 of zero")
 	}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"runtime/metrics"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"approxqo/internal/workload"
+)
+
+// BenchmarkServeClosedLoop64 drives the serving hot path the way a
+// deployment sees it: 64 closed-loop clients over real loopback HTTP,
+// each issuing its next request the moment the previous answer lands,
+// against a warmed certified-result cache. One benchmark op is one
+// request; the reported extras are the capacity headlines —
+//
+//	rps        completed requests per wall-clock second
+//	p50_ms     median request latency
+//	p99_ms     99th-percentile request latency (the soak tail)
+//	B/req      heap bytes allocated per request, whole process
+//	allocs/req heap objects allocated per request, whole process
+//
+// B/req and allocs/req come from runtime/metrics (/gc/heap/allocs:*),
+// so they include the HTTP client side of the loop — a deliberate
+// superset of -benchmem's view that catches transport-layer garbage
+// too. The benchmark is deliberately NOT named BenchmarkReg*: its
+// latency numbers depend on machine load, so it informs rather than
+// gates; the allocation gate lives in BenchmarkRegServe* (benchdiff)
+// and TestServeHitAllocBudget.
+func BenchmarkServeClosedLoop64(b *testing.B) {
+	const clients = 64
+	s, err := New(Config{
+		MaxConcurrent: runtime.GOMAXPROCS(0),
+		QueueDepth:    4 * clients,
+		DegradeAt:     4 * clients, // never degrade: every op is the full-rung hit path
+		Seed:          1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A small working set of distinct instances, all warmed into the
+	// cache so the steady state measures the cache-hit serve path.
+	bodies := make([][]byte, 4)
+	for i := range bodies {
+		in, err := workload.Generate(workload.Params{N: 12, Shape: workload.Random, Seed: int64(11 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, err := json.Marshal(map[string]any{"job": map[string]any{"instance": in}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	post := func(body []byte) error {
+		resp, err := client.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	for _, body := range bodies {
+		if err := post(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	samples := []metrics.Sample{
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/heap/allocs:objects"},
+	}
+	metrics.Read(samples)
+	bytesBefore, objsBefore := samples[0].Value.Uint64(), samples[1].Value.Uint64()
+
+	lat := make([]time.Duration, b.N)
+	var next atomic.Int64
+	var failed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				t0 := time.Now()
+				if err := post(bodies[int(i)%len(bodies)]); err != nil {
+					failed.Add(1)
+					return
+				}
+				lat[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if n := failed.Load(); n > 0 {
+		b.Fatalf("%d requests failed", n)
+	}
+
+	metrics.Read(samples)
+	reqs := float64(b.N)
+	b.ReportMetric(reqs/elapsed.Seconds(), "rps")
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	quantile := func(q float64) float64 {
+		idx := int(q * float64(len(lat)-1))
+		return float64(lat[idx].Microseconds()) / 1000
+	}
+	b.ReportMetric(quantile(0.50), "p50_ms")
+	b.ReportMetric(quantile(0.99), "p99_ms")
+	b.ReportMetric(float64(samples[0].Value.Uint64()-bytesBefore)/reqs, "B/req")
+	b.ReportMetric(float64(samples[1].Value.Uint64()-objsBefore)/reqs, "allocs/req")
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"approxqo/internal/workload"
+)
+
+// optimizeBody marshals an inline-instance /optimize request for a
+// generated workload, the same shape the RegServe benchmarks use.
+func optimizeBody(t *testing.T, n int, seed int64) []byte {
+	t.Helper()
+	in, err := workload.Generate(workload.Params{N: n, Shape: workload.Random, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{"job": map[string]any{"instance": in}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func serveOptimize(h http.Handler, body []byte) (*httptest.ResponseRecorder, error) {
+	req := httptest.NewRequest(http.MethodPost, "/optimize", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		return w, fmt.Errorf("/optimize status %d: %s", w.Code, w.Body.Bytes())
+	}
+	return w, nil
+}
+
+// TestServeHitAllocBudget pins the allocation budget of the cache-hit
+// serve path — the win the pooled request lifecycle and the dyadic
+// renderer bought. Before PR 10 a warmed n=12 hit cost ~4215 allocs
+// (deep-copied remap, big.Float JSON round-trip); the pooled path
+// measures ~1260. The ceiling of 2000 keeps the full ≥2x headroom:
+// anything above it means a pool stopped being used or the dyadic
+// fast path stopped firing. benchdiff (BENCH_serve.json) gates the
+// same number at 20%; this test is the in-`go test` tripwire that
+// does not need a pinned baseline file.
+func TestServeHitAllocBudget(t *testing.T) {
+	s, err := New(Config{MaxConcurrent: 4, DegradeAt: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	body := optimizeBody(t, 12, 11)
+	if _, err := serveOptimize(h, body); err != nil {
+		t.Fatal(err) // warm the certified-result cache
+	}
+	var failed atomic.Int64
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := serveOptimize(h, body); err != nil {
+			failed.Add(1)
+		}
+	})
+	if n := failed.Load(); n > 0 {
+		t.Fatalf("%d cache-hit requests failed", n)
+	}
+	const budget = 2000
+	if allocs > budget {
+		t.Fatalf("cache-hit serve allocated %.0f objects/request, budget %d", allocs, budget)
+	}
+	t.Logf("cache-hit serve: %.0f allocs/request (budget %d)", allocs, budget)
+}
+
+// TestPooledServeNoBleed hammers the pooled serve path with concurrent
+// requests over distinct instances and asserts every response carries
+// its own request's identity. The pinned failure mode is pool bleed: a
+// pooled Report shell or encoder buffer released too early and handed
+// to another in-flight request, so client A reads client B's plan.
+// Sizes differ across the working set, so a bled report is caught by
+// the n/fingerprint/sequence-length checks even before the cost
+// comparison. Run under -race this also exercises the release
+// lifecycle (view release vs Report.Release aliasing) for ordering
+// bugs.
+func TestPooledServeNoBleed(t *testing.T) {
+	s, err := New(Config{MaxConcurrent: 4, QueueDepth: 256, DegradeAt: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	// Working set of distinct shapes and sizes: repeats hit the cache
+	// (pooled view remap), first-seen run the engine (pooled report).
+	type want struct {
+		body        []byte
+		n           int
+		fingerprint string
+		cost        string
+		sequence    []int
+	}
+	ws := make([]*want, 6)
+	for i := range ws {
+		n := 7 + i
+		w := &want{body: optimizeBody(t, n, int64(31+i)), n: n}
+		rec, err := serveOptimize(h, w.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res Result
+		if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Report == nil || res.Report.Best == nil || res.Fingerprint == "" {
+			t.Fatalf("warm response missing report/fingerprint: %s", rec.Body.Bytes())
+		}
+		w.fingerprint = res.Fingerprint
+		w.cost = res.Report.Best.Cost.String()
+		w.sequence = append([]int(nil), res.Report.Best.Sequence...)
+		ws[i] = w
+	}
+
+	const (
+		workers = 8
+		iters   = 120
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				w := ws[(g*iters+i)%len(ws)]
+				rec, err := serveOptimize(h, w.body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				var res Result
+				if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+					errs <- fmt.Errorf("worker %d: undecodable response: %v", g, err)
+					return
+				}
+				if res.N != w.n || res.Fingerprint != w.fingerprint {
+					errs <- fmt.Errorf("worker %d: got n=%d fp=%q, want n=%d fp=%q — pooled report bled across requests",
+						g, res.N, res.Fingerprint, w.n, w.fingerprint)
+					return
+				}
+				best := res.Report.Best
+				if best == nil || len(best.Sequence) != w.n {
+					errs <- fmt.Errorf("worker %d: n=%d response carries sequence %v", g, w.n, best)
+					return
+				}
+				if got := best.Cost.String(); got != w.cost {
+					errs <- fmt.Errorf("worker %d: n=%d cost %s, want %s", g, w.n, got, w.cost)
+					return
+				}
+				seen := make([]bool, w.n)
+				for _, v := range best.Sequence {
+					if v < 0 || v >= w.n || seen[v] {
+						errs <- fmt.Errorf("worker %d: sequence %v is not a permutation of 0..%d", g, best.Sequence, w.n-1)
+						return
+					}
+					seen[v] = true
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

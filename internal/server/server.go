@@ -26,6 +26,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -519,6 +520,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	span.SetField("status", http.StatusOK)
 	writeJSON(w, http.StatusOK, out.result(req.model()))
+	// The response bytes are written: the pooled report and remap view
+	// (if any) can go back to their pools.
+	out.close()
 }
 
 // jobOutcome is the result of serving one admitted, decoded job — the
@@ -531,12 +535,32 @@ type jobOutcome struct {
 	retryAfter time.Duration
 
 	rep     *engine.Report // in the requester's label space
+	view    *reportView    // pooled remap state backing rep on cache hits
 	rung    Rung           // rung the result was served at (full for cache hits)
 	cached  bool
 	routing *classify.Decision // non-nil when the adaptive router picked the ensemble
 	fp      string             // instance fingerprint when canonical identity resolved
 	queueMS float64
 	wallMS  float64
+}
+
+// close releases the outcome's pooled state — the engine report (a
+// no-op unless pool-born) and the remap view, if any. It must be
+// called only after the response document referencing out.rep has been
+// fully written; afterwards the outcome's report must not be touched.
+func (o *jobOutcome) close() {
+	if o.view != nil {
+		// out.rep aliases the view's Report shell (never pool-born), so
+		// releasing the view covers it — and rep must not be touched
+		// after the view returns to its pool.
+		o.view.release()
+		o.view, o.rep = nil, nil
+		return
+	}
+	if o.rep != nil {
+		o.rep.Release()
+		o.rep = nil
+	}
 }
 
 // result renders the outcome as the success document.
@@ -603,7 +627,7 @@ func (s *Server) serveAdmitted(ctx context.Context, req *Request, rung Rung, acc
 				out.status = http.StatusOK
 				out.rung = RungFull
 				out.cached = true
-				out.rep = remapReport(rep, invertPerm(perm))
+				out.rep, out.view = viewRemapped(rep, invertPerm(perm))
 				out.wallMS = float64(wall.Microseconds()) / 1000
 				return out
 			}
@@ -660,9 +684,10 @@ func (s *Server) serveAdmitted(ctx context.Context, req *Request, rung Rung, acc
 		// only when its winner is certified exact — optimal is optimal
 		// no matter how few optimizers ran. The stored copy is remapped
 		// into canonical label space so any relabeling of this instance
-		// can be served from it.
+		// can be served from it, and detached so it survives the pooled
+		// report's release.
 		if _, perm, cerr := req.canonicalID(); cerr == nil {
-			canon := remapReport(rep, perm)
+			canon := detachRemapped(rep, perm)
 			s.cache.put(key, rawKey, canon)
 			// Replicate the canonical copy to the ring successors the
 			// coordinator named, asynchronously — the response below never
@@ -671,6 +696,9 @@ func (s *Server) serveAdmitted(ctx context.Context, req *Request, rung Rung, acc
 		}
 	}
 	if err != nil {
+		// The failed run's report (possibly partial, e.g. all-failed) is
+		// never served: release its pooled buffers here.
+		rep.Release()
 		out.kind = cliutil.Classify(err)
 		out.status = http.StatusInternalServerError
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -687,23 +715,83 @@ func (s *Server) serveAdmitted(ctx context.Context, req *Request, rung Rung, acc
 	return out
 }
 
-// remapReport returns a copy of rep with every entry of Best.Sequence
-// mapped through perm (perm[v] = new label of v). Every other report
-// field is label-invariant — Breaks are sequence positions, run records
-// carry no sequences — and is shared with the original. A nil perm
-// (identity) or sequence-free report is returned unchanged.
-func remapReport(rep *engine.Report, perm []int) *engine.Report {
+// reportView is the pooled per-response state of a label remap: a
+// Report shell, a BestRecord and a sequence backing array, recycled
+// across requests so a cache hit allocates nothing for its remapped
+// view. The view shares the source report's record buffers (they are
+// label-invariant and read-only while served); it must be released
+// only after the response referencing it has been written, and never
+// outlive the source report's own lifetime (cached reports are
+// detached, so that is automatic).
+type reportView struct {
+	rep  engine.Report
+	best engine.BestRecord
+	seq  []int
+}
+
+var reportViewPool = sync.Pool{New: func() any { return new(reportView) }}
+
+// release returns the view's buffers to the pool, dropping every
+// reference into the source report so a pooled view never pins a
+// cached report in memory. Nil-safe.
+func (v *reportView) release() {
+	if v == nil {
+		return
+	}
+	v.rep = engine.Report{}
+	v.best = engine.BestRecord{}
+	reportViewPool.Put(v)
+}
+
+// viewRemapped returns rep viewed with every entry of Best.Sequence
+// mapped through perm (perm[v] = new label of v), built in pooled
+// state instead of fresh allocations. Every other report field is
+// label-invariant — Breaks are sequence positions, run records carry
+// no sequences — and is shared with the original. A nil perm
+// (identity) or sequence-free report is returned unchanged with a nil
+// view. Constructing the shell field-by-field (rather than copying
+// *rep) also guarantees the view never inherits the engine's pool
+// ownership flags: Release on a view is always a no-op.
+func viewRemapped(rep *engine.Report, perm []int) (*engine.Report, *reportView) {
 	if rep == nil || rep.Best == nil || perm == nil {
-		return rep
+		return rep, nil
 	}
-	best := *rep.Best
-	best.Sequence = make([]int, len(rep.Best.Sequence))
-	for k, v := range rep.Best.Sequence {
-		best.Sequence[k] = perm[v]
+	v := reportViewPool.Get().(*reportView)
+	n := len(rep.Best.Sequence)
+	if cap(v.seq) < n {
+		v.seq = make([]int, n)
 	}
-	cp := *rep
-	cp.Best = &best
-	return &cp
+	seq := v.seq[:n]
+	for k, val := range rep.Best.Sequence {
+		seq[k] = perm[val]
+	}
+	v.best = *rep.Best
+	v.best.Sequence = seq
+	v.rep = engine.Report{
+		Model:       rep.Model,
+		N:           rep.N,
+		Best:        &v.best,
+		Runs:        rep.Runs,
+		Quarantined: rep.Quarantined,
+		Skipped:     rep.Skipped,
+		WallMS:      rep.WallMS,
+		SpanID:      rep.SpanID,
+	}
+	return &v.rep, v
+}
+
+// detachRemapped returns a detached deep copy of rep with
+// Best.Sequence mapped through perm — the canonical-label copy handed
+// to the cache and the replication fan-out, safe to retain and serve
+// indefinitely after the pooled original is released.
+func detachRemapped(rep *engine.Report, perm []int) *engine.Report {
+	d := rep.Detach()
+	if d != nil && d.Best != nil && perm != nil {
+		for k, v := range d.Best.Sequence {
+			d.Best.Sequence[k] = perm[v]
+		}
+	}
+	return d
 }
 
 // invertPerm returns perm⁻¹, or nil for nil.
@@ -946,12 +1034,45 @@ func echoRequestID(w http.ResponseWriter, r *http.Request, span *trace.Span) str
 	return rid
 }
 
+// encState is the pooled JSON response encoder: one buffer plus one
+// indent-configured encoder, recycled across responses so serving a
+// request re-allocates neither the encoder machinery nor (once warm)
+// the response buffer. Buffering the whole document before writing
+// also lets every response carry Content-Length.
+type encState struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &encState{}
+	e.enc = json.NewEncoder(&e.buf)
+	e.enc.SetIndent("", "  ")
+	return e
+}}
+
+// maxPooledEncBytes caps the buffer capacity retained by the encoder
+// pool: a one-off giant batch response must not pin its buffer forever.
+const maxPooledEncBytes = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	e := encPool.Get().(*encState)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		// Encode failed mid-buffer (unmarshalable value — none of our
+		// documents are). The encoder's error state is sticky, so the
+		// state is dropped rather than pooled.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(e.buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(e.buf.Bytes())
+	if e.buf.Cap() <= maxPooledEncBytes {
+		encPool.Put(e)
+	}
 }
 
 func writeErrorDoc(w http.ResponseWriter, status int, kind, msg string, retryAfter time.Duration) {

@@ -2,11 +2,13 @@
 // the repo's fixed regression benchmarks (BenchmarkReg* in
 // benchreg_test.go) and compares ns/op and allocs/op against the
 // checked-in baselines, failing when either metric regresses by more
-// than the threshold (default 20%). The set is partitioned into two
-// pinned files: the optimization-layer benchmarks (BenchmarkRegOpt*
-// cost-kernel set plus BenchmarkRegFingerprint/BenchmarkRegBatch*
-// canonical-identity set) against BENCH_opt.json, everything else
-// against BENCH_qon.json; both files gate.
+// than the threshold (default 20%). The set is partitioned into three
+// pinned files: the serving-path benchmarks (BenchmarkRegServe*
+// cache-hit/miss/batch allocation budget) against BENCH_serve.json,
+// the optimization-layer benchmarks (BenchmarkRegOpt* cost-kernel set
+// plus BenchmarkRegFingerprint/BenchmarkRegBatch* canonical-identity
+// set) against BENCH_opt.json, everything else against BENCH_qon.json;
+// all three files gate.
 //
 // Benchmarks run with -benchtime 300x -count 5, in three separate
 // go-test passes, and the minimum across all fifteen counts is
@@ -48,7 +50,17 @@ import (
 // classification cost.
 var optPrefixes = []string{"BenchmarkRegOpt", "BenchmarkRegFingerprint", "BenchmarkRegBatch", "BenchmarkRegRing", "BenchmarkRegReplica", "BenchmarkRegClassify"}
 
+// isServeBench routes the serving-hot-path set (cache-hit, cache-miss
+// full-rung, batch dedup) into BENCH_serve.json — the allocation
+// budget of the pooled request path. Checked before isOptBench:
+// BenchmarkRegServeBatch must not fall into the BenchmarkRegBatch
+// canonical-identity set.
+func isServeBench(b string) bool { return strings.HasPrefix(b, "BenchmarkRegServe") }
+
 func isOptBench(b string) bool {
+	if isServeBench(b) {
+		return false
+	}
 	for _, p := range optPrefixes {
 		if strings.HasPrefix(b, p) {
 			return true
@@ -62,8 +74,9 @@ var baselineFiles = []struct {
 	name    string
 	matches func(bench string) bool
 }{
+	{"BENCH_serve.json", isServeBench},
 	{"BENCH_opt.json", isOptBench},
-	{"BENCH_qon.json", func(b string) bool { return !isOptBench(b) }},
+	{"BENCH_qon.json", func(b string) bool { return !isServeBench(b) && !isOptBench(b) }},
 }
 
 // measurement is one benchmark's pinned numbers.
